@@ -1,0 +1,258 @@
+//! Flatness analysis (Sec. 2 of the paper).
+//!
+//! An NFA is *flat* if any two runs with the same Parikh image are equal;
+//! structurally, flat automata are DAGs connecting simple, non-nested loops.
+//! Flatness is the key prerequisite of the `¬contains` fragment (Sec. 6.4):
+//! for flat automata a model of the Parikh formula uniquely determines the
+//! accepted word, which lets the ∀∃ LIA encoding talk about "the same string
+//! assignment" across different runs.
+//!
+//! This module provides
+//! * [`is_flat`] — the structural check (every strongly connected component
+//!   is either a single loop-free state or a simple cycle),
+//! * [`word_from_parikh`] — reconstruction of the unique word of a flat
+//!   automaton from a Parikh image,
+//! * [`flat_regex`] — a convenience constructor for flat languages of the
+//!   shape `w₀ v₁* w₁ v₂* … wₙ` used heavily in the `position-hard`
+//!   benchmarks.
+
+use std::collections::BTreeMap;
+
+use crate::nfa::{Nfa, StateId, Symbol};
+use crate::ops;
+use crate::parikh::run_from_parikh;
+
+/// Computes the strongly connected components of the automaton's transition
+/// graph using Tarjan's algorithm.  Components are returned in reverse
+/// topological order; each component is a sorted list of states.
+pub fn strongly_connected_components(nfa: &Nfa) -> Vec<Vec<StateId>> {
+    struct Tarjan<'a> {
+        nfa: &'a Nfa,
+        index: usize,
+        indices: Vec<Option<usize>>,
+        lowlink: Vec<usize>,
+        on_stack: Vec<bool>,
+        stack: Vec<usize>,
+        components: Vec<Vec<StateId>>,
+    }
+
+    impl Tarjan<'_> {
+        fn strongconnect(&mut self, v: usize) {
+            // iterative Tarjan to avoid recursion-depth issues on long chains
+            let mut call_stack: Vec<(usize, usize)> = vec![(v, 0)];
+            while let Some(&mut (node, ref mut edge_idx)) = call_stack.last_mut() {
+                if *edge_idx == 0 {
+                    self.indices[node] = Some(self.index);
+                    self.lowlink[node] = self.index;
+                    self.index += 1;
+                    self.stack.push(node);
+                    self.on_stack[node] = true;
+                }
+                let successors: Vec<usize> = self
+                    .nfa
+                    .transitions()
+                    .iter()
+                    .filter(|t| t.source.index() == node)
+                    .map(|t| t.target.index())
+                    .collect();
+                if *edge_idx < successors.len() {
+                    let w = successors[*edge_idx];
+                    *edge_idx += 1;
+                    if self.indices[w].is_none() {
+                        call_stack.push((w, 0));
+                    } else if self.on_stack[w] {
+                        self.lowlink[node] = self.lowlink[node].min(self.indices[w].expect("set"));
+                    }
+                } else {
+                    // finished node
+                    call_stack.pop();
+                    if let Some(&(parent, _)) = call_stack.last() {
+                        self.lowlink[parent] = self.lowlink[parent].min(self.lowlink[node]);
+                    }
+                    if Some(self.lowlink[node]) == self.indices[node] {
+                        let mut component = Vec::new();
+                        while let Some(w) = self.stack.pop() {
+                            self.on_stack[w] = false;
+                            component.push(StateId(w));
+                            if w == node {
+                                break;
+                            }
+                        }
+                        component.sort();
+                        self.components.push(component);
+                    }
+                }
+            }
+        }
+    }
+
+    let n = nfa.num_states();
+    let mut tarjan = Tarjan {
+        nfa,
+        index: 0,
+        indices: vec![None; n],
+        lowlink: vec![0; n],
+        on_stack: vec![false; n],
+        stack: Vec::new(),
+        components: Vec::new(),
+    };
+    for v in 0..n {
+        if tarjan.indices[v].is_none() {
+            tarjan.strongconnect(v);
+        }
+    }
+    tarjan.components
+}
+
+/// Structural flatness check: every strongly connected component is either a
+/// single state without a self-loop, or a simple cycle (every member state
+/// has exactly one successor and one predecessor *inside* the component).
+///
+/// This condition is sufficient for the semantic definition of flatness used
+/// in the paper (identical Parikh images imply identical runs) and necessary
+/// for trim automata.
+pub fn is_flat(nfa: &Nfa) -> bool {
+    let components = strongly_connected_components(nfa);
+    for component in &components {
+        if component.len() == 1 {
+            let q = component[0];
+            // a single state: flat unless it has two or more self loops
+            let self_loops =
+                nfa.transitions_from(q).filter(|t| t.target == q).count();
+            if self_loops > 1 {
+                return false;
+            }
+            continue;
+        }
+        let inside: std::collections::BTreeSet<StateId> = component.iter().copied().collect();
+        for &q in component {
+            let out_inside = nfa
+                .transitions_from(q)
+                .filter(|t| inside.contains(&t.target))
+                .count();
+            let in_inside = nfa
+                .transitions_into(q)
+                .filter(|t| inside.contains(&t.source))
+                .count();
+            if out_inside != 1 || in_inside != 1 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Reconstructs the unique word of a *flat* automaton from a Parikh image of
+/// one of its accepting runs.
+///
+/// Returns `None` if the transition counts do not correspond to a run of the
+/// automaton starting in an initial state and ending in a final state.
+pub fn word_from_parikh(nfa: &Nfa, counts: &BTreeMap<usize, u64>) -> Option<Vec<Symbol>> {
+    for &start in nfa.initial_states() {
+        if let Some(run) = run_from_parikh(nfa, counts, start) {
+            if nfa.is_final(run.end(nfa)) {
+                return Some(run.word(nfa));
+            }
+        }
+    }
+    None
+}
+
+/// Builds a flat automaton for the language
+/// `w₀ · v₁* · w₁ · v₂* · w₂ · … · vₙ* · wₙ`
+/// given as the pair of word lists (`stems`, `loops`) with
+/// `stems.len() == loops.len() + 1`.
+///
+/// # Panics
+/// Panics if the length invariant is violated.
+pub fn flat_regex(stems: &[&str], loops: &[&str]) -> Nfa {
+    assert_eq!(stems.len(), loops.len() + 1, "need one more stem than loops");
+    let mut result = Nfa::literal(stems[0]);
+    for (i, &l) in loops.iter().enumerate() {
+        result = ops::concat(&result, &ops::star(&Nfa::literal(l)));
+        result = ops::concat(&result, &Nfa::literal(stems[i + 1]));
+    }
+    result.trim()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parikh::find_accepting_run;
+    use crate::regex::Regex;
+
+    #[test]
+    fn flat_language_from_paper_is_flat() {
+        // (ab)*c((ab)* + (ba)*) is flat (Sec. 2)
+        let nfa = Regex::parse("(ab)*c((ab)*|(ba)*)").unwrap().compile();
+        assert!(is_flat(&nfa));
+    }
+
+    #[test]
+    fn sigma_star_is_not_flat() {
+        // (a+b)* is not flat (Sec. 2)
+        let nfa = Regex::parse("(a|b)*").unwrap().compile();
+        assert!(!is_flat(&nfa));
+    }
+
+    #[test]
+    fn single_word_loop_is_flat() {
+        let nfa = Regex::parse("(abc)*").unwrap().compile();
+        assert!(is_flat(&nfa));
+    }
+
+    #[test]
+    fn literal_is_flat() {
+        assert!(is_flat(&Nfa::literal("hello")));
+    }
+
+    #[test]
+    fn two_self_loops_not_flat() {
+        let mut nfa = Nfa::new();
+        let q = nfa.add_state();
+        nfa.add_initial(q);
+        nfa.add_final(q);
+        nfa.add_transition(q, Symbol::from_char('a'), q);
+        nfa.add_transition(q, Symbol::from_char('b'), q);
+        assert!(!is_flat(&nfa));
+    }
+
+    #[test]
+    fn scc_counts() {
+        let nfa = Regex::parse("(ab)*c(de)*").unwrap().compile();
+        let sccs = strongly_connected_components(&nfa);
+        // number of components equals number of states minus states merged into cycles
+        assert!(sccs.len() >= 2);
+        let total: usize = sccs.iter().map(|c| c.len()).sum();
+        assert_eq!(total, nfa.num_states());
+    }
+
+    #[test]
+    fn word_reconstruction_on_flat_automaton() {
+        let nfa = Regex::parse("(ab)*c(ba)*").unwrap().compile();
+        assert!(is_flat(&nfa));
+        let word = crate::nfa::str_to_symbols("ababcbaba");
+        let run = find_accepting_run(&nfa, &word).unwrap();
+        let rebuilt = word_from_parikh(&nfa, &run.parikh_image()).expect("word");
+        assert_eq!(rebuilt, word);
+    }
+
+    #[test]
+    fn word_reconstruction_rejects_bogus_counts() {
+        let nfa = Regex::parse("(ab)*").unwrap().compile();
+        // a single transition taken once cannot be an accepting run of (ab)*
+        let mut counts = BTreeMap::new();
+        counts.insert(0usize, 1u64);
+        assert!(word_from_parikh(&nfa, &counts).is_none());
+    }
+
+    #[test]
+    fn flat_regex_builder_builds_expected_language() {
+        let nfa = flat_regex(&["x", "y", ""], &["ab", "c"]);
+        assert!(is_flat(&nfa));
+        assert!(nfa.accepts_str("xababyccc"));
+        assert!(nfa.accepts_str("xy"));
+        assert!(!nfa.accepts_str("xaby c"));
+        assert!(!nfa.accepts_str("xbay"));
+    }
+}

@@ -1,0 +1,42 @@
+//! Finite-automata substrate for the `posr` string-constraint solver.
+//!
+//! This crate provides everything the position-constraint decision procedure
+//! of *"A Uniform Framework for Handling Position Constraints in String
+//! Solving"* (PLDI 2025) needs from classical automata theory:
+//!
+//! * [`Nfa`] — nondeterministic finite automata over a symbolic alphabet,
+//!   with the usual constructions (union, concatenation, product,
+//!   determinisation, complement, trimming, reversal) in [`ops`],
+//! * [`regex`] — a regular-expression parser and compiler producing NFAs,
+//! * [`parikh`] — Parikh images of words and runs,
+//! * [`flat`] — the *flatness* analysis of Sec. 2 of the paper (an automaton
+//!   is flat iff the Parikh image of a run determines the run), together with
+//!   word reconstruction from Parikh images of flat automata,
+//! * [`onecounter`] — one-counter automata and zero-reachability, backing the
+//!   PTime procedure for a single disequality (Sec. 7.1 of the paper),
+//! * [`sample`] — bounded enumeration and random sampling of accepted words,
+//!   used by the enumeration baseline and by tests.
+//!
+//! # Example
+//!
+//! ```
+//! use posr_automata::regex::Regex;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let nfa = Regex::parse("(ab)*c")?.compile();
+//! assert!(nfa.accepts_str("ababc"));
+//! assert!(!nfa.accepts_str("abc "));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod flat;
+pub mod nfa;
+pub mod onecounter;
+pub mod ops;
+pub mod parikh;
+pub mod regex;
+pub mod sample;
+
+pub use nfa::{Nfa, StateId, Symbol, Transition};
+pub use regex::Regex;

@@ -1,0 +1,671 @@
+//! Nondeterministic finite automata over a small symbolic alphabet.
+//!
+//! The representation is a flat transition table (a `Vec` of
+//! [`Transition`]s) plus initial/final state sets, mirroring the definition
+//! `A = (Q, Δ, I, F)` used throughout the paper.  Epsilon transitions are
+//! supported during construction (regex compilation, concatenation) and can
+//! be eliminated with [`Nfa::remove_epsilon`]; all downstream constructions
+//! (tag automata, Parikh formulas) require epsilon-free input and assert it.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// A state identifier, an index into the automaton's state space.
+///
+/// States are dense indices `0..num_states`.
+///
+/// ```
+/// use posr_automata::StateId;
+/// let q = StateId(3);
+/// assert_eq!(q.index(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct StateId(pub usize);
+
+impl StateId {
+    /// Returns the underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// An alphabet symbol.
+///
+/// Symbols wrap a Unicode scalar value; the special value [`Symbol::EPSILON`]
+/// marks an ε-transition.  Benchmarks in this repository use small ASCII
+/// alphabets but nothing restricts the alphabet size.
+///
+/// ```
+/// use posr_automata::Symbol;
+/// assert_eq!(Symbol::from_char('a').to_char(), Some('a'));
+/// assert!(Symbol::EPSILON.is_epsilon());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The ε (empty-word) pseudo-symbol.
+    pub const EPSILON: Symbol = Symbol(u32::MAX);
+
+    /// Creates a symbol from a character.
+    pub fn from_char(c: char) -> Symbol {
+        Symbol(c as u32)
+    }
+
+    /// Returns the character this symbol denotes, or `None` for ε.
+    pub fn to_char(self) -> Option<char> {
+        if self.is_epsilon() {
+            None
+        } else {
+            char::from_u32(self.0)
+        }
+    }
+
+    /// Returns `true` if this is the ε pseudo-symbol.
+    pub fn is_epsilon(self) -> bool {
+        self == Symbol::EPSILON
+    }
+}
+
+impl From<char> for Symbol {
+    fn from(c: char) -> Symbol {
+        Symbol::from_char(c)
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.to_char() {
+            Some(c) => write!(f, "{c}"),
+            None => write!(f, "ε"),
+        }
+    }
+}
+
+/// A single transition `source --symbol--> target`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Transition {
+    /// Source state.
+    pub source: StateId,
+    /// Symbol read (possibly [`Symbol::EPSILON`]).
+    pub symbol: Symbol,
+    /// Target state.
+    pub target: StateId,
+}
+
+impl fmt::Display for Transition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -{}-> {}", self.source, self.symbol, self.target)
+    }
+}
+
+/// A nondeterministic finite automaton `(Q, Δ, I, F)`.
+///
+/// ```
+/// use posr_automata::{Nfa, Symbol};
+///
+/// // The language {ab}.
+/// let mut nfa = Nfa::new();
+/// let q0 = nfa.add_state();
+/// let q1 = nfa.add_state();
+/// let q2 = nfa.add_state();
+/// nfa.add_initial(q0);
+/// nfa.add_final(q2);
+/// nfa.add_transition(q0, Symbol::from_char('a'), q1);
+/// nfa.add_transition(q1, Symbol::from_char('b'), q2);
+/// assert!(nfa.accepts_str("ab"));
+/// assert!(!nfa.accepts_str("a"));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Nfa {
+    num_states: usize,
+    transitions: Vec<Transition>,
+    initial: BTreeSet<StateId>,
+    finals: BTreeSet<StateId>,
+}
+
+impl Nfa {
+    /// Creates an empty automaton (no states; empty language).
+    pub fn new() -> Nfa {
+        Nfa::default()
+    }
+
+    /// Creates an automaton accepting exactly the empty word.
+    pub fn epsilon() -> Nfa {
+        let mut nfa = Nfa::new();
+        let q = nfa.add_state();
+        nfa.add_initial(q);
+        nfa.add_final(q);
+        nfa
+    }
+
+    /// Creates an automaton accepting the empty language.
+    pub fn empty_language() -> Nfa {
+        let mut nfa = Nfa::new();
+        let q = nfa.add_state();
+        nfa.add_initial(q);
+        nfa
+    }
+
+    /// Creates an automaton accepting exactly the word `w`.
+    pub fn literal(w: &str) -> Nfa {
+        let mut nfa = Nfa::new();
+        let mut prev = nfa.add_state();
+        nfa.add_initial(prev);
+        for c in w.chars() {
+            let next = nfa.add_state();
+            nfa.add_transition(prev, Symbol::from_char(c), next);
+            prev = next;
+        }
+        nfa.add_final(prev);
+        nfa
+    }
+
+    /// Creates an automaton accepting `Σ*` over the given alphabet.
+    pub fn universal(alphabet: &[Symbol]) -> Nfa {
+        let mut nfa = Nfa::new();
+        let q = nfa.add_state();
+        nfa.add_initial(q);
+        nfa.add_final(q);
+        for &a in alphabet {
+            nfa.add_transition(q, a, q);
+        }
+        nfa
+    }
+
+    /// Adds a fresh state and returns its identifier.
+    pub fn add_state(&mut self) -> StateId {
+        let id = StateId(self.num_states);
+        self.num_states += 1;
+        id
+    }
+
+    /// Adds `n` fresh states and returns the identifier of the first one.
+    pub fn add_states(&mut self, n: usize) -> StateId {
+        let first = StateId(self.num_states);
+        self.num_states += n;
+        first
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Number of transitions.
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Size measure `|Q| + |Δ|` used for the `|R|` bounds in the paper.
+    pub fn size(&self) -> usize {
+        self.num_states + self.transitions.len()
+    }
+
+    /// Marks a state as initial.
+    ///
+    /// # Panics
+    /// Panics if the state does not exist.
+    pub fn add_initial(&mut self, q: StateId) {
+        assert!(q.0 < self.num_states, "state {q} out of bounds");
+        self.initial.insert(q);
+    }
+
+    /// Marks a state as final.
+    ///
+    /// # Panics
+    /// Panics if the state does not exist.
+    pub fn add_final(&mut self, q: StateId) {
+        assert!(q.0 < self.num_states, "state {q} out of bounds");
+        self.finals.insert(q);
+    }
+
+    /// Adds the transition `source --symbol--> target` (idempotent).
+    ///
+    /// # Panics
+    /// Panics if either state does not exist.
+    pub fn add_transition(&mut self, source: StateId, symbol: Symbol, target: StateId) {
+        assert!(source.0 < self.num_states, "state {source} out of bounds");
+        assert!(target.0 < self.num_states, "state {target} out of bounds");
+        let t = Transition { source, symbol, target };
+        if !self.transitions.contains(&t) {
+            self.transitions.push(t);
+        }
+    }
+
+    /// The set of initial states.
+    pub fn initial_states(&self) -> &BTreeSet<StateId> {
+        &self.initial
+    }
+
+    /// The set of final states.
+    pub fn final_states(&self) -> &BTreeSet<StateId> {
+        &self.finals
+    }
+
+    /// Returns `true` if `q` is initial.
+    pub fn is_initial(&self, q: StateId) -> bool {
+        self.initial.contains(&q)
+    }
+
+    /// Returns `true` if `q` is final.
+    pub fn is_final(&self, q: StateId) -> bool {
+        self.finals.contains(&q)
+    }
+
+    /// All transitions.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Iterator over the transitions leaving `q`.
+    pub fn transitions_from(&self, q: StateId) -> impl Iterator<Item = &Transition> {
+        self.transitions.iter().filter(move |t| t.source == q)
+    }
+
+    /// Iterator over the transitions entering `q`.
+    pub fn transitions_into(&self, q: StateId) -> impl Iterator<Item = &Transition> {
+        self.transitions.iter().filter(move |t| t.target == q)
+    }
+
+    /// The set of symbols occurring on transitions (excluding ε), sorted.
+    pub fn alphabet(&self) -> Vec<Symbol> {
+        let set: BTreeSet<Symbol> = self
+            .transitions
+            .iter()
+            .filter(|t| !t.symbol.is_epsilon())
+            .map(|t| t.symbol)
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// Returns `true` if the automaton contains at least one ε-transition.
+    pub fn has_epsilon(&self) -> bool {
+        self.transitions.iter().any(|t| t.symbol.is_epsilon())
+    }
+
+    /// ε-closure of a set of states.
+    pub fn epsilon_closure(&self, states: &BTreeSet<StateId>) -> BTreeSet<StateId> {
+        let mut closure = states.clone();
+        let mut queue: VecDeque<StateId> = states.iter().copied().collect();
+        while let Some(q) = queue.pop_front() {
+            for t in self.transitions_from(q) {
+                if t.symbol.is_epsilon() && closure.insert(t.target) {
+                    queue.push_back(t.target);
+                }
+            }
+        }
+        closure
+    }
+
+    /// One step of the subset construction: successors of `states` under `a`.
+    pub fn post(&self, states: &BTreeSet<StateId>, a: Symbol) -> BTreeSet<StateId> {
+        let mut out = BTreeSet::new();
+        for &q in states {
+            for t in self.transitions_from(q) {
+                if t.symbol == a {
+                    out.insert(t.target);
+                }
+            }
+        }
+        out
+    }
+
+    /// Membership test: does the automaton accept the given word of symbols?
+    pub fn accepts(&self, word: &[Symbol]) -> bool {
+        let mut current = self.epsilon_closure(&self.initial);
+        for &a in word {
+            if current.is_empty() {
+                return false;
+            }
+            let next = self.post(&current, a);
+            current = self.epsilon_closure(&next);
+        }
+        current.iter().any(|q| self.finals.contains(q))
+    }
+
+    /// Membership test on a `&str`.
+    pub fn accepts_str(&self, word: &str) -> bool {
+        let symbols: Vec<Symbol> = word.chars().map(Symbol::from_char).collect();
+        self.accepts(&symbols)
+    }
+
+    /// Returns `true` if the language of the automaton is empty.
+    pub fn is_empty_language(&self) -> bool {
+        // BFS from initial states over all transitions; empty iff no final reachable.
+        let mut seen: BTreeSet<StateId> = self.initial.clone();
+        let mut queue: VecDeque<StateId> = self.initial.iter().copied().collect();
+        while let Some(q) = queue.pop_front() {
+            if self.finals.contains(&q) {
+                return false;
+            }
+            for t in self.transitions_from(q) {
+                if seen.insert(t.target) {
+                    queue.push_back(t.target);
+                }
+            }
+        }
+        true
+    }
+
+    /// Returns `true` if the automaton accepts the empty word.
+    pub fn accepts_epsilon(&self) -> bool {
+        self.epsilon_closure(&self.initial)
+            .iter()
+            .any(|q| self.finals.contains(q))
+    }
+
+    /// States reachable from the initial states.
+    pub fn reachable_states(&self) -> BTreeSet<StateId> {
+        let mut seen: BTreeSet<StateId> = self.initial.clone();
+        let mut queue: VecDeque<StateId> = self.initial.iter().copied().collect();
+        while let Some(q) = queue.pop_front() {
+            for t in self.transitions_from(q) {
+                if seen.insert(t.target) {
+                    queue.push_back(t.target);
+                }
+            }
+        }
+        seen
+    }
+
+    /// States from which a final state is reachable (co-reachable states).
+    pub fn coreachable_states(&self) -> BTreeSet<StateId> {
+        let mut seen: BTreeSet<StateId> = self.finals.clone();
+        let mut queue: VecDeque<StateId> = self.finals.iter().copied().collect();
+        while let Some(q) = queue.pop_front() {
+            for t in self.transitions_into(q) {
+                if seen.insert(t.source) {
+                    queue.push_back(t.source);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Removes states that are not both reachable and co-reachable, renumbering
+    /// the remaining states densely.  The language is preserved.
+    pub fn trim(&self) -> Nfa {
+        let reach = self.reachable_states();
+        let coreach = self.coreachable_states();
+        let useful: Vec<StateId> = reach.intersection(&coreach).copied().collect();
+        let mut map: BTreeMap<StateId, StateId> = BTreeMap::new();
+        let mut out = Nfa::new();
+        for &q in &useful {
+            let nq = out.add_state();
+            map.insert(q, nq);
+        }
+        for &q in &useful {
+            if self.initial.contains(&q) {
+                out.add_initial(map[&q]);
+            }
+            if self.finals.contains(&q) {
+                out.add_final(map[&q]);
+            }
+        }
+        for t in &self.transitions {
+            if let (Some(&s), Some(&d)) = (map.get(&t.source), map.get(&t.target)) {
+                out.add_transition(s, t.symbol, d);
+            }
+        }
+        if out.num_states == 0 {
+            // keep at least one (non-accepting) state so the automaton is well formed
+            let q = out.add_state();
+            out.add_initial(q);
+        }
+        out
+    }
+
+    /// Eliminates ε-transitions, preserving the language.
+    pub fn remove_epsilon(&self) -> Nfa {
+        if !self.has_epsilon() {
+            return self.clone();
+        }
+        let mut out = Nfa::new();
+        out.add_states(self.num_states);
+        // ε-closures per state
+        let mut closures: Vec<BTreeSet<StateId>> = Vec::with_capacity(self.num_states);
+        for q in 0..self.num_states {
+            let mut single = BTreeSet::new();
+            single.insert(StateId(q));
+            closures.push(self.epsilon_closure(&single));
+        }
+        for &q in &self.initial {
+            out.add_initial(q);
+        }
+        for q in 0..self.num_states {
+            let q = StateId(q);
+            let closure = &closures[q.0];
+            if closure.iter().any(|p| self.finals.contains(p)) {
+                out.add_final(q);
+            }
+            for &p in closure {
+                for t in self.transitions_from(p) {
+                    if !t.symbol.is_epsilon() {
+                        out.add_transition(q, t.symbol, t.target);
+                    }
+                }
+            }
+        }
+        out.trim()
+    }
+
+    /// Renames all states by shifting them by `offset`; used when gluing
+    /// automata with disjoint state spaces.
+    pub fn shift_states(&self, offset: usize) -> Nfa {
+        let mut out = Nfa::new();
+        out.add_states(self.num_states + offset);
+        for &q in &self.initial {
+            out.add_initial(StateId(q.0 + offset));
+        }
+        for &q in &self.finals {
+            out.add_final(StateId(q.0 + offset));
+        }
+        for t in &self.transitions {
+            out.add_transition(
+                StateId(t.source.0 + offset),
+                t.symbol,
+                StateId(t.target.0 + offset),
+            );
+        }
+        out
+    }
+
+    /// Produces a Graphviz DOT rendering of the automaton (for debugging).
+    pub fn to_dot(&self, name: &str) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph {name} {{");
+        let _ = writeln!(s, "  rankdir=LR;");
+        for q in 0..self.num_states {
+            let q = StateId(q);
+            let shape = if self.finals.contains(&q) {
+                "doublecircle"
+            } else {
+                "circle"
+            };
+            let _ = writeln!(s, "  {q} [shape={shape}];");
+            if self.initial.contains(&q) {
+                let _ = writeln!(s, "  start_{} [shape=point]; start_{} -> {q};", q.0, q.0);
+            }
+        }
+        for t in &self.transitions {
+            let _ = writeln!(s, "  {} -> {} [label=\"{}\"];", t.source, t.target, t.symbol);
+        }
+        let _ = writeln!(s, "}}");
+        s
+    }
+}
+
+impl fmt::Display for Nfa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "NFA: {} states, {} transitions, I={:?}, F={:?}",
+            self.num_states,
+            self.transitions.len(),
+            self.initial.iter().map(|q| q.0).collect::<Vec<_>>(),
+            self.finals.iter().map(|q| q.0).collect::<Vec<_>>()
+        )?;
+        for t in &self.transitions {
+            writeln!(f, "  {t}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Converts a `&str` into a symbol sequence.
+pub fn str_to_symbols(s: &str) -> Vec<Symbol> {
+    s.chars().map(Symbol::from_char).collect()
+}
+
+/// Converts a symbol sequence into a `String`, skipping ε symbols.
+pub fn symbols_to_string(symbols: &[Symbol]) -> String {
+    symbols.iter().filter_map(|s| s.to_char()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab_star() -> Nfa {
+        // (ab)*
+        let mut nfa = Nfa::new();
+        let q0 = nfa.add_state();
+        let q1 = nfa.add_state();
+        nfa.add_initial(q0);
+        nfa.add_final(q0);
+        nfa.add_transition(q0, Symbol::from_char('a'), q1);
+        nfa.add_transition(q1, Symbol::from_char('b'), q0);
+        nfa
+    }
+
+    #[test]
+    fn literal_accepts_exactly_itself() {
+        let nfa = Nfa::literal("hello");
+        assert!(nfa.accepts_str("hello"));
+        assert!(!nfa.accepts_str("hell"));
+        assert!(!nfa.accepts_str("helloo"));
+        assert!(!nfa.accepts_str(""));
+    }
+
+    #[test]
+    fn epsilon_automaton_accepts_only_empty_word() {
+        let nfa = Nfa::epsilon();
+        assert!(nfa.accepts_str(""));
+        assert!(!nfa.accepts_str("a"));
+        assert!(nfa.accepts_epsilon());
+    }
+
+    #[test]
+    fn empty_language_accepts_nothing() {
+        let nfa = Nfa::empty_language();
+        assert!(nfa.is_empty_language());
+        assert!(!nfa.accepts_str(""));
+        assert!(!nfa.accepts_str("a"));
+    }
+
+    #[test]
+    fn universal_accepts_everything_over_alphabet() {
+        let nfa = Nfa::universal(&[Symbol::from_char('a'), Symbol::from_char('b')]);
+        assert!(nfa.accepts_str(""));
+        assert!(nfa.accepts_str("abba"));
+        assert!(!nfa.accepts_str("abc"));
+    }
+
+    #[test]
+    fn ab_star_membership() {
+        let nfa = ab_star();
+        assert!(nfa.accepts_str(""));
+        assert!(nfa.accepts_str("ab"));
+        assert!(nfa.accepts_str("abab"));
+        assert!(!nfa.accepts_str("a"));
+        assert!(!nfa.accepts_str("ba"));
+    }
+
+    #[test]
+    fn trim_removes_useless_states() {
+        let mut nfa = ab_star();
+        let dead = nfa.add_state();
+        nfa.add_transition(dead, Symbol::from_char('z'), dead);
+        let trimmed = nfa.trim();
+        assert_eq!(trimmed.num_states(), 2);
+        assert!(trimmed.accepts_str("abab"));
+    }
+
+    #[test]
+    fn epsilon_removal_preserves_language() {
+        // a ε b : accepts "ab"
+        let mut nfa = Nfa::new();
+        let q0 = nfa.add_state();
+        let q1 = nfa.add_state();
+        let q2 = nfa.add_state();
+        let q3 = nfa.add_state();
+        nfa.add_initial(q0);
+        nfa.add_final(q3);
+        nfa.add_transition(q0, Symbol::from_char('a'), q1);
+        nfa.add_transition(q1, Symbol::EPSILON, q2);
+        nfa.add_transition(q2, Symbol::from_char('b'), q3);
+        assert!(nfa.accepts_str("ab"));
+        let noeps = nfa.remove_epsilon();
+        assert!(!noeps.has_epsilon());
+        assert!(noeps.accepts_str("ab"));
+        assert!(!noeps.accepts_str("a"));
+        assert!(!noeps.accepts_str("b"));
+    }
+
+    #[test]
+    fn alphabet_is_sorted_and_deduplicated() {
+        let nfa = ab_star();
+        let alpha = nfa.alphabet();
+        assert_eq!(alpha, vec![Symbol::from_char('a'), Symbol::from_char('b')]);
+    }
+
+    #[test]
+    fn coreachable_and_reachable() {
+        let mut nfa = Nfa::new();
+        let q0 = nfa.add_state();
+        let q1 = nfa.add_state();
+        let q2 = nfa.add_state(); // unreachable
+        nfa.add_initial(q0);
+        nfa.add_final(q1);
+        nfa.add_transition(q0, Symbol::from_char('a'), q1);
+        nfa.add_transition(q2, Symbol::from_char('a'), q1);
+        assert!(nfa.reachable_states().contains(&q1));
+        assert!(!nfa.reachable_states().contains(&q2));
+        assert!(nfa.coreachable_states().contains(&q2));
+    }
+
+    #[test]
+    fn shift_states_preserves_language() {
+        let nfa = ab_star().shift_states(5);
+        assert!(nfa.accepts_str("abab"));
+        assert_eq!(nfa.num_states(), 7);
+    }
+
+    #[test]
+    fn dot_output_contains_states() {
+        let dot = ab_star().to_dot("g");
+        assert!(dot.contains("digraph g"));
+        assert!(dot.contains("q0 -> q1"));
+    }
+
+    #[test]
+    fn symbol_roundtrip() {
+        for c in ['a', 'z', '0', '□', 'Δ'] {
+            assert_eq!(Symbol::from_char(c).to_char(), Some(c));
+        }
+    }
+
+    #[test]
+    fn str_symbol_conversion_roundtrip() {
+        let s = "abcΔ";
+        assert_eq!(symbols_to_string(&str_to_symbols(s)), s);
+    }
+}

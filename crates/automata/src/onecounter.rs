@@ -1,0 +1,377 @@
+//! One-counter automata and zero-reachability.
+//!
+//! Sec. 7.1 of the paper shows that a *single* positional predicate
+//! (disequality, `¬prefixof`, `¬suffixof`) over regular constraints can be
+//! decided in polynomial time by reducing it to 0-reachability in a
+//! one-counter automaton whose counter tracks the difference between the
+//! global mismatch positions on the two sides.  This module provides the
+//! generic counter-automaton machinery; the reduction itself lives in
+//! `posr-tagauto::onecounter_diseq`.
+//!
+//! The counter here is a ℤ-counter (it may become negative along the run, as
+//! it tracks a *difference*); acceptance asks for a path from an initial
+//! state to a final state whose weight sums to zero.  Reachability witnesses
+//! of such 1-dimensional ℤ-VASS can be bounded polynomially in the number of
+//! states and the maximal update, which is what [`ZeroReachability`] exploits
+//! with a bounded breadth-first search.
+
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
+
+/// A transition of a one-counter automaton: `source --(+weight)--> target`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterTransition {
+    /// Source state index.
+    pub source: usize,
+    /// Counter update (any integer; use [`OneCounterAutomaton::expand_to_unit_updates`]
+    /// to normalise to `{-1, 0, +1}` as in the paper's construction C³).
+    pub weight: i64,
+    /// Target state index.
+    pub target: usize,
+}
+
+/// A one-counter automaton `(Q, Δ, I, F)` with integer counter updates.
+#[derive(Clone, Debug, Default)]
+pub struct OneCounterAutomaton {
+    num_states: usize,
+    transitions: Vec<CounterTransition>,
+    initial: Vec<usize>,
+    finals: Vec<usize>,
+}
+
+/// Outcome of the zero-reachability query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ZeroReachability {
+    /// A final state is reachable with counter value 0; the witness is the
+    /// sequence of transition indices.
+    Reachable(Vec<usize>),
+    /// No final state is reachable with counter value 0 within the sound
+    /// counter bound.
+    Unreachable,
+}
+
+impl ZeroReachability {
+    /// Returns `true` for [`ZeroReachability::Reachable`].
+    pub fn is_reachable(&self) -> bool {
+        matches!(self, ZeroReachability::Reachable(_))
+    }
+}
+
+impl OneCounterAutomaton {
+    /// Creates an empty automaton.
+    pub fn new() -> OneCounterAutomaton {
+        OneCounterAutomaton::default()
+    }
+
+    /// Adds a fresh state, returning its index.
+    pub fn add_state(&mut self) -> usize {
+        self.num_states += 1;
+        self.num_states - 1
+    }
+
+    /// Adds `n` fresh states, returning the index of the first.
+    pub fn add_states(&mut self, n: usize) -> usize {
+        let first = self.num_states;
+        self.num_states += n;
+        first
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Number of transitions.
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Marks a state initial.
+    ///
+    /// # Panics
+    /// Panics if the state is out of bounds.
+    pub fn add_initial(&mut self, q: usize) {
+        assert!(q < self.num_states);
+        if !self.initial.contains(&q) {
+            self.initial.push(q);
+        }
+    }
+
+    /// Marks a state final.
+    ///
+    /// # Panics
+    /// Panics if the state is out of bounds.
+    pub fn add_final(&mut self, q: usize) {
+        assert!(q < self.num_states);
+        if !self.finals.contains(&q) {
+            self.finals.push(q);
+        }
+    }
+
+    /// Adds a transition.
+    ///
+    /// # Panics
+    /// Panics if either state is out of bounds.
+    pub fn add_transition(&mut self, source: usize, weight: i64, target: usize) {
+        assert!(source < self.num_states && target < self.num_states);
+        self.transitions.push(CounterTransition { source, weight, target });
+    }
+
+    /// The transition table.
+    pub fn transitions(&self) -> &[CounterTransition] {
+        &self.transitions
+    }
+
+    /// Initial states.
+    pub fn initial_states(&self) -> &[usize] {
+        &self.initial
+    }
+
+    /// Final states.
+    pub fn final_states(&self) -> &[usize] {
+        &self.finals
+    }
+
+    /// Largest absolute counter update occurring on any transition.
+    pub fn max_update(&self) -> i64 {
+        self.transitions.iter().map(|t| t.weight.abs()).max().unwrap_or(0)
+    }
+
+    /// Rewrites the automaton so that all counter updates are in `{-1, 0, +1}`
+    /// by splitting transitions with larger updates into chains of unit
+    /// updates through fresh intermediate states (the C² → C³ step of
+    /// Appendix B).  The zero-reachability answer is preserved.
+    pub fn expand_to_unit_updates(&self) -> OneCounterAutomaton {
+        let mut out = OneCounterAutomaton::new();
+        out.add_states(self.num_states);
+        for &q in &self.initial {
+            out.add_initial(q);
+        }
+        for &q in &self.finals {
+            out.add_final(q);
+        }
+        for t in &self.transitions {
+            let magnitude = t.weight.abs();
+            if magnitude <= 1 {
+                out.add_transition(t.source, t.weight, t.target);
+                continue;
+            }
+            let step = if t.weight > 0 { 1 } else { -1 };
+            let mut prev = t.source;
+            for i in 0..magnitude {
+                let next = if i == magnitude - 1 { t.target } else { out.add_state() };
+                out.add_transition(prev, step, next);
+                prev = next;
+            }
+        }
+        out
+    }
+
+    /// Sound bound on the absolute counter value along a minimal witness of
+    /// zero-reachability: `(|Q| · W + 1) · (|Q| + 1)` where `W` is the maximal
+    /// update.  Any path can be decomposed into a simple path plus simple
+    /// cycles; a counting argument over these pieces bounds the intermediate
+    /// counter values of some witness by this quantity.
+    pub fn counter_bound(&self) -> i64 {
+        let q = self.num_states as i64;
+        let w = self.max_update().max(1);
+        (q * w + 1).saturating_mul(q + 1)
+    }
+
+    /// Decides whether a final state is reachable from an initial state with
+    /// counter value 0 (the counter starts at 0 and may go negative along the
+    /// way).  Returns a witness path on success.
+    ///
+    /// The search is a BFS over `(state, counter)` pairs with the counter
+    /// confined to `[-B, B]` for the bound `B` of [`Self::counter_bound`],
+    /// which keeps the procedure polynomial in the size of the automaton.
+    pub fn zero_reachability(&self) -> ZeroReachability {
+        let bound = self.counter_bound();
+        self.zero_reachability_bounded(bound)
+    }
+
+    /// Same as [`Self::zero_reachability`] but with an explicit counter bound,
+    /// exposed for testing and for the benchmark harness.
+    pub fn zero_reachability_bounded(&self, bound: i64) -> ZeroReachability {
+        type Node = (usize, i64);
+        let mut queue: VecDeque<Node> = VecDeque::new();
+        let mut seen: HashSet<Node> = HashSet::new();
+        let mut pred: std::collections::HashMap<Node, (Node, usize)> =
+            std::collections::HashMap::new();
+        for &q in &self.initial {
+            let node = (q, 0);
+            if seen.insert(node) {
+                queue.push_back(node);
+            }
+        }
+        let mut goal: Option<Node> = None;
+        'search: while let Some((q, c)) = queue.pop_front() {
+            if c == 0 && self.finals.contains(&q) {
+                goal = Some((q, c));
+                break 'search;
+            }
+            for (idx, t) in self.transitions.iter().enumerate() {
+                if t.source != q {
+                    continue;
+                }
+                let nc = c + t.weight;
+                if nc.abs() > bound {
+                    continue;
+                }
+                let node = (t.target, nc);
+                if seen.insert(node) {
+                    pred.insert(node, ((q, c), idx));
+                    queue.push_back(node);
+                }
+            }
+        }
+        match goal {
+            None => ZeroReachability::Unreachable,
+            Some(mut node) => {
+                let mut path = Vec::new();
+                while let Some(&(prev, idx)) = pred.get(&node) {
+                    path.push(idx);
+                    node = prev;
+                }
+                path.reverse();
+                ZeroReachability::Reachable(path)
+            }
+        }
+    }
+}
+
+impl fmt::Display for OneCounterAutomaton {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "OCA: {} states, {} transitions, I={:?}, F={:?}",
+            self.num_states, self.transitions.len(), self.initial, self.finals
+        )?;
+        for t in &self.transitions {
+            writeln!(f, "  q{} --({:+})--> q{}", t.source, t.weight, t.target)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_zero_reachability() {
+        let mut oca = OneCounterAutomaton::new();
+        let q = oca.add_state();
+        oca.add_initial(q);
+        oca.add_final(q);
+        assert!(oca.zero_reachability().is_reachable());
+    }
+
+    #[test]
+    fn requires_balancing_increments_and_decrements() {
+        // q0 --+1--> q1 ---1--> q2(final): reachable with 0
+        let mut oca = OneCounterAutomaton::new();
+        let q0 = oca.add_state();
+        let q1 = oca.add_state();
+        let q2 = oca.add_state();
+        oca.add_initial(q0);
+        oca.add_final(q2);
+        oca.add_transition(q0, 1, q1);
+        oca.add_transition(q1, -1, q2);
+        match oca.zero_reachability() {
+            ZeroReachability::Reachable(path) => assert_eq!(path.len(), 2),
+            ZeroReachability::Unreachable => panic!("should be reachable"),
+        }
+    }
+
+    #[test]
+    fn unbalanced_is_unreachable() {
+        // only +1 updates can never come back to 0 once it leaves
+        let mut oca = OneCounterAutomaton::new();
+        let q0 = oca.add_state();
+        let q1 = oca.add_state();
+        oca.add_initial(q0);
+        oca.add_final(q1);
+        oca.add_transition(q0, 1, q1);
+        oca.add_transition(q1, 1, q1);
+        assert_eq!(oca.zero_reachability(), ZeroReachability::Unreachable);
+    }
+
+    #[test]
+    fn loops_can_cancel_each_other() {
+        // q0 has a +2 self loop, then an edge of -3 to q1, and a +1 self loop at q1;
+        // 2k - 3 + m = 0 has the solution k=1, m=1.
+        let mut oca = OneCounterAutomaton::new();
+        let q0 = oca.add_state();
+        let q1 = oca.add_state();
+        oca.add_initial(q0);
+        oca.add_final(q1);
+        oca.add_transition(q0, 2, q0);
+        oca.add_transition(q0, -3, q1);
+        oca.add_transition(q1, 1, q1);
+        assert!(oca.zero_reachability().is_reachable());
+    }
+
+    #[test]
+    fn parity_obstruction_is_detected() {
+        // all cycles have even weight and the only path weight is odd: unreachable
+        let mut oca = OneCounterAutomaton::new();
+        let q0 = oca.add_state();
+        let q1 = oca.add_state();
+        oca.add_initial(q0);
+        oca.add_final(q1);
+        oca.add_transition(q0, 2, q0);
+        oca.add_transition(q0, -2, q0);
+        oca.add_transition(q0, 1, q1);
+        oca.add_transition(q1, 2, q1);
+        oca.add_transition(q1, -2, q1);
+        assert_eq!(oca.zero_reachability(), ZeroReachability::Unreachable);
+    }
+
+    #[test]
+    fn expand_to_unit_updates_preserves_answer() {
+        let mut oca = OneCounterAutomaton::new();
+        let q0 = oca.add_state();
+        let q1 = oca.add_state();
+        oca.add_initial(q0);
+        oca.add_final(q1);
+        oca.add_transition(q0, 5, q0);
+        oca.add_transition(q0, -10, q1);
+        oca.add_transition(q1, 5, q1);
+        let expanded = oca.expand_to_unit_updates();
+        assert!(expanded.max_update() <= 1);
+        assert_eq!(
+            oca.zero_reachability().is_reachable(),
+            expanded.zero_reachability().is_reachable()
+        );
+        assert!(oca.zero_reachability().is_reachable());
+    }
+
+    #[test]
+    fn witness_path_is_consistent() {
+        let mut oca = OneCounterAutomaton::new();
+        let q0 = oca.add_state();
+        let q1 = oca.add_state();
+        let q2 = oca.add_state();
+        oca.add_initial(q0);
+        oca.add_final(q2);
+        oca.add_transition(q0, 3, q1);
+        oca.add_transition(q1, -1, q1);
+        oca.add_transition(q1, 0, q2);
+        match oca.zero_reachability() {
+            ZeroReachability::Reachable(path) => {
+                let mut state = q0;
+                let mut counter = 0i64;
+                for idx in path {
+                    let t = oca.transitions()[idx];
+                    assert_eq!(t.source, state);
+                    state = t.target;
+                    counter += t.weight;
+                }
+                assert_eq!(state, q2);
+                assert_eq!(counter, 0);
+            }
+            ZeroReachability::Unreachable => panic!("should be reachable"),
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Standard language-level operations on NFAs: union, concatenation,
+//! iteration, product (intersection), subset determinisation, complement and
+//! reversal.
+//!
+//! These are the operations the monadic-decomposition front end needs in
+//! order to refine the regular constraints `R` while processing word
+//! equations, and the ones the benchmark generators use to build structured
+//! languages.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::nfa::{Nfa, StateId, Symbol};
+
+/// Union of two automata: `L(a) ∪ L(b)`.
+pub fn union(a: &Nfa, b: &Nfa) -> Nfa {
+    let mut out = Nfa::new();
+    out.add_states(a.num_states() + b.num_states());
+    let offset = a.num_states();
+    for t in a.transitions() {
+        out.add_transition(t.source, t.symbol, t.target);
+    }
+    for t in b.transitions() {
+        out.add_transition(
+            StateId(t.source.0 + offset),
+            t.symbol,
+            StateId(t.target.0 + offset),
+        );
+    }
+    for &q in a.initial_states() {
+        out.add_initial(q);
+    }
+    for &q in a.final_states() {
+        out.add_final(q);
+    }
+    for &q in b.initial_states() {
+        out.add_initial(StateId(q.0 + offset));
+    }
+    for &q in b.final_states() {
+        out.add_final(StateId(q.0 + offset));
+    }
+    out
+}
+
+/// Concatenation of two automata: `L(a) · L(b)`, via ε-transitions from the
+/// final states of `a` to the initial states of `b`, followed by ε-removal.
+pub fn concat(a: &Nfa, b: &Nfa) -> Nfa {
+    let mut out = Nfa::new();
+    out.add_states(a.num_states() + b.num_states());
+    let offset = a.num_states();
+    for t in a.transitions() {
+        out.add_transition(t.source, t.symbol, t.target);
+    }
+    for t in b.transitions() {
+        out.add_transition(
+            StateId(t.source.0 + offset),
+            t.symbol,
+            StateId(t.target.0 + offset),
+        );
+    }
+    for &q in a.initial_states() {
+        out.add_initial(q);
+    }
+    for &q in b.final_states() {
+        out.add_final(StateId(q.0 + offset));
+    }
+    for &qf in a.final_states() {
+        for &qi in b.initial_states() {
+            out.add_transition(qf, Symbol::EPSILON, StateId(qi.0 + offset));
+        }
+    }
+    out.remove_epsilon()
+}
+
+/// Kleene star: `L(a)*`.
+pub fn star(a: &Nfa) -> Nfa {
+    let mut out = Nfa::new();
+    out.add_states(a.num_states() + 1);
+    let fresh = StateId(a.num_states());
+    for t in a.transitions() {
+        out.add_transition(t.source, t.symbol, t.target);
+    }
+    out.add_initial(fresh);
+    out.add_final(fresh);
+    for &qi in a.initial_states() {
+        out.add_transition(fresh, Symbol::EPSILON, qi);
+    }
+    for &qf in a.final_states() {
+        out.add_transition(qf, Symbol::EPSILON, fresh);
+    }
+    out.remove_epsilon()
+}
+
+/// Kleene plus: `L(a)⁺ = L(a) · L(a)*`.
+pub fn plus(a: &Nfa) -> Nfa {
+    concat(a, &star(a))
+}
+
+/// Optional: `L(a) ∪ {ε}`.
+pub fn optional(a: &Nfa) -> Nfa {
+    union(a, &Nfa::epsilon())
+}
+
+/// Product construction: `L(a) ∩ L(b)`.
+///
+/// Both inputs must be ε-free (call [`Nfa::remove_epsilon`] first).
+///
+/// # Panics
+/// Panics if either automaton contains ε-transitions.
+pub fn intersection(a: &Nfa, b: &Nfa) -> Nfa {
+    assert!(!a.has_epsilon() && !b.has_epsilon(), "intersection requires ε-free automata");
+    let mut out = Nfa::new();
+    let mut map: BTreeMap<(StateId, StateId), StateId> = BTreeMap::new();
+    let mut queue: VecDeque<(StateId, StateId)> = VecDeque::new();
+    for &qa in a.initial_states() {
+        for &qb in b.initial_states() {
+            let q = out.add_state();
+            map.insert((qa, qb), q);
+            out.add_initial(q);
+            queue.push_back((qa, qb));
+        }
+    }
+    while let Some((qa, qb)) = queue.pop_front() {
+        let q = map[&(qa, qb)];
+        if a.is_final(qa) && b.is_final(qb) {
+            out.add_final(q);
+        }
+        for ta in a.transitions_from(qa) {
+            for tb in b.transitions_from(qb) {
+                if ta.symbol == tb.symbol {
+                    let key = (ta.target, tb.target);
+                    let target = *map.entry(key).or_insert_with(|| {
+                        queue.push_back(key);
+                        out.add_state()
+                    });
+                    out.add_transition(q, ta.symbol, target);
+                }
+            }
+        }
+    }
+    if out.num_states() == 0 {
+        return Nfa::empty_language();
+    }
+    out.trim()
+}
+
+/// Subset-construction determinisation over the given alphabet.
+///
+/// The result is a complete DFA (every state has exactly one successor per
+/// alphabet symbol), represented as an [`Nfa`] whose transition relation
+/// happens to be deterministic.
+pub fn determinize(a: &Nfa, alphabet: &[Symbol]) -> Nfa {
+    let a = a.remove_epsilon();
+    let mut out = Nfa::new();
+    let mut map: BTreeMap<BTreeSet<StateId>, StateId> = BTreeMap::new();
+    let start: BTreeSet<StateId> = a.initial_states().clone();
+    let q0 = out.add_state();
+    out.add_initial(q0);
+    map.insert(start.clone(), q0);
+    let mut queue: VecDeque<BTreeSet<StateId>> = VecDeque::new();
+    queue.push_back(start);
+    while let Some(set) = queue.pop_front() {
+        let q = map[&set];
+        if set.iter().any(|s| a.is_final(*s)) {
+            out.add_final(q);
+        }
+        for &sym in alphabet {
+            let next = a.post(&set, sym);
+            let target = *map.entry(next.clone()).or_insert_with(|| {
+                queue.push_back(next.clone());
+                out.add_state()
+            });
+            out.add_transition(q, sym, target);
+        }
+    }
+    out
+}
+
+/// Complement with respect to `alphabet*`: `alphabet* \ L(a)`.
+pub fn complement(a: &Nfa, alphabet: &[Symbol]) -> Nfa {
+    let dfa = determinize(a, alphabet);
+    let mut out = Nfa::new();
+    out.add_states(dfa.num_states());
+    for &q in dfa.initial_states() {
+        out.add_initial(q);
+    }
+    for q in 0..dfa.num_states() {
+        let q = StateId(q);
+        if !dfa.is_final(q) {
+            out.add_final(q);
+        }
+    }
+    for t in dfa.transitions() {
+        out.add_transition(t.source, t.symbol, t.target);
+    }
+    out
+}
+
+/// Language reversal: `L(a)ᴿ`.
+pub fn reverse(a: &Nfa) -> Nfa {
+    let mut out = Nfa::new();
+    out.add_states(a.num_states());
+    for t in a.transitions() {
+        out.add_transition(t.target, t.symbol, t.source);
+    }
+    for &q in a.initial_states() {
+        out.add_final(q);
+    }
+    for &q in a.final_states() {
+        out.add_initial(q);
+    }
+    out
+}
+
+/// Language difference: `L(a) \ L(b)` over the given alphabet.
+pub fn difference(a: &Nfa, b: &Nfa, alphabet: &[Symbol]) -> Nfa {
+    intersection(&a.remove_epsilon(), &complement(b, alphabet))
+}
+
+/// Checks language inclusion `L(a) ⊆ L(b)` over the union of both alphabets.
+pub fn is_subset(a: &Nfa, b: &Nfa) -> bool {
+    let mut alphabet: BTreeSet<Symbol> = a.alphabet().into_iter().collect();
+    alphabet.extend(b.alphabet());
+    let alphabet: Vec<Symbol> = alphabet.into_iter().collect();
+    difference(a, b, &alphabet).is_empty_language()
+}
+
+/// Checks language equivalence `L(a) = L(b)`.
+pub fn is_equivalent(a: &Nfa, b: &Nfa) -> bool {
+    is_subset(a, b) && is_subset(b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::Nfa;
+
+    fn sym(c: char) -> Symbol {
+        Symbol::from_char(c)
+    }
+
+    #[test]
+    fn union_accepts_both_languages() {
+        let u = union(&Nfa::literal("ab"), &Nfa::literal("cd"));
+        assert!(u.accepts_str("ab"));
+        assert!(u.accepts_str("cd"));
+        assert!(!u.accepts_str("ad"));
+    }
+
+    #[test]
+    fn concat_concatenates() {
+        let c = concat(&Nfa::literal("ab"), &Nfa::literal("cd"));
+        assert!(c.accepts_str("abcd"));
+        assert!(!c.accepts_str("ab"));
+        assert!(!c.accepts_str("cd"));
+    }
+
+    #[test]
+    fn star_iterates() {
+        let s = star(&Nfa::literal("ab"));
+        assert!(s.accepts_str(""));
+        assert!(s.accepts_str("ab"));
+        assert!(s.accepts_str("ababab"));
+        assert!(!s.accepts_str("aba"));
+    }
+
+    #[test]
+    fn plus_requires_at_least_one() {
+        let p = plus(&Nfa::literal("ab"));
+        assert!(!p.accepts_str(""));
+        assert!(p.accepts_str("ab"));
+        assert!(p.accepts_str("abab"));
+    }
+
+    #[test]
+    fn optional_adds_epsilon() {
+        let o = optional(&Nfa::literal("ab"));
+        assert!(o.accepts_str(""));
+        assert!(o.accepts_str("ab"));
+        assert!(!o.accepts_str("abab"));
+    }
+
+    #[test]
+    fn intersection_of_star_languages() {
+        // (ab)* ∩ (a|b)* of even length 4 prefix check
+        let abstar = star(&Nfa::literal("ab"));
+        let any = Nfa::universal(&[sym('a'), sym('b')]);
+        let i = intersection(&abstar, &any);
+        assert!(i.accepts_str("abab"));
+        assert!(!i.accepts_str("ba"));
+    }
+
+    #[test]
+    fn intersection_empty_when_disjoint() {
+        let i = intersection(&Nfa::literal("ab"), &Nfa::literal("ba"));
+        assert!(i.is_empty_language());
+    }
+
+    #[test]
+    fn determinize_preserves_language() {
+        let abstar = star(&Nfa::literal("ab"));
+        let alphabet = vec![sym('a'), sym('b')];
+        let dfa = determinize(&abstar, &alphabet);
+        for w in ["", "ab", "abab", "a", "ba", "aab"] {
+            assert_eq!(dfa.accepts_str(w), abstar.accepts_str(w), "word {w:?}");
+        }
+    }
+
+    #[test]
+    fn complement_flips_membership() {
+        let abstar = star(&Nfa::literal("ab"));
+        let alphabet = vec![sym('a'), sym('b')];
+        let comp = complement(&abstar, &alphabet);
+        for w in ["", "ab", "abab", "a", "ba", "aab"] {
+            assert_eq!(comp.accepts_str(w), !abstar.accepts_str(w), "word {w:?}");
+        }
+    }
+
+    #[test]
+    fn reverse_reverses_words() {
+        let r = reverse(&Nfa::literal("abc"));
+        assert!(r.accepts_str("cba"));
+        assert!(!r.accepts_str("abc"));
+    }
+
+    #[test]
+    fn subset_and_equivalence() {
+        let ab = Nfa::literal("ab");
+        let abstar = star(&Nfa::literal("ab"));
+        assert!(is_subset(&ab, &abstar));
+        assert!(!is_subset(&abstar, &ab));
+        assert!(is_equivalent(&abstar, &star(&star(&Nfa::literal("ab")))));
+    }
+
+    #[test]
+    fn difference_removes_words() {
+        let alphabet = vec![sym('a'), sym('b')];
+        let abstar = star(&Nfa::literal("ab"));
+        let d = difference(&abstar, &Nfa::epsilon(), &alphabet);
+        assert!(!d.accepts_str(""));
+        assert!(d.accepts_str("ab"));
+    }
+}

@@ -1,0 +1,281 @@
+//! Parikh images of words and runs, and reconstruction of runs from Parikh
+//! images.
+//!
+//! The decision procedure of the paper turns automata questions into linear
+//! arithmetic over *transition counts* (the Parikh image `PI_R` of a run `R`,
+//! Sec. 2).  Conversely, when the LIA solver returns a model we must turn the
+//! transition counts back into an actual run — and from the run into a string
+//! assignment — in order to produce and validate models.  The reconstruction
+//! is an Eulerian-path argument: a multiset of transitions satisfying the
+//! Kirchhoff (flow) conditions and connectivity can be arranged into a run
+//! (Hierholzer's algorithm).
+
+use std::collections::BTreeMap;
+
+use crate::nfa::{Nfa, StateId, Symbol};
+
+/// The Parikh image of a word: the number of occurrences of every symbol.
+///
+/// ```
+/// use posr_automata::parikh::word_parikh_image;
+/// use posr_automata::nfa::str_to_symbols;
+/// let img = word_parikh_image(&str_to_symbols("abab"));
+/// assert_eq!(img.get(&'a'.into()).copied(), Some(2));
+/// ```
+pub fn word_parikh_image(word: &[Symbol]) -> BTreeMap<Symbol, u64> {
+    let mut image = BTreeMap::new();
+    for &s in word {
+        *image.entry(s).or_insert(0) += 1;
+    }
+    image
+}
+
+/// A run of an NFA: the start state and the indices (into
+/// [`Nfa::transitions`]) of the taken transitions, in order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Run {
+    /// The state in which the run starts.
+    pub start: StateId,
+    /// Indices into the automaton's transition table, in the order taken.
+    pub transitions: Vec<usize>,
+}
+
+impl Run {
+    /// The Parikh image of the run: how many times each transition was taken.
+    pub fn parikh_image(&self) -> BTreeMap<usize, u64> {
+        let mut image = BTreeMap::new();
+        for &t in &self.transitions {
+            *image.entry(t).or_insert(0) += 1;
+        }
+        image
+    }
+
+    /// The word read along the run (ε transitions contribute nothing).
+    pub fn word(&self, nfa: &Nfa) -> Vec<Symbol> {
+        self.transitions
+            .iter()
+            .map(|&i| nfa.transitions()[i].symbol)
+            .filter(|s| !s.is_epsilon())
+            .collect()
+    }
+
+    /// The state in which the run ends.
+    pub fn end(&self, nfa: &Nfa) -> StateId {
+        match self.transitions.last() {
+            None => self.start,
+            Some(&i) => nfa.transitions()[i].target,
+        }
+    }
+}
+
+/// Finds an accepting run of `nfa` over `word`, if one exists.
+///
+/// The search is a simple product-graph BFS; it is used by tests and by the
+/// model validator, not on any hot path.
+pub fn find_accepting_run(nfa: &Nfa, word: &[Symbol]) -> Option<Run> {
+    // dynamic programming over (position, state) -> predecessor (position, state, transition index)
+    use std::collections::{HashMap, VecDeque};
+    let mut pred: HashMap<(usize, StateId), (usize, StateId, usize)> = HashMap::new();
+    let mut queue: VecDeque<(usize, StateId)> = VecDeque::new();
+    let mut seen: std::collections::HashSet<(usize, StateId)> = std::collections::HashSet::new();
+    for &q in nfa.initial_states() {
+        queue.push_back((0, q));
+        seen.insert((0, q));
+    }
+    let mut accept: Option<(usize, StateId)> = None;
+    while let Some((pos, q)) = queue.pop_front() {
+        if pos == word.len() && nfa.is_final(q) {
+            accept = Some((pos, q));
+            break;
+        }
+        for (idx, t) in nfa.transitions().iter().enumerate() {
+            if t.source != q {
+                continue;
+            }
+            let next = if t.symbol.is_epsilon() {
+                Some((pos, t.target))
+            } else if pos < word.len() && t.symbol == word[pos] {
+                Some((pos + 1, t.target))
+            } else {
+                None
+            };
+            if let Some(key) = next {
+                if seen.insert(key) {
+                    pred.insert(key, (pos, q, idx));
+                    queue.push_back(key);
+                }
+            }
+        }
+    }
+    let (mut pos, mut q) = accept?;
+    let mut rev: Vec<usize> = Vec::new();
+    while let Some(&(ppos, pq, idx)) = pred.get(&(pos, q)) {
+        rev.push(idx);
+        pos = ppos;
+        q = pq;
+    }
+    rev.reverse();
+    Some(Run { start: q, transitions: rev })
+}
+
+/// Attempts to arrange a multiset of edges into a single path from `start` to
+/// some vertex, using every edge exactly as many times as its multiplicity.
+///
+/// `edges[i] = (source, target)` and `counts[i]` is the multiplicity of edge
+/// `i`.  Returns the sequence of edge indices of the path, or `None` if the
+/// multiset does not form a connected Eulerian path starting at `start`.
+///
+/// This is the run-reconstruction step used to turn LIA models of Parikh
+/// formulas back into automaton runs.
+pub fn reconstruct_eulerian_path(
+    num_vertices: usize,
+    edges: &[(usize, usize)],
+    counts: &[u64],
+    start: usize,
+) -> Option<Vec<usize>> {
+    assert_eq!(edges.len(), counts.len());
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return Some(Vec::new());
+    }
+    // adjacency of remaining edge instances: per vertex, a stack of (edge index, remaining count)
+    let mut remaining: Vec<u64> = counts.to_vec();
+    let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); num_vertices];
+    for (i, &(s, _)) in edges.iter().enumerate() {
+        if counts[i] > 0 {
+            out_edges[s].push(i);
+        }
+    }
+    // Hierholzer: walk greedily from start, splicing in detours.
+    let mut stack: Vec<(usize, Option<usize>)> = vec![(start, None)]; // (vertex, edge used to get here)
+    let mut path_rev: Vec<usize> = Vec::new();
+    while let Some(&(v, via)) = stack.last() {
+        // find an unused out edge
+        let mut chosen = None;
+        for &e in &out_edges[v] {
+            if remaining[e] > 0 {
+                chosen = Some(e);
+                break;
+            }
+        }
+        match chosen {
+            Some(e) => {
+                remaining[e] -= 1;
+                stack.push((edges[e].1, Some(e)));
+            }
+            None => {
+                stack.pop();
+                if let Some(e) = via {
+                    path_rev.push(e);
+                }
+            }
+        }
+    }
+    if path_rev.len() as u64 != total {
+        return None; // edges left over: the multiset is not connected to `start`
+    }
+    path_rev.reverse();
+    // sanity: the sequence must be a path
+    let mut current = start;
+    for &e in &path_rev {
+        if edges[e].0 != current {
+            return None;
+        }
+        current = edges[e].1;
+    }
+    Some(path_rev)
+}
+
+/// Reconstructs a [`Run`] of `nfa` from a Parikh image (a multiplicity for
+/// every transition index) and a designated start state.
+///
+/// Returns `None` if the multiset cannot be arranged into a run from `start`.
+pub fn run_from_parikh(nfa: &Nfa, counts: &BTreeMap<usize, u64>, start: StateId) -> Option<Run> {
+    let edges: Vec<(usize, usize)> = nfa
+        .transitions()
+        .iter()
+        .map(|t| (t.source.index(), t.target.index()))
+        .collect();
+    let mut count_vec = vec![0u64; edges.len()];
+    for (&i, &c) in counts {
+        if i >= edges.len() {
+            return None;
+        }
+        count_vec[i] = c;
+    }
+    let order =
+        reconstruct_eulerian_path(nfa.num_states(), &edges, &count_vec, start.index())?;
+    Some(Run { start, transitions: order })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::str_to_symbols;
+    use crate::regex::Regex;
+
+    #[test]
+    fn word_parikh_counts_symbols() {
+        let img = word_parikh_image(&str_to_symbols("banana"));
+        assert_eq!(img[&Symbol::from_char('a')], 3);
+        assert_eq!(img[&Symbol::from_char('n')], 2);
+        assert_eq!(img[&Symbol::from_char('b')], 1);
+    }
+
+    #[test]
+    fn find_run_for_accepted_word() {
+        let nfa = Regex::parse("(ab)*c").unwrap().compile();
+        let word = str_to_symbols("ababc");
+        let run = find_accepting_run(&nfa, &word).expect("accepting run");
+        assert_eq!(run.word(&nfa), word);
+        assert!(nfa.is_final(run.end(&nfa)));
+        assert!(nfa.is_initial(run.start));
+    }
+
+    #[test]
+    fn no_run_for_rejected_word() {
+        let nfa = Regex::parse("(ab)*c").unwrap().compile();
+        assert!(find_accepting_run(&nfa, &str_to_symbols("abca")).is_none());
+    }
+
+    #[test]
+    fn run_parikh_image_counts_transitions() {
+        let nfa = Regex::parse("a*").unwrap().compile();
+        let run = find_accepting_run(&nfa, &str_to_symbols("aaa")).unwrap();
+        let image = run.parikh_image();
+        let total: u64 = image.values().sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn eulerian_reconstruction_simple_cycle() {
+        // triangle 0->1->2->0 taken twice
+        let edges = vec![(0, 1), (1, 2), (2, 0)];
+        let counts = vec![2, 2, 2];
+        let path = reconstruct_eulerian_path(3, &edges, &counts, 0).expect("path");
+        assert_eq!(path.len(), 6);
+    }
+
+    #[test]
+    fn eulerian_reconstruction_detects_disconnected() {
+        // two disjoint loops, starting at 0 cannot use the 2->3->2 loop
+        let edges = vec![(0, 1), (1, 0), (2, 3), (3, 2)];
+        let counts = vec![1, 1, 1, 1];
+        assert!(reconstruct_eulerian_path(4, &edges, &counts, 0).is_none());
+    }
+
+    #[test]
+    fn run_from_parikh_matches_original_run() {
+        let nfa = Regex::parse("(ab)*c").unwrap().compile();
+        let word = str_to_symbols("ababababc");
+        let run = find_accepting_run(&nfa, &word).unwrap();
+        let rebuilt = run_from_parikh(&nfa, &run.parikh_image(), run.start).expect("rebuild");
+        // The rebuilt run may visit loops in a different order but must read a
+        // word of the same Parikh image and end in a final state.
+        assert_eq!(
+            word_parikh_image(&rebuilt.word(&nfa)),
+            word_parikh_image(&word)
+        );
+        assert!(nfa.is_final(rebuilt.end(&nfa)));
+    }
+}

@@ -1,0 +1,41 @@
+//! Criterion benchmark: the PTime one-counter procedure vs. the NP LIA
+//! encoding on a single disequality (Theorem 7.1 vs Theorem 7.3).
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use posr_automata::Regex;
+use posr_lia::term::VarPool;
+use posr_tagauto::diseq_simple::encode_simple_diseq;
+use posr_tagauto::onecounter_diseq::single_diseq_satisfiable;
+use posr_tagauto::tags::VarTable;
+
+fn bench_single_diseq(c: &mut Criterion) {
+    let cases = [("(ab)*", "(ac)*"), ("(abc)*", "(acb)*")];
+    let mut group = c.benchmark_group("single_diseq");
+    group.sample_size(10);
+    for (rx, ry) in cases {
+        let mut vars = VarTable::new();
+        let x = vars.intern("x");
+        let y = vars.intern("y");
+        let ax = Regex::parse(rx).unwrap().compile();
+        let ay = Regex::parse(ry).unwrap().compile();
+        let mut automata = BTreeMap::new();
+        automata.insert(x, ax.clone());
+        automata.insert(y, ay.clone());
+        group.bench_with_input(BenchmarkId::new("one-counter", rx), &(), |b, ()| {
+            b.iter(|| single_diseq_satisfiable(&[x], &[y], &automata))
+        });
+        group.bench_with_input(BenchmarkId::new("lia-encoding", rx), &(), |b, ()| {
+            b.iter(|| {
+                let mut pool = VarPool::new();
+                let encoding = encode_simple_diseq(x, &ax, y, &ay, &mut pool);
+                posr_lia::Solver::new().solve(&encoding.formula).is_sat()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_diseq);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Regenerates the data behind Fig. 7: the cactus plot of sorted runtimes of
+//! all solvers over all families.  CSV is written to `bench-results/`.
+
+use std::time::Duration;
+
+use posr_bench::report::{fig7_csv, solved_counts};
+use posr_bench::{run_suite, suite, suite_names, SolverKind};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let count: usize = args
+        .iter()
+        .position(|a| a == "--count")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+    let timeout = Duration::from_millis(3000);
+    let solvers = SolverKind::all();
+    let mut results = Vec::new();
+    for name in suite_names() {
+        results.extend(run_suite(&suite(name, count, 2025), &solvers, timeout));
+    }
+    std::fs::create_dir_all("bench-results").expect("create bench-results directory");
+    let csv = fig7_csv(&results);
+    std::fs::write("bench-results/fig7_cactus.csv", csv).expect("write CSV");
+    println!("solved instances per solver (cactus headline):");
+    for (solver, solved) in solved_counts(&results) {
+        println!("  {solver:<14} {solved}");
+    }
+    println!("  -> bench-results/fig7_cactus.csv");
+}

@@ -1,0 +1,43 @@
+//! Regenerates the shape of Table 1: per-family OOR / Unk / Time / TimeAll
+//! for the production solver and the three baselines.
+//!
+//! Usage: `table1 [--count N] [--timeout-ms MS] [--suite NAME]`
+
+use std::time::Duration;
+
+use posr_bench::report::{render_table1, table1};
+use posr_bench::{run_suite, suite, suite_names, SolverKind};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str, default: u64| -> u64 {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let count = get("--count", 30) as usize;
+    let timeout = Duration::from_millis(get("--timeout-ms", 3000));
+    let only: Option<String> = args
+        .iter()
+        .position(|a| a == "--suite")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let suites: Vec<&str> = suite_names()
+        .into_iter()
+        .filter(|s| only.as_deref().map_or(true, |o| o == *s))
+        .collect();
+    let solvers = SolverKind::all();
+    let mut all_results = Vec::new();
+    for name in &suites {
+        let instances = suite(name, count, 2025);
+        eprintln!("running {} instances of {name} with {} solvers ...", instances.len(), solvers.len());
+        all_results.extend(run_suite(&instances, &solvers, timeout));
+    }
+    let rows = table1(&all_results, timeout);
+    let solver_names: Vec<&str> = solvers.iter().map(|s| s.name()).collect();
+    println!("Table 1 (reproduction shape): per-family results, timeout {timeout:?}, {count} instances per family\n");
+    println!("{}", render_table1(&rows, &suites, &solver_names));
+}

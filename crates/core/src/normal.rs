@@ -1,0 +1,440 @@
+//! Normalisation of input formulas into the form `E ∧ R ∧ I ∧ P` (Sec. 2).
+//!
+//! * string literals are replaced by fresh variables constrained to the
+//!   singleton language (footnote 3 of the paper),
+//! * positive `prefixof`/`suffixof`/`contains` become word equations with
+//!   fresh variables (step (i) of the normal-form transformation),
+//! * regular memberships are intersected so that every variable has exactly
+//!   one automaton (step (ii)); unconstrained variables get `Σ*`,
+//! * the remaining literals are sorted into word equations `E`, length
+//!   constraints `I` and position constraints `P`.
+
+use std::collections::BTreeMap;
+
+use posr_automata::{ops, Nfa, Regex, Symbol};
+
+use crate::ast::{LenCmp, LenTerm, StringAtom, StringFormula, StringTerm, TermPart};
+
+/// A position constraint over variable-occurrence lists (literals already
+/// replaced by fresh variables).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PositionAtom {
+    /// `lhs ≠ rhs`
+    Diseq(Vec<String>, Vec<String>),
+    /// `¬prefixof(lhs, rhs)`
+    NotPrefix(Vec<String>, Vec<String>),
+    /// `¬suffixof(lhs, rhs)`
+    NotSuffix(Vec<String>, Vec<String>),
+    /// `var = str.at(term, index)` / `var ≠ str.at(term, index)`
+    StrAt {
+        /// The left-hand variable.
+        var: String,
+        /// The indexed term, as variable occurrences.
+        term: Vec<String>,
+        /// The queried position.
+        index: LenTerm,
+        /// Negation flag.
+        negated: bool,
+    },
+    /// `¬contains(haystack, needle)`
+    NotContains {
+        /// The containing term.
+        haystack: Vec<String>,
+        /// The searched term.
+        needle: Vec<String>,
+    },
+}
+
+/// A word equation `lhs = rhs` over variable occurrences.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Equation {
+    /// Left-hand occurrences.
+    pub lhs: Vec<String>,
+    /// Right-hand occurrences.
+    pub rhs: Vec<String>,
+}
+
+/// The normal form `E ∧ R ∧ I ∧ P`.
+#[derive(Clone, Debug, Default)]
+pub struct NormalForm {
+    /// `R`: one automaton per variable.
+    pub languages: BTreeMap<String, Nfa>,
+    /// `E`: word equations.
+    pub equations: Vec<Equation>,
+    /// `I`: length constraints (kept in surface syntax; translated to LIA by
+    /// the position procedure).
+    pub lengths: Vec<(LenTerm, LenCmp, LenTerm)>,
+    /// `P`: position constraints.
+    pub positions: Vec<PositionAtom>,
+    /// The working alphabet Γ.
+    pub alphabet: Vec<char>,
+}
+
+/// Errors produced during normalisation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NormalizeError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for NormalizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "normalisation error: {}", self.message)
+    }
+}
+
+impl std::error::Error for NormalizeError {}
+
+struct Normalizer {
+    nf: NormalForm,
+    fresh_counter: usize,
+    memberships: BTreeMap<String, Vec<Nfa>>,
+    literal_vars: BTreeMap<String, String>,
+}
+
+impl Normalizer {
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.fresh_counter += 1;
+        format!("{prefix}!{}", self.fresh_counter)
+    }
+
+    fn literal_var(&mut self, value: &str) -> String {
+        if let Some(v) = self.literal_vars.get(value) {
+            return v.clone();
+        }
+        let name = self.fresh("lit");
+        self.memberships.entry(name.clone()).or_default().push(Nfa::literal(value));
+        self.literal_vars.insert(value.to_string(), name.clone());
+        name
+    }
+
+    fn term_occurrences(&mut self, term: &StringTerm) -> Vec<String> {
+        let mut out = Vec::new();
+        for p in &term.parts {
+            match p {
+                TermPart::Var(v) => out.push(v.clone()),
+                TermPart::Lit(w) => {
+                    if !w.is_empty() {
+                        out.push(self.literal_var(w));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Computes the working alphabet: all characters occurring in literals or in
+/// the regular expressions of the formula, plus one extra symbol so that
+/// disequalities over otherwise-unconstrained variables can always be
+/// witnessed (the paper assumes a fixed ambient alphabet Γ).
+pub fn collect_alphabet(formula: &StringFormula) -> Vec<char> {
+    let mut chars: Vec<char> = Vec::new();
+    let mut push = |c: char| {
+        if !chars.contains(&c) {
+            chars.push(c);
+        }
+    };
+    for atom in &formula.atoms {
+        match atom {
+            StringAtom::InRe { regex, .. } => {
+                if let Ok(re) = Regex::parse(regex) {
+                    for sym in re.compile().alphabet() {
+                        if let Some(c) = sym.to_char() {
+                            push(c);
+                        }
+                    }
+                }
+            }
+            StringAtom::Equation { lhs, rhs, .. } => {
+                for t in [lhs, rhs] {
+                    for p in &t.parts {
+                        if let TermPart::Lit(w) = p {
+                            w.chars().for_each(&mut push);
+                        }
+                    }
+                }
+            }
+            StringAtom::PrefixOf { needle, haystack, .. }
+            | StringAtom::SuffixOf { needle, haystack, .. } => {
+                for t in [needle, haystack] {
+                    for p in &t.parts {
+                        if let TermPart::Lit(w) = p {
+                            w.chars().for_each(&mut push);
+                        }
+                    }
+                }
+            }
+            StringAtom::Contains { haystack, needle, .. } => {
+                for t in [haystack, needle] {
+                    for p in &t.parts {
+                        if let TermPart::Lit(w) = p {
+                            w.chars().for_each(&mut push);
+                        }
+                    }
+                }
+            }
+            StringAtom::StrAt { term, .. } => {
+                for p in &term.parts {
+                    if let TermPart::Lit(w) = p {
+                        w.chars().for_each(&mut push);
+                    }
+                }
+            }
+            StringAtom::Length { .. } => {}
+        }
+    }
+    if chars.is_empty() {
+        chars.push('a');
+    }
+    // one extra symbol for mismatch witnesses over unconstrained variables
+    for candidate in ['b', 'c', '~'] {
+        if !chars.contains(&candidate) {
+            chars.push(candidate);
+            break;
+        }
+    }
+    chars.sort_unstable();
+    chars
+}
+
+/// Normalises a conjunction of string atoms into `E ∧ R ∧ I ∧ P`.
+///
+/// # Errors
+/// Returns an error for constructs outside the supported fragment (e.g. a
+/// negated membership whose regex fails to parse).
+pub fn normalize(formula: &StringFormula) -> Result<NormalForm, NormalizeError> {
+    let alphabet = collect_alphabet(formula);
+    let alphabet_symbols: Vec<Symbol> = alphabet.iter().map(|&c| Symbol::from_char(c)).collect();
+    let mut normalizer = Normalizer {
+        nf: NormalForm { alphabet: alphabet.clone(), ..NormalForm::default() },
+        fresh_counter: 0,
+        memberships: BTreeMap::new(),
+        literal_vars: BTreeMap::new(),
+    };
+
+    for atom in &formula.atoms {
+        match atom {
+            StringAtom::InRe { var, regex, negated } => {
+                let re = Regex::parse(regex).map_err(|e| NormalizeError {
+                    message: format!("cannot parse regex {regex:?}: {e}"),
+                })?;
+                let mut nfa = re.compile();
+                if *negated {
+                    nfa = ops::complement(&nfa, &alphabet_symbols);
+                }
+                normalizer.memberships.entry(var.clone()).or_default().push(nfa);
+            }
+            StringAtom::Equation { lhs, rhs, negated } => {
+                let l = normalizer.term_occurrences(lhs);
+                let r = normalizer.term_occurrences(rhs);
+                if *negated {
+                    normalizer.nf.positions.push(PositionAtom::Diseq(l, r));
+                } else {
+                    normalizer.nf.equations.push(Equation { lhs: l, rhs: r });
+                }
+            }
+            StringAtom::PrefixOf { needle, haystack, negated } => {
+                let n = normalizer.term_occurrences(needle);
+                let h = normalizer.term_occurrences(haystack);
+                if *negated {
+                    normalizer.nf.positions.push(PositionAtom::NotPrefix(n, h));
+                } else {
+                    // haystack = needle · z
+                    let z = normalizer.fresh("pre");
+                    let mut rhs = n;
+                    rhs.push(z);
+                    normalizer.nf.equations.push(Equation { lhs: h, rhs });
+                }
+            }
+            StringAtom::SuffixOf { needle, haystack, negated } => {
+                let n = normalizer.term_occurrences(needle);
+                let h = normalizer.term_occurrences(haystack);
+                if *negated {
+                    normalizer.nf.positions.push(PositionAtom::NotSuffix(n, h));
+                } else {
+                    // haystack = z · needle
+                    let z = normalizer.fresh("suf");
+                    let mut rhs = vec![z];
+                    rhs.extend(n);
+                    normalizer.nf.equations.push(Equation { lhs: h, rhs });
+                }
+            }
+            StringAtom::Contains { haystack, needle, negated } => {
+                let h = normalizer.term_occurrences(haystack);
+                let n = normalizer.term_occurrences(needle);
+                if *negated {
+                    normalizer.nf.positions.push(PositionAtom::NotContains {
+                        haystack: h,
+                        needle: n,
+                    });
+                } else {
+                    // haystack = z₁ · needle · z₂
+                    let z1 = normalizer.fresh("cnt");
+                    let z2 = normalizer.fresh("cnt");
+                    let mut rhs = vec![z1];
+                    rhs.extend(n);
+                    rhs.push(z2);
+                    normalizer.nf.equations.push(Equation { lhs: h, rhs });
+                }
+            }
+            StringAtom::StrAt { var, term, index, negated } => {
+                let t = normalizer.term_occurrences(term);
+                normalizer.nf.positions.push(PositionAtom::StrAt {
+                    var: var.clone(),
+                    term: t,
+                    index: index.clone(),
+                    negated: *negated,
+                });
+            }
+            StringAtom::Length { lhs, cmp, rhs } => {
+                normalizer.nf.lengths.push((lhs.clone(), *cmp, rhs.clone()));
+            }
+        }
+    }
+
+    // intersect memberships; default to Σ* for unconstrained variables
+    let mut all_vars: Vec<String> = formula.variables();
+    for pos in &normalizer.nf.positions {
+        let occurrences: Vec<&String> = match pos {
+            PositionAtom::Diseq(l, r)
+            | PositionAtom::NotPrefix(l, r)
+            | PositionAtom::NotSuffix(l, r) => l.iter().chain(r.iter()).collect(),
+            PositionAtom::StrAt { var, term, .. } => {
+                let mut v: Vec<&String> = term.iter().collect();
+                v.push(var);
+                v
+            }
+            PositionAtom::NotContains { haystack, needle } => {
+                haystack.iter().chain(needle.iter()).collect()
+            }
+        };
+        for v in occurrences {
+            if !all_vars.contains(v) {
+                all_vars.push(v.clone());
+            }
+        }
+    }
+    for eq in &normalizer.nf.equations {
+        for v in eq.lhs.iter().chain(eq.rhs.iter()) {
+            if !all_vars.contains(v) {
+                all_vars.push(v.clone());
+            }
+        }
+    }
+    for (name, nfas) in &normalizer.memberships {
+        if !all_vars.contains(name) {
+            all_vars.push(name.clone());
+        }
+        let mut iter = nfas.iter();
+        let mut acc = iter.next().expect("non-empty membership list").remove_epsilon();
+        for nfa in iter {
+            acc = ops::intersection(&acc, &nfa.remove_epsilon());
+        }
+        normalizer.nf.languages.insert(name.clone(), acc.trim());
+    }
+    for v in all_vars {
+        normalizer
+            .nf
+            .languages
+            .entry(v)
+            .or_insert_with(|| Nfa::universal(&alphabet_symbols));
+    }
+
+    Ok(normalizer.nf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::StringTerm;
+
+    #[test]
+    fn alphabet_collects_regex_and_literal_characters() {
+        let f = StringFormula::new()
+            .in_re("x", "(ab)*")
+            .diseq(StringTerm::var("x"), StringTerm::lit("cd"));
+        let alphabet = collect_alphabet(&f);
+        for c in ['a', 'b', 'c', 'd'] {
+            assert!(alphabet.contains(&c), "missing {c}");
+        }
+    }
+
+    #[test]
+    fn literals_become_fresh_variables() {
+        let f = StringFormula::new().diseq(StringTerm::var("x"), StringTerm::lit("ab"));
+        let nf = normalize(&f).unwrap();
+        match &nf.positions[0] {
+            PositionAtom::Diseq(l, r) => {
+                assert_eq!(l, &vec!["x".to_string()]);
+                assert_eq!(r.len(), 1);
+                let lit_var = &r[0];
+                assert!(nf.languages[lit_var].accepts_str("ab"));
+                assert!(!nf.languages[lit_var].accepts_str("a"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn positive_contains_becomes_equation() {
+        let f = StringFormula::new().atom(StringAtom::Contains {
+            haystack: StringTerm::var("h"),
+            needle: StringTerm::var("n"),
+            negated: false,
+        });
+        let nf = normalize(&f).unwrap();
+        assert_eq!(nf.positions.len(), 0);
+        assert_eq!(nf.equations.len(), 1);
+        assert_eq!(nf.equations[0].lhs, vec!["h".to_string()]);
+        assert_eq!(nf.equations[0].rhs.len(), 3);
+    }
+
+    #[test]
+    fn negated_predicates_become_position_constraints() {
+        let f = StringFormula::new()
+            .not_prefixof(StringTerm::var("x"), StringTerm::var("y"))
+            .not_suffixof(StringTerm::var("x"), StringTerm::var("y"))
+            .not_contains(StringTerm::var("y"), StringTerm::var("x"));
+        let nf = normalize(&f).unwrap();
+        assert_eq!(nf.positions.len(), 3);
+        assert!(nf.equations.is_empty());
+    }
+
+    #[test]
+    fn memberships_are_intersected() {
+        let f = StringFormula::new().in_re("x", "(ab)*").in_re("x", "a.*");
+        let nf = normalize(&f).unwrap();
+        let nfa = &nf.languages["x"];
+        assert!(nfa.accepts_str("abab"));
+        assert!(!nfa.accepts_str(""));
+    }
+
+    #[test]
+    fn negated_membership_is_complemented() {
+        let f = StringFormula::new()
+            .atom(StringAtom::InRe { var: "x".into(), regex: "a*".into(), negated: true })
+            .in_re("x", "(a|b){1,2}");
+        let nf = normalize(&f).unwrap();
+        let nfa = &nf.languages["x"];
+        assert!(!nfa.accepts_str("a"));
+        assert!(!nfa.accepts_str("aa"));
+        assert!(nfa.accepts_str("ab"));
+        assert!(nfa.accepts_str("b"));
+    }
+
+    #[test]
+    fn unconstrained_variables_get_sigma_star() {
+        let f = StringFormula::new().diseq(StringTerm::var("x"), StringTerm::var("y"));
+        let nf = normalize(&f).unwrap();
+        assert!(nf.languages.contains_key("x"));
+        assert!(nf.languages.contains_key("y"));
+        assert!(nf.languages["y"].accepts_str("ab"));
+    }
+
+    #[test]
+    fn bad_regex_is_an_error() {
+        let f = StringFormula::new().in_re("x", "(ab");
+        assert!(normalize(&f).is_err());
+    }
+}

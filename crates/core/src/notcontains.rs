@@ -1,0 +1,151 @@
+//! `¬contains` handling: syntactic shortcuts, flatness analysis, and the
+//! concrete offset check used by the model-based instantiation loop in
+//! [`crate::position`].
+//!
+//! The paper's φ^NC (Eq. 32) is an ∀∃ LIA formula; its universal quantifier
+//! ranges over the alignment offsets of two words whose lengths are fixed by
+//! the outer existential model.  The instantiation loop therefore proposes a
+//! candidate assignment, checks every offset of the now-concrete words
+//! (exactly the semantics in Fig. 5), and blocks refuted candidates by their
+//! Parikh image — for flat languages the Parikh image determines the words,
+//! so each blocked candidate is a single string assignment and the loop is a
+//! faithful decision procedure for the fragment of Theorem 6.5 (up to the
+//! round limit).  Over non-flat languages only `Sat` answers are trusted.
+
+use std::collections::BTreeMap;
+
+use posr_automata::flat::is_flat;
+use posr_automata::Nfa;
+use posr_lia::term::Var;
+use posr_tagauto::tags::{StrVar, VarTable};
+
+use crate::ast::LenTerm;
+
+/// A goal deferred to the instantiation loop.
+#[derive(Clone, Debug)]
+pub enum NotContainsGoal {
+    /// `¬contains(haystack, needle)` over variable-occurrence lists.
+    NotContains {
+        /// Containing term.
+        haystack: Vec<String>,
+        /// Searched term.
+        needle: Vec<String>,
+    },
+    /// The binding `var = ⟦term⟧` of a `str.at` position variable.
+    IndexBinding {
+        /// The LIA variable standing for the position.
+        var: Var,
+        /// The surface-syntax term defining it.
+        term: LenTerm,
+    },
+}
+
+/// Sound syntactic unsatisfiability checks for a set of `¬contains` goals.
+///
+/// * an empty needle is contained in everything, and
+/// * a needle whose occurrence sequence appears contiguously inside the
+///   haystack's occurrence sequence (e.g. `¬contains(x·y·x, y)`) is contained
+///   under every assignment.
+///
+/// Returns a description of the offending goal, or `None`.
+pub fn syntactically_unsat(goals: &[(Vec<String>, Vec<String>)]) -> Option<String> {
+    for (haystack, needle) in goals {
+        if needle.is_empty() {
+            return Some("¬contains with an empty needle is always false".to_string());
+        }
+        if needle.len() <= haystack.len() {
+            let contiguous = (0..=haystack.len() - needle.len())
+                .any(|i| &haystack[i..i + needle.len()] == needle.as_slice());
+            if contiguous {
+                return Some(format!(
+                    "needle {needle:?} occurs syntactically inside haystack {haystack:?}"
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Checks that every variable of every `¬contains` goal has a flat language
+/// (the precondition of Theorem 6.5).
+pub fn all_flat(
+    goals: &[(Vec<String>, Vec<String>)],
+    vars: &VarTable,
+    automata: &BTreeMap<StrVar, Nfa>,
+) -> bool {
+    goals.iter().all(|(haystack, needle)| {
+        haystack.iter().chain(needle.iter()).all(|name| match vars.lookup(name) {
+            Some(v) => automata.get(&v).map_or(false, |nfa| is_flat(&nfa.trim())),
+            None => false,
+        })
+    })
+}
+
+/// Evaluates `¬contains(haystack, needle)` under a concrete assignment.
+pub fn holds_concretely(
+    haystack: &[String],
+    needle: &[String],
+    strings: &BTreeMap<String, String>,
+) -> bool {
+    let build = |occurrences: &[String]| -> String {
+        occurrences.iter().map(|v| strings.get(v).cloned().unwrap_or_default()).collect()
+    };
+    let h = build(haystack);
+    let n = build(needle);
+    !h.contains(&n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use posr_automata::Regex;
+
+    #[test]
+    fn syntactic_containment_detected() {
+        let goals = vec![(
+            vec!["x".to_string(), "y".to_string(), "x".to_string()],
+            vec!["y".to_string()],
+        )];
+        assert!(syntactically_unsat(&goals).is_some());
+        let fine = vec![(vec!["x".to_string()], vec!["y".to_string()])];
+        assert!(syntactically_unsat(&fine).is_none());
+        let empty_needle = vec![(vec!["x".to_string()], vec![])];
+        assert!(syntactically_unsat(&empty_needle).is_some());
+    }
+
+    #[test]
+    fn flatness_check() {
+        let mut vars = VarTable::new();
+        let x = vars.intern("x");
+        let y = vars.intern("y");
+        let mut automata = BTreeMap::new();
+        automata.insert(x, Regex::parse("(ab)*").unwrap().compile());
+        automata.insert(y, Regex::parse("(a|b)*").unwrap().compile());
+        let goals = vec![(vec!["x".to_string()], vec!["x".to_string()])];
+        assert!(all_flat(&goals, &vars, &automata));
+        let goals_bad = vec![(vec!["y".to_string()], vec!["x".to_string()])];
+        assert!(!all_flat(&goals_bad, &vars, &automata));
+    }
+
+    #[test]
+    fn concrete_check() {
+        let strings: BTreeMap<String, String> = [
+            ("x".to_string(), "aba".to_string()),
+            ("y".to_string(), "aabba".to_string()),
+        ]
+        .into_iter()
+        .collect();
+        // Fig. 5: aba is not contained in aabba
+        assert!(holds_concretely(
+            &["y".to_string()],
+            &["x".to_string()],
+            &strings
+        ));
+        // but "ab" (a prefix of x·y) is contained in y
+        let strings2: BTreeMap<String, String> =
+            [("x".to_string(), "ab".to_string()), ("y".to_string(), "aabba".to_string())]
+                .into_iter()
+                .collect();
+        assert!(!holds_concretely(&["y".to_string()], &["x".to_string()], &strings2));
+    }
+}

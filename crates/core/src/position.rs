@@ -1,0 +1,421 @@
+//! The position-constraint decision procedure: solving `R′ ∧ I′ ∧ P′`
+//! (Sec. 3, the paper's main contribution).
+//!
+//! Given the refined regular constraints of one monadic case, the length
+//! constraints and the position constraints (with the substitution already
+//! applied), this module
+//!
+//! 1. encodes all mismatch-style predicates with the tag-automaton
+//!    construction of `posr-tagauto` ([`posr_tagauto::system`]),
+//! 2. translates the length constraints `I` into LIA over the `⟨L,x⟩` tag
+//!    counters,
+//! 3. discharges the conjunction with the DPLL(T) LIA solver, restoring the
+//!    exactness of the Parikh encoding with lazily added connectivity cuts,
+//! 4. handles `¬contains` by the model-based instantiation loop of
+//!    [`crate::notcontains`], and
+//! 5. reconstructs and re-validates a concrete string model on success.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use posr_automata::nfa::symbols_to_string;
+use posr_automata::Nfa;
+use posr_lia::formula::Formula;
+use posr_lia::solver::{Model, Solver, SolverConfig, SolverResult};
+use posr_lia::term::{LinExpr, Var, VarPool};
+use posr_tagauto::system::{PositionConstraint, PredicateKind, SystemEncoder, SystemEncoding};
+use posr_tagauto::tags::{StrVar, VarTable};
+
+use crate::ast::{LenCmp, LenTerm};
+use crate::normal::PositionAtom;
+use crate::notcontains::{self, NotContainsGoal};
+
+/// Outcome of the position procedure for one monadic case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PositionOutcome {
+    /// Satisfiable, with a string assignment and values for the integer
+    /// variables mentioned in the length constraints.
+    Sat(BTreeMap<String, String>, BTreeMap<String, i64>),
+    /// Unsatisfiable.
+    Unsat,
+    /// Undecided within the resource limits.
+    Unknown(String),
+}
+
+impl PositionOutcome {
+    /// Returns `true` for [`PositionOutcome::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, PositionOutcome::Sat(_, _))
+    }
+}
+
+/// Resource limits of the position procedure.
+#[derive(Clone, Debug)]
+pub struct PositionOptions {
+    /// Maximum number of connectivity cuts per query.
+    pub max_connectivity_cuts: usize,
+    /// Maximum number of model-based instantiation rounds for `¬contains`.
+    pub max_cegar_rounds: usize,
+    /// Configuration of the underlying LIA solver.
+    pub lia: SolverConfig,
+    /// Optional wall-clock deadline; checked between solver calls.
+    pub deadline: Option<Instant>,
+}
+
+impl Default for PositionOptions {
+    fn default() -> PositionOptions {
+        PositionOptions {
+            max_connectivity_cuts: 64,
+            max_cegar_rounds: 64,
+            lia: SolverConfig::default(),
+            deadline: None,
+        }
+    }
+}
+
+impl PositionOptions {
+    fn out_of_time(&self) -> bool {
+        self.deadline.map_or(false, |d| Instant::now() >= d)
+    }
+}
+
+/// The input of the procedure: `R′` (languages), `I` (length constraints)
+/// and `P′` (position constraints), all over the same variable names.
+pub struct PositionProblem<'a> {
+    /// One automaton per variable.
+    pub languages: &'a BTreeMap<String, Nfa>,
+    /// Position constraints.
+    pub positions: &'a [PositionAtom],
+    /// Length constraints.
+    pub lengths: &'a [(LenTerm, LenCmp, LenTerm)],
+}
+
+/// Solves `R′ ∧ I′ ∧ P′`.
+pub fn solve_position(problem: &PositionProblem<'_>, options: &PositionOptions) -> PositionOutcome {
+    let mut vars = VarTable::new();
+    let mut automata: BTreeMap<StrVar, Nfa> = BTreeMap::new();
+    for (name, nfa) in problem.languages {
+        let v = vars.intern(name);
+        let trimmed = nfa.remove_epsilon().trim();
+        if trimmed.is_empty_language() {
+            return PositionOutcome::Unsat;
+        }
+        automata.insert(v, trimmed);
+    }
+    let intern = |vars: &mut VarTable, name: &str| vars.intern(name);
+
+    let mut pool = VarPool::new();
+    // integer variables of the surface syntax get stable names in the pool
+    let mut int_vars: BTreeMap<String, Var> = BTreeMap::new();
+    let int_var = |pool: &mut VarPool, int_vars: &mut BTreeMap<String, Var>, name: &str| {
+        *int_vars.entry(name.to_string()).or_insert_with(|| pool.named(&format!("int:{name}")))
+    };
+
+    // split the position constraints into the system part and the ¬contains goals
+    let mut system_constraints: Vec<PositionConstraint> = Vec::new();
+    let mut contains_goals: Vec<NotContainsGoal> = Vec::new();
+    for atom in problem.positions {
+        match atom {
+            PositionAtom::Diseq(l, r) => {
+                system_constraints.push(PositionConstraint {
+                    kind: PredicateKind::Diseq,
+                    left: l.iter().map(|v| intern(&mut vars, v)).collect(),
+                    right: r.iter().map(|v| intern(&mut vars, v)).collect(),
+                });
+            }
+            PositionAtom::NotPrefix(l, r) => {
+                system_constraints.push(PositionConstraint {
+                    kind: PredicateKind::NotPrefixOf,
+                    left: l.iter().map(|v| intern(&mut vars, v)).collect(),
+                    right: r.iter().map(|v| intern(&mut vars, v)).collect(),
+                });
+            }
+            PositionAtom::NotSuffix(l, r) => {
+                system_constraints.push(PositionConstraint {
+                    kind: PredicateKind::NotSuffixOf,
+                    left: l.iter().map(|v| intern(&mut vars, v)).collect(),
+                    right: r.iter().map(|v| intern(&mut vars, v)).collect(),
+                });
+            }
+            PositionAtom::StrAt { var, term, index, negated } => {
+                let idx = pool.fresh("stratidx");
+                let kind = if *negated {
+                    PredicateKind::StrAtNe { index: idx }
+                } else {
+                    PredicateKind::StrAtEq { index: idx }
+                };
+                system_constraints.push(PositionConstraint {
+                    kind,
+                    left: vec![intern(&mut vars, var)],
+                    right: term.iter().map(|v| intern(&mut vars, v)).collect(),
+                });
+                // idx = ⟦index⟧ is added once the encoding (and thus the
+                // length counters) exists; remember the binding for later.
+                contains_goals.push(NotContainsGoal::IndexBinding { var: idx, term: index.clone() });
+            }
+            PositionAtom::NotContains { haystack, needle } => {
+                contains_goals.push(NotContainsGoal::NotContains {
+                    haystack: haystack.clone(),
+                    needle: needle.clone(),
+                });
+            }
+        }
+    }
+
+    // any new variables mentioned only in positions already got automata via
+    // the normal form; interning above keeps names consistent.
+    let encoder = SystemEncoder::new(&automata, &vars);
+    let encoding = encoder.encode(&system_constraints, &mut pool);
+
+    // translate a LenTerm into LIA over tag counters and integer variables
+    let translate = |t: &LenTerm, pool: &mut VarPool, int_vars: &mut BTreeMap<String, Var>| {
+        let mut e = LinExpr::constant(t.constant as i128);
+        for (name, coeff) in &t.len_coeffs {
+            let v = vars.lookup(name);
+            let len = match v {
+                Some(v) => encoding.length_of(v),
+                None => LinExpr::zero(),
+            };
+            e += len * (*coeff as i128);
+        }
+        for (name, coeff) in &t.int_coeffs {
+            let var = int_var(pool, int_vars, name);
+            e += LinExpr::scaled_var(var, *coeff as i128);
+        }
+        e
+    };
+
+    let mut lia_conjuncts = vec![encoding.formula.clone()];
+    for (lhs, cmp, rhs) in problem.lengths {
+        let l = translate(lhs, &mut pool, &mut int_vars);
+        let r = translate(rhs, &mut pool, &mut int_vars);
+        lia_conjuncts.push(match cmp {
+            LenCmp::Le => Formula::le(l, r),
+            LenCmp::Lt => Formula::lt(l, r),
+            LenCmp::Eq => Formula::eq(l, r),
+            LenCmp::Ne => Formula::ne(l, r),
+            LenCmp::Ge => Formula::ge(l, r),
+            LenCmp::Gt => Formula::gt(l, r),
+        });
+    }
+    // bind the str.at index variables to their defining terms
+    for goal in &contains_goals {
+        if let NotContainsGoal::IndexBinding { var, term, .. } = goal {
+            let defined = translate(term, &mut pool, &mut int_vars);
+            lia_conjuncts.push(Formula::eq(LinExpr::var(*var), defined));
+        }
+    }
+    let base_formula = Formula::and(lia_conjuncts);
+
+    // quick syntactic checks and the model-based instantiation loop for ¬contains
+    let contains_only: Vec<(Vec<String>, Vec<String>)> = contains_goals
+        .iter()
+        .filter_map(|g| match g {
+            NotContainsGoal::NotContains { haystack, needle } => {
+                Some((haystack.clone(), needle.clone()))
+            }
+            NotContainsGoal::IndexBinding { .. } => None,
+        })
+        .collect();
+    if notcontains::syntactically_unsat(&contains_only).is_some() {
+        return PositionOutcome::Unsat;
+    }
+
+    solve_with_cegar(
+        &encoding,
+        base_formula,
+        &contains_only,
+        &vars,
+        &automata,
+        &int_vars,
+        options,
+    )
+}
+
+/// The main solve loop: lazy connectivity cuts plus the `¬contains`
+/// instantiation loop (blocking refuted candidate assignments).
+fn solve_with_cegar(
+    encoding: &SystemEncoding,
+    base_formula: Formula,
+    contains_goals: &[(Vec<String>, Vec<String>)],
+    vars: &VarTable,
+    automata: &BTreeMap<StrVar, Nfa>,
+    int_vars: &BTreeMap<String, Var>,
+    options: &PositionOptions,
+) -> PositionOutcome {
+    let solver = Solver::with_config(options.lia);
+    let mut formula = base_formula;
+    let mut cuts = 0usize;
+    let mut rounds = 0usize;
+    let flat = contains_goals.is_empty()
+        || notcontains::all_flat(contains_goals, vars, automata);
+    loop {
+        if options.out_of_time() {
+            return PositionOutcome::Unknown("deadline exceeded".to_string());
+        }
+        match solver.solve(&formula) {
+            SolverResult::Unsat => {
+                // blocking clauses for non-flat ¬contains are over-approximate,
+                // so exhausting them does not prove unsatisfiability
+                if rounds > 0 && !flat {
+                    return PositionOutcome::Unknown(
+                        "¬contains over non-flat languages: candidates exhausted".to_string(),
+                    );
+                }
+                return PositionOutcome::Unsat;
+            }
+            SolverResult::Unknown(reason) => return PositionOutcome::Unknown(reason),
+            SolverResult::Sat(model) => {
+                let Some(assignment) = encoding.extract_assignment(&model) else {
+                    // phantom flow: add a connectivity cut and retry
+                    cuts += 1;
+                    if cuts > options.max_connectivity_cuts {
+                        return PositionOutcome::Unknown(
+                            "connectivity-cut limit exceeded".to_string(),
+                        );
+                    }
+                    match encoding.connectivity_cut(&model) {
+                        Some(cut) => {
+                            formula = Formula::and(vec![formula, cut]);
+                            continue;
+                        }
+                        None => {
+                            return PositionOutcome::Unknown(
+                                "model extraction failed on a connected model".to_string(),
+                            )
+                        }
+                    }
+                };
+                let strings = assignment_to_strings(&assignment, vars);
+                // check the ¬contains goals concretely (the universal offset
+                // quantifier of φ^NC ranges over finitely many offsets of the
+                // concrete words)
+                let mut refuted = false;
+                for (haystack, needle) in contains_goals {
+                    if !notcontains::holds_concretely(haystack, needle, &strings) {
+                        refuted = true;
+                        break;
+                    }
+                }
+                if refuted {
+                    rounds += 1;
+                    if rounds > options.max_cegar_rounds {
+                        return PositionOutcome::Unknown(
+                            "¬contains instantiation limit exceeded".to_string(),
+                        );
+                    }
+                    formula = Formula::and(vec![
+                        formula,
+                        blocking_clause(encoding, &model),
+                    ]);
+                    continue;
+                }
+                let ints = int_vars
+                    .iter()
+                    .map(|(name, &v)| (name.clone(), model.value(v) as i64))
+                    .collect();
+                return PositionOutcome::Sat(strings, ints);
+            }
+        }
+    }
+}
+
+fn assignment_to_strings(
+    assignment: &BTreeMap<StrVar, Vec<posr_automata::Symbol>>,
+    vars: &VarTable,
+) -> BTreeMap<String, String> {
+    assignment
+        .iter()
+        .map(|(&v, symbols)| (vars.name(v).to_string(), symbols_to_string(symbols)))
+        .collect()
+}
+
+/// Blocks the Parikh image of the refuted candidate: at least one transition
+/// counter must change.  For flat languages this blocks exactly one string
+/// assignment (Parikh image ⇒ word), which is what makes the instantiation
+/// loop a faithful implementation of φ^NC.
+fn blocking_clause(encoding: &SystemEncoding, model: &Model) -> Formula {
+    let Some(parikh) = &encoding.parikh else { return Formula::False };
+    let mut disjuncts = Vec::new();
+    for &tv in &parikh.trans_vars {
+        disjuncts.push(Formula::ne(LinExpr::var(tv), LinExpr::constant(model.value(tv))));
+    }
+    Formula::or(disjuncts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use posr_automata::Regex;
+
+    fn languages(specs: &[(&str, &str)]) -> BTreeMap<String, Nfa> {
+        specs
+            .iter()
+            .map(|(name, re)| (name.to_string(), Regex::parse(re).unwrap().compile()))
+            .collect()
+    }
+
+    #[test]
+    fn single_diseq_sat_with_validated_model() {
+        let langs = languages(&[("x", "(ab)*"), ("y", "(ab)*")]);
+        let positions =
+            vec![PositionAtom::Diseq(vec!["x".to_string()], vec!["y".to_string()])];
+        let lengths = vec![(LenTerm::len("x"), LenCmp::Eq, LenTerm::len("y"))];
+        let problem = PositionProblem { languages: &langs, positions: &positions, lengths: &lengths };
+        match solve_position(&problem, &PositionOptions::default()) {
+            PositionOutcome::Sat(strings, _) => {
+                assert_ne!(strings["x"], strings["y"]);
+                assert_eq!(strings["x"].len(), strings["y"].len());
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_diseq_unsat() {
+        let langs = languages(&[("x", "ab"), ("y", "ab")]);
+        let positions =
+            vec![PositionAtom::Diseq(vec!["x".to_string()], vec!["y".to_string()])];
+        let problem = PositionProblem { languages: &langs, positions: &positions, lengths: &[] };
+        assert_eq!(solve_position(&problem, &PositionOptions::default()), PositionOutcome::Unsat);
+    }
+
+    #[test]
+    fn not_contains_sat_via_instantiation() {
+        // ¬contains(y, x): find x ∈ (ab)*, y ∈ (ba)* with x not inside y
+        let langs = languages(&[("x", "(ab)+"), ("y", "(ba)+")]);
+        let positions = vec![PositionAtom::NotContains {
+            haystack: vec!["y".to_string()],
+            needle: vec!["x".to_string()],
+        }];
+        let problem = PositionProblem { languages: &langs, positions: &positions, lengths: &[] };
+        match solve_position(&problem, &PositionOptions::default()) {
+            PositionOutcome::Sat(strings, _) => {
+                assert!(!strings["y"].contains(&strings["x"]));
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_contains_syntactic_unsat() {
+        // ¬contains(x·y·x, y) is unsat: y literally occurs inside the haystack
+        let langs = languages(&[("x", "(ab)*"), ("y", "(ab)*")]);
+        let positions = vec![PositionAtom::NotContains {
+            haystack: vec!["x".to_string(), "y".to_string(), "x".to_string()],
+            needle: vec!["y".to_string()],
+        }];
+        let problem = PositionProblem { languages: &langs, positions: &positions, lengths: &[] };
+        assert_eq!(solve_position(&problem, &PositionOptions::default()), PositionOutcome::Unsat);
+    }
+
+    #[test]
+    fn empty_language_is_unsat() {
+        let mut langs = languages(&[("x", "a*")]);
+        langs.insert("y".to_string(), Nfa::empty_language());
+        let positions =
+            vec![PositionAtom::Diseq(vec!["x".to_string()], vec!["y".to_string()])];
+        let problem = PositionProblem { languages: &langs, positions: &positions, lengths: &[] };
+        assert_eq!(solve_position(&problem, &PositionOptions::default()), PositionOutcome::Unsat);
+    }
+}

@@ -1,0 +1,55 @@
+//! Linear integer arithmetic (LIA) for the `posr` string solver.
+//!
+//! The decision procedure of *"A Uniform Framework for Handling Position
+//! Constraints in String Solving"* reduces position constraints over regular
+//! languages to (possibly quantified) LIA formulas built from Parikh images
+//! of tag automata.  This crate is the arithmetic substrate of that
+//! reduction:
+//!
+//! * [`rational`] — exact rational arithmetic over checked `i128`,
+//! * [`term`] — integer variables and linear expressions,
+//! * [`formula`] — quantifier-free and ∀/∃-quantified LIA formulas with
+//!   evaluation, substitution and normal forms,
+//! * [`simplex`] — a general-simplex feasibility checker over the rationals,
+//! * [`intfeas`] — integer feasibility by branch-and-bound on top of the
+//!   simplex, with sound resource limits,
+//! * [`solver`] — a DPLL(T)-style satisfiability solver for quantifier-free
+//!   LIA formulas with arbitrary Boolean structure (the stand-in for the LIA
+//!   backend of Z3 used by Z3-Noodler in the paper's implementation).
+//!
+//! # Example
+//!
+//! ```
+//! use posr_lia::formula::Formula;
+//! use posr_lia::term::{LinExpr, VarPool};
+//! use posr_lia::solver::{Solver, SolverResult};
+//!
+//! let mut pool = VarPool::new();
+//! let x = pool.fresh("x");
+//! let y = pool.fresh("y");
+//! // x + y = 5  ∧  x ≥ 2  ∧  y ≥ 2
+//! let phi = Formula::and(vec![
+//!     Formula::eq(LinExpr::var(x) + LinExpr::var(y), LinExpr::constant(5)),
+//!     Formula::ge(LinExpr::var(x), LinExpr::constant(2)),
+//!     Formula::ge(LinExpr::var(y), LinExpr::constant(2)),
+//! ]);
+//! let result = Solver::new().solve(&phi);
+//! match result {
+//!     SolverResult::Sat(model) => {
+//!         assert_eq!(model.value(x) + model.value(y), 5);
+//!     }
+//!     _ => panic!("expected sat"),
+//! }
+//! ```
+
+pub mod formula;
+pub mod intfeas;
+pub mod rational;
+pub mod simplex;
+pub mod solver;
+pub mod term;
+
+pub use formula::{Atom, Cmp, Formula};
+pub use rational::Rat;
+pub use solver::{Model, Solver, SolverConfig, SolverResult};
+pub use term::{LinExpr, Var, VarPool};

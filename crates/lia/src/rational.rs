@@ -1,0 +1,313 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! The simplex feasibility checker works over the rationals.  The offline
+//! dependency set available to this repository contains no big-integer crate,
+//! so rationals are represented with `i128` numerator/denominator; every
+//! arithmetic operation checks for overflow and panics with a recognisable
+//! message on overflow.  The top-level solver catches this panic and reports
+//! a *resource-out* instead of an incorrect answer (see
+//! `posr_lia::solver::Solver::solve`).  On every workload shipped in this
+//! repository the coefficients stay far below the overflow threshold.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Message used by arithmetic overflow panics; the solver recognises it when
+/// converting panics to resource-limit results.
+pub const OVERFLOW_MSG: &str = "posr-lia rational overflow";
+
+/// An exact rational number `num / den` with `den > 0` and `gcd(num, den) = 1`.
+///
+/// ```
+/// use posr_lia::rational::Rat;
+/// let a = Rat::new(1, 3);
+/// let b = Rat::new(1, 6);
+/// assert_eq!(a + b, Rat::new(1, 2));
+/// assert!(a > b);
+/// assert_eq!(Rat::from_int(2).floor(), 2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[inline]
+fn checked(v: Option<i128>) -> i128 {
+    v.unwrap_or_else(|| panic!("{OVERFLOW_MSG}"))
+}
+
+impl Rat {
+    /// The rational 0.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// The rational 1.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// Creates the rational `num / den` in lowest terms.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Rat {
+        assert!(den != 0, "rational with zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let num = checked(num.checked_mul(sign));
+        let den = checked(den.checked_mul(sign));
+        let g = gcd(num, den);
+        if g == 0 {
+            Rat { num: 0, den: 1 }
+        } else {
+            Rat { num: num / g, den: den / g }
+        }
+    }
+
+    /// Creates the rational `n / 1`.
+    pub fn from_int(n: i128) -> Rat {
+        Rat { num: n, den: 1 }
+    }
+
+    /// Numerator (after normalisation; carries the sign).
+    pub fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// Returns `true` if the value is an integer.
+    pub fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// Returns `true` if the value is strictly negative.
+    pub fn is_negative(self) -> bool {
+        self.num < 0
+    }
+
+    /// Returns `true` if the value is strictly positive.
+    pub fn is_positive(self) -> bool {
+        self.num > 0
+    }
+
+    /// Largest integer `<= self`.
+    pub fn floor(self) -> i128 {
+        if self.num >= 0 {
+            self.num / self.den
+        } else {
+            -((-self.num + self.den - 1) / self.den)
+        }
+    }
+
+    /// Smallest integer `>= self`.
+    pub fn ceil(self) -> i128 {
+        if self.num >= 0 {
+            (self.num + self.den - 1) / self.den
+        } else {
+            -((-self.num) / self.den)
+        }
+    }
+
+    /// Converts to `i128` if the value is an integer.
+    pub fn to_integer(self) -> Option<i128> {
+        if self.is_integer() {
+            Some(self.num)
+        } else {
+            None
+        }
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Rat {
+        Rat { num: self.num.abs(), den: self.den }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics if the value is zero.
+    pub fn recip(self) -> Rat {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rat::new(self.den, self.num)
+    }
+}
+
+impl Default for Rat {
+    fn default() -> Rat {
+        Rat::ZERO
+    }
+}
+
+impl From<i128> for Rat {
+    fn from(n: i128) -> Rat {
+        Rat::from_int(n)
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(n: i64) -> Rat {
+        Rat::from_int(n as i128)
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl Add for Rat {
+    type Output = Rat;
+    fn add(self, rhs: Rat) -> Rat {
+        let num = checked(
+            checked(self.num.checked_mul(rhs.den)).checked_add(checked(rhs.num.checked_mul(self.den))),
+        );
+        let den = checked(self.den.checked_mul(rhs.den));
+        Rat::new(num, den)
+    }
+}
+
+impl Sub for Rat {
+    type Output = Rat;
+    fn sub(self, rhs: Rat) -> Rat {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rat {
+    type Output = Rat;
+    fn mul(self, rhs: Rat) -> Rat {
+        let num = checked(self.num.checked_mul(rhs.num));
+        let den = checked(self.den.checked_mul(rhs.den));
+        Rat::new(num, den)
+    }
+}
+
+impl Div for Rat {
+    type Output = Rat;
+    fn div(self, rhs: Rat) -> Rat {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat { num: -self.num, den: self.den }
+    }
+}
+
+impl AddAssign for Rat {
+    fn add_assign(&mut self, rhs: Rat) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Rat {
+    fn sub_assign(&mut self, rhs: Rat) {
+        *self = *self - rhs;
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Rat) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Rat) -> Ordering {
+        let lhs = checked(self.num.checked_mul(other.den));
+        let rhs = checked(other.num.checked_mul(self.den));
+        lhs.cmp(&rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalisation() {
+        assert_eq!(Rat::new(2, 4), Rat::new(1, 2));
+        assert_eq!(Rat::new(-2, -4), Rat::new(1, 2));
+        assert_eq!(Rat::new(2, -4), Rat::new(-1, 2));
+        assert_eq!(Rat::new(0, 7), Rat::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rat::new(1, 3);
+        let b = Rat::new(1, 6);
+        assert_eq!(a + b, Rat::new(1, 2));
+        assert_eq!(a - b, Rat::new(1, 6));
+        assert_eq!(a * b, Rat::new(1, 18));
+        assert_eq!(a / b, Rat::from_int(2));
+        assert_eq!(-a, Rat::new(-1, 3));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rat::new(1, 3) > Rat::new(1, 4));
+        assert!(Rat::new(-1, 2) < Rat::ZERO);
+        assert!(Rat::from_int(3) >= Rat::new(6, 2));
+    }
+
+    #[test]
+    fn floor_and_ceil() {
+        assert_eq!(Rat::new(7, 2).floor(), 3);
+        assert_eq!(Rat::new(7, 2).ceil(), 4);
+        assert_eq!(Rat::new(-7, 2).floor(), -4);
+        assert_eq!(Rat::new(-7, 2).ceil(), -3);
+        assert_eq!(Rat::from_int(5).floor(), 5);
+        assert_eq!(Rat::from_int(5).ceil(), 5);
+    }
+
+    #[test]
+    fn integer_detection() {
+        assert!(Rat::new(4, 2).is_integer());
+        assert!(!Rat::new(5, 2).is_integer());
+        assert_eq!(Rat::new(4, 2).to_integer(), Some(2));
+        assert_eq!(Rat::new(5, 2).to_integer(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rat::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "posr-lia rational overflow")]
+    fn overflow_panics_with_marker() {
+        let big = Rat::from_int(i128::MAX / 2);
+        let _ = big * big;
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rat::new(3, 6).to_string(), "1/2");
+        assert_eq!(Rat::from_int(-4).to_string(), "-4");
+    }
+}

@@ -1,0 +1,395 @@
+//! Rational feasibility of conjunctions of linear constraints via the
+//! *general simplex* algorithm (Dutertre & de Moura style).
+//!
+//! The solver answers the question "does the conjunction `Σ aᵢxᵢ ⋈ c` (with
+//! `⋈ ∈ {≤, ≥, =}`) have a solution over the rationals?" and produces a
+//! rational witness when it does.  Integer feasibility is layered on top of
+//! this in [`crate::intfeas`] by branch-and-bound, and the Boolean structure
+//! of full LIA formulas is handled by [`crate::solver`].
+//!
+//! Strict inequalities and disequalities never reach this layer: the integer
+//! setting lets the upper layers rewrite `<`/`>` into `≤`/`≥` with a shifted
+//! constant, and `≠` is split disjunctively.
+
+use std::collections::BTreeMap;
+
+use crate::rational::Rat;
+use crate::term::{LinExpr, Var};
+
+/// Relation of a simplex constraint `expr ⋈ bound`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Rel {
+    /// `expr ≤ bound`
+    Le,
+    /// `expr ≥ bound`
+    Ge,
+    /// `expr = bound`
+    Eq,
+}
+
+/// A constraint handed to the simplex: `expr ⋈ 0` with `⋈ ∈ {≤, ≥, =}`.
+/// The constant part of `expr` is honoured (it is moved to the bound side).
+#[derive(Clone, Debug)]
+pub struct SimplexConstraint {
+    /// Linear expression (its constant part becomes part of the bound).
+    pub expr: LinExpr,
+    /// Relation against zero.
+    pub rel: Rel,
+}
+
+/// Result of a feasibility check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimplexResult {
+    /// The constraints are satisfiable over ℚ; a witness assignment for every
+    /// variable occurring in the constraints is returned.
+    Feasible(BTreeMap<Var, Rat>),
+    /// The constraints are unsatisfiable over ℚ (hence also over ℤ).
+    Infeasible,
+}
+
+impl SimplexResult {
+    /// Returns `true` if feasible.
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, SimplexResult::Feasible(_))
+    }
+}
+
+/// Checks rational feasibility of a conjunction of constraints.
+///
+/// This is a convenience wrapper that builds a [`Simplex`] tableau, asserts
+/// all constraints and runs the check loop.
+pub fn check_feasibility(constraints: &[SimplexConstraint]) -> SimplexResult {
+    let mut simplex = Simplex::new(constraints);
+    simplex.check()
+}
+
+/// The general-simplex tableau.
+pub struct Simplex {
+    /// Number of problem variables (columns `0..num_vars` correspond to the
+    /// original [`Var`]s in `var_order`).
+    num_vars: usize,
+    /// Original variables in column order.
+    var_order: Vec<Var>,
+    /// `rows[b]` is `Some(coeffs)` iff variable `b` is basic, with
+    /// `x_b = Σ coeffs[n]·x_n` over the nonbasic variables `n`.
+    rows: Vec<Option<BTreeMap<usize, Rat>>>,
+    /// Lower bounds per variable.
+    lower: Vec<Option<Rat>>,
+    /// Upper bounds per variable.
+    upper: Vec<Option<Rat>>,
+    /// Current assignment per variable.
+    beta: Vec<Rat>,
+}
+
+impl Simplex {
+    /// Builds a tableau for the given constraints: one slack variable per
+    /// constraint, bounds on the slack variables.
+    pub fn new(constraints: &[SimplexConstraint]) -> Simplex {
+        // collect problem variables
+        let mut var_index: BTreeMap<Var, usize> = BTreeMap::new();
+        let mut var_order: Vec<Var> = Vec::new();
+        for c in constraints {
+            for v in c.expr.variables() {
+                var_index.entry(v).or_insert_with(|| {
+                    var_order.push(v);
+                    var_order.len() - 1
+                });
+            }
+        }
+        let num_vars = var_order.len();
+        let total = num_vars + constraints.len();
+        let mut rows: Vec<Option<BTreeMap<usize, Rat>>> = vec![None; total];
+        let mut lower: Vec<Option<Rat>> = vec![None; total];
+        let mut upper: Vec<Option<Rat>> = vec![None; total];
+        let beta: Vec<Rat> = vec![Rat::ZERO; total];
+
+        for (j, c) in constraints.iter().enumerate() {
+            let slack = num_vars + j;
+            let mut coeffs: BTreeMap<usize, Rat> = BTreeMap::new();
+            for (v, coeff) in c.expr.terms() {
+                let col = var_index[&v];
+                let entry = coeffs.entry(col).or_insert(Rat::ZERO);
+                *entry = *entry + Rat::from_int(coeff);
+            }
+            coeffs.retain(|_, r| !r.is_zero());
+            rows[slack] = Some(coeffs);
+            // expr + const ⋈ 0  ⟺  slack ⋈ -const
+            let bound = Rat::from_int(-c.expr.constant_part());
+            match c.rel {
+                Rel::Le => upper[slack] = Some(bound),
+                Rel::Ge => lower[slack] = Some(bound),
+                Rel::Eq => {
+                    lower[slack] = Some(bound);
+                    upper[slack] = Some(bound);
+                }
+            }
+        }
+
+        Simplex { num_vars, var_order, rows, lower, upper, beta }
+    }
+
+    fn is_basic(&self, v: usize) -> bool {
+        self.rows[v].is_some()
+    }
+
+    /// Recomputes the value of every basic variable from the nonbasic values.
+    fn recompute_basics(&mut self) {
+        for v in 0..self.beta.len() {
+            if let Some(row) = &self.rows[v] {
+                let mut value = Rat::ZERO;
+                for (&col, &coeff) in row {
+                    value = value + coeff * self.beta[col];
+                }
+                self.beta[v] = value;
+            }
+        }
+    }
+
+    fn violates_lower(&self, v: usize) -> bool {
+        matches!(self.lower[v], Some(l) if self.beta[v] < l)
+    }
+
+    fn violates_upper(&self, v: usize) -> bool {
+        matches!(self.upper[v], Some(u) if self.beta[v] > u)
+    }
+
+    /// Pivot basic variable `b` with nonbasic variable `n` and set `b` to `v`.
+    fn pivot_and_update(&mut self, b: usize, n: usize, v: Rat) {
+        let row_b = self.rows[b].clone().expect("b must be basic");
+        let a_bn = *row_b.get(&n).expect("n must occur in the row of b");
+        let theta = (v - self.beta[b]) / a_bn;
+        self.beta[b] = v;
+        self.beta[n] = self.beta[n] + theta;
+        for other in 0..self.beta.len() {
+            if other != b {
+                if let Some(row) = &self.rows[other] {
+                    if let Some(&a_on) = row.get(&n) {
+                        self.beta[other] = self.beta[other] + a_on * theta;
+                    }
+                }
+            }
+        }
+        self.pivot(b, n, &row_b, a_bn);
+    }
+
+    /// Structural pivot: `b` leaves the basis, `n` enters it.
+    fn pivot(&mut self, b: usize, n: usize, row_b: &BTreeMap<usize, Rat>, a_bn: Rat) {
+        // n = (b - Σ_{k≠n} a_bk·k) / a_bn
+        let mut new_row_n: BTreeMap<usize, Rat> = BTreeMap::new();
+        new_row_n.insert(b, Rat::ONE / a_bn);
+        for (&k, &a_bk) in row_b {
+            if k != n {
+                new_row_n.insert(k, -a_bk / a_bn);
+            }
+        }
+        new_row_n.retain(|_, r| !r.is_zero());
+        self.rows[b] = None;
+        // substitute n in every other row
+        for other in 0..self.rows.len() {
+            if other == n {
+                continue;
+            }
+            let Some(row) = self.rows[other].clone() else { continue };
+            if let Some(&a_on) = row.get(&n) {
+                let mut new_row = row.clone();
+                new_row.remove(&n);
+                for (&k, &c) in &new_row_n {
+                    let entry = new_row.entry(k).or_insert(Rat::ZERO);
+                    *entry = *entry + a_on * c;
+                }
+                new_row.retain(|_, r| !r.is_zero());
+                self.rows[other] = Some(new_row);
+            }
+        }
+        self.rows[n] = Some(new_row_n);
+    }
+
+    /// Runs the check loop (Bland's rule for termination).
+    pub fn check(&mut self) -> SimplexResult {
+        self.recompute_basics();
+        loop {
+            // smallest basic variable violating one of its bounds
+            let violating = (0..self.beta.len())
+                .find(|&v| self.is_basic(v) && (self.violates_lower(v) || self.violates_upper(v)));
+            let Some(b) = violating else {
+                return SimplexResult::Feasible(self.model());
+            };
+            let row = self.rows[b].clone().expect("basic");
+            if self.violates_lower(b) {
+                let target = self.lower[b].expect("violated lower bound exists");
+                // find nonbasic n with (a_bn > 0 and beta[n] can increase) or (a_bn < 0 and beta[n] can decrease)
+                let candidate = row.iter().find(|(&n, &a)| {
+                    debug_assert!(!self.is_basic(n));
+                    (a.is_positive() && self.upper[n].map_or(true, |u| self.beta[n] < u))
+                        || (a.is_negative() && self.lower[n].map_or(true, |l| self.beta[n] > l))
+                });
+                match candidate {
+                    None => return SimplexResult::Infeasible,
+                    Some((&n, _)) => self.pivot_and_update(b, n, target),
+                }
+            } else {
+                let target = self.upper[b].expect("violated upper bound exists");
+                let candidate = row.iter().find(|(&n, &a)| {
+                    (a.is_negative() && self.upper[n].map_or(true, |u| self.beta[n] < u))
+                        || (a.is_positive() && self.lower[n].map_or(true, |l| self.beta[n] > l))
+                });
+                match candidate {
+                    None => return SimplexResult::Infeasible,
+                    Some((&n, _)) => self.pivot_and_update(b, n, target),
+                }
+            }
+        }
+    }
+
+    /// Extracts the current rational assignment of the problem variables.
+    fn model(&self) -> BTreeMap<Var, Rat> {
+        let mut out = BTreeMap::new();
+        for (col, &var) in self.var_order.iter().enumerate() {
+            out.insert(var, self.beta[col]);
+        }
+        out
+    }
+
+    /// Number of problem (non-slack) variables.
+    pub fn num_problem_vars(&self) -> usize {
+        self.num_vars
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::VarPool;
+
+    fn le(expr: LinExpr) -> SimplexConstraint {
+        SimplexConstraint { expr, rel: Rel::Le }
+    }
+    fn ge(expr: LinExpr) -> SimplexConstraint {
+        SimplexConstraint { expr, rel: Rel::Ge }
+    }
+    fn eq(expr: LinExpr) -> SimplexConstraint {
+        SimplexConstraint { expr, rel: Rel::Eq }
+    }
+
+    fn check_model(constraints: &[SimplexConstraint], model: &BTreeMap<Var, Rat>) {
+        for c in constraints {
+            let mut value = Rat::from_int(c.expr.constant_part());
+            for (v, coeff) in c.expr.terms() {
+                value = value + Rat::from_int(coeff) * model.get(&v).copied().unwrap_or(Rat::ZERO);
+            }
+            let ok = match c.rel {
+                Rel::Le => value <= Rat::ZERO,
+                Rel::Ge => value >= Rat::ZERO,
+                Rel::Eq => value == Rat::ZERO,
+            };
+            assert!(ok, "model violates constraint {:?} (value {value})", c.rel);
+        }
+    }
+
+    #[test]
+    fn simple_feasible_system() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let y = pool.fresh("y");
+        // x + y = 5, x >= 2, y >= 2
+        let constraints = vec![
+            eq(LinExpr::var(x) + LinExpr::var(y) - LinExpr::constant(5)),
+            ge(LinExpr::var(x) - LinExpr::constant(2)),
+            ge(LinExpr::var(y) - LinExpr::constant(2)),
+        ];
+        match check_feasibility(&constraints) {
+            SimplexResult::Feasible(m) => check_model(&constraints, &m),
+            SimplexResult::Infeasible => panic!("should be feasible"),
+        }
+    }
+
+    #[test]
+    fn simple_infeasible_system() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        // x >= 3 and x <= 2
+        let constraints = vec![
+            ge(LinExpr::var(x) - LinExpr::constant(3)),
+            le(LinExpr::var(x) - LinExpr::constant(2)),
+        ];
+        assert_eq!(check_feasibility(&constraints), SimplexResult::Infeasible);
+    }
+
+    #[test]
+    fn infeasible_needs_combination() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let y = pool.fresh("y");
+        // x + y >= 10, x <= 3, y <= 3
+        let constraints = vec![
+            ge(LinExpr::var(x) + LinExpr::var(y) - LinExpr::constant(10)),
+            le(LinExpr::var(x) - LinExpr::constant(3)),
+            le(LinExpr::var(y) - LinExpr::constant(3)),
+        ];
+        assert_eq!(check_feasibility(&constraints), SimplexResult::Infeasible);
+    }
+
+    #[test]
+    fn rational_solution_found() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        // 2x = 1
+        let constraints = vec![eq(LinExpr::scaled_var(x, 2) - LinExpr::constant(1))];
+        match check_feasibility(&constraints) {
+            SimplexResult::Feasible(m) => {
+                assert_eq!(m[&x], Rat::new(1, 2));
+            }
+            SimplexResult::Infeasible => panic!("should be feasible"),
+        }
+    }
+
+    #[test]
+    fn equalities_propagate() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let y = pool.fresh("y");
+        let z = pool.fresh("z");
+        // x = y, y = z, x + y + z = 9 -> all 3
+        let constraints = vec![
+            eq(LinExpr::var(x) - LinExpr::var(y)),
+            eq(LinExpr::var(y) - LinExpr::var(z)),
+            eq(LinExpr::var(x) + LinExpr::var(y) + LinExpr::var(z) - LinExpr::constant(9)),
+        ];
+        match check_feasibility(&constraints) {
+            SimplexResult::Feasible(m) => {
+                check_model(&constraints, &m);
+                assert_eq!(m[&x], Rat::from_int(3));
+            }
+            SimplexResult::Infeasible => panic!("should be feasible"),
+        }
+    }
+
+    #[test]
+    fn constant_contradiction() {
+        // 0 >= 1 expressed as an expression with no variables
+        let constraints = vec![ge(LinExpr::constant(-1))];
+        assert_eq!(check_feasibility(&constraints), SimplexResult::Infeasible);
+        let constraints = vec![ge(LinExpr::constant(1))];
+        assert!(check_feasibility(&constraints).is_feasible());
+    }
+
+    #[test]
+    fn larger_chain_is_feasible() {
+        let mut pool = VarPool::new();
+        let vars: Vec<Var> = (0..20).map(|i| pool.fresh(&format!("x{i}"))).collect();
+        // x0 >= 1, x_{i+1} >= x_i + 1, x_19 <= 100
+        let mut constraints = vec![ge(LinExpr::var(vars[0]) - LinExpr::constant(1))];
+        for w in vars.windows(2) {
+            constraints.push(ge(LinExpr::var(w[1]) - LinExpr::var(w[0]) - LinExpr::constant(1)));
+        }
+        constraints.push(le(LinExpr::var(vars[19]) - LinExpr::constant(100)));
+        match check_feasibility(&constraints) {
+            SimplexResult::Feasible(m) => check_model(&constraints, &m),
+            SimplexResult::Infeasible => panic!("should be feasible"),
+        }
+        // tightening the last bound to 10 makes it infeasible
+        constraints.pop();
+        constraints.push(le(LinExpr::var(vars[19]) - LinExpr::constant(10)));
+        assert_eq!(check_feasibility(&constraints), SimplexResult::Infeasible);
+    }
+}

@@ -1,0 +1,521 @@
+//! A DPLL(T)-style satisfiability solver for quantifier-free LIA formulas.
+//!
+//! The search walks the Boolean structure of the (negation-normal-form)
+//! formula, accumulating a conjunction of asserted linear constraints.  At
+//! every disjunction it branches; before branching and at every leaf it asks
+//! the theory solver ([`crate::simplex`] for the rational relaxation,
+//! [`crate::intfeas`] for integer feasibility) whether the current
+//! conjunction is still consistent.  This "structural DPLL(T)" is well suited
+//! to the formulas produced by the paper's reductions, whose disjunctions are
+//! few and shallow (the `φ_len ∨ (φ_sym ∧ φ_mis)` split, the per-pair
+//! disjunction of `φ_mis`, and the spanning-tree disjunctions of the Parikh
+//! formula).
+//!
+//! The solver is sound for both answers: `Sat` comes with a model that the
+//! caller can (and the tests do) re-evaluate, and `Unsat` is only reported
+//! when every branch was refuted by the theory without hitting a resource
+//! limit.  Resource exhaustion and arithmetic overflow yield
+//! [`SolverResult::Unknown`].
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::formula::{Atom, Cmp, Formula};
+use crate::intfeas::{solve_integer, IntFeasConfig, IntFeasResult};
+use crate::rational::OVERFLOW_MSG;
+use crate::simplex::{check_feasibility, Rel, SimplexConstraint};
+use crate::term::{LinExpr, Var};
+
+/// An integer model: a total assignment of the formula's variables
+/// (variables the solver never had to constrain default to 0).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Model {
+    values: BTreeMap<Var, i128>,
+}
+
+impl Model {
+    /// Creates a model from explicit values.
+    pub fn from_values(values: BTreeMap<Var, i128>) -> Model {
+        Model { values }
+    }
+
+    /// The value of a variable (0 if unconstrained).
+    pub fn value(&self, var: Var) -> i128 {
+        self.values.get(&var).copied().unwrap_or(0)
+    }
+
+    /// Sets the value of a variable.
+    pub fn set(&mut self, var: Var, value: i128) {
+        self.values.insert(var, value);
+    }
+
+    /// Iterates over the explicitly assigned variables.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, i128)> + '_ {
+        self.values.iter().map(|(&v, &k)| (v, k))
+    }
+
+    /// Evaluates a quantifier-free formula under this model.
+    pub fn satisfies(&self, formula: &Formula) -> bool {
+        formula.eval(&|v| self.value(v))
+    }
+}
+
+/// Result of a satisfiability query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolverResult {
+    /// The formula is satisfiable; a model is attached.
+    Sat(Model),
+    /// The formula is unsatisfiable.
+    Unsat,
+    /// The solver could not decide within its resource limits (or the input
+    /// was outside the supported fragment); the string describes why.
+    Unknown(String),
+}
+
+impl SolverResult {
+    /// Returns `true` for [`SolverResult::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolverResult::Sat(_))
+    }
+
+    /// Returns `true` for [`SolverResult::Unsat`].
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SolverResult::Unsat)
+    }
+
+    /// Extracts the model of a `Sat` result.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            SolverResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Tuning knobs of the solver.
+#[derive(Clone, Copy, Debug)]
+pub struct SolverConfig {
+    /// Prune disjunction branches whose asserted prefix is already
+    /// rationally infeasible.  The ablation benchmark `encoding_size` flips
+    /// this switch.
+    pub early_pruning: bool,
+    /// Maximum number of disjunction branches explored.
+    pub max_decisions: usize,
+    /// Limits of the integer feasibility backend.
+    pub int_config: IntFeasConfig,
+}
+
+impl Default for SolverConfig {
+    fn default() -> SolverConfig {
+        SolverConfig {
+            early_pruning: true,
+            // Every decision costs a rational-simplex feasibility check, so
+            // this bound also acts as the de-facto time budget of a single
+            // LIA query.  Queries that exceed it return `Unknown` rather than
+            // running for minutes; the benchmark harness counts those as
+            // resource-outs, exactly like the paper's OOR column.
+            max_decisions: 1_500,
+            int_config: IntFeasConfig::default(),
+        }
+    }
+}
+
+/// The DPLL(T) solver.
+#[derive(Clone, Debug, Default)]
+pub struct Solver {
+    config: SolverConfig,
+}
+
+impl Solver {
+    /// Creates a solver with the default configuration.
+    pub fn new() -> Solver {
+        Solver { config: SolverConfig::default() }
+    }
+
+    /// Creates a solver with an explicit configuration.
+    pub fn with_config(config: SolverConfig) -> Solver {
+        Solver { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Decides satisfiability of a quantifier-free LIA formula.
+    ///
+    /// Quantified formulas yield `Unknown` (the `¬contains` front end in
+    /// `posr-core` performs its own instantiation before calling this).
+    /// Arithmetic overflow inside the theory solver is caught and reported
+    /// as `Unknown` rather than producing a wrong answer.
+    pub fn solve(&self, formula: &Formula) -> SolverResult {
+        if !formula.is_quantifier_free() {
+            return SolverResult::Unknown("formula contains quantifiers".to_string());
+        }
+        let nnf = formula.nnf().simplify();
+        let result = catch_unwind(AssertUnwindSafe(|| self.solve_nnf(&nnf)));
+        match result {
+            Ok(r) => r,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("panic");
+                if msg.contains(OVERFLOW_MSG) {
+                    SolverResult::Unknown("arithmetic overflow in theory solver".to_string())
+                } else {
+                    // re-raise unrelated panics: they indicate bugs, not resource limits
+                    std::panic::panic_any(msg.to_string())
+                }
+            }
+        }
+    }
+
+    fn solve_nnf(&self, formula: &Formula) -> SolverResult {
+        let mut search = Search {
+            config: &self.config,
+            decisions: 0,
+            saw_resource_out: false,
+        };
+        let mut asserted = Vec::new();
+        match search.explore(&mut asserted, &mut vec![formula.clone()]) {
+            Some(model) => SolverResult::Sat(model),
+            None => {
+                if search.saw_resource_out {
+                    SolverResult::Unknown("resource limit reached".to_string())
+                } else {
+                    SolverResult::Unsat
+                }
+            }
+        }
+    }
+}
+
+struct Search<'a> {
+    config: &'a SolverConfig,
+    decisions: usize,
+    saw_resource_out: bool,
+}
+
+impl Search<'_> {
+    /// Explores the remaining `worklist` under the constraints already in
+    /// `asserted`; returns a model if a satisfying leaf is found.
+    fn explore(
+        &mut self,
+        asserted: &mut Vec<SimplexConstraint>,
+        worklist: &mut Vec<Formula>,
+    ) -> Option<Model> {
+        loop {
+            // assert unit conjuncts before branching on any disjunction: the
+            // theory-level pruning then has the full conjunctive context and
+            // cuts refuted branches much earlier
+            let next_index = worklist
+                .iter()
+                .rposition(|f| !matches!(f, Formula::Or(_)))
+                .or(if worklist.is_empty() { None } else { Some(worklist.len() - 1) });
+            let Some(next) = next_index.map(|i| worklist.remove(i)) else {
+                // leaf: integer feasibility of the asserted conjunction
+                return match solve_integer(asserted, &self.config.int_config) {
+                    IntFeasResult::Sat(values) => Some(Model::from_values(values)),
+                    IntFeasResult::Unsat => None,
+                    IntFeasResult::ResourceOut => {
+                        self.saw_resource_out = true;
+                        None
+                    }
+                };
+            };
+            match next {
+                Formula::True => {}
+                Formula::False => return None,
+                Formula::And(parts) => worklist.extend(parts),
+                Formula::Atom(atom) => match atom_to_constraints(&atom) {
+                    AtomConstraints::Single(c) => asserted.push(c),
+                    AtomConstraints::Split(left, right) => {
+                        // a disequality: branch on the two half-spaces
+                        let disjunction = Formula::Or(vec![Formula::Atom(left), Formula::Atom(right)]);
+                        worklist.push(disjunction);
+                    }
+                },
+                Formula::Not(inner) => worklist.push(Formula::not(*inner)),
+                Formula::Or(parts) => {
+                    if self.config.early_pruning && !check_feasibility(asserted).is_feasible() {
+                        return None;
+                    }
+                    for part in parts {
+                        self.decisions += 1;
+                        if self.decisions > self.config.max_decisions {
+                            self.saw_resource_out = true;
+                            return None;
+                        }
+                        let mut branch_asserted = asserted.clone();
+                        let mut branch_worklist = worklist.clone();
+                        branch_worklist.push(part);
+                        if let Some(model) = self.explore(&mut branch_asserted, &mut branch_worklist)
+                        {
+                            return Some(model);
+                        }
+                    }
+                    return None;
+                }
+                Formula::Forall(_, _) | Formula::Exists(_, _) => {
+                    // unreachable: `solve` rejects quantified formulas upfront
+                    self.saw_resource_out = true;
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+enum AtomConstraints {
+    Single(SimplexConstraint),
+    Split(Atom, Atom),
+}
+
+/// Translates an atom `expr ⋈ 0` over integers into simplex constraints:
+/// strict comparisons are shifted by one, disequality splits into two atoms.
+fn atom_to_constraints(atom: &Atom) -> AtomConstraints {
+    let expr = atom.expr.clone();
+    match atom.cmp {
+        Cmp::Le => AtomConstraints::Single(SimplexConstraint { expr, rel: Rel::Le }),
+        Cmp::Ge => AtomConstraints::Single(SimplexConstraint { expr, rel: Rel::Ge }),
+        Cmp::Eq => AtomConstraints::Single(SimplexConstraint { expr, rel: Rel::Eq }),
+        Cmp::Lt => AtomConstraints::Single(SimplexConstraint {
+            expr: expr + LinExpr::constant(1),
+            rel: Rel::Le,
+        }),
+        Cmp::Gt => AtomConstraints::Single(SimplexConstraint {
+            expr: expr - LinExpr::constant(1),
+            rel: Rel::Ge,
+        }),
+        Cmp::Ne => AtomConstraints::Split(
+            Atom { expr: expr.clone(), cmp: Cmp::Lt },
+            Atom { expr, cmp: Cmp::Gt },
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::VarPool;
+
+    fn solve(formula: &Formula) -> SolverResult {
+        Solver::new().solve(formula)
+    }
+
+    fn assert_sat_and_model_checks(formula: &Formula) {
+        match solve(formula) {
+            SolverResult::Sat(model) => assert!(model.satisfies(formula), "model must satisfy"),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_conjunction_sat() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let y = pool.fresh("y");
+        let phi = Formula::and(vec![
+            Formula::eq(LinExpr::var(x) + LinExpr::var(y), LinExpr::constant(5)),
+            Formula::ge(LinExpr::var(x), LinExpr::constant(2)),
+            Formula::ge(LinExpr::var(y), LinExpr::constant(2)),
+        ]);
+        assert_sat_and_model_checks(&phi);
+    }
+
+    #[test]
+    fn simple_conjunction_unsat() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let phi = Formula::and(vec![
+            Formula::gt(LinExpr::var(x), LinExpr::constant(3)),
+            Formula::lt(LinExpr::var(x), LinExpr::constant(4)),
+        ]);
+        assert_eq!(solve(&phi), SolverResult::Unsat);
+    }
+
+    #[test]
+    fn disjunction_explores_branches() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        // (x = 3 ∧ x = 4) ∨ x = 7
+        let phi = Formula::or(vec![
+            Formula::and(vec![
+                Formula::eq(LinExpr::var(x), LinExpr::constant(3)),
+                Formula::eq(LinExpr::var(x), LinExpr::constant(4)),
+            ]),
+            Formula::eq(LinExpr::var(x), LinExpr::constant(7)),
+        ]);
+        match solve(&phi) {
+            SolverResult::Sat(m) => assert_eq!(m.value(x), 7),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disequality_atom_is_split() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let phi = Formula::and(vec![
+            Formula::ge(LinExpr::var(x), LinExpr::constant(0)),
+            Formula::le(LinExpr::var(x), LinExpr::constant(1)),
+            Formula::ne(LinExpr::var(x), LinExpr::constant(0)),
+        ]);
+        match solve(&phi) {
+            SolverResult::Sat(m) => assert_eq!(m.value(x), 1),
+            other => panic!("expected sat, got {other:?}"),
+        }
+        let phi_unsat = Formula::and(vec![
+            phi,
+            Formula::ne(LinExpr::var(x), LinExpr::constant(1)),
+        ]);
+        assert_eq!(solve(&phi_unsat), SolverResult::Unsat);
+    }
+
+    #[test]
+    fn negation_of_complex_formula() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let y = pool.fresh("y");
+        // ¬(x ≤ y ∨ x ≤ 0) ∧ y = 5  ⟹ x > y = 5
+        let phi = Formula::and(vec![
+            Formula::not(Formula::or(vec![
+                Formula::le(LinExpr::var(x), LinExpr::var(y)),
+                Formula::le(LinExpr::var(x), LinExpr::constant(0)),
+            ])),
+            Formula::eq(LinExpr::var(y), LinExpr::constant(5)),
+        ]);
+        match solve(&phi) {
+            SolverResult::Sat(m) => {
+                assert!(m.value(x) > 5);
+                assert_eq!(m.value(y), 5);
+                assert!(m.satisfies(&phi));
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn integrality_matters() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        // 1 ≤ 3x ≤ 2 has rational but no integer solutions
+        let phi = Formula::and(vec![
+            Formula::ge(LinExpr::scaled_var(x, 3), LinExpr::constant(1)),
+            Formula::le(LinExpr::scaled_var(x, 3), LinExpr::constant(2)),
+        ]);
+        assert_eq!(solve(&phi), SolverResult::Unsat);
+    }
+
+    #[test]
+    fn trivial_formulas() {
+        assert!(solve(&Formula::True).is_sat());
+        assert_eq!(solve(&Formula::False), SolverResult::Unsat);
+    }
+
+    #[test]
+    fn quantified_input_is_rejected() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let phi = Formula::forall(vec![x], Formula::ge(LinExpr::var(x), LinExpr::constant(0)));
+        match solve(&phi) {
+            SolverResult::Unknown(_) => {}
+            other => panic!("expected unknown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_boolean_structure() {
+        let mut pool = VarPool::new();
+        let a = pool.fresh("a");
+        let b = pool.fresh("b");
+        let c = pool.fresh("c");
+        // (a=1 ∨ a=2) ∧ (b = a + 1 ∨ b = a + 2) ∧ c = a + b ∧ c = 5
+        let phi = Formula::and(vec![
+            Formula::or(vec![
+                Formula::eq(LinExpr::var(a), LinExpr::constant(1)),
+                Formula::eq(LinExpr::var(a), LinExpr::constant(2)),
+            ]),
+            Formula::or(vec![
+                Formula::eq(LinExpr::var(b), LinExpr::var(a) + LinExpr::constant(1)),
+                Formula::eq(LinExpr::var(b), LinExpr::var(a) + LinExpr::constant(2)),
+            ]),
+            Formula::eq(LinExpr::var(c), LinExpr::var(a) + LinExpr::var(b)),
+            Formula::eq(LinExpr::var(c), LinExpr::constant(5)),
+        ]);
+        match solve(&phi) {
+            SolverResult::Sat(m) => {
+                assert!(m.satisfies(&phi));
+                assert_eq!(m.value(a) + m.value(b), 5);
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+        // forcing c = 100 makes it unsat
+        let phi_unsat = Formula::and(vec![phi, Formula::eq(LinExpr::var(c), LinExpr::constant(100))]);
+        assert_eq!(solve(&phi_unsat), SolverResult::Unsat);
+    }
+
+    #[test]
+    fn decision_limit_yields_unknown() {
+        let mut pool = VarPool::new();
+        let vars: Vec<Var> = (0..10).map(|i| pool.fresh(&format!("x{i}"))).collect();
+        // a conjunction of 10 binary disjunctions with no solution, so the
+        // solver has to enumerate all of them
+        let mut conjuncts = Vec::new();
+        for &v in &vars {
+            conjuncts.push(Formula::or(vec![
+                Formula::eq(LinExpr::var(v), LinExpr::constant(0)),
+                Formula::eq(LinExpr::var(v), LinExpr::constant(1)),
+            ]));
+        }
+        conjuncts.push(Formula::ge(
+            LinExpr::sum_of_vars(vars.iter().copied()),
+            LinExpr::constant(100),
+        ));
+        let config = SolverConfig { max_decisions: 3, ..SolverConfig::default() };
+        match Solver::with_config(config).solve(&Formula::and(conjuncts)) {
+            SolverResult::Unknown(_) => {}
+            other => panic!("expected unknown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn early_pruning_and_exhaustive_agree() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let y = pool.fresh("y");
+        let phi = Formula::and(vec![
+            Formula::eq(LinExpr::var(x) + LinExpr::var(y), LinExpr::constant(4)),
+            Formula::or(vec![
+                Formula::ge(LinExpr::var(x), LinExpr::constant(10)),
+                Formula::eq(LinExpr::var(x), LinExpr::var(y)),
+            ]),
+            Formula::ge(LinExpr::var(x), LinExpr::constant(0)),
+            Formula::le(LinExpr::var(x), LinExpr::constant(4)),
+        ]);
+        let pruned = Solver::with_config(SolverConfig { early_pruning: true, ..Default::default() })
+            .solve(&phi);
+        let exhaustive =
+            Solver::with_config(SolverConfig { early_pruning: false, ..Default::default() })
+                .solve(&phi);
+        assert!(pruned.is_sat());
+        assert!(exhaustive.is_sat());
+    }
+
+    #[test]
+    fn model_defaults_unmentioned_variables_to_zero() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let unused = pool.fresh("unused");
+        let phi = Formula::eq(LinExpr::var(x), LinExpr::constant(2));
+        match solve(&phi) {
+            SolverResult::Sat(m) => {
+                assert_eq!(m.value(x), 2);
+                assert_eq!(m.value(unused), 0);
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+}

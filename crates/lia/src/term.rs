@@ -1,0 +1,426 @@
+//! Integer variables and linear expressions.
+//!
+//! A [`Var`] is a dense index into a [`VarPool`] which remembers a
+//! human-readable name for every variable (e.g. `#⟨L,x⟩`, `#δ_17`, `γI_q3`).
+//! A [`LinExpr`] is an integer-coefficient linear combination of variables
+//! plus a constant; it is the only term language needed by the reductions of
+//! the paper.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// An integer variable, identified by a dense index into its [`VarPool`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Var(pub usize);
+
+impl Var {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// An allocator of integer variables that remembers their names.
+///
+/// ```
+/// use posr_lia::term::VarPool;
+/// let mut pool = VarPool::new();
+/// let x = pool.fresh("x");
+/// assert_eq!(pool.name(x), "x");
+/// assert_eq!(pool.len(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct VarPool {
+    names: Vec<String>,
+    by_name: BTreeMap<String, Var>,
+}
+
+impl VarPool {
+    /// Creates an empty pool.
+    pub fn new() -> VarPool {
+        VarPool::default()
+    }
+
+    /// Allocates a fresh variable with the given name.  If the name is
+    /// already taken, a numeric suffix is appended to keep names unique.
+    pub fn fresh(&mut self, name: &str) -> Var {
+        let mut unique = name.to_string();
+        let mut counter = 1;
+        while self.by_name.contains_key(&unique) {
+            unique = format!("{name}#{counter}");
+            counter += 1;
+        }
+        let var = Var(self.names.len());
+        self.names.push(unique.clone());
+        self.by_name.insert(unique, var);
+        var
+    }
+
+    /// Returns the variable registered under `name`, allocating it if needed.
+    pub fn named(&mut self, name: &str) -> Var {
+        if let Some(&v) = self.by_name.get(name) {
+            return v;
+        }
+        let var = Var(self.names.len());
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), var);
+        var
+    }
+
+    /// Looks up a variable by name without allocating.
+    pub fn lookup(&self, name: &str) -> Option<Var> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of a variable.
+    ///
+    /// # Panics
+    /// Panics if the variable does not belong to this pool.
+    pub fn name(&self, var: Var) -> &str {
+        &self.names[var.0]
+    }
+
+    /// Number of variables allocated so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if no variable has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterator over all variables in allocation order.
+    pub fn iter(&self) -> impl Iterator<Item = Var> + '_ {
+        (0..self.names.len()).map(Var)
+    }
+}
+
+/// A linear expression `Σ coeff·var + constant` with integer coefficients.
+///
+/// ```
+/// use posr_lia::term::{LinExpr, VarPool};
+/// let mut pool = VarPool::new();
+/// let x = pool.fresh("x");
+/// let y = pool.fresh("y");
+/// let e = LinExpr::var(x) * 2 + LinExpr::var(y) - LinExpr::constant(3);
+/// assert_eq!(e.coeff(x), 2);
+/// assert_eq!(e.constant_part(), -3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct LinExpr {
+    /// Coefficients per variable; zero coefficients are never stored.
+    coeffs: BTreeMap<Var, i128>,
+    constant: i128,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> LinExpr {
+        LinExpr::default()
+    }
+
+    /// The constant expression `k`.
+    pub fn constant(k: i128) -> LinExpr {
+        LinExpr { coeffs: BTreeMap::new(), constant: k }
+    }
+
+    /// The expression `1·v`.
+    pub fn var(v: Var) -> LinExpr {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(v, 1);
+        LinExpr { coeffs, constant: 0 }
+    }
+
+    /// The expression `c·v`.
+    pub fn scaled_var(v: Var, c: i128) -> LinExpr {
+        let mut coeffs = BTreeMap::new();
+        if c != 0 {
+            coeffs.insert(v, c);
+        }
+        LinExpr { coeffs, constant: 0 }
+    }
+
+    /// Sum of `1·v` over the given variables.
+    pub fn sum_of_vars<I: IntoIterator<Item = Var>>(vars: I) -> LinExpr {
+        let mut e = LinExpr::zero();
+        for v in vars {
+            e.add_term(v, 1);
+        }
+        e
+    }
+
+    /// Adds `c·v` in place.
+    pub fn add_term(&mut self, v: Var, c: i128) {
+        let entry = self.coeffs.entry(v).or_insert(0);
+        *entry += c;
+        if *entry == 0 {
+            self.coeffs.remove(&v);
+        }
+    }
+
+    /// Adds a constant in place.
+    pub fn add_constant(&mut self, k: i128) {
+        self.constant += k;
+    }
+
+    /// Coefficient of a variable (0 if absent).
+    pub fn coeff(&self, v: Var) -> i128 {
+        self.coeffs.get(&v).copied().unwrap_or(0)
+    }
+
+    /// The constant part.
+    pub fn constant_part(&self) -> i128 {
+        self.constant
+    }
+
+    /// Iterator over `(variable, coefficient)` pairs with non-zero coefficients.
+    pub fn terms(&self) -> impl Iterator<Item = (Var, i128)> + '_ {
+        self.coeffs.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// The set of variables with non-zero coefficient.
+    pub fn variables(&self) -> impl Iterator<Item = Var> + '_ {
+        self.coeffs.keys().copied()
+    }
+
+    /// Returns `true` if the expression is a constant.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Number of variable terms.
+    pub fn num_terms(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Evaluates the expression under an assignment (missing variables count
+    /// as 0).
+    pub fn eval(&self, assignment: &dyn Fn(Var) -> i128) -> i128 {
+        let mut total = self.constant;
+        for (&v, &c) in &self.coeffs {
+            total += c * assignment(v);
+        }
+        total
+    }
+
+    /// Substitutes a variable by a linear expression, returning the result.
+    pub fn substitute(&self, var: Var, replacement: &LinExpr) -> LinExpr {
+        let c = self.coeff(var);
+        if c == 0 {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        out.coeffs.remove(&var);
+        out = out + replacement.clone() * c;
+        out
+    }
+
+    /// Renders the expression with variable names from a pool.
+    pub fn display<'a>(&'a self, pool: &'a VarPool) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a LinExpr, &'a VarPool);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                let mut first = true;
+                for (v, c) in self.0.terms() {
+                    if first {
+                        if c == 1 {
+                            write!(f, "{}", self.1.name(v))?;
+                        } else if c == -1 {
+                            write!(f, "-{}", self.1.name(v))?;
+                        } else {
+                            write!(f, "{c}·{}", self.1.name(v))?;
+                        }
+                        first = false;
+                    } else if c >= 0 {
+                        if c == 1 {
+                            write!(f, " + {}", self.1.name(v))?;
+                        } else {
+                            write!(f, " + {c}·{}", self.1.name(v))?;
+                        }
+                    } else if c == -1 {
+                        write!(f, " - {}", self.1.name(v))?;
+                    } else {
+                        write!(f, " - {}·{}", -c, self.1.name(v))?;
+                    }
+                }
+                let k = self.0.constant_part();
+                if first {
+                    write!(f, "{k}")?;
+                } else if k > 0 {
+                    write!(f, " + {k}")?;
+                } else if k < 0 {
+                    write!(f, " - {}", -k)?;
+                }
+                Ok(())
+            }
+        }
+        D(self, pool)
+    }
+}
+
+impl From<i128> for LinExpr {
+    fn from(k: i128) -> LinExpr {
+        LinExpr::constant(k)
+    }
+}
+
+impl From<Var> for LinExpr {
+    fn from(v: Var) -> LinExpr {
+        LinExpr::var(v)
+    }
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        for (v, c) in rhs.coeffs {
+            self.add_term(v, c);
+        }
+        self.constant += rhs.constant;
+        self
+    }
+}
+
+impl AddAssign for LinExpr {
+    fn add_assign(&mut self, rhs: LinExpr) {
+        *self = std::mem::take(self) + rhs;
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        self + (-rhs)
+    }
+}
+
+impl SubAssign for LinExpr {
+    fn sub_assign(&mut self, rhs: LinExpr) {
+        *self = std::mem::take(self) - rhs;
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(mut self) -> LinExpr {
+        for c in self.coeffs.values_mut() {
+            *c = -*c;
+        }
+        self.constant = -self.constant;
+        self
+    }
+}
+
+impl Mul<i128> for LinExpr {
+    type Output = LinExpr;
+    fn mul(mut self, rhs: i128) -> LinExpr {
+        if rhs == 0 {
+            return LinExpr::zero();
+        }
+        for c in self.coeffs.values_mut() {
+            *c *= rhs;
+        }
+        self.constant *= rhs;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_allocates_unique_names() {
+        let mut pool = VarPool::new();
+        let a = pool.fresh("x");
+        let b = pool.fresh("x");
+        assert_ne!(a, b);
+        assert_eq!(pool.name(a), "x");
+        assert_ne!(pool.name(b), "x");
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn named_is_idempotent() {
+        let mut pool = VarPool::new();
+        let a = pool.named("len_x");
+        let b = pool.named("len_x");
+        assert_eq!(a, b);
+        assert_eq!(pool.lookup("len_x"), Some(a));
+        assert_eq!(pool.lookup("other"), None);
+    }
+
+    #[test]
+    fn linear_expression_arithmetic() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let y = pool.fresh("y");
+        let e = LinExpr::var(x) * 2 + LinExpr::var(y) * 3 + LinExpr::constant(1);
+        let f = LinExpr::var(x) - LinExpr::constant(4);
+        let sum = e.clone() + f.clone();
+        assert_eq!(sum.coeff(x), 3);
+        assert_eq!(sum.coeff(y), 3);
+        assert_eq!(sum.constant_part(), -3);
+        let diff = e - f;
+        assert_eq!(diff.coeff(x), 1);
+        assert_eq!(diff.constant_part(), 5);
+    }
+
+    #[test]
+    fn zero_coefficients_are_dropped() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let e = LinExpr::var(x) - LinExpr::var(x);
+        assert!(e.is_constant());
+        assert_eq!(e.num_terms(), 0);
+    }
+
+    #[test]
+    fn evaluation() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let y = pool.fresh("y");
+        let e = LinExpr::var(x) * 2 + LinExpr::var(y) - LinExpr::constant(1);
+        let val = e.eval(&|v| if v == x { 3 } else { 10 });
+        assert_eq!(val, 2 * 3 + 10 - 1);
+    }
+
+    #[test]
+    fn substitution() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let y = pool.fresh("y");
+        let e = LinExpr::var(x) * 2 + LinExpr::constant(1);
+        let sub = e.substitute(x, &(LinExpr::var(y) + LinExpr::constant(5)));
+        assert_eq!(sub.coeff(y), 2);
+        assert_eq!(sub.constant_part(), 11);
+    }
+
+    #[test]
+    fn sum_of_vars_collects_duplicates() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let y = pool.fresh("y");
+        let e = LinExpr::sum_of_vars(vec![x, y, x]);
+        assert_eq!(e.coeff(x), 2);
+        assert_eq!(e.coeff(y), 1);
+    }
+
+    #[test]
+    fn display_with_names() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let y = pool.fresh("y");
+        let e = LinExpr::var(x) * 2 - LinExpr::var(y) + LinExpr::constant(7);
+        assert_eq!(format!("{}", e.display(&pool)), "2·x - y + 7");
+        assert_eq!(format!("{}", LinExpr::constant(-3).display(&pool)), "-3");
+    }
+}

@@ -1,0 +1,576 @@
+//! A parser for an SMT-LIB-flavoured text format covering the string
+//! fragment handled by `posr-core`.
+//!
+//! Supported commands: `(declare-const x String)`, `(declare-const i Int)`,
+//! `(declare-fun x () String)`, `(assert …)`, `(check-sat)`, `(set-logic …)`,
+//! `(set-info …)`, `(exit)`.  Supported term constructors: `str.++`,
+//! `str.len`, `str.at`, `str.in_re`, `str.prefixof`, `str.suffixof`,
+//! `str.contains`, `str.to_re`, `re.++`, `re.*`, `re.+`, `re.opt`,
+//! `re.union`, `re.range`, `re.allchar`, `=`, `not`, `and`, `<=`, `<`, `>=`,
+//! `>`, `+`, string literals and integer literals.
+//!
+//! # Example
+//!
+//! ```
+//! use posr_smtfmt::parse_script;
+//! let script = r#"
+//!   (declare-const x String)
+//!   (declare-const y String)
+//!   (assert (str.in_re x (re.* (str.to_re "ab"))))
+//!   (assert (not (= x y)))
+//!   (assert (= (str.len x) (str.len y)))
+//!   (check-sat)
+//! "#;
+//! let parsed = parse_script(script).unwrap();
+//! assert_eq!(parsed.formula.atoms.len(), 3);
+//! assert!(parsed.check_sat);
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use posr_core::ast::{LenCmp, LenTerm, StringAtom, StringFormula, StringTerm};
+
+/// A parsed script: the conjunction of all assertions plus bookkeeping.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedScript {
+    /// The conjunction of all `(assert …)` commands.
+    pub formula: StringFormula,
+    /// Declared string variables.
+    pub string_vars: Vec<String>,
+    /// Declared integer variables.
+    pub int_vars: Vec<String>,
+    /// Whether the script contains `(check-sat)`.
+    pub check_sat: bool,
+}
+
+/// A parse error with a rough character position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Position in the input.
+    pub position: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// An s-expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Sexp {
+    Atom(String),
+    Str(String),
+    List(Vec<Sexp>),
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Lexer {
+    fn error(&self, message: &str) -> ParseError {
+        ParseError { position: self.pos, message: message.to_string() }
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            while self.pos < self.chars.len() && self.chars[self.pos].is_whitespace() {
+                self.pos += 1;
+            }
+            if self.pos < self.chars.len() && self.chars[self.pos] == ';' {
+                while self.pos < self.chars.len() && self.chars[self.pos] != '\n' {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn parse_sexp(&mut self) -> Result<Sexp, ParseError> {
+        self.skip_ws();
+        match self.chars.get(self.pos) {
+            None => Err(self.error("unexpected end of input")),
+            Some('(') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                loop {
+                    self.skip_ws();
+                    match self.chars.get(self.pos) {
+                        Some(')') => {
+                            self.pos += 1;
+                            return Ok(Sexp::List(items));
+                        }
+                        None => return Err(self.error("unterminated list")),
+                        _ => items.push(self.parse_sexp()?),
+                    }
+                }
+            }
+            Some('"') => {
+                self.pos += 1;
+                let mut out = String::new();
+                while let Some(&c) = self.chars.get(self.pos) {
+                    self.pos += 1;
+                    if c == '"' {
+                        if self.chars.get(self.pos) == Some(&'"') {
+                            out.push('"');
+                            self.pos += 1;
+                        } else {
+                            return Ok(Sexp::Str(out));
+                        }
+                    } else {
+                        out.push(c);
+                    }
+                }
+                Err(self.error("unterminated string literal"))
+            }
+            Some(_) => {
+                let start = self.pos;
+                while let Some(&c) = self.chars.get(self.pos) {
+                    if c.is_whitespace() || c == '(' || c == ')' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                Ok(Sexp::Atom(self.chars[start..self.pos].iter().collect()))
+            }
+        }
+    }
+
+    fn parse_all(&mut self) -> Result<Vec<Sexp>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.pos >= self.chars.len() {
+                return Ok(out);
+            }
+            out.push(self.parse_sexp()?);
+        }
+    }
+}
+
+/// Parses a whole script.
+///
+/// # Errors
+/// Returns a [`ParseError`] on malformed input or unsupported constructs.
+pub fn parse_script(input: &str) -> Result<ParsedScript, ParseError> {
+    let mut lexer = Lexer { chars: input.chars().collect(), pos: 0 };
+    let sexps = lexer.parse_all()?;
+    let mut script = ParsedScript::default();
+    let mut sorts: BTreeMap<String, String> = BTreeMap::new();
+    for sexp in sexps {
+        let Sexp::List(items) = &sexp else {
+            return Err(ParseError { position: 0, message: format!("expected a command, got {sexp:?}") });
+        };
+        let Some(Sexp::Atom(head)) = items.first() else {
+            return Err(ParseError { position: 0, message: "empty command".to_string() });
+        };
+        match head.as_str() {
+            "set-logic" | "set-info" | "set-option" | "exit" | "get-model" => {}
+            "check-sat" => script.check_sat = true,
+            "declare-const" | "declare-fun" => {
+                let (name, sort) = match (head.as_str(), items.len()) {
+                    ("declare-const", 3) => (&items[1], &items[2]),
+                    ("declare-fun", 4) => (&items[1], &items[3]),
+                    _ => {
+                        return Err(ParseError {
+                            position: 0,
+                            message: format!("malformed declaration: {items:?}"),
+                        })
+                    }
+                };
+                let (Sexp::Atom(name), Sexp::Atom(sort)) = (name, sort) else {
+                    return Err(ParseError { position: 0, message: "malformed declaration".into() });
+                };
+                match sort.as_str() {
+                    "String" => script.string_vars.push(name.clone()),
+                    "Int" => script.int_vars.push(name.clone()),
+                    other => {
+                        return Err(ParseError {
+                            position: 0,
+                            message: format!("unsupported sort {other}"),
+                        })
+                    }
+                }
+                sorts.insert(name.clone(), sort.clone());
+            }
+            "assert" => {
+                if items.len() != 2 {
+                    return Err(ParseError { position: 0, message: "malformed assert".into() });
+                }
+                let atoms = convert_bool(&items[1], &sorts, false)?;
+                script.formula.atoms.extend(atoms);
+            }
+            other => {
+                return Err(ParseError {
+                    position: 0,
+                    message: format!("unsupported command {other}"),
+                })
+            }
+        }
+    }
+    Ok(script)
+}
+
+fn err(message: String) -> ParseError {
+    ParseError { position: 0, message }
+}
+
+fn convert_bool(
+    sexp: &Sexp,
+    sorts: &BTreeMap<String, String>,
+    negated: bool,
+) -> Result<Vec<StringAtom>, ParseError> {
+    match sexp {
+        Sexp::List(items) => {
+            let Some(Sexp::Atom(head)) = items.first() else {
+                return Err(err("expected an operator".to_string()));
+            };
+            match head.as_str() {
+                "and" if !negated => {
+                    let mut out = Vec::new();
+                    for item in &items[1..] {
+                        out.extend(convert_bool(item, sorts, false)?);
+                    }
+                    Ok(out)
+                }
+                "not" => convert_bool(&items[1], sorts, !negated),
+                "=" => convert_equality(&items[1], &items[2], sorts, negated),
+                "str.in_re" => {
+                    let var = expect_string_var(&items[1])?;
+                    let regex = convert_regex(&items[2])?;
+                    Ok(vec![StringAtom::InRe { var, regex: regex.to_string(), negated }])
+                }
+                "str.prefixof" => Ok(vec![StringAtom::PrefixOf {
+                    needle: convert_string_term(&items[1], sorts)?,
+                    haystack: convert_string_term(&items[2], sorts)?,
+                    negated,
+                }]),
+                "str.suffixof" => Ok(vec![StringAtom::SuffixOf {
+                    needle: convert_string_term(&items[1], sorts)?,
+                    haystack: convert_string_term(&items[2], sorts)?,
+                    negated,
+                }]),
+                "str.contains" => Ok(vec![StringAtom::Contains {
+                    haystack: convert_string_term(&items[1], sorts)?,
+                    needle: convert_string_term(&items[2], sorts)?,
+                    negated,
+                }]),
+                "<=" | "<" | ">=" | ">" => {
+                    let cmp = match (head.as_str(), negated) {
+                        ("<=", false) => LenCmp::Le,
+                        ("<", false) => LenCmp::Lt,
+                        (">=", false) => LenCmp::Ge,
+                        (">", false) => LenCmp::Gt,
+                        ("<=", true) => LenCmp::Gt,
+                        ("<", true) => LenCmp::Ge,
+                        (">=", true) => LenCmp::Lt,
+                        _ => LenCmp::Le,
+                    };
+                    Ok(vec![StringAtom::Length {
+                        lhs: convert_int_term(&items[1], sorts)?,
+                        cmp,
+                        rhs: convert_int_term(&items[2], sorts)?,
+                    }])
+                }
+                other => Err(err(format!("unsupported boolean operator {other}"))),
+            }
+        }
+        other => Err(err(format!("unsupported assertion {other:?}"))),
+    }
+}
+
+fn is_int_sexp(sexp: &Sexp, sorts: &BTreeMap<String, String>) -> bool {
+    match sexp {
+        Sexp::Atom(a) => {
+            a.parse::<i64>().is_ok() || sorts.get(a).map(String::as_str) == Some("Int")
+        }
+        Sexp::Str(_) => false,
+        Sexp::List(items) => matches!(
+            items.first(),
+            Some(Sexp::Atom(h)) if h == "str.len" || h == "+" || h == "-"
+        ),
+    }
+}
+
+fn convert_equality(
+    lhs: &Sexp,
+    rhs: &Sexp,
+    sorts: &BTreeMap<String, String>,
+    negated: bool,
+) -> Result<Vec<StringAtom>, ParseError> {
+    if is_int_sexp(lhs, sorts) || is_int_sexp(rhs, sorts) {
+        return Ok(vec![StringAtom::Length {
+            lhs: convert_int_term(lhs, sorts)?,
+            cmp: if negated { LenCmp::Ne } else { LenCmp::Eq },
+            rhs: convert_int_term(rhs, sorts)?,
+        }]);
+    }
+    // (= x (str.at t i)) gets dedicated treatment
+    for (a, b) in [(lhs, rhs), (rhs, lhs)] {
+        if let (Sexp::Atom(name), Sexp::List(items)) = (a, b) {
+            if matches!(items.first(), Some(Sexp::Atom(h)) if h == "str.at")
+                && sorts.get(name).map(String::as_str) == Some("String")
+            {
+                return Ok(vec![StringAtom::StrAt {
+                    var: name.clone(),
+                    term: convert_string_term(&items[1], sorts)?,
+                    index: convert_int_term(&items[2], sorts)?,
+                    negated,
+                }]);
+            }
+        }
+    }
+    Ok(vec![StringAtom::Equation {
+        lhs: convert_string_term(lhs, sorts)?,
+        rhs: convert_string_term(rhs, sorts)?,
+        negated,
+    }])
+}
+
+fn expect_string_var(sexp: &Sexp) -> Result<String, ParseError> {
+    match sexp {
+        Sexp::Atom(a) => Ok(a.clone()),
+        other => Err(err(format!("expected a string variable, got {other:?}"))),
+    }
+}
+
+fn convert_string_term(
+    sexp: &Sexp,
+    sorts: &BTreeMap<String, String>,
+) -> Result<StringTerm, ParseError> {
+    match sexp {
+        Sexp::Atom(a) => Ok(StringTerm::var(a)),
+        Sexp::Str(s) => Ok(StringTerm::lit(s)),
+        Sexp::List(items) => {
+            let Some(Sexp::Atom(head)) = items.first() else {
+                return Err(err("expected a string operator".to_string()));
+            };
+            match head.as_str() {
+                "str.++" => {
+                    let mut parts = Vec::new();
+                    for item in &items[1..] {
+                        parts.push(convert_string_term(item, sorts)?);
+                    }
+                    Ok(StringTerm::concat(parts))
+                }
+                other => Err(err(format!("unsupported string operator {other}"))),
+            }
+        }
+    }
+}
+
+fn convert_int_term(
+    sexp: &Sexp,
+    sorts: &BTreeMap<String, String>,
+) -> Result<LenTerm, ParseError> {
+    match sexp {
+        Sexp::Atom(a) => {
+            if let Ok(k) = a.parse::<i64>() {
+                Ok(LenTerm::constant(k))
+            } else {
+                Ok(LenTerm::int_var(a))
+            }
+        }
+        Sexp::Str(_) => Err(err("string literal in integer position".to_string())),
+        Sexp::List(items) => {
+            let Some(Sexp::Atom(head)) = items.first() else {
+                return Err(err("expected an integer operator".to_string()));
+            };
+            match head.as_str() {
+                "str.len" => {
+                    let term = convert_string_term(&items[1], sorts)?;
+                    let mut out = LenTerm::default();
+                    for part in &term.parts {
+                        match part {
+                            posr_core::ast::TermPart::Var(v) => out.add(&LenTerm::len(v)),
+                            posr_core::ast::TermPart::Lit(w) => {
+                                out.add(&LenTerm::constant(w.chars().count() as i64))
+                            }
+                        }
+                    }
+                    Ok(out)
+                }
+                "+" => {
+                    let mut out = LenTerm::default();
+                    for item in &items[1..] {
+                        out.add(&convert_int_term(item, sorts)?);
+                    }
+                    Ok(out)
+                }
+                other => Err(err(format!("unsupported integer operator {other}"))),
+            }
+        }
+    }
+}
+
+/// Converts an SMT-LIB regular expression into a [`posr_automata::Regex`].
+fn convert_regex(sexp: &Sexp) -> Result<posr_automata::Regex, ParseError> {
+    use posr_automata::Regex;
+    match sexp {
+        Sexp::Atom(a) if a == "re.allchar" => Ok(Regex::Class(
+            posr_automata::regex::DEFAULT_ALPHABET.chars().collect(),
+        )),
+        Sexp::Atom(a) if a == "re.none" => Ok(Regex::Empty),
+        Sexp::Atom(a) => Err(err(format!("unsupported regex atom {a}"))),
+        Sexp::Str(_) => Err(err("bare string in regex position; use str.to_re".to_string())),
+        Sexp::List(items) => {
+            let Some(Sexp::Atom(head)) = items.first() else {
+                return Err(err("expected a regex operator".to_string()));
+            };
+            match head.as_str() {
+                "str.to_re" => match &items[1] {
+                    Sexp::Str(s) if s.is_empty() => Ok(Regex::Epsilon),
+                    Sexp::Str(s) => {
+                        let mut re: Option<Regex> = None;
+                        for c in s.chars() {
+                            let lit = Regex::Literal(c);
+                            re = Some(match re {
+                                None => lit,
+                                Some(prev) => Regex::Concat(Box::new(prev), Box::new(lit)),
+                            });
+                        }
+                        Ok(re.expect("non-empty"))
+                    }
+                    other => Err(err(format!("str.to_re expects a string literal, got {other:?}"))),
+                },
+                "re.++" => {
+                    let mut parts = items[1..].iter().map(convert_regex);
+                    let first = parts.next().ok_or_else(|| err("empty re.++".to_string()))??;
+                    let mut acc = first;
+                    for p in parts {
+                        acc = Regex::Concat(Box::new(acc), Box::new(p?));
+                    }
+                    Ok(acc)
+                }
+                "re.union" => {
+                    let mut parts = items[1..].iter().map(convert_regex);
+                    let first = parts.next().ok_or_else(|| err("empty re.union".to_string()))??;
+                    let mut acc = first;
+                    for p in parts {
+                        acc = Regex::Alt(Box::new(acc), Box::new(p?));
+                    }
+                    Ok(acc)
+                }
+                "re.*" => Ok(Regex::Star(Box::new(convert_regex(&items[1])?))),
+                "re.+" => Ok(Regex::Plus(Box::new(convert_regex(&items[1])?))),
+                "re.opt" => Ok(Regex::Opt(Box::new(convert_regex(&items[1])?))),
+                "re.range" => match (&items[1], &items[2]) {
+                    (Sexp::Str(lo), Sexp::Str(hi)) if lo.len() == 1 && hi.len() == 1 => {
+                        let lo = lo.chars().next().expect("len 1");
+                        let hi = hi.chars().next().expect("len 1");
+                        let chars: Vec<char> =
+                            (lo as u32..=hi as u32).filter_map(char::from_u32).collect();
+                        Ok(Regex::Class(chars))
+                    }
+                    _ => Err(err("re.range expects two single-character strings".to_string())),
+                },
+                other => Err(err(format!("unsupported regex operator {other}"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_declarations_and_assertions() {
+        let script = r#"
+          (set-logic QF_S)
+          (declare-const x String)
+          (declare-const n Int)
+          (assert (str.in_re x (re.+ (str.to_re "ab"))))
+          (assert (= (str.len x) n))
+          (check-sat)
+        "#;
+        let parsed = parse_script(script).unwrap();
+        assert_eq!(parsed.string_vars, vec!["x"]);
+        assert_eq!(parsed.int_vars, vec!["n"]);
+        assert_eq!(parsed.formula.atoms.len(), 2);
+        assert!(parsed.check_sat);
+    }
+
+    #[test]
+    fn parses_disequalities_and_contains() {
+        let script = r#"
+          (declare-const x String)
+          (declare-const y String)
+          (assert (not (= (str.++ x y) (str.++ y x))))
+          (assert (not (str.contains y x)))
+        "#;
+        let parsed = parse_script(script).unwrap();
+        assert_eq!(parsed.formula.atoms.len(), 2);
+        match &parsed.formula.atoms[0] {
+            StringAtom::Equation { negated, .. } => assert!(*negated),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_regex_operators() {
+        let script = r#"
+          (declare-const x String)
+          (assert (str.in_re x (re.union (re.* (str.to_re "ab")) (re.range "a" "d"))))
+        "#;
+        let parsed = parse_script(script).unwrap();
+        match &parsed.formula.atoms[0] {
+            StringAtom::InRe { regex, .. } => {
+                let nfa = posr_automata::Regex::parse(regex).unwrap().compile();
+                assert!(nfa.accepts_str("abab"));
+                assert!(nfa.accepts_str("c"));
+                assert!(!nfa.accepts_str("e"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_str_at() {
+        let script = r#"
+          (declare-const c String)
+          (declare-const y String)
+          (declare-const i Int)
+          (assert (not (= c (str.at y i))))
+        "#;
+        let parsed = parse_script(script).unwrap();
+        match &parsed.formula.atoms[0] {
+            StringAtom::StrAt { var, negated, .. } => {
+                assert_eq!(var, "c");
+                assert!(*negated);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn solver_roundtrip_on_parsed_script() {
+        let script = r#"
+          (declare-const x String)
+          (declare-const y String)
+          (assert (str.in_re x (re.* (str.to_re "ab"))))
+          (assert (str.in_re y (re.* (str.to_re "ab"))))
+          (assert (not (= x y)))
+          (assert (= (str.len x) (str.len y)))
+          (check-sat)
+        "#;
+        let parsed = parse_script(script).unwrap();
+        let answer = posr_core::StringSolver::new().solve(&parsed.formula);
+        assert!(answer.is_sat());
+    }
+
+    #[test]
+    fn errors_on_unsupported_commands() {
+        assert!(parse_script("(push 1)").is_err());
+        assert!(parse_script("(assert (or true false))").is_err());
+        assert!(parse_script("(declare-const x Bool)").is_err());
+    }
+}

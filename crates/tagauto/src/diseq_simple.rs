@@ -1,0 +1,285 @@
+//! The construction `A^I` and formula `φ^I` for the simplest position
+//! constraint: a single disequality `x ≠ y` of two distinct variables
+//! (Sec. 5.1 of the paper).
+//!
+//! The general construction of [`crate::system`] subsumes this case (with
+//! `K = 1` it builds `A^II`), but the dedicated construction is smaller —
+//! three copies of `A∘` with plain `⟨P,x⟩`/`⟨P,y⟩` position tags and
+//! variable-less `⟨M1,a⟩`/`⟨M2,a⟩` mismatch tags — and is used by the
+//! `single_diseq` benchmark to compare encoding sizes.
+
+use std::collections::BTreeMap;
+
+use posr_automata::Nfa;
+use posr_lia::formula::Formula;
+use posr_lia::term::{LinExpr, VarPool};
+
+use crate::parikh_tag::{parikh_tag_formula, ParikhEncoding, ParikhOptions};
+use crate::ta::{concatenate, TagAutomaton};
+use crate::tags::{Side, StrVar, Tag};
+
+/// The encoding of a single two-variable disequality.
+#[derive(Clone, Debug)]
+pub struct SimpleDiseqEncoding {
+    /// The tag automaton `A^I`.
+    pub ta: TagAutomaton,
+    /// Its Parikh tag encoding.
+    pub parikh: ParikhEncoding,
+    /// The formula `φ^I` (Eq. 5), equisatisfiable with `R′ ∧ x ≠ y`.
+    pub formula: Formula,
+}
+
+/// Builds `A^I` and `φ^I` for `x ≠ y` with `x ∈ L(ax)`, `y ∈ L(ay)`.
+///
+/// The `⟨P,x⟩`/`⟨P,y⟩` tags of the paper are represented as
+/// [`Tag::Position`] with level 1 for `x` (letters of `x` before the first
+/// mismatch) and level 2 for `y` (letters of `y` before the second
+/// mismatch); the `⟨M1,a⟩`/`⟨M2,a⟩` tags as [`Tag::Mismatch`] with
+/// constraint 0 and sides Left/Right.
+///
+/// # Panics
+/// Panics if `x == y` (use the general encoder for repeated variables).
+pub fn encode_simple_diseq(
+    x: StrVar,
+    ax: &Nfa,
+    y: StrVar,
+    ay: &Nfa,
+    pool: &mut VarPool,
+) -> SimpleDiseqEncoding {
+    assert_ne!(x, y, "A^I requires two distinct variables");
+    let mut automata = BTreeMap::new();
+    automata.insert(x, ax.clone());
+    automata.insert(y, ay.clone());
+    let concat = concatenate(&[x, y], &automata);
+    let base = &concat.ta;
+    let n = base.num_states();
+
+    let mut ta = TagAutomaton::new();
+    ta.add_states(3 * n);
+    let state = |q: usize, copy: usize| (copy - 1) * n + q;
+    for &q in base.initial_states() {
+        ta.add_initial(state(q, 1));
+    }
+    for &q in base.final_states() {
+        ta.add_final(state(q, 1));
+        ta.add_final(state(q, 3));
+    }
+    for t in base.transitions() {
+        let symbol = t.tags.iter().find_map(Tag::as_symbol);
+        let var = t.tags.iter().find_map(Tag::as_length);
+        match (symbol, var) {
+            (Some(a), Some(v)) if v == x => {
+                // copy 1: before the first mismatch, tracked with ⟨P,x⟩
+                ta.add_transition(
+                    state(t.source, 1),
+                    [Tag::Symbol(a), Tag::Length(x), Tag::Position { level: 1, var: x }],
+                    state(t.target, 1),
+                );
+                // first mismatch (in A_x): copy 1 -> copy 2
+                ta.add_transition(
+                    state(t.source, 1),
+                    [
+                        Tag::Symbol(a),
+                        Tag::Length(x),
+                        Tag::Mismatch {
+                            level: 1,
+                            var: x,
+                            constraint: 0,
+                            side: Side::Left,
+                            symbol: a,
+                        },
+                    ],
+                    state(t.target, 2),
+                );
+                // copy 2: rest of x after the first mismatch
+                ta.add_transition(
+                    state(t.source, 2),
+                    [Tag::Symbol(a), Tag::Length(x)],
+                    state(t.target, 2),
+                );
+            }
+            (Some(a), Some(v)) if v == y => {
+                // copy 1: y read without any mismatch (length-difference case)
+                ta.add_transition(
+                    state(t.source, 1),
+                    [Tag::Symbol(a), Tag::Length(y)],
+                    state(t.target, 1),
+                );
+                // copy 2: y before the second mismatch, tracked with ⟨P,y⟩
+                ta.add_transition(
+                    state(t.source, 2),
+                    [Tag::Symbol(a), Tag::Length(y), Tag::Position { level: 2, var: y }],
+                    state(t.target, 2),
+                );
+                // second mismatch (in A_y): copy 2 -> copy 3
+                ta.add_transition(
+                    state(t.source, 2),
+                    [
+                        Tag::Symbol(a),
+                        Tag::Length(y),
+                        Tag::Mismatch {
+                            level: 2,
+                            var: y,
+                            constraint: 0,
+                            side: Side::Right,
+                            symbol: a,
+                        },
+                    ],
+                    state(t.target, 3),
+                );
+                // copy 3: rest of y after the second mismatch
+                ta.add_transition(
+                    state(t.source, 3),
+                    [Tag::Symbol(a), Tag::Length(y)],
+                    state(t.target, 3),
+                );
+            }
+            _ => {
+                // the ε connector between A_x and A_y, replicated per copy
+                for copy in 1..=3 {
+                    ta.add_transition(state(t.source, copy), [], state(t.target, copy));
+                }
+            }
+        }
+    }
+
+    let options = ParikhOptions {
+        prefix: "AI",
+        tag_filter: &|tag| !matches!(tag, Tag::Symbol(_)),
+        connectivity: false,
+    };
+    let parikh = parikh_tag_formula(&ta, pool, &options);
+
+    // φ_sym (Eq. 4): the two sampled symbols differ; φ_mis: a mismatch exists.
+    let mismatch_tags: Vec<Tag> = ta
+        .tag_alphabet()
+        .into_iter()
+        .filter(|t| matches!(t, Tag::Mismatch { .. }))
+        .collect();
+    let mut sym_conjuncts = Vec::new();
+    let alphabet: std::collections::BTreeSet<_> = mismatch_tags
+        .iter()
+        .filter_map(|t| match t {
+            Tag::Mismatch { symbol, .. } => Some(*symbol),
+            _ => None,
+        })
+        .collect();
+    for a in &alphabet {
+        let same_symbol: Vec<Tag> = mismatch_tags
+            .iter()
+            .filter(|t| matches!(t, Tag::Mismatch { symbol, .. } if symbol == a))
+            .copied()
+            .collect();
+        sym_conjuncts.push(Formula::lt(parikh.tag_sum(same_symbol.iter()), LinExpr::constant(2)));
+    }
+    let phi_sym = Formula::and(sym_conjuncts);
+    let first_mismatches: Vec<Tag> = mismatch_tags
+        .iter()
+        .filter(|t| matches!(t, Tag::Mismatch { level: 1, .. }))
+        .copied()
+        .collect();
+    let phi_mis = Formula::gt(parikh.tag_sum(first_mismatches.iter()), LinExpr::zero());
+
+    // φ^I (Eq. 5)
+    let len_diff = Formula::ne(
+        parikh.tag_count(&Tag::Length(x)),
+        parikh.tag_count(&Tag::Length(y)),
+    );
+    let pos_eq = Formula::eq(
+        parikh.tag_count(&Tag::Position { level: 1, var: x }),
+        parikh.tag_count(&Tag::Position { level: 2, var: y }),
+    );
+    let formula = Formula::and(vec![
+        parikh.formula.clone(),
+        Formula::or(vec![len_diff, Formula::and(vec![pos_eq, phi_sym, phi_mis])]),
+    ]);
+
+    SimpleDiseqEncoding { ta, parikh, formula }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parikh_tag::connectivity_cut;
+    use crate::tags::VarTable;
+    use posr_automata::Regex;
+    use posr_lia::solver::{Solver, SolverResult};
+
+    fn solve(encoding: &SimpleDiseqEncoding) -> SolverResult {
+        let solver = Solver::new();
+        let mut formula = encoding.formula.clone();
+        for _ in 0..16 {
+            match solver.solve(&formula) {
+                SolverResult::Sat(model) => {
+                    match connectivity_cut(&encoding.ta, &encoding.parikh, &model) {
+                        None => return SolverResult::Sat(model),
+                        Some(cut) => formula = Formula::and(vec![formula, cut]),
+                    }
+                }
+                other => return other,
+            }
+        }
+        panic!("connectivity loop did not converge");
+    }
+
+    fn encode(rx: &str, ry: &str) -> SimpleDiseqEncoding {
+        let mut vars = VarTable::new();
+        let x = vars.intern("x");
+        let y = vars.intern("y");
+        let ax = Regex::parse(rx).unwrap().compile();
+        let ay = Regex::parse(ry).unwrap().compile();
+        let mut pool = VarPool::new();
+        encode_simple_diseq(x, &ax, y, &ay, &mut pool)
+    }
+
+    #[test]
+    fn paper_example_ab_star_vs_ac_star_is_sat() {
+        // Fig. 2: x ∈ (ab)*, y ∈ (ac)* — x ≠ y is satisfiable (e.g. x=ab, y=ac)
+        let encoding = encode("(ab)*", "(ac)*");
+        assert!(solve(&encoding).is_sat());
+    }
+
+    #[test]
+    fn identical_singleton_languages_are_unsat() {
+        let encoding = encode("abab", "abab");
+        assert!(solve(&encoding).is_unsat());
+    }
+
+    #[test]
+    fn different_singleton_languages_are_sat() {
+        let encoding = encode("abab", "abaa");
+        assert!(solve(&encoding).is_sat());
+    }
+
+    #[test]
+    fn same_star_language_is_sat_via_length() {
+        // x, y ∈ a*: words can differ only by length
+        let encoding = encode("a*", "a*");
+        assert!(solve(&encoding).is_sat());
+    }
+
+    #[test]
+    fn singleton_epsilon_languages_are_unsat() {
+        let encoding = encode("()", "()");
+        assert!(solve(&encoding).is_unsat());
+    }
+
+    #[test]
+    fn encoding_is_smaller_than_general_system() {
+        use crate::system::{PositionConstraint, SystemEncoder};
+        let mut vars = VarTable::new();
+        let x = vars.intern("x");
+        let y = vars.intern("y");
+        let mut automata = BTreeMap::new();
+        automata.insert(x, Regex::parse("(ab)*").unwrap().compile());
+        automata.insert(y, Regex::parse("(ac)*").unwrap().compile());
+        let mut pool = VarPool::new();
+        let simple =
+            encode_simple_diseq(x, &automata[&x], y, &automata[&y], &mut pool);
+        let mut pool2 = VarPool::new();
+        let general = SystemEncoder::new(&automata, &vars)
+            .encode(&[PositionConstraint::diseq(vec![x], vec![y])], &mut pool2);
+        assert!(simple.formula.size() <= general.formula.size());
+        assert!(simple.ta.size() <= general.ta.size());
+    }
+}

@@ -1,0 +1,152 @@
+//! Support for the `¬contains` predicate over flat languages (Sec. 6.4).
+//!
+//! The paper encodes `¬contains(u, v)` as the ∀∃ LIA formula `φ^NC`
+//! (Eq. 32): there is a Parikh model `#1` of the tag automaton (fixing, by
+//! flatness, a unique string assignment) such that *for every* offset `κ`
+//! there is another model `#2` of the same string assignment whose run
+//! exhibits a mismatch at alignment `κ` — unless `κ` is outside the range of
+//! valid alignments.
+//!
+//! Operationally this repository solves `¬contains` exactly the way the
+//! paper's implementation discharges `φ^NC` with Z3's model-based quantifier
+//! instantiation, specialised to the structure of the formula
+//! (`posr_core::notcontains`):
+//!
+//! 1. propose a candidate string assignment from the existential skeleton
+//!    (`PF_tag(A∘)` plus the caller's length constraints);
+//! 2. because the languages are flat, the Parikh image determines the words,
+//!    so the universal quantifier over `κ` ranges over the *finitely many*
+//!    offsets `0 ≤ κ ≤ |w_v| − |w_u|` of two concrete words and can be checked
+//!    directly ([`not_contains_concrete`]);
+//! 3. if some offset has no mismatch, the candidate is blocked (the negation
+//!    of its `EqualWords` class, i.e. of its Parikh image) and the loop
+//!    continues.
+//!
+//! This module provides the concrete-word machinery shared by that loop and
+//! by the tests: offset enumeration, counterexample extraction and the
+//! flatness precondition.
+
+use std::collections::BTreeMap;
+
+use posr_automata::flat::is_flat;
+use posr_automata::{Nfa, Symbol};
+
+use crate::tags::StrVar;
+
+/// Returns `true` iff `¬contains(u, v)` holds for the two concrete words,
+/// i.e. `u` does **not** occur in `v` as a contiguous substring.
+///
+/// Following Fig. 5 of the paper, every alignment `κ` of `u` inside `v` must
+/// either exhibit a mismatching symbol or make `u` overflow `v`.
+pub fn not_contains_concrete(u: &[Symbol], v: &[Symbol]) -> bool {
+    first_containment_offset(u, v).is_none()
+}
+
+/// If `u` occurs in `v`, returns the smallest offset `κ` at which it does —
+/// the counterexample to `¬contains(u, v)` used in diagnostics and tests.
+pub fn first_containment_offset(u: &[Symbol], v: &[Symbol]) -> Option<usize> {
+    if u.is_empty() {
+        // ε is contained in every word at offset 0
+        return Some(0);
+    }
+    if u.len() > v.len() {
+        return None;
+    }
+    (0..=(v.len() - u.len())).find(|&offset| v[offset..offset + u.len()] == *u)
+}
+
+/// The offsets that the universal quantifier of `φ^NC` effectively ranges
+/// over for a concrete assignment: `0 ..= |v| − |u|` (empty when `u` is
+/// longer than `v`, in which case `¬contains` holds vacuously).
+pub fn offset_range(u_len: usize, v_len: usize) -> std::ops::RangeInclusive<usize> {
+    if u_len > v_len {
+        #[allow(clippy::reversed_empty_ranges)]
+        {
+            1..=0
+        }
+    } else {
+        0..=(v_len - u_len)
+    }
+}
+
+/// Checks the flatness precondition of Theorem 6.5: every variable occurring
+/// in the `¬contains` predicate must be constrained by a flat language.
+/// Returns the offending variables (empty means the precondition holds).
+pub fn non_flat_variables(
+    occurrences: &[StrVar],
+    automata: &BTreeMap<StrVar, Nfa>,
+) -> Vec<StrVar> {
+    let mut seen = Vec::new();
+    let mut bad = Vec::new();
+    for &v in occurrences {
+        if seen.contains(&v) {
+            continue;
+        }
+        seen.push(v);
+        match automata.get(&v) {
+            Some(nfa) if is_flat(&nfa.trim()) => {}
+            _ => bad.push(v),
+        }
+    }
+    bad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tags::VarTable;
+    use posr_automata::nfa::str_to_symbols;
+    use posr_automata::Regex;
+
+    #[test]
+    fn paper_figure_5_example() {
+        // u = aba, v = aabba: every alignment has a mismatch or overflows
+        let u = str_to_symbols("aba");
+        let v = str_to_symbols("aabba");
+        assert!(not_contains_concrete(&u, &v));
+    }
+
+    #[test]
+    fn containment_is_detected_with_offset() {
+        let u = str_to_symbols("ab");
+        let v = str_to_symbols("aabba");
+        assert_eq!(first_containment_offset(&u, &v), Some(1));
+        assert!(!not_contains_concrete(&u, &v));
+    }
+
+    #[test]
+    fn empty_needle_is_always_contained() {
+        let v = str_to_symbols("xyz");
+        assert!(!not_contains_concrete(&[], &v));
+        assert!(!not_contains_concrete(&[], &[]));
+    }
+
+    #[test]
+    fn longer_needle_never_contained() {
+        let u = str_to_symbols("aaaa");
+        let v = str_to_symbols("aaa");
+        assert!(not_contains_concrete(&u, &v));
+        assert!(offset_range(u.len(), v.len()).is_empty());
+    }
+
+    #[test]
+    fn offset_range_matches_lengths() {
+        assert_eq!(offset_range(2, 5).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(offset_range(5, 5).collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn flatness_precondition() {
+        let mut vars = VarTable::new();
+        let x = vars.intern("x");
+        let y = vars.intern("y");
+        let mut automata = BTreeMap::new();
+        automata.insert(x, Regex::parse("(ab)*c").unwrap().compile());
+        automata.insert(y, Regex::parse("(a|b)*").unwrap().compile());
+        assert!(non_flat_variables(&[x], &automata).is_empty());
+        assert_eq!(non_flat_variables(&[x, y, y], &automata), vec![y]);
+        // unknown variable counts as non-flat
+        let z = vars.intern("z");
+        assert_eq!(non_flat_variables(&[z], &automata), vec![z]);
+    }
+}

@@ -1,0 +1,264 @@
+//! The tag vocabulary of the paper's constructions and string-variable
+//! identifiers.
+//!
+//! Tags decorate tag-automaton transitions; they do not restrict runs but are
+//! counted by the Parikh tag formula (Sec. 4).  The vocabulary here unifies
+//! the tags of all constructions in the paper:
+//!
+//! * `⟨S,a⟩` — the symbol read ([`Tag::Symbol`]),
+//! * `⟨L,x⟩` — one unit of the length of variable `x` ([`Tag::Length`]),
+//! * `⟨Pᵢ,x⟩` — one letter of `x` read while in copy `i`
+//!   ([`Tag::Position`]); the simple constructions of Sec. 5.1/5.2 use the
+//!   levels 1–3,
+//! * `⟨Mᵢ,x,D,s,a⟩` — the `i`-th mismatch, sampled in variable `x` for side
+//!   `s` of constraint `D`, with symbol `a` ([`Tag::Mismatch`]); the
+//!   single-constraint constructions simply use `D = 0`,
+//! * `⟨Cᵢ,x,D,s⟩` — the `i`-th mismatch of constraint `D`/side `s` is a copy
+//!   of the mismatch sampled just before in variable `x` ([`Tag::Copy`]).
+
+use std::fmt;
+
+use posr_automata::Symbol;
+
+/// Identifier of a string variable, dense within a [`VarTable`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct StrVar(pub usize);
+
+impl StrVar {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for StrVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A registry of string variables with human-readable names.
+///
+/// ```
+/// use posr_tagauto::tags::VarTable;
+/// let mut vars = VarTable::new();
+/// let x = vars.intern("x");
+/// assert_eq!(vars.intern("x"), x);
+/// assert_eq!(vars.name(x), "x");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct VarTable {
+    names: Vec<String>,
+}
+
+impl VarTable {
+    /// Creates an empty table.
+    pub fn new() -> VarTable {
+        VarTable::default()
+    }
+
+    /// Returns the variable with the given name, creating it if necessary.
+    pub fn intern(&mut self, name: &str) -> StrVar {
+        if let Some(pos) = self.names.iter().position(|n| n == name) {
+            StrVar(pos)
+        } else {
+            self.names.push(name.to_string());
+            StrVar(self.names.len() - 1)
+        }
+    }
+
+    /// Looks a variable up by name.
+    pub fn lookup(&self, name: &str) -> Option<StrVar> {
+        self.names.iter().position(|n| n == name).map(StrVar)
+    }
+
+    /// The name of a variable.
+    ///
+    /// # Panics
+    /// Panics if the variable does not belong to this table.
+    pub fn name(&self, var: StrVar) -> &str {
+        &self.names[var.0]
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterator over all variables.
+    pub fn iter(&self) -> impl Iterator<Item = StrVar> + '_ {
+        (0..self.names.len()).map(StrVar)
+    }
+}
+
+/// The side of a position constraint a mismatch belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Side {
+    /// The left-hand side of the predicate.
+    Left,
+    /// The right-hand side of the predicate.
+    Right,
+}
+
+impl Side {
+    /// Both sides, in order.
+    pub const BOTH: [Side; 2] = [Side::Left, Side::Right];
+}
+
+impl fmt::Display for Side {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Side::Left => write!(f, "L"),
+            Side::Right => write!(f, "R"),
+        }
+    }
+}
+
+/// A transition tag.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Tag {
+    /// `⟨S, a⟩`: the symbol read by the transition.
+    Symbol(Symbol),
+    /// `⟨L, x⟩`: the transition reads one letter of variable `x`.
+    Length(StrVar),
+    /// `⟨Pᵢ, x⟩`: one letter of `x` read while in copy `level`.
+    Position {
+        /// Copy index `i ≥ 1`.
+        level: usize,
+        /// The variable whose letter is read.
+        var: StrVar,
+    },
+    /// `⟨Mᵢ, x, D, s, a⟩`: the `i`-th mismatch, sampled in `x` for side `s`
+    /// of constraint `constraint`, reading symbol `a`.
+    Mismatch {
+        /// Mismatch index `i ≥ 1` (the copy level the transition leaves).
+        level: usize,
+        /// The variable in which the mismatch is sampled.
+        var: StrVar,
+        /// Index of the position constraint the mismatch belongs to.
+        constraint: usize,
+        /// Side of that constraint.
+        side: Side,
+        /// The sampled symbol.
+        symbol: Symbol,
+    },
+    /// `⟨Cᵢ, x, D, s⟩`: the `i`-th mismatch of constraint `constraint` / side
+    /// `side` is shared with (copies) the mismatch sampled just before in
+    /// variable `x`.
+    Copy {
+        /// Copy-tag index `i ≥ 2`.
+        level: usize,
+        /// The variable whose latest sampled mismatch is shared.
+        var: StrVar,
+        /// Index of the position constraint.
+        constraint: usize,
+        /// Side of that constraint.
+        side: Side,
+    },
+}
+
+impl Tag {
+    /// Returns the symbol of a [`Tag::Symbol`] tag.
+    pub fn as_symbol(&self) -> Option<Symbol> {
+        match self {
+            Tag::Symbol(a) => Some(*a),
+            _ => None,
+        }
+    }
+
+    /// Returns the variable of a [`Tag::Length`] tag.
+    pub fn as_length(&self) -> Option<StrVar> {
+        match self {
+            Tag::Length(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Renders the tag with variable names from a table.
+    pub fn display<'a>(&'a self, vars: &'a VarTable) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Tag, &'a VarTable);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                match self.0 {
+                    Tag::Symbol(a) => write!(f, "⟨S,{a}⟩"),
+                    Tag::Length(x) => write!(f, "⟨L,{}⟩", self.1.name(*x)),
+                    Tag::Position { level, var } => {
+                        write!(f, "⟨P{level},{}⟩", self.1.name(*var))
+                    }
+                    Tag::Mismatch { level, var, constraint, side, symbol } => write!(
+                        f,
+                        "⟨M{level},{},D{constraint},{side},{symbol}⟩",
+                        self.1.name(*var)
+                    ),
+                    Tag::Copy { level, var, constraint, side } => {
+                        write!(f, "⟨C{level},{},D{constraint},{side}⟩", self.1.name(*var))
+                    }
+                }
+            }
+        }
+        D(self, vars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_table_interning() {
+        let mut vars = VarTable::new();
+        let x = vars.intern("x");
+        let y = vars.intern("y");
+        assert_ne!(x, y);
+        assert_eq!(vars.intern("x"), x);
+        assert_eq!(vars.lookup("y"), Some(y));
+        assert_eq!(vars.lookup("z"), None);
+        assert_eq!(vars.len(), 2);
+        assert_eq!(vars.iter().count(), 2);
+    }
+
+    #[test]
+    fn tag_accessors() {
+        let mut vars = VarTable::new();
+        let x = vars.intern("x");
+        let sym = Tag::Symbol(Symbol::from_char('a'));
+        let len = Tag::Length(x);
+        assert_eq!(sym.as_symbol(), Some(Symbol::from_char('a')));
+        assert_eq!(sym.as_length(), None);
+        assert_eq!(len.as_length(), Some(x));
+        assert_eq!(len.as_symbol(), None);
+    }
+
+    #[test]
+    fn tag_display_is_paper_like() {
+        let mut vars = VarTable::new();
+        let x = vars.intern("x");
+        let tag = Tag::Mismatch {
+            level: 1,
+            var: x,
+            constraint: 0,
+            side: Side::Left,
+            symbol: Symbol::from_char('b'),
+        };
+        assert_eq!(format!("{}", tag.display(&vars)), "⟨M1,x,D0,L,b⟩");
+        let pos = Tag::Position { level: 2, var: x };
+        assert_eq!(format!("{}", pos.display(&vars)), "⟨P2,x⟩");
+    }
+
+    #[test]
+    fn tags_are_ordered_and_hashable() {
+        use std::collections::BTreeSet;
+        let mut vars = VarTable::new();
+        let x = vars.intern("x");
+        let mut set = BTreeSet::new();
+        set.insert(Tag::Length(x));
+        set.insert(Tag::Symbol(Symbol::from_char('a')));
+        set.insert(Tag::Length(x));
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,32 @@
+//! Quickstart: build a position-heavy string constraint with the builder API
+//! and solve it with the posr pipeline.
+//!
+//! Run with `cargo run -p posr-examples --bin quickstart`.
+
+use posr_core::ast::{StringFormula, StringTerm};
+use posr_core::solver::{answer_status, StringSolver};
+
+fn main() {
+    // x, y ∈ (ab)*, x ≠ y, and both must have the same length: the classic
+    // "else branch of a string equality test" constraint.
+    let formula = StringFormula::new()
+        .in_re("x", "(ab)*")
+        .in_re("y", "(ab)*")
+        .diseq(StringTerm::var("x"), StringTerm::var("y"))
+        .len_eq("x", "y");
+
+    let answer = StringSolver::new().solve(&formula);
+    println!("status: {}", answer_status(&answer));
+    if let Some(model) = answer.model() {
+        println!("  x = {:?}", model.string("x"));
+        println!("  y = {:?}", model.string("y"));
+        assert!(model.satisfies(&formula), "models are always re-validated");
+    }
+
+    // The same constraint over the singleton language {"ab"} is unsatisfiable.
+    let unsat = StringFormula::new()
+        .in_re("x", "ab")
+        .in_re("y", "ab")
+        .diseq(StringTerm::var("x"), StringTerm::var("y"));
+    println!("singleton variant: {}", answer_status(&StringSolver::new().solve(&unsat)));
+}

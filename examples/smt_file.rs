@@ -1,0 +1,51 @@
+//! Solve an SMT-LIB-flavoured problem, either from a file given on the
+//! command line or from a built-in example.
+//!
+//! Run with `cargo run -p posr-examples --bin smt_file -- [path.smt2]`.
+
+use posr_core::solver::{answer_status, StringSolver};
+use posr_smtfmt::parse_script;
+
+const BUILT_IN: &str = r#"
+(set-logic QF_S)
+(declare-const x String)
+(declare-const y String)
+(assert (str.in_re x (re.* (str.to_re "ab"))))
+(assert (str.in_re y (re.* (str.to_re "ab"))))
+(assert (not (= x y)))
+(assert (= (str.len x) (str.len y)))
+(check-sat)
+"#;
+
+fn main() {
+    let source = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }),
+        None => BUILT_IN.to_string(),
+    };
+    let script = match parse_script(&source) {
+        Ok(script) => script,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "parsed {} assertions over {} string and {} integer variables",
+        script.formula.atoms.len(),
+        script.string_vars.len(),
+        script.int_vars.len()
+    );
+    let answer = StringSolver::new().solve(&script.formula);
+    println!("{}", answer_status(&answer));
+    if let Some(model) = answer.model() {
+        for var in &script.string_vars {
+            println!("  {var} = {:?}", model.string(var));
+        }
+        for var in &script.int_vars {
+            println!("  {var} = {}", model.int(var));
+        }
+    }
+}

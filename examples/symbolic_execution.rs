@@ -1,0 +1,38 @@
+//! A symbolic-execution style scenario: path constraints collected along a
+//! program path that validates a user name, with the else-branches of string
+//! equality tests showing up as disequalities.
+//!
+//! Run with `cargo run -p posr-examples --bin symbolic_execution`.
+
+use posr_core::ast::{LenCmp, LenTerm, StringFormula, StringTerm};
+use posr_core::solver::{answer_status, StringSolver};
+
+fn main() {
+    // username = prefix · suffix, where the prefix is a known literal branch,
+    // the whole name matches a sanitising regex, the name is not one of the
+    // reserved words, and it is at least 4 characters long.
+    let formula = StringFormula::new()
+        .in_re("username", "[a-z]{0,6}")
+        .eq(
+            StringTerm::var("username"),
+            StringTerm::concat(vec![StringTerm::var("prefix"), StringTerm::var("suffix")]),
+        )
+        .diseq(StringTerm::var("username"), StringTerm::lit("root"))
+        .diseq(StringTerm::var("username"), StringTerm::lit("admin"))
+        .not_prefixof(StringTerm::lit("sys"), StringTerm::var("username"))
+        .length(LenTerm::len("username"), LenCmp::Ge, LenTerm::constant(4));
+
+    let answer = StringSolver::new().solve(&formula);
+    println!("path condition is {}", answer_status(&answer));
+    if let Some(model) = answer.model() {
+        println!("  username = {:?}", model.string("username"));
+        println!("  prefix   = {:?}", model.string("prefix"));
+        println!("  suffix   = {:?}", model.string("suffix"));
+    }
+
+    // Tightening the constraints to force the reserved word makes the branch dead.
+    let dead = StringFormula::new()
+        .in_re("username", "root")
+        .diseq(StringTerm::var("username"), StringTerm::lit("root"));
+    println!("dead branch check: {}", answer_status(&StringSolver::new().solve(&dead)));
+}

@@ -1,0 +1,167 @@
+//! End-to-end integration tests across the whole workspace: surface formulas
+//! go through normalisation, stabilisation, the tag-automaton encoding and
+//! the LIA solver, and the resulting models are validated concretely.
+
+use posr_core::ast::{LenCmp, LenTerm, StringAtom, StringFormula, StringTerm};
+use posr_core::solver::{Answer, StringSolver};
+
+fn solve(formula: &StringFormula) -> Answer {
+    StringSolver::new().solve(formula)
+}
+
+fn assert_sat(formula: &StringFormula) {
+    match solve(formula) {
+        Answer::Sat(model) => assert!(model.satisfies(formula), "model must satisfy the formula"),
+        other => panic!("expected sat, got {other:?}"),
+    }
+}
+
+fn assert_unsat(formula: &StringFormula) {
+    assert_eq!(solve(formula), Answer::Unsat);
+}
+
+#[test]
+fn disequality_with_length_coupling() {
+    assert_sat(
+        &StringFormula::new()
+            .in_re("x", "(ab)*")
+            .in_re("y", "(ab)*")
+            .diseq(StringTerm::var("x"), StringTerm::var("y"))
+            .len_eq("x", "y"),
+    );
+}
+
+#[test]
+fn disequality_of_fixed_equal_words_is_unsat() {
+    assert_unsat(
+        &StringFormula::new()
+            .in_re("x", "abab")
+            .in_re("y", "abab")
+            .diseq(StringTerm::var("x"), StringTerm::var("y")),
+    );
+}
+
+#[test]
+fn commuting_concatenations_unsat() {
+    let x = StringTerm::var("x");
+    let y = StringTerm::var("y");
+    assert_unsat(&StringFormula::new().in_re("x", "a*").in_re("y", "a*").diseq(
+        StringTerm::concat(vec![x.clone(), y.clone()]),
+        StringTerm::concat(vec![y, x]),
+    ));
+}
+
+#[test]
+fn non_commuting_concatenations_sat() {
+    let x = StringTerm::var("x");
+    let y = StringTerm::var("y");
+    assert_sat(&StringFormula::new().in_re("x", "(ab)+").in_re("y", "(ba)+").diseq(
+        StringTerm::concat(vec![x.clone(), y.clone()]),
+        StringTerm::concat(vec![y, x]),
+    ));
+}
+
+#[test]
+fn three_sat_reduction_instances() {
+    // the NP-hardness construction of Lemma 7.2: one clause, satisfiable
+    let f = StringFormula::new()
+        .in_re("y1", "0|1")
+        .in_re("y2", "0|1")
+        .in_re("y3", "0|1")
+        .diseq(
+            StringTerm::concat(vec![
+                StringTerm::var("y1"),
+                StringTerm::var("y2"),
+                StringTerm::var("y3"),
+            ]),
+            StringTerm::lit("010"),
+        );
+    assert_sat(&f);
+    // forcing the assignment to the forbidden word makes it unsat
+    let forced = f
+        .clone()
+        .eq(StringTerm::var("y1"), StringTerm::lit("0"))
+        .eq(StringTerm::var("y2"), StringTerm::lit("1"))
+        .eq(StringTerm::var("y3"), StringTerm::lit("0"));
+    assert_unsat(&forced);
+}
+
+#[test]
+fn negated_prefix_and_suffix() {
+    assert_unsat(
+        &StringFormula::new()
+            .in_re("x", "a")
+            .in_re("y", "a(ab)*")
+            .not_prefixof(StringTerm::var("x"), StringTerm::var("y")),
+    );
+    assert_sat(
+        &StringFormula::new()
+            .in_re("x", "a|b")
+            .in_re("y", "(ab)+")
+            .not_suffixof(StringTerm::var("x"), StringTerm::var("y")),
+    );
+}
+
+#[test]
+fn str_at_positive_and_negative() {
+    let f = StringFormula::new()
+        .in_re("c", "b")
+        .in_re("y", "(ab)*")
+        .atom(StringAtom::StrAt {
+            var: "c".to_string(),
+            term: StringTerm::var("y"),
+            index: LenTerm::int_var("i"),
+            negated: false,
+        })
+        .length(LenTerm::int_var("i"), LenCmp::Ge, LenTerm::constant(0));
+    match StringSolver::new().solve(&f) {
+        Answer::Sat(model) => {
+            let y = model.string("y").to_string();
+            let i = model.int("i") as usize;
+            assert_eq!(y.chars().nth(i), Some('b'));
+        }
+        other => panic!("expected sat, got {other:?}"),
+    }
+}
+
+#[test]
+fn not_contains_flat_languages() {
+    assert_unsat(&StringFormula::new().in_re("x", "(ab)*").not_contains(
+        StringTerm::concat(vec![StringTerm::var("x"), StringTerm::var("x")]),
+        StringTerm::var("x"),
+    ));
+    assert_sat(
+        &StringFormula::new()
+            .in_re("x", "(ab)+")
+            .in_re("y", "(ba)+")
+            .not_contains(StringTerm::var("y"), StringTerm::var("x")),
+    );
+}
+
+#[test]
+fn equations_combine_with_position_constraints() {
+    // w ∈ (ab)*, w = x·y, x ≠ "ab", |w| ≥ 2
+    let f = StringFormula::new()
+        .in_re("w", "(ab)*")
+        .eq(
+            StringTerm::var("w"),
+            StringTerm::concat(vec![StringTerm::var("x"), StringTerm::var("y")]),
+        )
+        .diseq(StringTerm::var("x"), StringTerm::lit("ab"))
+        .length(LenTerm::len("w"), LenCmp::Ge, LenTerm::constant(2));
+    assert_sat(&f);
+}
+
+#[test]
+fn length_constraints_alone() {
+    assert_unsat(&StringFormula::new().in_re("x", "(abc)*").length(
+        LenTerm::len("x"),
+        LenCmp::Eq,
+        LenTerm::constant(4),
+    ));
+    assert_sat(&StringFormula::new().in_re("x", "(abc)*").length(
+        LenTerm::len("x"),
+        LenCmp::Eq,
+        LenTerm::constant(6),
+    ));
+}

@@ -1,0 +1,1 @@
+// Shared helpers for the posr integration tests live in the individual test files.

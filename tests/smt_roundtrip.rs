@@ -1,0 +1,66 @@
+//! Integration of the SMT-LIB front end with the solver: parse scripts,
+//! solve them, and validate the models against the parsed formula.
+
+use posr_core::solver::StringSolver;
+use posr_smtfmt::parse_script;
+
+fn solve_script(script: &str) -> posr_core::Answer {
+    let parsed = parse_script(script).expect("script must parse");
+    StringSolver::new().solve(&parsed.formula)
+}
+
+#[test]
+fn sat_script_with_model_validation() {
+    let script = r#"
+      (declare-const x String)
+      (declare-const y String)
+      (assert (str.in_re x (re.+ (str.to_re "ab"))))
+      (assert (str.in_re y (re.+ (str.to_re "ba"))))
+      (assert (not (= x y)))
+      (check-sat)
+    "#;
+    let parsed = parse_script(script).unwrap();
+    match StringSolver::new().solve(&parsed.formula) {
+        posr_core::Answer::Sat(model) => assert!(model.satisfies(&parsed.formula)),
+        other => panic!("expected sat, got {other:?}"),
+    }
+}
+
+#[test]
+fn unsat_script() {
+    let script = r#"
+      (declare-const x String)
+      (assert (str.in_re x (str.to_re "ab")))
+      (assert (not (= x "ab")))
+      (check-sat)
+    "#;
+    assert!(solve_script(script).is_unsat());
+}
+
+#[test]
+fn not_contains_script() {
+    let script = r#"
+      (declare-const x String)
+      (assert (str.in_re x (re.* (str.to_re "ab"))))
+      (assert (not (str.contains (str.++ x x) x)))
+      (check-sat)
+    "#;
+    assert!(solve_script(script).is_unsat());
+}
+
+#[test]
+fn length_script() {
+    let script = r#"
+      (declare-const x String)
+      (declare-const n Int)
+      (assert (str.in_re x (re.* (str.to_re "abc"))))
+      (assert (= (str.len x) n))
+      (assert (>= n 5))
+      (assert (<= n 7))
+      (check-sat)
+    "#;
+    match solve_script(script) {
+        posr_core::Answer::Sat(model) => assert_eq!(model.string("x").len(), 6),
+        other => panic!("expected sat, got {other:?}"),
+    }
+}
