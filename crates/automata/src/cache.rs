@@ -1,0 +1,161 @@
+//! A process-wide, thread-safe memoization cache for compiled regular
+//! expressions, keyed by the pattern text.
+//!
+//! Every solving strategy normalises its input independently, and the
+//! portfolio engine runs several strategies over the *same* formula on
+//! concurrent threads — without sharing, each worker would re-parse and
+//! re-compile identical patterns.  This cache interns two artefacts per
+//! pattern:
+//!
+//! * the raw compiled NFA ([`compile_cached`]), exactly what
+//!   `Regex::parse(p)?.compile()` returns, and
+//! * the ε-free trimmed variant ([`prepared_cached`]), the form every
+//!   encoder downstream actually wants.
+//!
+//! Entries are `Arc`-shared and immutable, so concurrent readers clone a
+//! pointer, never an automaton.  Hit/miss counters feed the batch-driver
+//! statistics of `posr-portfolio`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::nfa::Nfa;
+use crate::regex::{ParseRegexError, Regex};
+
+static COMPILED: OnceLock<Mutex<HashMap<String, Arc<Nfa>>>> = OnceLock::new();
+static PREPARED: OnceLock<Mutex<HashMap<String, Arc<Nfa>>>> = OnceLock::new();
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]` (0 when the cache was never consulted).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+fn lookup(
+    store: &OnceLock<Mutex<HashMap<String, Arc<Nfa>>>>,
+    pattern: &str,
+    build: impl FnOnce() -> Result<Nfa, ParseRegexError>,
+) -> Result<Arc<Nfa>, ParseRegexError> {
+    let map = store.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(hit) = map.lock().expect("automaton cache poisoned").get(pattern) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return Ok(Arc::clone(hit));
+    }
+    // build outside the lock: concurrent workers may race and compile the
+    // same pattern twice, but nobody blocks behind a slow compilation and
+    // both racers insert identical (deterministic) automata
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    let built = Arc::new(build()?);
+    let mut guard = map.lock().expect("automaton cache poisoned");
+    Ok(Arc::clone(
+        guard.entry(pattern.to_string()).or_insert(built),
+    ))
+}
+
+/// The compiled NFA of `pattern`, shared across the process.
+///
+/// # Errors
+/// Returns the parse error of `Regex::parse` on malformed patterns (errors
+/// are not cached; a typo fixed upstream retries the parse).
+pub fn compile_cached(pattern: &str) -> Result<Arc<Nfa>, ParseRegexError> {
+    lookup(&COMPILED, pattern, || Ok(Regex::parse(pattern)?.compile()))
+}
+
+/// The ε-free, trimmed NFA of `pattern`, shared across the process.  This is
+/// the form the tag-automaton encoders consume, so callers that go straight
+/// from a pattern to an encoder skip the per-solve `remove_epsilon().trim()`
+/// entirely.
+///
+/// # Errors
+/// Returns the parse error of `Regex::parse` on malformed patterns.
+pub fn prepared_cached(pattern: &str) -> Result<Arc<Nfa>, ParseRegexError> {
+    lookup(&PREPARED, pattern, || {
+        Ok(Regex::parse(pattern)?.compile().remove_epsilon().trim())
+    })
+}
+
+/// Current hit/miss counters (cumulative since process start or the last
+/// [`reset_stats`]).
+pub fn stats() -> CacheStats {
+    CacheStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Resets the counters (the entries stay); used by the batch driver to
+/// report per-batch reuse.
+pub fn reset_stats() {
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+}
+
+/// Drops every cached automaton and resets the counters.  Only tests and
+/// long-running servers with pattern churn should need this.
+pub fn clear() {
+    for store in [&COMPILED, &PREPARED] {
+        if let Some(map) = store.get() {
+            map.lock().expect("automaton cache poisoned").clear();
+        }
+    }
+    reset_stats();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // the cache is process-global and tests run concurrently, so assertions
+    // are phrased in deltas over the entries this test touches
+    #[test]
+    fn repeated_lookups_share_one_automaton() {
+        let a = compile_cached("(ab)*cache-test").unwrap();
+        let b = compile_cached("(ab)*cache-test").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(a.accepts_str("ababcache-test"));
+    }
+
+    #[test]
+    fn prepared_is_trimmed_and_epsilon_free() {
+        let nfa = prepared_cached("(a|b)+prepared-test").unwrap();
+        assert!(nfa.accepts_str("abprepared-test"));
+        let again = prepared_cached("(a|b)+prepared-test").unwrap();
+        assert!(Arc::ptr_eq(&nfa, &again));
+    }
+
+    #[test]
+    fn parse_errors_are_reported_not_cached() {
+        assert!(compile_cached("(unclosed").is_err());
+        assert!(prepared_cached("(unclosed").is_err());
+    }
+
+    #[test]
+    fn stats_move_on_misses_and_hits() {
+        let before = stats();
+        let _ = compile_cached("stats-test-pattern-x");
+        let mid = stats();
+        assert!(mid.misses > before.misses);
+        let _ = compile_cached("stats-test-pattern-x");
+        let after = stats();
+        assert!(after.hits > mid.hits);
+        assert!(after.hit_ratio() > 0.0);
+    }
+}

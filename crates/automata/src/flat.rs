@@ -117,8 +117,7 @@ pub fn is_flat(nfa: &Nfa) -> bool {
         if component.len() == 1 {
             let q = component[0];
             // a single state: flat unless it has two or more self loops
-            let self_loops =
-                nfa.transitions_from(q).filter(|t| t.target == q).count();
+            let self_loops = nfa.transitions_from(q).filter(|t| t.target == q).count();
             if self_loops > 1 {
                 return false;
             }
@@ -166,7 +165,11 @@ pub fn word_from_parikh(nfa: &Nfa, counts: &BTreeMap<usize, u64>) -> Option<Vec<
 /// # Panics
 /// Panics if the length invariant is violated.
 pub fn flat_regex(stems: &[&str], loops: &[&str]) -> Nfa {
-    assert_eq!(stems.len(), loops.len() + 1, "need one more stem than loops");
+    assert_eq!(
+        stems.len(),
+        loops.len() + 1,
+        "need one more stem than loops"
+    );
     let mut result = Nfa::literal(stems[0]);
     for (i, &l) in loops.iter().enumerate() {
         result = ops::concat(&result, &ops::star(&Nfa::literal(l)));

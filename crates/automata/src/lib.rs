@@ -15,7 +15,9 @@
 //! * [`onecounter`] — one-counter automata and zero-reachability, backing the
 //!   PTime procedure for a single disequality (Sec. 7.1 of the paper),
 //! * [`sample`] — bounded enumeration and random sampling of accepted words,
-//!   used by the enumeration baseline and by tests.
+//!   used by the enumeration baseline and by tests,
+//! * [`cache`] — a process-wide pattern-keyed memoization cache of compiled
+//!   (and trimmed) automata, shared by every concurrent solving strategy.
 //!
 //! # Example
 //!
@@ -30,6 +32,7 @@
 //! # }
 //! ```
 
+pub mod cache;
 pub mod flat;
 pub mod nfa;
 pub mod onecounter;

@@ -233,7 +233,11 @@ impl Nfa {
     pub fn add_transition(&mut self, source: StateId, symbol: Symbol, target: StateId) {
         assert!(source.0 < self.num_states, "state {source} out of bounds");
         assert!(target.0 < self.num_states, "state {target} out of bounds");
-        let t = Transition { source, symbol, target };
+        let t = Transition {
+            source,
+            symbol,
+            target,
+        };
         if !self.transitions.contains(&t) {
             self.transitions.push(t);
         }
@@ -496,7 +500,11 @@ impl Nfa {
             }
         }
         for t in &self.transitions {
-            let _ = writeln!(s, "  {} -> {} [label=\"{}\"];", t.source, t.target, t.symbol);
+            let _ = writeln!(
+                s,
+                "  {} -> {} [label=\"{}\"];",
+                t.source, t.target, t.symbol
+            );
         }
         let _ = writeln!(s, "}}");
         s

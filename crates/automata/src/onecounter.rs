@@ -114,7 +114,11 @@ impl OneCounterAutomaton {
     /// Panics if either state is out of bounds.
     pub fn add_transition(&mut self, source: usize, weight: i64, target: usize) {
         assert!(source < self.num_states && target < self.num_states);
-        self.transitions.push(CounterTransition { source, weight, target });
+        self.transitions.push(CounterTransition {
+            source,
+            weight,
+            target,
+        });
     }
 
     /// The transition table.
@@ -134,7 +138,11 @@ impl OneCounterAutomaton {
 
     /// Largest absolute counter update occurring on any transition.
     pub fn max_update(&self) -> i64 {
-        self.transitions.iter().map(|t| t.weight.abs()).max().unwrap_or(0)
+        self.transitions
+            .iter()
+            .map(|t| t.weight.abs())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Rewrites the automaton so that all counter updates are in `{-1, 0, +1}`
@@ -159,7 +167,11 @@ impl OneCounterAutomaton {
             let step = if t.weight > 0 { 1 } else { -1 };
             let mut prev = t.source;
             for i in 0..magnitude {
-                let next = if i == magnitude - 1 { t.target } else { out.add_state() };
+                let next = if i == magnitude - 1 {
+                    t.target
+                } else {
+                    out.add_state()
+                };
                 out.add_transition(prev, step, next);
                 prev = next;
             }
@@ -245,7 +257,10 @@ impl fmt::Display for OneCounterAutomaton {
         writeln!(
             f,
             "OCA: {} states, {} transitions, I={:?}, F={:?}",
-            self.num_states, self.transitions.len(), self.initial, self.finals
+            self.num_states,
+            self.transitions.len(),
+            self.initial,
+            self.finals
         )?;
         for t in &self.transitions {
             writeln!(f, "  q{} --({:+})--> q{}", t.source, t.weight, t.target)?;

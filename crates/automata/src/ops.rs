@@ -107,7 +107,10 @@ pub fn optional(a: &Nfa) -> Nfa {
 /// # Panics
 /// Panics if either automaton contains ε-transitions.
 pub fn intersection(a: &Nfa, b: &Nfa) -> Nfa {
-    assert!(!a.has_epsilon() && !b.has_epsilon(), "intersection requires ε-free automata");
+    assert!(
+        !a.has_epsilon() && !b.has_epsilon(),
+        "intersection requires ε-free automata"
+    );
     let mut out = Nfa::new();
     let mut map: BTreeMap<(StateId, StateId), StateId> = BTreeMap::new();
     let mut queue: VecDeque<(StateId, StateId)> = VecDeque::new();

@@ -115,7 +115,10 @@ pub fn find_accepting_run(nfa: &Nfa, word: &[Symbol]) -> Option<Run> {
         q = pq;
     }
     rev.reverse();
-    Some(Run { start: q, transitions: rev })
+    Some(Run {
+        start: q,
+        transitions: rev,
+    })
 }
 
 /// Attempts to arrange a multiset of edges into a single path from `start` to
@@ -203,9 +206,11 @@ pub fn run_from_parikh(nfa: &Nfa, counts: &BTreeMap<usize, u64>, start: StateId)
         }
         count_vec[i] = c;
     }
-    let order =
-        reconstruct_eulerian_path(nfa.num_states(), &edges, &count_vec, start.index())?;
-    Some(Run { start, transitions: order })
+    let order = reconstruct_eulerian_path(nfa.num_states(), &edges, &count_vec, start.index())?;
+    Some(Run {
+        start,
+        transitions: order,
+    })
 }
 
 #[cfg(test)]

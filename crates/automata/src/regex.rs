@@ -1,8 +1,8 @@
 //! A regular-expression parser and NFA compiler.
 //!
-//! The syntax is the usual textbook one used in the paper (e.g. `(ab)*c((ab)*
-//! + (ba)*)`), extended with the operators commonly found in SMT-LIB string
-//! benchmarks:
+//! The syntax is the usual textbook one used in the paper (e.g.
+//! `(ab)*c((ab)* + (ba)*)`), extended with the operators commonly found in
+//! SMT-LIB string benchmarks:
 //!
 //! * concatenation by juxtaposition,
 //! * alternation with `|` or `+` at the top level of a group when preceded by
@@ -72,7 +72,11 @@ pub struct ParseRegexError {
 
 impl fmt::Display for ParseRegexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "regex parse error at {}: {}", self.position, self.message)
+        write!(
+            f,
+            "regex parse error at {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -94,7 +98,11 @@ impl Regex {
     /// Returns a [`ParseRegexError`] on malformed input.
     pub fn parse_with_alphabet(input: &str, alphabet: &str) -> Result<Regex, ParseRegexError> {
         let chars: Vec<char> = input.chars().collect();
-        let mut parser = Parser { chars, pos: 0, alphabet: alphabet.chars().collect() };
+        let mut parser = Parser {
+            chars,
+            pos: 0,
+            alphabet: alphabet.chars().collect(),
+        };
         let re = parser.parse_alt()?;
         if parser.pos != parser.chars.len() {
             return Err(parser.error("unexpected trailing input"));
@@ -216,7 +224,10 @@ struct Parser {
 
 impl Parser {
     fn error(&self, message: &str) -> ParseRegexError {
-        ParseRegexError { position: self.pos, message: message.to_string() }
+        ParseRegexError {
+            position: self.pos,
+            message: message.to_string(),
+        }
     }
 
     fn peek(&self) -> Option<char> {
@@ -365,7 +376,11 @@ impl Parser {
                 },
                 Some(c) => {
                     if self.peek() == Some('-')
-                        && self.chars.get(self.pos + 1).copied().map_or(false, |d| d != ']')
+                        && self
+                            .chars
+                            .get(self.pos + 1)
+                            .copied()
+                            .is_some_and(|d| d != ']')
                     {
                         self.bump(); // '-'
                         let end = self.bump().expect("checked above");
@@ -387,8 +402,12 @@ impl Parser {
         chars.dedup();
         if negated {
             let set: std::collections::BTreeSet<char> = chars.into_iter().collect();
-            let complement: Vec<char> =
-                self.alphabet.iter().copied().filter(|c| !set.contains(c)).collect();
+            let complement: Vec<char> = self
+                .alphabet
+                .iter()
+                .copied()
+                .filter(|c| !set.contains(c))
+                .collect();
             Ok(Regex::Class(complement))
         } else if chars.is_empty() {
             Ok(Regex::Empty)
@@ -498,8 +517,12 @@ mod tests {
 
     #[test]
     fn syntactic_flatness() {
-        assert!(Regex::parse("(ab)*c(ba)*").expect("parse").is_syntactically_flat());
-        assert!(!Regex::parse("(a|b)*").expect("parse").is_syntactically_flat());
+        assert!(Regex::parse("(ab)*c(ba)*")
+            .expect("parse")
+            .is_syntactically_flat());
+        assert!(!Regex::parse("(a|b)*")
+            .expect("parse")
+            .is_syntactically_flat());
     }
 
     #[test]

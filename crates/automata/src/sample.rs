@@ -134,8 +134,10 @@ pub fn sample_word<R: Rng + ?Sized>(nfa: &Nfa, max_len: usize, rng: &mut R) -> O
             }
             let options: Vec<_> = nfa
                 .transitions_from(state)
-                .filter(|t| dist[t.target.index()] != usize::MAX
-                    && dist[t.target.index()] + word.len() + 1 <= max_len)
+                .filter(|t| {
+                    dist[t.target.index()] != usize::MAX
+                        && dist[t.target.index()] + word.len() < max_len
+                })
                 .collect();
             match options.choose(rng) {
                 None => {

@@ -5,23 +5,21 @@
 use std::collections::BTreeMap;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use posr_automata::Regex;
 use posr_lia::term::VarPool;
+use posr_tagauto::cache::prepared_automata;
 use posr_tagauto::system::{PositionConstraint, SystemEncoder};
 use posr_tagauto::system_naive::encode_naive;
 use posr_tagauto::tags::VarTable;
 
-fn setup() -> (VarTable, BTreeMap<posr_tagauto::tags::StrVar, posr_automata::Nfa>, Vec<posr_tagauto::tags::StrVar>) {
+fn setup() -> (
+    VarTable,
+    BTreeMap<posr_tagauto::tags::StrVar, posr_automata::Nfa>,
+    Vec<posr_tagauto::tags::StrVar>,
+) {
     let mut vars = VarTable::new();
-    let mut automata = BTreeMap::new();
-    let ids: Vec<_> = [("x", "(ab)*"), ("y", "(ac)*"), ("z", "(ad)*")]
-        .iter()
-        .map(|(n, r)| {
-            let v = vars.intern(n);
-            automata.insert(v, Regex::parse(r).unwrap().compile());
-            v
-        })
-        .collect();
+    let specs = [("x", "(ab)*"), ("y", "(ac)*"), ("z", "(ad)*")];
+    let automata = prepared_automata(&specs, &mut vars).unwrap();
+    let ids: Vec<_> = specs.iter().map(|(n, _)| vars.lookup(n).unwrap()).collect();
     (vars, automata, ids)
 }
 
@@ -36,7 +34,10 @@ fn bench_encoding(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("polynomial", k), &constraints, |b, cs| {
             b.iter(|| {
                 let mut pool = VarPool::new();
-                SystemEncoder::new(&automata, &vars).encode(cs, &mut pool).formula.size()
+                SystemEncoder::new(&automata, &vars)
+                    .encode(cs, &mut pool)
+                    .formula
+                    .size()
             })
         });
         group.bench_with_input(BenchmarkId::new("naive-order", k), &constraints, |b, cs| {

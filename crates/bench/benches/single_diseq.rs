@@ -1,11 +1,9 @@
 //! Criterion benchmark: the PTime one-counter procedure vs. the NP LIA
 //! encoding on a single disequality (Theorem 7.1 vs Theorem 7.3).
 
-use std::collections::BTreeMap;
-
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use posr_automata::Regex;
 use posr_lia::term::VarPool;
+use posr_tagauto::cache::prepared_automata;
 use posr_tagauto::diseq_simple::encode_simple_diseq;
 use posr_tagauto::onecounter_diseq::single_diseq_satisfiable;
 use posr_tagauto::tags::VarTable;
@@ -16,13 +14,11 @@ fn bench_single_diseq(c: &mut Criterion) {
     group.sample_size(10);
     for (rx, ry) in cases {
         let mut vars = VarTable::new();
-        let x = vars.intern("x");
-        let y = vars.intern("y");
-        let ax = Regex::parse(rx).unwrap().compile();
-        let ay = Regex::parse(ry).unwrap().compile();
-        let mut automata = BTreeMap::new();
-        automata.insert(x, ax.clone());
-        automata.insert(y, ay.clone());
+        let automata = prepared_automata(&[("x", rx), ("y", ry)], &mut vars).unwrap();
+        let x = vars.lookup("x").unwrap();
+        let y = vars.lookup("y").unwrap();
+        let ax = automata[&x].clone();
+        let ay = automata[&y].clone();
         group.bench_with_input(BenchmarkId::new("one-counter", rx), &(), |b, ()| {
             b.iter(|| single_diseq_satisfiable(&[x], &[y], &automata))
         });

@@ -27,13 +27,17 @@ fn main() {
 
     let suites: Vec<&str> = suite_names()
         .into_iter()
-        .filter(|s| only.as_deref().map_or(true, |o| o == *s))
+        .filter(|s| only.as_deref().is_none_or(|o| o == *s))
         .collect();
     let solvers = SolverKind::all();
     let mut all_results = Vec::new();
     for name in &suites {
         let instances = suite(name, count, 2025);
-        eprintln!("running {} instances of {name} with {} solvers ...", instances.len(), solvers.len());
+        eprintln!(
+            "running {} instances of {name} with {} solvers ...",
+            instances.len(),
+            solvers.len()
+        );
         all_results.extend(run_suite(&instances, &solvers, timeout));
     }
     let rows = table1(&all_results, timeout);

@@ -47,13 +47,19 @@ pub fn suite(name: &str, count: usize, seed: u64) -> Vec<Instance> {
                 "position-hard" => position_hard(&mut rng, i),
                 other => panic!("unknown benchmark family {other}"),
             };
-            Instance { suite: name.to_string(), name: format!("{name}-{i:04}"), formula }
+            Instance {
+                suite: name.to_string(),
+                name: format!("{name}-{i:04}"),
+                formula,
+            }
         })
         .collect()
 }
 
 fn pick_word(rng: &mut StdRng, alphabet: &[char], len: usize) -> String {
-    (0..len).map(|_| *alphabet.choose(rng).expect("non-empty alphabet")).collect()
+    (0..len)
+        .map(|_| *alphabet.choose(rng).expect("non-empty alphabet"))
+        .collect()
 }
 
 /// Symbolic-execution style instances over a DNA-ish alphabet.
@@ -64,7 +70,10 @@ fn biopython_like(rng: &mut StdRng) -> StringFormula {
         .choose(rng)
         .expect("non-empty");
     f = f.in_re("seq", base);
-    f = f.in_re("frag", *["(ac)*", "g*", "(ta)*"].choose(rng).expect("non-empty"));
+    f = f.in_re(
+        "frag",
+        ["(ac)*", "g*", "(ta)*"].choose(rng).expect("non-empty"),
+    );
     // an else-branch disequality against a literal or another variable
     if rng.gen_bool(0.5) {
         let len = rng.gen_range(1..=3);
@@ -75,7 +84,10 @@ fn biopython_like(rng: &mut StdRng) -> StringFormula {
     }
     // sometimes a second disequality and a length constraint
     if rng.gen_bool(0.5) {
-        f = f.diseq(StringTerm::var("frag"), StringTerm::lit(&pick_word(rng, &alphabet, 2)));
+        f = f.diseq(
+            StringTerm::var("frag"),
+            StringTerm::lit(&pick_word(rng, &alphabet, 2)),
+        );
     }
     if rng.gen_bool(0.6) {
         let bound = rng.gen_range(0..=4);
@@ -94,8 +106,13 @@ fn biopython_like(rng: &mut StdRng) -> StringFormula {
 /// Path-manipulation style instances: prefixes, suffixes and `str.at`.
 fn django_like(rng: &mut StdRng) -> StringFormula {
     let mut f = StringFormula::new();
-    f = f.in_re("path", *["(/a|/b)*", "(/ab)*", "/?(a|b){0,3}"].choose(rng).expect("ok"));
-    f = f.in_re("route", *["(/a)*", "(/b)+", "/a/b"].choose(rng).expect("ok"));
+    f = f.in_re(
+        "path",
+        ["(/a|/b)*", "(/ab)*", "/?(a|b){0,3}"]
+            .choose(rng)
+            .expect("ok"),
+    );
+    f = f.in_re("route", ["(/a)*", "(/b)+", "/a/b"].choose(rng).expect("ok"));
     match rng.gen_range(0..4) {
         0 => {
             f = f.not_prefixof(StringTerm::var("route"), StringTerm::var("path"));
@@ -131,8 +148,11 @@ fn django_like(rng: &mut StdRng) -> StringFormula {
 /// Command-line style instances: disequalities and ¬contains with literals.
 fn thefuck_like(rng: &mut StdRng) -> StringFormula {
     let mut f = StringFormula::new();
-    f = f.in_re("cmd", *["(ab)*", "(a|b){0,4}", "a(ba)*"].choose(rng).expect("ok"));
-    f = f.in_re("arg", *["b*", "(ab)*", "a{0,3}"].choose(rng).expect("ok"));
+    f = f.in_re(
+        "cmd",
+        ["(ab)*", "(a|b){0,4}", "a(ba)*"].choose(rng).expect("ok"),
+    );
+    f = f.in_re("arg", ["b*", "(ab)*", "a{0,3}"].choose(rng).expect("ok"));
     f = f.diseq(StringTerm::var("cmd"), StringTerm::var("arg"));
     match rng.gen_range(0..3) {
         0 => {
@@ -164,7 +184,10 @@ fn position_hard(rng: &mut StdRng, index: usize) -> StringFormula {
     let x = StringTerm::var("x");
     let y = StringTerm::var("y");
     let z = StringTerm::var("z");
-    let mut f = StringFormula::new().in_re("x", lx).in_re("y", ly).in_re("z", "a*");
+    let mut f = StringFormula::new()
+        .in_re("x", lx)
+        .in_re("y", ly)
+        .in_re("z", "a*");
     match index % 5 {
         0 => {
             // xy ≠ yx

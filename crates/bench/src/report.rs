@@ -22,10 +22,15 @@ pub struct TableRow {
 }
 
 /// Aggregates raw results into Table-1 rows keyed by `(suite, solver)`.
-pub fn table1(results: &[InstanceResult], timeout: Duration) -> BTreeMap<(String, String), TableRow> {
+pub fn table1(
+    results: &[InstanceResult],
+    timeout: Duration,
+) -> BTreeMap<(String, String), TableRow> {
     let mut rows: BTreeMap<(String, String), TableRow> = BTreeMap::new();
     for r in results {
-        let row = rows.entry((r.suite.clone(), r.solver.to_string())).or_default();
+        let row = rows
+            .entry((r.suite.clone(), r.solver.to_string()))
+            .or_default();
         match r.status {
             Status::Sat | Status::Unsat => {
                 row.solved += 1;
@@ -92,14 +97,16 @@ pub fn fig6_csv(results: &[InstanceResult], ours: &str, other: &str, timeout: Du
             other_times.insert(r.instance.as_str(), (time, r.status));
         }
     }
-    let mut csv = String::from("suite,instance,ours_seconds,other_seconds,ours_status,other_status\n");
+    let mut csv =
+        String::from("suite,instance,ours_seconds,other_seconds,ours_status,other_status\n");
     for r in results {
         if r.solver != ours {
             continue;
         }
-        if let (Some((to, so)), Some((tt, st))) =
-            (ours_times.get(r.instance.as_str()), other_times.get(r.instance.as_str()))
-        {
+        if let (Some((to, so)), Some((tt, st))) = (
+            ours_times.get(r.instance.as_str()),
+            other_times.get(r.instance.as_str()),
+        ) {
             csv.push_str(&format!(
                 "{},{},{:.4},{:.4},{:?},{:?}\n",
                 r.suite, r.instance, to, tt, so, st
@@ -110,7 +117,12 @@ pub fn fig6_csv(results: &[InstanceResult], ours: &str, other: &str, timeout: Du
 }
 
 /// Summary of a Fig. 6 scatter: on how many instances each solver wins.
-pub fn fig6_summary(results: &[InstanceResult], ours: &str, other: &str, timeout: Duration) -> String {
+pub fn fig6_summary(
+    results: &[InstanceResult],
+    ours: &str,
+    other: &str,
+    timeout: Duration,
+) -> String {
     let csv = fig6_csv(results, ours, other, timeout);
     let mut ours_wins = 0usize;
     let mut other_wins = 0usize;
@@ -127,7 +139,9 @@ pub fn fig6_summary(results: &[InstanceResult], ours: &str, other: &str, timeout
             other_wins += 1;
         }
     }
-    format!("{ours} vs {other}: {ours_wins} won by {ours}, {other_wins} won by {other}, {ties} ties")
+    format!(
+        "{ours} vs {other}: {ours_wins} won by {ours}, {other_wins} won by {other}, {ties} ties"
+    )
 }
 
 /// The cactus-plot series of Fig. 7: for every solver the sorted times of its
@@ -136,7 +150,10 @@ pub fn fig7_csv(results: &[InstanceResult]) -> String {
     let mut by_solver: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
     for r in results {
         if matches!(r.status, Status::Sat | Status::Unsat) {
-            by_solver.entry(r.solver).or_default().push(r.time.as_secs_f64());
+            by_solver
+                .entry(r.solver)
+                .or_default()
+                .push(r.time.as_secs_f64());
         }
     }
     let mut csv = String::from("solver,solved_rank,seconds\n");

@@ -7,6 +7,8 @@ use posr_core::baselines::{
     BaselineSolver, EnumerationSolver, LengthAbstractionSolver, NaiveOrderSolver,
 };
 use posr_core::solver::{Answer, SolverOptions, StringSolver};
+use posr_lia::cancel::CancelToken;
+use posr_portfolio::PortfolioSolver;
 
 use crate::gen::Instance;
 
@@ -21,6 +23,8 @@ pub enum SolverKind {
     NaiveOrder,
     /// Length-abstraction-only solver.
     LengthAbstraction,
+    /// The concurrent portfolio racing all of the above with cancellation.
+    Portfolio,
 }
 
 impl SolverKind {
@@ -31,6 +35,7 @@ impl SolverKind {
             SolverKind::Enumeration,
             SolverKind::NaiveOrder,
             SolverKind::LengthAbstraction,
+            SolverKind::Portfolio,
         ]
     }
 
@@ -41,21 +46,31 @@ impl SolverKind {
             SolverKind::Enumeration => "enumeration",
             SolverKind::NaiveOrder => "naive-order",
             SolverKind::LengthAbstraction => "length-abs",
+            SolverKind::Portfolio => "portfolio",
         }
     }
 
     fn solve(&self, instance: &Instance, deadline: Instant) -> Answer {
         match self {
             SolverKind::TagPos => {
-                let options = SolverOptions { deadline: Some(deadline), ..SolverOptions::default() };
+                let options = SolverOptions {
+                    deadline: Some(deadline),
+                    ..SolverOptions::default()
+                };
                 StringSolver::with_options(options).solve(&instance.formula)
             }
-            SolverKind::Enumeration => {
-                EnumerationSolver::default().solve(&instance.formula, Some(deadline))
+            SolverKind::Enumeration => EnumerationSolver::default()
+                .solve(&instance.formula, &CancelToken::with_deadline(deadline)),
+            SolverKind::NaiveOrder => {
+                NaiveOrderSolver.solve(&instance.formula, &CancelToken::with_deadline(deadline))
             }
-            SolverKind::NaiveOrder => NaiveOrderSolver.solve(&instance.formula, Some(deadline)),
-            SolverKind::LengthAbstraction => {
-                LengthAbstractionSolver.solve(&instance.formula, Some(deadline))
+            SolverKind::LengthAbstraction => LengthAbstractionSolver
+                .solve(&instance.formula, &CancelToken::with_deadline(deadline)),
+            SolverKind::Portfolio => {
+                let timeout = deadline.saturating_duration_since(Instant::now());
+                PortfolioSolver::new()
+                    .solve_with(&instance.formula, Some(timeout), None)
+                    .answer
             }
         }
     }
@@ -135,7 +150,9 @@ pub fn contradictions(results: &[InstanceResult]) -> Vec<String> {
     use std::collections::BTreeMap;
     let mut verdicts: BTreeMap<&str, (bool, bool)> = BTreeMap::new();
     for r in results {
-        let entry = verdicts.entry(r.instance.as_str()).or_insert((false, false));
+        let entry = verdicts
+            .entry(r.instance.as_str())
+            .or_insert((false, false));
         match r.status {
             Status::Sat => entry.0 = true,
             Status::Unsat => entry.1 = true,
@@ -159,7 +176,11 @@ mod tests {
         let instances = suite("biopython", 4, 11);
         let results = run_suite(
             &instances,
-            &[SolverKind::TagPos, SolverKind::Enumeration, SolverKind::LengthAbstraction],
+            &[
+                SolverKind::TagPos,
+                SolverKind::Enumeration,
+                SolverKind::LengthAbstraction,
+            ],
             Duration::from_secs(10),
         );
         assert_eq!(results.len(), 4 * 3);

@@ -33,7 +33,9 @@ impl StringTerm {
 
     /// A single-variable term.
     pub fn var(name: &str) -> StringTerm {
-        StringTerm { parts: vec![TermPart::Var(name.to_string())] }
+        StringTerm {
+            parts: vec![TermPart::Var(name.to_string())],
+        }
     }
 
     /// A literal term.
@@ -41,7 +43,9 @@ impl StringTerm {
         if value.is_empty() {
             StringTerm::empty()
         } else {
-            StringTerm { parts: vec![TermPart::Lit(value.to_string())] }
+            StringTerm {
+                parts: vec![TermPart::Lit(value.to_string())],
+            }
         }
     }
 
@@ -123,7 +127,10 @@ pub struct LenTerm {
 impl LenTerm {
     /// The constant term `k`.
     pub fn constant(k: i64) -> LenTerm {
-        LenTerm { constant: k, ..LenTerm::default() }
+        LenTerm {
+            constant: k,
+            ..LenTerm::default()
+        }
     }
 
     /// The term `len(x)`.
@@ -152,11 +159,7 @@ impl LenTerm {
     }
 
     /// Evaluates the term under string and integer assignments.
-    pub fn eval(
-        &self,
-        strings: &BTreeMap<String, String>,
-        ints: &BTreeMap<String, i64>,
-    ) -> i64 {
+    pub fn eval(&self, strings: &BTreeMap<String, String>, ints: &BTreeMap<String, i64>) -> i64 {
         let mut total = self.constant;
         for (v, c) in &self.len_coeffs {
             total += c * strings.get(v).map_or(0, |w| w.chars().count() as i64);
@@ -275,43 +278,63 @@ pub enum StringAtom {
 
 impl StringAtom {
     /// Evaluates the atom under concrete string and integer assignments.
-    pub fn eval(
-        &self,
-        strings: &BTreeMap<String, String>,
-        ints: &BTreeMap<String, i64>,
-    ) -> bool {
+    pub fn eval(&self, strings: &BTreeMap<String, String>, ints: &BTreeMap<String, i64>) -> bool {
         match self {
             StringAtom::Equation { lhs, rhs, negated } => {
                 (lhs.eval(strings) == rhs.eval(strings)) != *negated
             }
-            StringAtom::InRe { var, regex, negated } => {
+            StringAtom::InRe {
+                var,
+                regex,
+                negated,
+            } => {
                 let value = strings.get(var).cloned().unwrap_or_default();
                 let nfa = posr_automata::Regex::parse(regex)
                     .map(|r| r.compile())
                     .unwrap_or_else(|_| posr_automata::Nfa::empty_language());
                 nfa.accepts_str(&value) != *negated
             }
-            StringAtom::PrefixOf { needle, haystack, negated } => {
+            StringAtom::PrefixOf {
+                needle,
+                haystack,
+                negated,
+            } => {
                 let n = needle.eval(strings);
                 let h = haystack.eval(strings);
                 h.starts_with(&n) != *negated
             }
-            StringAtom::SuffixOf { needle, haystack, negated } => {
+            StringAtom::SuffixOf {
+                needle,
+                haystack,
+                negated,
+            } => {
                 let n = needle.eval(strings);
                 let h = haystack.eval(strings);
                 h.ends_with(&n) != *negated
             }
-            StringAtom::Contains { haystack, needle, negated } => {
+            StringAtom::Contains {
+                haystack,
+                needle,
+                negated,
+            } => {
                 let h = haystack.eval(strings);
                 let n = needle.eval(strings);
                 h.contains(&n) != *negated
             }
-            StringAtom::StrAt { var, term, index, negated } => {
+            StringAtom::StrAt {
+                var,
+                term,
+                index,
+                negated,
+            } => {
                 let value = strings.get(var).cloned().unwrap_or_default();
                 let word = term.eval(strings);
                 let i = index.eval(strings, ints);
                 let at = if i >= 0 && (i as usize) < word.chars().count() {
-                    word.chars().nth(i as usize).map(String::from).unwrap_or_default()
+                    word.chars()
+                        .nth(i as usize)
+                        .map(String::from)
+                        .unwrap_or_default()
                 } else {
                     String::new()
                 };
@@ -337,16 +360,24 @@ impl StringAtom {
                 push_term(rhs, &mut out);
             }
             StringAtom::InRe { var, .. } => out.push(var.clone()),
-            StringAtom::PrefixOf { needle, haystack, .. }
-            | StringAtom::SuffixOf { needle, haystack, .. } => {
+            StringAtom::PrefixOf {
+                needle, haystack, ..
+            }
+            | StringAtom::SuffixOf {
+                needle, haystack, ..
+            } => {
                 push_term(needle, &mut out);
                 push_term(haystack, &mut out);
             }
-            StringAtom::Contains { haystack, needle, .. } => {
+            StringAtom::Contains {
+                haystack, needle, ..
+            } => {
                 push_term(haystack, &mut out);
                 push_term(needle, &mut out);
             }
-            StringAtom::StrAt { var, term, index, .. } => {
+            StringAtom::StrAt {
+                var, term, index, ..
+            } => {
                 out.push(var.clone());
                 push_term(term, &mut out);
                 out.extend(index.len_coeffs.keys().cloned());
@@ -381,37 +412,65 @@ impl StringFormula {
 
     /// Adds a regular membership `var ∈ L(regex)`.
     pub fn in_re(self, var: &str, regex: &str) -> StringFormula {
-        self.atom(StringAtom::InRe { var: var.to_string(), regex: regex.to_string(), negated: false })
+        self.atom(StringAtom::InRe {
+            var: var.to_string(),
+            regex: regex.to_string(),
+            negated: false,
+        })
     }
 
     /// Adds a word equation `lhs = rhs`.
     pub fn eq(self, lhs: StringTerm, rhs: StringTerm) -> StringFormula {
-        self.atom(StringAtom::Equation { lhs, rhs, negated: false })
+        self.atom(StringAtom::Equation {
+            lhs,
+            rhs,
+            negated: false,
+        })
     }
 
     /// Adds a disequality `lhs ≠ rhs`.
     pub fn diseq(self, lhs: StringTerm, rhs: StringTerm) -> StringFormula {
-        self.atom(StringAtom::Equation { lhs, rhs, negated: true })
+        self.atom(StringAtom::Equation {
+            lhs,
+            rhs,
+            negated: true,
+        })
     }
 
     /// Adds `¬contains(haystack, needle)`.
     pub fn not_contains(self, haystack: StringTerm, needle: StringTerm) -> StringFormula {
-        self.atom(StringAtom::Contains { haystack, needle, negated: true })
+        self.atom(StringAtom::Contains {
+            haystack,
+            needle,
+            negated: true,
+        })
     }
 
     /// Adds `¬prefixof(needle, haystack)`.
     pub fn not_prefixof(self, needle: StringTerm, haystack: StringTerm) -> StringFormula {
-        self.atom(StringAtom::PrefixOf { needle, haystack, negated: true })
+        self.atom(StringAtom::PrefixOf {
+            needle,
+            haystack,
+            negated: true,
+        })
     }
 
     /// Adds `¬suffixof(needle, haystack)`.
     pub fn not_suffixof(self, needle: StringTerm, haystack: StringTerm) -> StringFormula {
-        self.atom(StringAtom::SuffixOf { needle, haystack, negated: true })
+        self.atom(StringAtom::SuffixOf {
+            needle,
+            haystack,
+            negated: true,
+        })
     }
 
     /// Adds the length equality `len(x) = len(y)`.
     pub fn len_eq(self, x: &str, y: &str) -> StringFormula {
-        self.atom(StringAtom::Length { lhs: LenTerm::len(x), cmp: LenCmp::Eq, rhs: LenTerm::len(y) })
+        self.atom(StringAtom::Length {
+            lhs: LenTerm::len(x),
+            cmp: LenCmp::Eq,
+            rhs: LenTerm::len(y),
+        })
     }
 
     /// Adds an arbitrary length constraint.
@@ -434,11 +493,7 @@ impl StringFormula {
 
     /// Evaluates the formula under concrete assignments (used to validate
     /// models and by the enumeration baseline).
-    pub fn eval(
-        &self,
-        strings: &BTreeMap<String, String>,
-        ints: &BTreeMap<String, i64>,
-    ) -> bool {
+    pub fn eval(&self, strings: &BTreeMap<String, String>, ints: &BTreeMap<String, i64>) -> bool {
         self.atoms.iter().all(|a| a.eval(strings, ints))
     }
 }
@@ -458,7 +513,10 @@ mod tests {
     use super::*;
 
     fn strings(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
     }
 
     #[test]
@@ -492,9 +550,17 @@ mod tests {
     #[test]
     fn membership_eval() {
         let a = strings(&[("x", "abab")]);
-        let atom = StringAtom::InRe { var: "x".to_string(), regex: "(ab)*".to_string(), negated: false };
+        let atom = StringAtom::InRe {
+            var: "x".to_string(),
+            regex: "(ab)*".to_string(),
+            negated: false,
+        };
         assert!(atom.eval(&a, &BTreeMap::new()));
-        let neg = StringAtom::InRe { var: "x".to_string(), regex: "(ab)*".to_string(), negated: true };
+        let neg = StringAtom::InRe {
+            var: "x".to_string(),
+            regex: "(ab)*".to_string(),
+            negated: true,
+        };
         assert!(!neg.eval(&a, &BTreeMap::new()));
     }
 
@@ -562,7 +628,11 @@ mod tests {
         assert!(atom.eval(&a, &BTreeMap::new()));
         let mut sum = LenTerm::len("x");
         sum.add(&LenTerm::len("y"));
-        let atom2 = StringAtom::Length { lhs: sum, cmp: LenCmp::Eq, rhs: LenTerm::constant(5) };
+        let atom2 = StringAtom::Length {
+            lhs: sum,
+            cmp: LenCmp::Eq,
+            rhs: LenTerm::constant(5),
+        };
         assert!(atom2.eval(&a, &BTreeMap::new()));
     }
 

@@ -19,11 +19,11 @@
 //!   give up on genuine position reasoning.
 
 use std::collections::BTreeMap;
-use std::time::Instant;
 
 use posr_automata::sample;
+use posr_lia::cancel::CancelToken;
 use posr_lia::formula::Formula;
-use posr_lia::solver::Solver;
+use posr_lia::solver::{Solver, SolverConfig};
 use posr_lia::term::VarPool;
 use posr_tagauto::system::{PositionConstraint, PredicateKind, SystemEncoder};
 use posr_tagauto::system_naive::{encode_naive, solve_naive};
@@ -36,13 +36,21 @@ use crate::monadic;
 use crate::normal::{self, PositionAtom};
 use crate::solver::{Answer, StringModel};
 
-/// A common interface so the benchmark harness can drive every solver the
-/// same way.
+/// A common interface so the benchmark harness and the portfolio engine can
+/// drive every solver the same way.
 pub trait BaselineSolver {
     /// A short name used in tables and CSV output.
     fn name(&self) -> &'static str;
-    /// Decides the formula within the given deadline.
-    fn solve(&self, formula: &StringFormula, deadline: Option<Instant>) -> Answer;
+    /// Decides the formula, polling `cancel` (flag and/or deadline) at every
+    /// branch point and answering `Unknown` once it fires.
+    fn solve(&self, formula: &StringFormula, cancel: &CancelToken) -> Answer;
+}
+
+fn lia_with_cancel(cancel: &CancelToken) -> Solver {
+    Solver::with_config(SolverConfig {
+        cancel: cancel.clone(),
+        ..SolverConfig::default()
+    })
 }
 
 /// Guess-and-check enumeration (cvc5-like behaviour on satisfiable inputs).
@@ -58,7 +66,11 @@ pub struct EnumerationSolver {
 
 impl Default for EnumerationSolver {
     fn default() -> EnumerationSolver {
-        EnumerationSolver { max_len: 8, samples_per_round: 400, seed: 0xC0FFEE }
+        EnumerationSolver {
+            max_len: 8,
+            samples_per_round: 400,
+            seed: 0xC0FFEE,
+        }
     }
 }
 
@@ -67,7 +79,7 @@ impl BaselineSolver for EnumerationSolver {
         "enumeration"
     }
 
-    fn solve(&self, formula: &StringFormula, deadline: Option<Instant>) -> Answer {
+    fn solve(&self, formula: &StringFormula, cancel: &CancelToken) -> Answer {
         let Ok(nf) = normal::normalize(formula) else {
             return Answer::Unknown("normalisation failed".to_string());
         };
@@ -76,18 +88,15 @@ impl BaselineSolver for EnumerationSolver {
         // deterministic pass over short words first, then random sampling
         for bound in 1..=self.max_len {
             for _ in 0..self.samples_per_round {
-                if deadline.map_or(false, |d| Instant::now() >= d) {
-                    return Answer::Unknown("deadline exceeded".to_string());
+                if cancel.is_cancelled() {
+                    return Answer::Unknown(cancel.unknown_reason());
                 }
                 let mut strings: BTreeMap<String, String> = BTreeMap::new();
                 let mut feasible = true;
                 for v in &variables {
                     match sample::sample_word(&nf.languages[v], bound, &mut rng) {
                         Some(word) => {
-                            strings.insert(
-                                v.clone(),
-                                posr_automata::nfa::symbols_to_string(&word),
-                            );
+                            strings.insert(v.clone(), posr_automata::nfa::symbols_to_string(&word));
                         }
                         None => {
                             feasible = false;
@@ -155,7 +164,7 @@ impl BaselineSolver for NaiveOrderSolver {
         "naive-order"
     }
 
-    fn solve(&self, formula: &StringFormula, deadline: Option<Instant>) -> Answer {
+    fn solve(&self, formula: &StringFormula, cancel: &CancelToken) -> Answer {
         let Ok(nf) = normal::normalize(formula) else {
             return Answer::Unknown("normalisation failed".to_string());
         };
@@ -167,8 +176,8 @@ impl BaselineSolver for NaiveOrderSolver {
         }
         let mut saw_unknown = false;
         for case in &cases {
-            if deadline.map_or(false, |d| Instant::now() >= d) {
-                return Answer::Unknown("deadline exceeded".to_string());
+            if cancel.is_cancelled() {
+                return Answer::Unknown(cancel.unknown_reason());
             }
             let mut vars = VarTable::new();
             let mut automata: BTreeMap<StrVar, posr_automata::Nfa> = BTreeMap::new();
@@ -205,7 +214,7 @@ impl BaselineSolver for NaiveOrderSolver {
             }
             let mut pool = VarPool::new();
             let naive = encode_naive(&constraints, &automata, &vars, &mut pool);
-            match solve_naive(&naive, &Formula::True, &Solver::new()) {
+            match solve_naive(&naive, &Formula::True, &lia_with_cancel(cancel)) {
                 posr_lia::solver::SolverResult::Sat(_) => {
                     // the naive baseline does not reconstruct models; report
                     // satisfiability only (it is a comparison point, not the
@@ -236,7 +245,7 @@ impl BaselineSolver for LengthAbstractionSolver {
         "length-abstraction"
     }
 
-    fn solve(&self, formula: &StringFormula, _deadline: Option<Instant>) -> Answer {
+    fn solve(&self, formula: &StringFormula, cancel: &CancelToken) -> Answer {
         let Ok(nf) = normal::normalize(formula) else {
             return Answer::Unknown("normalisation failed".to_string());
         };
@@ -272,10 +281,26 @@ impl BaselineSolver for LengthAbstractionSolver {
         }
         let encoder = SystemEncoder::new(&automata, &vars);
         let mut pool = VarPool::new();
-        let encoding = encoder.encode(&[], &mut pool);
+        // One `LengthEq` constraint per variable: the encoder only builds
+        // length counters for variables *occurring in constraints*, so
+        // encoding an empty system would abstract every `len(x)` to the
+        // constant 0 and turn satisfiable length constraints into bogus
+        // refutations (`len(x) ≠ len(y)` ⇝ `0 ≠ 0`).
+        let length_constraints: Vec<PositionConstraint> = automata
+            .keys()
+            .map(|&v| PositionConstraint {
+                kind: PredicateKind::LengthEq {
+                    target: pool.fresh("lenabs"),
+                },
+                left: Vec::new(),
+                right: vec![v],
+            })
+            .collect();
+        let encoding = encoder.encode(&length_constraints, &mut pool);
+        let mut int_vars: BTreeMap<String, posr_lia::term::Var> = BTreeMap::new();
         let mut conjuncts = vec![encoding.formula.clone()];
         for (lhs, cmp, rhs) in &nf.lengths {
-            let translate = |t: &crate::ast::LenTerm| {
+            let mut translate = |t: &crate::ast::LenTerm| {
                 let mut e = posr_lia::term::LinExpr::constant(t.constant as i128);
                 for (name, coeff) in &t.len_coeffs {
                     if let Some(v) = vars.lookup(name) {
@@ -283,10 +308,10 @@ impl BaselineSolver for LengthAbstractionSolver {
                     }
                 }
                 for (name, coeff) in &t.int_coeffs {
-                    e += posr_lia::term::LinExpr::scaled_var(
-                        pool_named(&mut pool.clone(), name),
-                        *coeff as i128,
-                    );
+                    let var = *int_vars
+                        .entry(name.clone())
+                        .or_insert_with(|| pool.named(&format!("int:{name}")));
+                    e += posr_lia::term::LinExpr::scaled_var(var, *coeff as i128);
                 }
                 e
             };
@@ -300,15 +325,11 @@ impl BaselineSolver for LengthAbstractionSolver {
                 crate::ast::LenCmp::Gt => Formula::gt(l, r),
             });
         }
-        match Solver::new().solve(&Formula::and(conjuncts)) {
+        match lia_with_cancel(cancel).solve(&Formula::and(conjuncts)) {
             posr_lia::solver::SolverResult::Unsat => Answer::Unsat,
             _ => Answer::Unknown("length abstraction is inconclusive".to_string()),
         }
     }
-}
-
-fn pool_named(pool: &mut VarPool, name: &str) -> posr_lia::term::Var {
-    pool.named(&format!("int:{name}"))
 }
 
 #[cfg(test)]
@@ -325,7 +346,7 @@ mod tests {
 
     #[test]
     fn enumeration_finds_satisfying_assignment() {
-        let answer = EnumerationSolver::default().solve(&diseq_formula(), None);
+        let answer = EnumerationSolver::default().solve(&diseq_formula(), &CancelToken::none());
         match answer {
             Answer::Sat(model) => assert!(model.satisfies(&diseq_formula())),
             other => panic!("expected sat, got {other:?}"),
@@ -337,28 +358,71 @@ mod tests {
         let f = StringFormula::new()
             .in_re("x", "ab")
             .diseq(StringTerm::var("x"), StringTerm::lit("ab"));
-        assert!(EnumerationSolver::default().solve(&f, None).is_unknown());
+        assert!(EnumerationSolver::default()
+            .solve(&f, &CancelToken::none())
+            .is_unknown());
     }
 
     #[test]
     fn naive_order_agrees_on_small_instances() {
-        let sat = NaiveOrderSolver.solve(&diseq_formula(), None);
+        let sat = NaiveOrderSolver.solve(&diseq_formula(), &CancelToken::none());
         assert!(sat.is_sat());
         let f = StringFormula::new()
             .in_re("x", "ab")
             .in_re("y", "ab")
             .diseq(StringTerm::var("x"), StringTerm::var("y"));
-        assert!(NaiveOrderSolver.solve(&f, None).is_unsat());
+        assert!(NaiveOrderSolver.solve(&f, &CancelToken::none()).is_unsat());
     }
 
     #[test]
     fn length_abstraction_is_sound_but_incomplete() {
         // x ∈ (ab)*, y ∈ (ab)*, x ≠ y, len(x)=len(y): inconclusive
         let f = diseq_formula().len_eq("x", "y");
-        assert!(LengthAbstractionSolver.solve(&f, None).is_unknown());
+        assert!(LengthAbstractionSolver
+            .solve(&f, &CancelToken::none())
+            .is_unknown());
         // x ∈ ab, x ≠ "ab": identical sides after literal substitution? not
         // syntactically, so still unknown — but a pure membership problem is sat
         let member = StringFormula::new().in_re("x", "(ab)*");
-        assert!(LengthAbstractionSolver.solve(&member, None).is_sat());
+        assert!(LengthAbstractionSolver
+            .solve(&member, &CancelToken::none())
+            .is_sat());
+    }
+
+    #[test]
+    fn length_abstraction_refutes_and_respects_real_lengths() {
+        use crate::ast::{LenCmp, LenTerm};
+        // len(x) = 7 with x ∈ (ab)*: a genuine length refutation
+        let f = StringFormula::new().in_re("x", "(ab)*").length(
+            LenTerm::len("x"),
+            LenCmp::Eq,
+            LenTerm::constant(7),
+        );
+        assert!(LengthAbstractionSolver
+            .solve(&f, &CancelToken::none())
+            .is_unsat());
+        // len(cmd) ≠ len(arg) over non-singleton languages is satisfiable, so
+        // the abstraction must NOT refute it (regression: the encoder used to
+        // abstract every length to 0 when no variable occurred in a
+        // constraint, turning this into `0 ≠ 0`)
+        let sat = StringFormula::new()
+            .in_re("cmd", "(a|b){0,4}")
+            .in_re("arg", "a{0,3}")
+            .diseq(StringTerm::var("cmd"), StringTerm::var("arg"))
+            .length(LenTerm::len("cmd"), LenCmp::Ne, LenTerm::len("arg"));
+        assert!(!LengthAbstractionSolver
+            .solve(&sat, &CancelToken::none())
+            .is_unsat());
+    }
+
+    #[test]
+    fn cancelled_token_aborts_enumeration() {
+        let token = CancelToken::new();
+        token.cancel();
+        let answer = EnumerationSolver::default().solve(&diseq_formula(), &token);
+        match answer {
+            Answer::Unknown(reason) => assert_eq!(reason, "cancelled"),
+            other => panic!("expected unknown, got {other:?}"),
+        }
     }
 }

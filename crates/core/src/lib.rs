@@ -31,10 +31,12 @@
 //! use posr_core::ast::{StringFormula, StringTerm};
 //! use posr_core::solver::{Answer, StringSolver};
 //!
-//! // x ∈ (ab)*, y ∈ (ab)*, x ≠ y, len(x) = len(y)
+//! // x ∈ (ab)*, y ∈ (ba)*, x ≠ y, len(x) = len(y) — satisfiable, e.g. by
+//! // x = "ab", y = "ba" (over (ab)* on both sides it would be unsat: equal
+//! // lengths force equal words)
 //! let formula = StringFormula::new()
 //!     .in_re("x", "(ab)*")
-//!     .in_re("y", "(ab)*")
+//!     .in_re("y", "(ba)*")
 //!     .diseq(StringTerm::var("x"), StringTerm::var("y"))
 //!     .len_eq("x", "y");
 //! let answer = StringSolver::new().solve(&formula);
@@ -56,4 +58,5 @@ pub mod position;
 pub mod solver;
 
 pub use ast::{StringAtom, StringFormula, StringTerm};
+pub use posr_lia::cancel::CancelToken;
 pub use solver::{Answer, SolverOptions, StringModel, StringSolver};

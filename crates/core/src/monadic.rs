@@ -121,7 +121,9 @@ fn process_equation(case: &MonadicCase, eq: &Equation) -> Result<Vec<MonadicCase
     let ax = case
         .languages
         .get(&x)
-        .ok_or_else(|| MonadicError { message: format!("no language for variable {x}") })?
+        .ok_or_else(|| MonadicError {
+            message: format!("no language for variable {x}"),
+        })?
         .clone();
 
     if ts.is_empty() {
@@ -245,11 +247,18 @@ mod tests {
         let cases = decompose_formula(&f).unwrap();
         assert!(!cases.is_empty());
         for case in &cases {
-            assert_eq!(case.substitution["x"], vec!["y".to_string(), "z".to_string()]);
+            assert_eq!(
+                case.substitution["x"],
+                vec!["y".to_string(), "z".to_string()]
+            );
             // every choice from the refined languages must concatenate into (ab)*
             let wy = posr_automata::sample::shortest_word(&case.languages["y"]).unwrap();
             let wz = posr_automata::sample::shortest_word(&case.languages["z"]).unwrap();
-            let combined: String = wy.iter().chain(wz.iter()).filter_map(|s| s.to_char()).collect();
+            let combined: String = wy
+                .iter()
+                .chain(wz.iter())
+                .filter_map(|s| s.to_char())
+                .collect();
             let abstar = posr_automata::Regex::parse("(ab)*").unwrap().compile();
             assert!(abstar.accepts_str(&combined), "combined {combined:?}");
         }

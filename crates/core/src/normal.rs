@@ -11,7 +11,7 @@
 
 use std::collections::BTreeMap;
 
-use posr_automata::{ops, Nfa, Regex, Symbol};
+use posr_automata::{cache, ops, Nfa, Symbol};
 
 use crate::ast::{LenCmp, LenTerm, StringAtom, StringFormula, StringTerm, TermPart};
 
@@ -103,7 +103,10 @@ impl Normalizer {
             return v.clone();
         }
         let name = self.fresh("lit");
-        self.memberships.entry(name.clone()).or_default().push(Nfa::literal(value));
+        self.memberships
+            .entry(name.clone())
+            .or_default()
+            .push(Nfa::literal(value));
         self.literal_vars.insert(value.to_string(), name.clone());
         name
     }
@@ -138,8 +141,10 @@ pub fn collect_alphabet(formula: &StringFormula) -> Vec<char> {
     for atom in &formula.atoms {
         match atom {
             StringAtom::InRe { regex, .. } => {
-                if let Ok(re) = Regex::parse(regex) {
-                    for sym in re.compile().alphabet() {
+                // the shared cache makes this compile-free after the first
+                // strategy/worker has seen the pattern
+                if let Ok(nfa) = cache::compile_cached(regex) {
+                    for sym in nfa.alphabet() {
                         if let Some(c) = sym.to_char() {
                             push(c);
                         }
@@ -155,8 +160,12 @@ pub fn collect_alphabet(formula: &StringFormula) -> Vec<char> {
                     }
                 }
             }
-            StringAtom::PrefixOf { needle, haystack, .. }
-            | StringAtom::SuffixOf { needle, haystack, .. } => {
+            StringAtom::PrefixOf {
+                needle, haystack, ..
+            }
+            | StringAtom::SuffixOf {
+                needle, haystack, ..
+            } => {
                 for t in [needle, haystack] {
                     for p in &t.parts {
                         if let TermPart::Lit(w) = p {
@@ -165,7 +174,9 @@ pub fn collect_alphabet(formula: &StringFormula) -> Vec<char> {
                     }
                 }
             }
-            StringAtom::Contains { haystack, needle, .. } => {
+            StringAtom::Contains {
+                haystack, needle, ..
+            } => {
                 for t in [haystack, needle] {
                     for p in &t.parts {
                         if let TermPart::Lit(w) = p {
@@ -207,7 +218,10 @@ pub fn normalize(formula: &StringFormula) -> Result<NormalForm, NormalizeError> 
     let alphabet = collect_alphabet(formula);
     let alphabet_symbols: Vec<Symbol> = alphabet.iter().map(|&c| Symbol::from_char(c)).collect();
     let mut normalizer = Normalizer {
-        nf: NormalForm { alphabet: alphabet.clone(), ..NormalForm::default() },
+        nf: NormalForm {
+            alphabet: alphabet.clone(),
+            ..NormalForm::default()
+        },
         fresh_counter: 0,
         memberships: BTreeMap::new(),
         literal_vars: BTreeMap::new(),
@@ -215,15 +229,24 @@ pub fn normalize(formula: &StringFormula) -> Result<NormalForm, NormalizeError> 
 
     for atom in &formula.atoms {
         match atom {
-            StringAtom::InRe { var, regex, negated } => {
-                let re = Regex::parse(regex).map_err(|e| NormalizeError {
+            StringAtom::InRe {
+                var,
+                regex,
+                negated,
+            } => {
+                let compiled = cache::compile_cached(regex).map_err(|e| NormalizeError {
                     message: format!("cannot parse regex {regex:?}: {e}"),
                 })?;
-                let mut nfa = re.compile();
-                if *negated {
-                    nfa = ops::complement(&nfa, &alphabet_symbols);
-                }
-                normalizer.memberships.entry(var.clone()).or_default().push(nfa);
+                let nfa = if *negated {
+                    ops::complement(&compiled, &alphabet_symbols)
+                } else {
+                    (*compiled).clone()
+                };
+                normalizer
+                    .memberships
+                    .entry(var.clone())
+                    .or_default()
+                    .push(nfa);
             }
             StringAtom::Equation { lhs, rhs, negated } => {
                 let l = normalizer.term_occurrences(lhs);
@@ -234,7 +257,11 @@ pub fn normalize(formula: &StringFormula) -> Result<NormalForm, NormalizeError> 
                     normalizer.nf.equations.push(Equation { lhs: l, rhs: r });
                 }
             }
-            StringAtom::PrefixOf { needle, haystack, negated } => {
+            StringAtom::PrefixOf {
+                needle,
+                haystack,
+                negated,
+            } => {
                 let n = normalizer.term_occurrences(needle);
                 let h = normalizer.term_occurrences(haystack);
                 if *negated {
@@ -247,7 +274,11 @@ pub fn normalize(formula: &StringFormula) -> Result<NormalForm, NormalizeError> 
                     normalizer.nf.equations.push(Equation { lhs: h, rhs });
                 }
             }
-            StringAtom::SuffixOf { needle, haystack, negated } => {
+            StringAtom::SuffixOf {
+                needle,
+                haystack,
+                negated,
+            } => {
                 let n = normalizer.term_occurrences(needle);
                 let h = normalizer.term_occurrences(haystack);
                 if *negated {
@@ -260,7 +291,11 @@ pub fn normalize(formula: &StringFormula) -> Result<NormalForm, NormalizeError> 
                     normalizer.nf.equations.push(Equation { lhs: h, rhs });
                 }
             }
-            StringAtom::Contains { haystack, needle, negated } => {
+            StringAtom::Contains {
+                haystack,
+                needle,
+                negated,
+            } => {
                 let h = normalizer.term_occurrences(haystack);
                 let n = normalizer.term_occurrences(needle);
                 if *negated {
@@ -278,7 +313,12 @@ pub fn normalize(formula: &StringFormula) -> Result<NormalForm, NormalizeError> 
                     normalizer.nf.equations.push(Equation { lhs: h, rhs });
                 }
             }
-            StringAtom::StrAt { var, term, index, negated } => {
+            StringAtom::StrAt {
+                var,
+                term,
+                index,
+                negated,
+            } => {
                 let t = normalizer.term_occurrences(term);
                 normalizer.nf.positions.push(PositionAtom::StrAt {
                     var: var.clone(),
@@ -327,7 +367,10 @@ pub fn normalize(formula: &StringFormula) -> Result<NormalForm, NormalizeError> 
             all_vars.push(name.clone());
         }
         let mut iter = nfas.iter();
-        let mut acc = iter.next().expect("non-empty membership list").remove_epsilon();
+        let mut acc = iter
+            .next()
+            .expect("non-empty membership list")
+            .remove_epsilon();
         for nfa in iter {
             acc = ops::intersection(&acc, &nfa.remove_epsilon());
         }
@@ -413,7 +456,11 @@ mod tests {
     #[test]
     fn negated_membership_is_complemented() {
         let f = StringFormula::new()
-            .atom(StringAtom::InRe { var: "x".into(), regex: "a*".into(), negated: true })
+            .atom(StringAtom::InRe {
+                var: "x".into(),
+                regex: "a*".into(),
+                negated: true,
+            })
             .in_re("x", "(a|b){1,2}");
         let nf = normalize(&f).unwrap();
         let nfa = &nf.languages["x"];

@@ -74,10 +74,13 @@ pub fn all_flat(
     automata: &BTreeMap<StrVar, Nfa>,
 ) -> bool {
     goals.iter().all(|(haystack, needle)| {
-        haystack.iter().chain(needle.iter()).all(|name| match vars.lookup(name) {
-            Some(v) => automata.get(&v).map_or(false, |nfa| is_flat(&nfa.trim())),
-            None => false,
-        })
+        haystack
+            .iter()
+            .chain(needle.iter())
+            .all(|name| match vars.lookup(name) {
+                Some(v) => automata.get(&v).is_some_and(|nfa| is_flat(&nfa.trim())),
+                None => false,
+            })
     })
 }
 
@@ -88,7 +91,10 @@ pub fn holds_concretely(
     strings: &BTreeMap<String, String>,
 ) -> bool {
     let build = |occurrences: &[String]| -> String {
-        occurrences.iter().map(|v| strings.get(v).cloned().unwrap_or_default()).collect()
+        occurrences
+            .iter()
+            .map(|v| strings.get(v).cloned().unwrap_or_default())
+            .collect()
     };
     let h = build(haystack);
     let n = build(needle);
@@ -142,10 +148,16 @@ mod tests {
             &strings
         ));
         // but "ab" (a prefix of x·y) is contained in y
-        let strings2: BTreeMap<String, String> =
-            [("x".to_string(), "ab".to_string()), ("y".to_string(), "aabba".to_string())]
-                .into_iter()
-                .collect();
-        assert!(!holds_concretely(&["y".to_string()], &["x".to_string()], &strings2));
+        let strings2: BTreeMap<String, String> = [
+            ("x".to_string(), "ab".to_string()),
+            ("y".to_string(), "aabba".to_string()),
+        ]
+        .into_iter()
+        .collect();
+        assert!(!holds_concretely(
+            &["y".to_string()],
+            &["x".to_string()],
+            &strings2
+        ));
     }
 }

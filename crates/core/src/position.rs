@@ -20,9 +20,11 @@ use std::time::Instant;
 
 use posr_automata::nfa::symbols_to_string;
 use posr_automata::Nfa;
+use posr_lia::cancel::CancelToken;
 use posr_lia::formula::Formula;
 use posr_lia::solver::{Model, Solver, SolverConfig, SolverResult};
 use posr_lia::term::{LinExpr, Var, VarPool};
+use posr_tagauto::onecounter_diseq::single_diseq_satisfiable;
 use posr_tagauto::system::{PositionConstraint, PredicateKind, SystemEncoder, SystemEncoding};
 use posr_tagauto::tags::{StrVar, VarTable};
 
@@ -60,6 +62,9 @@ pub struct PositionOptions {
     pub lia: SolverConfig,
     /// Optional wall-clock deadline; checked between solver calls.
     pub deadline: Option<Instant>,
+    /// Cooperative cancellation token; checked between solver calls and
+    /// propagated into the LIA search itself.
+    pub cancel: CancelToken,
 }
 
 impl Default for PositionOptions {
@@ -69,13 +74,16 @@ impl Default for PositionOptions {
             max_cegar_rounds: 64,
             lia: SolverConfig::default(),
             deadline: None,
+            cancel: CancelToken::none(),
         }
     }
 }
 
 impl PositionOptions {
-    fn out_of_time(&self) -> bool {
-        self.deadline.map_or(false, |d| Instant::now() >= d)
+    /// The token actually polled: the cancellation flag plus the legacy
+    /// deadline field folded in.
+    fn effective_token(&self) -> CancelToken {
+        self.cancel.merged_with_deadline(self.deadline)
     }
 }
 
@@ -102,13 +110,29 @@ pub fn solve_position(problem: &PositionProblem<'_>, options: &PositionOptions) 
         }
         automata.insert(v, trimmed);
     }
+
+    // short-witness sampling before any encoding work; `Sat` answers from
+    // here are validated concretely and therefore sound.  The trimmed
+    // automata computed above are reused so sampling does not redo the
+    // ε-removal per attempt.
+    let trimmed_by_name: Vec<(&String, &Nfa)> = problem
+        .languages
+        .keys()
+        .map(|name| (name, &automata[&vars.lookup(name).expect("interned above")]))
+        .collect();
+    if let Some(outcome) = sampling_assist(problem, &trimmed_by_name) {
+        return outcome;
+    }
+
     let intern = |vars: &mut VarTable, name: &str| vars.intern(name);
 
     let mut pool = VarPool::new();
     // integer variables of the surface syntax get stable names in the pool
     let mut int_vars: BTreeMap<String, Var> = BTreeMap::new();
     let int_var = |pool: &mut VarPool, int_vars: &mut BTreeMap<String, Var>, name: &str| {
-        *int_vars.entry(name.to_string()).or_insert_with(|| pool.named(&format!("int:{name}")))
+        *int_vars
+            .entry(name.to_string())
+            .or_insert_with(|| pool.named(&format!("int:{name}")))
     };
 
     // split the position constraints into the system part and the ¬contains goals
@@ -137,7 +161,12 @@ pub fn solve_position(problem: &PositionProblem<'_>, options: &PositionOptions) 
                     right: r.iter().map(|v| intern(&mut vars, v)).collect(),
                 });
             }
-            PositionAtom::StrAt { var, term, index, negated } => {
+            PositionAtom::StrAt {
+                var,
+                term,
+                index,
+                negated,
+            } => {
                 let idx = pool.fresh("stratidx");
                 let kind = if *negated {
                     PredicateKind::StrAtNe { index: idx }
@@ -151,7 +180,10 @@ pub fn solve_position(problem: &PositionProblem<'_>, options: &PositionOptions) 
                 });
                 // idx = ⟦index⟧ is added once the encoding (and thus the
                 // length counters) exists; remember the binding for later.
-                contains_goals.push(NotContainsGoal::IndexBinding { var: idx, term: index.clone() });
+                contains_goals.push(NotContainsGoal::IndexBinding {
+                    var: idx,
+                    term: index.clone(),
+                });
             }
             PositionAtom::NotContains { haystack, needle } => {
                 contains_goals.push(NotContainsGoal::NotContains {
@@ -162,8 +194,49 @@ pub fn solve_position(problem: &PositionProblem<'_>, options: &PositionOptions) 
         }
     }
 
-    // any new variables mentioned only in positions already got automata via
-    // the normal form; interning above keeps names consistent.
+    // PTime fast path (Sec. 7.1): a single disequality with nothing else
+    // attached is decided by 0-reachability in a one-counter automaton.
+    // `Unsat` is final; `Sat` still goes through the LIA encoding below
+    // because callers need a concrete model, and the encoding's satisfiable
+    // searches are cheap compared to its refutations.
+    if contains_goals.is_empty() && problem.lengths.is_empty() && system_constraints.len() == 1 {
+        if let PositionConstraint {
+            kind: PredicateKind::Diseq,
+            left,
+            right,
+        } = &system_constraints[0]
+        {
+            if !single_diseq_satisfiable(left, right, &automata) {
+                return PositionOutcome::Unsat;
+            }
+        }
+    }
+
+    // Every language variable joins the encoding through a `LengthEq`
+    // constraint, for two reasons: the encoder builds counters only for
+    // variables occurring in constraints, so a variable mentioned in `I`
+    // but not in `P` would otherwise get the constant length 0 (turning
+    // `len(x) = 8` into the bogus `0 = 8`); and the extracted model must
+    // assign every variable, not just the ones position constraints touch.
+    // `LengthEq` needs no mismatch machinery, so `K` is unchanged.
+    let all_var_lengths: Vec<(StrVar, Var)> = problem
+        .languages
+        .keys()
+        .map(|name| {
+            (
+                vars.lookup(name).expect("interned above"),
+                pool.fresh("varlen"),
+            )
+        })
+        .collect();
+    for &(v, target) in &all_var_lengths {
+        system_constraints.push(PositionConstraint {
+            kind: PredicateKind::LengthEq { target },
+            left: Vec::new(),
+            right: vec![v],
+        });
+    }
+
     let encoder = SystemEncoder::new(&automata, &vars);
     let encoding = encoder.encode(&system_constraints, &mut pool);
 
@@ -232,6 +305,114 @@ pub fn solve_position(problem: &PositionProblem<'_>, options: &PositionOptions) 
     )
 }
 
+/// Sampling assist: satisfiable position constraints overwhelmingly have
+/// short witnesses (the observation behind the enumeration baseline and
+/// the paper's account of cvc5's strength on satisfiable inputs), so a
+/// brief randomized guess-and-check pass runs before the LIA encoding.
+/// Every candidate is validated *concretely* against the position and
+/// length constraints, so a `Sat` from here is always sound; failure just
+/// falls through to the exact procedure.  Fragments the concrete check
+/// cannot evaluate (`str.at`, integer variables in lengths) skip the
+/// assist.
+fn sampling_assist(
+    problem: &PositionProblem<'_>,
+    trimmed_languages: &[(&String, &Nfa)],
+) -> Option<PositionOutcome> {
+    use posr_automata::sample::sample_word;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    for (lhs, _, rhs) in problem.lengths {
+        if !lhs.int_coeffs.is_empty() || !rhs.int_coeffs.is_empty() {
+            return None;
+        }
+    }
+    if problem
+        .positions
+        .iter()
+        .any(|p| matches!(p, PositionAtom::StrAt { .. }))
+    {
+        return None;
+    }
+
+    let mut rng = StdRng::seed_from_u64(0x5EED_CAFE);
+    for bound in [2usize, 4, 8] {
+        'attempt: for _ in 0..48 {
+            let mut strings: BTreeMap<String, String> = BTreeMap::new();
+            for &(name, nfa) in trimmed_languages {
+                match sample_word(nfa, bound, &mut rng) {
+                    Some(word) => {
+                        strings.insert(name.clone(), symbols_to_string(&word));
+                    }
+                    None => continue 'attempt,
+                }
+            }
+            if satisfies_concretely(problem, &strings) {
+                return Some(PositionOutcome::Sat(strings, BTreeMap::new()));
+            }
+        }
+    }
+    None
+}
+
+fn concat_occurrences(occurrences: &[String], strings: &BTreeMap<String, String>) -> String {
+    occurrences
+        .iter()
+        .map(|v| strings.get(v).map(String::as_str).unwrap_or(""))
+        .collect()
+}
+
+fn eval_len_term(term: &LenTerm, strings: &BTreeMap<String, String>) -> i64 {
+    let mut total = term.constant;
+    for (var, coeff) in &term.len_coeffs {
+        let len = strings
+            .get(var)
+            .map(|s| s.chars().count() as i64)
+            .unwrap_or(0);
+        total += coeff * len;
+    }
+    total
+}
+
+fn satisfies_concretely(problem: &PositionProblem<'_>, strings: &BTreeMap<String, String>) -> bool {
+    for atom in problem.positions {
+        let holds = match atom {
+            PositionAtom::Diseq(l, r) => {
+                concat_occurrences(l, strings) != concat_occurrences(r, strings)
+            }
+            PositionAtom::NotPrefix(l, r) => {
+                !concat_occurrences(r, strings).starts_with(&concat_occurrences(l, strings))
+            }
+            PositionAtom::NotSuffix(l, r) => {
+                !concat_occurrences(r, strings).ends_with(&concat_occurrences(l, strings))
+            }
+            PositionAtom::NotContains { haystack, needle } => {
+                !concat_occurrences(haystack, strings)
+                    .contains(&concat_occurrences(needle, strings))
+            }
+            PositionAtom::StrAt { .. } => false, // callers filter these out
+        };
+        if !holds {
+            return false;
+        }
+    }
+    for (lhs, cmp, rhs) in problem.lengths {
+        let (l, r) = (eval_len_term(lhs, strings), eval_len_term(rhs, strings));
+        let holds = match cmp {
+            LenCmp::Le => l <= r,
+            LenCmp::Lt => l < r,
+            LenCmp::Eq => l == r,
+            LenCmp::Ne => l != r,
+            LenCmp::Ge => l >= r,
+            LenCmp::Gt => l > r,
+        };
+        if !holds {
+            return false;
+        }
+    }
+    true
+}
+
 /// The main solve loop: lazy connectivity cuts plus the `¬contains`
 /// instantiation loop (blocking refuted candidate assignments).
 fn solve_with_cegar(
@@ -243,15 +424,18 @@ fn solve_with_cegar(
     int_vars: &BTreeMap<String, Var>,
     options: &PositionOptions,
 ) -> PositionOutcome {
-    let solver = Solver::with_config(options.lia);
+    let token = options.effective_token();
+    // the LIA search must observe the same flag/deadline the position loop polls
+    let mut lia_config = options.lia.clone();
+    lia_config.cancel = token.clone();
+    let solver = Solver::with_config(lia_config);
     let mut formula = base_formula;
     let mut cuts = 0usize;
     let mut rounds = 0usize;
-    let flat = contains_goals.is_empty()
-        || notcontains::all_flat(contains_goals, vars, automata);
+    let flat = contains_goals.is_empty() || notcontains::all_flat(contains_goals, vars, automata);
     loop {
-        if options.out_of_time() {
-            return PositionOutcome::Unknown("deadline exceeded".to_string());
+        if token.is_cancelled() {
+            return PositionOutcome::Unknown(token.unknown_reason());
         }
         match solver.solve(&formula) {
             SolverResult::Unsat => {
@@ -304,10 +488,7 @@ fn solve_with_cegar(
                             "¬contains instantiation limit exceeded".to_string(),
                         );
                     }
-                    formula = Formula::and(vec![
-                        formula,
-                        blocking_clause(encoding, &model),
-                    ]);
+                    formula = Formula::and(vec![formula, blocking_clause(encoding, &model)]);
                     continue;
                 }
                 let ints = int_vars
@@ -335,10 +516,15 @@ fn assignment_to_strings(
 /// assignment (Parikh image ⇒ word), which is what makes the instantiation
 /// loop a faithful implementation of φ^NC.
 fn blocking_clause(encoding: &SystemEncoding, model: &Model) -> Formula {
-    let Some(parikh) = &encoding.parikh else { return Formula::False };
+    let Some(parikh) = &encoding.parikh else {
+        return Formula::False;
+    };
     let mut disjuncts = Vec::new();
     for &tv in &parikh.trans_vars {
-        disjuncts.push(Formula::ne(LinExpr::var(tv), LinExpr::constant(model.value(tv))));
+        disjuncts.push(Formula::ne(
+            LinExpr::var(tv),
+            LinExpr::constant(model.value(tv)),
+        ));
     }
     Formula::or(disjuncts)
 }
@@ -357,11 +543,19 @@ mod tests {
 
     #[test]
     fn single_diseq_sat_with_validated_model() {
-        let langs = languages(&[("x", "(ab)*"), ("y", "(ab)*")]);
-        let positions =
-            vec![PositionAtom::Diseq(vec!["x".to_string()], vec!["y".to_string()])];
+        // (ba)* on the right: with (ab)* on both sides the equal-length
+        // disequality would be unsatisfiable
+        let langs = languages(&[("x", "(ab)*"), ("y", "(ba)*")]);
+        let positions = vec![PositionAtom::Diseq(
+            vec!["x".to_string()],
+            vec!["y".to_string()],
+        )];
         let lengths = vec![(LenTerm::len("x"), LenCmp::Eq, LenTerm::len("y"))];
-        let problem = PositionProblem { languages: &langs, positions: &positions, lengths: &lengths };
+        let problem = PositionProblem {
+            languages: &langs,
+            positions: &positions,
+            lengths: &lengths,
+        };
         match solve_position(&problem, &PositionOptions::default()) {
             PositionOutcome::Sat(strings, _) => {
                 assert_ne!(strings["x"], strings["y"]);
@@ -374,10 +568,19 @@ mod tests {
     #[test]
     fn single_diseq_unsat() {
         let langs = languages(&[("x", "ab"), ("y", "ab")]);
-        let positions =
-            vec![PositionAtom::Diseq(vec!["x".to_string()], vec!["y".to_string()])];
-        let problem = PositionProblem { languages: &langs, positions: &positions, lengths: &[] };
-        assert_eq!(solve_position(&problem, &PositionOptions::default()), PositionOutcome::Unsat);
+        let positions = vec![PositionAtom::Diseq(
+            vec!["x".to_string()],
+            vec!["y".to_string()],
+        )];
+        let problem = PositionProblem {
+            languages: &langs,
+            positions: &positions,
+            lengths: &[],
+        };
+        assert_eq!(
+            solve_position(&problem, &PositionOptions::default()),
+            PositionOutcome::Unsat
+        );
     }
 
     #[test]
@@ -388,7 +591,11 @@ mod tests {
             haystack: vec!["y".to_string()],
             needle: vec!["x".to_string()],
         }];
-        let problem = PositionProblem { languages: &langs, positions: &positions, lengths: &[] };
+        let problem = PositionProblem {
+            languages: &langs,
+            positions: &positions,
+            lengths: &[],
+        };
         match solve_position(&problem, &PositionOptions::default()) {
             PositionOutcome::Sat(strings, _) => {
                 assert!(!strings["y"].contains(&strings["x"]));
@@ -405,17 +612,33 @@ mod tests {
             haystack: vec!["x".to_string(), "y".to_string(), "x".to_string()],
             needle: vec!["y".to_string()],
         }];
-        let problem = PositionProblem { languages: &langs, positions: &positions, lengths: &[] };
-        assert_eq!(solve_position(&problem, &PositionOptions::default()), PositionOutcome::Unsat);
+        let problem = PositionProblem {
+            languages: &langs,
+            positions: &positions,
+            lengths: &[],
+        };
+        assert_eq!(
+            solve_position(&problem, &PositionOptions::default()),
+            PositionOutcome::Unsat
+        );
     }
 
     #[test]
     fn empty_language_is_unsat() {
         let mut langs = languages(&[("x", "a*")]);
         langs.insert("y".to_string(), Nfa::empty_language());
-        let positions =
-            vec![PositionAtom::Diseq(vec!["x".to_string()], vec!["y".to_string()])];
-        let problem = PositionProblem { languages: &langs, positions: &positions, lengths: &[] };
-        assert_eq!(solve_position(&problem, &PositionOptions::default()), PositionOutcome::Unsat);
+        let positions = vec![PositionAtom::Diseq(
+            vec!["x".to_string()],
+            vec!["y".to_string()],
+        )];
+        let problem = PositionProblem {
+            languages: &langs,
+            positions: &positions,
+            lengths: &[],
+        };
+        assert_eq!(
+            solve_position(&problem, &PositionOptions::default()),
+            PositionOutcome::Unsat
+        );
     }
 }

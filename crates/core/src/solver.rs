@@ -4,6 +4,8 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
+use posr_lia::cancel::CancelToken;
+
 use crate::ast::{StringFormula, TermPart};
 use crate::monadic::{self, MonadicCase};
 use crate::normal::{self, PositionAtom};
@@ -94,6 +96,11 @@ pub struct SolverOptions {
     pub position: PositionOptions,
     /// Optional wall-clock deadline for the whole query.
     pub deadline: Option<Instant>,
+    /// Cooperative cancellation token for the whole query: polled between
+    /// monadic cases here and threaded down through the position procedure
+    /// into the DPLL(T) branch points.  The portfolio engine fires it to
+    /// abandon losing strategies.
+    pub cancel: CancelToken,
 }
 
 impl Default for SolverOptions {
@@ -102,6 +109,7 @@ impl Default for SolverOptions {
             max_monadic_cases: monadic::DEFAULT_CASE_LIMIT,
             position: PositionOptions::default(),
             deadline: None,
+            cancel: CancelToken::none(),
         }
     }
 }
@@ -134,8 +142,16 @@ impl StringSolver {
     /// the original formula; `Unsat` is reported only when every monadic case
     /// was refuted without hitting a resource limit.
     pub fn solve(&self, formula: &StringFormula) -> Answer {
+        // fold the query-level deadline and cancellation flag into one token
+        // and hand the same token to the position procedure
+        let token = self
+            .options
+            .cancel
+            .merged_with_deadline(self.options.deadline)
+            .merged_with_deadline(self.options.position.deadline);
         let mut position_options = self.options.position.clone();
-        position_options.deadline = self.options.deadline.or(position_options.deadline);
+        position_options.deadline = token.deadline();
+        position_options.cancel = token.clone();
 
         let nf = match normal::normalize(formula) {
             Ok(nf) => nf,
@@ -151,10 +167,8 @@ impl StringSolver {
 
         let mut saw_unknown: Option<String> = None;
         for case in &cases {
-            if let Some(deadline) = self.options.deadline {
-                if Instant::now() >= deadline {
-                    return Answer::Unknown("deadline exceeded".to_string());
-                }
+            if token.is_cancelled() {
+                return Answer::Unknown(token.unknown_reason());
             }
             match self.solve_case(formula, &nf.positions, &nf.lengths, case, &position_options) {
                 Answer::Sat(model) => return Answer::Sat(model),
@@ -187,7 +201,12 @@ impl StringSolver {
                 PositionAtom::NotSuffix(l, r) => {
                     PositionAtom::NotSuffix(case.apply(l), case.apply(r))
                 }
-                PositionAtom::StrAt { var, term, index, negated } => PositionAtom::StrAt {
+                PositionAtom::StrAt {
+                    var,
+                    term,
+                    index,
+                    negated,
+                } => PositionAtom::StrAt {
                     var: var.clone(),
                     term: case.apply(term),
                     index: substitute_len_term(index, case),
@@ -212,7 +231,13 @@ impl StringSolver {
         }
         let lengths_substituted: Vec<_> = lengths
             .iter()
-            .map(|(l, c, r)| (substitute_len_term(l, case), *c, substitute_len_term(r, case)))
+            .map(|(l, c, r)| {
+                (
+                    substitute_len_term(l, case),
+                    *c,
+                    substitute_len_term(r, case),
+                )
+            })
             .collect();
 
         let problem = PositionProblem {
@@ -227,8 +252,10 @@ impl StringSolver {
                 // map back through the substitution
                 let mut full = strings.clone();
                 for (original_var, expansion) in &case.substitution {
-                    let value: String =
-                        expansion.iter().map(|v| strings.get(v).cloned().unwrap_or_default()).collect();
+                    let value: String = expansion
+                        .iter()
+                        .map(|v| strings.get(v).cloned().unwrap_or_default())
+                        .collect();
                     full.insert(original_var.clone(), value);
                 }
                 // drop the internal literal variables from the reported model
@@ -312,9 +339,11 @@ mod tests {
 
     #[test]
     fn diseq_with_equal_lengths_sat() {
+        // NB: y ranges over (ba)*, not (ab)* — two (ab)* words of equal
+        // length are necessarily equal, so the (ab)*/(ab)* variant is unsat
         let f = StringFormula::new()
             .in_re("x", "(ab)*")
-            .in_re("y", "(ab)*")
+            .in_re("y", "(ba)*")
             .diseq(StringTerm::var("x"), StringTerm::var("y"))
             .len_eq("x", "y");
         match StringSolver::new().solve(&f) {

@@ -1,0 +1,373 @@
+//! Interval (bound) propagation over conjunctions of linear constraints.
+//!
+//! A [`BoundEnv`] keeps one rational interval per variable and tightens the
+//! intervals by iterating over the asserted constraints: for `Σ cᵢxᵢ + k ≤ 0`
+//! every variable can be bounded by the minimum of the remaining terms, and
+//! equalities propagate in both directions.  Because every solver variable
+//! ranges over the *integers*, inferred bounds are rounded inward
+//! (`⌈lo⌉`/`⌊hi⌋`), which refutes gaps like `1 ≤ 3x ≤ 2` without invoking
+//! the integer-feasibility backend.
+//!
+//! The engine is deliberately incomplete but very cheap — linear passes over
+//! the constraints, no tableau — and it is *sound for refutation*: if
+//! propagation derives an empty interval, the conjunction has no integer
+//! solution.  The DPLL(T) search uses it as its unit-propagation oracle
+//! (dropping refuted disjuncts, asserting forced ones), reserving the exact
+//! simplex for the nodes propagation cannot decide.
+
+use std::collections::BTreeMap;
+use std::ops::Neg;
+
+use crate::rational::Rat;
+use crate::simplex::{Rel, SimplexConstraint};
+use crate::term::{LinExpr, Var};
+
+/// One interval per variable; absent entries mean `(-∞, +∞)`.
+#[derive(Clone, Debug, Default)]
+pub struct BoundEnv {
+    lo: BTreeMap<Var, Rat>,
+    hi: BTreeMap<Var, Rat>,
+}
+
+/// Result of asserting constraints into an environment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BoundOutcome {
+    /// No contradiction found (the conjunction may still be infeasible).
+    Open,
+    /// The conjunction provably has no integer solution.
+    Refuted,
+}
+
+/// Fixpoint rounds; propagation over the flow formulas converges in a few
+/// passes, and capping keeps the worst case linear.
+const MAX_ROUNDS: usize = 12;
+
+impl BoundEnv {
+    /// An unconstrained environment.
+    pub fn new() -> BoundEnv {
+        BoundEnv::default()
+    }
+
+    /// Builds an environment from a conjunction, propagating to fixpoint.
+    pub fn from_constraints(constraints: &[SimplexConstraint]) -> (BoundEnv, BoundOutcome) {
+        let mut env = BoundEnv::new();
+        let outcome = env.assert_all(constraints);
+        (env, outcome)
+    }
+
+    /// Asserts constraints and propagates to fixpoint (or the round cap).
+    pub fn assert_all(&mut self, constraints: &[SimplexConstraint]) -> BoundOutcome {
+        for _ in 0..MAX_ROUNDS {
+            let mut changed_vars = Vec::new();
+            for c in constraints {
+                if self.assert_one(c, &mut changed_vars).is_err() {
+                    return BoundOutcome::Refuted;
+                }
+            }
+            if changed_vars.is_empty() {
+                break;
+            }
+        }
+        BoundOutcome::Open
+    }
+
+    /// Asserts `extra` and then re-propagates only those `context`
+    /// constraints whose variables actually tightened, walking the
+    /// dependency `index` worklist-style.  `budget` caps the number of
+    /// constraint visits (a cut-off loses completeness, never soundness).
+    pub fn propagate(
+        &mut self,
+        extra: &[SimplexConstraint],
+        context: &[SimplexConstraint],
+        index: &ConstraintIndex,
+        budget: usize,
+    ) -> BoundOutcome {
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        let mut queued = vec![false; context.len()];
+        let enqueue_dependents = |vars: &[Var],
+                                  queue: &mut std::collections::VecDeque<usize>,
+                                  queued: &mut Vec<bool>| {
+            for v in vars {
+                for &i in index.dependents(*v) {
+                    if !queued[i] {
+                        queued[i] = true;
+                        queue.push_back(i);
+                    }
+                }
+            }
+        };
+        let mut visits = 0usize;
+        // outer loop: the extra constraints must re-fire after the context
+        // tightened their variables, or the probe misses cascades the plain
+        // round-based fixpoint would find
+        for _ in 0..MAX_ROUNDS {
+            let mut changed_vars: Vec<Var> = Vec::new();
+            for _ in 0..MAX_ROUNDS {
+                let before = changed_vars.len();
+                for c in extra {
+                    if self.assert_one(c, &mut changed_vars).is_err() {
+                        return BoundOutcome::Refuted;
+                    }
+                }
+                if changed_vars.len() == before {
+                    break;
+                }
+            }
+            if changed_vars.is_empty() && visits > 0 {
+                break;
+            }
+            enqueue_dependents(&changed_vars, &mut queue, &mut queued);
+            if queue.is_empty() {
+                break;
+            }
+            while let Some(i) = queue.pop_front() {
+                queued[i] = false;
+                visits += 1;
+                if visits > budget {
+                    return BoundOutcome::Open;
+                }
+                changed_vars.clear();
+                if self.assert_one(&context[i], &mut changed_vars).is_err() {
+                    return BoundOutcome::Refuted;
+                }
+                enqueue_dependents(&changed_vars, &mut queue, &mut queued);
+            }
+        }
+        BoundOutcome::Open
+    }
+
+    /// Asserts one constraint; tightened variables are appended to `changed`.
+    fn assert_one(
+        &mut self,
+        constraint: &SimplexConstraint,
+        changed: &mut Vec<Var>,
+    ) -> Result<(), ()> {
+        match constraint.rel {
+            Rel::Le => self.assert_le(&constraint.expr, changed)?,
+            Rel::Ge => {
+                let negated = negate(&constraint.expr);
+                self.assert_le(&negated, changed)?;
+            }
+            Rel::Eq => {
+                self.assert_le(&constraint.expr, changed)?;
+                let negated = negate(&constraint.expr);
+                self.assert_le(&negated, changed)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Propagates `expr ≤ 0`.
+    fn assert_le(&mut self, expr: &LinExpr, changed: &mut Vec<Var>) -> Result<(), ()> {
+        // refutation: the smallest possible value must not be positive
+        if let Some(min) = self.expr_min(expr) {
+            if min.is_positive() {
+                return Err(());
+            }
+        }
+        // tightening: c·v ≤ −(min of the rest)
+        for (v, c) in expr.terms() {
+            let Some(rest_min) = self.expr_min_excluding(expr, v) else {
+                continue;
+            };
+            let bound = -rest_min / Rat::from_int(c);
+            if c > 0 {
+                // v ≤ bound; integer variables round down
+                if self.tighten_hi(v, Rat::from_int(bound.floor()))? {
+                    changed.push(v);
+                }
+            } else {
+                // v ≥ bound; integer variables round up
+                if self.tighten_lo(v, Rat::from_int(bound.ceil()))? {
+                    changed.push(v);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn tighten_lo(&mut self, v: Var, value: Rat) -> Result<bool, ()> {
+        let tightened = match self.lo.get(&v) {
+            Some(&current) if current >= value => false,
+            _ => {
+                self.lo.insert(v, value);
+                true
+            }
+        };
+        if let (Some(&lo), Some(&hi)) = (self.lo.get(&v), self.hi.get(&v)) {
+            if lo > hi {
+                return Err(());
+            }
+        }
+        Ok(tightened)
+    }
+
+    fn tighten_hi(&mut self, v: Var, value: Rat) -> Result<bool, ()> {
+        let tightened = match self.hi.get(&v) {
+            Some(&current) if current <= value => false,
+            _ => {
+                self.hi.insert(v, value);
+                true
+            }
+        };
+        if let (Some(&lo), Some(&hi)) = (self.lo.get(&v), self.hi.get(&v)) {
+            if lo > hi {
+                return Err(());
+            }
+        }
+        Ok(tightened)
+    }
+
+    /// The interval of `expr` under the current bounds: `(min, max)`, with
+    /// `None` for an unbounded side.
+    pub fn expr_range(&self, expr: &LinExpr) -> (Option<Rat>, Option<Rat>) {
+        let min = self.expr_min(expr);
+        let max = self.expr_min(&negate(expr)).map(Neg::neg);
+        (min, max)
+    }
+
+    /// Lower bound of `expr` under the current intervals (`None` = −∞).
+    fn expr_min(&self, expr: &LinExpr) -> Option<Rat> {
+        let mut total = Rat::from_int(expr.constant_part());
+        for (v, c) in expr.terms() {
+            total += self.term_min(v, c)?;
+        }
+        Some(total)
+    }
+
+    /// Lower bound of `expr − c·v` (`None` = −∞).
+    fn expr_min_excluding(&self, expr: &LinExpr, excluded: Var) -> Option<Rat> {
+        let mut total = Rat::from_int(expr.constant_part());
+        for (v, c) in expr.terms() {
+            if v != excluded {
+                total += self.term_min(v, c)?;
+            }
+        }
+        Some(total)
+    }
+
+    fn term_min(&self, v: Var, c: i128) -> Option<Rat> {
+        let bound = if c > 0 {
+            self.lo.get(&v)
+        } else {
+            self.hi.get(&v)
+        };
+        bound.map(|&b| b * Rat::from_int(c))
+    }
+}
+
+/// Maps every variable to the indices of the constraints mentioning it, so
+/// probes can re-propagate only what a tightened bound can actually affect.
+#[derive(Clone, Debug, Default)]
+pub struct ConstraintIndex {
+    by_var: BTreeMap<Var, Vec<usize>>,
+    empty: Vec<usize>,
+}
+
+impl ConstraintIndex {
+    /// Indexes a constraint slice (positions are into that slice).
+    pub fn build(constraints: &[SimplexConstraint]) -> ConstraintIndex {
+        let mut by_var: BTreeMap<Var, Vec<usize>> = BTreeMap::new();
+        for (i, c) in constraints.iter().enumerate() {
+            for v in c.expr.variables() {
+                by_var.entry(v).or_default().push(i);
+            }
+        }
+        ConstraintIndex {
+            by_var,
+            empty: Vec::new(),
+        }
+    }
+
+    /// Constraints mentioning `v`.
+    pub fn dependents(&self, v: Var) -> &[usize] {
+        self.by_var
+            .get(&v)
+            .map(Vec::as_slice)
+            .unwrap_or(&self.empty)
+    }
+}
+
+fn negate(expr: &LinExpr) -> LinExpr {
+    let mut out = LinExpr::constant(-expr.constant_part());
+    for (v, c) in expr.terms() {
+        out.add_term(v, -c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::VarPool;
+
+    fn le(expr: LinExpr) -> SimplexConstraint {
+        SimplexConstraint { expr, rel: Rel::Le }
+    }
+
+    fn ge(expr: LinExpr) -> SimplexConstraint {
+        SimplexConstraint { expr, rel: Rel::Ge }
+    }
+
+    fn eq(expr: LinExpr) -> SimplexConstraint {
+        SimplexConstraint { expr, rel: Rel::Eq }
+    }
+
+    #[test]
+    fn propagates_simple_chain() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let y = pool.fresh("y");
+        // x ≥ 3, y − x ≥ 0, y ≤ 2 — contradiction via transitivity
+        let constraints = vec![
+            ge(LinExpr::var(x) - LinExpr::constant(3)),
+            ge(LinExpr::var(y) - LinExpr::var(x)),
+            le(LinExpr::var(y) - LinExpr::constant(2)),
+        ];
+        let (_, outcome) = BoundEnv::from_constraints(&constraints);
+        assert_eq!(outcome, BoundOutcome::Refuted);
+    }
+
+    #[test]
+    fn integer_rounding_refutes_gaps() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        // 1 ≤ 3x ≤ 2: rationally feasible, integrally empty
+        let constraints = vec![
+            ge(LinExpr::scaled_var(x, 3) - LinExpr::constant(1)),
+            le(LinExpr::scaled_var(x, 3) - LinExpr::constant(2)),
+        ];
+        let (_, outcome) = BoundEnv::from_constraints(&constraints);
+        assert_eq!(outcome, BoundOutcome::Refuted);
+    }
+
+    #[test]
+    fn zero_sum_of_nonnegatives_pins_everything() {
+        let mut pool = VarPool::new();
+        let xs: Vec<Var> = (0..4).map(|i| pool.fresh(&format!("x{i}"))).collect();
+        let mut constraints: Vec<SimplexConstraint> =
+            xs.iter().map(|&v| ge(LinExpr::var(v))).collect();
+        constraints.push(eq(LinExpr::sum_of_vars(xs.iter().copied())));
+        // then x0 ≥ 1 contradicts the zero sum
+        constraints.push(ge(LinExpr::var(xs[0]) - LinExpr::constant(1)));
+        let (_, outcome) = BoundEnv::from_constraints(&constraints);
+        assert_eq!(outcome, BoundOutcome::Refuted);
+    }
+
+    #[test]
+    fn feasible_systems_stay_open() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let y = pool.fresh("y");
+        let constraints = vec![
+            ge(LinExpr::var(x)),
+            ge(LinExpr::var(y)),
+            eq(LinExpr::var(x) + LinExpr::var(y) - LinExpr::constant(5)),
+        ];
+        let (env, outcome) = BoundEnv::from_constraints(&constraints);
+        assert_eq!(outcome, BoundOutcome::Open);
+        // and the intervals are genuinely tightened: x ∈ [0, 5]
+        assert_eq!(env.lo.get(&x), Some(&Rat::from_int(0)));
+        assert_eq!(env.hi.get(&x), Some(&Rat::from_int(5)));
+    }
+}

@@ -82,12 +82,18 @@ pub struct Atom {
 impl Atom {
     /// Creates the atom `lhs ⋈ rhs` as `lhs - rhs ⋈ 0`.
     pub fn new(lhs: LinExpr, cmp: Cmp, rhs: LinExpr) -> Atom {
-        Atom { expr: lhs - rhs, cmp }
+        Atom {
+            expr: lhs - rhs,
+            cmp,
+        }
     }
 
     /// The negation of the atom.
     pub fn negate(&self) -> Atom {
-        Atom { expr: self.expr.clone(), cmp: self.cmp.negate() }
+        Atom {
+            expr: self.expr.clone(),
+            cmp: self.cmp.negate(),
+        }
     }
 
     /// Evaluates the atom under a total assignment.
@@ -164,6 +170,7 @@ impl Formula {
     }
 
     /// Negation with double-negation elimination.
+    #[allow(clippy::should_implement_trait)] // smart constructor, not `ops::Not`
     pub fn not(f: Formula) -> Formula {
         match f {
             Formula::True => Formula::False,
@@ -264,9 +271,7 @@ impl Formula {
         match self {
             Formula::True | Formula::False => 0,
             Formula::Atom(_) => 1,
-            Formula::And(parts) | Formula::Or(parts) => {
-                parts.iter().map(Formula::num_atoms).sum()
-            }
+            Formula::And(parts) | Formula::Or(parts) => parts.iter().map(Formula::num_atoms).sum(),
             Formula::Not(inner) => inner.num_atoms(),
             Formula::Forall(_, body) | Formula::Exists(_, body) => body.num_atoms(),
         }
@@ -377,12 +382,18 @@ impl Formula {
                 expr: a.expr.substitute(var, replacement),
                 cmp: a.cmp,
             }),
-            Formula::And(parts) => {
-                Formula::and(parts.iter().map(|p| p.substitute(var, replacement)).collect())
-            }
-            Formula::Or(parts) => {
-                Formula::or(parts.iter().map(|p| p.substitute(var, replacement)).collect())
-            }
+            Formula::And(parts) => Formula::and(
+                parts
+                    .iter()
+                    .map(|p| p.substitute(var, replacement))
+                    .collect(),
+            ),
+            Formula::Or(parts) => Formula::or(
+                parts
+                    .iter()
+                    .map(|p| p.substitute(var, replacement))
+                    .collect(),
+            ),
             Formula::Not(inner) => Formula::not(inner.substitute(var, replacement)),
             Formula::Forall(vars, body) => {
                 if vars.contains(&var) {
@@ -520,8 +531,14 @@ mod tests {
         let (_, x, _) = setup();
         let atom = Formula::ge(LinExpr::var(x), LinExpr::constant(0));
         assert_eq!(Formula::and(vec![Formula::True, atom.clone()]), atom);
-        assert_eq!(Formula::and(vec![Formula::False, atom.clone()]), Formula::False);
-        assert_eq!(Formula::or(vec![Formula::True, atom.clone()]), Formula::True);
+        assert_eq!(
+            Formula::and(vec![Formula::False, atom.clone()]),
+            Formula::False
+        );
+        assert_eq!(
+            Formula::or(vec![Formula::True, atom.clone()]),
+            Formula::True
+        );
         assert_eq!(Formula::or(vec![]), Formula::False);
         assert_eq!(Formula::not(Formula::not(atom.clone())), atom);
     }
@@ -644,7 +661,10 @@ mod tests {
         let phi = Formula::and(vec![
             Formula::eq(LinExpr::constant(1), LinExpr::constant(1)),
             Formula::ge(LinExpr::var(x), LinExpr::constant(0)),
-            Formula::or(vec![Formula::lt(LinExpr::constant(5), LinExpr::constant(3))]),
+            Formula::or(vec![Formula::lt(
+                LinExpr::constant(5),
+                LinExpr::constant(3),
+            )]),
         ]);
         assert_eq!(phi.simplify(), Formula::False);
     }

@@ -28,7 +28,10 @@ pub struct IntFeasConfig {
 
 impl Default for IntFeasConfig {
     fn default() -> IntFeasConfig {
-        IntFeasConfig { max_nodes: 50_000, magnitude_bound: 10_000_000 }
+        IntFeasConfig {
+            max_nodes: 50_000,
+            magnitude_bound: 10_000_000,
+        }
     }
 }
 
@@ -110,7 +113,10 @@ pub fn solve_integer(constraints: &[SimplexConstraint], config: &IntFeasConfig) 
 }
 
 fn find_fractional(model: &BTreeMap<Var, Rat>) -> Option<(Var, Rat)> {
-    model.iter().find(|(_, r)| !r.is_integer()).map(|(&v, &r)| (v, r))
+    model
+        .iter()
+        .find(|(_, r)| !r.is_integer())
+        .map(|(&v, &r)| (v, r))
 }
 
 /// Evaluates a conjunction of simplex constraints under an integer model
@@ -180,7 +186,10 @@ mod tests {
             ge(LinExpr::scaled_var(x, 3) - LinExpr::constant(1)),
             le(LinExpr::scaled_var(x, 3) - LinExpr::constant(2)),
         ];
-        assert_eq!(solve_integer(&constraints, &IntFeasConfig::default()), IntFeasResult::Unsat);
+        assert_eq!(
+            solve_integer(&constraints, &IntFeasConfig::default()),
+            IntFeasResult::Unsat
+        );
     }
 
     #[test]
@@ -189,14 +198,17 @@ mod tests {
         let x = pool.fresh("x");
         let y = pool.fresh("y");
         // 2x = 2y + 1 with 0 <= x,y <= 50: no integer solution
-        let mut constraints = vec![eq(
-            LinExpr::scaled_var(x, 2) - LinExpr::scaled_var(y, 2) - LinExpr::constant(1),
-        )];
+        let mut constraints = vec![eq(LinExpr::scaled_var(x, 2)
+            - LinExpr::scaled_var(y, 2)
+            - LinExpr::constant(1))];
         for v in [x, y] {
             constraints.push(ge(LinExpr::var(v)));
             constraints.push(le(LinExpr::var(v) - LinExpr::constant(50)));
         }
-        assert_eq!(solve_integer(&constraints, &IntFeasConfig::default()), IntFeasResult::Unsat);
+        assert_eq!(
+            solve_integer(&constraints, &IntFeasConfig::default()),
+            IntFeasResult::Unsat
+        );
     }
 
     #[test]
@@ -207,7 +219,10 @@ mod tests {
             ge(LinExpr::var(x) - LinExpr::constant(5)),
             le(LinExpr::var(x) - LinExpr::constant(4)),
         ];
-        assert_eq!(solve_integer(&constraints, &IntFeasConfig::default()), IntFeasResult::Unsat);
+        assert_eq!(
+            solve_integer(&constraints, &IntFeasConfig::default()),
+            IntFeasResult::Unsat
+        );
     }
 
     #[test]
@@ -215,13 +230,19 @@ mod tests {
         let mut pool = VarPool::new();
         let x = pool.fresh("x");
         let y = pool.fresh("y");
-        let constraints = vec![eq(
-            LinExpr::scaled_var(x, 2) - LinExpr::scaled_var(y, 2) - LinExpr::constant(1),
-        )];
+        let constraints = vec![eq(LinExpr::scaled_var(x, 2)
+            - LinExpr::scaled_var(y, 2)
+            - LinExpr::constant(1))];
         // unbounded parity conflict: without magnitude bound this would not terminate;
         // with a tiny node budget we must get a resource-out, not a wrong Unsat
-        let config = IntFeasConfig { max_nodes: 5, magnitude_bound: 1_000_000 };
-        assert_eq!(solve_integer(&constraints, &config), IntFeasResult::ResourceOut);
+        let config = IntFeasConfig {
+            max_nodes: 5,
+            magnitude_bound: 1_000_000,
+        };
+        assert_eq!(
+            solve_integer(&constraints, &config),
+            IntFeasResult::ResourceOut
+        );
     }
 
     #[test]
@@ -234,7 +255,10 @@ mod tests {
             eq(LinExpr::var(x) - LinExpr::var(y) - LinExpr::constant(1_000_000_000)),
             ge(LinExpr::var(y)),
         ];
-        let config = IntFeasConfig { max_nodes: 1000, magnitude_bound: 100 };
+        let config = IntFeasConfig {
+            max_nodes: 1000,
+            magnitude_bound: 100,
+        };
         // the relaxation is already integral here, so this particular system is SAT;
         // perturb it so that branching is required at a huge value
         let result = solve_integer(&constraints, &config);
@@ -248,7 +272,7 @@ mod tests {
         // Σ (i+1)·n_i = 20, n_i >= 0 — has many integer solutions
         let mut sum = LinExpr::zero();
         for (i, &v) in vars.iter().enumerate() {
-            sum = sum + LinExpr::scaled_var(v, (i + 1) as i128);
+            sum += LinExpr::scaled_var(v, (i + 1) as i128);
         }
         let mut constraints = vec![eq(sum - LinExpr::constant(20))];
         for &v in &vars {

@@ -42,6 +42,8 @@
 //! }
 //! ```
 
+pub mod bounds;
+pub mod cancel;
 pub mod formula;
 pub mod intfeas;
 pub mod rational;
@@ -49,6 +51,7 @@ pub mod simplex;
 pub mod solver;
 pub mod term;
 
+pub use cancel::CancelToken;
 pub use formula::{Atom, Cmp, Formula};
 pub use rational::Rat;
 pub use solver::{Model, Solver, SolverConfig, SolverResult};

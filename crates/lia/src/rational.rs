@@ -68,7 +68,10 @@ impl Rat {
         if g == 0 {
             Rat { num: 0, den: 1 }
         } else {
-            Rat { num: num / g, den: den / g }
+            Rat {
+                num: num / g,
+                den: den / g,
+            }
         }
     }
 
@@ -136,7 +139,10 @@ impl Rat {
 
     /// Absolute value.
     pub fn abs(self) -> Rat {
-        Rat { num: self.num.abs(), den: self.den }
+        Rat {
+            num: self.num.abs(),
+            den: self.den,
+        }
     }
 
     /// Multiplicative inverse.
@@ -181,7 +187,8 @@ impl Add for Rat {
     type Output = Rat;
     fn add(self, rhs: Rat) -> Rat {
         let num = checked(
-            checked(self.num.checked_mul(rhs.den)).checked_add(checked(rhs.num.checked_mul(self.den))),
+            checked(self.num.checked_mul(rhs.den))
+                .checked_add(checked(rhs.num.checked_mul(self.den))),
         );
         let den = checked(self.den.checked_mul(rhs.den));
         Rat::new(num, den)
@@ -206,6 +213,7 @@ impl Mul for Rat {
 
 impl Div for Rat {
     type Output = Rat;
+    #[allow(clippy::suspicious_arithmetic_impl)] // division via the reciprocal is exact here
     fn div(self, rhs: Rat) -> Rat {
         self * rhs.recip()
     }
@@ -214,7 +222,10 @@ impl Div for Rat {
 impl Neg for Rat {
     type Output = Rat;
     fn neg(self) -> Rat {
-        Rat { num: -self.num, den: self.den }
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 

@@ -109,7 +109,7 @@ impl Simplex {
             for (v, coeff) in c.expr.terms() {
                 let col = var_index[&v];
                 let entry = coeffs.entry(col).or_insert(Rat::ZERO);
-                *entry = *entry + Rat::from_int(coeff);
+                *entry += Rat::from_int(coeff);
             }
             coeffs.retain(|_, r| !r.is_zero());
             rows[slack] = Some(coeffs);
@@ -125,7 +125,14 @@ impl Simplex {
             }
         }
 
-        Simplex { num_vars, var_order, rows, lower, upper, beta }
+        Simplex {
+            num_vars,
+            var_order,
+            rows,
+            lower,
+            upper,
+            beta,
+        }
     }
 
     fn is_basic(&self, v: usize) -> bool {
@@ -138,7 +145,7 @@ impl Simplex {
             if let Some(row) = &self.rows[v] {
                 let mut value = Rat::ZERO;
                 for (&col, &coeff) in row {
-                    value = value + coeff * self.beta[col];
+                    value += coeff * self.beta[col];
                 }
                 self.beta[v] = value;
             }
@@ -159,12 +166,12 @@ impl Simplex {
         let a_bn = *row_b.get(&n).expect("n must occur in the row of b");
         let theta = (v - self.beta[b]) / a_bn;
         self.beta[b] = v;
-        self.beta[n] = self.beta[n] + theta;
+        self.beta[n] += theta;
         for other in 0..self.beta.len() {
             if other != b {
                 if let Some(row) = &self.rows[other] {
                     if let Some(&a_on) = row.get(&n) {
-                        self.beta[other] = self.beta[other] + a_on * theta;
+                        self.beta[other] += a_on * theta;
                     }
                 }
             }
@@ -189,13 +196,15 @@ impl Simplex {
             if other == n {
                 continue;
             }
-            let Some(row) = self.rows[other].clone() else { continue };
+            let Some(row) = self.rows[other].clone() else {
+                continue;
+            };
             if let Some(&a_on) = row.get(&n) {
                 let mut new_row = row.clone();
                 new_row.remove(&n);
                 for (&k, &c) in &new_row_n {
                     let entry = new_row.entry(k).or_insert(Rat::ZERO);
-                    *entry = *entry + a_on * c;
+                    *entry += a_on * c;
                 }
                 new_row.retain(|_, r| !r.is_zero());
                 self.rows[other] = Some(new_row);
@@ -220,8 +229,8 @@ impl Simplex {
                 // find nonbasic n with (a_bn > 0 and beta[n] can increase) or (a_bn < 0 and beta[n] can decrease)
                 let candidate = row.iter().find(|(&n, &a)| {
                     debug_assert!(!self.is_basic(n));
-                    (a.is_positive() && self.upper[n].map_or(true, |u| self.beta[n] < u))
-                        || (a.is_negative() && self.lower[n].map_or(true, |l| self.beta[n] > l))
+                    (a.is_positive() && self.upper[n].is_none_or(|u| self.beta[n] < u))
+                        || (a.is_negative() && self.lower[n].is_none_or(|l| self.beta[n] > l))
                 });
                 match candidate {
                     None => return SimplexResult::Infeasible,
@@ -230,8 +239,8 @@ impl Simplex {
             } else {
                 let target = self.upper[b].expect("violated upper bound exists");
                 let candidate = row.iter().find(|(&n, &a)| {
-                    (a.is_negative() && self.upper[n].map_or(true, |u| self.beta[n] < u))
-                        || (a.is_positive() && self.lower[n].map_or(true, |l| self.beta[n] > l))
+                    (a.is_negative() && self.upper[n].is_none_or(|u| self.beta[n] < u))
+                        || (a.is_positive() && self.lower[n].is_none_or(|l| self.beta[n] > l))
                 });
                 match candidate {
                     None => return SimplexResult::Infeasible,
@@ -275,7 +284,7 @@ mod tests {
         for c in constraints {
             let mut value = Rat::from_int(c.expr.constant_part());
             for (v, coeff) in c.expr.terms() {
-                value = value + Rat::from_int(coeff) * model.get(&v).copied().unwrap_or(Rat::ZERO);
+                value += Rat::from_int(coeff) * model.get(&v).copied().unwrap_or(Rat::ZERO);
             }
             let ok = match c.rel {
                 Rel::Le => value <= Rat::ZERO,
@@ -380,7 +389,9 @@ mod tests {
         // x0 >= 1, x_{i+1} >= x_i + 1, x_19 <= 100
         let mut constraints = vec![ge(LinExpr::var(vars[0]) - LinExpr::constant(1))];
         for w in vars.windows(2) {
-            constraints.push(ge(LinExpr::var(w[1]) - LinExpr::var(w[0]) - LinExpr::constant(1)));
+            constraints.push(ge(LinExpr::var(w[1])
+                - LinExpr::var(w[0])
+                - LinExpr::constant(1)));
         }
         constraints.push(le(LinExpr::var(vars[19]) - LinExpr::constant(100)));
         match check_feasibility(&constraints) {

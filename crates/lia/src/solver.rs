@@ -20,6 +20,8 @@
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+use crate::bounds::{BoundEnv, BoundOutcome, ConstraintIndex};
+use crate::cancel::{CancelToken, CANCELLED_MSG, DEADLINE_MSG};
 use crate::formula::{Atom, Cmp, Formula};
 use crate::intfeas::{solve_integer, IntFeasConfig, IntFeasResult};
 use crate::rational::OVERFLOW_MSG;
@@ -93,7 +95,7 @@ impl SolverResult {
 }
 
 /// Tuning knobs of the solver.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SolverConfig {
     /// Prune disjunction branches whose asserted prefix is already
     /// rationally infeasible.  The ablation benchmark `encoding_size` flips
@@ -103,19 +105,23 @@ pub struct SolverConfig {
     pub max_decisions: usize,
     /// Limits of the integer feasibility backend.
     pub int_config: IntFeasConfig,
+    /// Cooperative cancellation/deadline token, polled at every disjunction
+    /// decision and periodically along unit-propagation chains.  The default
+    /// token never fires.
+    pub cancel: CancelToken,
 }
 
 impl Default for SolverConfig {
     fn default() -> SolverConfig {
         SolverConfig {
             early_pruning: true,
-            // Every decision costs a rational-simplex feasibility check, so
-            // this bound also acts as the de-facto time budget of a single
-            // LIA query.  Queries that exceed it return `Unknown` rather than
-            // running for minutes; the benchmark harness counts those as
-            // resource-outs, exactly like the paper's OOR column.
-            max_decisions: 1_500,
+            // A backstop against runaway searches; wall clocks are governed
+            // by the `cancel` token's deadline.  Bound propagation keeps
+            // decisions cheap, so this sits above what the benchmark
+            // families need while keeping resource-outs at a few seconds.
+            max_decisions: 4_000,
             int_config: IntFeasConfig::default(),
+            cancel: CancelToken::none(),
         }
     }
 }
@@ -129,7 +135,9 @@ pub struct Solver {
 impl Solver {
     /// Creates a solver with the default configuration.
     pub fn new() -> Solver {
-        Solver { config: SolverConfig::default() }
+        Solver {
+            config: SolverConfig::default(),
+        }
     }
 
     /// Creates a solver with an explicit configuration.
@@ -176,13 +184,22 @@ impl Solver {
         let mut search = Search {
             config: &self.config,
             decisions: 0,
+            steps: 0,
             saw_resource_out: false,
+            cancelled: false,
         };
         let mut asserted = Vec::new();
         match search.explore(&mut asserted, &mut vec![formula.clone()]) {
             Some(model) => SolverResult::Sat(model),
             None => {
-                if search.saw_resource_out {
+                if search.cancelled {
+                    let reason = if self.config.cancel.flag_raised() {
+                        CANCELLED_MSG
+                    } else {
+                        DEADLINE_MSG
+                    };
+                    SolverResult::Unknown(reason.to_string())
+                } else if search.saw_resource_out {
                     SolverResult::Unknown("resource limit reached".to_string())
                 } else {
                     SolverResult::Unsat
@@ -192,10 +209,16 @@ impl Solver {
     }
 }
 
+/// How many worklist steps pass between cancellation polls on straight-line
+/// (disjunction-free) stretches.  Disjunction decisions always poll.
+const CANCEL_POLL_INTERVAL: usize = 64;
+
 struct Search<'a> {
     config: &'a SolverConfig,
     decisions: usize,
+    steps: usize,
     saw_resource_out: bool,
+    cancelled: bool,
 }
 
 impl Search<'_> {
@@ -207,23 +230,119 @@ impl Search<'_> {
         worklist: &mut Vec<Formula>,
     ) -> Option<Model> {
         loop {
+            if self.config.cancel.can_fire() {
+                self.steps += 1;
+                if self.steps.is_multiple_of(CANCEL_POLL_INTERVAL)
+                    && self.config.cancel.is_cancelled()
+                {
+                    self.cancelled = true;
+                    return None;
+                }
+            }
             // assert unit conjuncts before branching on any disjunction: the
             // theory-level pruning then has the full conjunctive context and
             // cuts refuted branches much earlier
-            let next_index = worklist
-                .iter()
-                .rposition(|f| !matches!(f, Formula::Or(_)))
-                .or(if worklist.is_empty() { None } else { Some(worklist.len() - 1) });
+            let next_index = worklist.iter().rposition(|f| !matches!(f, Formula::Or(_)));
             let Some(next) = next_index.map(|i| worklist.remove(i)) else {
-                // leaf: integer feasibility of the asserted conjunction
-                return match solve_integer(asserted, &self.config.int_config) {
-                    IntFeasResult::Sat(values) => Some(Model::from_values(values)),
-                    IntFeasResult::Unsat => None,
-                    IntFeasResult::ResourceOut => {
-                        self.saw_resource_out = true;
-                        None
+                if worklist.is_empty() {
+                    // leaf: integer feasibility of the asserted conjunction,
+                    // with a cheap bound-propagation refutation first
+                    if let (_, BoundOutcome::Refuted) = BoundEnv::from_constraints(asserted) {
+                        return None;
                     }
+                    return match solve_integer(asserted, &self.config.int_config) {
+                        IntFeasResult::Sat(values) => Some(Model::from_values(values)),
+                        IntFeasResult::Unsat => None,
+                        IntFeasResult::ResourceOut => {
+                            self.saw_resource_out = true;
+                            None
+                        }
+                    };
+                }
+                // only disjunctions left: propagate, then branch.  Unit
+                // propagation drops every disjunct whose implied unit atoms
+                // contradict the asserted bounds (sound: bound refutation
+                // implies integer infeasibility) and asserts disjuncts that
+                // became forced, without consuming decisions.  Without this
+                // the flow formulas of the Parikh encodings — many binary
+                // disjunctions coupled through shared counters — take
+                // exponential search to refute.
+                if self.config.early_pruning {
+                    let (env, outcome) = BoundEnv::from_constraints(asserted);
+                    if outcome == BoundOutcome::Refuted {
+                        return None;
+                    }
+                    let index = ConstraintIndex::build(asserted);
+                    let mut forced = false;
+                    let mut i = 0;
+                    while i < worklist.len() {
+                        let Formula::Or(parts) = &mut worklist[i] else {
+                            unreachable!("all-Or worklist")
+                        };
+                        // an entailed disjunct makes the whole disjunction
+                        // vacuous — drop it instead of branching on it
+                        if parts.iter().any(|part| satisfied_by_bounds(&env, part)) {
+                            worklist.swap_remove(i);
+                            continue;
+                        }
+                        parts.retain(|part| {
+                            !falsified_by_bounds(&env, part)
+                                && !refuted_by_bounds(&env, asserted, &index, part)
+                        });
+                        match parts.len() {
+                            0 => return None,
+                            1 => forced = true,
+                            _ => {}
+                        }
+                        i += 1;
+                    }
+                    if worklist.is_empty() {
+                        continue;
+                    }
+                    if forced {
+                        for entry in worklist.iter_mut() {
+                            let Formula::Or(parts) = entry else { continue };
+                            if parts.len() == 1 {
+                                *entry = parts.pop().expect("singleton disjunction");
+                            }
+                        }
+                        continue;
+                    }
+                    if !check_feasibility(asserted).is_feasible() {
+                        return None;
+                    }
+                }
+                // branch on the smallest surviving disjunction
+                let pick = worklist
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, f)| match f {
+                        Formula::Or(parts) => parts.len(),
+                        _ => usize::MAX,
+                    })
+                    .map(|(i, _)| i)
+                    .expect("worklist is non-empty");
+                let Formula::Or(parts) = worklist.remove(pick) else {
+                    unreachable!("all-Or worklist")
                 };
+                for part in parts {
+                    if self.config.cancel.is_cancelled() {
+                        self.cancelled = true;
+                        return None;
+                    }
+                    self.decisions += 1;
+                    if self.decisions > self.config.max_decisions {
+                        self.saw_resource_out = true;
+                        return None;
+                    }
+                    let mut branch_asserted = asserted.clone();
+                    let mut branch_worklist = worklist.clone();
+                    branch_worklist.push(part);
+                    if let Some(model) = self.explore(&mut branch_asserted, &mut branch_worklist) {
+                        return Some(model);
+                    }
+                }
+                return None;
             };
             match next {
                 Formula::True => {}
@@ -233,31 +352,13 @@ impl Search<'_> {
                     AtomConstraints::Single(c) => asserted.push(c),
                     AtomConstraints::Split(left, right) => {
                         // a disequality: branch on the two half-spaces
-                        let disjunction = Formula::Or(vec![Formula::Atom(left), Formula::Atom(right)]);
+                        let disjunction =
+                            Formula::Or(vec![Formula::Atom(left), Formula::Atom(right)]);
                         worklist.push(disjunction);
                     }
                 },
                 Formula::Not(inner) => worklist.push(Formula::not(*inner)),
-                Formula::Or(parts) => {
-                    if self.config.early_pruning && !check_feasibility(asserted).is_feasible() {
-                        return None;
-                    }
-                    for part in parts {
-                        self.decisions += 1;
-                        if self.decisions > self.config.max_decisions {
-                            self.saw_resource_out = true;
-                            return None;
-                        }
-                        let mut branch_asserted = asserted.clone();
-                        let mut branch_worklist = worklist.clone();
-                        branch_worklist.push(part);
-                        if let Some(model) = self.explore(&mut branch_asserted, &mut branch_worklist)
-                        {
-                            return Some(model);
-                        }
-                    }
-                    return None;
-                }
+                Formula::Or(_) => unreachable!("disjunctions are handled above"),
                 Formula::Forall(_, _) | Formula::Exists(_, _) => {
                     // unreachable: `solve` rejects quantified formulas upfront
                     self.saw_resource_out = true;
@@ -266,6 +367,100 @@ impl Search<'_> {
             }
         }
     }
+}
+
+/// `true` only when every point of the current bound box satisfies the
+/// formula — the disjunction containing such a disjunct is entailed and can
+/// be dropped without branching.  This is what eliminates vacuous
+/// implications (`Σ = 1 → …` where the counters are already pinned to 0:
+/// the negated premise is certainly true).
+fn satisfied_by_bounds(env: &BoundEnv, formula: &Formula) -> bool {
+    match formula {
+        Formula::True => true,
+        Formula::Atom(atom) => {
+            let zero = crate::rational::Rat::from_int(0);
+            let (min, max) = env.expr_range(&atom.expr);
+            match atom.cmp {
+                Cmp::Le => max.is_some_and(|m| m <= zero),
+                Cmp::Lt => max.is_some_and(|m| m < zero),
+                Cmp::Ge => min.is_some_and(|m| m >= zero),
+                Cmp::Gt => min.is_some_and(|m| m > zero),
+                Cmp::Eq => (min == Some(zero)) && (max == Some(zero)),
+                Cmp::Ne => max.is_some_and(|m| m < zero) || min.is_some_and(|m| m > zero),
+            }
+        }
+        Formula::And(parts) => parts.iter().all(|p| satisfied_by_bounds(env, p)),
+        Formula::Or(parts) => parts.iter().any(|p| satisfied_by_bounds(env, p)),
+        _ => false,
+    }
+}
+
+/// The dual of [`satisfied_by_bounds`]: `true` only when *no* point of the
+/// current bound box satisfies the formula.  This is what kills `≠`
+/// disjuncts whose expression the bounds pin to zero (e.g. the `φ_len`
+/// branch of a disequality once the lengths are forced equal) — atoms the
+/// unit-probe path must skip because disequalities contribute no simplex
+/// constraint.
+fn falsified_by_bounds(env: &BoundEnv, formula: &Formula) -> bool {
+    match formula {
+        Formula::False => true,
+        Formula::Atom(atom) => {
+            let zero = crate::rational::Rat::from_int(0);
+            let (min, max) = env.expr_range(&atom.expr);
+            match atom.cmp {
+                Cmp::Le => min.is_some_and(|m| m > zero),
+                Cmp::Lt => min.is_some_and(|m| m >= zero),
+                Cmp::Ge => max.is_some_and(|m| m < zero),
+                Cmp::Gt => max.is_some_and(|m| m <= zero),
+                Cmp::Eq => max.is_some_and(|m| m < zero) || min.is_some_and(|m| m > zero),
+                Cmp::Ne => (min == Some(zero)) && (max == Some(zero)),
+            }
+        }
+        Formula::And(parts) => parts.iter().any(|p| falsified_by_bounds(env, p)),
+        Formula::Or(parts) => parts.iter().all(|p| falsified_by_bounds(env, p)),
+        _ => false,
+    }
+}
+
+/// Collects the unit simplex constraints a formula *implies* (top-level
+/// atoms of conjunctions; disequalities and nested disjunctions contribute
+/// nothing).  Returns `false` if the formula is syntactically `False`.
+fn collect_probe(formula: &Formula, out: &mut Vec<SimplexConstraint>) -> bool {
+    match formula {
+        Formula::False => false,
+        Formula::Atom(atom) => {
+            if let AtomConstraints::Single(c) = atom_to_constraints(atom) {
+                out.push(c);
+            }
+            true
+        }
+        Formula::And(parts) => parts.iter().all(|p| collect_probe(p, out)),
+        _ => true,
+    }
+}
+
+/// `true` if asserting the disjunct's unit atoms into the bound environment
+/// of the current node derives a contradiction — a sound reason to drop the
+/// disjunct (bound refutation implies integer infeasibility).  The asserted
+/// context is re-propagated under the tightened bounds so the probe can
+/// cascade through the flow equalities, which is where most refutations of
+/// the Parikh encodings come from.
+fn refuted_by_bounds(
+    env: &BoundEnv,
+    asserted: &[SimplexConstraint],
+    index: &ConstraintIndex,
+    disjunct: &Formula,
+) -> bool {
+    let mut probe = Vec::new();
+    if !collect_probe(disjunct, &mut probe) {
+        return true;
+    }
+    if probe.is_empty() {
+        return false;
+    }
+    let mut local = env.clone();
+    let budget = 8 * asserted.len().max(8);
+    local.propagate(&probe, asserted, index, budget) == BoundOutcome::Refuted
 }
 
 enum AtomConstraints {
@@ -290,7 +485,10 @@ fn atom_to_constraints(atom: &Atom) -> AtomConstraints {
             rel: Rel::Ge,
         }),
         Cmp::Ne => AtomConstraints::Split(
-            Atom { expr: expr.clone(), cmp: Cmp::Lt },
+            Atom {
+                expr: expr.clone(),
+                cmp: Cmp::Lt,
+            },
             Atom { expr, cmp: Cmp::Gt },
         ),
     }
@@ -453,7 +651,10 @@ mod tests {
             other => panic!("expected sat, got {other:?}"),
         }
         // forcing c = 100 makes it unsat
-        let phi_unsat = Formula::and(vec![phi, Formula::eq(LinExpr::var(c), LinExpr::constant(100))]);
+        let phi_unsat = Formula::and(vec![
+            phi,
+            Formula::eq(LinExpr::var(c), LinExpr::constant(100)),
+        ]);
         assert_eq!(solve(&phi_unsat), SolverResult::Unsat);
     }
 
@@ -474,9 +675,38 @@ mod tests {
             LinExpr::sum_of_vars(vars.iter().copied()),
             LinExpr::constant(100),
         ));
-        let config = SolverConfig { max_decisions: 3, ..SolverConfig::default() };
+        let config = SolverConfig {
+            max_decisions: 3,
+            ..SolverConfig::default()
+        };
         match Solver::with_config(config).solve(&Formula::and(conjuncts)) {
             SolverResult::Unknown(_) => {}
+            other => panic!("expected unknown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_token_yields_unknown() {
+        let mut pool = VarPool::new();
+        let vars: Vec<Var> = (0..10).map(|i| pool.fresh(&format!("x{i}"))).collect();
+        let mut conjuncts = Vec::new();
+        for &v in &vars {
+            conjuncts.push(Formula::or(vec![
+                Formula::eq(LinExpr::var(v), LinExpr::constant(0)),
+                Formula::eq(LinExpr::var(v), LinExpr::constant(1)),
+            ]));
+        }
+        conjuncts.push(Formula::ge(
+            LinExpr::sum_of_vars(vars.iter().copied()),
+            LinExpr::constant(100),
+        ));
+        let config = SolverConfig {
+            cancel: CancelToken::new(),
+            ..SolverConfig::default()
+        };
+        config.cancel.cancel();
+        match Solver::with_config(config).solve(&Formula::and(conjuncts)) {
+            SolverResult::Unknown(reason) => assert_eq!(reason, CANCELLED_MSG),
             other => panic!("expected unknown, got {other:?}"),
         }
     }
@@ -495,11 +725,16 @@ mod tests {
             Formula::ge(LinExpr::var(x), LinExpr::constant(0)),
             Formula::le(LinExpr::var(x), LinExpr::constant(4)),
         ]);
-        let pruned = Solver::with_config(SolverConfig { early_pruning: true, ..Default::default() })
-            .solve(&phi);
-        let exhaustive =
-            Solver::with_config(SolverConfig { early_pruning: false, ..Default::default() })
-                .solve(&phi);
+        let pruned = Solver::with_config(SolverConfig {
+            early_pruning: true,
+            ..Default::default()
+        })
+        .solve(&phi);
+        let exhaustive = Solver::with_config(SolverConfig {
+            early_pruning: false,
+            ..Default::default()
+        })
+        .solve(&phi);
         assert!(pruned.is_sat());
         assert!(exhaustive.is_sat());
     }

@@ -129,14 +129,20 @@ impl LinExpr {
 
     /// The constant expression `k`.
     pub fn constant(k: i128) -> LinExpr {
-        LinExpr { coeffs: BTreeMap::new(), constant: k }
+        LinExpr {
+            coeffs: BTreeMap::new(),
+            constant: k,
+        }
     }
 
     /// The expression `1·v`.
     pub fn var(v: Var) -> LinExpr {
         let mut coeffs = BTreeMap::new();
         coeffs.insert(v, 1);
-        LinExpr { coeffs, constant: 0 }
+        LinExpr {
+            coeffs,
+            constant: 0,
+        }
     }
 
     /// The expression `c·v`.
@@ -145,7 +151,10 @@ impl LinExpr {
         if c != 0 {
             coeffs.insert(v, c);
         }
-        LinExpr { coeffs, constant: 0 }
+        LinExpr {
+            coeffs,
+            constant: 0,
+        }
     }
 
     /// Sum of `1·v` over the given variables.
@@ -219,7 +228,7 @@ impl LinExpr {
         }
         let mut out = self.clone();
         out.coeffs.remove(&var);
-        out = out + replacement.clone() * c;
+        out += replacement.clone() * c;
         out
     }
 

@@ -1,0 +1,283 @@
+//! The batch driver: many problems, one worker pool, per-problem timeouts.
+//!
+//! Workers pull problems off a shared queue and run one full portfolio race
+//! per problem, so a batch exploits both inter-problem parallelism (the
+//! pool) and intra-problem parallelism (the race).  Problems parsed from
+//! SMT-LIB scripts carry their `(set-info :posr-strategy …)` hints into the
+//! race.  The report aggregates verdict counts, wall-clock vs. summed solve
+//! time (the speedup the pool bought), and the shared automaton cache
+//! counters (the reuse the pattern cache bought).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use posr_core::ast::StringFormula;
+use posr_core::solver::{answer_status, Answer};
+use posr_smtfmt::{parse_script, ParseError};
+
+use crate::{PortfolioResult, PortfolioSolver};
+
+/// One problem of a batch.
+#[derive(Clone, Debug)]
+pub struct BatchItem {
+    /// Display name (file name, generated instance id, …).
+    pub name: String,
+    /// The formula to decide.
+    pub formula: StringFormula,
+    /// Optional strategy hint (see [`PortfolioSolver::solve_with`]).
+    pub hint: Option<String>,
+}
+
+impl BatchItem {
+    /// An item with no hint.
+    pub fn new(name: impl Into<String>, formula: StringFormula) -> BatchItem {
+        BatchItem {
+            name: name.into(),
+            formula,
+            hint: None,
+        }
+    }
+}
+
+/// Tuning of the batch driver.
+#[derive(Clone, Debug)]
+pub struct BatchOptions {
+    /// Worker threads; `0` means one per available CPU.
+    pub workers: usize,
+    /// Per-problem timeout (each race is cancelled on expiry).
+    pub timeout: Option<Duration>,
+}
+
+impl Default for BatchOptions {
+    fn default() -> BatchOptions {
+        BatchOptions {
+            workers: 0,
+            timeout: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
+impl BatchOptions {
+    fn effective_workers(&self, problems: usize) -> usize {
+        let auto = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let requested = if self.workers == 0 {
+            auto
+        } else {
+            self.workers
+        };
+        requested.clamp(1, problems.max(1))
+    }
+}
+
+/// The outcome of one problem.
+#[derive(Clone, Debug)]
+pub struct BatchOutcome {
+    /// Problem name.
+    pub name: String,
+    /// The race result (answer, winner, per-strategy reports).
+    pub result: PortfolioResult,
+}
+
+impl BatchOutcome {
+    /// The SMT-LIB status string of the answer.
+    pub fn status(&self) -> &'static str {
+        answer_status(&self.result.answer)
+    }
+}
+
+/// Aggregate statistics of a batch run.
+#[derive(Clone, Debug, Default)]
+pub struct BatchStats {
+    /// Number of problems.
+    pub total: usize,
+    /// Definite `sat` verdicts.
+    pub sat: usize,
+    /// Definite `unsat` verdicts.
+    pub unsat: usize,
+    /// Undecided problems (including per-problem timeouts).
+    pub unknown: usize,
+    /// Wall-clock time of the whole batch.
+    pub wall_time: Duration,
+    /// Sum of the individual race times — `solve_time / wall_time` is the
+    /// parallel speedup the worker pool achieved.
+    pub solve_time: Duration,
+    /// Automaton-cache hits during the batch.
+    pub cache_hits: u64,
+    /// Automaton-cache misses during the batch.
+    pub cache_misses: u64,
+    /// Wins per strategy name.
+    pub wins: std::collections::BTreeMap<&'static str, usize>,
+}
+
+impl BatchStats {
+    /// `solve_time / wall_time`: >1 on a multi-core runner.
+    pub fn speedup(&self) -> f64 {
+        let wall = self.wall_time.as_secs_f64();
+        if wall == 0.0 {
+            1.0
+        } else {
+            self.solve_time.as_secs_f64() / wall
+        }
+    }
+}
+
+/// A completed batch: per-problem outcomes (in input order) plus aggregates.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// One outcome per input problem, in input order.
+    pub outcomes: Vec<BatchOutcome>,
+    /// Aggregate statistics.
+    pub stats: BatchStats,
+}
+
+/// Solves every item concurrently with the given portfolio.
+pub fn solve_batch(
+    items: &[BatchItem],
+    portfolio: &PortfolioSolver,
+    options: &BatchOptions,
+) -> BatchReport {
+    let start = Instant::now();
+    let cache_before = posr_automata_cache_stats();
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<BatchOutcome>>> = items.iter().map(|_| Mutex::new(None)).collect();
+
+    let workers = options.effective_workers(items.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(index) else { break };
+                let result =
+                    portfolio.solve_with(&item.formula, options.timeout, item.hint.as_deref());
+                *slots[index].lock().expect("batch slot poisoned") = Some(BatchOutcome {
+                    name: item.name.clone(),
+                    result,
+                });
+            });
+        }
+    });
+
+    let outcomes: Vec<BatchOutcome> = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("batch slot poisoned")
+                .expect("worker filled slot")
+        })
+        .collect();
+
+    let cache_after = posr_automata_cache_stats();
+    let mut stats = BatchStats {
+        total: outcomes.len(),
+        wall_time: start.elapsed(),
+        cache_hits: cache_after.0.saturating_sub(cache_before.0),
+        cache_misses: cache_after.1.saturating_sub(cache_before.1),
+        ..BatchStats::default()
+    };
+    for outcome in &outcomes {
+        match &outcome.result.answer {
+            Answer::Sat(_) => stats.sat += 1,
+            Answer::Unsat => stats.unsat += 1,
+            Answer::Unknown(_) => stats.unknown += 1,
+        }
+        stats.solve_time += outcome.result.elapsed;
+        if let Some(winner) = outcome.result.winner {
+            *stats.wins.entry(winner).or_insert(0) += 1;
+        }
+    }
+    BatchReport { outcomes, stats }
+}
+
+fn posr_automata_cache_stats() -> (u64, u64) {
+    let s = posr_automata::cache::stats();
+    (s.hits, s.misses)
+}
+
+/// Parses named SMT-LIB sources and solves them as one batch, carrying each
+/// script's strategy hint into its race.
+///
+/// # Errors
+/// Returns the first parse error together with the offending source's name.
+pub fn solve_scripts(
+    sources: &[(String, String)],
+    portfolio: &PortfolioSolver,
+    options: &BatchOptions,
+) -> Result<BatchReport, (String, ParseError)> {
+    let mut items = Vec::with_capacity(sources.len());
+    for (name, text) in sources {
+        let script = parse_script(text).map_err(|e| (name.clone(), e))?;
+        items.push(BatchItem {
+            name: name.clone(),
+            formula: script.formula,
+            hint: script.strategy_hint,
+        });
+    }
+    Ok(solve_batch(&items, portfolio, options))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use posr_core::ast::StringTerm;
+
+    fn items() -> Vec<BatchItem> {
+        let sat = StringFormula::new()
+            .in_re("x", "(ab)*")
+            .in_re("y", "(ba)*")
+            .diseq(StringTerm::var("x"), StringTerm::var("y"))
+            .len_eq("x", "y");
+        let unsat = StringFormula::new()
+            .in_re("x", "abc")
+            .diseq(StringTerm::var("x"), StringTerm::lit("abc"));
+        vec![
+            BatchItem::new("sat-0", sat.clone()),
+            BatchItem::new("unsat-0", unsat.clone()),
+            BatchItem::new("sat-1", sat),
+            BatchItem::new("unsat-1", unsat),
+        ]
+    }
+
+    #[test]
+    fn batch_preserves_order_and_counts_verdicts() {
+        let report = solve_batch(&items(), &PortfolioSolver::new(), &BatchOptions::default());
+        let names: Vec<&str> = report.outcomes.iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(names, vec!["sat-0", "unsat-0", "sat-1", "unsat-1"]);
+        assert_eq!(report.stats.total, 4);
+        assert_eq!(report.stats.sat, 2);
+        assert_eq!(report.stats.unsat, 2);
+        assert_eq!(report.stats.unknown, 0);
+        assert!(report.stats.speedup() > 0.0);
+    }
+
+    #[test]
+    fn scripts_batch_carries_hints() {
+        let sources = vec![(
+            "hinted.smt2".to_string(),
+            r#"
+              (set-info :posr-strategy enumeration)
+              (declare-const x String)
+              (declare-const y String)
+              (assert (str.in_re x (re.* (str.to_re "ab"))))
+              (assert (str.in_re y (re.* (str.to_re "ab"))))
+              (assert (not (= x y)))
+              (check-sat)
+            "#
+            .to_string(),
+        )];
+        let report =
+            solve_scripts(&sources, &PortfolioSolver::new(), &BatchOptions::default()).unwrap();
+        assert_eq!(report.stats.sat, 1);
+        // the hint restricted the race to enumeration + tag-pos
+        assert_eq!(report.outcomes[0].result.reports.len(), 2);
+    }
+
+    #[test]
+    fn parse_errors_name_the_source() {
+        let sources = vec![("broken.smt2".to_string(), "(assert".to_string())];
+        let err = solve_scripts(&sources, &PortfolioSolver::new(), &BatchOptions::default());
+        assert_eq!(err.unwrap_err().0, "broken.smt2");
+    }
+}

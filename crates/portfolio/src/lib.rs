@@ -1,0 +1,482 @@
+//! `posr-portfolio`: a concurrent portfolio engine for the posr string
+//! solver.
+//!
+//! The workspace ships four complementary decision procedures — the paper's
+//! tag-automaton position pipeline plus three baselines with very different
+//! strengths (guess-and-check enumeration is fast on satisfiable instances,
+//! the length abstraction refutes length-inconsistent inputs almost for
+//! free, the naive order encoding handles tiny disequality systems).  A
+//! [`PortfolioSolver`] races them on one thread each, accepts the first
+//! *validated* answer and fires the [`CancelToken`]s of the losers, which
+//! unwind cooperatively from the branch points of their searches
+//! (`posr-lia`'s DPLL(T) decisions, the position procedure's CEGAR loop, the
+//! enumeration baseline's sampling loop).
+//!
+//! Soundness policy: `Unsat` is accepted from any strategy (each one is
+//! individually sound for refutations), while `Sat` is accepted only when
+//! the attached model re-validates against the input formula — strategies
+//! that answer `Sat` without a reconstructible model (the naive-order
+//! baseline) can therefore never win with a wrong model.
+//!
+//! The [`batch`] module drives many problems concurrently over a worker
+//! pool with per-problem timeouts and aggregate statistics, including the
+//! hit ratio of the shared automaton cache that makes racing workers reuse
+//! compiled patterns.
+//!
+//! ```
+//! use posr_core::ast::{StringFormula, StringTerm};
+//! use posr_portfolio::PortfolioSolver;
+//!
+//! let formula = StringFormula::new()
+//!     .in_re("x", "(ab)*")
+//!     .in_re("y", "(ba)*")
+//!     .diseq(StringTerm::var("x"), StringTerm::var("y"))
+//!     .len_eq("x", "y");
+//! let result = PortfolioSolver::new().solve_with(&formula, None, None);
+//! assert!(result.answer.is_sat());
+//! assert!(result.winner.is_some());
+//! ```
+
+pub mod batch;
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use posr_core::ast::StringFormula;
+use posr_core::baselines::{
+    BaselineSolver, EnumerationSolver, LengthAbstractionSolver, NaiveOrderSolver,
+};
+use posr_core::solver::{Answer, SolverOptions, StringSolver};
+use posr_lia::cancel::CancelToken;
+use posr_smtfmt::ParsedScript;
+
+pub use batch::{
+    solve_batch, solve_scripts, BatchItem, BatchOptions, BatchOutcome, BatchReport, BatchStats,
+};
+
+/// One engine in the portfolio.
+///
+/// Implementations must poll `cancel` at their branch points: the portfolio
+/// joins every worker thread before returning, so a strategy that ignores
+/// its token holds the whole race hostage.
+pub trait Strategy: Send + Sync {
+    /// Display name; also what SMT-LIB strategy hints match against.
+    fn name(&self) -> &'static str;
+
+    /// Decides the formula, answering `Unknown` promptly once `cancel` fires.
+    fn solve(&self, formula: &StringFormula, cancel: &CancelToken) -> Answer;
+}
+
+/// The paper's tag-automaton position pipeline (the production solver).
+#[derive(Clone, Debug, Default)]
+pub struct TagPosStrategy {
+    /// Base options; the racing token and deadline are merged in per query.
+    pub options: SolverOptions,
+}
+
+impl Strategy for TagPosStrategy {
+    fn name(&self) -> &'static str {
+        "tag-pos"
+    }
+
+    fn solve(&self, formula: &StringFormula, cancel: &CancelToken) -> Answer {
+        let mut options = self.options.clone();
+        // one shared implementation of the earlier-deadline merge
+        options.cancel = cancel.merged_with_deadline(options.deadline);
+        options.deadline = options.cancel.deadline();
+        StringSolver::with_options(options).solve(formula)
+    }
+}
+
+macro_rules! baseline_strategy {
+    ($(#[$doc:meta])* $wrapper:ident, $inner:ty, $name:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Debug, Default)]
+        pub struct $wrapper(pub $inner);
+
+        impl Strategy for $wrapper {
+            fn name(&self) -> &'static str {
+                $name
+            }
+
+            fn solve(&self, formula: &StringFormula, cancel: &CancelToken) -> Answer {
+                self.0.solve(formula, cancel)
+            }
+        }
+    };
+}
+
+baseline_strategy!(
+    /// Guess-and-check enumeration: strong on satisfiable instances.
+    EnumerationStrategy,
+    EnumerationSolver,
+    "enumeration"
+);
+baseline_strategy!(
+    /// The naive mismatch-order automata baseline.
+    NaiveOrderStrategy,
+    NaiveOrderSolver,
+    "naive-order"
+);
+baseline_strategy!(
+    /// Length-abstraction-only refutations.
+    LengthAbstractionStrategy,
+    LengthAbstractionSolver,
+    "length-abstraction"
+);
+
+/// What happened to one strategy during a race.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StrategyOutcome {
+    /// Produced the accepted answer.
+    Won,
+    /// Finished with a definite answer after the race was already decided,
+    /// or with an answer the portfolio did not accept (e.g. an unvalidated
+    /// `Sat`).
+    Finished(String),
+    /// Abandoned: returned `Unknown` because its cancellation token fired.
+    Cancelled,
+}
+
+/// Per-strategy telemetry of one race.
+#[derive(Clone, Debug)]
+pub struct StrategyReport {
+    /// Strategy name.
+    pub name: &'static str,
+    /// Wall-clock time until the strategy returned.
+    pub elapsed: Duration,
+    /// How the strategy ended.
+    pub outcome: StrategyOutcome,
+}
+
+/// The result of one portfolio race.
+#[derive(Clone, Debug)]
+pub struct PortfolioResult {
+    /// The accepted answer (`Unknown` if no strategy produced a validated
+    /// answer before the timeout).
+    pub answer: Answer,
+    /// Name of the winning strategy, if any.
+    pub winner: Option<&'static str>,
+    /// Wall-clock time of the whole race, including the cooperative
+    /// shutdown of the losers.
+    pub elapsed: Duration,
+    /// One report per strategy, in portfolio order.
+    pub reports: Vec<StrategyReport>,
+}
+
+/// Races a set of [`Strategy`] implementations over each query.
+#[derive(Clone)]
+pub struct PortfolioSolver {
+    strategies: Vec<Arc<dyn Strategy>>,
+}
+
+impl Default for PortfolioSolver {
+    fn default() -> PortfolioSolver {
+        PortfolioSolver::new()
+    }
+}
+
+impl PortfolioSolver {
+    /// The default portfolio: the production tag-automaton solver plus the
+    /// three baselines.
+    pub fn new() -> PortfolioSolver {
+        PortfolioSolver {
+            strategies: vec![
+                Arc::new(TagPosStrategy::default()),
+                Arc::new(EnumerationStrategy::default()),
+                Arc::new(NaiveOrderStrategy::default()),
+                Arc::new(LengthAbstractionStrategy::default()),
+            ],
+        }
+    }
+
+    /// A portfolio over an explicit strategy list.
+    ///
+    /// # Panics
+    /// Panics if `strategies` is empty.
+    pub fn with_strategies(strategies: Vec<Arc<dyn Strategy>>) -> PortfolioSolver {
+        assert!(
+            !strategies.is_empty(),
+            "a portfolio needs at least one strategy"
+        );
+        PortfolioSolver { strategies }
+    }
+
+    /// The strategy names in racing order.
+    pub fn strategy_names(&self) -> Vec<&'static str> {
+        self.strategies.iter().map(|s| s.name()).collect()
+    }
+
+    /// Convenience entry point: race with no timeout and no hint.
+    pub fn solve(&self, formula: &StringFormula) -> Answer {
+        self.solve_with(formula, None, None).answer
+    }
+
+    /// Solves a parsed SMT-LIB script, honouring its strategy hint: a hint
+    /// restricts the race to the hinted strategy plus the production solver
+    /// (the hint is advice, not a soundness waiver).
+    pub fn solve_script(
+        &self,
+        script: &ParsedScript,
+        timeout: Option<Duration>,
+    ) -> PortfolioResult {
+        self.solve_with(&script.formula, timeout, script.strategy_hint.as_deref())
+    }
+
+    /// The full racing entry point.
+    ///
+    /// * `timeout` bounds the race; on expiry every strategy is cancelled
+    ///   and the answer is `Unknown`.
+    /// * `hint` (usually from `(set-info :posr-strategy …)`) restricts the
+    ///   race to the named strategy plus `tag-pos`; unknown hints are
+    ///   ignored.
+    pub fn solve_with(
+        &self,
+        formula: &StringFormula,
+        timeout: Option<Duration>,
+        hint: Option<&str>,
+    ) -> PortfolioResult {
+        let start = Instant::now();
+        let deadline = timeout.map(|t| start + t);
+
+        let mut racers: Vec<Arc<dyn Strategy>> = match hint {
+            Some(h) if self.strategies.iter().any(|s| s.name() == h) => self
+                .strategies
+                .iter()
+                .filter(|s| s.name() == h || s.name() == "tag-pos")
+                .cloned()
+                .collect(),
+            _ => self.strategies.clone(),
+        };
+        if racers.is_empty() {
+            racers = self.strategies.clone();
+        }
+
+        let tokens: Vec<CancelToken> = racers
+            .iter()
+            .map(|_| match deadline {
+                Some(d) => CancelToken::with_deadline(d),
+                None => CancelToken::new(),
+            })
+            .collect();
+
+        let mut winner: Option<&'static str> = None;
+        let mut accepted: Option<Answer> = None;
+        let mut fallback: Option<Answer> = None;
+        let mut reports: Vec<Option<StrategyReport>> = vec![None; racers.len()];
+
+        std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel::<(usize, Answer, Duration)>();
+            for (index, strategy) in racers.iter().enumerate() {
+                let tx = tx.clone();
+                let token = tokens[index].clone();
+                let strategy = Arc::clone(strategy);
+                scope.spawn(move || {
+                    let begin = Instant::now();
+                    let answer = strategy.solve(formula, &token);
+                    // receiver may be gone if the race was already decided
+                    let _ = tx.send((index, answer, begin.elapsed()));
+                });
+            }
+            drop(tx);
+
+            for (index, answer, elapsed) in rx.iter() {
+                let name = racers[index].name();
+                let decisive = accepted.is_none() && answer_is_decisive(&answer, formula);
+                // `Unknown` after the token fired (flag or deadline) means the
+                // strategy was abandoned, not that it genuinely gave up
+                let cancelled = answer.is_unknown() && tokens[index].is_cancelled();
+                let outcome = if decisive {
+                    StrategyOutcome::Won
+                } else if cancelled {
+                    StrategyOutcome::Cancelled
+                } else {
+                    StrategyOutcome::Finished(describe(&answer))
+                };
+                reports[index] = Some(StrategyReport {
+                    name,
+                    elapsed,
+                    outcome,
+                });
+                if decisive {
+                    winner = Some(name);
+                    accepted = Some(answer);
+                    for (j, token) in tokens.iter().enumerate() {
+                        if j != index {
+                            token.cancel();
+                        }
+                    }
+                    // keep draining: the scope joins every thread anyway, and
+                    // the reports should record how the losers ended
+                } else if accepted.is_none() && fallback.is_none() && !cancelled {
+                    // remember the most informative non-answer (an Unknown
+                    // reason beats a generic "portfolio undecided")
+                    fallback = Some(answer);
+                }
+            }
+        });
+
+        let answer = accepted.or(fallback).unwrap_or_else(|| {
+            Answer::Unknown("portfolio: no strategy produced an answer".to_string())
+        });
+        PortfolioResult {
+            answer,
+            winner,
+            elapsed: start.elapsed(),
+            reports: reports
+                .into_iter()
+                .map(|r| r.expect("every racer reports exactly once"))
+                .collect(),
+        }
+    }
+}
+
+/// `Unsat` is trusted from every (individually sound) strategy; `Sat` only
+/// with a model that re-validates against the original formula.
+fn answer_is_decisive(answer: &Answer, formula: &StringFormula) -> bool {
+    match answer {
+        Answer::Unsat => true,
+        Answer::Sat(model) => model.satisfies(formula),
+        Answer::Unknown(_) => false,
+    }
+}
+
+fn describe(answer: &Answer) -> String {
+    match answer {
+        Answer::Sat(model) if model.strings().is_empty() => {
+            "sat (unvalidated, no model)".to_string()
+        }
+        Answer::Sat(_) => "sat".to_string(),
+        Answer::Unsat => "unsat".to_string(),
+        Answer::Unknown(reason) => format!("unknown: {reason}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use posr_core::ast::StringTerm;
+
+    fn sat_formula() -> StringFormula {
+        StringFormula::new()
+            .in_re("x", "(ab)*")
+            .in_re("y", "(ba)*")
+            .diseq(StringTerm::var("x"), StringTerm::var("y"))
+            .len_eq("x", "y")
+    }
+
+    fn unsat_formula() -> StringFormula {
+        StringFormula::new()
+            .in_re("x", "abc")
+            .diseq(StringTerm::var("x"), StringTerm::lit("abc"))
+    }
+
+    #[test]
+    fn portfolio_agrees_with_sequential_on_sat() {
+        let result = PortfolioSolver::new().solve_with(&sat_formula(), None, None);
+        match &result.answer {
+            Answer::Sat(model) => assert!(model.satisfies(&sat_formula())),
+            other => panic!("expected sat, got {other:?}"),
+        }
+        assert!(result.winner.is_some());
+        assert_eq!(result.reports.len(), 4);
+    }
+
+    #[test]
+    fn portfolio_agrees_with_sequential_on_unsat() {
+        let result = PortfolioSolver::new().solve_with(&unsat_formula(), None, None);
+        assert!(result.answer.is_unsat(), "got {:?}", result.answer);
+    }
+
+    /// A strategy that never answers until its token fires — the direct test
+    /// that losers are abandoned instead of joined to completion.
+    struct HangingStrategy;
+
+    impl Strategy for HangingStrategy {
+        fn name(&self) -> &'static str {
+            "hanging"
+        }
+
+        fn solve(&self, _formula: &StringFormula, cancel: &CancelToken) -> Answer {
+            while !cancel.is_cancelled() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Answer::Unknown(cancel.unknown_reason())
+        }
+    }
+
+    #[test]
+    fn losing_strategy_is_cancelled_once_the_race_is_decided() {
+        let portfolio = PortfolioSolver::with_strategies(vec![
+            Arc::new(TagPosStrategy::default()),
+            Arc::new(HangingStrategy),
+        ]);
+        let start = Instant::now();
+        let result = portfolio.solve_with(&unsat_formula(), None, None);
+        assert!(result.answer.is_unsat());
+        assert_eq!(result.winner, Some("tag-pos"));
+        // without cancellation this would hang forever
+        assert!(start.elapsed() < Duration::from_secs(30));
+        let hanging = result.reports.iter().find(|r| r.name == "hanging").unwrap();
+        assert_eq!(hanging.outcome, StrategyOutcome::Cancelled);
+    }
+
+    #[test]
+    fn timeout_abandons_a_portfolio_of_hungs() {
+        let portfolio = PortfolioSolver::with_strategies(vec![
+            Arc::new(HangingStrategy),
+            Arc::new(HangingStrategy),
+        ]);
+        let result = portfolio.solve_with(&sat_formula(), Some(Duration::from_millis(100)), None);
+        assert!(result.answer.is_unknown());
+        assert!(result.elapsed < Duration::from_secs(30));
+        assert!(result
+            .reports
+            .iter()
+            .all(|r| r.outcome == StrategyOutcome::Cancelled));
+    }
+
+    #[test]
+    fn hint_restricts_the_race() {
+        let portfolio = PortfolioSolver::new();
+        let result = portfolio.solve_with(&sat_formula(), None, Some("enumeration"));
+        assert!(result.answer.is_sat());
+        let names: Vec<_> = result.reports.iter().map(|r| r.name).collect();
+        assert!(names.contains(&"enumeration"));
+        assert!(names.contains(&"tag-pos"));
+        assert_eq!(names.len(), 2);
+        // unknown hints fall back to the full portfolio
+        let full = portfolio.solve_with(&sat_formula(), None, Some("no-such-strategy"));
+        assert_eq!(full.reports.len(), 4);
+    }
+
+    #[test]
+    fn unvalidated_sat_cannot_win() {
+        /// Always answers `Sat` with an empty model, which validates only on
+        /// formulas satisfied by the all-ε assignment.
+        struct LiarStrategy;
+        impl Strategy for LiarStrategy {
+            fn name(&self) -> &'static str {
+                "liar"
+            }
+            fn solve(&self, _formula: &StringFormula, _cancel: &CancelToken) -> Answer {
+                Answer::Sat(posr_core::solver::StringModel::default())
+            }
+        }
+        // x must be non-empty, so the liar's ε-model does not validate
+        let formula = StringFormula::new().in_re("x", "(ab)+");
+        let portfolio = PortfolioSolver::with_strategies(vec![
+            Arc::new(LiarStrategy),
+            Arc::new(TagPosStrategy::default()),
+        ]);
+        let result = portfolio.solve_with(&formula, None, None);
+        match &result.answer {
+            Answer::Sat(model) => {
+                assert!(model.satisfies(&formula));
+                assert_eq!(result.winner, Some("tag-pos"));
+            }
+            other => panic!("expected sat from tag-pos, got {other:?}"),
+        }
+    }
+}

@@ -21,6 +21,7 @@
 //!   (assert (= (str.len x) (str.len y)))
 //!   (check-sat)
 //! "#;
+//! // (x unconstrained beyond (ab)*, y free — satisfiable)
 //! let parsed = parse_script(script).unwrap();
 //! assert_eq!(parsed.formula.atoms.len(), 3);
 //! assert!(parsed.check_sat);
@@ -42,6 +43,13 @@ pub struct ParsedScript {
     pub int_vars: Vec<String>,
     /// Whether the script contains `(check-sat)`.
     pub check_sat: bool,
+    /// A solver-strategy hint from `(set-info :posr-strategy NAME)` or
+    /// `(set-option :posr-strategy NAME)`; the portfolio engine uses it to
+    /// narrow its race.
+    pub strategy_hint: Option<String>,
+    /// The expected verdict from `(set-info :status sat|unsat|unknown)`,
+    /// when the script declares one.
+    pub expected_status: Option<String>,
 }
 
 /// A parse error with a rough character position.
@@ -76,7 +84,10 @@ struct Lexer {
 
 impl Lexer {
     fn error(&self, message: &str) -> ParseError {
-        ParseError { position: self.pos, message: message.to_string() }
+        ParseError {
+            position: self.pos,
+            message: message.to_string(),
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -161,19 +172,44 @@ impl Lexer {
 /// # Errors
 /// Returns a [`ParseError`] on malformed input or unsupported constructs.
 pub fn parse_script(input: &str) -> Result<ParsedScript, ParseError> {
-    let mut lexer = Lexer { chars: input.chars().collect(), pos: 0 };
+    let mut lexer = Lexer {
+        chars: input.chars().collect(),
+        pos: 0,
+    };
     let sexps = lexer.parse_all()?;
     let mut script = ParsedScript::default();
     let mut sorts: BTreeMap<String, String> = BTreeMap::new();
     for sexp in sexps {
         let Sexp::List(items) = &sexp else {
-            return Err(ParseError { position: 0, message: format!("expected a command, got {sexp:?}") });
+            return Err(ParseError {
+                position: 0,
+                message: format!("expected a command, got {sexp:?}"),
+            });
         };
         let Some(Sexp::Atom(head)) = items.first() else {
-            return Err(ParseError { position: 0, message: "empty command".to_string() });
+            return Err(ParseError {
+                position: 0,
+                message: "empty command".to_string(),
+            });
         };
         match head.as_str() {
-            "set-logic" | "set-info" | "set-option" | "exit" | "get-model" => {}
+            "set-logic" | "exit" | "get-model" => {}
+            "set-info" | "set-option" => {
+                // recognised annotations; anything else is silently ignored,
+                // matching the usual SMT-LIB tolerance for unknown metadata
+                if let (Some(Sexp::Atom(key)), Some(value)) = (items.get(1), items.get(2)) {
+                    let value = match value {
+                        Sexp::Atom(v) => Some(v.clone()),
+                        Sexp::Str(v) => Some(v.clone()),
+                        Sexp::List(_) => None,
+                    };
+                    match (key.as_str(), value) {
+                        (":posr-strategy", Some(v)) => script.strategy_hint = Some(v),
+                        (":status", Some(v)) => script.expected_status = Some(v),
+                        _ => {}
+                    }
+                }
+            }
             "check-sat" => script.check_sat = true,
             "declare-const" | "declare-fun" => {
                 let (name, sort) = match (head.as_str(), items.len()) {
@@ -187,7 +223,10 @@ pub fn parse_script(input: &str) -> Result<ParsedScript, ParseError> {
                     }
                 };
                 let (Sexp::Atom(name), Sexp::Atom(sort)) = (name, sort) else {
-                    return Err(ParseError { position: 0, message: "malformed declaration".into() });
+                    return Err(ParseError {
+                        position: 0,
+                        message: "malformed declaration".into(),
+                    });
                 };
                 match sort.as_str() {
                     "String" => script.string_vars.push(name.clone()),
@@ -203,7 +242,10 @@ pub fn parse_script(input: &str) -> Result<ParsedScript, ParseError> {
             }
             "assert" => {
                 if items.len() != 2 {
-                    return Err(ParseError { position: 0, message: "malformed assert".into() });
+                    return Err(ParseError {
+                        position: 0,
+                        message: "malformed assert".into(),
+                    });
                 }
                 let atoms = convert_bool(&items[1], &sorts, false)?;
                 script.formula.atoms.extend(atoms);
@@ -220,7 +262,10 @@ pub fn parse_script(input: &str) -> Result<ParsedScript, ParseError> {
 }
 
 fn err(message: String) -> ParseError {
-    ParseError { position: 0, message }
+    ParseError {
+        position: 0,
+        message,
+    }
 }
 
 fn convert_bool(
@@ -246,7 +291,11 @@ fn convert_bool(
                 "str.in_re" => {
                     let var = expect_string_var(&items[1])?;
                     let regex = convert_regex(&items[2])?;
-                    Ok(vec![StringAtom::InRe { var, regex: regex.to_string(), negated }])
+                    Ok(vec![StringAtom::InRe {
+                        var,
+                        regex: regex.to_string(),
+                        negated,
+                    }])
                 }
                 "str.prefixof" => Ok(vec![StringAtom::PrefixOf {
                     needle: convert_string_term(&items[1], sorts)?,
@@ -342,6 +391,7 @@ fn expect_string_var(sexp: &Sexp) -> Result<String, ParseError> {
     }
 }
 
+#[allow(clippy::only_used_in_recursion)] // uniform converter signature
 fn convert_string_term(
     sexp: &Sexp,
     sorts: &BTreeMap<String, String>,
@@ -367,10 +417,7 @@ fn convert_string_term(
     }
 }
 
-fn convert_int_term(
-    sexp: &Sexp,
-    sorts: &BTreeMap<String, String>,
-) -> Result<LenTerm, ParseError> {
+fn convert_int_term(sexp: &Sexp, sorts: &BTreeMap<String, String>) -> Result<LenTerm, ParseError> {
     match sexp {
         Sexp::Atom(a) => {
             if let Ok(k) = a.parse::<i64>() {
@@ -420,7 +467,9 @@ fn convert_regex(sexp: &Sexp) -> Result<posr_automata::Regex, ParseError> {
         )),
         Sexp::Atom(a) if a == "re.none" => Ok(Regex::Empty),
         Sexp::Atom(a) => Err(err(format!("unsupported regex atom {a}"))),
-        Sexp::Str(_) => Err(err("bare string in regex position; use str.to_re".to_string())),
+        Sexp::Str(_) => Err(err(
+            "bare string in regex position; use str.to_re".to_string()
+        )),
         Sexp::List(items) => {
             let Some(Sexp::Atom(head)) = items.first() else {
                 return Err(err("expected a regex operator".to_string()));
@@ -439,11 +488,15 @@ fn convert_regex(sexp: &Sexp) -> Result<posr_automata::Regex, ParseError> {
                         }
                         Ok(re.expect("non-empty"))
                     }
-                    other => Err(err(format!("str.to_re expects a string literal, got {other:?}"))),
+                    other => Err(err(format!(
+                        "str.to_re expects a string literal, got {other:?}"
+                    ))),
                 },
                 "re.++" => {
                     let mut parts = items[1..].iter().map(convert_regex);
-                    let first = parts.next().ok_or_else(|| err("empty re.++".to_string()))??;
+                    let first = parts
+                        .next()
+                        .ok_or_else(|| err("empty re.++".to_string()))??;
                     let mut acc = first;
                     for p in parts {
                         acc = Regex::Concat(Box::new(acc), Box::new(p?));
@@ -452,7 +505,9 @@ fn convert_regex(sexp: &Sexp) -> Result<posr_automata::Regex, ParseError> {
                 }
                 "re.union" => {
                     let mut parts = items[1..].iter().map(convert_regex);
-                    let first = parts.next().ok_or_else(|| err("empty re.union".to_string()))??;
+                    let first = parts
+                        .next()
+                        .ok_or_else(|| err("empty re.union".to_string()))??;
                     let mut acc = first;
                     for p in parts {
                         acc = Regex::Alt(Box::new(acc), Box::new(p?));
@@ -470,7 +525,9 @@ fn convert_regex(sexp: &Sexp) -> Result<posr_automata::Regex, ParseError> {
                             (lo as u32..=hi as u32).filter_map(char::from_u32).collect();
                         Ok(Regex::Class(chars))
                     }
-                    _ => Err(err("re.range expects two single-character strings".to_string())),
+                    _ => Err(err(
+                        "re.range expects two single-character strings".to_string()
+                    )),
                 },
                 other => Err(err(format!("unsupported regex operator {other}"))),
             }
@@ -553,11 +610,13 @@ mod tests {
 
     #[test]
     fn solver_roundtrip_on_parsed_script() {
+        // y over (ba)*: the (ab)*/(ab)* variant of this script is unsat
+        // (equal lengths force equal words)
         let script = r#"
           (declare-const x String)
           (declare-const y String)
           (assert (str.in_re x (re.* (str.to_re "ab"))))
-          (assert (str.in_re y (re.* (str.to_re "ab"))))
+          (assert (str.in_re y (re.* (str.to_re "ba"))))
           (assert (not (= x y)))
           (assert (= (str.len x) (str.len y)))
           (check-sat)
@@ -565,6 +624,25 @@ mod tests {
         let parsed = parse_script(script).unwrap();
         let answer = posr_core::StringSolver::new().solve(&parsed.formula);
         assert!(answer.is_sat());
+    }
+
+    #[test]
+    fn parses_strategy_hint_and_expected_status() {
+        let script = r#"
+          (set-info :status unsat)
+          (set-option :posr-strategy length-abstraction)
+          (declare-const x String)
+          (assert (str.in_re x (str.to_re "ab")))
+          (assert (not (= x "ab")))
+          (check-sat)
+        "#;
+        let parsed = parse_script(script).unwrap();
+        assert_eq!(parsed.strategy_hint.as_deref(), Some("length-abstraction"));
+        assert_eq!(parsed.expected_status.as_deref(), Some("unsat"));
+        // unknown metadata stays ignored
+        let plain = parse_script("(set-info :source \"somewhere\")").unwrap();
+        assert_eq!(plain.strategy_hint, None);
+        assert_eq!(plain.expected_status, None);
     }
 
     #[test]

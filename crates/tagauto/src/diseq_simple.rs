@@ -72,7 +72,11 @@ pub fn encode_simple_diseq(
                 // copy 1: before the first mismatch, tracked with ⟨P,x⟩
                 ta.add_transition(
                     state(t.source, 1),
-                    [Tag::Symbol(a), Tag::Length(x), Tag::Position { level: 1, var: x }],
+                    [
+                        Tag::Symbol(a),
+                        Tag::Length(x),
+                        Tag::Position { level: 1, var: x },
+                    ],
                     state(t.target, 1),
                 );
                 // first mismatch (in A_x): copy 1 -> copy 2
@@ -108,7 +112,11 @@ pub fn encode_simple_diseq(
                 // copy 2: y before the second mismatch, tracked with ⟨P,y⟩
                 ta.add_transition(
                     state(t.source, 2),
-                    [Tag::Symbol(a), Tag::Length(y), Tag::Position { level: 2, var: y }],
+                    [
+                        Tag::Symbol(a),
+                        Tag::Length(y),
+                        Tag::Position { level: 2, var: y },
+                    ],
                     state(t.target, 2),
                 );
                 // second mismatch (in A_y): copy 2 -> copy 3
@@ -170,7 +178,10 @@ pub fn encode_simple_diseq(
             .filter(|t| matches!(t, Tag::Mismatch { symbol, .. } if symbol == a))
             .copied()
             .collect();
-        sym_conjuncts.push(Formula::lt(parikh.tag_sum(same_symbol.iter()), LinExpr::constant(2)));
+        sym_conjuncts.push(Formula::lt(
+            parikh.tag_sum(same_symbol.iter()),
+            LinExpr::constant(2),
+        ));
     }
     let phi_sym = Formula::and(sym_conjuncts);
     let first_mismatches: Vec<Tag> = mismatch_tags
@@ -194,7 +205,11 @@ pub fn encode_simple_diseq(
         Formula::or(vec![len_diff, Formula::and(vec![pos_eq, phi_sym, phi_mis])]),
     ]);
 
-    SimpleDiseqEncoding { ta, parikh, formula }
+    SimpleDiseqEncoding {
+        ta,
+        parikh,
+        formula,
+    }
 }
 
 #[cfg(test)]
@@ -274,8 +289,7 @@ mod tests {
         automata.insert(x, Regex::parse("(ab)*").unwrap().compile());
         automata.insert(y, Regex::parse("(ac)*").unwrap().compile());
         let mut pool = VarPool::new();
-        let simple =
-            encode_simple_diseq(x, &automata[&x], y, &automata[&y], &mut pool);
+        let simple = encode_simple_diseq(x, &automata[&x], y, &automata[&y], &mut pool);
         let mut pool2 = VarPool::new();
         let general = SystemEncoder::new(&automata, &vars)
             .encode(&[PositionConstraint::diseq(vec![x], vec![y])], &mut pool2);

@@ -26,6 +26,7 @@
 //! inputs are lists of *occurrences* of string variables together with one
 //! NFA per variable, exactly the `R′ ∧ I′ ∧ P′` interface of Sec. 3.
 
+pub mod cache;
 pub mod diseq_simple;
 pub mod notcontains;
 pub mod onecounter_diseq;

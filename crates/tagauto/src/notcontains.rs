@@ -72,10 +72,7 @@ pub fn offset_range(u_len: usize, v_len: usize) -> std::ops::RangeInclusive<usiz
 /// Checks the flatness precondition of Theorem 6.5: every variable occurring
 /// in the `¬contains` predicate must be constrained by a flat language.
 /// Returns the offending variables (empty means the precondition holds).
-pub fn non_flat_variables(
-    occurrences: &[StrVar],
-    automata: &BTreeMap<StrVar, Nfa>,
-) -> Vec<StrVar> {
+pub fn non_flat_variables(occurrences: &[StrVar], automata: &BTreeMap<StrVar, Nfa>) -> Vec<StrVar> {
     let mut seen = Vec::new();
     let mut bad = Vec::new();
     for &v in occurrences {

@@ -56,7 +56,12 @@ pub fn single_diseq_satisfiable(
     // is satisfiable via a mismatch.
     let pad_var = StrVar(
         automata.keys().map(|v| v.index()).max().unwrap_or(0)
-            + left.iter().chain(right.iter()).map(|v| v.index()).max().unwrap_or(0)
+            + left
+                .iter()
+                .chain(right.iter())
+                .map(|v| v.index())
+                .max()
+                .unwrap_or(0)
             + 1,
     );
     let pad_symbol = Symbol(u32::MAX - 1);
@@ -128,7 +133,12 @@ fn build_pair_automaton(
         }
         ps
     };
-    let phase_index = |p: Phase| phases.iter().position(|&q| q == p).expect("phase registered");
+    let phase_index = |p: Phase| {
+        phases
+            .iter()
+            .position(|&q| q == p)
+            .expect("phase registered")
+    };
 
     let mut oca = OneCounterAutomaton::new();
     // state layout: per variable block, per NFA state, per phase
@@ -287,10 +297,18 @@ mod tests {
     fn repeated_variable_on_one_side() {
         // xx ≠ y with x ∈ {ab}, y ∈ {abab} is unsat
         let (automata, ids) = setup(&[("x", "ab"), ("y", "abab")]);
-        assert!(!single_diseq_satisfiable(&[ids[0], ids[0]], &[ids[1]], &automata));
+        assert!(!single_diseq_satisfiable(
+            &[ids[0], ids[0]],
+            &[ids[1]],
+            &automata
+        ));
         // but with y ∈ {abba} it is sat
         let (automata2, ids2) = setup(&[("x", "ab"), ("y", "abba")]);
-        assert!(single_diseq_satisfiable(&[ids2[0], ids2[0]], &[ids2[1]], &automata2));
+        assert!(single_diseq_satisfiable(
+            &[ids2[0], ids2[0]],
+            &[ids2[1]],
+            &automata2
+        ));
     }
 
     #[test]

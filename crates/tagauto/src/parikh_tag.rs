@@ -95,7 +95,11 @@ pub struct ParikhOptions<'a> {
 
 impl Default for ParikhOptions<'_> {
     fn default() -> Self {
-        ParikhOptions { prefix: "pf", tag_filter: &|_| true, connectivity: true }
+        ParikhOptions {
+            prefix: "pf",
+            tag_filter: &|_| true,
+            connectivity: true,
+        }
     }
 }
 
@@ -118,18 +122,29 @@ pub fn parikh_tag_formula(
     let trans_vars: Vec<Var> = (0..transitions.len())
         .map(|i| pool.fresh(&format!("{prefix}#d{i}")))
         .collect();
-    let gamma_init: BTreeMap<usize, Var> =
-        (0..n).map(|q| (q, pool.fresh(&format!("{prefix}#gI{q}")))).collect();
-    let gamma_final: BTreeMap<usize, Var> =
-        (0..n).map(|q| (q, pool.fresh(&format!("{prefix}#gF{q}")))).collect();
-    let sigma: BTreeMap<usize, Var> =
-        (0..n).map(|q| (q, pool.fresh(&format!("{prefix}#sp{q}")))).collect();
+    let gamma_init: BTreeMap<usize, Var> = (0..n)
+        .map(|q| (q, pool.fresh(&format!("{prefix}#gI{q}"))))
+        .collect();
+    let gamma_final: BTreeMap<usize, Var> = (0..n)
+        .map(|q| (q, pool.fresh(&format!("{prefix}#gF{q}"))))
+        .collect();
+    let sigma: BTreeMap<usize, Var> = (0..n)
+        .map(|q| (q, pool.fresh(&format!("{prefix}#sp{q}"))))
+        .collect();
 
     let mut conjuncts: Vec<Formula> = Vec::new();
 
-    // transition counters are non-negative
+    // transition counters are non-negative; on an acyclic automaton the
+    // unit flow (Σ γI = 1 below) additionally takes every transition at
+    // most once, and saying so explicitly lets the solver's bound
+    // propagation collapse the mismatch-tag case splits instead of
+    // searching them
+    let acyclic = ta.is_acyclic();
     for &v in &trans_vars {
         conjuncts.push(Formula::ge(LinExpr::var(v), LinExpr::zero()));
+        if acyclic {
+            conjuncts.push(Formula::le(LinExpr::var(v), LinExpr::constant(1)));
+        }
     }
 
     // φ_Init (Eq. 34)
@@ -253,8 +268,11 @@ pub fn run_from_model(
     model: &Model,
 ) -> Option<Vec<usize>> {
     let counts = encoding.transition_counts(model);
-    let edges: Vec<(usize, usize)> =
-        ta.transitions().iter().map(|t| (t.source, t.target)).collect();
+    let edges: Vec<(usize, usize)> = ta
+        .transitions()
+        .iter()
+        .map(|t| (t.source, t.target))
+        .collect();
     let mut count_vec = vec![0u64; edges.len()];
     for (&i, &c) in &counts {
         count_vec[i] = c;
@@ -262,7 +280,10 @@ pub fn run_from_model(
     let start = encoding.start_state(model)?;
     let path = reconstruct_eulerian_path(ta.num_states(), &edges, &count_vec, start)?;
     // the run must end in a final state
-    let end = path.last().map(|&i| ta.transitions()[i].target).unwrap_or(start);
+    let end = path
+        .last()
+        .map(|&i| ta.transitions()[i].target)
+        .unwrap_or(start);
     if ta.is_final(end) {
         Some(path)
     } else {
@@ -295,7 +316,7 @@ pub fn connectivity_cut(
     let mut changed = true;
     while changed {
         changed = false;
-        for (&idx, _) in &counts {
+        for &idx in counts.keys() {
             let t = &ta.transitions()[idx];
             if reachable[t.source] && !reachable[t.target] {
                 reachable[t.target] = true;
@@ -354,7 +375,10 @@ mod tests {
         let ta = len_tag(&Regex::parse("(ab)*c").unwrap().compile(), x);
         let (enc, _) = encode(&ta);
         let result = Solver::new().solve(&enc.formula);
-        assert!(result.is_sat(), "PF of a non-empty language must be satisfiable");
+        assert!(
+            result.is_sat(),
+            "PF of a non-empty language must be satisfiable"
+        );
         let model = result.model().unwrap();
         let run = run_from_model(&ta, &enc, model).expect("run reconstruction");
         assert!(!run.is_empty());
@@ -477,8 +501,11 @@ mod tests {
         ta.add_transition(q1, [Tag::Length(x)], q2);
         ta.add_transition(q2, [Tag::Length(x)], q1);
         let mut pool = VarPool::new();
-        let options =
-            ParikhOptions { prefix: "pf", tag_filter: &|_| true, connectivity: false };
+        let options = ParikhOptions {
+            prefix: "pf",
+            tag_filter: &|_| true,
+            connectivity: false,
+        };
         let enc = parikh_tag_formula(&ta, &mut pool, &options);
         let mut phi = Formula::and(vec![
             enc.formula.clone(),
@@ -487,16 +514,14 @@ mod tests {
         let mut cuts = 0;
         loop {
             match Solver::new().solve(&phi) {
-                SolverResult::Sat(model) => {
-                    match connectivity_cut(&ta, &enc, &model) {
-                        Some(cut) => {
-                            cuts += 1;
-                            assert!(cuts <= 5, "cut loop should converge quickly");
-                            phi = Formula::and(vec![phi, cut]);
-                        }
-                        None => panic!("phantom-cycle model must be detected as disconnected"),
+                SolverResult::Sat(model) => match connectivity_cut(&ta, &enc, &model) {
+                    Some(cut) => {
+                        cuts += 1;
+                        assert!(cuts <= 5, "cut loop should converge quickly");
+                        phi = Formula::and(vec![phi, cut]);
                     }
-                }
+                    None => panic!("phantom-cycle model must be detected as disconnected"),
+                },
                 SolverResult::Unsat => break,
                 other => panic!("unexpected {other:?}"),
             }
@@ -510,8 +535,11 @@ mod tests {
         let x = vars.intern("x");
         let ta = len_tag(&Regex::parse("(ab)*c").unwrap().compile(), x);
         let mut pool = VarPool::new();
-        let options =
-            ParikhOptions { prefix: "pf", tag_filter: &|_| true, connectivity: false };
+        let options = ParikhOptions {
+            prefix: "pf",
+            tag_filter: &|_| true,
+            connectivity: false,
+        };
         let enc = parikh_tag_formula(&ta, &mut pool, &options);
         match Solver::new().solve(&enc.formula) {
             SolverResult::Sat(model) => {

@@ -77,8 +77,14 @@ pub fn encode_naive(
     vars: &VarTable,
     pool: &mut VarPool,
 ) -> NaiveEncoding {
-    let k = constraints.iter().filter(|c| c.kind.needs_mismatch()).count();
-    assert!(k <= 3, "naive enumeration beyond 3 constraints is intentionally unsupported");
+    let k = constraints
+        .iter()
+        .filter(|c| c.kind.needs_mismatch())
+        .count();
+    assert!(
+        k <= 3,
+        "naive enumeration beyond 3 constraints is intentionally unsupported"
+    );
     let encoder = SystemEncoder::new(automata, vars);
     let orders = mismatch_orders(k);
     let mut per_order = Vec::new();
@@ -91,21 +97,31 @@ pub fn encode_naive(
         total += encoding.formula.size() + restriction.size();
         per_order.push((order, encoding, restriction));
     }
-    NaiveEncoding { per_order, total_formula_size: total }
+    NaiveEncoding {
+        per_order,
+        total_formula_size: total,
+    }
 }
 
 /// The restriction formula for one order: at level `i` only the designated
 /// constraint/side may sample a mismatch, and copy tags are forbidden
 /// entirely (the naive construction has no sharing).
 fn order_restriction(encoding: &SystemEncoding, order: &MismatchOrder) -> Formula {
-    let Some(parikh) = &encoding.parikh else { return Formula::True };
+    let Some(parikh) = &encoding.parikh else {
+        return Formula::True;
+    };
     let mut conjuncts = Vec::new();
     for (tag, &var) in &parikh.tag_vars {
         match tag {
-            Tag::Mismatch { level, constraint, side, .. } => {
+            Tag::Mismatch {
+                level,
+                constraint,
+                side,
+                ..
+            } => {
                 let allowed = order
                     .get(*level - 1)
-                    .map_or(false, |&(d, s)| d == *constraint && s == *side);
+                    .is_some_and(|&(d, s)| d == *constraint && s == *side);
                 if !allowed {
                     conjuncts.push(Formula::eq(LinExpr::var(var), LinExpr::zero()));
                 }
@@ -124,8 +140,11 @@ fn order_restriction(encoding: &SystemEncoding, order: &MismatchOrder) -> Formul
 pub fn solve_naive(encoding: &NaiveEncoding, extra: &Formula, solver: &Solver) -> SolverResult {
     let mut saw_unknown = false;
     for (_, system, restriction) in &encoding.per_order {
-        let mut formula =
-            Formula::and(vec![system.formula.clone(), restriction.clone(), extra.clone()]);
+        let mut formula = Formula::and(vec![
+            system.formula.clone(),
+            restriction.clone(),
+            extra.clone(),
+        ]);
         let mut iterations = 0;
         loop {
             iterations += 1;
@@ -187,8 +206,10 @@ mod tests {
             PositionConstraint::diseq(vec![ids[1]], vec![ids[0]]),
         ];
         let mut pool = VarPool::new();
-        let polynomial =
-            SystemEncoder::new(&automata, &vars).encode(&constraints, &mut pool).formula.size();
+        let polynomial = SystemEncoder::new(&automata, &vars)
+            .encode(&constraints, &mut pool)
+            .formula
+            .size();
         let mut pool2 = VarPool::new();
         let naive = encode_naive(&constraints, &automata, &vars, &mut pool2);
         assert_eq!(naive.per_order.len(), 24);

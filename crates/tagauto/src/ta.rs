@@ -86,9 +86,18 @@ impl TagAutomaton {
     ///
     /// # Panics
     /// Panics if either state is out of bounds.
-    pub fn add_transition<I: IntoIterator<Item = Tag>>(&mut self, source: usize, tags: I, target: usize) {
+    pub fn add_transition<I: IntoIterator<Item = Tag>>(
+        &mut self,
+        source: usize,
+        tags: I,
+        target: usize,
+    ) {
         assert!(source < self.num_states && target < self.num_states);
-        self.transitions.push(TaTransition { source, tags: tags.into_iter().collect(), target });
+        self.transitions.push(TaTransition {
+            source,
+            tags: tags.into_iter().collect(),
+            target,
+        });
     }
 
     /// The transition table.
@@ -113,7 +122,36 @@ impl TagAutomaton {
 
     /// All tags occurring on some transition.
     pub fn tag_alphabet(&self) -> BTreeSet<Tag> {
-        self.transitions.iter().flat_map(|t| t.tags.iter().copied()).collect()
+        self.transitions
+            .iter()
+            .flat_map(|t| t.tags.iter().copied())
+            .collect()
+    }
+
+    /// `true` if the transition graph has no cycle.  Acyclic automata accept
+    /// only finitely many runs, and a unit flow over a DAG takes every
+    /// transition at most once — the Parikh encoding exploits this with
+    /// per-transition upper bounds.
+    pub fn is_acyclic(&self) -> bool {
+        // Kahn's algorithm: the graph is acyclic iff every state drains
+        let mut indegree = vec![0usize; self.num_states];
+        let mut successors: Vec<Vec<usize>> = vec![Vec::new(); self.num_states];
+        for t in &self.transitions {
+            indegree[t.target] += 1;
+            successors[t.source].push(t.target);
+        }
+        let mut queue: Vec<usize> = (0..self.num_states).filter(|&q| indegree[q] == 0).collect();
+        let mut drained = 0usize;
+        while let Some(q) = queue.pop() {
+            drained += 1;
+            for &target in &successors[q] {
+                indegree[target] -= 1;
+                if indegree[target] == 0 {
+                    queue.push(target);
+                }
+            }
+        }
+        drained == self.num_states
     }
 
     /// Renders the automaton with variable names from a table (debugging).
@@ -124,7 +162,10 @@ impl TagAutomaton {
                 writeln!(
                     f,
                     "TA: {} states, {} transitions, I={:?}, F={:?}",
-                    self.0.num_states, self.0.transitions.len(), self.0.initial, self.0.finals
+                    self.0.num_states,
+                    self.0.transitions.len(),
+                    self.0.initial,
+                    self.0.finals
                 )?;
                 for t in &self.0.transitions {
                     write!(f, "  q{} --{{", t.source)?;
@@ -225,7 +266,10 @@ impl Concatenation {
 /// Panics if `vars` is empty, if a variable has no automaton in `automata`,
 /// or if an automaton contains ε-transitions.
 pub fn concatenate(vars: &[StrVar], automata: &BTreeMap<StrVar, Nfa>) -> Concatenation {
-    assert!(!vars.is_empty(), "cannot concatenate an empty list of variables");
+    assert!(
+        !vars.is_empty(),
+        "cannot concatenate an empty list of variables"
+    );
     let mut ta = TagAutomaton::new();
     let mut blocks = Vec::new();
     let mut prev_finals: Vec<usize> = Vec::new();
@@ -235,7 +279,11 @@ pub fn concatenate(vars: &[StrVar], automata: &BTreeMap<StrVar, Nfa>) -> Concate
             .unwrap_or_else(|| panic!("no automaton registered for variable {var}"));
         assert!(!nfa.has_epsilon(), "concatenate requires ε-free automata");
         let offset = ta.add_states(nfa.num_states());
-        blocks.push(VariableBlock { var, state_offset: offset, num_states: nfa.num_states() });
+        blocks.push(VariableBlock {
+            var,
+            state_offset: offset,
+            num_states: nfa.num_states(),
+        });
         for t in nfa.transitions() {
             ta.add_transition(
                 offset + t.source.index(),
@@ -243,8 +291,16 @@ pub fn concatenate(vars: &[StrVar], automata: &BTreeMap<StrVar, Nfa>) -> Concate
                 offset + t.target.index(),
             );
         }
-        let initials: Vec<usize> = nfa.initial_states().iter().map(|q| offset + q.index()).collect();
-        let finals: Vec<usize> = nfa.final_states().iter().map(|q| offset + q.index()).collect();
+        let initials: Vec<usize> = nfa
+            .initial_states()
+            .iter()
+            .map(|q| offset + q.index())
+            .collect();
+        let finals: Vec<usize> = nfa
+            .final_states()
+            .iter()
+            .map(|q| offset + q.index())
+            .collect();
         if idx == 0 {
             for &q in &initials {
                 ta.add_initial(q);
@@ -319,7 +375,12 @@ mod tests {
         assert!(!concat.precedes(y, x));
         assert_eq!(concat.order_index(x), Some(0));
         // the ε connector transitions carry no tags
-        let untagged = concat.ta.transitions().iter().filter(|t| t.tags.is_empty()).count();
+        let untagged = concat
+            .ta
+            .transitions()
+            .iter()
+            .filter(|t| t.tags.is_empty())
+            .count();
         assert!(untagged >= 1);
         // every state belongs to some block
         for q in 0..concat.ta.num_states() {
@@ -350,7 +411,10 @@ mod tests {
         let ta = len_tag(&nfa, x);
         let alphabet = ta.tag_alphabet();
         assert!(alphabet.contains(&Tag::Length(x)));
-        assert_eq!(alphabet.iter().filter(|t| t.as_symbol().is_some()).count(), 2);
+        assert_eq!(
+            alphabet.iter().filter(|t| t.as_symbol().is_some()).count(),
+            2
+        );
     }
 
     #[test]

@@ -190,12 +190,23 @@ impl Tag {
                     Tag::Position { level, var } => {
                         write!(f, "⟨P{level},{}⟩", self.1.name(*var))
                     }
-                    Tag::Mismatch { level, var, constraint, side, symbol } => write!(
+                    Tag::Mismatch {
+                        level,
+                        var,
+                        constraint,
+                        side,
+                        symbol,
+                    } => write!(
                         f,
                         "⟨M{level},{},D{constraint},{side},{symbol}⟩",
                         self.1.name(*var)
                     ),
-                    Tag::Copy { level, var, constraint, side } => {
+                    Tag::Copy {
+                        level,
+                        var,
+                        constraint,
+                        side,
+                    } => {
                         write!(f, "⟨C{level},{},D{constraint},{side}⟩", self.1.name(*var))
                     }
                 }

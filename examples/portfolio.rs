@@ -1,0 +1,114 @@
+//! End-to-end portfolio demo: solves a generated multi-family batch both
+//! sequentially (the paper's pipeline, one problem at a time) and through
+//! the concurrent portfolio batch driver, then compares verdicts and
+//! wall-clock time.
+//!
+//! Run with `cargo run --release --example portfolio -- [--count N] [--timeout-ms MS]`.
+
+use std::time::{Duration, Instant};
+
+use posr_bench::{suite, suite_names};
+use posr_core::solver::{answer_status, SolverOptions, StringSolver};
+use posr_portfolio::{solve_batch, BatchItem, BatchOptions, PortfolioSolver};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str, default: u64| -> u64 {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let count = get("--count", 25) as usize;
+    let timeout = Duration::from_millis(get("--timeout-ms", 5000));
+
+    // the four benchmark families of the paper's evaluation, `count` each
+    let mut items = Vec::new();
+    for family in suite_names() {
+        for instance in suite(family, count, 2025) {
+            items.push(BatchItem::new(instance.name, instance.formula));
+        }
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "batch: {} problems, per-problem timeout {timeout:?}, {cores} core(s)",
+        items.len()
+    );
+    if cores < 2 {
+        println!("note: racing strategies needs multiple cores to beat the sequential loop");
+    }
+
+    // sequential reference: the paper's pipeline, one problem at a time
+    let sequential_start = Instant::now();
+    let mut sequential_status = Vec::with_capacity(items.len());
+    for item in &items {
+        let options = SolverOptions {
+            deadline: Some(Instant::now() + timeout),
+            ..SolverOptions::default()
+        };
+        let answer = StringSolver::with_options(options).solve(&item.formula);
+        sequential_status.push(answer_status(&answer));
+    }
+    let sequential_time = sequential_start.elapsed();
+
+    // concurrent portfolio batch
+    let portfolio = PortfolioSolver::new();
+    let options = BatchOptions {
+        workers: 0,
+        timeout: Some(timeout),
+    };
+    let report = solve_batch(&items, &portfolio, &options);
+
+    // verdict comparison: a definite answer may never contradict the other
+    // engine; unknowns may flip either way (different resource limits)
+    let mut agreements = 0usize;
+    let mut contradictions = Vec::new();
+    let mut portfolio_decided_more = 0usize;
+    for (outcome, seq) in report.outcomes.iter().zip(&sequential_status) {
+        let par = outcome.status();
+        match (par, *seq) {
+            ("sat", "unsat") | ("unsat", "sat") => contradictions.push(outcome.name.clone()),
+            (p, s) if p == s => agreements += 1,
+            ("sat" | "unsat", "unknown") => portfolio_decided_more += 1,
+            _ => {}
+        }
+    }
+
+    println!("\n== verdicts ==");
+    println!("  agree: {agreements}/{}", report.outcomes.len());
+    println!("  portfolio decided where sequential gave up: {portfolio_decided_more}");
+    if contradictions.is_empty() {
+        println!("  contradictions: none");
+    } else {
+        println!("  CONTRADICTIONS (soundness bug!): {contradictions:?}");
+        std::process::exit(1);
+    }
+
+    println!("\n== timing ==");
+    println!("  sequential loop : {sequential_time:?}");
+    println!("  portfolio batch : {:?} wall", report.stats.wall_time);
+    println!(
+        "  batch speedup   : {:.2}x over its own summed race time, {:.2}x over the sequential loop",
+        report.stats.speedup(),
+        sequential_time.as_secs_f64() / report.stats.wall_time.as_secs_f64()
+    );
+
+    println!("\n== portfolio ==");
+    println!(
+        "  verdicts: {} sat / {} unsat / {} unknown",
+        report.stats.sat, report.stats.unsat, report.stats.unknown
+    );
+    for (strategy, wins) in &report.stats.wins {
+        println!("  wins[{strategy}] = {wins}");
+    }
+    println!(
+        "  automaton cache: {} hits / {} misses ({:.0}% reuse)",
+        report.stats.cache_hits,
+        report.stats.cache_misses,
+        100.0 * report.stats.cache_hits as f64
+            / (report.stats.cache_hits + report.stats.cache_misses).max(1) as f64
+    );
+}

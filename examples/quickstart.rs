@@ -1,17 +1,17 @@
 //! Quickstart: build a position-heavy string constraint with the builder API
 //! and solve it with the posr pipeline.
 //!
-//! Run with `cargo run -p posr-examples --bin quickstart`.
+//! Run with `cargo run --release --example quickstart`.
 
 use posr_core::ast::{StringFormula, StringTerm};
 use posr_core::solver::{answer_status, StringSolver};
 
 fn main() {
-    // x, y ∈ (ab)*, x ≠ y, and both must have the same length: the classic
-    // "else branch of a string equality test" constraint.
+    // x ∈ (ab)*, y ∈ (ba)*, x ≠ y, and both must have the same length: the
+    // classic "else branch of a string equality test" constraint.
     let formula = StringFormula::new()
         .in_re("x", "(ab)*")
-        .in_re("y", "(ab)*")
+        .in_re("y", "(ba)*")
         .diseq(StringTerm::var("x"), StringTerm::var("y"))
         .len_eq("x", "y");
 
@@ -28,5 +28,8 @@ fn main() {
         .in_re("x", "ab")
         .in_re("y", "ab")
         .diseq(StringTerm::var("x"), StringTerm::var("y"));
-    println!("singleton variant: {}", answer_status(&StringSolver::new().solve(&unsat)));
+    println!(
+        "singleton variant: {}",
+        answer_status(&StringSolver::new().solve(&unsat))
+    );
 }

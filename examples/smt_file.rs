@@ -1,7 +1,7 @@
 //! Solve an SMT-LIB-flavoured problem, either from a file given on the
 //! command line or from a built-in example.
 //!
-//! Run with `cargo run -p posr-examples --bin smt_file -- [path.smt2]`.
+//! Run with `cargo run --release --example smt_file -- [path.smt2]`.
 
 use posr_core::solver::{answer_status, StringSolver};
 use posr_smtfmt::parse_script;
@@ -11,7 +11,7 @@ const BUILT_IN: &str = r#"
 (declare-const x String)
 (declare-const y String)
 (assert (str.in_re x (re.* (str.to_re "ab"))))
-(assert (str.in_re y (re.* (str.to_re "ab"))))
+(assert (str.in_re y (re.* (str.to_re "ba"))))
 (assert (not (= x y)))
 (assert (= (str.len x) (str.len y)))
 (check-sat)

@@ -2,7 +2,7 @@
 //! program path that validates a user name, with the else-branches of string
 //! equality tests showing up as disequalities.
 //!
-//! Run with `cargo run -p posr-examples --bin symbolic_execution`.
+//! Run with `cargo run --release --example symbolic_execution`.
 
 use posr_core::ast::{LenCmp, LenTerm, StringFormula, StringTerm};
 use posr_core::solver::{answer_status, StringSolver};
@@ -34,5 +34,8 @@ fn main() {
     let dead = StringFormula::new()
         .in_re("username", "root")
         .diseq(StringTerm::var("username"), StringTerm::lit("root"));
-    println!("dead branch check: {}", answer_status(&StringSolver::new().solve(&dead)));
+    println!(
+        "dead branch check: {}",
+        answer_status(&StringSolver::new().solve(&dead))
+    );
 }

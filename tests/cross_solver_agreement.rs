@@ -6,8 +6,8 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-use posr_bench::{run_suite, suite, suite_names};
 use posr_bench::runner::{contradictions, SolverKind};
+use posr_bench::{run_suite, suite, suite_names};
 use posr_core::ast::{StringFormula, StringTerm};
 use posr_core::solver::StringSolver;
 use posr_tagauto::onecounter_diseq::single_diseq_satisfiable;
@@ -19,7 +19,11 @@ fn no_contradictions_on_benchmark_samples() {
         let instances = suite(name, 3, 99);
         let results = run_suite(
             &instances,
-            &[SolverKind::TagPos, SolverKind::Enumeration, SolverKind::LengthAbstraction],
+            &[
+                SolverKind::TagPos,
+                SolverKind::Enumeration,
+                SolverKind::LengthAbstraction,
+            ],
             Duration::from_secs(20),
         );
         let bad = contradictions(&results);

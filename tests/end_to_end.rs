@@ -22,10 +22,12 @@ fn assert_unsat(formula: &StringFormula) {
 
 #[test]
 fn disequality_with_length_coupling() {
+    // x ∈ (ab)*, y ∈ (ba)*: satisfiable via x = "ab", y = "ba"; with (ab)*
+    // on both sides equal lengths would force equal words
     assert_sat(
         &StringFormula::new()
             .in_re("x", "(ab)*")
-            .in_re("y", "(ab)*")
+            .in_re("y", "(ba)*")
             .diseq(StringTerm::var("x"), StringTerm::var("y"))
             .len_eq("x", "y"),
     );
@@ -45,20 +47,30 @@ fn disequality_of_fixed_equal_words_is_unsat() {
 fn commuting_concatenations_unsat() {
     let x = StringTerm::var("x");
     let y = StringTerm::var("y");
-    assert_unsat(&StringFormula::new().in_re("x", "a*").in_re("y", "a*").diseq(
-        StringTerm::concat(vec![x.clone(), y.clone()]),
-        StringTerm::concat(vec![y, x]),
-    ));
+    assert_unsat(
+        &StringFormula::new()
+            .in_re("x", "a*")
+            .in_re("y", "a*")
+            .diseq(
+                StringTerm::concat(vec![x.clone(), y.clone()]),
+                StringTerm::concat(vec![y, x]),
+            ),
+    );
 }
 
 #[test]
 fn non_commuting_concatenations_sat() {
     let x = StringTerm::var("x");
     let y = StringTerm::var("y");
-    assert_sat(&StringFormula::new().in_re("x", "(ab)+").in_re("y", "(ba)+").diseq(
-        StringTerm::concat(vec![x.clone(), y.clone()]),
-        StringTerm::concat(vec![y, x]),
-    ));
+    assert_sat(
+        &StringFormula::new()
+            .in_re("x", "(ab)+")
+            .in_re("y", "(ba)+")
+            .diseq(
+                StringTerm::concat(vec![x.clone(), y.clone()]),
+                StringTerm::concat(vec![y, x]),
+            ),
+    );
 }
 
 #[test]
