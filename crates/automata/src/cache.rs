@@ -25,6 +25,7 @@ use crate::regex::{ParseRegexError, Regex};
 
 static COMPILED: OnceLock<Mutex<HashMap<String, Arc<Nfa>>>> = OnceLock::new();
 static PREPARED: OnceLock<Mutex<HashMap<String, Arc<Nfa>>>> = OnceLock::new();
+static PREPARED_BY_CONTENT: OnceLock<Mutex<HashMap<String, Arc<Nfa>>>> = OnceLock::new();
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 
@@ -92,6 +93,39 @@ pub fn prepared_cached(pattern: &str) -> Result<Arc<Nfa>, ParseRegexError> {
     })
 }
 
+/// The ε-free, trimmed form of an arbitrary automaton, keyed by the
+/// automaton's *content* ([`Nfa::cache_key`]) rather than a pattern string.
+///
+/// This is what deduplicates the per-case intersections of the monadic
+/// decomposition: every case of `solve_position` re-prepares its refined
+/// languages, and across cases (and across portfolio strategies racing the
+/// same formula, and across CEGAR rounds re-entering the procedure) most of
+/// those intersections are structurally identical.  The pattern-keyed
+/// [`prepared_cached`] cannot see them — they have no pattern — so they are
+/// interned by canonical structure instead.
+pub fn prepared_for(nfa: &Nfa) -> Arc<Nfa> {
+    /// Unlike the pattern-keyed stores (bounded by the distinct patterns a
+    /// workload uses), content keys of unrelated queries rarely recur, so a
+    /// long-running server would grow this map without bound.  Past the cap
+    /// the result is still computed, just not interned.
+    const MAX_ENTRIES: usize = 8_192;
+
+    let key = nfa.cache_key();
+    let map = PREPARED_BY_CONTENT.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(hit) = map.lock().expect("automaton cache poisoned").get(&key) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return Arc::clone(hit);
+    }
+    // build outside the lock (see `lookup` for the rationale)
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    let built = Arc::new(nfa.remove_epsilon().trim());
+    let mut guard = map.lock().expect("automaton cache poisoned");
+    if guard.len() >= MAX_ENTRIES && !guard.contains_key(&key) {
+        return built;
+    }
+    Arc::clone(guard.entry(key).or_insert(built))
+}
+
 /// Current hit/miss counters (cumulative since process start or the last
 /// [`reset_stats`]).
 pub fn stats() -> CacheStats {
@@ -111,7 +145,7 @@ pub fn reset_stats() {
 /// Drops every cached automaton and resets the counters.  Only tests and
 /// long-running servers with pattern churn should need this.
 pub fn clear() {
-    for store in [&COMPILED, &PREPARED] {
+    for store in [&COMPILED, &PREPARED, &PREPARED_BY_CONTENT] {
         if let Some(map) = store.get() {
             map.lock().expect("automaton cache poisoned").clear();
         }
@@ -145,6 +179,23 @@ mod tests {
     fn parse_errors_are_reported_not_cached() {
         assert!(compile_cached("(unclosed").is_err());
         assert!(prepared_cached("(unclosed").is_err());
+    }
+
+    #[test]
+    fn content_keyed_preparation_is_shared() {
+        let a = Regex::parse("(ab)+content-test").unwrap().compile();
+        let b = Regex::parse("(ab)+content-test").unwrap().compile();
+        // two separately compiled (structurally identical) automata prepare
+        // to the same shared instance
+        let pa = prepared_for(&a);
+        let pb = prepared_for(&b);
+        assert!(Arc::ptr_eq(&pa, &pb));
+        assert!(pa.accepts_str("abcontent-test"));
+        assert!(!pa.has_epsilon());
+        // a different automaton gets a different entry
+        let c = Regex::parse("(ba)+content-test").unwrap().compile();
+        let pc = prepared_for(&c);
+        assert!(!Arc::ptr_eq(&pa, &pc));
     }
 
     #[test]

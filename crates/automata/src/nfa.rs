@@ -460,6 +460,32 @@ impl Nfa {
         out.trim()
     }
 
+    /// A canonical content fingerprint: two automata with the same states,
+    /// initial/final sets and transition multiset (in any insertion order)
+    /// produce the same key.  Used by the content-keyed preparation cache
+    /// (`posr-automata::cache::prepared_for`) to intern the per-case
+    /// intersection automata of the monadic decomposition, which have no
+    /// pattern string to key on.
+    pub fn cache_key(&self) -> String {
+        use std::fmt::Write;
+        let mut transitions: Vec<Transition> = self.transitions.clone();
+        transitions.sort_unstable();
+        let mut key = String::with_capacity(16 + 8 * transitions.len());
+        let _ = write!(key, "n{};i", self.num_states);
+        for q in &self.initial {
+            let _ = write!(key, ",{}", q.0);
+        }
+        key.push_str(";f");
+        for q in &self.finals {
+            let _ = write!(key, ",{}", q.0);
+        }
+        key.push_str(";t");
+        for t in &transitions {
+            let _ = write!(key, ",{}:{}:{}", t.source.0, t.symbol.0, t.target.0);
+        }
+        key
+    }
+
     /// Renames all states by shifting them by `offset`; used when gluing
     /// automata with disjoint state spaces.
     pub fn shift_states(&self, offset: usize) -> Nfa {

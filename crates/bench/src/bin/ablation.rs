@@ -1,17 +1,132 @@
-//! Ablation experiment E4: encoding sizes of the polynomial copy-tag
-//! construction vs. the naive mismatch-order enumeration, and the PTime
-//! one-counter procedure vs. the LIA encoding for a single disequality.
+//! Ablation experiments: encoding sizes of the polynomial copy-tag
+//! construction vs. the naive mismatch-order enumeration, the PTime
+//! one-counter procedure vs. the LIA encoding for a single disequality,
+//! and the CDCL(T) vs. structural LIA engine comparison on the flagship
+//! instance set.
+//!
+//! The engine comparison doubles as the CI smoke gate: the binary exits
+//! non-zero unless the CDCL engine decides every flagship instance with
+//! the expected verdict, and writes the comparison table to
+//! `target/ablation-report.md` (override with `POSR_ABLATION_REPORT`) for
+//! upload as a build artifact.
 
 use std::collections::BTreeMap;
-use std::time::Instant;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
 
 use posr_automata::Regex;
+use posr_core::ast::{StringFormula, StringTerm};
+use posr_core::solver::{answer_status, SolverOptions, StringSolver};
+use posr_lia::solver::SearchEngine;
 use posr_lia::term::VarPool;
 use posr_tagauto::diseq_simple::encode_simple_diseq;
 use posr_tagauto::onecounter_diseq::single_diseq_satisfiable;
 use posr_tagauto::system::{PositionConstraint, SystemEncoder};
 use posr_tagauto::system_naive::encode_naive;
 use posr_tagauto::tags::VarTable;
+
+/// Per-instance wall clock of the engine comparison.
+const ENGINE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// The flagship instance set: the loopy diseq+length family the CDCL(T)
+/// rewrite exists to close, plus sat twins guarding against over-pruning.
+fn flagship_instances() -> Vec<(&'static str, StringFormula, &'static str)> {
+    vec![
+        (
+            "loopy-diseq-eqlen-unsat",
+            StringFormula::new()
+                .in_re("x", "(ab)*")
+                .in_re("y", "(ab)*")
+                .diseq(StringTerm::var("x"), StringTerm::var("y"))
+                .len_eq("x", "y"),
+            "unsat",
+        ),
+        (
+            "loopy-diseq-eqlen-sat",
+            StringFormula::new()
+                .in_re("x", "(ab)*")
+                .in_re("y", "(ba)*")
+                .diseq(StringTerm::var("x"), StringTerm::var("y"))
+                .len_eq("x", "y"),
+            "sat",
+        ),
+        (
+            "k2-diseq-system-unsat",
+            StringFormula::new()
+                .in_re("x", "a")
+                .in_re("y", "a")
+                .in_re("z", "a|b")
+                .diseq(StringTerm::var("x"), StringTerm::var("y"))
+                .diseq(StringTerm::var("z"), StringTerm::var("y")),
+            "unsat",
+        ),
+        (
+            "k2-diseq-system-sat",
+            StringFormula::new()
+                .in_re("x", "a|b")
+                .in_re("y", "a")
+                .in_re("z", "a")
+                .diseq(StringTerm::var("x"), StringTerm::var("y"))
+                .diseq(StringTerm::var("x"), StringTerm::var("z")),
+            "sat",
+        ),
+        (
+            "xy-yx-commutation-unsat",
+            StringFormula::new()
+                .in_re("x", "a*")
+                .in_re("y", "a*")
+                .diseq(
+                    StringTerm::concat(vec![StringTerm::var("x"), StringTerm::var("y")]),
+                    StringTerm::concat(vec![StringTerm::var("y"), StringTerm::var("x")]),
+                ),
+            "unsat",
+        ),
+    ]
+}
+
+fn solve_with_engine(formula: &StringFormula, engine: SearchEngine) -> (&'static str, Duration) {
+    let start = Instant::now();
+    let mut options = SolverOptions {
+        deadline: Some(start + ENGINE_TIMEOUT),
+        ..SolverOptions::default()
+    };
+    options.position.lia.engine = engine;
+    let answer = StringSolver::with_options(options).solve(formula);
+    (answer_status(&answer), start.elapsed())
+}
+
+/// Runs the engine comparison; returns the markdown report and whether the
+/// CDCL engine got every expected verdict.
+fn engine_comparison() -> (String, bool) {
+    let mut report = String::new();
+    let _ = writeln!(report, "# Engine comparison: CDCL(T) vs structural DPLL(T)");
+    let _ = writeln!(report);
+    let _ = writeln!(
+        report,
+        "| instance | expected | cdcl | cdcl time | structural | structural time |"
+    );
+    let _ = writeln!(report, "|---|---|---|---|---|---|");
+    let mut all_ok = true;
+    for (name, formula, expected) in flagship_instances() {
+        let (cdcl_status, cdcl_time) = solve_with_engine(&formula, SearchEngine::Cdcl);
+        let (structural_status, structural_time) =
+            solve_with_engine(&formula, SearchEngine::Structural);
+        let ok = cdcl_status == expected;
+        all_ok &= ok;
+        let _ = writeln!(
+            report,
+            "| {name} | {expected} | {cdcl_status}{} | {cdcl_time:.2?} | {structural_status} | {structural_time:.2?} |",
+            if ok { "" } else { " ❌" },
+        );
+    }
+    let _ = writeln!(report);
+    let _ = writeln!(
+        report,
+        "CDCL verdicts {} the expected ones.",
+        if all_ok { "match" } else { "DO NOT match" }
+    );
+    (report, all_ok)
+}
 
 fn main() {
     println!("== encoding size: polynomial copy-tag construction vs naive order enumeration ==");
@@ -74,5 +189,23 @@ fn main() {
             "x ∈ {rx:8} y ∈ {ry:8}: one-counter {oca_answer} in {oca_time:?}, LIA encoding {lia_answer} in {lia_time:?} (formula size {})",
             encoding.formula.size()
         );
+    }
+
+    println!();
+    println!("== LIA engine comparison on the flagship instance set ==");
+    let (report, all_ok) = engine_comparison();
+    println!("{report}");
+    let path = std::env::var("POSR_ABLATION_REPORT")
+        .unwrap_or_else(|_| "target/ablation-report.md".to_string());
+    if let Some(parent) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(&path, &report) {
+        Ok(()) => println!("report written to {path}"),
+        Err(e) => eprintln!("could not write report to {path}: {e}"),
+    }
+    if !all_ok {
+        eprintln!("FAIL: the CDCL engine missed an expected verdict");
+        std::process::exit(1);
     }
 }

@@ -104,11 +104,16 @@ pub fn solve_position(problem: &PositionProblem<'_>, options: &PositionOptions) 
     let mut automata: BTreeMap<StrVar, Nfa> = BTreeMap::new();
     for (name, nfa) in problem.languages {
         let v = vars.intern(name);
-        let trimmed = nfa.remove_epsilon().trim();
+        // content-keyed preparation cache: the refined languages of the
+        // monadic cases are intersection automata with no pattern string,
+        // and across cases / racing strategies / CEGAR rounds the same
+        // intersections recur — `prepared_for` interns their ε-free trimmed
+        // forms process-wide instead of recomputing them per case
+        let trimmed = posr_automata::cache::prepared_for(nfa);
         if trimmed.is_empty_language() {
             return PositionOutcome::Unsat;
         }
-        automata.insert(v, trimmed);
+        automata.insert(v, (*trimmed).clone());
     }
 
     // short-witness sampling before any encoding work; `Sat` answers from

@@ -356,6 +356,20 @@ mod tests {
     }
 
     #[test]
+    fn flagship_loopy_diseq_equal_length_unsat() {
+        // the paper's flagship unsat instance: two (ab)* words of equal
+        // length are necessarily equal.  Refuting it needs the CDCL(T)
+        // engine's divisibility reasoning over the loopy Parikh flow —
+        // the seed solver resource-outed here from day one (see ROADMAP)
+        let f = StringFormula::new()
+            .in_re("x", "(ab)*")
+            .in_re("y", "(ab)*")
+            .diseq(StringTerm::var("x"), StringTerm::var("y"))
+            .len_eq("x", "y");
+        assert_eq!(StringSolver::new().solve(&f), Answer::Unsat);
+    }
+
+    #[test]
     fn diseq_of_identical_singletons_unsat() {
         let f = StringFormula::new()
             .in_re("x", "abc")

@@ -42,6 +42,14 @@ pub enum BoundOutcome {
 /// passes, and capping keeps the worst case linear.
 const MAX_ROUNDS: usize = 12;
 
+/// Bounds beyond this magnitude are not recorded: divergent cascades
+/// (`x ≥ y + 1 ∧ y ≥ x` tightens forever) would otherwise grow values
+/// geometrically under the worklist propagation until the checked `i128`
+/// arithmetic overflows.  Dropping a tightening is always sound — the
+/// interval stays valid, just looser — and real bounds of the encodings
+/// are far below this.
+pub(crate) const MAGNITUDE_LIMIT: i128 = 1 << 50;
+
 impl BoundEnv {
     /// An unconstrained environment.
     pub fn new() -> BoundEnv {
@@ -187,6 +195,9 @@ impl BoundEnv {
     }
 
     fn tighten_lo(&mut self, v: Var, value: Rat) -> Result<bool, ()> {
+        if value > Rat::from_int(MAGNITUDE_LIMIT) || value < Rat::from_int(-MAGNITUDE_LIMIT) {
+            return Ok(false);
+        }
         let tightened = match self.lo.get(&v) {
             Some(&current) if current >= value => false,
             _ => {
@@ -203,6 +214,9 @@ impl BoundEnv {
     }
 
     fn tighten_hi(&mut self, v: Var, value: Rat) -> Result<bool, ()> {
+        if value > Rat::from_int(MAGNITUDE_LIMIT) || value < Rat::from_int(-MAGNITUDE_LIMIT) {
+            return Ok(false);
+        }
         let tightened = match self.hi.get(&v) {
             Some(&current) if current <= value => false,
             _ => {
@@ -244,6 +258,26 @@ impl BoundEnv {
             }
         }
         Some(total)
+    }
+
+    /// The current interval of a single variable (`None` = unbounded side).
+    pub fn var_range(&self, v: Var) -> (Option<Rat>, Option<Rat>) {
+        (self.lo.get(&v).copied(), self.hi.get(&v).copied())
+    }
+
+    /// Variables pinned to a single integer value (`lo = hi ∈ ℤ`), used by
+    /// the divisibility refutation to substitute constants before the GCD
+    /// test.
+    pub fn fixed(&self) -> BTreeMap<Var, i128> {
+        let mut out = BTreeMap::new();
+        for (&v, &lo) in &self.lo {
+            if self.hi.get(&v) == Some(&lo) {
+                if let Some(value) = lo.to_integer() {
+                    out.insert(v, value);
+                }
+            }
+        }
+        out
     }
 
     fn term_min(&self, v: Var, c: i128) -> Option<Rat> {

@@ -1,0 +1,965 @@
+//! An iterative CDCL(T) search engine for quantifier-free LIA.
+//!
+//! This is the clause-learning successor of the recursive "structural
+//! DPLL(T)" in [`crate::solver`] (which is kept as a differential-testing
+//! oracle).  The formula is clausified by [`crate::cnf`] into an
+//! atom-indexed clause database; the search is the standard modern loop:
+//!
+//! * an **assignment trail** with decision levels and reason clauses,
+//! * **two-watched-literal** Boolean constraint propagation,
+//! * **1UIP conflict analysis** with clause learning and activity bumping,
+//! * **non-chronological backjumping** to the second-highest level of the
+//!   learned clause,
+//! * **Luby restarts** and **VSIDS-style** activity-ordered decisions with
+//!   phase saving.
+//!
+//! The theory side reuses the existing machinery with *explanations*:
+//!
+//! * every assigned theory literal contributes one bound constraint (both
+//!   polarities are exact over ℤ, see [`crate::cnf`]);
+//! * at every propagation fixpoint that added theory literals, interval
+//!   propagation ([`crate::bounds`]) and the divisibility test
+//!   ([`crate::eqelim`]) check the conjunction; refutations are narrowed to
+//!   a minimal core by [`crate::explain`] and learned as clauses, which is
+//!   what prunes the symmetric K≥2 mismatch case splits of the
+//!   tag-automaton encodings;
+//! * at the leaves (a full assignment, or every original clause already
+//!   satisfied) the simplex ([`crate::simplex`]) re-checks rational
+//!   feasibility — its Farkas certificate is the explanation — and
+//!   branch-and-bound ([`crate::intfeas`]) decides integer feasibility;
+//!   integer-only conflicts are explained by budgeted deletion
+//!   minimisation and learned.
+//!
+//! Soundness matches the structural engine: `Sat` carries a model the
+//! caller can re-validate, `Unsat` is only reported when the search space
+//! was exhausted without any resource-out, and cancellation, conflict
+//! budgets and integer resource-outs all surface as `Unknown`.
+
+use crate::bounds::{BoundEnv, BoundOutcome, ConstraintIndex};
+use crate::cancel::{CANCELLED_MSG, DEADLINE_MSG};
+use crate::cnf::{Clausifier, CnfFormula, Lit};
+use crate::explain;
+use crate::formula::Formula;
+use crate::intfeas::{solve_integer, IntFeasResult};
+use crate::simplex::{check_feasibility_with_core, SimplexConstraint};
+use crate::solver::{Model, SolverConfig, SolverResult};
+
+/// Reason index of decisions and unassigned variables.
+const NO_REASON: u32 = u32::MAX;
+
+/// Restart interval base (conflicts), scaled by the Luby sequence.
+const RESTART_BASE: u64 = 256;
+
+/// Node budget of the integer checker during explanation minimisation
+/// (failing to prove keeps the constraint — sound, just less minimal).
+const EXPLAIN_INT_BUDGET: usize = 2_000;
+
+/// Cores larger than this skip the (quadratic) deletion minimisation for
+/// the expensive checkers; the unminimised core is still a sound clause.
+const MINIMIZE_CAP: usize = 96;
+
+/// Decides a quantifier-free NNF formula with the CDCL(T) engine.
+pub fn solve_cdcl(nnf: &Formula, config: &SolverConfig) -> SolverResult {
+    let cnf = Clausifier::clausify(nnf);
+    if cnf.unsat {
+        return SolverResult::Unsat;
+    }
+    Engine::new(cnf, config).run()
+}
+
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+struct Engine<'a> {
+    config: &'a SolverConfig,
+    clauses: Vec<Clause>,
+    /// Clauses `0..num_original` came from the input formula; the rest are
+    /// learned (implied), so satisfaction of the original set suffices for
+    /// the early-Sat check.
+    num_original: usize,
+    /// `watches[lit.code()]`: indices of clauses currently watching `lit`.
+    watches: Vec<Vec<u32>>,
+    /// Assignment per variable: 0 unassigned, 1 true, -1 false.
+    assign: Vec<i8>,
+    level: Vec<u32>,
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    /// Per-literal theory constraint (pre-built once).
+    lit_constraint: Vec<Option<SimplexConstraint>>,
+    /// Constraints of the assigned theory literals, in trail order.
+    theory_stack: Vec<SimplexConstraint>,
+    /// The literals the `theory_stack` entries came from (parallel).
+    theory_lits: Vec<Lit>,
+    /// Prefix length of `theory_stack` known bound- and GCD-consistent.
+    theory_checked: usize,
+    /// Interval environment of `theory_stack[..theory_checked]`, updated
+    /// incrementally as the trail grows.
+    cur_env: BoundEnv,
+    /// Per decision level: `(theory_checked, cur_env)` at decision time,
+    /// restored on backjump so the environment never has to be rebuilt.
+    env_snapshots: Vec<(usize, BoundEnv)>,
+    /// Prefix length known rationally feasible.
+    simplex_checked: usize,
+    // VSIDS
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: VarHeap,
+    phase: Vec<bool>,
+    seen: Vec<bool>,
+    conflicts: u64,
+    restarts: u64,
+    decisions: u64,
+    bound_checks: u64,
+    simplex_checks: u64,
+    final_checks: u64,
+    bound_time: std::time::Duration,
+    gcd_time: std::time::Duration,
+    simplex_time: std::time::Duration,
+    explain_time: std::time::Duration,
+    saw_resource_out: bool,
+    cancelled: bool,
+    stats: bool,
+}
+
+enum Step {
+    /// A conflicting set of currently-false literals.
+    Conflict(Vec<Lit>),
+    Ok,
+}
+
+impl<'a> Engine<'a> {
+    fn new(cnf: CnfFormula, config: &'a SolverConfig) -> Engine<'a> {
+        let n = cnf.num_vars;
+        let mut lit_constraint = Vec::with_capacity(2 * n);
+        for var in 0..n {
+            for lit in [Lit::positive(var), Lit::negative(var)] {
+                debug_assert_eq!(lit.code(), lit_constraint.len());
+                lit_constraint.push(cnf.constraint_of(lit));
+            }
+        }
+        let mut engine = Engine {
+            config,
+            clauses: Vec::with_capacity(cnf.clauses.len()),
+            num_original: 0,
+            watches: vec![Vec::new(); 2 * n],
+            assign: vec![0; n],
+            level: vec![0; n],
+            reason: vec![NO_REASON; n],
+            trail: Vec::with_capacity(n),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            lit_constraint,
+            theory_stack: Vec::new(),
+            theory_lits: Vec::new(),
+            theory_checked: 0,
+            cur_env: BoundEnv::new(),
+            env_snapshots: Vec::new(),
+            simplex_checked: 0,
+            activity: vec![0.0; n],
+            var_inc: 1.0,
+            heap: VarHeap::new(n),
+            // initial phase `true`: deciding a gate true drives its
+            // Plaisted–Greenbaum definition towards satisfaction, which is
+            // what the early-Sat check needs; phase saving adapts from there
+            phase: vec![true; n],
+            seen: vec![false; n],
+            conflicts: 0,
+            restarts: 0,
+            decisions: 0,
+            bound_checks: 0,
+            simplex_checks: 0,
+            final_checks: 0,
+            bound_time: std::time::Duration::ZERO,
+            gcd_time: std::time::Duration::ZERO,
+            simplex_time: std::time::Duration::ZERO,
+            explain_time: std::time::Duration::ZERO,
+            saw_resource_out: false,
+            cancelled: false,
+            stats: std::env::var_os("POSR_CDCL_STATS").is_some(),
+        };
+        let mut root_conflict = false;
+        for lits in cnf.clauses {
+            match lits.len() {
+                0 => root_conflict = true,
+                1 => {
+                    if !engine.enqueue_root(lits[0]) {
+                        root_conflict = true;
+                    }
+                }
+                _ => {
+                    engine.attach(Clause { lits });
+                }
+            }
+        }
+        engine.num_original = engine.clauses.len();
+        if root_conflict {
+            // poison the propagation queue: `propagate` reports an empty
+            // conflict at level 0, which `run` turns into Unsat
+            engine.qhead = usize::MAX;
+        }
+        engine
+    }
+
+    /// `true` when every *original* clause has a true literal: the
+    /// remaining unassigned variables are don't-cares, so the current
+    /// theory conjunction already decides the formula (learned clauses are
+    /// implied and need not be consulted).  This is what lets satisfiable
+    /// encodings finish without enumerating the thousands of irrelevant
+    /// gate variables.
+    fn original_clauses_satisfied(&self) -> bool {
+        self.clauses[..self.num_original]
+            .iter()
+            .all(|c| c.lits.iter().any(|&l| self.value(l) == 1))
+    }
+
+    fn value(&self, lit: Lit) -> i8 {
+        let a = self.assign[lit.var()];
+        if lit.is_positive() {
+            a
+        } else {
+            -a
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn attach(&mut self, clause: Clause) -> u32 {
+        debug_assert!(clause.lits.len() >= 2);
+        let idx = self.clauses.len() as u32;
+        self.watches[clause.lits[0].code()].push(idx);
+        self.watches[clause.lits[1].code()].push(idx);
+        self.clauses.push(clause);
+        idx
+    }
+
+    /// Enqueues a root-level literal; `false` on immediate contradiction.
+    fn enqueue_root(&mut self, lit: Lit) -> bool {
+        match self.value(lit) {
+            1 => true,
+            -1 => false,
+            _ => {
+                self.enqueue(lit, NO_REASON);
+                true
+            }
+        }
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: u32) {
+        debug_assert_eq!(self.value(lit), 0);
+        let var = lit.var();
+        self.assign[var] = if lit.is_positive() { 1 } else { -1 };
+        self.level[var] = self.decision_level();
+        self.reason[var] = reason;
+        self.trail.push(lit);
+        if let Some(c) = &self.lit_constraint[lit.code()] {
+            self.theory_stack.push(c.clone());
+            self.theory_lits.push(lit);
+        }
+    }
+
+    /// Backtracks to `target` decision level, saving phases.
+    fn cancel_until(&mut self, target: u32) {
+        if self.decision_level() <= target {
+            return;
+        }
+        let keep = self.trail_lim[target as usize];
+        for i in (keep..self.trail.len()).rev() {
+            let lit = self.trail[i];
+            let var = lit.var();
+            self.phase[var] = lit.is_positive();
+            self.assign[var] = 0;
+            self.reason[var] = NO_REASON;
+            self.heap.insert(var, &self.activity);
+            if self.lit_constraint[lit.code()].is_some() {
+                self.theory_stack.pop();
+                self.theory_lits.pop();
+            }
+        }
+        self.trail.truncate(keep);
+        self.trail_lim.truncate(target as usize);
+        self.qhead = keep;
+        let (checked, env) = self.env_snapshots[target as usize].clone();
+        self.env_snapshots.truncate(target as usize);
+        self.theory_checked = checked;
+        self.cur_env = env;
+        self.simplex_checked = self.simplex_checked.min(self.theory_stack.len());
+    }
+
+    /// Two-watched-literal propagation to fixpoint.
+    fn propagate(&mut self) -> Step {
+        if self.qhead == usize::MAX {
+            return Step::Conflict(Vec::new()); // poisoned: root conflict
+        }
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let np = p.negate(); // this literal just became false
+            let mut ws = std::mem::take(&mut self.watches[np.code()]);
+            let mut i = 0;
+            'clauses: while i < ws.len() {
+                let ci = ws[i] as usize;
+                // normalise: the false watch sits at position 1
+                if self.clauses[ci].lits[0] == np {
+                    self.clauses[ci].lits.swap(0, 1);
+                }
+                let first = self.clauses[ci].lits[0];
+                if self.value(first) == 1 {
+                    i += 1;
+                    continue;
+                }
+                for k in 2..self.clauses[ci].lits.len() {
+                    if self.value(self.clauses[ci].lits[k]) != -1 {
+                        self.clauses[ci].lits.swap(1, k);
+                        let new_watch = self.clauses[ci].lits[1];
+                        self.watches[new_watch.code()].push(ws[i]);
+                        ws.swap_remove(i);
+                        continue 'clauses;
+                    }
+                }
+                // no replacement: unit or conflict
+                if self.value(first) == -1 {
+                    let conflict = self.clauses[ci].lits.clone();
+                    self.watches[np.code()] = ws;
+                    self.qhead = self.trail.len();
+                    return Step::Conflict(conflict);
+                }
+                self.enqueue(first, ws[i]);
+                i += 1;
+            }
+            self.watches[np.code()] = ws;
+        }
+        Step::Ok
+    }
+
+    /// Checks the theory at a propagation fixpoint: *incremental* interval
+    /// propagation of the constraints asserted since the last check (the
+    /// worklist cascade of [`BoundEnv::propagate`] re-fires only the
+    /// context constraints whose variables actually tightened), then the
+    /// divisibility test under the resulting pinned variables — each with
+    /// a tracked/minimised explanation on refutation.  On backjump the
+    /// environment is restored from the decision-level snapshot, so no
+    /// fixpoint is ever recomputed from scratch.
+    fn theory_check(&mut self) -> Step {
+        if self.theory_stack.len() <= self.theory_checked {
+            return Step::Ok;
+        }
+        self.bound_checks += 1;
+        let t0 = std::time::Instant::now();
+        let extra = self.theory_stack[self.theory_checked..].to_vec();
+        let index = ConstraintIndex::build(&self.theory_stack);
+        let budget = 32 * self.theory_stack.len().max(8);
+        let outcome = self
+            .cur_env
+            .propagate(&extra, &self.theory_stack, &index, budget);
+        self.bound_time += t0.elapsed();
+        if outcome == BoundOutcome::Refuted {
+            let t0 = std::time::Instant::now();
+            let core = explain::bound_conflict_core(&self.theory_stack)
+                .unwrap_or_else(|| (0..self.theory_stack.len()).collect());
+            let core = if core.len() <= MINIMIZE_CAP {
+                explain::minimize_core(&self.theory_stack, core, &|cs| {
+                    explain::bound_conflict_core(cs).is_some()
+                })
+            } else {
+                core
+            };
+            self.explain_time += t0.elapsed();
+            return Step::Conflict(self.core_to_conflict(&core));
+        }
+        let env = std::mem::take(&mut self.cur_env);
+        let step = self.gcd_check(&env);
+        self.cur_env = env;
+        match step {
+            Step::Ok => {
+                self.theory_checked = self.theory_stack.len();
+                Step::Ok
+            }
+            conflict => conflict,
+        }
+    }
+
+    /// Divisibility check over the asserted equality subsystem with the
+    /// bound-pinned variables substituted out (the parity conflicts of
+    /// loopy Parikh encodings); explanations come from the elimination's
+    /// and the tracked propagator's reason sets.
+    fn gcd_check(&mut self, env: &BoundEnv) -> Step {
+        let t0 = std::time::Instant::now();
+        // fast path: pinned values without provenance
+        let fixed_plain: crate::eqelim::FixedVars = env
+            .fixed()
+            .into_iter()
+            .map(|(v, k)| (v, (k, Vec::new())))
+            .collect();
+        let refuted = crate::eqelim::conflict_core_fixed(&self.theory_stack, &fixed_plain);
+        self.gcd_time += t0.elapsed();
+        if refuted.is_none() {
+            return Step::Ok;
+        }
+        // conflict: redo with tracked provenance so the fixing constraints
+        // enter the core (required for the learned clause to be sound)
+        let t0 = std::time::Instant::now();
+        let fixed = explain::fixed_reasons(&self.theory_stack);
+        let infeasible_with_fixed = |cs: &[SimplexConstraint]| {
+            let fixed = explain::fixed_reasons(cs);
+            crate::eqelim::conflict_core_fixed(cs, &fixed).is_some()
+        };
+        let core = match crate::eqelim::conflict_core_fixed(&self.theory_stack, &fixed) {
+            Some(core) if core.len() <= MINIMIZE_CAP => {
+                explain::minimize_core(&self.theory_stack, core, &infeasible_with_fixed)
+            }
+            Some(core) => core,
+            // the tracked propagator pins the same variables as the plain
+            // one, so this is unreachable; fall back to the full stack
+            None => (0..self.theory_stack.len()).collect(),
+        };
+        self.explain_time += t0.elapsed();
+        Step::Conflict(self.core_to_conflict(&core))
+    }
+
+    /// Simplex check of the asserted conjunction (run at the leaves); a
+    /// refutation's explanation is the Farkas certificate of the stuck
+    /// tableau row — already irreducible, no minimisation loop needed.
+    fn simplex_check(&mut self) -> Step {
+        if self.theory_stack.len() <= self.simplex_checked {
+            return Step::Ok;
+        }
+        self.simplex_checks += 1;
+        let t0 = std::time::Instant::now();
+        let outcome = check_feasibility_with_core(&self.theory_stack);
+        self.simplex_time += t0.elapsed();
+        match outcome {
+            Ok(_) => {
+                self.simplex_checked = self.theory_stack.len();
+                Step::Ok
+            }
+            Err(core) => Step::Conflict(self.core_to_conflict(&core)),
+        }
+    }
+
+    /// The conflicting-clause form of a theory core: negations of the
+    /// asserted literals the core names.
+    fn core_to_conflict(&self, core: &[usize]) -> Vec<Lit> {
+        core.iter().map(|&i| self.theory_lits[i].negate()).collect()
+    }
+
+    /// Full assignment: the exact integer check.
+    fn final_check(&mut self) -> FinalOutcome {
+        self.final_checks += 1;
+        match solve_integer(&self.theory_stack, &self.config.int_config) {
+            IntFeasResult::Sat(values) => FinalOutcome::Model(Model::from_values(values)),
+            IntFeasResult::Unsat => {
+                let core: Vec<usize> = (0..self.theory_stack.len()).collect();
+                let core = if core.len() <= MINIMIZE_CAP {
+                    explain::minimize_core(&self.theory_stack, core, &|cs| {
+                        explain::integer_infeasible(cs, EXPLAIN_INT_BUDGET)
+                    })
+                } else {
+                    core
+                };
+                FinalOutcome::Conflict(self.core_to_conflict(&core))
+            }
+            IntFeasResult::ResourceOut => FinalOutcome::ResourceOut,
+        }
+    }
+
+    fn bump(&mut self, var: usize) {
+        self.activity[var] += self.var_inc;
+        if self.activity[var] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.update(var, &self.activity);
+    }
+
+    /// 1UIP conflict analysis.  `conflict` is a set of literals all false
+    /// under the current assignment, at least one at the current level.
+    /// Returns the learned clause (asserting literal first) and the
+    /// backjump level.
+    fn analyze(&mut self, conflict: Vec<Lit>) -> (Vec<Lit>, u32) {
+        let current = self.decision_level();
+        let mut learnt: Vec<Lit> = vec![Lit::positive(0)]; // placeholder for the UIP
+        let mut counter = 0usize;
+        let mut reason_lits: Vec<Lit> = conflict;
+        let mut skip: Option<Lit> = None;
+        let mut index = self.trail.len();
+        loop {
+            for &q in &reason_lits {
+                if Some(q) == skip {
+                    continue;
+                }
+                let v = q.var();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump(v);
+                    if self.level[v] >= current {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // next seen literal on the trail
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var()] {
+                    break;
+                }
+            }
+            let p = self.trail[index];
+            self.seen[p.var()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = p.negate();
+                break;
+            }
+            let r = self.reason[p.var()];
+            debug_assert_ne!(r, NO_REASON, "only the UIP may lack a reason");
+            reason_lits = self.clauses[r as usize].lits.clone();
+            skip = Some(p);
+        }
+        // backjump level: highest level among the non-UIP literals, which
+        // also moves that literal into the second watch position
+        let mut backjump = 0;
+        for i in 1..learnt.len() {
+            let lvl = self.level[learnt[i].var()];
+            if lvl > backjump {
+                backjump = lvl;
+                learnt.swap(1, i);
+            }
+        }
+        for &l in &learnt {
+            self.seen[l.var()] = false;
+        }
+        (learnt, backjump)
+    }
+
+    /// Learns from a conflict: analyse, backjump, assert.  `false` when the
+    /// conflict is at the root level (search exhausted).
+    fn resolve_conflict(&mut self, conflict: Vec<Lit>) -> bool {
+        self.conflicts += 1;
+        // theory conflicts may live entirely below the current level:
+        // backtrack to the newest involved level first
+        let max_level = conflict
+            .iter()
+            .map(|l| self.level[l.var()])
+            .max()
+            .unwrap_or(0);
+        self.cancel_until(max_level);
+        if self.decision_level() == 0 {
+            return false;
+        }
+        let (learnt, backjump) = self.analyze(conflict);
+        self.cancel_until(backjump);
+        let asserting = learnt[0];
+        let reason = if learnt.len() >= 2 {
+            self.attach(Clause { lits: learnt })
+        } else {
+            NO_REASON
+        };
+        self.enqueue(asserting, reason);
+        self.var_inc /= 0.95;
+        true
+    }
+
+    fn decide(&mut self) -> bool {
+        while let Some(var) = self.heap.pop_max(&self.activity) {
+            if self.assign[var] == 0 {
+                let lit = if self.phase[var] {
+                    Lit::positive(var)
+                } else {
+                    Lit::negative(var)
+                };
+                self.decisions += 1;
+                self.env_snapshots
+                    .push((self.theory_checked, self.cur_env.clone()));
+                self.trail_lim.push(self.trail.len());
+                self.enqueue(lit, NO_REASON);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn undecided_unknown(&self) -> SolverResult {
+        if self.cancelled {
+            let reason = if self.config.cancel.flag_raised() {
+                CANCELLED_MSG
+            } else {
+                DEADLINE_MSG
+            };
+            SolverResult::Unknown(reason.to_string())
+        } else {
+            SolverResult::Unknown("resource limit reached".to_string())
+        }
+    }
+
+    fn exhausted(&self) -> SolverResult {
+        if self.saw_resource_out {
+            SolverResult::Unknown("resource limit reached".to_string())
+        } else {
+            SolverResult::Unsat
+        }
+    }
+
+    fn run(&mut self) -> SolverResult {
+        let mut restart_limit = RESTART_BASE * luby(0);
+        let mut conflicts_at_restart = 0u64;
+        loop {
+            if self.config.cancel.can_fire() && self.config.cancel.is_cancelled() {
+                self.cancelled = true;
+                return self.undecided_unknown();
+            }
+            if self.stats
+                && (self.decisions + self.conflicts).is_multiple_of(256)
+                && self.decisions + self.conflicts > 0
+            {
+                eprintln!(
+                    "cdcl: decisions {} conflicts {} restarts {} trail {}/{} theory {} checks b{}/s{}/f{} time b{:?}/s{:?}/e{:?}",
+                    self.decisions,
+                    self.conflicts,
+                    self.restarts,
+                    self.trail.len(),
+                    self.assign.len(),
+                    self.theory_stack.len(),
+                    self.bound_checks,
+                    self.simplex_checks,
+                    self.final_checks,
+                    self.bound_time,
+                    self.simplex_time,
+                    self.explain_time,
+                );
+                eprintln!("cdcl: gcd time {:?}", self.gcd_time);
+            }
+            if self.conflicts >= self.config.max_conflicts as u64 {
+                return SolverResult::Unknown("resource limit reached".to_string());
+            }
+            let step = match self.propagate() {
+                Step::Conflict(c) => Step::Conflict(c),
+                Step::Ok => self.theory_check(),
+            };
+            match step {
+                Step::Conflict(conflict) => {
+                    if !self.resolve_conflict(conflict) {
+                        return self.exhausted();
+                    }
+                }
+                Step::Ok => {
+                    if self.trail.len() == self.assign.len() || self.original_clauses_satisfied() {
+                        // full assignment (or all original clauses already
+                        // satisfied): exact checks
+                        if let Step::Conflict(c) = self.simplex_check() {
+                            if !self.resolve_conflict(c) {
+                                return self.exhausted();
+                            }
+                            continue;
+                        }
+                        match self.final_check() {
+                            FinalOutcome::Model(model) => return SolverResult::Sat(model),
+                            FinalOutcome::Conflict(c) => {
+                                if !self.resolve_conflict(c) {
+                                    return self.exhausted();
+                                }
+                            }
+                            FinalOutcome::ResourceOut => {
+                                self.saw_resource_out = true;
+                                // block this branch by refuting its decisions
+                                let blocking: Vec<Lit> = self
+                                    .trail_lim
+                                    .iter()
+                                    .map(|&i| self.trail[i].negate())
+                                    .collect();
+                                if blocking.is_empty() || !self.resolve_conflict(blocking) {
+                                    return self.undecided_unknown();
+                                }
+                            }
+                        }
+                    } else {
+                        if self.conflicts - conflicts_at_restart >= restart_limit {
+                            self.restarts += 1;
+                            conflicts_at_restart = self.conflicts;
+                            restart_limit = RESTART_BASE * luby(self.restarts);
+                            self.cancel_until(0);
+                            continue;
+                        }
+                        if !self.decide() {
+                            // defensive: every variable assigned — handled by
+                            // the full-assignment branch next iteration
+                            continue;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+enum FinalOutcome {
+    Model(Model),
+    Conflict(Vec<Lit>),
+    ResourceOut,
+}
+
+/// The Luby restart sequence `1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 …` (0-based).
+fn luby(i: u64) -> u64 {
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < i + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    let mut x = i;
+    while size - 1 != x {
+        size = (size - 1) / 2;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+/// An indexed max-heap over variable activities (the VSIDS order).
+struct VarHeap {
+    heap: Vec<usize>,
+    /// Position of each variable in `heap`, `usize::MAX` when absent.
+    pos: Vec<usize>,
+}
+
+impl VarHeap {
+    fn new(n: usize) -> VarHeap {
+        let mut h = VarHeap {
+            heap: (0..n).collect(),
+            pos: (0..n).collect(),
+        };
+        // all activities start equal; the identity layout is a valid heap
+        debug_assert_eq!(h.heap.len(), h.pos.len());
+        h.heap.shrink_to_fit();
+        h
+    }
+
+    fn contains(&self, var: usize) -> bool {
+        self.pos[var] != usize::MAX
+    }
+
+    fn insert(&mut self, var: usize, activity: &[f64]) {
+        if self.contains(var) {
+            return;
+        }
+        self.pos[var] = self.heap.len();
+        self.heap.push(var);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    /// Restores heap order after `var`'s activity increased.
+    fn update(&mut self, var: usize, activity: &[f64]) {
+        if self.contains(var) {
+            self.sift_up(self.pos[var], activity);
+        }
+    }
+
+    fn pop_max(&mut self, activity: &[f64]) -> Option<usize> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.pos[top] = usize::MAX;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i]] <= activity[self.heap[parent]] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut largest = i;
+            if l < self.heap.len() && activity[self.heap[l]] > activity[self.heap[largest]] {
+                largest = l;
+            }
+            if r < self.heap.len() && activity[self.heap[r]] > activity[self.heap[largest]] {
+                largest = r;
+            }
+            if largest == i {
+                break;
+            }
+            self.swap(i, largest);
+            i = largest;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a]] = a;
+        self.pos[self.heap[b]] = b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{LinExpr, VarPool};
+
+    fn solve(f: &Formula) -> SolverResult {
+        solve_cdcl(&f.nnf().simplify(), &SolverConfig::default())
+    }
+
+    #[test]
+    fn luby_sequence_is_correct() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(luby(i as u64), e, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn heap_orders_by_activity() {
+        let mut heap = VarHeap::new(4);
+        let activity = [1.0, 9.0, 3.0, 7.0];
+        // update with the real activities
+        for v in 0..4 {
+            heap.update(v, &activity);
+        }
+        let mut order = Vec::new();
+        while let Some(v) = heap.pop_max(&activity) {
+            order.push(v);
+        }
+        assert_eq!(order, vec![1, 3, 2, 0]);
+        heap.insert(2, &activity);
+        heap.insert(1, &activity);
+        assert_eq!(heap.pop_max(&activity), Some(1));
+    }
+
+    #[test]
+    fn sat_conjunction_produces_model() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let y = pool.fresh("y");
+        let f = Formula::and(vec![
+            Formula::eq(LinExpr::var(x) + LinExpr::var(y), LinExpr::constant(5)),
+            Formula::ge(LinExpr::var(x), LinExpr::constant(2)),
+            Formula::ge(LinExpr::var(y), LinExpr::constant(2)),
+        ]);
+        match solve(&f) {
+            SolverResult::Sat(m) => assert!(m.satisfies(&f)),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsat_interval_gap() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let f = Formula::and(vec![
+            Formula::ge(LinExpr::scaled_var(x, 3), LinExpr::constant(1)),
+            Formula::le(LinExpr::scaled_var(x, 3), LinExpr::constant(2)),
+        ]);
+        assert_eq!(solve(&f), SolverResult::Unsat);
+    }
+
+    #[test]
+    fn backjump_level_is_second_highest() {
+        // drive the engine over a pigeonhole-flavoured instance whose
+        // refutation requires learning across levels; correctness of the
+        // backjump computation shows up as termination with Unsat
+        let mut pool = VarPool::new();
+        let vars: Vec<_> = (0..6).map(|i| pool.fresh(&format!("x{i}"))).collect();
+        let mut conjuncts = Vec::new();
+        for &v in &vars {
+            conjuncts.push(Formula::or(vec![
+                Formula::eq(LinExpr::var(v), LinExpr::constant(0)),
+                Formula::eq(LinExpr::var(v), LinExpr::constant(1)),
+            ]));
+        }
+        conjuncts.push(Formula::ge(
+            LinExpr::sum_of_vars(vars.iter().copied()),
+            LinExpr::constant(7),
+        ));
+        assert_eq!(solve(&Formula::and(conjuncts)), SolverResult::Unsat);
+    }
+
+    #[test]
+    fn watched_literal_invariant_holds_under_search() {
+        // a formula with many ternary clauses; after solving, every clause's
+        // first two literals must be watched exactly by that clause
+        let mut pool = VarPool::new();
+        let vars: Vec<_> = (0..5).map(|i| pool.fresh(&format!("v{i}"))).collect();
+        let mut conjuncts = Vec::new();
+        for w in vars.windows(3) {
+            conjuncts.push(Formula::or(vec![
+                Formula::ge(LinExpr::var(w[0]), LinExpr::constant(1)),
+                Formula::ge(LinExpr::var(w[1]), LinExpr::constant(1)),
+                Formula::ge(LinExpr::var(w[2]), LinExpr::constant(1)),
+            ]));
+        }
+        conjuncts.push(Formula::le(
+            LinExpr::sum_of_vars(vars.iter().copied()),
+            LinExpr::constant(1),
+        ));
+        for &v in &vars {
+            conjuncts.push(Formula::ge(LinExpr::var(v), LinExpr::constant(0)));
+            conjuncts.push(Formula::le(LinExpr::var(v), LinExpr::constant(1)));
+        }
+        let f = Formula::and(conjuncts);
+        let nnf = f.nnf().simplify();
+        let cnf = Clausifier::clausify(&nnf);
+        let config = SolverConfig::default();
+        let mut engine = Engine::new(cnf, &config);
+        let result = engine.run();
+        assert!(result.is_sat(), "got {result:?}");
+        // invariant: every clause index appears in the watch lists of its
+        // first two literals
+        for (ci, clause) in engine.clauses.iter().enumerate() {
+            for &watched in &clause.lits[..2] {
+                assert!(
+                    engine.watches[watched.code()].contains(&(ci as u32)),
+                    "clause {ci} not watched by {watched:?}"
+                );
+            }
+            for &other in &clause.lits[2..] {
+                assert!(
+                    !engine.watches[other.code()].contains(&(ci as u32)),
+                    "clause {ci} spuriously watched by {other:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disequality_chain_unsat() {
+        // x ∈ [0,1], x ≠ 0, x ≠ 1
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let f = Formula::and(vec![
+            Formula::ge(LinExpr::var(x), LinExpr::constant(0)),
+            Formula::le(LinExpr::var(x), LinExpr::constant(1)),
+            Formula::ne(LinExpr::var(x), LinExpr::constant(0)),
+            Formula::ne(LinExpr::var(x), LinExpr::constant(1)),
+        ]);
+        assert_eq!(solve(&f), SolverResult::Unsat);
+    }
+
+    #[test]
+    fn trivial_formulas() {
+        assert!(solve(&Formula::True).is_sat());
+        assert_eq!(solve(&Formula::False), SolverResult::Unsat);
+    }
+}

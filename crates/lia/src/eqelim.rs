@@ -1,0 +1,318 @@
+//! Divisibility (GCD) refutation over the equality subsystem, with
+//! explanations.
+//!
+//! The Parikh encodings of loopy languages produce integer conflicts that
+//! neither interval propagation nor the rational simplex can see: flow
+//! equations force a *parity* relation between counters (in `(ab)*` the
+//! position of an `a` is even because `#a = #b` along the run prefix), and
+//! an aligned-mismatch constraint then demands `2·s = 2·t + 1`.  The
+//! conjunction is rationally feasible, every interval is open, and
+//! branch-and-bound diverges along the unbounded counters — this is exactly
+//! why the seed solver resource-outs on the flagship `x,y ∈ (ab)*`, `x ≠ y`,
+//! `|x| = |y|` instance.
+//!
+//! The cure is classical: Gaussian elimination over ℤ restricted to
+//! *unit-coefficient* pivots (substituting `v = −R` for an equation
+//! `±v + R = 0` is always integrality-preserving), followed by a GCD test on
+//! every derived equation `Σ cᵢxᵢ + k = 0`: if `g = gcd(cᵢ)` does not divide
+//! `k`, the equation — an integer linear combination of asserted
+//! constraints — has no integer solution, so neither has the conjunction.
+//!
+//! Equalities are recovered from split half-spaces: the CDCL clausifier
+//! turns `e = 0` into the two literals `e ≤ 0` and `−e ≤ 0`
+//! ([`crate::cnf`]), so the collector pairs complementary `≤`-forms back
+//! into equations, attributing both constraint indices.  Every derived
+//! equation carries the *reason set* of original constraint indices that
+//! were combined into it; a GCD conflict therefore comes with a small core
+//! that [`crate::cdcl`] learns as a clause, and [`crate::intfeas`] uses the
+//! same test to refute parity-infeasible conjunctions before attempting
+//! branch-and-bound.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::explain::{negate, union, Reasons};
+use crate::simplex::{Rel, SimplexConstraint};
+use crate::term::{LinExpr, Var};
+
+/// A variable pinned to an integer value, with the indices of the
+/// constraints responsible (empty when the caller does not need
+/// explanations, e.g. branch-and-bound pruning).
+pub type FixedVars = BTreeMap<Var, (i128, Vec<u32>)>;
+
+/// Fill-in cap: substitutions that would grow an equation beyond this many
+/// terms are skipped (partial elimination stays sound, it only refutes
+/// less).
+const MAX_TERMS: usize = 64;
+
+/// Cap on the number of pivot eliminations (backstop for degenerate
+/// systems; the flow systems of the encodings stay far below it).
+const MAX_PIVOTS: usize = 512;
+
+use crate::rational::gcd;
+
+/// `true` if the single equation `expr = 0` has no integer solution:
+/// either it is a non-zero constant, or the GCD of its coefficients does
+/// not divide its constant part.
+fn equation_infeasible(expr: &LinExpr) -> bool {
+    let mut g: i128 = 0;
+    for (_, c) in expr.terms() {
+        g = gcd(g, c);
+    }
+    let k = expr.constant_part();
+    if g == 0 {
+        k != 0
+    } else {
+        k % g != 0
+    }
+}
+
+/// Substitutes the pinned variables of `fixed` into `expr`, accumulating
+/// the fixing constraints into `reasons`.  All arithmetic is *checked*:
+/// a learned clause from a wrapped coefficient would be unsound in release
+/// builds (where plain `i128` ops wrap silently), so on overflow the
+/// substitution is abandoned (`None`) and the caller drops the equation —
+/// sound, just less complete.
+fn substitute_fixed(expr: &LinExpr, fixed: &FixedVars, reasons: &mut Reasons) -> Option<LinExpr> {
+    if fixed.is_empty() {
+        return Some(expr.clone());
+    }
+    let mut constant = expr.constant_part();
+    let mut out = LinExpr::zero();
+    for (v, c) in expr.terms() {
+        match fixed.get(&v) {
+            Some((value, why)) => {
+                constant = constant.checked_add(c.checked_mul(*value)?)?;
+                *reasons = union(reasons, why);
+            }
+            None => out.add_term(v, c),
+        }
+    }
+    Some(out + LinExpr::constant(constant))
+}
+
+/// `eq − factor·pivot` with checked arithmetic; `None` on overflow (the
+/// elimination step is skipped, see [`substitute_fixed`]).
+fn combine_checked(eq: &LinExpr, pivot: &LinExpr, factor: i128) -> Option<LinExpr> {
+    let constant = eq
+        .constant_part()
+        .checked_sub(pivot.constant_part().checked_mul(factor)?)?;
+    let mut out = LinExpr::constant(constant);
+    for (v, c) in eq.terms() {
+        out.add_term(v, c);
+    }
+    for (v, c) in pivot.terms() {
+        let neg_delta = c.checked_mul(factor)?.checked_neg()?;
+        // the combined coefficient must itself fit
+        out.coeff(v).checked_add(neg_delta)?;
+        out.add_term(v, neg_delta);
+    }
+    Some(out)
+}
+
+/// Collects the equality subsystem: explicit `Rel::Eq` constraints plus
+/// complementary pairs of `≤`-forms (`e ≤ 0` together with `−e ≤ 0`),
+/// with the `fixed` variables substituted out first (interval propagation
+/// pins e.g. the 0/1 mismatch counters, and only then do the flow
+/// equations expose their parity).
+fn collect_equations(
+    constraints: &[SimplexConstraint],
+    fixed: &FixedVars,
+) -> Vec<(LinExpr, Reasons)> {
+    let mut eqs: Vec<(LinExpr, Reasons)> = Vec::new();
+    let mut le_seen: HashMap<LinExpr, (u32, Reasons)> = HashMap::new();
+    for (i, c) in constraints.iter().enumerate() {
+        let i = i as u32;
+        let mut reasons = vec![i];
+        match c.rel {
+            Rel::Eq => {
+                if let Some(e) = substitute_fixed(&c.expr, fixed, &mut reasons) {
+                    eqs.push((e, reasons));
+                }
+            }
+            Rel::Le | Rel::Ge => {
+                let raw = if c.rel == Rel::Le {
+                    c.expr.clone()
+                } else {
+                    negate(&c.expr)
+                };
+                let Some(e) = substitute_fixed(&raw, fixed, &mut reasons) else {
+                    continue;
+                };
+                if let Some((_, other_reasons)) = le_seen.get(&negate(&e)) {
+                    // e ≤ 0 ∧ −e ≤ 0 ⟺ e = 0
+                    eqs.push((e.clone(), union(&reasons, other_reasons)));
+                }
+                le_seen.entry(e).or_insert((i, reasons));
+            }
+        }
+    }
+    eqs
+}
+
+/// [`conflict_core_fixed`] without pinned variables.
+pub fn conflict_core(constraints: &[SimplexConstraint]) -> Option<Vec<usize>> {
+    conflict_core_fixed(constraints, &FixedVars::new())
+}
+
+/// Runs unit-pivot elimination with GCD tests over the equality subsystem,
+/// substituting the pinned variables of `fixed` first.  On refutation
+/// returns the indices of an infeasible subset of `constraints` (sorted);
+/// `None` if no divisibility conflict was derived.
+pub fn conflict_core_fixed(
+    constraints: &[SimplexConstraint],
+    fixed: &FixedVars,
+) -> Option<Vec<usize>> {
+    let mut eqs = collect_equations(constraints, fixed);
+    for (e, reasons) in &eqs {
+        if equation_infeasible(e) {
+            return Some(reasons.iter().map(|&i| i as usize).collect());
+        }
+    }
+    let mut used = vec![false; eqs.len()];
+    let mut pivots = 0usize;
+    for p in 0..eqs.len() {
+        if used[p] || pivots >= MAX_PIVOTS {
+            continue;
+        }
+        // a unit-coefficient variable to eliminate
+        let Some((var, a)) = eqs[p].0.terms().find(|&(_, c)| c == 1 || c == -1) else {
+            continue;
+        };
+        used[p] = true;
+        pivots += 1;
+        let (pivot_expr, pivot_reasons) = eqs[p].clone();
+        for q in 0..eqs.len() {
+            if q == p || used[q] {
+                continue;
+            }
+            let c = eqs[q].0.coeff(var);
+            if c == 0 {
+                continue;
+            }
+            // E_q − (c·a)·E_p eliminates `var` (a² = 1); checked arithmetic
+            // throughout — a silently wrapped coefficient would turn the
+            // GCD test into an unsound refutation in release builds
+            let Some(factor) = c.checked_mul(a) else {
+                continue;
+            };
+            let Some(derived) = combine_checked(&eqs[q].0, &pivot_expr, factor) else {
+                continue; // skip: overflow (sound, just less complete)
+            };
+            if derived.terms().count() > MAX_TERMS {
+                continue; // skip: fill-in cap (sound, just less complete)
+            }
+            let reasons = union(&eqs[q].1, &pivot_reasons);
+            if equation_infeasible(&derived) {
+                return Some(reasons.iter().map(|&i| i as usize).collect());
+            }
+            eqs[q] = (derived, reasons);
+        }
+    }
+    None
+}
+
+/// `true` iff the elimination derives a divisibility conflict.
+pub fn infeasible(constraints: &[SimplexConstraint]) -> bool {
+    conflict_core(constraints).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::VarPool;
+
+    fn le(expr: LinExpr) -> SimplexConstraint {
+        SimplexConstraint { expr, rel: Rel::Le }
+    }
+
+    fn ge(expr: LinExpr) -> SimplexConstraint {
+        SimplexConstraint { expr, rel: Rel::Ge }
+    }
+
+    fn eq(expr: LinExpr) -> SimplexConstraint {
+        SimplexConstraint { expr, rel: Rel::Eq }
+    }
+
+    #[test]
+    fn single_equation_gcd_conflict() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let y = pool.fresh("y");
+        // 2x + 2y = 1
+        let constraints = vec![eq(
+            LinExpr::scaled_var(x, 2) + LinExpr::scaled_var(y, 2) - LinExpr::constant(1)
+        )];
+        assert_eq!(conflict_core(&constraints), Some(vec![0]));
+    }
+
+    #[test]
+    fn parity_through_elimination() {
+        let mut pool = VarPool::new();
+        let p = pool.fresh("p");
+        let q = pool.fresh("q");
+        let s = pool.fresh("s");
+        let t = pool.fresh("t");
+        // p = 2s, q = 2t, p = q + 1: rationally feasible, integrally empty;
+        // needs two eliminations before the gcd test fires
+        let constraints = vec![
+            eq(LinExpr::var(p) - LinExpr::scaled_var(s, 2)),
+            eq(LinExpr::var(q) - LinExpr::scaled_var(t, 2)),
+            eq(LinExpr::var(p) - LinExpr::var(q) - LinExpr::constant(1)),
+        ];
+        let core = conflict_core(&constraints).expect("parity conflict");
+        assert_eq!(core, vec![0, 1, 2], "all three equations participate");
+    }
+
+    #[test]
+    fn split_half_spaces_recombine_into_equations() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let y = pool.fresh("y");
+        // the clausifier's split form of x = 2y and x = 2y + 1… via x−2y ≤ 0,
+        // x−2y ≥ 0, and an explicit second equation
+        let e = LinExpr::var(x) - LinExpr::scaled_var(y, 2);
+        let constraints = vec![le(e.clone()), ge(e.clone()), eq(e - LinExpr::constant(1))];
+        let core = conflict_core(&constraints).expect("conflict");
+        assert_eq!(core, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn feasible_systems_are_left_alone() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let y = pool.fresh("y");
+        let constraints = vec![
+            eq(LinExpr::var(x) - LinExpr::scaled_var(y, 2)),
+            ge(LinExpr::var(y)),
+            le(LinExpr::var(x) - LinExpr::constant(10)),
+        ];
+        assert_eq!(conflict_core(&constraints), None);
+        assert!(!infeasible(&constraints));
+    }
+
+    #[test]
+    fn irrelevant_equations_stay_out_of_the_core() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let z = pool.fresh("z");
+        let w = pool.fresh("w");
+        let constraints = vec![
+            eq(LinExpr::var(z) - LinExpr::var(w)), // noise
+            eq(LinExpr::scaled_var(x, 2) - LinExpr::constant(5)),
+        ];
+        let core = conflict_core(&constraints).expect("2x = 5 conflict");
+        assert_eq!(core, vec![1]);
+    }
+
+    #[test]
+    fn inconsistent_constants_after_elimination() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let y = pool.fresh("y");
+        // x = y + 1 and x = y (as split halves): derives 0 = 1
+        let d = LinExpr::var(x) - LinExpr::var(y);
+        let constraints = vec![eq(d.clone() - LinExpr::constant(1)), le(d.clone()), ge(d)];
+        let core = conflict_core(&constraints).expect("0 = 1");
+        assert_eq!(core.len(), 3);
+    }
+}

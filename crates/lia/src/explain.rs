@@ -1,0 +1,369 @@
+//! Theory-conflict explanations: minimal infeasible subsets of asserted
+//! constraints.
+//!
+//! The CDCL(T) engine ([`crate::cdcl`]) needs more than a yes/no answer from
+//! the theory: when the asserted constraint conjunction is infeasible it
+//! must know *which* constraints clash, so the clashing literals can be
+//! turned into a learned clause that prunes every branch sharing the same
+//! mistake.  This module produces such explanations in two steps:
+//!
+//! 1. **Tracked bound propagation** ([`bound_conflict_core`]) re-runs the
+//!    interval propagation of [`crate::bounds`] while recording, for every
+//!    variable bound, the set of constraint indices that contributed to it.
+//!    When propagation derives a contradiction the union of the contributing
+//!    sets is an infeasible subset — usually a small fraction of the
+//!    asserted constraints, at a cost linear in the propagation work.
+//! 2. **Deletion-based minimisation** ([`minimize_core`]) shrinks a core to
+//!    a *minimal* one (every proper subset feasible w.r.t. the given
+//!    checker) by attempting to drop each member once.  Checkers are
+//!    provided for bound propagation, rational simplex and budgeted integer
+//!    feasibility; dropping a constraint is only allowed when the remainder
+//!    is *proven* infeasible, so a checker that gives up (resource-out)
+//!    keeps the constraint and the explanation stays sound.
+//!
+//! Soundness invariant used by the learner: any superset of an infeasible
+//! set is infeasible, so every core returned here — minimal or not — yields
+//! a valid learned clause.
+
+use std::collections::BTreeMap;
+
+use crate::intfeas::{solve_integer, IntFeasConfig, IntFeasResult};
+use crate::rational::Rat;
+use crate::simplex::{check_feasibility, Rel, SimplexConstraint};
+use crate::term::{LinExpr, Var};
+
+/// Fixpoint round cap.  Higher than [`crate::bounds`]' own cap because the
+/// CDCL engine's *incremental* worklist propagation can reach a deeper
+/// fixpoint than 12 from-scratch rounds; the explanation pass must be at
+/// least as strong as the detector or conflicts would lose their cores.
+/// The loop exits on convergence, so the cap only bounds pathologies.
+const MAX_ROUNDS: usize = 64;
+
+/// A sorted, deduplicated set of constraint indices (shared with
+/// [`crate::eqelim`]).
+pub(crate) type Reasons = Vec<u32>;
+
+/// Merges two sorted reason sets (shared with [`crate::eqelim`]).
+pub(crate) fn union(a: &Reasons, b: &Reasons) -> Reasons {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+fn insert(set: &mut Reasons, x: u32) {
+    if let Err(pos) = set.binary_search(&x) {
+        set.insert(pos, x);
+    }
+}
+
+/// Interval propagation with per-bound provenance.
+#[derive(Default)]
+struct TrackedEnv {
+    lo: BTreeMap<Var, (Rat, Reasons)>,
+    hi: BTreeMap<Var, (Rat, Reasons)>,
+}
+
+impl TrackedEnv {
+    /// Lower bound of `expr` with the reasons it rests on (`None` = −∞).
+    fn expr_min(&self, expr: &LinExpr, excluded: Option<Var>) -> Option<(Rat, Reasons)> {
+        let mut total = Rat::from_int(expr.constant_part());
+        let mut reasons = Reasons::new();
+        for (v, c) in expr.terms() {
+            if excluded == Some(v) {
+                continue;
+            }
+            let entry = if c > 0 {
+                self.lo.get(&v)
+            } else {
+                self.hi.get(&v)
+            };
+            let (bound, r) = entry?;
+            total += *bound * Rat::from_int(c);
+            reasons = union(&reasons, r);
+        }
+        Some((total, reasons))
+    }
+
+    /// Propagates `expr ≤ 0` (constraint index `ci`); `Ok(changed)` or the
+    /// conflict core on contradiction.
+    fn assert_le(&mut self, ci: u32, expr: &LinExpr) -> Result<bool, Reasons> {
+        if let Some((min, mut reasons)) = self.expr_min(expr, None) {
+            if min.is_positive() {
+                insert(&mut reasons, ci);
+                return Err(reasons);
+            }
+        }
+        let mut changed = false;
+        for (v, c) in expr.terms() {
+            let Some((rest_min, mut reasons)) = self.expr_min(expr, Some(v)) else {
+                continue;
+            };
+            insert(&mut reasons, ci);
+            let bound = -rest_min / Rat::from_int(c);
+            if c > 0 {
+                // v ≤ ⌊bound⌋ over the integers
+                let value = Rat::from_int(bound.floor());
+                if value < Rat::from_int(-crate::bounds::MAGNITUDE_LIMIT) {
+                    continue; // magnitude guard, mirrors `crate::bounds`
+                }
+                let tightens = match self.hi.get(&v) {
+                    Some((current, _)) => *current > value,
+                    None => true,
+                };
+                if tightens {
+                    self.hi.insert(v, (value, reasons));
+                    changed = true;
+                }
+            } else {
+                let value = Rat::from_int(bound.ceil());
+                if value > Rat::from_int(crate::bounds::MAGNITUDE_LIMIT) {
+                    continue;
+                }
+                let tightens = match self.lo.get(&v) {
+                    Some((current, _)) => *current < value,
+                    None => true,
+                };
+                if tightens {
+                    self.lo.insert(v, (value, reasons));
+                    changed = true;
+                }
+            }
+            if let (Some((lo, rl)), Some((hi, rh))) = (self.lo.get(&v), self.hi.get(&v)) {
+                if lo > hi {
+                    return Err(union(rl, rh));
+                }
+            }
+        }
+        Ok(changed)
+    }
+
+    fn assert_one(&mut self, ci: u32, constraint: &SimplexConstraint) -> Result<bool, Reasons> {
+        match constraint.rel {
+            Rel::Le => self.assert_le(ci, &constraint.expr),
+            Rel::Ge => self.assert_le(ci, &negate(&constraint.expr)),
+            Rel::Eq => {
+                let a = self.assert_le(ci, &constraint.expr)?;
+                let b = self.assert_le(ci, &negate(&constraint.expr))?;
+                Ok(a || b)
+            }
+        }
+    }
+}
+
+/// `−expr` without consuming it (shared with [`crate::eqelim`]).
+pub(crate) fn negate(expr: &LinExpr) -> LinExpr {
+    -expr.clone()
+}
+
+/// Runs tracked interval propagation; on refutation returns the indices of
+/// an infeasible subset of `constraints` (sorted), `None` if propagation
+/// cannot refute the conjunction.
+pub fn bound_conflict_core(constraints: &[SimplexConstraint]) -> Option<Vec<usize>> {
+    let mut env = TrackedEnv::default();
+    for _ in 0..MAX_ROUNDS {
+        let mut changed = false;
+        for (i, c) in constraints.iter().enumerate() {
+            match env.assert_one(i as u32, c) {
+                Ok(ch) => changed |= ch,
+                Err(core) => return Some(core.into_iter().map(|i| i as usize).collect()),
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    None
+}
+
+/// Runs tracked propagation to a fixpoint and returns the variables pinned
+/// to a single integer value, each with the indices of the constraints
+/// that pinned it.  Assumes the conjunction is bound-consistent (callers
+/// check first); on an unexpected refutation the map built so far is
+/// returned.
+pub fn fixed_reasons(constraints: &[SimplexConstraint]) -> crate::eqelim::FixedVars {
+    let mut env = TrackedEnv::default();
+    'rounds: for _ in 0..MAX_ROUNDS {
+        let mut changed = false;
+        for (i, c) in constraints.iter().enumerate() {
+            match env.assert_one(i as u32, c) {
+                Ok(ch) => changed |= ch,
+                Err(_) => break 'rounds,
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut out = crate::eqelim::FixedVars::new();
+    for (&v, (lo, rl)) in &env.lo {
+        let Some((hi, rh)) = env.hi.get(&v) else {
+            continue;
+        };
+        if lo == hi {
+            if let Some(value) = lo.to_integer() {
+                out.insert(v, (value, union(rl, rh)));
+            }
+        }
+    }
+    out
+}
+
+/// `true` iff bound propagation alone refutes the conjunction.
+pub fn bound_infeasible(constraints: &[SimplexConstraint]) -> bool {
+    crate::bounds::BoundEnv::from_constraints(constraints).1 == crate::bounds::BoundOutcome::Refuted
+}
+
+/// `true` iff the rational simplex refutes the conjunction.
+pub fn rational_infeasible(constraints: &[SimplexConstraint]) -> bool {
+    !check_feasibility(constraints).is_feasible()
+}
+
+/// `true` iff budgeted branch-and-bound *proves* integer infeasibility
+/// (resource-outs count as "could not prove", keeping minimisation sound).
+pub fn integer_infeasible(constraints: &[SimplexConstraint], budget: usize) -> bool {
+    let config = IntFeasConfig {
+        max_nodes: budget,
+        ..IntFeasConfig::default()
+    };
+    matches!(solve_integer(constraints, &config), IntFeasResult::Unsat)
+}
+
+/// Deletion-based minimisation: drops every core member whose removal keeps
+/// the subset infeasible according to `infeasible`.  The result is minimal
+/// w.r.t. the checker (and still infeasible, hence a sound explanation).
+pub fn minimize_core(
+    constraints: &[SimplexConstraint],
+    mut core: Vec<usize>,
+    infeasible: &dyn Fn(&[SimplexConstraint]) -> bool,
+) -> Vec<usize> {
+    // drop later (deeper, usually higher-decision-level) members first so
+    // the surviving clause prefers literals from low decision levels and
+    // the learner backjumps further
+    let mut i = core.len();
+    while i > 0 {
+        i -= 1;
+        if core.len() <= 1 {
+            break;
+        }
+        let candidate: Vec<SimplexConstraint> = core
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, &k)| constraints[k].clone())
+            .collect();
+        if infeasible(&candidate) {
+            core.remove(i);
+        }
+    }
+    core
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::VarPool;
+
+    fn le(expr: LinExpr) -> SimplexConstraint {
+        SimplexConstraint { expr, rel: Rel::Le }
+    }
+
+    fn ge(expr: LinExpr) -> SimplexConstraint {
+        SimplexConstraint { expr, rel: Rel::Ge }
+    }
+
+    #[test]
+    fn core_excludes_irrelevant_constraints() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let y = pool.fresh("y");
+        let z = pool.fresh("z");
+        // x ≥ 3 ∧ x ≤ 2 clash; the z constraints are noise
+        let constraints = vec![
+            ge(LinExpr::var(z)),
+            ge(LinExpr::var(x) - LinExpr::constant(3)),
+            le(LinExpr::var(z) - LinExpr::constant(9)),
+            le(LinExpr::var(x) - LinExpr::constant(2)),
+            ge(LinExpr::var(y) - LinExpr::var(z)),
+        ];
+        let core = bound_conflict_core(&constraints).expect("refutable");
+        assert!(core.contains(&1) && core.contains(&3), "core {core:?}");
+        assert!(!core.contains(&0) && !core.contains(&2) && !core.contains(&4));
+    }
+
+    #[test]
+    fn transitive_chain_core_is_complete() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let y = pool.fresh("y");
+        // x ≥ 3, y ≥ x, y ≤ 2: all three constraints are needed
+        let constraints = vec![
+            ge(LinExpr::var(x) - LinExpr::constant(3)),
+            ge(LinExpr::var(y) - LinExpr::var(x)),
+            le(LinExpr::var(y) - LinExpr::constant(2)),
+        ];
+        let core = bound_conflict_core(&constraints).expect("refutable");
+        let minimal = minimize_core(&constraints, core, &bound_infeasible);
+        assert_eq!(minimal, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn minimisation_shrinks_padded_cores() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let constraints = vec![
+            ge(LinExpr::var(x) - LinExpr::constant(5)),
+            ge(LinExpr::var(x) - LinExpr::constant(1)), // implied by the first
+            le(LinExpr::var(x) - LinExpr::constant(3)),
+        ];
+        let minimal = minimize_core(&constraints, vec![0, 1, 2], &bound_infeasible);
+        assert_eq!(minimal.len(), 2);
+        assert!(minimal.contains(&0) && minimal.contains(&2));
+    }
+
+    #[test]
+    fn feasible_sets_have_no_core() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let constraints = vec![
+            ge(LinExpr::var(x)),
+            le(LinExpr::var(x) - LinExpr::constant(5)),
+        ];
+        assert!(bound_conflict_core(&constraints).is_none());
+        assert!(!bound_infeasible(&constraints));
+        assert!(!rational_infeasible(&constraints));
+        assert!(!integer_infeasible(&constraints, 100));
+    }
+
+    #[test]
+    fn integer_checker_respects_budget_soundly() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        // 1 ≤ 3x ≤ 2: integrally infeasible, provable in a node or two
+        let constraints = vec![
+            ge(LinExpr::scaled_var(x, 3) - LinExpr::constant(1)),
+            le(LinExpr::scaled_var(x, 3) - LinExpr::constant(2)),
+        ];
+        assert!(integer_infeasible(&constraints, 100));
+        // zero budget cannot *prove* anything
+        assert!(!integer_infeasible(&constraints, 0));
+    }
+}

@@ -10,12 +10,43 @@
 //! * [`term`] — integer variables and linear expressions,
 //! * [`formula`] — quantifier-free and ∀/∃-quantified LIA formulas with
 //!   evaluation, substitution and normal forms,
-//! * [`simplex`] — a general-simplex feasibility checker over the rationals,
+//! * [`simplex`] — a general-simplex feasibility checker over the
+//!   rationals, producing Farkas-style infeasibility cores,
 //! * [`intfeas`] — integer feasibility by branch-and-bound on top of the
-//!   simplex, with sound resource limits,
-//! * [`solver`] — a DPLL(T)-style satisfiability solver for quantifier-free
-//!   LIA formulas with arbitrary Boolean structure (the stand-in for the LIA
-//!   backend of Z3 used by Z3-Noodler in the paper's implementation).
+//!   simplex, pruned per node by incremental interval propagation and the
+//!   divisibility test, with sound resource limits,
+//! * [`bounds`] — interval (bound) propagation with integer rounding, the
+//!   cheap propagation layer of both search engines,
+//! * [`cnf`] — clausification for the CDCL engine: structural hashing,
+//!   Plaisted–Greenbaum Tseitin encoding, half-space atom canonicalisation,
+//! * [`cdcl`] — the clause-learning **CDCL(T)** search engine (trail,
+//!   two-watched-literal propagation, 1UIP learning, backjumping, Luby
+//!   restarts, VSIDS), the default engine of [`solver::Solver`],
+//! * [`explain`] / [`eqelim`] — theory-conflict *explanations*: provenance-
+//!   tracking bound propagation, deletion-minimised cores, and the
+//!   GCD/elimination refutation of parity-infeasible equality systems,
+//! * [`solver`] — the public satisfiability API for quantifier-free LIA
+//!   formulas with arbitrary Boolean structure (the stand-in for the LIA
+//!   backend of Z3 used by Z3-Noodler in the paper's implementation); the
+//!   [`solver::SearchEngine`] knob selects CDCL(T) (default) or the legacy
+//!   recursive structural DPLL(T) walk kept as a differential oracle.
+//!
+//! # The explanation interface
+//!
+//! The CDCL(T) loop asks the theory three questions, each answered with a
+//! *core* — indices of a (small, ideally minimal) jointly-infeasible subset
+//! of the asserted constraints — which the engine negates into a learned
+//! clause:
+//!
+//! 1. is the asserted conjunction bound-consistent?
+//!    ([`bounds::BoundEnv`]; cores from [`explain::bound_conflict_core`]),
+//! 2. does the equality subsystem admit integer solutions?
+//!    ([`eqelim::conflict_core_fixed`], after substituting bound-pinned
+//!    variables),
+//! 3. is it rationally feasible / integer feasible at a leaf?
+//!    ([`simplex::check_feasibility_with_core`] Farkas certificates;
+//!    [`intfeas::solve_integer`] refutations minimised by deletion under a
+//!    node budget).
 //!
 //! # Example
 //!
@@ -44,6 +75,10 @@
 
 pub mod bounds;
 pub mod cancel;
+pub mod cdcl;
+pub mod cnf;
+pub mod eqelim;
+pub mod explain;
 pub mod formula;
 pub mod intfeas;
 pub mod rational;
@@ -54,5 +89,5 @@ pub mod term;
 pub use cancel::CancelToken;
 pub use formula::{Atom, Cmp, Formula};
 pub use rational::Rat;
-pub use solver::{Model, Solver, SolverConfig, SolverResult};
+pub use solver::{Model, SearchEngine, Solver, SolverConfig, SolverResult};
 pub use term::{LinExpr, Var, VarPool};

@@ -33,7 +33,7 @@ pub struct Rat {
     den: i128,
 }
 
-fn gcd(mut a: i128, mut b: i128) -> i128 {
+pub(crate) fn gcd(mut a: i128, mut b: i128) -> i128 {
     a = a.abs();
     b = b.abs();
     while b != 0 {

@@ -63,6 +63,15 @@ pub fn check_feasibility(constraints: &[SimplexConstraint]) -> SimplexResult {
     simplex.check()
 }
 
+/// [`check_feasibility`] with a Farkas-style core on infeasibility: the
+/// `Err` value indexes an irreducible infeasible subset of `constraints`.
+pub fn check_feasibility_with_core(
+    constraints: &[SimplexConstraint],
+) -> Result<BTreeMap<Var, Rat>, Vec<usize>> {
+    let mut simplex = Simplex::new(constraints);
+    simplex.check_with_core()
+}
+
 /// The general-simplex tableau.
 pub struct Simplex {
     /// Number of problem variables (columns `0..num_vars` correspond to the
@@ -215,13 +224,31 @@ impl Simplex {
 
     /// Runs the check loop (Bland's rule for termination).
     pub fn check(&mut self) -> SimplexResult {
+        match self.check_with_core() {
+            Ok(model) => SimplexResult::Feasible(model),
+            Err(_) => SimplexResult::Infeasible,
+        }
+    }
+
+    /// Like [`Simplex::check`], but an infeasible outcome carries the
+    /// indices (into the constructor's constraint slice) of an
+    /// *irreducible infeasible subset*: when a basic variable `b` violates
+    /// a bound and no nonbasic in its row can move, `b = Σ aₙ·n` with every
+    /// nonbasic pinned at the blocking bound is a Farkas certificate — the
+    /// constraints bounding `b` and those nonbasics are jointly
+    /// infeasible.  Slack variables map 1:1 to input constraints, and
+    /// problem variables are unbounded here (bounds arrive as explicit
+    /// constraints), so the certificate mentions only slacks.  This is
+    /// what gives the CDCL(T) engine small learned clauses from rational
+    /// conflicts without any deletion-minimisation loop.
+    pub fn check_with_core(&mut self) -> Result<BTreeMap<Var, Rat>, Vec<usize>> {
         self.recompute_basics();
         loop {
             // smallest basic variable violating one of its bounds
             let violating = (0..self.beta.len())
                 .find(|&v| self.is_basic(v) && (self.violates_lower(v) || self.violates_upper(v)));
             let Some(b) = violating else {
-                return SimplexResult::Feasible(self.model());
+                return Ok(self.model());
             };
             let row = self.rows[b].clone().expect("basic");
             if self.violates_lower(b) {
@@ -233,7 +260,7 @@ impl Simplex {
                         || (a.is_negative() && self.lower[n].is_none_or(|l| self.beta[n] > l))
                 });
                 match candidate {
-                    None => return SimplexResult::Infeasible,
+                    None => return Err(self.conflict_core(b, &row)),
                     Some((&n, _)) => self.pivot_and_update(b, n, target),
                 }
             } else {
@@ -243,11 +270,27 @@ impl Simplex {
                         || (a.is_positive() && self.lower[n].is_none_or(|l| self.beta[n] > l))
                 });
                 match candidate {
-                    None => return SimplexResult::Infeasible,
+                    None => return Err(self.conflict_core(b, &row)),
                     Some((&n, _)) => self.pivot_and_update(b, n, target),
                 }
             }
         }
+    }
+
+    /// The constraint indices of the Farkas certificate at a stuck row.
+    fn conflict_core(&self, b: usize, row: &BTreeMap<usize, Rat>) -> Vec<usize> {
+        let mut core = Vec::with_capacity(row.len() + 1);
+        if b >= self.num_vars {
+            core.push(b - self.num_vars);
+        }
+        for &n in row.keys() {
+            if n >= self.num_vars {
+                core.push(n - self.num_vars);
+            }
+        }
+        core.sort_unstable();
+        core.dedup();
+        core
     }
 
     /// Extracts the current rational assignment of the problem variables.

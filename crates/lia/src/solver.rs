@@ -94,15 +94,35 @@ impl SolverResult {
     }
 }
 
+/// Which search core decides the Boolean structure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SearchEngine {
+    /// The clause-learning CDCL(T) engine of [`crate::cdcl`]: clausification
+    /// with structural hashing, two-watched-literal propagation, 1UIP
+    /// learning, backjumping, restarts.  The default — it is the only engine
+    /// that closes the loopy unsat families (conflict learning prunes the
+    /// symmetric mismatch case splits).
+    #[default]
+    Cdcl,
+    /// The recursive structural DPLL(T) walk below.  Kept as a
+    /// differential-testing oracle and for the ablation benchmarks.
+    Structural,
+}
+
 /// Tuning knobs of the solver.
 #[derive(Clone, Debug)]
 pub struct SolverConfig {
+    /// The search core ([`SearchEngine::Cdcl`] by default).
+    pub engine: SearchEngine,
     /// Prune disjunction branches whose asserted prefix is already
-    /// rationally infeasible.  The ablation benchmark `encoding_size` flips
-    /// this switch.
+    /// rationally infeasible.  (Structural engine only; the
+    /// `early_pruning_and_exhaustive_agree` test exercises both settings.)
     pub early_pruning: bool,
-    /// Maximum number of disjunction branches explored.
+    /// Maximum number of disjunction branches explored (structural engine).
     pub max_decisions: usize,
+    /// Maximum number of conflicts before the CDCL engine reports
+    /// `Unknown` (its analogue of `max_decisions`).
+    pub max_conflicts: usize,
     /// Limits of the integer feasibility backend.
     pub int_config: IntFeasConfig,
     /// Cooperative cancellation/deadline token, polled at every disjunction
@@ -114,15 +134,28 @@ pub struct SolverConfig {
 impl Default for SolverConfig {
     fn default() -> SolverConfig {
         SolverConfig {
+            engine: SearchEngine::default(),
             early_pruning: true,
             // A backstop against runaway searches; wall clocks are governed
             // by the `cancel` token's deadline.  Bound propagation keeps
             // decisions cheap, so this sits above what the benchmark
             // families need while keeping resource-outs at a few seconds.
             max_decisions: 4_000,
+            // the learner converges in far fewer conflicts than the
+            // structural engine takes decisions, but each conflict does more
+            // work; this keeps resource-outs at a few seconds as well
+            max_conflicts: 50_000,
             int_config: IntFeasConfig::default(),
             cancel: CancelToken::none(),
         }
+    }
+}
+
+impl SolverConfig {
+    /// This configuration with the given engine selected.
+    pub fn with_engine(mut self, engine: SearchEngine) -> SolverConfig {
+        self.engine = engine;
+        self
     }
 }
 
@@ -181,6 +214,9 @@ impl Solver {
     }
 
     fn solve_nnf(&self, formula: &Formula) -> SolverResult {
+        if self.config.engine == SearchEngine::Cdcl {
+            return crate::cdcl::solve_cdcl(formula, &self.config);
+        }
         let mut search = Search {
             config: &self.config,
             decisions: 0,
@@ -676,6 +712,7 @@ mod tests {
             LinExpr::constant(100),
         ));
         let config = SolverConfig {
+            engine: SearchEngine::Structural,
             max_decisions: 3,
             ..SolverConfig::default()
         };
@@ -725,12 +762,16 @@ mod tests {
             Formula::ge(LinExpr::var(x), LinExpr::constant(0)),
             Formula::le(LinExpr::var(x), LinExpr::constant(4)),
         ]);
+        // `early_pruning` only affects the structural engine, so pin it —
+        // with the CDCL default this test would compare CDCL to itself
         let pruned = Solver::with_config(SolverConfig {
+            engine: SearchEngine::Structural,
             early_pruning: true,
             ..Default::default()
         })
         .solve(&phi);
         let exhaustive = Solver::with_config(SolverConfig {
+            engine: SearchEngine::Structural,
             early_pruning: false,
             ..Default::default()
         })

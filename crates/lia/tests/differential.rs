@@ -1,0 +1,199 @@
+//! Randomized differential testing of the two LIA search engines.
+//!
+//! The structural DPLL(T) walk and the CDCL(T) clause-learning engine are
+//! independent implementations over (mostly) shared theory machinery; on
+//! any formula where both return a definite verdict they must agree, and
+//! every `Sat` model must re-evaluate to true on the *original* formula.
+//! The generator covers the shapes the reductions produce — conjunctions
+//! of unit atoms, shallow disjunctions, disequalities, negations — plus
+//! parity-style scaled atoms that exercise the divisibility refutation.
+
+use posr_lia::formula::{Cmp, Formula};
+use posr_lia::solver::{SearchEngine, Solver, SolverConfig, SolverResult};
+use posr_lia::term::{LinExpr, Var, VarPool};
+
+/// A tiny deterministic xorshift generator: no external crates, stable
+/// across platforms, reproducible failures (the seed prints on mismatch).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform-ish value in `0..n` (n ≤ 2^32).
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn int(&mut self, lo: i128, hi: i128) -> i128 {
+        lo + self.below((hi - lo + 1) as u64) as i128
+    }
+}
+
+fn random_atom(rng: &mut Rng, vars: &[Var]) -> Formula {
+    let mut expr = LinExpr::constant(rng.int(-6, 6));
+    let terms = 1 + rng.below(3);
+    for _ in 0..terms {
+        let v = vars[rng.below(vars.len() as u64) as usize];
+        let coeff = match rng.below(8) {
+            0 => 2,
+            1 => -2,
+            2 => 3,
+            _ => *[-1i128, 1].get(rng.below(2) as usize).unwrap(),
+        };
+        expr += LinExpr::scaled_var(v, coeff);
+    }
+    let cmp = match rng.below(6) {
+        0 => Cmp::Le,
+        1 => Cmp::Lt,
+        2 => Cmp::Ge,
+        3 => Cmp::Gt,
+        4 => Cmp::Eq,
+        _ => Cmp::Ne,
+    };
+    Formula::Atom(posr_lia::formula::Atom { expr, cmp })
+}
+
+fn random_formula(rng: &mut Rng, vars: &[Var], depth: usize) -> Formula {
+    if depth == 0 || rng.below(3) == 0 {
+        return random_atom(rng, vars);
+    }
+    match rng.below(4) {
+        0 => {
+            let n = 2 + rng.below(3) as usize;
+            Formula::and(
+                (0..n)
+                    .map(|_| random_formula(rng, vars, depth - 1))
+                    .collect(),
+            )
+        }
+        1 => {
+            let n = 2 + rng.below(3) as usize;
+            Formula::or(
+                (0..n)
+                    .map(|_| random_formula(rng, vars, depth - 1))
+                    .collect(),
+            )
+        }
+        2 => Formula::not(random_formula(rng, vars, depth - 1)),
+        _ => random_atom(rng, vars),
+    }
+}
+
+/// A bounding box keeps every instance decidable well within the engines'
+/// resource limits, so verdicts are definite and comparable.
+fn boxed(vars: &[Var], formula: Formula) -> Formula {
+    let mut conjuncts = vec![formula];
+    for &v in vars {
+        conjuncts.push(Formula::ge(LinExpr::var(v), LinExpr::constant(-20)));
+        conjuncts.push(Formula::le(LinExpr::var(v), LinExpr::constant(20)));
+    }
+    Formula::and(conjuncts)
+}
+
+#[test]
+fn engines_agree_on_random_formulas() {
+    let mut rng = Rng(0x5EED_0123_4567_89AB);
+    let mut pool = VarPool::new();
+    let vars: Vec<Var> = (0..4).map(|i| pool.fresh(&format!("v{i}"))).collect();
+
+    let structural = Solver::with_config(SolverConfig {
+        engine: SearchEngine::Structural,
+        ..SolverConfig::default()
+    });
+    let cdcl = Solver::with_config(SolverConfig {
+        engine: SearchEngine::Cdcl,
+        ..SolverConfig::default()
+    });
+
+    let mut sat = 0usize;
+    let mut unsat = 0usize;
+    let mut unknown = 0usize;
+    for round in 0..200 {
+        let formula = boxed(&vars, random_formula(&mut rng, &vars, 3));
+        let rs = structural.solve(&formula);
+        let rc = cdcl.solve(&formula);
+        match (&rs, &rc) {
+            (SolverResult::Sat(ms), SolverResult::Sat(mc)) => {
+                sat += 1;
+                assert!(
+                    ms.satisfies(&formula),
+                    "round {round}: structural model fails: {formula:?}"
+                );
+                assert!(
+                    mc.satisfies(&formula),
+                    "round {round}: cdcl model fails: {formula:?}"
+                );
+            }
+            (SolverResult::Unsat, SolverResult::Unsat) => unsat += 1,
+            // a resource-out on either side cannot contradict the other
+            // engine's definite verdict, it only reduces coverage
+            (SolverResult::Unknown(_), _) | (_, SolverResult::Unknown(_)) => unknown += 1,
+            (s, c) => panic!(
+                "round {round}: engines disagree: structural {s:?} vs cdcl {c:?} on {formula:?}"
+            ),
+        }
+        // cross-check: a definite Unsat on one side with a model on the
+        // other is the one catastrophic outcome; covered by the panic arm
+    }
+    // the generator must actually exercise both verdicts
+    assert!(sat >= 20, "too few sat instances: {sat}");
+    assert!(unsat >= 15, "too few unsat instances: {unsat}");
+    assert!(
+        unknown <= 20,
+        "too many unknowns ({unknown}) — instances are supposed to be easy"
+    );
+}
+
+#[test]
+fn engines_agree_on_parity_families() {
+    // targeted family: k·x − k·y = c with and without divisibility
+    // conflicts, under disjunctive structure — the shape the tag-automaton
+    // flow formulas take after the Boolean abstraction
+    let mut pool = VarPool::new();
+    let x = pool.fresh("x");
+    let y = pool.fresh("y");
+    let z = pool.fresh("z");
+    let structural = Solver::with_config(SolverConfig {
+        engine: SearchEngine::Structural,
+        ..SolverConfig::default()
+    });
+    let cdcl = Solver::with_config(SolverConfig {
+        engine: SearchEngine::Cdcl,
+        ..SolverConfig::default()
+    });
+    for k in 2..=5i128 {
+        for c in 0..=3i128 {
+            let formula = Formula::and(vec![
+                Formula::eq(
+                    LinExpr::scaled_var(x, k) - LinExpr::scaled_var(y, k),
+                    LinExpr::scaled_var(z, 1) + LinExpr::constant(c),
+                ),
+                Formula::or(vec![
+                    Formula::eq(LinExpr::var(z), LinExpr::constant(0)),
+                    Formula::eq(LinExpr::var(z), LinExpr::constant(1)),
+                ]),
+                Formula::ge(LinExpr::var(x), LinExpr::constant(0)),
+                Formula::ge(LinExpr::var(y), LinExpr::constant(0)),
+                Formula::le(LinExpr::var(x), LinExpr::constant(50)),
+                Formula::le(LinExpr::var(y), LinExpr::constant(50)),
+            ]);
+            let rs = structural.solve(&formula);
+            let rc = cdcl.solve(&formula);
+            match (&rs, &rc) {
+                (SolverResult::Sat(ms), SolverResult::Sat(mc)) => {
+                    assert!(ms.satisfies(&formula));
+                    assert!(mc.satisfies(&formula));
+                }
+                (SolverResult::Unsat, SolverResult::Unsat) => {}
+                (s, c2) => panic!("k={k} c={c}: structural {s:?} vs cdcl {c2:?}"),
+            }
+        }
+    }
+}

@@ -1,16 +1,25 @@
 //! `posr-portfolio`: a concurrent portfolio engine for the posr string
 //! solver.
 //!
-//! The workspace ships four complementary decision procedures — the paper's
-//! tag-automaton position pipeline plus three baselines with very different
+//! The workspace ships five complementary decision procedures — the paper's
+//! tag-automaton position pipeline under the clause-learning CDCL(T) LIA
+//! core (`cdcl-pos`, the production lane), the same pipeline under the
+//! structural DPLL(T) core (`tag-pos`, engine diversification and the
+//! differential-testing oracle), plus three baselines with very different
 //! strengths (guess-and-check enumeration is fast on satisfiable instances,
 //! the length abstraction refutes length-inconsistent inputs almost for
 //! free, the naive order encoding handles tiny disequality systems).  A
 //! [`PortfolioSolver`] races them on one thread each, accepts the first
 //! *validated* answer and fires the [`CancelToken`]s of the losers, which
-//! unwind cooperatively from the branch points of their searches
-//! (`posr-lia`'s DPLL(T) decisions, the position procedure's CEGAR loop, the
+//! unwind cooperatively from the branch points of their searches (the LIA
+//! engines' decision loops, the position procedure's CEGAR loop, the
 //! enumeration baseline's sampling loop).
+//!
+//! On a host with a single available core the race would only oversubscribe
+//! the CPU, so the portfolio switches to a *sequential* schedule: a ranked
+//! subset of the strategies runs round-robin under doubling time slices
+//! (production lane first), with the same first-validated-answer-wins
+//! policy.
 //!
 //! Soundness policy: `Unsat` is accepted from any strategy (each one is
 //! individually sound for refutations), while `Sat` is accepted only when
@@ -68,7 +77,33 @@ pub trait Strategy: Send + Sync {
     fn solve(&self, formula: &StringFormula, cancel: &CancelToken) -> Answer;
 }
 
-/// The paper's tag-automaton position pipeline (the production solver).
+/// The paper's tag-automaton position pipeline with the clause-learning
+/// CDCL(T) LIA core (the production solver; the only lane that closes the
+/// loopy unsat families).
+#[derive(Clone, Debug, Default)]
+pub struct CdclPosStrategy {
+    /// Base options; the racing token and deadline are merged in per query.
+    pub options: SolverOptions,
+}
+
+impl Strategy for CdclPosStrategy {
+    fn name(&self) -> &'static str {
+        "cdcl-pos"
+    }
+
+    fn solve(&self, formula: &StringFormula, cancel: &CancelToken) -> Answer {
+        let mut options = self.options.clone();
+        options.position.lia.engine = posr_lia::solver::SearchEngine::Cdcl;
+        // one shared implementation of the earlier-deadline merge
+        options.cancel = cancel.merged_with_deadline(options.deadline);
+        options.deadline = options.cancel.deadline();
+        StringSolver::with_options(options).solve(formula)
+    }
+}
+
+/// The same pipeline with the recursive structural DPLL(T) LIA core — kept
+/// in the race as engine diversification and as a differential-testing
+/// oracle for the CDCL lane.
 #[derive(Clone, Debug, Default)]
 pub struct TagPosStrategy {
     /// Base options; the racing token and deadline are merged in per query.
@@ -82,6 +117,7 @@ impl Strategy for TagPosStrategy {
 
     fn solve(&self, formula: &StringFormula, cancel: &CancelToken) -> Answer {
         let mut options = self.options.clone();
+        options.position.lia.engine = posr_lia::solver::SearchEngine::Structural;
         // one shared implementation of the earlier-deadline merge
         options.cancel = cancel.merged_with_deadline(options.deadline);
         options.deadline = options.cancel.deadline();
@@ -165,10 +201,31 @@ pub struct PortfolioResult {
     pub reports: Vec<StrategyReport>,
 }
 
+/// The preference order used when the portfolio must run *sequentially*
+/// (single-core hosts): production CDCL lane first, then the baselines
+/// whose sweet spots (fast Sat, fast length refutation) complement it.
+/// Strategies not listed rank last, in their portfolio order.
+const SEQUENTIAL_RANK: [&str; 4] = [
+    "cdcl-pos",
+    "enumeration",
+    "length-abstraction",
+    "naive-order",
+];
+
+/// How many strategies the sequential schedule rotates over (more lanes on
+/// one core only dilute each other's time slices).
+const SEQUENTIAL_SUBSET: usize = 3;
+
+/// The first sequential time slice; slices double every full rotation, so
+/// total work is at most twice the final slice per strategy.
+const SEQUENTIAL_SLICE: Duration = Duration::from_millis(250);
+
 /// Races a set of [`Strategy`] implementations over each query.
 #[derive(Clone)]
 pub struct PortfolioSolver {
     strategies: Vec<Arc<dyn Strategy>>,
+    /// `None`: detect via `available_parallelism` per query.
+    parallelism: Option<usize>,
 }
 
 impl Default for PortfolioSolver {
@@ -178,16 +235,18 @@ impl Default for PortfolioSolver {
 }
 
 impl PortfolioSolver {
-    /// The default portfolio: the production tag-automaton solver plus the
-    /// three baselines.
+    /// The default portfolio: the production CDCL(T) position solver, its
+    /// structural-engine twin, plus the three baselines.
     pub fn new() -> PortfolioSolver {
         PortfolioSolver {
             strategies: vec![
+                Arc::new(CdclPosStrategy::default()),
                 Arc::new(TagPosStrategy::default()),
                 Arc::new(EnumerationStrategy::default()),
                 Arc::new(NaiveOrderStrategy::default()),
                 Arc::new(LengthAbstractionStrategy::default()),
             ],
+            parallelism: None,
         }
     }
 
@@ -200,7 +259,26 @@ impl PortfolioSolver {
             !strategies.is_empty(),
             "a portfolio needs at least one strategy"
         );
-        PortfolioSolver { strategies }
+        PortfolioSolver {
+            strategies,
+            parallelism: None,
+        }
+    }
+
+    /// Overrides core-count detection: `1` forces the sequential
+    /// time-sliced schedule, `≥ 2` forces the concurrent race.  Tests use
+    /// this; production callers normally let the solver detect.
+    pub fn with_parallelism(mut self, cores: usize) -> PortfolioSolver {
+        self.parallelism = Some(cores.max(1));
+        self
+    }
+
+    fn effective_parallelism(&self) -> usize {
+        self.parallelism.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
     }
 
     /// The strategy names in racing order.
@@ -229,8 +307,13 @@ impl PortfolioSolver {
     /// * `timeout` bounds the race; on expiry every strategy is cancelled
     ///   and the answer is `Unknown`.
     /// * `hint` (usually from `(set-info :posr-strategy …)`) restricts the
-    ///   race to the named strategy plus `tag-pos`; unknown hints are
-    ///   ignored.
+    ///   race to the named strategy plus the production `cdcl-pos` lane;
+    ///   unknown hints are ignored.
+    ///
+    /// On hosts with a single available core the portfolio does not
+    /// oversubscribe threads: a ranked subset of the strategies runs
+    /// *sequentially* under doubling time slices instead (first decisive
+    /// answer wins, exactly as in the race).
     pub fn solve_with(
         &self,
         formula: &StringFormula,
@@ -244,13 +327,17 @@ impl PortfolioSolver {
             Some(h) if self.strategies.iter().any(|s| s.name() == h) => self
                 .strategies
                 .iter()
-                .filter(|s| s.name() == h || s.name() == "tag-pos")
+                .filter(|s| s.name() == h || s.name() == "cdcl-pos")
                 .cloned()
                 .collect(),
             _ => self.strategies.clone(),
         };
         if racers.is_empty() {
             racers = self.strategies.clone();
+        }
+
+        if self.effective_parallelism() == 1 {
+            return self.solve_sequential(formula, racers, start, deadline);
         }
 
         let tokens: Vec<CancelToken> = racers
@@ -309,9 +396,15 @@ impl PortfolioSolver {
                     }
                     // keep draining: the scope joins every thread anyway, and
                     // the reports should record how the losers ended
-                } else if accepted.is_none() && fallback.is_none() && !cancelled {
+                } else if accepted.is_none()
+                    && fallback.is_none()
+                    && !cancelled
+                    && !matches!(answer, Answer::Sat(_))
+                {
                     // remember the most informative non-answer (an Unknown
-                    // reason beats a generic "portfolio undecided")
+                    // reason beats a generic "portfolio undecided").  A `Sat`
+                    // that failed validation is *not* kept: reporting it
+                    // would violate the validated-models-only policy
                     fallback = Some(answer);
                 }
             }
@@ -328,6 +421,109 @@ impl PortfolioSolver {
                 .into_iter()
                 .map(|r| r.expect("every racer reports exactly once"))
                 .collect(),
+        }
+    }
+
+    /// The single-core schedule: a ranked subset of the racers runs
+    /// round-robin under doubling time slices.  A strategy that answers
+    /// `Unknown` *without* its slice token having fired has genuinely given
+    /// up (unsupported fragment, internal limit below the slice) and leaves
+    /// the rotation; slice-expired strategies retry with the next, longer
+    /// slice.  Doubling keeps the total work within a factor of two of the
+    /// final slice, so the schedule loses at most a small constant over
+    /// clairvoyantly picking the right strategy.
+    fn solve_sequential(
+        &self,
+        formula: &StringFormula,
+        racers: Vec<Arc<dyn Strategy>>,
+        start: Instant,
+        deadline: Option<Instant>,
+    ) -> PortfolioResult {
+        let rank = |s: &Arc<dyn Strategy>| {
+            SEQUENTIAL_RANK
+                .iter()
+                .position(|&n| n == s.name())
+                .unwrap_or(SEQUENTIAL_RANK.len())
+        };
+        let mut ranked = racers;
+        ranked.sort_by_key(rank);
+        ranked.truncate(SEQUENTIAL_SUBSET.max(1));
+
+        let mut reports: Vec<StrategyReport> = ranked
+            .iter()
+            .map(|s| StrategyReport {
+                name: s.name(),
+                elapsed: Duration::ZERO,
+                outcome: StrategyOutcome::Cancelled,
+            })
+            .collect();
+        let mut active: Vec<bool> = vec![true; ranked.len()];
+        let mut fallback: Option<Answer> = None;
+        let mut slice = SEQUENTIAL_SLICE;
+        loop {
+            let mut progressed = false;
+            for (index, strategy) in ranked.iter().enumerate() {
+                if !active[index] {
+                    continue;
+                }
+                let now = Instant::now();
+                if deadline.is_some_and(|d| now >= d) {
+                    break;
+                }
+                let mut slice_end = now + slice;
+                if let Some(d) = deadline {
+                    slice_end = slice_end.min(d);
+                }
+                let token = CancelToken::with_deadline(slice_end);
+                let begin = Instant::now();
+                let answer = strategy.solve(formula, &token);
+                let elapsed = begin.elapsed();
+                progressed = true;
+                let decisive = answer_is_decisive(&answer, formula);
+                let expired = answer.is_unknown() && token.is_cancelled();
+                reports[index] = StrategyReport {
+                    name: strategy.name(),
+                    elapsed,
+                    outcome: if decisive {
+                        StrategyOutcome::Won
+                    } else if expired {
+                        StrategyOutcome::Cancelled
+                    } else {
+                        StrategyOutcome::Finished(describe(&answer))
+                    },
+                };
+                if decisive {
+                    return PortfolioResult {
+                        answer,
+                        winner: Some(strategy.name()),
+                        elapsed: start.elapsed(),
+                        reports,
+                    };
+                }
+                if !expired {
+                    // a genuine give-up: remember the reason, stop retrying.
+                    // As in the race, an unvalidated `Sat` never becomes the
+                    // reported answer
+                    active[index] = false;
+                    if fallback.is_none() && !matches!(answer, Answer::Sat(_)) {
+                        fallback = Some(answer);
+                    }
+                }
+            }
+            let out_of_time = deadline.is_some_and(|d| Instant::now() >= d);
+            let exhausted = !active.iter().any(|&a| a);
+            if out_of_time || exhausted || !progressed {
+                let answer = fallback.unwrap_or_else(|| {
+                    Answer::Unknown("portfolio: no strategy produced an answer".to_string())
+                });
+                return PortfolioResult {
+                    answer,
+                    winner: None,
+                    elapsed: start.elapsed(),
+                    reports,
+                };
+            }
+            slice = slice.saturating_mul(2);
         }
     }
 }
@@ -373,20 +569,55 @@ mod tests {
     }
 
     #[test]
-    fn portfolio_agrees_with_sequential_on_sat() {
-        let result = PortfolioSolver::new().solve_with(&sat_formula(), None, None);
+    fn racing_portfolio_decides_sat() {
+        // pin the concurrent race: on a 1-core host the auto-detected mode
+        // would be the sequential schedule
+        let result =
+            PortfolioSolver::new()
+                .with_parallelism(4)
+                .solve_with(&sat_formula(), None, None);
         match &result.answer {
             Answer::Sat(model) => assert!(model.satisfies(&sat_formula())),
             other => panic!("expected sat, got {other:?}"),
         }
         assert!(result.winner.is_some());
-        assert_eq!(result.reports.len(), 4);
+        assert_eq!(result.reports.len(), 5);
     }
 
     #[test]
-    fn portfolio_agrees_with_sequential_on_unsat() {
-        let result = PortfolioSolver::new().solve_with(&unsat_formula(), None, None);
+    fn racing_portfolio_decides_unsat() {
+        let result =
+            PortfolioSolver::new()
+                .with_parallelism(4)
+                .solve_with(&unsat_formula(), None, None);
         assert!(result.answer.is_unsat(), "got {:?}", result.answer);
+    }
+
+    #[test]
+    fn sequential_schedule_decides_both_verdicts() {
+        let portfolio = PortfolioSolver::new().with_parallelism(1);
+        let sat = portfolio.solve_with(&sat_formula(), None, None);
+        match &sat.answer {
+            Answer::Sat(model) => assert!(model.satisfies(&sat_formula())),
+            other => panic!("expected sat, got {other:?}"),
+        }
+        assert!(sat.winner.is_some());
+        // the single-core schedule rotates over a ranked subset, not the
+        // whole portfolio
+        assert!(sat.reports.len() <= SEQUENTIAL_SUBSET);
+        assert!(sat
+            .reports
+            .iter()
+            .any(|r| r.outcome == StrategyOutcome::Won));
+        let unsat = portfolio.solve_with(&unsat_formula(), None, None);
+        assert!(unsat.answer.is_unsat(), "got {:?}", unsat.answer);
+    }
+
+    #[test]
+    fn sequential_schedule_ranks_the_production_lane_first() {
+        let portfolio = PortfolioSolver::new().with_parallelism(1);
+        let result = portfolio.solve_with(&unsat_formula(), None, None);
+        assert_eq!(result.reports[0].name, "cdcl-pos");
     }
 
     /// A strategy that never answers until its token fires — the direct test
@@ -411,7 +642,8 @@ mod tests {
         let portfolio = PortfolioSolver::with_strategies(vec![
             Arc::new(TagPosStrategy::default()),
             Arc::new(HangingStrategy),
-        ]);
+        ])
+        .with_parallelism(2);
         let start = Instant::now();
         let result = portfolio.solve_with(&unsat_formula(), None, None);
         assert!(result.answer.is_unsat());
@@ -427,7 +659,8 @@ mod tests {
         let portfolio = PortfolioSolver::with_strategies(vec![
             Arc::new(HangingStrategy),
             Arc::new(HangingStrategy),
-        ]);
+        ])
+        .with_parallelism(2);
         let result = portfolio.solve_with(&sat_formula(), Some(Duration::from_millis(100)), None);
         assert!(result.answer.is_unknown());
         assert!(result.elapsed < Duration::from_secs(30));
@@ -439,16 +672,16 @@ mod tests {
 
     #[test]
     fn hint_restricts_the_race() {
-        let portfolio = PortfolioSolver::new();
+        let portfolio = PortfolioSolver::new().with_parallelism(4);
         let result = portfolio.solve_with(&sat_formula(), None, Some("enumeration"));
         assert!(result.answer.is_sat());
         let names: Vec<_> = result.reports.iter().map(|r| r.name).collect();
         assert!(names.contains(&"enumeration"));
-        assert!(names.contains(&"tag-pos"));
+        assert!(names.contains(&"cdcl-pos"));
         assert_eq!(names.len(), 2);
         // unknown hints fall back to the full portfolio
         let full = portfolio.solve_with(&sat_formula(), None, Some("no-such-strategy"));
-        assert_eq!(full.reports.len(), 4);
+        assert_eq!(full.reports.len(), 5);
     }
 
     #[test]
@@ -469,8 +702,23 @@ mod tests {
         let portfolio = PortfolioSolver::with_strategies(vec![
             Arc::new(LiarStrategy),
             Arc::new(TagPosStrategy::default()),
-        ]);
+        ])
+        .with_parallelism(2);
         let result = portfolio.solve_with(&formula, None, None);
+        match &result.answer {
+            Answer::Sat(model) => {
+                assert!(model.satisfies(&formula));
+                assert_eq!(result.winner, Some("tag-pos"));
+            }
+            other => panic!("expected sat from tag-pos, got {other:?}"),
+        }
+        // the sequential schedule applies the same validation policy
+        let sequential = PortfolioSolver::with_strategies(vec![
+            Arc::new(LiarStrategy),
+            Arc::new(TagPosStrategy::default()),
+        ])
+        .with_parallelism(1);
+        let result = sequential.solve_with(&formula, None, None);
         match &result.answer {
             Answer::Sat(model) => {
                 assert!(model.satisfies(&formula));

@@ -1,0 +1,81 @@
+//! Quick probe: flagship loopy unsat instance under both engines.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use posr_automata::Regex;
+use posr_lia::formula::Formula;
+use posr_lia::solver::{SearchEngine, Solver, SolverConfig};
+use posr_lia::term::VarPool;
+use posr_tagauto::system::{PositionConstraint, SystemEncoder};
+use posr_tagauto::tags::VarTable;
+
+fn main() {
+    if std::env::args().nth(1).as_deref() == Some("sat") {
+        sat_probe();
+        return;
+    }
+    let mut vars = VarTable::new();
+    let mut automata = BTreeMap::new();
+    let x = vars.intern("x");
+    let y = vars.intern("y");
+    automata.insert(x, Regex::parse("(ab)*").unwrap().compile());
+    automata.insert(y, Regex::parse("(ab)*").unwrap().compile());
+    let encoder = SystemEncoder::new(&automata, &vars);
+    let mut pool = VarPool::new();
+    let encoding = encoder.encode(&[PositionConstraint::diseq(vec![x], vec![y])], &mut pool);
+    let extra = Formula::and(vec![Formula::eq(
+        encoding.length_of(x),
+        encoding.length_of(y),
+    )]);
+    let formula = Formula::and(vec![encoding.formula.clone(), extra]);
+    eprintln!(
+        "formula size {} atoms {}",
+        formula.size(),
+        formula.num_atoms()
+    );
+    for engine in [SearchEngine::Cdcl, SearchEngine::Structural] {
+        let start = Instant::now();
+        let config = SolverConfig::default().with_engine(engine);
+        let result = Solver::with_config(config).solve(&formula);
+        println!(
+            "{engine:?}: {:?} in {:?}",
+            match result {
+                posr_lia::solver::SolverResult::Sat(_) => "sat".to_string(),
+                posr_lia::solver::SolverResult::Unsat => "unsat".to_string(),
+                posr_lia::solver::SolverResult::Unknown(r) => format!("unknown: {r}"),
+            },
+            start.elapsed()
+        );
+    }
+}
+
+fn sat_probe() {
+    let mut vars = VarTable::new();
+    let mut automata = BTreeMap::new();
+    let x = vars.intern("x");
+    let y = vars.intern("y");
+    automata.insert(x, Regex::parse("(ab)*").unwrap().compile());
+    automata.insert(y, Regex::parse("(ac)*").unwrap().compile());
+    let encoder = SystemEncoder::new(&automata, &vars);
+    let mut pool = VarPool::new();
+    let encoding = encoder.encode(&[PositionConstraint::diseq(vec![x], vec![y])], &mut pool);
+    let formula = encoding.formula.clone();
+    eprintln!(
+        "sat probe: formula size {} atoms {}",
+        formula.size(),
+        formula.num_atoms()
+    );
+    let start = Instant::now();
+    let config = SolverConfig::default().with_engine(SearchEngine::Cdcl);
+    let result = Solver::with_config(config).solve(&formula);
+    eprintln!(
+        "Cdcl: {:?} in {:?}",
+        match result {
+            posr_lia::solver::SolverResult::Sat(_) => "sat".to_string(),
+            posr_lia::solver::SolverResult::Unsat => "unsat".to_string(),
+            posr_lia::solver::SolverResult::Unknown(r) => format!("unknown: {r}"),
+        },
+        start.elapsed()
+    );
+}

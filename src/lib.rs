@@ -20,8 +20,10 @@
 //! ```
 //!
 //! * [`automata`] — NFAs, regex compilation, Parikh images, flatness, the
-//!   shared pattern-keyed automaton cache,
-//! * [`lia`] — the DPLL(T) LIA solver with cooperative cancellation,
+//!   shared pattern-keyed and content-keyed automaton caches,
+//! * [`lia`] — the LIA solver with cooperative cancellation: the
+//!   clause-learning CDCL(T) engine (default) and the structural DPLL(T)
+//!   oracle behind the `SearchEngine` knob,
 //! * [`tagauto`] — tag automata and the position-constraint encodings,
 //! * [`core`] — the solving pipeline and the baseline solvers,
 //! * [`smtfmt`] — the SMT-LIB-flavoured front end with strategy hints,

@@ -108,10 +108,14 @@ impl Strategy for HangingStrategy {
 
 #[test]
 fn hung_strategy_is_abandoned_after_the_winner_finishes() {
+    // pin the concurrent race: on a 1-core host the auto-detected mode
+    // would be the sequential schedule, which abandons by slice expiry
+    // rather than by losing a race
     let portfolio = PortfolioSolver::with_strategies(vec![
         Arc::new(TagPosStrategy::default()),
         Arc::new(HangingStrategy),
-    ]);
+    ])
+    .with_parallelism(2);
     let unsat = StringFormula::new()
         .in_re("x", "abc")
         .diseq(StringTerm::var("x"), StringTerm::lit("abc"));
@@ -131,7 +135,8 @@ fn deadline_abandons_every_hung_strategy() {
         Arc::new(HangingStrategy),
         Arc::new(HangingStrategy),
         Arc::new(HangingStrategy),
-    ]);
+    ])
+    .with_parallelism(3);
     let formula = StringFormula::new().in_re("x", "(ab)*");
     let start = Instant::now();
     let result = portfolio.solve_with(&formula, Some(Duration::from_millis(150)), None);
