@@ -1,14 +1,18 @@
 //! Ablation experiments: encoding sizes of the polynomial copy-tag
 //! construction vs. the naive mismatch-order enumeration, the PTime
 //! one-counter procedure vs. the LIA encoding for a single disequality,
-//! and the CDCL(T) vs. structural LIA engine comparison on the flagship
-//! instance set.
+//! the CDCL(T) vs. structural LIA engine comparison on the flagship
+//! instance set, and the incremental-vs-scratch CEGAR comparison on the
+//! tag-encoding instances.
 //!
-//! The engine comparison doubles as the CI smoke gate: the binary exits
-//! non-zero unless the CDCL engine decides every flagship instance with
-//! the expected verdict, and writes the comparison table to
-//! `target/ablation-report.md` (override with `POSR_ABLATION_REPORT`) for
-//! upload as a build artifact.
+//! The engine comparison and the CEGAR comparison double as the CI smoke
+//! gates: the binary exits non-zero unless (a) the CDCL engine decides
+//! every flagship instance with the expected verdict, (b) the incremental
+//! and scratch CEGAR drivers agree on every round's verdict, and (c) every
+//! CEGAR instance carries `> 0` learned clauses into its post-cut
+//! re-solves.  The reports go to `target/ablation-report.md` and
+//! `target/ablation-incremental.md` (override with `POSR_ABLATION_REPORT`
+//! / `POSR_ABLATION_INCREMENTAL`) for upload as build artifacts.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -17,11 +21,13 @@ use std::time::{Duration, Instant};
 use posr_automata::Regex;
 use posr_core::ast::{StringFormula, StringTerm};
 use posr_core::solver::{answer_status, SolverOptions, StringSolver};
-use posr_lia::solver::SearchEngine;
-use posr_lia::term::VarPool;
+use posr_lia::formula::Formula;
+use posr_lia::incremental::IncrementalSolver;
+use posr_lia::solver::{SearchEngine, Solver, SolverConfig, SolverResult};
+use posr_lia::term::{LinExpr, VarPool};
 use posr_tagauto::diseq_simple::encode_simple_diseq;
 use posr_tagauto::onecounter_diseq::single_diseq_satisfiable;
-use posr_tagauto::system::{PositionConstraint, SystemEncoder};
+use posr_tagauto::system::{PositionConstraint, SystemEncoder, SystemEncoding};
 use posr_tagauto::system_naive::encode_naive;
 use posr_tagauto::tags::VarTable;
 
@@ -128,6 +134,247 @@ fn engine_comparison() -> (String, bool) {
     (report, all_ok)
 }
 
+/// One CEGAR tag-encoding instance of the incremental-vs-scratch table.
+struct CegarInstance {
+    name: &'static str,
+    encoding: SystemEncoding,
+    extra: Formula,
+}
+
+/// The satisfiable tag-encoding families whose CEGAR loops the incremental
+/// layer exists to accelerate.
+fn cegar_instances() -> Vec<CegarInstance> {
+    let build = |specs: &[(&str, &str)],
+                 constraints: &dyn Fn(&[posr_tagauto::tags::StrVar]) -> Vec<PositionConstraint>,
+                 extra: &dyn Fn(&SystemEncoding, &[posr_tagauto::tags::StrVar]) -> Formula|
+     -> (SystemEncoding, Formula) {
+        let mut vars = VarTable::new();
+        let mut automata = BTreeMap::new();
+        let mut ids = Vec::new();
+        for (name, regex) in specs {
+            let v = vars.intern(name);
+            automata.insert(v, Regex::parse(regex).unwrap().compile());
+            ids.push(v);
+        }
+        let mut pool = VarPool::new();
+        let encoding = SystemEncoder::new(&automata, &vars).encode(&constraints(&ids), &mut pool);
+        let extra = extra(&encoding, &ids);
+        (encoding, extra)
+    };
+    let mut out = Vec::new();
+    {
+        let (encoding, extra) = build(
+            &[("x", "a|b"), ("y", "a"), ("z", "a")],
+            &|ids| {
+                vec![
+                    PositionConstraint::diseq(vec![ids[0]], vec![ids[1]]),
+                    PositionConstraint::diseq(vec![ids[0]], vec![ids[2]]),
+                ]
+            },
+            &|_, _| Formula::True,
+        );
+        out.push(CegarInstance {
+            name: "k2-diseq-sat",
+            encoding,
+            extra,
+        });
+    }
+    {
+        let (encoding, extra) = build(
+            &[("x", "a*"), ("y", "b*")],
+            &|ids| {
+                vec![PositionConstraint::diseq(
+                    vec![ids[0], ids[1]],
+                    vec![ids[1], ids[0]],
+                )]
+            },
+            &|_, _| Formula::True,
+        );
+        out.push(CegarInstance {
+            name: "xy-yx-two-letters-sat",
+            encoding,
+            extra,
+        });
+    }
+    {
+        let (encoding, extra) = build(
+            &[("x", "(ab)*"), ("y", "(ac)*")],
+            &|ids| vec![PositionConstraint::diseq(vec![ids[0]], vec![ids[1]])],
+            &|encoding, ids| {
+                Formula::and(vec![
+                    Formula::eq(encoding.length_of(ids[0]), encoding.length_of(ids[1])),
+                    Formula::ge(encoding.length_of(ids[0]), LinExpr::constant(2)),
+                ])
+            },
+        );
+        out.push(CegarInstance {
+            name: "diseq-eqlen-mismatch-sat",
+            encoding,
+            extra,
+        });
+    }
+    out
+}
+
+/// Telemetry of one CEGAR run (either driver).
+struct CegarRun {
+    statuses: Vec<&'static str>,
+    rounds: usize,
+    conflicts: u64,
+    /// Learned clauses alive at the start of each round (incremental
+    /// driver only; the scratch driver starts every round from zero).
+    learned_carried: Vec<u64>,
+    wall: Duration,
+}
+
+/// Drives the connectivity-cut loop plus `forced_blocks` model-blocking
+/// rounds (the shape of the `¬contains` instantiation loop), either on one
+/// persistent incremental session or from scratch each round.
+fn run_cegar(instance: &CegarInstance, incremental: bool, forced_blocks: usize) -> CegarRun {
+    let config = SolverConfig::default();
+    let start = Instant::now();
+    let conflicts_before = posr_lia::global_stats().conflicts;
+    let mut session = IncrementalSolver::with_config(config.clone());
+    let mut scratch_formula = Formula::and(vec![
+        instance.encoding.formula.clone(),
+        instance.extra.clone(),
+    ]);
+    if incremental {
+        session.assert_formula(&scratch_formula);
+    }
+    let scratch = Solver::with_config(config);
+    let mut run = CegarRun {
+        statuses: Vec::new(),
+        rounds: 0,
+        conflicts: 0,
+        learned_carried: Vec::new(),
+        wall: Duration::ZERO,
+    };
+    let mut blocks_left = forced_blocks;
+    for _ in 0..32 {
+        run.learned_carried.push(session.stats().learned_live);
+        run.rounds += 1;
+        let result = if incremental {
+            session.solve()
+        } else {
+            scratch.solve(&scratch_formula)
+        };
+        match result {
+            SolverResult::Sat(model) => {
+                run.statuses.push("sat");
+                let refinement = match instance.encoding.extract_assignment(&model) {
+                    // connected model: block its Parikh image to force a
+                    // genuine post-cut re-solve, CEGAR-style
+                    Some(_) if blocks_left > 0 => {
+                        blocks_left -= 1;
+                        let parikh = instance.encoding.parikh.as_ref().expect("loopy instance");
+                        Formula::or(
+                            parikh
+                                .trans_vars
+                                .iter()
+                                .map(|&tv| {
+                                    Formula::ne(
+                                        LinExpr::var(tv),
+                                        LinExpr::constant(model.value(tv)),
+                                    )
+                                })
+                                .collect(),
+                        )
+                    }
+                    Some(_) => break,
+                    None => match instance.encoding.connectivity_cut(&model) {
+                        Some(cut) => cut,
+                        None => break,
+                    },
+                };
+                if incremental {
+                    session.assert_formula(&refinement);
+                } else {
+                    scratch_formula = Formula::and(vec![scratch_formula, refinement]);
+                }
+            }
+            SolverResult::Unsat => {
+                run.statuses.push("unsat");
+                break;
+            }
+            SolverResult::Unknown(_) => {
+                run.statuses.push("unknown");
+                break;
+            }
+        }
+    }
+    run.wall = start.elapsed();
+    run.conflicts = posr_lia::global_stats().conflicts - conflicts_before;
+    run
+}
+
+/// Runs the incremental-vs-scratch CEGAR comparison; returns the markdown
+/// report and whether verdicts agree and lemmas were carried everywhere.
+fn cegar_comparison() -> (String, bool) {
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "# CEGAR: incremental session vs from-scratch re-solving"
+    );
+    let _ = writeln!(report);
+    let _ = writeln!(
+        report,
+        "Each instance runs its connectivity-cut loop plus two forced \
+         model-blocking rounds (the `¬contains` CEGAR shape).  `carried` \
+         is the number of learned clauses alive at the start of each \
+         incremental round — `0` everywhere would mean the \"incremental\" \
+         path re-derives its conflicts from scratch."
+    );
+    let _ = writeln!(report);
+    let _ = writeln!(
+        report,
+        "| instance | final verdict | inc rounds | inc conflicts | inc wall | scratch rounds | scratch conflicts | scratch wall | carried per round |"
+    );
+    let _ = writeln!(report, "|---|---|---|---|---|---|---|---|---|");
+    let mut all_ok = true;
+    for instance in cegar_instances() {
+        let inc = run_cegar(&instance, true, 2);
+        let scr = run_cegar(&instance, false, 2);
+        // the drivers may need different numbers of connectivity-cut
+        // rounds (they find different models); soundness requires the
+        // *final* verdicts to agree
+        let verdicts_agree = inc.statuses.last() == scr.statuses.last();
+        // every re-solve after the first round must start with lemmas
+        let carried_ok = inc.rounds > 1 && inc.learned_carried[1..].iter().all(|&c| c > 0);
+        all_ok &= verdicts_agree && carried_ok;
+        let _ = writeln!(
+            report,
+            "| {} | {}{} | {} | {} | {:.2?} | {} | {} | {:.2?} | {:?}{} |",
+            instance.name,
+            inc.statuses.last().copied().unwrap_or("none"),
+            if verdicts_agree {
+                ""
+            } else {
+                " ≠ scratch ❌"
+            },
+            inc.rounds,
+            inc.conflicts,
+            inc.wall,
+            scr.rounds,
+            scr.conflicts,
+            scr.wall,
+            inc.learned_carried,
+            if carried_ok { "" } else { " ❌" },
+        );
+    }
+    let _ = writeln!(report);
+    let _ = writeln!(
+        report,
+        "{}",
+        if all_ok {
+            "Verdicts agree and every post-cut re-solve retained learned clauses."
+        } else {
+            "MISMATCH: a verdict diverged or a re-solve started without lemmas."
+        }
+    );
+    (report, all_ok)
+}
+
 fn main() {
     println!("== encoding size: polynomial copy-tag construction vs naive order enumeration ==");
     let mut vars = VarTable::new();
@@ -204,8 +451,27 @@ fn main() {
         Ok(()) => println!("report written to {path}"),
         Err(e) => eprintln!("could not write report to {path}: {e}"),
     }
+
+    println!();
+    println!("== CEGAR: incremental session vs from-scratch re-solving ==");
+    let (cegar_report, cegar_ok) = cegar_comparison();
+    println!("{cegar_report}");
+    let cegar_path = std::env::var("POSR_ABLATION_INCREMENTAL")
+        .unwrap_or_else(|_| "target/ablation-incremental.md".to_string());
+    if let Some(parent) = std::path::Path::new(&cegar_path).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(&cegar_path, &cegar_report) {
+        Ok(()) => println!("report written to {cegar_path}"),
+        Err(e) => eprintln!("could not write report to {cegar_path}: {e}"),
+    }
+
     if !all_ok {
         eprintln!("FAIL: the CDCL engine missed an expected verdict");
+        std::process::exit(1);
+    }
+    if !cegar_ok {
+        eprintln!("FAIL: the incremental CEGAR comparison found a mismatch");
         std::process::exit(1);
     }
 }

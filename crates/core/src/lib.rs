@@ -55,8 +55,10 @@ pub mod monadic;
 pub mod normal;
 pub mod notcontains;
 pub mod position;
+pub mod session;
 pub mod solver;
 
 pub use ast::{StringAtom, StringFormula, StringTerm};
 pub use posr_lia::cancel::CancelToken;
+pub use session::SolverSession;
 pub use solver::{Answer, SolverOptions, StringModel, StringSolver};

@@ -22,6 +22,7 @@ use posr_automata::nfa::symbols_to_string;
 use posr_automata::Nfa;
 use posr_lia::cancel::CancelToken;
 use posr_lia::formula::Formula;
+use posr_lia::incremental::IncrementalSolver;
 use posr_lia::solver::{Model, Solver, SolverConfig, SolverResult};
 use posr_lia::term::{LinExpr, Var, VarPool};
 use posr_tagauto::onecounter_diseq::single_diseq_satisfiable;
@@ -60,6 +61,12 @@ pub struct PositionOptions {
     pub max_cegar_rounds: usize,
     /// Configuration of the underlying LIA solver.
     pub lia: SolverConfig,
+    /// Drive the CEGAR loop through one persistent incremental LIA
+    /// session (connectivity cuts and blocking clauses asserted as
+    /// increments, learned clauses retained across rounds).  `false`
+    /// rebuilds the conjunction and re-solves from scratch each round —
+    /// kept for the ablation's incremental-vs-scratch comparison.
+    pub incremental_cegar: bool,
     /// Optional wall-clock deadline; checked between solver calls.
     pub deadline: Option<Instant>,
     /// Cooperative cancellation token; checked between solver calls and
@@ -73,6 +80,7 @@ impl Default for PositionOptions {
             max_connectivity_cuts: 64,
             max_cegar_rounds: 64,
             lia: SolverConfig::default(),
+            incremental_cegar: true,
             deadline: None,
             cancel: CancelToken::none(),
         }
@@ -418,8 +426,39 @@ fn satisfies_concretely(problem: &PositionProblem<'_>, strings: &BTreeMap<String
     true
 }
 
+/// How each CEGAR round is solved: one persistent incremental session
+/// (refinements asserted as increments, lemmas retained) or a from-scratch
+/// re-solve of the accumulated conjunction.
+enum CegarBackend {
+    Incremental(Box<IncrementalSolver>),
+    Scratch(Solver, Formula),
+}
+
+impl CegarBackend {
+    fn solve(&mut self) -> SolverResult {
+        match self {
+            CegarBackend::Incremental(session) => session.solve(),
+            CegarBackend::Scratch(solver, formula) => solver.solve(formula),
+        }
+    }
+
+    /// Conjoins a refinement (connectivity cut or blocking clause).
+    fn refine(&mut self, refinement: Formula) {
+        match self {
+            CegarBackend::Incremental(session) => session.assert_formula(&refinement),
+            CegarBackend::Scratch(_, formula) => {
+                let base = std::mem::replace(formula, Formula::True);
+                *formula = Formula::and(vec![base, refinement]);
+            }
+        }
+    }
+}
+
 /// The main solve loop: lazy connectivity cuts plus the `¬contains`
-/// instantiation loop (blocking refuted candidate assignments).
+/// instantiation loop (blocking refuted candidate assignments).  With
+/// [`PositionOptions::incremental_cegar`] (the default) every round runs on
+/// the same persistent CDCL(T) session, so the conflicts refuting one
+/// candidate keep pruning the next round's search.
 fn solve_with_cegar(
     encoding: &SystemEncoding,
     base_formula: Formula,
@@ -433,8 +472,13 @@ fn solve_with_cegar(
     // the LIA search must observe the same flag/deadline the position loop polls
     let mut lia_config = options.lia.clone();
     lia_config.cancel = token.clone();
-    let solver = Solver::with_config(lia_config);
-    let mut formula = base_formula;
+    let mut backend = if options.incremental_cegar {
+        let mut session = IncrementalSolver::with_config(lia_config);
+        session.assert_formula(&base_formula);
+        CegarBackend::Incremental(Box::new(session))
+    } else {
+        CegarBackend::Scratch(Solver::with_config(lia_config), base_formula)
+    };
     let mut cuts = 0usize;
     let mut rounds = 0usize;
     let flat = contains_goals.is_empty() || notcontains::all_flat(contains_goals, vars, automata);
@@ -442,7 +486,7 @@ fn solve_with_cegar(
         if token.is_cancelled() {
             return PositionOutcome::Unknown(token.unknown_reason());
         }
-        match solver.solve(&formula) {
+        match backend.solve() {
             SolverResult::Unsat => {
                 // blocking clauses for non-flat ¬contains are over-approximate,
                 // so exhausting them does not prove unsatisfiability
@@ -465,7 +509,7 @@ fn solve_with_cegar(
                     }
                     match encoding.connectivity_cut(&model) {
                         Some(cut) => {
-                            formula = Formula::and(vec![formula, cut]);
+                            backend.refine(cut);
                             continue;
                         }
                         None => {
@@ -493,7 +537,7 @@ fn solve_with_cegar(
                             "¬contains instantiation limit exceeded".to_string(),
                         );
                     }
-                    formula = Formula::and(vec![formula, blocking_clause(encoding, &model)]);
+                    backend.refine(blocking_clause(encoding, &model));
                     continue;
                 }
                 let ints = int_vars

@@ -1,0 +1,166 @@
+//! An incremental solving session over string formulas: the engine behind
+//! multi-`(check-sat)` SMT-LIB scripts with `(push)`/`(pop)`.
+//!
+//! A [`SolverSession`] keeps an assertion stack of [`StringAtom`]s and
+//! answers `check-sat` for the conjunction of every live assertion.  The
+//! string-level pipeline (normalisation → monadic decomposition → position
+//! encoding) re-runs per check — the monadic case split is not incremental
+//! — but the expensive layers underneath *are* reused across checks:
+//!
+//! * compiled and prepared automata are interned in the process-wide
+//!   caches of `posr-automata`, so re-checking after a `push` re-uses every
+//!   intersection and ε-elimination of the previous check, and
+//! * within each check, the CEGAR loops (connectivity cuts, `¬contains`
+//!   instantiation) run on one persistent incremental CDCL(T) session
+//!   ([`posr_lia::incremental`]), retaining learned clauses across
+//!   refinement rounds.
+//!
+//! The `posr-smtfmt` crate's `run_script` drives one of these sessions
+//! from SMT-LIB command-stream text.
+
+use crate::ast::{StringAtom, StringFormula};
+use crate::solver::{Answer, SolverOptions, StringModel, StringSolver};
+
+/// A stack-shaped incremental session over string assertions.
+#[derive(Clone, Debug, Default)]
+pub struct SolverSession {
+    options: SolverOptions,
+    /// All live assertions, in assertion order.
+    atoms: Vec<StringAtom>,
+    /// Stack marks: `frames[i]` is the length of `atoms` when frame `i`
+    /// was opened.
+    frames: Vec<usize>,
+    /// The model of the most recent satisfiable check.
+    last_model: Option<StringModel>,
+}
+
+impl SolverSession {
+    /// A session with default solver options.
+    pub fn new() -> SolverSession {
+        SolverSession::default()
+    }
+
+    /// A session with explicit solver options (deadlines, cancellation,
+    /// LIA limits) applied to every `check-sat`.
+    pub fn with_options(options: SolverOptions) -> SolverSession {
+        SolverSession {
+            options,
+            ..SolverSession::default()
+        }
+    }
+
+    /// Conjoins an assertion at the current stack level.
+    pub fn assert(&mut self, atom: StringAtom) {
+        self.atoms.push(atom);
+    }
+
+    /// Conjoins several assertions at the current stack level.
+    pub fn assert_all<I: IntoIterator<Item = StringAtom>>(&mut self, atoms: I) {
+        self.atoms.extend(atoms);
+    }
+
+    /// Opens `n` assertion frames.
+    pub fn push(&mut self, n: usize) {
+        for _ in 0..n {
+            self.frames.push(self.atoms.len());
+        }
+    }
+
+    /// Closes `n` frames, retracting their assertions; `false` (and no
+    /// change) when fewer than `n` frames are open.
+    pub fn pop(&mut self, n: usize) -> bool {
+        if n > self.frames.len() {
+            return false;
+        }
+        for _ in 0..n {
+            let mark = self.frames.pop().expect("checked above");
+            self.atoms.truncate(mark);
+        }
+        true
+    }
+
+    /// The number of open frames.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// The conjunction of every live assertion, flattened.
+    pub fn assertions(&self) -> StringFormula {
+        StringFormula {
+            atoms: self.atoms.clone(),
+        }
+    }
+
+    /// Decides the conjunction of the live assertions.  The model of a
+    /// `Sat` answer is remembered for [`SolverSession::last_model`].
+    pub fn check_sat(&mut self) -> Answer {
+        let answer = StringSolver::with_options(self.options.clone()).solve(&self.assertions());
+        if let Answer::Sat(model) = &answer {
+            self.last_model = Some(model.clone());
+        }
+        answer
+    }
+
+    /// The model of the most recent satisfiable check, if any.
+    pub fn last_model(&self) -> Option<&StringModel> {
+        self.last_model.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::StringTerm;
+
+    fn in_re(var: &str, regex: &str) -> StringAtom {
+        StringAtom::InRe {
+            var: var.to_string(),
+            regex: regex.to_string(),
+            negated: false,
+        }
+    }
+
+    fn diseq(lhs: &str, rhs: &str) -> StringAtom {
+        StringAtom::Equation {
+            lhs: StringTerm::var(lhs),
+            rhs: StringTerm::var(rhs),
+            negated: true,
+        }
+    }
+
+    #[test]
+    fn push_pop_flips_the_verdict_and_back() {
+        let mut session = SolverSession::new();
+        session.assert(in_re("x", "ab"));
+        assert!(session.check_sat().is_sat());
+        session.push(1);
+        session.assert(in_re("y", "ab"));
+        session.assert(diseq("x", "y"));
+        assert!(session.check_sat().is_unsat(), "ab ≠ ab is unsat");
+        assert!(session.pop(1));
+        assert!(session.check_sat().is_sat());
+        assert!(session.last_model().is_some());
+    }
+
+    #[test]
+    fn pop_below_the_stack_is_rejected() {
+        let mut session = SolverSession::new();
+        assert!(!session.pop(1));
+        session.push(2);
+        assert!(session.pop(2));
+        assert!(!session.pop(1));
+    }
+
+    #[test]
+    fn check_matches_one_shot_solve_of_flattened_assertions() {
+        let mut session = SolverSession::new();
+        session.assert(in_re("x", "(ab)*"));
+        session.push(1);
+        session.assert(in_re("y", "(ba)*"));
+        session.assert(diseq("x", "y"));
+        let incremental = session.check_sat();
+        let one_shot = StringSolver::new().solve(&session.assertions());
+        assert_eq!(incremental.is_sat(), one_shot.is_sat());
+        assert!(incremental.is_sat());
+    }
+}

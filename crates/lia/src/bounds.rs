@@ -27,6 +27,11 @@ use crate::term::{LinExpr, Var};
 pub struct BoundEnv {
     lo: BTreeMap<Var, Rat>,
     hi: BTreeMap<Var, Rat>,
+    /// Number of variables pinned to a point (`lo = hi`), maintained by
+    /// the tighten operations: an O(1) change detector for the
+    /// divisibility check's substitution (all recorded bounds are integer
+    /// by construction, so this always equals `fixed().len()`).
+    pinned: usize,
 }
 
 /// Result of asserting constraints into an environment.
@@ -42,13 +47,19 @@ pub enum BoundOutcome {
 /// passes, and capping keeps the worst case linear.
 const MAX_ROUNDS: usize = 12;
 
+/// How many times a single variable's tightening may re-fire its dependent
+/// constraints within one [`BoundEnv::propagate`] call.  Genuine cascades
+/// tighten each variable once or twice; anything past the cap is a
+/// divergent loop inching towards the magnitude guard.
+const TIGHTEN_CAP: u32 = 8;
+
 /// Bounds beyond this magnitude are not recorded: divergent cascades
 /// (`x ≥ y + 1 ∧ y ≥ x` tightens forever) would otherwise grow values
 /// geometrically under the worklist propagation until the checked `i128`
 /// arithmetic overflows.  Dropping a tightening is always sound — the
 /// interval stays valid, just looser — and real bounds of the encodings
 /// are far below this.
-pub(crate) const MAGNITUDE_LIMIT: i128 = 1 << 50;
+pub(crate) const MAGNITUDE_LIMIT: i128 = 1 << 24;
 
 impl BoundEnv {
     /// An unconstrained environment.
@@ -92,10 +103,22 @@ impl BoundEnv {
     ) -> BoundOutcome {
         let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
         let mut queued = vec![false; context.len()];
-        let enqueue_dependents = |vars: &[Var],
-                                  queue: &mut std::collections::VecDeque<usize>,
-                                  queued: &mut Vec<bool>| {
+        // slow-divergence guard: a variable whose bound keeps tightening
+        // (`x ≥ y + 1 ∧ y ≥ x` walks off by one per visit, far below the
+        // magnitude guard) stops re-firing its dependents after a few
+        // rounds.  The recorded bounds stay valid — the cascade just stops
+        // chasing an unbounded fixpoint and leaves the interval looser,
+        // which burns O(cap) instead of the whole visit budget.
+        let mut tighten_counts: BTreeMap<Var, u32> = BTreeMap::new();
+        let mut enqueue_dependents = |vars: &[Var],
+                                      queue: &mut std::collections::VecDeque<usize>,
+                                      queued: &mut Vec<bool>| {
             for v in vars {
+                let fired = tighten_counts.entry(*v).or_insert(0);
+                *fired += 1;
+                if *fired > TIGHTEN_CAP {
+                    continue;
+                }
                 for &i in index.dependents(*v) {
                     if !queued[i] {
                         queued[i] = true;
@@ -202,6 +225,12 @@ impl BoundEnv {
             Some(&current) if current >= value => false,
             _ => {
                 self.lo.insert(v, value);
+                // a variable already pinned before this strict tightening
+                // would now have lo > hi, caught as Err below — so this
+                // transition-to-pinned count cannot double-count
+                if self.hi.get(&v) == Some(&value) {
+                    self.pinned += 1;
+                }
                 true
             }
         };
@@ -221,6 +250,9 @@ impl BoundEnv {
             Some(&current) if current <= value => false,
             _ => {
                 self.hi.insert(v, value);
+                if self.lo.get(&v) == Some(&value) {
+                    self.pinned += 1;
+                }
                 true
             }
         };
@@ -265,6 +297,12 @@ impl BoundEnv {
         (self.lo.get(&v).copied(), self.hi.get(&v).copied())
     }
 
+    /// The number of point-pinned variables — O(1), maintained by the
+    /// tighten operations; equals `self.fixed().len()`.
+    pub fn pinned_count(&self) -> usize {
+        self.pinned
+    }
+
     /// Variables pinned to a single integer value (`lo = hi ∈ ℤ`), used by
     /// the divisibility refutation to substitute constants before the GCD
     /// test.
@@ -292,24 +330,56 @@ impl BoundEnv {
 
 /// Maps every variable to the indices of the constraints mentioning it, so
 /// probes can re-propagate only what a tightened bound can actually affect.
+///
+/// Besides the one-shot [`ConstraintIndex::build`], the index supports
+/// stack-shaped incremental maintenance ([`ConstraintIndex::push`] /
+/// [`ConstraintIndex::pop`]): the CDCL(T) engine keeps it in lock-step with
+/// its theory-literal trail instead of rebuilding it at every fixpoint.
 #[derive(Clone, Debug, Default)]
 pub struct ConstraintIndex {
     by_var: BTreeMap<Var, Vec<usize>>,
+    len: usize,
     empty: Vec<usize>,
 }
 
 impl ConstraintIndex {
     /// Indexes a constraint slice (positions are into that slice).
     pub fn build(constraints: &[SimplexConstraint]) -> ConstraintIndex {
-        let mut by_var: BTreeMap<Var, Vec<usize>> = BTreeMap::new();
-        for (i, c) in constraints.iter().enumerate() {
-            for v in c.expr.variables() {
-                by_var.entry(v).or_default().push(i);
-            }
+        let mut index = ConstraintIndex::default();
+        for c in constraints {
+            index.push(c);
         }
-        ConstraintIndex {
-            by_var,
-            empty: Vec::new(),
+        index
+    }
+
+    /// Number of indexed constraints.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no constraint is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends the next constraint (position `self.len()`).
+    pub fn push(&mut self, constraint: &SimplexConstraint) {
+        let i = self.len;
+        for v in constraint.expr.variables() {
+            self.by_var.entry(v).or_default().push(i);
+        }
+        self.len += 1;
+    }
+
+    /// Removes the most recently pushed constraint; the caller passes it
+    /// back so its variables can be unindexed without a scan.
+    pub fn pop(&mut self, constraint: &SimplexConstraint) {
+        debug_assert!(self.len > 0);
+        self.len -= 1;
+        for v in constraint.expr.variables() {
+            let entries = self.by_var.get_mut(&v).expect("pushed variable");
+            debug_assert_eq!(entries.last(), Some(&self.len));
+            entries.pop();
         }
     }
 

@@ -13,16 +13,32 @@
 //! * **Luby restarts** and **VSIDS-style** activity-ordered decisions with
 //!   phase saving.
 //!
+//! The engine is *persistent*: [`Engine::solve`] can be called repeatedly
+//! on a growing clause database ([`Engine::add_root_clause`] /
+//! [`Engine::grow_theory`]), under **assumptions** (literals enqueued as
+//! pseudo-decisions before the search proper, the mechanism behind the
+//! `push`/`pop` frames of [`crate::incremental`]).  Learned clauses, VSIDS
+//! activities and saved phases survive across calls, and an LBD-ranked
+//! learned-clause GC ([`Engine::reduce_db`], triggered at restarts) keeps
+//! long sessions from growing unboundedly.  One-shot solving
+//! ([`solve_cdcl`]) is the special case of a fresh engine and no
+//! assumptions.
+//!
 //! The theory side reuses the existing machinery with *explanations*:
 //!
 //! * every assigned theory literal contributes one bound constraint (both
 //!   polarities are exact over ℤ, see [`crate::cnf`]);
 //! * at every propagation fixpoint that added theory literals, interval
-//!   propagation ([`crate::bounds`]) and the divisibility test
-//!   ([`crate::eqelim`]) check the conjunction; refutations are narrowed to
-//!   a minimal core by [`crate::explain`] and learned as clauses, which is
-//!   what prunes the symmetric K≥2 mismatch case splits of the
-//!   tag-automaton encodings;
+//!   propagation ([`crate::bounds`]) checks the conjunction incrementally
+//!   (a persistent [`ConstraintIndex`] kept in lock-step with the trail
+//!   drives the worklist cascade), and the divisibility test
+//!   ([`crate::eqelim`]) re-runs when the set of bound-pinned variables
+//!   actually changed (pinning is monotone within a decision level, so the
+//!   pinned-count is an exact change detector; a periodic re-run covers
+//!   equality pairs that complete without new pinning).  Refutations are
+//!   narrowed to a minimal core by [`crate::explain`] and learned as
+//!   clauses, which is what prunes the symmetric K≥2 mismatch case splits
+//!   of the tag-automaton encodings;
 //! * at the leaves (a full assignment, or every original clause already
 //!   satisfied) the simplex ([`crate::simplex`]) re-checks rational
 //!   feasibility — its Farkas certificate is the explanation — and
@@ -32,17 +48,23 @@
 //!
 //! Soundness matches the structural engine: `Sat` carries a model the
 //! caller can re-validate, `Unsat` is only reported when the search space
-//! was exhausted without any resource-out, and cancellation, conflict
-//! budgets and integer resource-outs all surface as `Unknown`.
+//! was exhausted without any resource-out — and, in a persistent session,
+//! only while no search-heuristic blocking clause was ever learned (a
+//! resource-out leaves the engine *tainted*: refutations from a tainted
+//! database surface as `Unknown`).  Cancellation, conflict budgets and
+//! integer resource-outs all surface as `Unknown`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::bounds::{BoundEnv, BoundOutcome, ConstraintIndex};
 use crate::cancel::{CANCELLED_MSG, DEADLINE_MSG};
-use crate::cnf::{Clausifier, CnfFormula, Lit};
+use crate::cnf::{constraint_of_meaning, Clausifier, Lit};
 use crate::explain;
 use crate::formula::Formula;
 use crate::intfeas::{solve_integer, IntFeasResult};
 use crate::simplex::{check_feasibility_with_core, SimplexConstraint};
 use crate::solver::{Model, SolverConfig, SolverResult};
+use crate::term::LinExpr;
 
 /// Reason index of decisions and unassigned variables.
 const NO_REASON: u32 = u32::MAX;
@@ -58,26 +80,119 @@ const EXPLAIN_INT_BUDGET: usize = 2_000;
 /// the expensive checkers; the unminimised core is still a sound clause.
 const MINIMIZE_CAP: usize = 96;
 
+/// Deletion attempts per conflict for the cheap (propagation-backed)
+/// minimisers: the deepest members are tried first, so the budget buys the
+/// backjump-relevant part of minimality at a bounded per-conflict cost.
+const MINIMIZE_BUDGET: usize = 8;
+
+/// The divisibility test re-runs at every fixpoint where the pinned-variable
+/// set changed, and unconditionally every this-many bound checks (equality
+/// pairs can complete without pinning anything new).
+const GCD_PERIOD: u64 = 8;
+
+/// Learned clauses this short are never garbage-collected (binary lemmas
+/// cost next to nothing to keep and propagate eagerly).
+const GC_EXEMPT_LEN: usize = 2;
+
+/// Cumulative counters of a CDCL(T) engine (one search or a whole
+/// incremental session — the counters never reset between
+/// [`Engine::solve`] calls).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Conflicts resolved (clause learning events).
+    pub conflicts: u64,
+    /// VSIDS decisions taken (assumption enqueues excluded).
+    pub decisions: u64,
+    /// Literals enqueued by unit propagation.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Clauses learned over the engine's lifetime.
+    pub learned_total: u64,
+    /// Learned clauses currently in the database.
+    pub learned_live: u64,
+    /// Learned clauses dropped by the LBD-ranked GC.
+    pub gc_dropped: u64,
+    /// Theory fixpoint checks (bound propagation).
+    pub bound_checks: u64,
+    /// Divisibility (GCD) checks actually run.
+    pub gcd_checks: u64,
+    /// Simplex feasibility checks at leaves.
+    pub simplex_checks: u64,
+    /// Exact integer checks at leaves.
+    pub final_checks: u64,
+}
+
+/// Process-wide accumulation of every engine's counters, flushed at the end
+/// of each [`Engine::solve`]; `examples/portfolio.rs --stats` reads it.
+static GLOBAL_CONFLICTS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_DECISIONS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_PROPAGATIONS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_RESTARTS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_LEARNED: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_GC_DROPPED: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_BOUND_CHECKS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_GCD_CHECKS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_SIMPLEX_CHECKS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_FINAL_CHECKS: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the process-wide cumulative CDCL counters (all engines,
+/// all threads, since process start).
+pub fn global_stats() -> SolverStats {
+    SolverStats {
+        conflicts: GLOBAL_CONFLICTS.load(Ordering::Relaxed),
+        decisions: GLOBAL_DECISIONS.load(Ordering::Relaxed),
+        propagations: GLOBAL_PROPAGATIONS.load(Ordering::Relaxed),
+        restarts: GLOBAL_RESTARTS.load(Ordering::Relaxed),
+        learned_total: GLOBAL_LEARNED.load(Ordering::Relaxed),
+        learned_live: 0,
+        gc_dropped: GLOBAL_GC_DROPPED.load(Ordering::Relaxed),
+        bound_checks: GLOBAL_BOUND_CHECKS.load(Ordering::Relaxed),
+        gcd_checks: GLOBAL_GCD_CHECKS.load(Ordering::Relaxed),
+        simplex_checks: GLOBAL_SIMPLEX_CHECKS.load(Ordering::Relaxed),
+        final_checks: GLOBAL_FINAL_CHECKS.load(Ordering::Relaxed),
+    }
+}
+
 /// Decides a quantifier-free NNF formula with the CDCL(T) engine.
 pub fn solve_cdcl(nnf: &Formula, config: &SolverConfig) -> SolverResult {
     let cnf = Clausifier::clausify(nnf);
     if cnf.unsat {
         return SolverResult::Unsat;
     }
-    Engine::new(cnf, config).run()
+    let mut engine = Engine::empty(config.clone());
+    engine.grow_theory(&cnf.theory);
+    for lits in cnf.clauses {
+        engine.add_root_clause(lits);
+    }
+    engine.solve(&[])
 }
 
 struct Clause {
     lits: Vec<Lit>,
+    /// Learned (implied) clauses are excluded from the early-Sat check and
+    /// are the GC's candidates.
+    learnt: bool,
+    /// Literal-block distance at learning time (0 for original clauses).
+    lbd: u32,
 }
 
-struct Engine<'a> {
-    config: &'a SolverConfig,
+/// Everything the theory layer must restore on backjump, snapshotted per
+/// decision level so no fixpoint is ever recomputed from scratch.
+#[derive(Clone)]
+struct TheorySnapshot {
+    checked: usize,
+    env: BoundEnv,
+    gcd_fixed: usize,
+}
+
+pub(crate) struct Engine {
+    config: SolverConfig,
     clauses: Vec<Clause>,
-    /// Clauses `0..num_original` came from the input formula; the rest are
-    /// learned (implied), so satisfaction of the original set suffices for
-    /// the early-Sat check.
-    num_original: usize,
+    /// Indices of the non-learned clauses (maintained by `attach` and
+    /// rebuilt by `reduce_db`), so the early-Sat check scans only the
+    /// originals instead of filtering the whole database per fixpoint.
+    originals: Vec<u32>,
     /// `watches[lit.code()]`: indices of clauses currently watching `lit`.
     watches: Vec<Vec<u32>>,
     /// Assignment per variable: 0 unassigned, 1 true, -1 false.
@@ -87,20 +202,28 @@ struct Engine<'a> {
     trail: Vec<Lit>,
     trail_lim: Vec<usize>,
     qhead: usize,
-    /// Per-literal theory constraint (pre-built once).
+    /// Per-literal theory constraint (extended by [`Engine::grow_theory`]).
     lit_constraint: Vec<Option<SimplexConstraint>>,
     /// Constraints of the assigned theory literals, in trail order.
     theory_stack: Vec<SimplexConstraint>,
     /// The literals the `theory_stack` entries came from (parallel).
     theory_lits: Vec<Lit>,
+    /// Variable → constraint dependency index, kept in lock-step with
+    /// `theory_stack` (pushed on enqueue, popped on backjump) so the
+    /// worklist propagation never rebuilds it.
+    theory_index: ConstraintIndex,
     /// Prefix length of `theory_stack` known bound- and GCD-consistent.
     theory_checked: usize,
     /// Interval environment of `theory_stack[..theory_checked]`, updated
     /// incrementally as the trail grows.
     cur_env: BoundEnv,
-    /// Per decision level: `(theory_checked, cur_env)` at decision time,
-    /// restored on backjump so the environment never has to be rebuilt.
-    env_snapshots: Vec<(usize, BoundEnv)>,
+    /// Number of bound-pinned variables at the last divisibility check
+    /// (pinning is monotone within a level, so a changed count is an exact
+    /// "the substitution changed" detector).
+    gcd_fixed_count: usize,
+    /// Per decision level: the theory state at decision time, restored on
+    /// backjump.
+    env_snapshots: Vec<TheorySnapshot>,
     /// Prefix length known rationally feasible.
     simplex_checked: usize,
     // VSIDS
@@ -109,19 +232,29 @@ struct Engine<'a> {
     heap: VarHeap,
     phase: Vec<bool>,
     seen: Vec<bool>,
-    conflicts: u64,
-    restarts: u64,
-    decisions: u64,
-    bound_checks: u64,
-    simplex_checks: u64,
-    final_checks: u64,
+    /// Assumption literals of the current `solve` call, enqueued as
+    /// pseudo-decisions at levels `1..=assumptions.len()`.
+    assumptions: Vec<Lit>,
+    stats: SolverStats,
+    /// The portion of `stats` already flushed to the global accumulator.
+    flushed: SolverStats,
+    /// GC threshold on live learned clauses; grows geometrically.
+    max_learnts: usize,
+    /// An empty clause was derived at the root: permanently unsatisfiable.
+    root_unsat: bool,
+    /// A search-heuristic blocking clause (integer resource-out) entered
+    /// the database: refutations are no longer trustworthy.
+    tainted: bool,
+    /// Conflict count at the start of the current `solve` call (the
+    /// per-call budget baseline).
+    solve_base_conflicts: u64,
+    saw_resource_out: bool,
+    cancelled: bool,
     bound_time: std::time::Duration,
     gcd_time: std::time::Duration,
     simplex_time: std::time::Duration,
     explain_time: std::time::Duration,
-    saw_resource_out: bool,
-    cancelled: bool,
-    stats: bool,
+    trace: bool,
 }
 
 enum Step {
@@ -130,77 +263,123 @@ enum Step {
     Ok,
 }
 
-impl<'a> Engine<'a> {
-    fn new(cnf: CnfFormula, config: &'a SolverConfig) -> Engine<'a> {
-        let n = cnf.num_vars;
-        let mut lit_constraint = Vec::with_capacity(2 * n);
-        for var in 0..n {
-            for lit in [Lit::positive(var), Lit::negative(var)] {
-                debug_assert_eq!(lit.code(), lit_constraint.len());
-                lit_constraint.push(cnf.constraint_of(lit));
-            }
-        }
-        let mut engine = Engine {
+impl Engine {
+    /// An engine over an empty clause database.
+    pub(crate) fn empty(config: SolverConfig) -> Engine {
+        let max_learnts = config.learnt_cap.max(1);
+        Engine {
             config,
-            clauses: Vec::with_capacity(cnf.clauses.len()),
-            num_original: 0,
-            watches: vec![Vec::new(); 2 * n],
-            assign: vec![0; n],
-            level: vec![0; n],
-            reason: vec![NO_REASON; n],
-            trail: Vec::with_capacity(n),
+            clauses: Vec::new(),
+            originals: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
             trail_lim: Vec::new(),
             qhead: 0,
-            lit_constraint,
+            lit_constraint: Vec::new(),
             theory_stack: Vec::new(),
             theory_lits: Vec::new(),
+            theory_index: ConstraintIndex::default(),
             theory_checked: 0,
             cur_env: BoundEnv::new(),
+            gcd_fixed_count: 0,
             env_snapshots: Vec::new(),
             simplex_checked: 0,
-            activity: vec![0.0; n],
+            activity: Vec::new(),
             var_inc: 1.0,
-            heap: VarHeap::new(n),
-            // initial phase `true`: deciding a gate true drives its
-            // Plaisted–Greenbaum definition towards satisfaction, which is
-            // what the early-Sat check needs; phase saving adapts from there
-            phase: vec![true; n],
-            seen: vec![false; n],
-            conflicts: 0,
-            restarts: 0,
-            decisions: 0,
-            bound_checks: 0,
-            simplex_checks: 0,
-            final_checks: 0,
+            heap: VarHeap::new(0),
+            phase: Vec::new(),
+            seen: Vec::new(),
+            assumptions: Vec::new(),
+            stats: SolverStats::default(),
+            flushed: SolverStats::default(),
+            max_learnts,
+            root_unsat: false,
+            tainted: false,
+            solve_base_conflicts: 0,
+            saw_resource_out: false,
+            cancelled: false,
             bound_time: std::time::Duration::ZERO,
             gcd_time: std::time::Duration::ZERO,
             simplex_time: std::time::Duration::ZERO,
             explain_time: std::time::Duration::ZERO,
-            saw_resource_out: false,
-            cancelled: false,
-            stats: std::env::var_os("POSR_CDCL_STATS").is_some(),
-        };
-        let mut root_conflict = false;
-        for lits in cnf.clauses {
-            match lits.len() {
-                0 => root_conflict = true,
-                1 => {
-                    if !engine.enqueue_root(lits[0]) {
-                        root_conflict = true;
-                    }
-                }
-                _ => {
-                    engine.attach(Clause { lits });
-                }
+            trace: std::env::var_os("POSR_CDCL_STATS").is_some(),
+        }
+    }
+
+    /// Extends the variable tables to cover `theory` (the clausifier's
+    /// per-variable meanings; existing entries must be unchanged).
+    ///
+    /// `initial phase `true`: deciding a gate true drives its
+    /// Plaisted–Greenbaum definition towards satisfaction, which is what
+    /// the early-Sat check needs; phase saving adapts from there.
+    pub(crate) fn grow_theory(&mut self, theory: &[Option<LinExpr>]) {
+        let old = self.assign.len();
+        debug_assert!(theory.len() >= old);
+        for (var, meaning) in theory.iter().enumerate().skip(old) {
+            let meaning = meaning.as_ref();
+            self.lit_constraint
+                .push(constraint_of_meaning(meaning, true));
+            self.lit_constraint
+                .push(constraint_of_meaning(meaning, false));
+            self.watches.push(Vec::new());
+            self.watches.push(Vec::new());
+            self.assign.push(0);
+            self.level.push(0);
+            self.reason.push(NO_REASON);
+            self.activity.push(0.0);
+            self.phase.push(true);
+            self.seen.push(false);
+            self.heap.grow(var, &self.activity);
+        }
+    }
+
+    /// Adds a clause at the root level: normalises (duplicate and
+    /// tautology elimination), drops root-satisfied clauses, strengthens
+    /// away root-false literals, and handles the unit/empty cases.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) when called above decision level 0; the
+    /// incremental layer only asserts between solves.
+    pub(crate) fn add_root_clause(&mut self, mut lits: Vec<Lit>) {
+        debug_assert_eq!(self.decision_level(), 0);
+        lits.sort_unstable();
+        lits.dedup();
+        for pair in lits.windows(2) {
+            if pair[0].var() == pair[1].var() {
+                return; // l ∨ ¬l: tautology
             }
         }
-        engine.num_original = engine.clauses.len();
-        if root_conflict {
-            // poison the propagation queue: `propagate` reports an empty
-            // conflict at level 0, which `run` turns into Unsat
-            engine.qhead = usize::MAX;
+        // at level 0 every assignment is permanent, so satisfied clauses
+        // are dropped and false literals removed (both sound)
+        if lits.iter().any(|&l| self.value(l) == 1) {
+            return;
         }
-        engine
+        lits.retain(|&l| self.value(l) == 0);
+        match lits.len() {
+            0 => self.root_unsat = true,
+            1 => {
+                if !self.enqueue_root(lits[0]) {
+                    self.root_unsat = true;
+                }
+            }
+            _ => {
+                self.attach(Clause {
+                    lits,
+                    learnt: false,
+                    lbd: 0,
+                });
+            }
+        }
+    }
+
+    /// Cumulative counters (never reset across `solve` calls).
+    pub(crate) fn stats(&self) -> SolverStats {
+        let mut stats = self.stats;
+        stats.learned_live = self.clauses.iter().filter(|c| c.learnt).count() as u64;
+        stats
     }
 
     /// `true` when every *original* clause has a true literal: the
@@ -210,8 +389,9 @@ impl<'a> Engine<'a> {
     /// encodings finish without enumerating the thousands of irrelevant
     /// gate variables.
     fn original_clauses_satisfied(&self) -> bool {
-        self.clauses[..self.num_original]
+        self.originals
             .iter()
+            .map(|&i| &self.clauses[i as usize])
             .all(|c| c.lits.iter().any(|&l| self.value(l) == 1))
     }
 
@@ -233,6 +413,9 @@ impl<'a> Engine<'a> {
         let idx = self.clauses.len() as u32;
         self.watches[clause.lits[0].code()].push(idx);
         self.watches[clause.lits[1].code()].push(idx);
+        if !clause.learnt {
+            self.originals.push(idx);
+        }
         self.clauses.push(clause);
         idx
     }
@@ -257,6 +440,7 @@ impl<'a> Engine<'a> {
         self.reason[var] = reason;
         self.trail.push(lit);
         if let Some(c) = &self.lit_constraint[lit.code()] {
+            self.theory_index.push(c);
             self.theory_stack.push(c.clone());
             self.theory_lits.push(lit);
         }
@@ -276,25 +460,33 @@ impl<'a> Engine<'a> {
             self.reason[var] = NO_REASON;
             self.heap.insert(var, &self.activity);
             if self.lit_constraint[lit.code()].is_some() {
-                self.theory_stack.pop();
+                let c = self.theory_stack.pop().expect("parallel stacks");
+                self.theory_index.pop(&c);
                 self.theory_lits.pop();
             }
         }
         self.trail.truncate(keep);
         self.trail_lim.truncate(target as usize);
         self.qhead = keep;
-        let (checked, env) = self.env_snapshots[target as usize].clone();
+        let snapshot = self.env_snapshots[target as usize].clone();
         self.env_snapshots.truncate(target as usize);
-        self.theory_checked = checked;
-        self.cur_env = env;
+        self.theory_checked = snapshot.checked;
+        self.cur_env = snapshot.env;
+        self.gcd_fixed_count = snapshot.gcd_fixed;
         self.simplex_checked = self.simplex_checked.min(self.theory_stack.len());
+    }
+
+    fn new_decision_level(&mut self) {
+        self.env_snapshots.push(TheorySnapshot {
+            checked: self.theory_checked,
+            env: self.cur_env.clone(),
+            gcd_fixed: self.gcd_fixed_count,
+        });
+        self.trail_lim.push(self.trail.len());
     }
 
     /// Two-watched-literal propagation to fixpoint.
     fn propagate(&mut self) -> Step {
-        if self.qhead == usize::MAX {
-            return Step::Conflict(Vec::new()); // poisoned: root conflict
-        }
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
@@ -328,6 +520,7 @@ impl<'a> Engine<'a> {
                     self.qhead = self.trail.len();
                     return Step::Conflict(conflict);
                 }
+                self.stats.propagations += 1;
                 self.enqueue(first, ws[i]);
                 i += 1;
             }
@@ -339,43 +532,56 @@ impl<'a> Engine<'a> {
     /// Checks the theory at a propagation fixpoint: *incremental* interval
     /// propagation of the constraints asserted since the last check (the
     /// worklist cascade of [`BoundEnv::propagate`] re-fires only the
-    /// context constraints whose variables actually tightened), then the
-    /// divisibility test under the resulting pinned variables — each with
-    /// a tracked/minimised explanation on refutation.  On backjump the
-    /// environment is restored from the decision-level snapshot, so no
-    /// fixpoint is ever recomputed from scratch.
+    /// context constraints whose variables actually tightened, walking the
+    /// persistent `theory_index`), then the divisibility test — but only
+    /// when the set of bound-pinned variables changed since the last run
+    /// (or periodically, for equality pairs that complete without new
+    /// pinning) — each with a tracked/minimised explanation on refutation.
+    /// On backjump the environment is restored from the decision-level
+    /// snapshot, so no fixpoint is ever recomputed from scratch.
     fn theory_check(&mut self) -> Step {
         if self.theory_stack.len() <= self.theory_checked {
             return Step::Ok;
         }
-        self.bound_checks += 1;
+        self.stats.bound_checks += 1;
         let t0 = std::time::Instant::now();
         let extra = self.theory_stack[self.theory_checked..].to_vec();
-        let index = ConstraintIndex::build(&self.theory_stack);
         let budget = 32 * self.theory_stack.len().max(8);
-        let outcome = self
-            .cur_env
-            .propagate(&extra, &self.theory_stack, &index, budget);
+        let mut env = std::mem::take(&mut self.cur_env);
+        let outcome = env.propagate(&extra, &self.theory_stack, &self.theory_index, budget);
+        self.cur_env = env;
         self.bound_time += t0.elapsed();
         if outcome == BoundOutcome::Refuted {
             let t0 = std::time::Instant::now();
             let core = explain::bound_conflict_core(&self.theory_stack)
                 .unwrap_or_else(|| (0..self.theory_stack.len()).collect());
             let core = if core.len() <= MINIMIZE_CAP {
-                explain::minimize_core(&self.theory_stack, core, &|cs| {
-                    explain::bound_conflict_core(cs).is_some()
-                })
+                // the *checker* need not track provenance — it only has to
+                // prove subsets infeasible — so the cheap untracked
+                // propagation replaces the tracked one of the initial pass
+                explain::minimize_core_budgeted(
+                    &self.theory_stack,
+                    core,
+                    &explain::bound_infeasible,
+                    MINIMIZE_BUDGET,
+                )
             } else {
                 core
             };
             self.explain_time += t0.elapsed();
             return Step::Conflict(self.core_to_conflict(&core));
         }
-        let env = std::mem::take(&mut self.cur_env);
-        let step = self.gcd_check(&env);
-        self.cur_env = env;
+        let pinned = self.cur_env.pinned_count();
+        let run_gcd =
+            pinned != self.gcd_fixed_count || self.stats.bound_checks.is_multiple_of(GCD_PERIOD);
+        if !run_gcd {
+            self.theory_checked = self.theory_stack.len();
+            return Step::Ok;
+        }
+        let step = self.gcd_check();
         match step {
             Step::Ok => {
+                self.gcd_fixed_count = pinned;
                 self.theory_checked = self.theory_stack.len();
                 Step::Ok
             }
@@ -387,13 +593,15 @@ impl<'a> Engine<'a> {
     /// bound-pinned variables substituted out (the parity conflicts of
     /// loopy Parikh encodings); explanations come from the elimination's
     /// and the tracked propagator's reason sets.
-    fn gcd_check(&mut self, env: &BoundEnv) -> Step {
+    fn gcd_check(&mut self) -> Step {
+        self.stats.gcd_checks += 1;
         let t0 = std::time::Instant::now();
         // fast path: pinned values without provenance
-        let fixed_plain: crate::eqelim::FixedVars = env
+        let fixed_plain: crate::eqelim::FixedVars = self
+            .cur_env
             .fixed()
             .into_iter()
-            .map(|(v, k)| (v, (k, Vec::new())))
+            .map(|(v, k)| (v, (k, Default::default())))
             .collect();
         let refuted = crate::eqelim::conflict_core_fixed(&self.theory_stack, &fixed_plain);
         self.gcd_time += t0.elapsed();
@@ -403,18 +611,32 @@ impl<'a> Engine<'a> {
         // conflict: redo with tracked provenance so the fixing constraints
         // enter the core (required for the learned clause to be sound)
         let t0 = std::time::Instant::now();
-        let fixed = explain::fixed_reasons(&self.theory_stack);
+        let fixed_tracked = explain::fixed_reasons(&self.theory_stack);
+        // the minimisation checker only has to *prove* subsets infeasible,
+        // so it runs the untracked propagation (no provenance bookkeeping)
         let infeasible_with_fixed = |cs: &[SimplexConstraint]| {
-            let fixed = explain::fixed_reasons(cs);
+            let (env, outcome) = BoundEnv::from_constraints(cs);
+            if outcome == BoundOutcome::Refuted {
+                return true;
+            }
+            let fixed: crate::eqelim::FixedVars = env
+                .fixed()
+                .into_iter()
+                .map(|(v, k)| (v, (k, Default::default())))
+                .collect();
             crate::eqelim::conflict_core_fixed(cs, &fixed).is_some()
         };
-        let core = match crate::eqelim::conflict_core_fixed(&self.theory_stack, &fixed) {
-            Some(core) if core.len() <= MINIMIZE_CAP => {
-                explain::minimize_core(&self.theory_stack, core, &infeasible_with_fixed)
-            }
+        let core = match crate::eqelim::conflict_core_fixed(&self.theory_stack, &fixed_tracked) {
+            Some(core) if core.len() <= MINIMIZE_CAP => explain::minimize_core_budgeted(
+                &self.theory_stack,
+                core,
+                &infeasible_with_fixed,
+                MINIMIZE_BUDGET,
+            ),
             Some(core) => core,
-            // the tracked propagator pins the same variables as the plain
-            // one, so this is unreachable; fall back to the full stack
+            // the tracked propagator pins at least the variables the
+            // incremental environment pinned, so this is unreachable; fall
+            // back to the full stack
             None => (0..self.theory_stack.len()).collect(),
         };
         self.explain_time += t0.elapsed();
@@ -428,7 +650,7 @@ impl<'a> Engine<'a> {
         if self.theory_stack.len() <= self.simplex_checked {
             return Step::Ok;
         }
-        self.simplex_checks += 1;
+        self.stats.simplex_checks += 1;
         let t0 = std::time::Instant::now();
         let outcome = check_feasibility_with_core(&self.theory_stack);
         self.simplex_time += t0.elapsed();
@@ -449,7 +671,7 @@ impl<'a> Engine<'a> {
 
     /// Full assignment: the exact integer check.
     fn final_check(&mut self) -> FinalOutcome {
-        self.final_checks += 1;
+        self.stats.final_checks += 1;
         match solve_integer(&self.theory_stack, &self.config.int_config) {
             IntFeasResult::Sat(values) => FinalOutcome::Model(Model::from_values(values)),
             IntFeasResult::Unsat => {
@@ -540,10 +762,19 @@ impl<'a> Engine<'a> {
         (learnt, backjump)
     }
 
+    /// Literal-block distance of a learned clause: the number of distinct
+    /// decision levels it spans (the standard quality measure driving GC).
+    fn lbd_of(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits.iter().map(|l| self.level[l.var()]).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
     /// Learns from a conflict: analyse, backjump, assert.  `false` when the
     /// conflict is at the root level (search exhausted).
     fn resolve_conflict(&mut self, conflict: Vec<Lit>) -> bool {
-        self.conflicts += 1;
+        self.stats.conflicts += 1;
         // theory conflicts may live entirely below the current level:
         // backtrack to the newest involved level first
         let max_level = conflict
@@ -559,13 +790,74 @@ impl<'a> Engine<'a> {
         self.cancel_until(backjump);
         let asserting = learnt[0];
         let reason = if learnt.len() >= 2 {
-            self.attach(Clause { lits: learnt })
+            self.stats.learned_total += 1;
+            let lbd = self.lbd_of(&learnt);
+            self.attach(Clause {
+                lits: learnt,
+                learnt: true,
+                lbd,
+            })
         } else {
             NO_REASON
         };
         self.enqueue(asserting, reason);
         self.var_inc /= 0.95;
         true
+    }
+
+    /// LBD-ranked learned-clause garbage collection, run at decision level
+    /// 0: binary lemmas always survive, the worse half of the rest (higher
+    /// LBD, then older) is dropped.  Root-satisfied clauses of *any* kind
+    /// are removed — this is what reclaims the guarded clauses of popped
+    /// assertion frames — and root-false literals are strengthened away.
+    /// Watches are rebuilt from scratch.
+    fn reduce_db(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        // root-level literals never participate in conflict analysis, so
+        // their reason clauses are not needed and no clause is locked
+        for r in &mut self.reason {
+            *r = NO_REASON;
+        }
+        // rank the disposable learned clauses: keep low LBD, then newer
+        let mut disposable: Vec<(u32, std::cmp::Reverse<usize>)> = self
+            .clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.learnt && c.lits.len() > GC_EXEMPT_LEN)
+            .map(|(i, c)| (c.lbd, std::cmp::Reverse(i)))
+            .collect();
+        disposable.sort_unstable();
+        let cutoff = disposable.len() / 2;
+        let mut drop_mask = vec![false; self.clauses.len()];
+        for &(_, std::cmp::Reverse(i)) in &disposable[cutoff..] {
+            drop_mask[i] = true;
+            self.stats.gc_dropped += 1;
+        }
+        let old = std::mem::take(&mut self.clauses);
+        self.originals.clear();
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for (i, mut clause) in old.into_iter().enumerate() {
+            if drop_mask[i] {
+                continue;
+            }
+            if clause.lits.iter().any(|&l| self.value(l) == 1) {
+                continue; // satisfied at the root: permanently true
+            }
+            clause.lits.retain(|&l| self.value(l) == 0);
+            match clause.lits.len() {
+                0 => self.root_unsat = true,
+                1 => {
+                    if !self.enqueue_root(clause.lits[0]) {
+                        self.root_unsat = true;
+                    }
+                }
+                _ => {
+                    self.attach(clause);
+                }
+            }
+        }
     }
 
     fn decide(&mut self) -> bool {
@@ -576,10 +868,8 @@ impl<'a> Engine<'a> {
                 } else {
                     Lit::negative(var)
                 };
-                self.decisions += 1;
-                self.env_snapshots
-                    .push((self.theory_checked, self.cur_env.clone()));
-                self.trail_lim.push(self.trail.len());
+                self.stats.decisions += 1;
+                self.new_decision_level();
                 self.enqueue(lit, NO_REASON);
                 return true;
             }
@@ -600,44 +890,62 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn exhausted(&self) -> SolverResult {
-        if self.saw_resource_out {
+    /// The `Unsat` verdict, demoted to `Unknown` when this call saw a
+    /// resource-out or the database holds a blocking clause from an
+    /// earlier one (tainted refutations are not proofs).
+    fn unsat_result(&self) -> SolverResult {
+        if self.saw_resource_out || self.tainted {
             SolverResult::Unknown("resource limit reached".to_string())
         } else {
             SolverResult::Unsat
         }
     }
 
-    fn run(&mut self) -> SolverResult {
-        let mut restart_limit = RESTART_BASE * luby(0);
-        let mut conflicts_at_restart = 0u64;
+    /// Decides the current clause database under `assumptions`.
+    ///
+    /// `Unsat` means the database is unsatisfiable *under the assumptions*
+    /// (for the incremental layer: the live assertion frames, selected by
+    /// their guard literals, plus the caller's extra assumptions).  The
+    /// engine backtracks to the root before returning, keeping learned
+    /// clauses, activities and phases for the next call.
+    pub(crate) fn solve(&mut self, assumptions: &[Lit]) -> SolverResult {
+        self.saw_resource_out = false;
+        self.cancelled = false;
+        if !self.root_unsat {
+            // between-solve GC: long incremental sessions accumulate
+            // learned clauses even when no single search restarts
+            let live = self.clauses.iter().filter(|c| c.learnt).count();
+            if live > self.max_learnts {
+                self.reduce_db();
+                self.max_learnts += self.max_learnts / 2;
+            }
+        }
+        if self.root_unsat {
+            self.flush_global();
+            return self.unsat_result();
+        }
+        self.assumptions = assumptions.to_vec();
+        self.solve_base_conflicts = self.stats.conflicts;
+        let result = self.search();
+        self.cancel_until(0);
+        self.assumptions.clear();
+        self.flush_global();
+        result
+    }
+
+    fn search(&mut self) -> SolverResult {
+        let mut restart_limit = RESTART_BASE * luby(self.stats.restarts);
+        let mut conflicts_at_restart = self.stats.conflicts;
         loop {
             if self.config.cancel.can_fire() && self.config.cancel.is_cancelled() {
                 self.cancelled = true;
                 return self.undecided_unknown();
             }
-            if self.stats
-                && (self.decisions + self.conflicts).is_multiple_of(256)
-                && self.decisions + self.conflicts > 0
-            {
-                eprintln!(
-                    "cdcl: decisions {} conflicts {} restarts {} trail {}/{} theory {} checks b{}/s{}/f{} time b{:?}/s{:?}/e{:?}",
-                    self.decisions,
-                    self.conflicts,
-                    self.restarts,
-                    self.trail.len(),
-                    self.assign.len(),
-                    self.theory_stack.len(),
-                    self.bound_checks,
-                    self.simplex_checks,
-                    self.final_checks,
-                    self.bound_time,
-                    self.simplex_time,
-                    self.explain_time,
-                );
-                eprintln!("cdcl: gcd time {:?}", self.gcd_time);
+            if self.trace {
+                self.trace_line();
             }
-            if self.conflicts >= self.config.max_conflicts as u64 {
+            if self.stats.conflicts - self.solve_base_conflicts >= self.config.max_conflicts as u64
+            {
                 return SolverResult::Unknown("resource limit reached".to_string());
             }
             let step = match self.propagate() {
@@ -647,16 +955,37 @@ impl<'a> Engine<'a> {
             match step {
                 Step::Conflict(conflict) => {
                     if !self.resolve_conflict(conflict) {
-                        return self.exhausted();
+                        self.root_unsat = true;
+                        return self.unsat_result();
                     }
                 }
                 Step::Ok => {
+                    // assumptions are enqueued as pseudo-decisions before
+                    // any search decision; a false assumption means the
+                    // database refutes the assumption set
+                    if (self.decision_level() as usize) < self.assumptions.len() {
+                        let lit = self.assumptions[self.decision_level() as usize];
+                        match self.value(lit) {
+                            -1 => return self.unsat_result(),
+                            1 => {
+                                // already implied: push an empty level so
+                                // the remaining assumptions keep their slots
+                                self.new_decision_level();
+                            }
+                            _ => {
+                                self.new_decision_level();
+                                self.enqueue(lit, NO_REASON);
+                            }
+                        }
+                        continue;
+                    }
                     if self.trail.len() == self.assign.len() || self.original_clauses_satisfied() {
                         // full assignment (or all original clauses already
                         // satisfied): exact checks
                         if let Step::Conflict(c) = self.simplex_check() {
                             if !self.resolve_conflict(c) {
-                                return self.exhausted();
+                                self.root_unsat = true;
+                                return self.unsat_result();
                             }
                             continue;
                         }
@@ -664,28 +993,46 @@ impl<'a> Engine<'a> {
                             FinalOutcome::Model(model) => return SolverResult::Sat(model),
                             FinalOutcome::Conflict(c) => {
                                 if !self.resolve_conflict(c) {
-                                    return self.exhausted();
+                                    self.root_unsat = true;
+                                    return self.unsat_result();
                                 }
                             }
                             FinalOutcome::ResourceOut => {
                                 self.saw_resource_out = true;
-                                // block this branch by refuting its decisions
+                                // block this branch by refuting its
+                                // decisions — a search heuristic, not an
+                                // implied clause, so the database is
+                                // tainted for refutation purposes from
+                                // here on
                                 let blocking: Vec<Lit> = self
                                     .trail_lim
                                     .iter()
-                                    .map(|&i| self.trail[i].negate())
+                                    .filter_map(|&i| self.trail.get(i))
+                                    .map(|&l| l.negate())
                                     .collect();
-                                if blocking.is_empty() || !self.resolve_conflict(blocking) {
+                                if blocking.is_empty() {
+                                    return self.undecided_unknown();
+                                }
+                                self.tainted = true;
+                                if !self.resolve_conflict(blocking) {
                                     return self.undecided_unknown();
                                 }
                             }
                         }
                     } else {
-                        if self.conflicts - conflicts_at_restart >= restart_limit {
-                            self.restarts += 1;
-                            conflicts_at_restart = self.conflicts;
-                            restart_limit = RESTART_BASE * luby(self.restarts);
+                        if self.stats.conflicts - conflicts_at_restart >= restart_limit {
+                            self.stats.restarts += 1;
+                            conflicts_at_restart = self.stats.conflicts;
+                            restart_limit = RESTART_BASE * luby(self.stats.restarts);
                             self.cancel_until(0);
+                            let live = self.clauses.iter().filter(|c| c.learnt).count();
+                            if live > self.max_learnts {
+                                self.reduce_db();
+                                if self.root_unsat {
+                                    return self.unsat_result();
+                                }
+                                self.max_learnts += self.max_learnts / 2;
+                            }
                             continue;
                         }
                         if !self.decide() {
@@ -697,6 +1044,47 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+    }
+
+    fn trace_line(&self) {
+        let s = &self.stats;
+        if (s.decisions + s.conflicts).is_multiple_of(256) && s.decisions + s.conflicts > 0 {
+            eprintln!(
+                "cdcl: decisions {} conflicts {} restarts {} trail {}/{} theory {} checks b{}/g{}/s{}/f{} time b{:?}/g{:?}/s{:?}/e{:?}",
+                s.decisions,
+                s.conflicts,
+                s.restarts,
+                self.trail.len(),
+                self.assign.len(),
+                self.theory_stack.len(),
+                s.bound_checks,
+                s.gcd_checks,
+                s.simplex_checks,
+                s.final_checks,
+                self.bound_time,
+                self.gcd_time,
+                self.simplex_time,
+                self.explain_time,
+            );
+        }
+    }
+
+    /// Pushes the counters accumulated since the last flush into the
+    /// process-wide totals.
+    fn flush_global(&mut self) {
+        let now = self.stats();
+        let f = &self.flushed;
+        GLOBAL_CONFLICTS.fetch_add(now.conflicts - f.conflicts, Ordering::Relaxed);
+        GLOBAL_DECISIONS.fetch_add(now.decisions - f.decisions, Ordering::Relaxed);
+        GLOBAL_PROPAGATIONS.fetch_add(now.propagations - f.propagations, Ordering::Relaxed);
+        GLOBAL_RESTARTS.fetch_add(now.restarts - f.restarts, Ordering::Relaxed);
+        GLOBAL_LEARNED.fetch_add(now.learned_total - f.learned_total, Ordering::Relaxed);
+        GLOBAL_GC_DROPPED.fetch_add(now.gc_dropped - f.gc_dropped, Ordering::Relaxed);
+        GLOBAL_BOUND_CHECKS.fetch_add(now.bound_checks - f.bound_checks, Ordering::Relaxed);
+        GLOBAL_GCD_CHECKS.fetch_add(now.gcd_checks - f.gcd_checks, Ordering::Relaxed);
+        GLOBAL_SIMPLEX_CHECKS.fetch_add(now.simplex_checks - f.simplex_checks, Ordering::Relaxed);
+        GLOBAL_FINAL_CHECKS.fetch_add(now.final_checks - f.final_checks, Ordering::Relaxed);
+        self.flushed = now;
     }
 }
 
@@ -740,6 +1128,13 @@ impl VarHeap {
         debug_assert_eq!(h.heap.len(), h.pos.len());
         h.heap.shrink_to_fit();
         h
+    }
+
+    /// Registers variable `var` (the next dense index) and queues it.
+    fn grow(&mut self, var: usize, activity: &[f64]) {
+        debug_assert_eq!(var, self.pos.len());
+        self.pos.push(usize::MAX);
+        self.insert(var, activity);
     }
 
     fn contains(&self, var: usize) -> bool {
@@ -816,10 +1211,20 @@ impl VarHeap {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cnf::CnfFormula;
     use crate::term::{LinExpr, VarPool};
 
     fn solve(f: &Formula) -> SolverResult {
         solve_cdcl(&f.nnf().simplify(), &SolverConfig::default())
+    }
+
+    fn engine_for(cnf: CnfFormula, config: SolverConfig) -> Engine {
+        let mut engine = Engine::empty(config);
+        engine.grow_theory(&cnf.theory);
+        for lits in cnf.clauses {
+            engine.add_root_clause(lits);
+        }
+        engine
     }
 
     #[test]
@@ -920,10 +1325,9 @@ mod tests {
         }
         let f = Formula::and(conjuncts);
         let nnf = f.nnf().simplify();
-        let cnf = Clausifier::clausify(&nnf);
-        let config = SolverConfig::default();
-        let mut engine = Engine::new(cnf, &config);
-        let result = engine.run();
+        let cnf = crate::cnf::Clausifier::clausify(&nnf);
+        let mut engine = engine_for(cnf, SolverConfig::default());
+        let result = engine.solve(&[]);
         assert!(result.is_sat(), "got {result:?}");
         // invariant: every clause index appears in the watch lists of its
         // first two literals
@@ -961,5 +1365,112 @@ mod tests {
     fn trivial_formulas() {
         assert!(solve(&Formula::True).is_sat());
         assert_eq!(solve(&Formula::False), SolverResult::Unsat);
+    }
+
+    #[test]
+    fn repeated_solves_reuse_the_engine() {
+        // a sat instance solved twice on one engine: the second call must
+        // agree and keep the cumulative counters monotone
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let y = pool.fresh("y");
+        let f = Formula::and(vec![
+            Formula::or(vec![
+                Formula::eq(LinExpr::var(x), LinExpr::constant(1)),
+                Formula::eq(LinExpr::var(x), LinExpr::constant(2)),
+            ]),
+            Formula::eq(LinExpr::var(y), LinExpr::var(x) + LinExpr::constant(1)),
+        ]);
+        let cnf = crate::cnf::Clausifier::clausify(&f.nnf().simplify());
+        let mut engine = engine_for(cnf, SolverConfig::default());
+        let first = engine.solve(&[]);
+        assert!(first.is_sat());
+        let after_first = engine.stats();
+        let second = engine.solve(&[]);
+        assert!(second.is_sat());
+        let after_second = engine.stats();
+        assert!(after_second.decisions >= after_first.decisions);
+        assert!(after_second.final_checks > after_first.final_checks);
+    }
+
+    #[test]
+    fn assumption_solving_is_scoped() {
+        // x ∈ [0, 5]; assuming x ≤ -1 is unsat, but the engine itself
+        // stays satisfiable afterwards
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let f = Formula::and(vec![
+            Formula::ge(LinExpr::var(x), LinExpr::constant(0)),
+            Formula::le(LinExpr::var(x), LinExpr::constant(5)),
+        ]);
+        let mut clausifier = crate::cnf::Clausifier::new();
+        clausifier.assert_nnf(&f.nnf().simplify());
+        let bad =
+            clausifier.literal_of_nnf(&Formula::le(LinExpr::var(x), LinExpr::constant(-1)).nnf());
+        let crate::cnf::LitOrConst::Lit(bad) = bad else {
+            panic!("expected a literal");
+        };
+        let mut engine = Engine::empty(SolverConfig::default());
+        engine.grow_theory(clausifier.theory());
+        for c in clausifier.take_new_definitions() {
+            engine.add_root_clause(c);
+        }
+        for c in clausifier.take_new_assertions() {
+            engine.add_root_clause(c);
+        }
+        assert_eq!(engine.solve(&[bad]), SolverResult::Unsat);
+        assert!(engine.solve(&[]).is_sat());
+        assert!(engine.solve(&[bad.negate()]).is_sat());
+    }
+
+    #[test]
+    fn reduce_db_keeps_verdicts_and_drops_clauses() {
+        // an unsat pigeonhole instance learns clauses on the way to the
+        // refutation; re-solving under a tiny learnt cap fires the
+        // between-solve GC, and the verdict must stay Unsat throughout
+        let mut pool = VarPool::new();
+        let vars: Vec<_> = (0..12).map(|i| pool.fresh(&format!("x{i}"))).collect();
+        let mut conjuncts = Vec::new();
+        for &v in &vars {
+            conjuncts.push(Formula::or(vec![
+                Formula::eq(LinExpr::var(v), LinExpr::constant(0)),
+                Formula::eq(LinExpr::var(v), LinExpr::constant(1)),
+                Formula::eq(LinExpr::var(v), LinExpr::constant(2)),
+            ]));
+        }
+        // pairwise-coupled sums keep the per-conflict clauses long enough
+        // that the GC's binary exemption does not protect everything
+        for w in vars.windows(4) {
+            conjuncts.push(Formula::le(
+                LinExpr::sum_of_vars(w.iter().copied()),
+                LinExpr::constant(5),
+            ));
+        }
+        conjuncts.push(Formula::ge(
+            LinExpr::sum_of_vars(vars.iter().copied()),
+            LinExpr::constant(19),
+        ));
+        let f = Formula::and(conjuncts);
+        let cnf = crate::cnf::Clausifier::clausify(&f.nnf().simplify());
+        let config = SolverConfig {
+            learnt_cap: 1,
+            ..SolverConfig::default()
+        };
+        let mut engine = engine_for(cnf, config);
+        let first = engine.solve(&[]);
+        assert_eq!(first, SolverResult::Unsat);
+        let stats = engine.stats();
+        assert!(
+            stats.learned_total > 1,
+            "instance must actually learn clauses: {stats:?}"
+        );
+        let live_before = stats.learned_live;
+        let second = engine.solve(&[]);
+        assert_eq!(second, SolverResult::Unsat);
+        let stats = engine.stats();
+        assert!(
+            stats.gc_dropped > 0 || stats.learned_live < live_before,
+            "the between-solve GC must reclaim something: {stats:?} (live before {live_before})"
+        );
     }
 }

@@ -88,33 +88,48 @@ pub struct CnfFormula {
     pub unsat: bool,
 }
 
+/// The simplex constraint asserted by the literal of sign `positive` over a
+/// variable whose meaning is `expr ≤ 0` (both polarities are exact over the
+/// integers); `None` for gate variables (`meaning` absent).
+pub(crate) fn constraint_of_meaning(
+    meaning: Option<&LinExpr>,
+    positive: bool,
+) -> Option<SimplexConstraint> {
+    let expr = meaning?;
+    Some(if positive {
+        SimplexConstraint {
+            expr: expr.clone(),
+            rel: Rel::Le,
+        }
+    } else {
+        // ¬(e ≤ 0) ⟺ e ≥ 1 over the integers
+        SimplexConstraint {
+            expr: expr.clone() - LinExpr::constant(1),
+            rel: Rel::Ge,
+        }
+    })
+}
+
 impl CnfFormula {
     /// The simplex constraint asserted by `lit` (both polarities are exact
     /// over the integers), or `None` for gate literals.
     pub fn constraint_of(&self, lit: Lit) -> Option<SimplexConstraint> {
-        let expr = self.theory[lit.var()].as_ref()?;
-        Some(if lit.is_positive() {
-            SimplexConstraint {
-                expr: expr.clone(),
-                rel: Rel::Le,
-            }
-        } else {
-            // ¬(e ≤ 0) ⟺ e ≥ 1 over the integers
-            SimplexConstraint {
-                expr: expr.clone() - LinExpr::constant(1),
-                rel: Rel::Ge,
-            }
-        })
+        constraint_of_meaning(self.theory[lit.var()].as_ref(), lit.is_positive())
     }
 }
 
-/// A literal-or-constant intermediate during translation.
+/// A literal or a Boolean constant: the result of translating a subformula.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum TLit {
+pub enum LitOrConst {
+    /// The subformula is valid.
     True,
+    /// The subformula is unsatisfiable.
     False,
+    /// The subformula holds iff the literal does.
     Lit(Lit),
 }
+
+use LitOrConst as TLit;
 
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 enum GateKey {
@@ -123,11 +138,29 @@ enum GateKey {
 }
 
 /// The clausifier: interns atoms and gates, accumulates clauses.
+///
+/// Besides the one-shot [`Clausifier::clausify`], the clausifier supports
+/// *incremental* use by [`crate::incremental::IncrementalSolver`]: the
+/// atom/gate interning tables persist across calls, and the clauses produced
+/// since the last drain are split into **definition clauses** (Tseitin gate
+/// definitions `g → …`, globally valid implications that must survive
+/// assertion-stack pops) and **assertion clauses** (the clauses that actually
+/// constrain the formula, which an incremental caller may guard with a
+/// selector literal to make them retractable).
 #[derive(Default)]
 pub struct Clausifier {
     atoms: HashMap<LinExpr, BoolVar>,
     gates: HashMap<GateKey, Lit>,
+    /// Gates with *biconditional* definitions, used by
+    /// [`Clausifier::literal_of_nnf`]: a literal handed out for assumption
+    /// solving may be assumed in either polarity, so `¬g` must force the
+    /// definition false — the one-sided Plaisted–Greenbaum gates above
+    /// only support the positive direction.
+    full_gates: HashMap<GateKey, Lit>,
     theory: Vec<Option<LinExpr>>,
+    /// Gate-definition clauses produced since the last drain.
+    definitions: Vec<Vec<Lit>>,
+    /// Assertion clauses produced since the last drain.
     clauses: Vec<Vec<Lit>>,
     unsat: bool,
 }
@@ -146,12 +179,68 @@ impl Clausifier {
     pub fn clausify(formula: &Formula) -> CnfFormula {
         let mut c = Clausifier::new();
         c.assert_formula(formula);
+        let mut clauses = c.definitions;
+        clauses.extend(c.clauses);
         CnfFormula {
             num_vars: c.theory.len(),
-            clauses: c.clauses,
+            clauses,
             theory: c.theory,
             unsat: c.unsat,
         }
+    }
+
+    /// The number of Boolean variables interned so far.
+    pub fn num_vars(&self) -> usize {
+        self.theory.len()
+    }
+
+    /// The theory meaning of every Boolean variable (`Some(e)` iff the
+    /// variable asserts `e ≤ 0`; `None` for gates and selectors).
+    pub fn theory(&self) -> &[Option<LinExpr>] {
+        &self.theory
+    }
+
+    /// Asserts a quantifier-free **NNF** formula; the produced clauses are
+    /// collected until [`Clausifier::take_new_assertions`] /
+    /// [`Clausifier::take_new_definitions`] drain them.
+    ///
+    /// # Panics
+    /// Panics on quantifiers or on `Not` applied to a non-atom.
+    pub fn assert_nnf(&mut self, formula: &Formula) {
+        self.assert_formula(formula);
+    }
+
+    /// Translates a quantifier-free **NNF** formula into a literal (creating
+    /// gate definitions as needed) without asserting it — the handle used
+    /// for assumption solving.  The gates created here are **biconditional**
+    /// (full Tseitin, not Plaisted–Greenbaum): the returned literal is exact
+    /// in *both* polarities, so assuming its negation genuinely forces the
+    /// formula false.
+    pub fn literal_of_nnf(&mut self, formula: &Formula) -> LitOrConst {
+        self.translate_full(formula)
+    }
+
+    /// Drains the gate-definition clauses produced since the last drain.
+    pub fn take_new_definitions(&mut self) -> Vec<Vec<Lit>> {
+        std::mem::take(&mut self.definitions)
+    }
+
+    /// Drains the assertion clauses produced since the last drain.
+    pub fn take_new_assertions(&mut self) -> Vec<Vec<Lit>> {
+        std::mem::take(&mut self.clauses)
+    }
+
+    /// Reads *and resets* the empty-clause flag: `true` when an assertion
+    /// since the last call was constant-false.  Incremental callers scope
+    /// the contradiction to the assertion frame that produced it.
+    pub fn take_unsat(&mut self) -> bool {
+        std::mem::replace(&mut self.unsat, false)
+    }
+
+    /// A fresh Boolean variable with no theory meaning — the selector
+    /// variables of the incremental assertion stack.
+    pub fn fresh_selector(&mut self) -> BoolVar {
+        self.fresh_var(None)
     }
 
     fn fresh_var(&mut self, meaning: Option<LinExpr>) -> BoolVar {
@@ -227,7 +316,7 @@ impl Clausifier {
         }
         let g = Lit::positive(self.fresh_var(None));
         for &l in &lits {
-            self.clauses.push(vec![g.negate(), l]);
+            self.definitions.push(vec![g.negate(), l]);
         }
         self.gates.insert(key, g);
         TLit::Lit(g)
@@ -252,9 +341,129 @@ impl Clausifier {
         let mut clause = Vec::with_capacity(lits.len() + 1);
         clause.push(g.negate());
         clause.extend(lits.iter().copied());
-        self.clauses.push(clause);
+        self.definitions.push(clause);
         self.gates.insert(key, g);
         TLit::Lit(g)
+    }
+
+    /// An interned **biconditional** AND gate: `g → lᵢ` plus
+    /// `(l₁ ∧ … ∧ lₙ) → g`.
+    fn full_gate_and(&mut self, lits: Vec<Lit>) -> TLit {
+        let Some(lits) = Self::normalise(lits) else {
+            return TLit::False; // l ∧ ¬l
+        };
+        match lits.len() {
+            0 => return TLit::True,
+            1 => return TLit::Lit(lits[0]),
+            _ => {}
+        }
+        let key = GateKey::And(lits.clone());
+        if let Some(&g) = self.full_gates.get(&key) {
+            return TLit::Lit(g);
+        }
+        let g = Lit::positive(self.fresh_var(None));
+        for &l in &lits {
+            self.definitions.push(vec![g.negate(), l]);
+        }
+        let mut reverse = Vec::with_capacity(lits.len() + 1);
+        reverse.push(g);
+        reverse.extend(lits.iter().map(|l| l.negate()));
+        self.definitions.push(reverse);
+        self.full_gates.insert(key, g);
+        TLit::Lit(g)
+    }
+
+    /// An interned **biconditional** OR gate: `g → (l₁ ∨ … ∨ lₙ)` plus
+    /// `lᵢ → g`.
+    fn full_gate_or(&mut self, lits: Vec<Lit>) -> TLit {
+        let Some(lits) = Self::normalise(lits) else {
+            return TLit::True; // l ∨ ¬l
+        };
+        match lits.len() {
+            0 => return TLit::False,
+            1 => return TLit::Lit(lits[0]),
+            _ => {}
+        }
+        let key = GateKey::Or(lits.clone());
+        if let Some(&g) = self.full_gates.get(&key) {
+            return TLit::Lit(g);
+        }
+        let g = Lit::positive(self.fresh_var(None));
+        let mut forward = Vec::with_capacity(lits.len() + 1);
+        forward.push(g.negate());
+        forward.extend(lits.iter().copied());
+        self.definitions.push(forward);
+        for &l in &lits {
+            self.definitions.push(vec![l.negate(), g]);
+        }
+        self.full_gates.insert(key, g);
+        TLit::Lit(g)
+    }
+
+    /// [`Clausifier::translate`] with biconditional gates throughout, so
+    /// the resulting literal is exact in both polarities (see
+    /// [`Clausifier::literal_of_nnf`]).  Atoms are shared with the
+    /// one-sided path — they are exact in both polarities already.
+    fn translate_full(&mut self, formula: &Formula) -> TLit {
+        match formula {
+            Formula::True => TLit::True,
+            Formula::False => TLit::False,
+            Formula::Atom(atom) => match atom.cmp {
+                Cmp::Eq => {
+                    let le = self.lit_of_ineq(&Atom {
+                        expr: atom.expr.clone(),
+                        cmp: Cmp::Le,
+                    });
+                    let ge = self.lit_of_ineq(&Atom {
+                        expr: atom.expr.clone(),
+                        cmp: Cmp::Ge,
+                    });
+                    self.combine_full(true, vec![le, ge])
+                }
+                Cmp::Ne => {
+                    let lt = self.lit_of_ineq(&Atom {
+                        expr: atom.expr.clone(),
+                        cmp: Cmp::Lt,
+                    });
+                    let gt = self.lit_of_ineq(&Atom {
+                        expr: atom.expr.clone(),
+                        cmp: Cmp::Gt,
+                    });
+                    self.combine_full(false, vec![lt, gt])
+                }
+                _ => self.lit_of_ineq(atom),
+            },
+            Formula::And(parts) => {
+                let translated: Vec<TLit> = parts.iter().map(|p| self.translate_full(p)).collect();
+                self.combine_full(true, translated)
+            }
+            Formula::Or(parts) => {
+                let translated: Vec<TLit> = parts.iter().map(|p| self.translate_full(p)).collect();
+                self.combine_full(false, translated)
+            }
+            Formula::Not(_) => unreachable!("clausifier input must be in NNF"),
+            Formula::Forall(_, _) | Formula::Exists(_, _) => {
+                unreachable!("clausifier input must be quantifier-free")
+            }
+        }
+    }
+
+    /// Folds constants and dispatches to the biconditional gates.
+    fn combine_full(&mut self, conjunction: bool, parts: Vec<TLit>) -> TLit {
+        let mut lits = Vec::with_capacity(parts.len());
+        for p in parts {
+            match (conjunction, p) {
+                (true, TLit::True) | (false, TLit::False) => {}
+                (true, TLit::False) => return TLit::False,
+                (false, TLit::True) => return TLit::True,
+                (_, TLit::Lit(l)) => lits.push(l),
+            }
+        }
+        if conjunction {
+            self.full_gate_and(lits)
+        } else {
+            self.full_gate_or(lits)
+        }
     }
 
     /// Translates a subformula occurring under a disjunction into a literal.

@@ -37,7 +37,7 @@ use crate::term::{LinExpr, Var};
 /// A variable pinned to an integer value, with the indices of the
 /// constraints responsible (empty when the caller does not need
 /// explanations, e.g. branch-and-bound pruning).
-pub type FixedVars = BTreeMap<Var, (i128, Vec<u32>)>;
+pub type FixedVars = BTreeMap<Var, (i128, crate::explain::ReasonSet)>;
 
 /// Fill-in cap: substitutions that would grow an equation beyond this many
 /// terms are skipped (partial elimination stays sound, it only refutes
@@ -82,7 +82,7 @@ fn substitute_fixed(expr: &LinExpr, fixed: &FixedVars, reasons: &mut Reasons) ->
         match fixed.get(&v) {
             Some((value, why)) => {
                 constant = constant.checked_add(c.checked_mul(*value)?)?;
-                *reasons = union(reasons, why);
+                reasons.union_with(why);
             }
             None => out.add_term(v, c),
         }
@@ -122,7 +122,7 @@ fn collect_equations(
     let mut le_seen: HashMap<LinExpr, (u32, Reasons)> = HashMap::new();
     for (i, c) in constraints.iter().enumerate() {
         let i = i as u32;
-        let mut reasons = vec![i];
+        let mut reasons = Reasons::singleton(i);
         match c.rel {
             Rel::Eq => {
                 if let Some(e) = substitute_fixed(&c.expr, fixed, &mut reasons) {
@@ -165,7 +165,7 @@ pub fn conflict_core_fixed(
     let mut eqs = collect_equations(constraints, fixed);
     for (e, reasons) in &eqs {
         if equation_infeasible(e) {
-            return Some(reasons.iter().map(|&i| i as usize).collect());
+            return Some(reasons.to_indices());
         }
     }
     let mut used = vec![false; eqs.len()];
@@ -203,7 +203,7 @@ pub fn conflict_core_fixed(
             }
             let reasons = union(&eqs[q].1, &pivot_reasons);
             if equation_infeasible(&derived) {
-                return Some(reasons.iter().map(|&i| i as usize).collect());
+                return Some(reasons.to_indices());
             }
             eqs[q] = (derived, reasons);
         }

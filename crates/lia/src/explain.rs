@@ -25,8 +25,6 @@
 //! set is infeasible, so every core returned here — minimal or not — yields
 //! a valid learned clause.
 
-use std::collections::BTreeMap;
-
 use crate::intfeas::{solve_integer, IntFeasConfig, IntFeasResult};
 use crate::rational::Rat;
 use crate::simplex::{check_feasibility, Rel, SimplexConstraint};
@@ -39,50 +37,98 @@ use crate::term::{LinExpr, Var};
 /// The loop exits on convergence, so the cap only bounds pathologies.
 const MAX_ROUNDS: usize = 64;
 
-/// A sorted, deduplicated set of constraint indices (shared with
-/// [`crate::eqelim`]).
-pub(crate) type Reasons = Vec<u32>;
+/// A compact set of constraint indices — the per-bound provenance carried
+/// through tracked propagation and the divisibility elimination.  A word
+/// bitset: unions are a few `u64` ORs instead of a sorted-vector merge,
+/// which is what keeps per-conflict explanation cost flat as the theory
+/// stack grows.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReasonSet {
+    words: Vec<u64>,
+}
 
-/// Merges two sorted reason sets (shared with [`crate::eqelim`]).
-pub(crate) fn union(a: &Reasons, b: &Reasons) -> Reasons {
-    let mut out = Vec::with_capacity(a.len() + b.len());
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => {
-                out.push(a[i]);
-                i += 1;
-            }
-            std::cmp::Ordering::Greater => {
-                out.push(b[j]);
-                j += 1;
-            }
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
-            }
+impl ReasonSet {
+    /// The empty set.
+    pub fn new() -> ReasonSet {
+        ReasonSet::default()
+    }
+
+    /// The singleton `{i}`.
+    pub fn singleton(i: u32) -> ReasonSet {
+        let mut set = ReasonSet::new();
+        set.insert(i);
+        set
+    }
+
+    /// Adds an index.
+    pub fn insert(&mut self, i: u32) {
+        let word = (i / 64) as usize;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        self.words[word] |= 1u64 << (i % 64);
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &ReasonSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (w, &o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
         }
     }
-    out.extend_from_slice(&a[i..]);
-    out.extend_from_slice(&b[j..]);
+
+    /// The members as sorted indices.
+    pub fn to_indices(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                out.push(wi * 64 + b);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+}
+
+pub(crate) type Reasons = ReasonSet;
+
+/// The union of two reason sets (shared with [`crate::eqelim`]).
+pub(crate) fn union(a: &Reasons, b: &Reasons) -> Reasons {
+    let mut out = a.clone();
+    out.union_with(b);
     out
 }
 
-fn insert(set: &mut Reasons, x: u32) {
-    if let Err(pos) = set.binary_search(&x) {
-        set.insert(pos, x);
-    }
-}
-
-/// Interval propagation with per-bound provenance.
+/// Interval propagation with per-bound provenance.  Bounds live in dense
+/// per-variable slots (variables are dense indices) — the tracked pass runs
+/// once per conflict over the whole theory stack, so constant-time slot
+/// access matters more than sparsity.
 #[derive(Default)]
 struct TrackedEnv {
-    lo: BTreeMap<Var, (Rat, Reasons)>,
-    hi: BTreeMap<Var, (Rat, Reasons)>,
+    lo: Vec<Option<(Rat, Reasons)>>,
+    hi: Vec<Option<(Rat, Reasons)>>,
 }
 
 impl TrackedEnv {
+    fn lo_of(&self, v: Var) -> Option<&(Rat, Reasons)> {
+        self.lo.get(v.index()).and_then(Option::as_ref)
+    }
+
+    fn hi_of(&self, v: Var) -> Option<&(Rat, Reasons)> {
+        self.hi.get(v.index()).and_then(Option::as_ref)
+    }
+
+    fn set(slots: &mut Vec<Option<(Rat, Reasons)>>, v: Var, entry: (Rat, Reasons)) {
+        if v.index() >= slots.len() {
+            slots.resize(v.index() + 1, None);
+        }
+        slots[v.index()] = Some(entry);
+    }
+
     /// Lower bound of `expr` with the reasons it rests on (`None` = −∞).
     fn expr_min(&self, expr: &LinExpr, excluded: Option<Var>) -> Option<(Rat, Reasons)> {
         let mut total = Rat::from_int(expr.constant_part());
@@ -91,14 +137,10 @@ impl TrackedEnv {
             if excluded == Some(v) {
                 continue;
             }
-            let entry = if c > 0 {
-                self.lo.get(&v)
-            } else {
-                self.hi.get(&v)
-            };
+            let entry = if c > 0 { self.lo_of(v) } else { self.hi_of(v) };
             let (bound, r) = entry?;
             total += *bound * Rat::from_int(c);
-            reasons = union(&reasons, r);
+            reasons.union_with(r);
         }
         Some((total, reasons))
     }
@@ -108,7 +150,7 @@ impl TrackedEnv {
     fn assert_le(&mut self, ci: u32, expr: &LinExpr) -> Result<bool, Reasons> {
         if let Some((min, mut reasons)) = self.expr_min(expr, None) {
             if min.is_positive() {
-                insert(&mut reasons, ci);
+                reasons.insert(ci);
                 return Err(reasons);
             }
         }
@@ -117,7 +159,7 @@ impl TrackedEnv {
             let Some((rest_min, mut reasons)) = self.expr_min(expr, Some(v)) else {
                 continue;
             };
-            insert(&mut reasons, ci);
+            reasons.insert(ci);
             let bound = -rest_min / Rat::from_int(c);
             if c > 0 {
                 // v ≤ ⌊bound⌋ over the integers
@@ -125,12 +167,12 @@ impl TrackedEnv {
                 if value < Rat::from_int(-crate::bounds::MAGNITUDE_LIMIT) {
                     continue; // magnitude guard, mirrors `crate::bounds`
                 }
-                let tightens = match self.hi.get(&v) {
+                let tightens = match self.hi_of(v) {
                     Some((current, _)) => *current > value,
                     None => true,
                 };
                 if tightens {
-                    self.hi.insert(v, (value, reasons));
+                    Self::set(&mut self.hi, v, (value, reasons));
                     changed = true;
                 }
             } else {
@@ -138,16 +180,16 @@ impl TrackedEnv {
                 if value > Rat::from_int(crate::bounds::MAGNITUDE_LIMIT) {
                     continue;
                 }
-                let tightens = match self.lo.get(&v) {
+                let tightens = match self.lo_of(v) {
                     Some((current, _)) => *current < value,
                     None => true,
                 };
                 if tightens {
-                    self.lo.insert(v, (value, reasons));
+                    Self::set(&mut self.lo, v, (value, reasons));
                     changed = true;
                 }
             }
-            if let (Some((lo, rl)), Some((hi, rh))) = (self.lo.get(&v), self.hi.get(&v)) {
+            if let (Some((lo, rl)), Some((hi, rh))) = (self.lo_of(v), self.hi_of(v)) {
                 if lo > hi {
                     return Err(union(rl, rh));
                 }
@@ -184,7 +226,7 @@ pub fn bound_conflict_core(constraints: &[SimplexConstraint]) -> Option<Vec<usiz
         for (i, c) in constraints.iter().enumerate() {
             match env.assert_one(i as u32, c) {
                 Ok(ch) => changed |= ch,
-                Err(core) => return Some(core.into_iter().map(|i| i as usize).collect()),
+                Err(core) => return Some(core.to_indices()),
             }
         }
         if !changed {
@@ -214,13 +256,14 @@ pub fn fixed_reasons(constraints: &[SimplexConstraint]) -> crate::eqelim::FixedV
         }
     }
     let mut out = crate::eqelim::FixedVars::new();
-    for (&v, (lo, rl)) in &env.lo {
-        let Some((hi, rh)) = env.hi.get(&v) else {
+    for (i, entry) in env.lo.iter().enumerate() {
+        let Some((lo, rl)) = entry else { continue };
+        let Some((hi, rh)) = env.hi.get(i).and_then(Option::as_ref) else {
             continue;
         };
         if lo == hi {
             if let Some(value) = lo.to_integer() {
-                out.insert(v, (value, union(rl, rh)));
+                out.insert(Var(i), (value, union(rl, rh)));
             }
         }
     }
@@ -247,23 +290,63 @@ pub fn integer_infeasible(constraints: &[SimplexConstraint], budget: usize) -> b
     matches!(solve_integer(constraints, &config), IntFeasResult::Unsat)
 }
 
+/// Shrinks a core to a fixpoint of its own extractor: re-running the
+/// (tracked) core computation on the core *subset* usually collapses it to
+/// a handful of constraints in one or two passes, after which the
+/// per-member deletion loop of [`minimize_core`] only has a few candidates
+/// left.  Sound because a tracked core is itself refutable by the same
+/// procedure — every recorded bound carries the constraints that produced
+/// it — so each pass yields a genuine infeasible subset.
+pub fn shrink_core(
+    constraints: &[SimplexConstraint],
+    mut core: Vec<usize>,
+    extract: &dyn Fn(&[SimplexConstraint]) -> Option<Vec<usize>>,
+) -> Vec<usize> {
+    loop {
+        let subset: Vec<SimplexConstraint> = core.iter().map(|&i| constraints[i].clone()).collect();
+        match extract(&subset) {
+            Some(sub) if sub.len() < core.len() => {
+                core = sub.into_iter().map(|j| core[j]).collect();
+            }
+            _ => return core,
+        }
+    }
+}
+
 /// Deletion-based minimisation: drops every core member whose removal keeps
 /// the subset infeasible according to `infeasible`.  The result is minimal
 /// w.r.t. the checker (and still infeasible, hence a sound explanation).
 pub fn minimize_core(
     constraints: &[SimplexConstraint],
+    core: Vec<usize>,
+    infeasible: &dyn Fn(&[SimplexConstraint]) -> bool,
+) -> Vec<usize> {
+    minimize_core_budgeted(constraints, core, infeasible, usize::MAX)
+}
+
+/// [`minimize_core`] with a cap on the number of deletion attempts: only
+/// the last `budget` members (the deepest, usually highest-decision-level
+/// ones, whose removal most improves the backjump) are tried.  An
+/// unminimised remainder is still a sound explanation, so spending a
+/// bounded amount of work per conflict trades a slightly longer learned
+/// clause for a much cheaper conflict loop.
+pub fn minimize_core_budgeted(
+    constraints: &[SimplexConstraint],
     mut core: Vec<usize>,
     infeasible: &dyn Fn(&[SimplexConstraint]) -> bool,
+    budget: usize,
 ) -> Vec<usize> {
     // drop later (deeper, usually higher-decision-level) members first so
     // the surviving clause prefers literals from low decision levels and
     // the learner backjumps further
+    let mut attempts = 0usize;
     let mut i = core.len();
-    while i > 0 {
+    while i > 0 && attempts < budget {
         i -= 1;
         if core.len() <= 1 {
             break;
         }
+        attempts += 1;
         let candidate: Vec<SimplexConstraint> = core
             .iter()
             .enumerate()

@@ -104,14 +104,16 @@ pub fn solve_integer(constraints: &[SimplexConstraint], config: &IntFeasConfig) 
         if outcome == BoundOutcome::Refuted {
             continue;
         }
-        let fixed = env.fixed();
-        if last_gcd_fixed != fixed.len() {
-            let fixed_map: crate::eqelim::FixedVars =
-                fixed.iter().map(|(&v, &k)| (v, (k, Vec::new()))).collect();
+        if last_gcd_fixed != env.pinned_count() {
+            let fixed_map: crate::eqelim::FixedVars = env
+                .fixed()
+                .into_iter()
+                .map(|(v, k)| (v, (k, Default::default())))
+                .collect();
             if crate::eqelim::conflict_core_fixed(&current, &fixed_map).is_some() {
                 continue;
             }
-            last_gcd_fixed = fixed.len();
+            last_gcd_fixed = env.pinned_count();
         }
 
         match check_feasibility(&current) {

@@ -21,7 +21,13 @@
 //!   Plaisted–Greenbaum Tseitin encoding, half-space atom canonicalisation,
 //! * [`cdcl`] — the clause-learning **CDCL(T)** search engine (trail,
 //!   two-watched-literal propagation, 1UIP learning, backjumping, Luby
-//!   restarts, VSIDS), the default engine of [`solver::Solver`],
+//!   restarts, VSIDS), the default engine of [`solver::Solver`]; the
+//!   engine is persistent and exports cumulative [`cdcl::SolverStats`],
+//! * [`incremental`] — the **incremental solving layer**: persistent
+//!   [`incremental::IncrementalSolver`] sessions with an assertion stack
+//!   (`push`/`pop` via selector-guarded frames), assumption solving, and
+//!   learned-clause retention across calls — what the CEGAR loops and the
+//!   SMT-LIB `(check-sat)` streams run on,
 //! * [`explain`] / [`eqelim`] — theory-conflict *explanations*: provenance-
 //!   tracking bound propagation, deletion-minimised cores, and the
 //!   GCD/elimination refutation of parity-infeasible equality systems,
@@ -80,6 +86,7 @@ pub mod cnf;
 pub mod eqelim;
 pub mod explain;
 pub mod formula;
+pub mod incremental;
 pub mod intfeas;
 pub mod rational;
 pub mod simplex;
@@ -87,7 +94,10 @@ pub mod solver;
 pub mod term;
 
 pub use cancel::CancelToken;
+pub use cdcl::{global_stats, SolverStats};
+pub use cnf::{Lit, LitOrConst};
 pub use formula::{Atom, Cmp, Formula};
+pub use incremental::IncrementalSolver;
 pub use rational::Rat;
 pub use solver::{Model, SearchEngine, Solver, SolverConfig, SolverResult};
 pub use term::{LinExpr, Var, VarPool};

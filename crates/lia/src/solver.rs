@@ -121,8 +121,13 @@ pub struct SolverConfig {
     /// Maximum number of disjunction branches explored (structural engine).
     pub max_decisions: usize,
     /// Maximum number of conflicts before the CDCL engine reports
-    /// `Unknown` (its analogue of `max_decisions`).
+    /// `Unknown` (its analogue of `max_decisions`).  In an incremental
+    /// session the budget applies per `solve` call.
     pub max_conflicts: usize,
+    /// Live learned clauses beyond which the CDCL engine's LBD-ranked GC
+    /// fires (at restarts and between incremental solves); the threshold
+    /// then grows geometrically.
+    pub learnt_cap: usize,
     /// Limits of the integer feasibility backend.
     pub int_config: IntFeasConfig,
     /// Cooperative cancellation/deadline token, polled at every disjunction
@@ -145,6 +150,9 @@ impl Default for SolverConfig {
             // structural engine takes decisions, but each conflict does more
             // work; this keeps resource-outs at a few seconds as well
             max_conflicts: 50_000,
+            // far above what one query learns; long incremental sessions
+            // are what the GC exists for
+            learnt_cap: 8_000,
             int_config: IntFeasConfig::default(),
             cancel: CancelToken::none(),
         }

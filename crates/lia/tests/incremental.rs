@@ -1,0 +1,269 @@
+//! Randomized testing of the incremental solving layer.
+//!
+//! (a) **Push/pop soundness:** a session that asserts a base formula,
+//! pushes and asserts increments, pops and re-checks must agree with
+//! one-shot solves of the equivalent flattened conjunctions at every step
+//! (same xorshift generator as the engine differential suite, so failures
+//! reproduce from the printed seed).
+//!
+//! (b) **Clause retention:** after a satisfiable solve, asserting a
+//! model-blocking cut and re-solving must keep the session's learned
+//! clauses — asserted on the engine's counters, no timing involved.
+
+use posr_lia::formula::{Cmp, Formula};
+use posr_lia::incremental::IncrementalSolver;
+use posr_lia::solver::{Solver, SolverResult};
+use posr_lia::term::{LinExpr, Var, VarPool};
+
+/// A tiny deterministic xorshift generator: no external crates, stable
+/// across platforms, reproducible failures (the seed prints on mismatch).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform-ish value in `0..n` (n ≤ 2^32).
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn int(&mut self, lo: i128, hi: i128) -> i128 {
+        lo + self.below((hi - lo + 1) as u64) as i128
+    }
+}
+
+fn random_atom(rng: &mut Rng, vars: &[Var]) -> Formula {
+    let mut expr = LinExpr::constant(rng.int(-6, 6));
+    let terms = 1 + rng.below(3);
+    for _ in 0..terms {
+        let v = vars[rng.below(vars.len() as u64) as usize];
+        let coeff = match rng.below(8) {
+            0 => 2,
+            1 => -2,
+            2 => 3,
+            _ => *[-1i128, 1].get(rng.below(2) as usize).unwrap(),
+        };
+        expr += LinExpr::scaled_var(v, coeff);
+    }
+    let cmp = match rng.below(6) {
+        0 => Cmp::Le,
+        1 => Cmp::Lt,
+        2 => Cmp::Ge,
+        3 => Cmp::Gt,
+        4 => Cmp::Eq,
+        _ => Cmp::Ne,
+    };
+    Formula::Atom(posr_lia::formula::Atom { expr, cmp })
+}
+
+fn random_formula(rng: &mut Rng, vars: &[Var], depth: usize) -> Formula {
+    if depth == 0 || rng.below(3) == 0 {
+        return random_atom(rng, vars);
+    }
+    match rng.below(4) {
+        0 => {
+            let n = 2 + rng.below(3) as usize;
+            Formula::and(
+                (0..n)
+                    .map(|_| random_formula(rng, vars, depth - 1))
+                    .collect(),
+            )
+        }
+        1 => {
+            let n = 2 + rng.below(3) as usize;
+            Formula::or(
+                (0..n)
+                    .map(|_| random_formula(rng, vars, depth - 1))
+                    .collect(),
+            )
+        }
+        2 => Formula::not(random_formula(rng, vars, depth - 1)),
+        _ => random_atom(rng, vars),
+    }
+}
+
+/// A bounding box keeps every instance decidable well within the engines'
+/// resource limits, so verdicts are definite and comparable.
+fn boxed(vars: &[Var], formula: Formula) -> Formula {
+    let mut conjuncts = vec![formula];
+    for &v in vars {
+        conjuncts.push(Formula::ge(LinExpr::var(v), LinExpr::constant(-20)));
+        conjuncts.push(Formula::le(LinExpr::var(v), LinExpr::constant(20)));
+    }
+    Formula::and(conjuncts)
+}
+
+/// One-shot reference verdict for a conjunction.
+fn one_shot(parts: &[&Formula]) -> SolverResult {
+    Solver::new().solve(&Formula::and(parts.iter().map(|&f| f.clone()).collect()))
+}
+
+/// Compares an incremental answer against the one-shot reference; models
+/// must satisfy the flattened conjunction, definite verdicts must agree.
+fn check_agreement(round: usize, stage: &str, incremental: &SolverResult, parts: &[&Formula]) {
+    let reference = one_shot(parts);
+    match (incremental, &reference) {
+        (SolverResult::Sat(m), SolverResult::Sat(_)) => {
+            let flat = Formula::and(parts.iter().map(|&f| f.clone()).collect());
+            assert!(
+                m.satisfies(&flat),
+                "round {round} {stage}: incremental model violates the flattened formula"
+            );
+        }
+        (SolverResult::Unsat, SolverResult::Unsat) => {}
+        (SolverResult::Unknown(_), _) | (_, SolverResult::Unknown(_)) => {}
+        (inc, reference) => {
+            panic!("round {round} {stage}: incremental {inc:?} vs one-shot {reference:?}")
+        }
+    }
+}
+
+#[test]
+fn push_pop_agrees_with_one_shot_solves() {
+    let mut rng = Rng(0xD1CE_0123_4567_89AB);
+    let mut pool = VarPool::new();
+    let vars: Vec<Var> = (0..4).map(|i| pool.fresh(&format!("v{i}"))).collect();
+
+    let mut decided = 0usize;
+    for round in 0..60 {
+        let base = boxed(&vars, random_formula(&mut rng, &vars, 2));
+        let inc_a = random_formula(&mut rng, &vars, 2);
+        let inc_b = random_formula(&mut rng, &vars, 2);
+
+        let mut session = IncrementalSolver::new();
+        session.assert_formula(&base);
+        let r0 = session.solve();
+        check_agreement(round, "base", &r0, &[&base]);
+
+        // push the first increment
+        session.push();
+        session.assert_formula(&inc_a);
+        let r1 = session.solve();
+        check_agreement(round, "base+a", &r1, &[&base, &inc_a]);
+
+        // nested frame with the second increment
+        session.push();
+        session.assert_formula(&inc_b);
+        let r2 = session.solve();
+        check_agreement(round, "base+a+b", &r2, &[&base, &inc_a, &inc_b]);
+
+        // pop back to base+a, then to base; earlier verdicts must reproduce
+        assert!(session.pop());
+        let r3 = session.solve();
+        check_agreement(round, "after pop to base+a", &r3, &[&base, &inc_a]);
+        assert!(session.pop());
+        let r4 = session.solve();
+        check_agreement(round, "after pop to base", &r4, &[&base]);
+
+        // the re-solve after the pops must reproduce the original verdicts
+        // exactly (not just agree with one-shot): the session carries no
+        // residue of the popped frames
+        assert_eq!(
+            r4.is_sat(),
+            r0.is_sat(),
+            "round {round}: base verdict drifted"
+        );
+        assert_eq!(
+            r3.is_sat(),
+            r1.is_sat(),
+            "round {round}: base+a verdict drifted"
+        );
+        if !matches!(r2, SolverResult::Unknown(_)) {
+            decided += 1;
+        }
+    }
+    assert!(decided >= 50, "too many undecided rounds: {decided}/60");
+}
+
+#[test]
+fn interleaved_root_assertions_and_frames() {
+    // root-level assertions arriving between frames must persist across
+    // pops, while frame assertions must not
+    let mut rng = Rng(0xBEEF_CAFE_1234_5678);
+    let mut pool = VarPool::new();
+    let vars: Vec<Var> = (0..3).map(|i| pool.fresh(&format!("w{i}"))).collect();
+    for round in 0..30 {
+        let base = boxed(&vars, random_formula(&mut rng, &vars, 2));
+        let frame = random_formula(&mut rng, &vars, 2);
+        let late_root = random_formula(&mut rng, &vars, 1);
+
+        let mut session = IncrementalSolver::new();
+        session.assert_formula(&base);
+        session.push();
+        session.assert_formula(&frame);
+        let _ = session.solve();
+        assert!(session.pop());
+        // a root assertion *after* the pop
+        session.assert_formula(&late_root);
+        let r = session.solve();
+        check_agreement(round, "base+late", &r, &[&base, &late_root]);
+    }
+}
+
+#[test]
+fn resolve_after_blocking_cut_retains_learned_clauses() {
+    // a 0/1 system whose first solve necessarily learns clauses; blocking
+    // the found model (a CEGAR-style cut) and re-solving must carry the
+    // learned clauses into the re-solve — stats-based, no timing
+    let mut pool = VarPool::new();
+    let vars: Vec<Var> = (0..8).map(|i| pool.fresh(&format!("b{i}"))).collect();
+    let mut session = IncrementalSolver::new();
+    for &v in &vars {
+        session.assert_formula(&Formula::or(vec![
+            Formula::eq(LinExpr::var(v), LinExpr::constant(0)),
+            Formula::eq(LinExpr::var(v), LinExpr::constant(1)),
+        ]));
+    }
+    // couple the variables so pure propagation cannot finish the job
+    for w in vars.windows(3) {
+        session.assert_formula(&Formula::le(
+            LinExpr::sum_of_vars(w.iter().copied()),
+            LinExpr::constant(2),
+        ));
+    }
+    session.assert_formula(&Formula::ge(
+        LinExpr::sum_of_vars(vars.iter().copied()),
+        LinExpr::constant(5),
+    ));
+
+    let mut blocked = 0usize;
+    loop {
+        let before = session.stats();
+        match session.solve() {
+            SolverResult::Sat(model) => {
+                if blocked >= 1 {
+                    assert!(
+                        before.learned_live > 0,
+                        "re-solve {blocked} started without retained lemmas: {before:?}"
+                    );
+                }
+                // block this exact assignment and go again
+                let cut = Formula::or(
+                    vars.iter()
+                        .map(|&v| Formula::ne(LinExpr::var(v), LinExpr::constant(model.value(v))))
+                        .collect(),
+                );
+                session.assert_formula(&cut);
+                blocked += 1;
+                if blocked >= 4 {
+                    break;
+                }
+            }
+            SolverResult::Unsat => break,
+            SolverResult::Unknown(reason) => panic!("unexpected unknown: {reason}"),
+        }
+    }
+    assert!(blocked >= 2, "instance must survive at least two cuts");
+    let stats = session.stats();
+    assert!(
+        stats.learned_total > 0,
+        "the session never learned anything: {stats:?}"
+    );
+}

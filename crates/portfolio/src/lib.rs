@@ -79,21 +79,51 @@ pub trait Strategy: Send + Sync {
 
 /// The paper's tag-automaton position pipeline with the clause-learning
 /// CDCL(T) LIA core (the production solver; the only lane that closes the
-/// loopy unsat families).
-#[derive(Clone, Debug, Default)]
+/// loopy unsat families).  By default the CEGAR loops run on one
+/// persistent incremental LIA session per query; `scratch()` builds the
+/// from-scratch twin (`cdcl-pos-scratch`) used by the ablation's
+/// incremental-vs-scratch comparison.
+#[derive(Clone, Debug)]
 pub struct CdclPosStrategy {
     /// Base options; the racing token and deadline are merged in per query.
     pub options: SolverOptions,
+    /// Run the CEGAR loops incrementally (the production default).
+    pub incremental_cegar: bool,
+}
+
+impl Default for CdclPosStrategy {
+    fn default() -> CdclPosStrategy {
+        CdclPosStrategy {
+            options: SolverOptions::default(),
+            incremental_cegar: true,
+        }
+    }
+}
+
+impl CdclPosStrategy {
+    /// The from-scratch comparison lane: identical pipeline, but every
+    /// CEGAR round re-clausifies and re-searches from nothing.
+    pub fn scratch() -> CdclPosStrategy {
+        CdclPosStrategy {
+            options: SolverOptions::default(),
+            incremental_cegar: false,
+        }
+    }
 }
 
 impl Strategy for CdclPosStrategy {
     fn name(&self) -> &'static str {
-        "cdcl-pos"
+        if self.incremental_cegar {
+            "cdcl-pos"
+        } else {
+            "cdcl-pos-scratch"
+        }
     }
 
     fn solve(&self, formula: &StringFormula, cancel: &CancelToken) -> Answer {
         let mut options = self.options.clone();
         options.position.lia.engine = posr_lia::solver::SearchEngine::Cdcl;
+        options.position.incremental_cegar = self.incremental_cegar;
         // one shared implementation of the earlier-deadline merge
         options.cancel = cancel.merged_with_deadline(options.deadline);
         options.deadline = options.cancel.deadline();
@@ -618,6 +648,25 @@ mod tests {
         let portfolio = PortfolioSolver::new().with_parallelism(1);
         let result = portfolio.solve_with(&unsat_formula(), None, None);
         assert_eq!(result.reports[0].name, "cdcl-pos");
+    }
+
+    #[test]
+    fn incremental_and_scratch_cdcl_lanes_agree() {
+        let incremental = CdclPosStrategy::default();
+        let scratch = CdclPosStrategy::scratch();
+        assert_eq!(incremental.name(), "cdcl-pos");
+        assert_eq!(scratch.name(), "cdcl-pos-scratch");
+        for formula in [sat_formula(), unsat_formula()] {
+            let token = CancelToken::none();
+            let a = incremental.solve(&formula, &token);
+            let b = scratch.solve(&formula, &token);
+            assert_eq!(
+                a.is_sat(),
+                b.is_sat(),
+                "lanes disagree on {formula:?}: {a:?} vs {b:?}"
+            );
+            assert_eq!(a.is_unsat(), b.is_unsat());
+        }
     }
 
     /// A strategy that never answers until its token fires — the direct test

@@ -1,13 +1,24 @@
-//! A parser for an SMT-LIB-flavoured text format covering the string
-//! fragment handled by `posr-core`.
+//! A parser and script runner for an SMT-LIB-flavoured text format
+//! covering the string fragment handled by `posr-core`.
 //!
 //! Supported commands: `(declare-const x String)`, `(declare-const i Int)`,
-//! `(declare-fun x () String)`, `(assert …)`, `(check-sat)`, `(set-logic …)`,
-//! `(set-info …)`, `(exit)`.  Supported term constructors: `str.++`,
-//! `str.len`, `str.at`, `str.in_re`, `str.prefixof`, `str.suffixof`,
-//! `str.contains`, `str.to_re`, `re.++`, `re.*`, `re.+`, `re.opt`,
-//! `re.union`, `re.range`, `re.allchar`, `=`, `not`, `and`, `<=`, `<`, `>=`,
-//! `>`, `+`, string literals and integer literals.
+//! `(declare-fun x () String)`, `(assert …)`, `(check-sat)`, `(push n)`,
+//! `(pop n)`, `(get-model)`, `(set-logic …)`, `(set-info …)`, `(exit)`.
+//! Supported term constructors: `str.++`, `str.len`, `str.at`,
+//! `str.in_re`, `str.prefixof`, `str.suffixof`, `str.contains`,
+//! `str.to_re`, `re.++`, `re.*`, `re.+`, `re.opt`, `re.union`, `re.range`,
+//! `re.allchar`, `=`, `not`, `and`, `<=`, `<`, `>=`, `>`, `+`, string
+//! literals and integer literals.
+//!
+//! Two entry points:
+//!
+//! * [`parse_script`] — the legacy one-shot view: every assertion is
+//!   flattened into one conjunction, `(push)`/`(pop)` are rejected.
+//! * [`parse_commands`] + [`run_script`] — the command stream: a script
+//!   may push and pop assertion frames and issue multiple `(check-sat)`
+//!   and `(get-model)` commands; `run_script` replays it against an
+//!   incremental [`posr_core::session::SolverSession`] and returns the
+//!   per-command responses.
 //!
 //! # Example
 //!
@@ -26,11 +37,31 @@
 //! assert_eq!(parsed.formula.atoms.len(), 3);
 //! assert!(parsed.check_sat);
 //! ```
+//!
+//! Multiple `(check-sat)`s through the incremental session:
+//!
+//! ```
+//! use posr_smtfmt::run_script;
+//! let outcome = run_script(r#"
+//!   (declare-const x String)
+//!   (assert (str.in_re x (str.to_re "ab")))
+//!   (check-sat)
+//!   (push 1)
+//!   (assert (not (= x "ab")))
+//!   (check-sat)
+//!   (pop 1)
+//!   (check-sat)
+//! "#).unwrap();
+//! assert_eq!(outcome.statuses(), ["sat", "unsat", "sat"]);
+//! ```
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::fmt::Write as _;
 
 use posr_core::ast::{LenCmp, LenTerm, StringAtom, StringFormula, StringTerm};
+use posr_core::session::SolverSession;
+use posr_core::solver::{answer_status, Answer, SolverOptions, StringModel};
 
 /// A parsed script: the conjunction of all assertions plus bookkeeping.
 #[derive(Clone, Debug, Default)]
@@ -167,17 +198,70 @@ impl Lexer {
     }
 }
 
-/// Parses a whole script.
+/// The largest `(push n)` / `(pop n)` level accepted from a script —
+/// far above any real use, small enough that a hostile numeral cannot
+/// drive an allocation loop.
+const MAX_STACK_LEVELS: usize = 10_000;
+
+/// The sort of a declared constant.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Sort {
+    /// `String`
+    String,
+    /// `Int`
+    Int,
+}
+
+/// One command of a parsed SMT-LIB script, in script order.
+#[derive(Clone, Debug)]
+pub enum Command {
+    /// `(declare-const name sort)` / `(declare-fun name () sort)`.
+    Declare {
+        /// The constant's name.
+        name: String,
+        /// Its sort.
+        sort: Sort,
+    },
+    /// `(assert …)`, already converted into the atom conjunction.
+    Assert(Vec<StringAtom>),
+    /// `(push n)`.
+    Push(usize),
+    /// `(pop n)`.
+    Pop(usize),
+    /// `(check-sat)`.
+    CheckSat,
+    /// `(get-model)`.
+    GetModel,
+    /// `(exit)`.
+    Exit,
+}
+
+/// A script parsed as a command stream (see [`parse_commands`]).
+#[derive(Clone, Debug, Default)]
+pub struct ParsedCommands {
+    /// The commands, in script order (metadata commands are folded into
+    /// the fields below).
+    pub commands: Vec<Command>,
+    /// A solver-strategy hint from `(set-info :posr-strategy NAME)`.
+    pub strategy_hint: Option<String>,
+    /// The expected verdict from `(set-info :status …)`, when declared.
+    pub expected_status: Option<String>,
+}
+
+/// Parses a script into its command stream, supporting `(push n)`,
+/// `(pop n)`, multiple `(check-sat)` and `(get-model)`.  Declarations are
+/// global (not scoped to their frame), which is the only place this subset
+/// is more lenient than SMT-LIB.
 ///
 /// # Errors
 /// Returns a [`ParseError`] on malformed input or unsupported constructs.
-pub fn parse_script(input: &str) -> Result<ParsedScript, ParseError> {
+pub fn parse_commands(input: &str) -> Result<ParsedCommands, ParseError> {
     let mut lexer = Lexer {
         chars: input.chars().collect(),
         pos: 0,
     };
     let sexps = lexer.parse_all()?;
-    let mut script = ParsedScript::default();
+    let mut script = ParsedCommands::default();
     let mut sorts: BTreeMap<String, String> = BTreeMap::new();
     for sexp in sexps {
         let Sexp::List(items) = &sexp else {
@@ -193,7 +277,40 @@ pub fn parse_script(input: &str) -> Result<ParsedScript, ParseError> {
             });
         };
         match head.as_str() {
-            "set-logic" | "exit" | "get-model" => {}
+            "set-logic" => {}
+            "exit" => script.commands.push(Command::Exit),
+            "get-model" => script.commands.push(Command::GetModel),
+            "check-sat" => script.commands.push(Command::CheckSat),
+            "push" | "pop" => {
+                let n = match items.get(1) {
+                    None => 1,
+                    Some(Sexp::Atom(n)) => n.parse::<usize>().map_err(|_| ParseError {
+                        position: 0,
+                        message: format!("malformed {head} level: {n}"),
+                    })?,
+                    Some(other) => {
+                        return Err(ParseError {
+                            position: 0,
+                            message: format!("malformed {head} level: {other:?}"),
+                        })
+                    }
+                };
+                // scripts are untrusted input: a stack depth nobody could
+                // legitimately use must not turn into an allocation loop
+                if n > MAX_STACK_LEVELS {
+                    return Err(ParseError {
+                        position: 0,
+                        message: format!(
+                            "({head} {n}) exceeds the supported stack depth {MAX_STACK_LEVELS}"
+                        ),
+                    });
+                }
+                script.commands.push(if head == "push" {
+                    Command::Push(n)
+                } else {
+                    Command::Pop(n)
+                });
+            }
             "set-info" | "set-option" => {
                 // recognised annotations; anything else is silently ignored,
                 // matching the usual SMT-LIB tolerance for unknown metadata
@@ -210,7 +327,6 @@ pub fn parse_script(input: &str) -> Result<ParsedScript, ParseError> {
                     }
                 }
             }
-            "check-sat" => script.check_sat = true,
             "declare-const" | "declare-fun" => {
                 let (name, sort) = match (head.as_str(), items.len()) {
                     ("declare-const", 3) => (&items[1], &items[2]),
@@ -228,17 +344,21 @@ pub fn parse_script(input: &str) -> Result<ParsedScript, ParseError> {
                         message: "malformed declaration".into(),
                     });
                 };
-                match sort.as_str() {
-                    "String" => script.string_vars.push(name.clone()),
-                    "Int" => script.int_vars.push(name.clone()),
+                let parsed_sort = match sort.as_str() {
+                    "String" => Sort::String,
+                    "Int" => Sort::Int,
                     other => {
                         return Err(ParseError {
                             position: 0,
                             message: format!("unsupported sort {other}"),
                         })
                     }
-                }
+                };
                 sorts.insert(name.clone(), sort.clone());
+                script.commands.push(Command::Declare {
+                    name: name.clone(),
+                    sort: parsed_sort,
+                });
             }
             "assert" => {
                 if items.len() != 2 {
@@ -248,7 +368,7 @@ pub fn parse_script(input: &str) -> Result<ParsedScript, ParseError> {
                     });
                 }
                 let atoms = convert_bool(&items[1], &sorts, false)?;
-                script.formula.atoms.extend(atoms);
+                script.commands.push(Command::Assert(atoms));
             }
             other => {
                 return Err(ParseError {
@@ -259,6 +379,164 @@ pub fn parse_script(input: &str) -> Result<ParsedScript, ParseError> {
         }
     }
     Ok(script)
+}
+
+/// Parses a whole script into the one-shot flattened view: all assertions
+/// conjoined, `check_sat` set if any `(check-sat)` occurs.  Scripts using
+/// `(push)`/`(pop)` are rejected — drive those through [`run_script`].
+///
+/// # Errors
+/// Returns a [`ParseError`] on malformed input or unsupported constructs.
+pub fn parse_script(input: &str) -> Result<ParsedScript, ParseError> {
+    let commands = parse_commands(input)?;
+    let mut script = ParsedScript {
+        strategy_hint: commands.strategy_hint,
+        expected_status: commands.expected_status,
+        ..ParsedScript::default()
+    };
+    for command in commands.commands {
+        match command {
+            Command::Declare { name, sort } => match sort {
+                Sort::String => script.string_vars.push(name),
+                Sort::Int => script.int_vars.push(name),
+            },
+            Command::Assert(atoms) => script.formula.atoms.extend(atoms),
+            Command::CheckSat => script.check_sat = true,
+            Command::GetModel | Command::Exit => {}
+            Command::Push(_) | Command::Pop(_) => {
+                return Err(ParseError {
+                    position: 0,
+                    message: "push/pop need the incremental command stream; use run_script instead"
+                        .to_string(),
+                })
+            }
+        }
+    }
+    Ok(script)
+}
+
+/// The response to one answering command of a script run.
+#[derive(Clone, Debug)]
+pub enum CommandResponse {
+    /// The answer of a `(check-sat)`.
+    CheckSat(Answer),
+    /// The model printed by `(get-model)` (`None` when no satisfiable
+    /// check preceded it).
+    Model(Option<StringModel>),
+}
+
+/// Everything a script run produced, in command order.
+#[derive(Clone, Debug, Default)]
+pub struct ScriptOutcome {
+    /// One entry per `(check-sat)` / `(get-model)` command.
+    pub responses: Vec<CommandResponse>,
+    /// The expected verdict from the script's `(set-info :status …)`.
+    pub expected_status: Option<String>,
+}
+
+impl ScriptOutcome {
+    /// The `check-sat` answers, in order.
+    pub fn checks(&self) -> Vec<&Answer> {
+        self.responses
+            .iter()
+            .filter_map(|r| match r {
+                CommandResponse::CheckSat(a) => Some(a),
+                CommandResponse::Model(_) => None,
+            })
+            .collect()
+    }
+
+    /// The `check-sat` answers as status strings (`"sat"`, `"unsat"`,
+    /// `"unknown"`), in order.
+    pub fn statuses(&self) -> Vec<&'static str> {
+        self.checks().into_iter().map(answer_status).collect()
+    }
+
+    /// Renders the responses the way an SMT-LIB solver would print them.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for response in &self.responses {
+            match response {
+                CommandResponse::CheckSat(answer) => {
+                    let _ = writeln!(out, "{}", answer_status(answer));
+                }
+                CommandResponse::Model(None) => {
+                    let _ = writeln!(out, "(error \"no model available\")");
+                }
+                CommandResponse::Model(Some(model)) => {
+                    let _ = writeln!(out, "(");
+                    for (name, value) in model.strings() {
+                        let _ = writeln!(
+                            out,
+                            "  (define-fun {name} () String \"{}\")",
+                            value.replace('"', "\"\"")
+                        );
+                    }
+                    for (name, value) in model.ints() {
+                        let _ = writeln!(out, "  (define-fun {name} () Int {value})");
+                    }
+                    let _ = writeln!(out, ")");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Parses and executes a script as a command stream against an incremental
+/// [`SolverSession`]: assertions accumulate, `(push)`/`(pop)` scope them,
+/// and every `(check-sat)` decides the conjunction live at that point.
+///
+/// # Errors
+/// Returns a [`ParseError`] on malformed input, unsupported constructs, or
+/// a `(pop)` below the bottom of the assertion stack.
+pub fn run_script(input: &str) -> Result<ScriptOutcome, ParseError> {
+    run_script_with_options(input, SolverOptions::default())
+}
+
+/// [`run_script`] with explicit solver options for every `check-sat`.
+///
+/// # Errors
+/// See [`run_script`].
+pub fn run_script_with_options(
+    input: &str,
+    options: SolverOptions,
+) -> Result<ScriptOutcome, ParseError> {
+    let parsed = parse_commands(input)?;
+    let mut session = SolverSession::with_options(options);
+    let mut outcome = ScriptOutcome {
+        responses: Vec::new(),
+        expected_status: parsed.expected_status,
+    };
+    for command in parsed.commands {
+        match command {
+            Command::Declare { .. } => {}
+            Command::Assert(atoms) => session.assert_all(atoms),
+            Command::Push(n) => session.push(n),
+            Command::Pop(n) => {
+                if !session.pop(n) {
+                    return Err(ParseError {
+                        position: 0,
+                        message: format!(
+                            "(pop {n}) below the bottom of the assertion stack (depth {})",
+                            session.depth()
+                        ),
+                    });
+                }
+            }
+            Command::CheckSat => {
+                let answer = session.check_sat();
+                outcome.responses.push(CommandResponse::CheckSat(answer));
+            }
+            Command::GetModel => {
+                outcome
+                    .responses
+                    .push(CommandResponse::Model(session.last_model().cloned()));
+            }
+            Command::Exit => break,
+        }
+    }
+    Ok(outcome)
 }
 
 fn err(message: String) -> ParseError {
@@ -647,8 +925,104 @@ mod tests {
 
     #[test]
     fn errors_on_unsupported_commands() {
+        // the one-shot view still rejects push/pop (run_script handles them)
         assert!(parse_script("(push 1)").is_err());
         assert!(parse_script("(assert (or true false))").is_err());
         assert!(parse_script("(declare-const x Bool)").is_err());
+    }
+
+    #[test]
+    fn parses_command_streams() {
+        let script = r#"
+          (declare-const x String)
+          (assert (str.in_re x (str.to_re "ab")))
+          (check-sat)
+          (push 1)
+          (assert (not (= x "ab")))
+          (check-sat)
+          (pop 1)
+          (check-sat)
+          (get-model)
+          (exit)
+          (check-sat)
+        "#;
+        let parsed = parse_commands(script).unwrap();
+        let kinds: Vec<&str> = parsed
+            .commands
+            .iter()
+            .map(|c| match c {
+                Command::Declare { .. } => "declare",
+                Command::Assert(_) => "assert",
+                Command::Push(_) => "push",
+                Command::Pop(_) => "pop",
+                Command::CheckSat => "check",
+                Command::GetModel => "model",
+                Command::Exit => "exit",
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            [
+                "declare", "assert", "check", "push", "assert", "check", "pop", "check", "model",
+                "exit", "check"
+            ]
+        );
+        // default levels
+        let bare = parse_commands("(push) (pop)").unwrap();
+        assert!(matches!(bare.commands[0], Command::Push(1)));
+        assert!(matches!(bare.commands[1], Command::Pop(1)));
+    }
+
+    #[test]
+    fn run_script_executes_push_pop_and_stops_at_exit() {
+        let outcome = run_script(
+            r#"
+              (declare-const x String)
+              (assert (str.in_re x (str.to_re "ab")))
+              (check-sat)
+              (push 1)
+              (assert (not (= x "ab")))
+              (check-sat)
+              (pop 1)
+              (check-sat)
+              (get-model)
+              (exit)
+              (check-sat)
+            "#,
+        )
+        .unwrap();
+        assert_eq!(outcome.statuses(), ["sat", "unsat", "sat"]);
+        // the command after (exit) never ran, the model request did
+        assert_eq!(outcome.responses.len(), 4);
+        match outcome.responses.last().unwrap() {
+            CommandResponse::Model(Some(model)) => assert_eq!(model.string("x"), "ab"),
+            other => panic!("expected a model, got {other:?}"),
+        }
+        let rendered = outcome.render();
+        assert!(rendered.contains("sat\nunsat\nsat\n"), "{rendered}");
+        assert!(rendered.contains("(define-fun x () String \"ab\")"));
+    }
+
+    #[test]
+    fn run_script_rejects_pop_below_the_stack() {
+        assert!(run_script("(pop 1)").is_err());
+        assert!(run_script("(push 1) (pop 2)").is_err());
+        assert!(run_script("(push 2) (pop 2)").is_ok());
+    }
+
+    #[test]
+    fn hostile_stack_levels_are_rejected_at_parse_time() {
+        // scripts are untrusted input: a 20-byte script must not drive an
+        // unbounded allocation loop
+        assert!(parse_commands("(push 9999999999)").is_err());
+        assert!(parse_commands("(pop 9999999999)").is_err());
+        assert!(run_script("(push 9999999999)").is_err());
+    }
+
+    #[test]
+    fn get_model_before_any_sat_check_reports_no_model() {
+        let outcome = run_script("(get-model)").unwrap();
+        assert!(matches!(outcome.responses[0], CommandResponse::Model(None)));
+        assert!(outcome.render().contains("no model available"));
     }
 }

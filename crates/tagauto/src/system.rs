@@ -28,8 +28,10 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use posr_automata::{Nfa, Symbol};
+use posr_lia::cdcl::SolverStats;
 use posr_lia::formula::Formula;
-use posr_lia::solver::Model;
+use posr_lia::incremental::IncrementalSolver;
+use posr_lia::solver::{Model, SolverConfig, SolverResult};
 use posr_lia::term::{LinExpr, Var, VarPool};
 
 use crate::parikh_tag::{
@@ -126,7 +128,102 @@ pub struct SystemEncoding {
     variables: Vec<StrVar>,
 }
 
+/// The result of [`SystemEncoding::solve_with_cuts`]: the verdict, the
+/// extracted assignment on `Sat`, and the telemetry of the incremental
+/// session that produced it.
+#[derive(Clone, Debug)]
+pub struct CutSolveReport {
+    /// The verdict.  `Unknown` covers LIA resource-outs *and* a
+    /// connectivity-cut loop that failed to converge within the round
+    /// limit (a pathological instance degrades gracefully instead of
+    /// aborting the worker).
+    pub result: SolverResult,
+    /// The string assignment extracted from a connected model.
+    pub assignment: Option<BTreeMap<StrVar, Vec<Symbol>>>,
+    /// Solver calls made (1 = the first model was already connected).
+    pub rounds: usize,
+    /// Learned clauses alive in the session when the *last* solver call
+    /// started — the lemmas carried into post-cut re-solves.
+    pub learned_carried: u64,
+    /// Cumulative session counters.
+    pub stats: SolverStats,
+}
+
 impl SystemEncoding {
+    /// Solves `φ_comb ∧ extra` with the lazy connectivity-cut loop over
+    /// **one persistent incremental LIA session**: the encoding is
+    /// asserted once, every cut is asserted as a new increment, and the
+    /// engine keeps its learned clauses, variable activities and saved
+    /// phases across rounds instead of re-clausifying and re-searching
+    /// from scratch.
+    ///
+    /// A disconnected model that yields no cut, or `max_rounds` rounds
+    /// without convergence, produce an `Unknown` verdict rather than a
+    /// panic.
+    pub fn solve_with_cuts(
+        &self,
+        extra: &Formula,
+        config: &SolverConfig,
+        max_rounds: usize,
+    ) -> CutSolveReport {
+        let mut session = IncrementalSolver::with_config(config.clone());
+        session.assert_formula(&self.formula);
+        session.assert_formula(extra);
+        let mut rounds = 0usize;
+        let mut learned_carried = 0u64;
+        loop {
+            if rounds >= max_rounds {
+                return CutSolveReport {
+                    result: SolverResult::Unknown(
+                        "connectivity-cut loop did not converge".to_string(),
+                    ),
+                    assignment: None,
+                    rounds,
+                    learned_carried,
+                    stats: session.stats(),
+                };
+            }
+            learned_carried = session.stats().learned_live;
+            rounds += 1;
+            match session.solve() {
+                SolverResult::Sat(model) => match self.extract_assignment(&model) {
+                    Some(assignment) => {
+                        return CutSolveReport {
+                            result: SolverResult::Sat(model),
+                            assignment: Some(assignment),
+                            rounds,
+                            learned_carried,
+                            stats: session.stats(),
+                        }
+                    }
+                    None => match self.connectivity_cut(&model) {
+                        Some(cut) => session.assert_formula(&cut),
+                        None => {
+                            return CutSolveReport {
+                                result: SolverResult::Unknown(
+                                    "model extraction failed on a connected model".to_string(),
+                                ),
+                                assignment: None,
+                                rounds,
+                                learned_carried,
+                                stats: session.stats(),
+                            }
+                        }
+                    },
+                },
+                other => {
+                    return CutSolveReport {
+                        result: other,
+                        assignment: None,
+                        rounds,
+                        learned_carried,
+                        stats: session.stats(),
+                    }
+                }
+            }
+        }
+    }
+
     /// The length of a variable `|x|` as a linear expression over the
     /// encoding's LIA variables (the counter of the `⟨L,x⟩` tag).
     pub fn length_of(&self, var: StrVar) -> LinExpr {
@@ -853,7 +950,7 @@ impl FormulaContext<'_> {
 mod tests {
     use super::*;
     use posr_automata::Regex;
-    use posr_lia::solver::{Solver, SolverResult};
+    use posr_lia::solver::SolverResult;
 
     fn setup(specs: &[(&str, &str)]) -> (VarTable, BTreeMap<StrVar, Nfa>, Vec<StrVar>) {
         let mut vars = VarTable::new();
@@ -867,29 +964,14 @@ mod tests {
         (vars, automata, ids)
     }
 
-    /// Solves an encoding with the lazy connectivity loop and returns the
-    /// result together with the extracted assignment on SAT.
+    /// Solves an encoding with the incremental connectivity-cut loop and
+    /// returns the result together with the extracted assignment on SAT.
     fn solve_encoding(
         encoding: &SystemEncoding,
         extra: &Formula,
     ) -> (SolverResult, Option<BTreeMap<StrVar, Vec<Symbol>>>) {
-        let solver = Solver::new();
-        let mut formula = Formula::and(vec![encoding.formula.clone(), extra.clone()]);
-        for _ in 0..32 {
-            match solver.solve(&formula) {
-                SolverResult::Sat(model) => match encoding.extract_assignment(&model) {
-                    Some(assignment) => return (SolverResult::Sat(model), Some(assignment)),
-                    None => {
-                        let cut = encoding
-                            .connectivity_cut(&model)
-                            .expect("disconnected model must produce a cut");
-                        formula = Formula::and(vec![formula, cut]);
-                    }
-                },
-                other => return (other, None),
-            }
-        }
-        panic!("connectivity-cut loop did not converge");
+        let report = encoding.solve_with_cuts(extra, &SolverConfig::default(), 32);
+        (report.result, report.assignment)
     }
 
     fn word(assignment: &BTreeMap<StrVar, Vec<Symbol>>, v: StrVar) -> String {

@@ -1,0 +1,150 @@
+//! Walkthrough of the incremental solving layer, bottom to top:
+//!
+//! 1. a persistent LIA session (`posr_lia::incremental`) — assert, push,
+//!    pop, assumption solving, learned-clause retention visible in the
+//!    engine counters;
+//! 2. a string-level session (`posr_core::session::SolverSession`) with an
+//!    assertion stack over the full pipeline;
+//! 3. an SMT-LIB command stream with multiple `(check-sat)`s executed by
+//!    `posr_smtfmt::run_script`.
+//!
+//! Run with `cargo run --release --example incremental`.
+
+use posr_core::ast::{StringAtom, StringTerm};
+use posr_core::session::SolverSession;
+use posr_lia::formula::Formula;
+use posr_lia::incremental::IncrementalSolver;
+use posr_lia::term::{LinExpr, VarPool};
+use posr_smtfmt::run_script;
+
+fn main() {
+    lia_session();
+    string_session();
+    smtlib_script();
+}
+
+fn lia_session() {
+    println!("== 1. persistent LIA session ==");
+    let mut pool = VarPool::new();
+    let x = pool.fresh("x");
+    let y = pool.fresh("y");
+
+    let mut solver = IncrementalSolver::new();
+    solver.assert_formula(&Formula::and(vec![
+        Formula::ge(LinExpr::var(x), LinExpr::constant(0)),
+        Formula::eq(LinExpr::var(x) + LinExpr::var(y), LinExpr::constant(10)),
+    ]));
+    println!("  base:                     {:?}", kind(&solver.solve()));
+
+    solver.push();
+    solver.assert_formula(&Formula::ge(LinExpr::var(x), LinExpr::constant(11)));
+    // y = 10 - x ≤ -1 … conjoined with a pushed y ≥ 0 this is unsat
+    solver.assert_formula(&Formula::ge(LinExpr::var(y), LinExpr::constant(0)));
+    println!("  push; x ≥ 11 ∧ y ≥ 0:     {:?}", kind(&solver.solve()));
+
+    solver.pop();
+    println!("  pop:                      {:?}", kind(&solver.solve()));
+
+    // assumption solving: scoped queries without touching the stack
+    let assume = solver.literal(&Formula::le(LinExpr::var(x), LinExpr::constant(-1)));
+    if let posr_lia::LitOrConst::Lit(lit) = assume {
+        println!(
+            "  assuming x ≤ -1:          {:?}",
+            kind(&solver.solve_under_assumptions(&[lit]))
+        );
+        println!("  without the assumption:   {:?}", kind(&solver.solve()));
+    }
+
+    let stats = solver.stats();
+    println!(
+        "  session counters: {} conflicts, {} decisions, {} propagations, {} learned ({} live)",
+        stats.conflicts,
+        stats.decisions,
+        stats.propagations,
+        stats.learned_total,
+        stats.learned_live,
+    );
+    println!();
+}
+
+fn string_session() {
+    println!("== 2. string-level session ==");
+    let mut session = SolverSession::new();
+    session.assert(StringAtom::InRe {
+        var: "x".to_string(),
+        regex: "(ab)*".to_string(),
+        negated: false,
+    });
+    session.assert(StringAtom::InRe {
+        var: "y".to_string(),
+        regex: "(ab)*".to_string(),
+        negated: false,
+    });
+    println!(
+        "  x, y ∈ (ab)*:             {:?}",
+        kind2(&session.check_sat())
+    );
+
+    session.push(1);
+    session.assert(StringAtom::Equation {
+        lhs: StringTerm::var("x"),
+        rhs: StringTerm::var("y"),
+        negated: true,
+    });
+    session.assert(StringAtom::Length {
+        lhs: posr_core::ast::LenTerm::len("x"),
+        cmp: posr_core::ast::LenCmp::Eq,
+        rhs: posr_core::ast::LenTerm::len("y"),
+    });
+    // equal-length (ab)* words are equal: the pushed frame flips the verdict
+    println!(
+        "  push; x ≠ y ∧ |x| = |y|:  {:?}",
+        kind2(&session.check_sat())
+    );
+
+    session.pop(1);
+    println!(
+        "  pop:                      {:?}",
+        kind2(&session.check_sat())
+    );
+    println!();
+}
+
+fn smtlib_script() {
+    println!("== 3. SMT-LIB command stream ==");
+    let script = r#"
+      (declare-const x String)
+      (assert (str.in_re x (re.* (str.to_re "ab"))))
+      (check-sat)
+      (push 1)
+      (assert (not (= x "")))
+      (assert (<= (str.len x) 2))
+      (check-sat)
+      (get-model)
+      (pop 1)
+      (check-sat)
+    "#;
+    match run_script(script) {
+        Ok(outcome) => {
+            println!("  statuses: {:?}", outcome.statuses());
+            print!("{}", indent(&outcome.render()));
+        }
+        Err(e) => println!("  script error: {e}"),
+    }
+}
+
+fn kind(result: &posr_lia::SolverResult) -> &'static str {
+    match result {
+        posr_lia::SolverResult::Sat(_) => "sat",
+        posr_lia::SolverResult::Unsat => "unsat",
+        posr_lia::SolverResult::Unknown(_) => "unknown",
+    }
+}
+
+fn kind2(answer: &posr_core::Answer) -> &'static str {
+    posr_core::solver::answer_status(answer)
+}
+
+fn indent(s: &str) -> String {
+    s.lines().map(|l| format!("  {l}\n")).collect()
+}

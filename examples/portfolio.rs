@@ -3,7 +3,11 @@
 //! the concurrent portfolio batch driver, then compares verdicts and
 //! wall-clock time.
 //!
-//! Run with `cargo run --release --example portfolio -- [--count N] [--timeout-ms MS]`.
+//! Run with `cargo run --release --example portfolio -- [--count N] [--timeout-ms MS] [--stats]`.
+//!
+//! `--stats` prints the process-wide cumulative CDCL(T) engine counters
+//! (conflicts, decisions, propagations, restarts, learned clauses, GC) at
+//! the end — every engine across both drivers flushes into them.
 
 use std::time::{Duration, Instant};
 
@@ -22,6 +26,7 @@ fn main() {
     };
     let count = get("--count", 25) as usize;
     let timeout = Duration::from_millis(get("--timeout-ms", 5000));
+    let show_stats = args.iter().any(|a| a == "--stats");
 
     // the four benchmark families of the paper's evaluation, `count` each
     let mut items = Vec::new();
@@ -111,4 +116,21 @@ fn main() {
         100.0 * report.stats.cache_hits as f64
             / (report.stats.cache_hits + report.stats.cache_misses).max(1) as f64
     );
+
+    if show_stats {
+        let s = posr_lia::global_stats();
+        println!("\n== cdcl engine (cumulative, all lanes) ==");
+        println!("  conflicts    : {}", s.conflicts);
+        println!("  decisions    : {}", s.decisions);
+        println!("  propagations : {}", s.propagations);
+        println!("  restarts     : {}", s.restarts);
+        println!(
+            "  learned      : {} total, {} dropped by GC",
+            s.learned_total, s.gc_dropped
+        );
+        println!(
+            "  theory checks: {} bound / {} gcd / {} simplex / {} final",
+            s.bound_checks, s.gcd_checks, s.simplex_checks, s.final_checks
+        );
+    }
 }

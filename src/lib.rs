@@ -22,11 +22,15 @@
 //! * [`automata`] — NFAs, regex compilation, Parikh images, flatness, the
 //!   shared pattern-keyed and content-keyed automaton caches,
 //! * [`lia`] — the LIA solver with cooperative cancellation: the
-//!   clause-learning CDCL(T) engine (default) and the structural DPLL(T)
-//!   oracle behind the `SearchEngine` knob,
+//!   clause-learning CDCL(T) engine (default), the structural DPLL(T)
+//!   oracle behind the `SearchEngine` knob, and the incremental layer
+//!   (`lia::incremental`: persistent sessions, push/pop, assumptions),
 //! * [`tagauto`] — tag automata and the position-constraint encodings,
-//! * [`core`] — the solving pipeline and the baseline solvers,
+//! * [`core`] — the solving pipeline (with the incremental CEGAR loops and
+//!   the `SolverSession` assertion stack) and the baseline solvers,
 //! * [`smtfmt`] — the SMT-LIB-flavoured front end with strategy hints,
+//!   including the `run_script` command stream (`push`/`pop`, multiple
+//!   `check-sat`, `get-model`),
 //! * [`bench`] — workload generators and the evaluation harness,
 //! * [`portfolio`] — the concurrent portfolio engine and batch driver.
 //!

@@ -1,8 +1,11 @@
 //! Integration of the SMT-LIB front end with the solver: parse scripts,
-//! solve them, and validate the models against the parsed formula.
+//! solve them, and validate the models against the parsed formula — plus
+//! incremental command streams (`push`/`pop`, multiple `check-sat`)
+//! through `run_script`, cross-checked against one-shot solves of the
+//! equivalent flattened formulas.
 
 use posr_core::solver::StringSolver;
-use posr_smtfmt::parse_script;
+use posr_smtfmt::{parse_script, run_script, CommandResponse};
 
 fn solve_script(script: &str) -> posr_core::Answer {
     let parsed = parse_script(script).expect("script must parse");
@@ -46,6 +49,86 @@ fn not_contains_script() {
       (check-sat)
     "#;
     assert!(solve_script(script).is_unsat());
+}
+
+#[test]
+fn push_pop_script_flips_sat_to_unsat_and_recovers() {
+    // the second check-sat flips sat → unsat after a pushed disequality
+    // (two (ab)* words of equal length are necessarily equal) and the pop
+    // recovers sat
+    let script = r#"
+      (declare-const x String)
+      (declare-const y String)
+      (assert (str.in_re x (re.* (str.to_re "ab"))))
+      (assert (str.in_re y (re.* (str.to_re "ab"))))
+      (assert (= (str.len x) (str.len y)))
+      (check-sat)
+      (push 1)
+      (assert (not (= x y)))
+      (check-sat)
+      (pop 1)
+      (check-sat)
+    "#;
+    let outcome = run_script(script).unwrap();
+    assert_eq!(outcome.statuses(), ["sat", "unsat", "sat"]);
+}
+
+#[test]
+fn per_command_answers_match_one_shot_solves_of_flattened_formulas() {
+    let prefix = r#"
+      (declare-const x String)
+      (declare-const y String)
+      (assert (str.in_re x (re.+ (str.to_re "ab"))))
+      (assert (str.in_re y (re.+ (str.to_re "ba"))))
+    "#;
+    let pushed = r#"(assert (not (= x y)))"#;
+    let script =
+        format!("{prefix}(check-sat)\n(push 1)\n{pushed}\n(check-sat)\n(pop 1)\n(check-sat)");
+    let outcome = run_script(&script).unwrap();
+
+    // one-shot solves of the equivalent flattened conjunctions
+    let flat_base = parse_script(&format!("{prefix}(check-sat)")).unwrap();
+    let flat_pushed = parse_script(&format!("{prefix}{pushed}\n(check-sat)")).unwrap();
+    let expect = [
+        StringSolver::new().solve(&flat_base.formula),
+        StringSolver::new().solve(&flat_pushed.formula),
+        StringSolver::new().solve(&flat_base.formula),
+    ];
+    let statuses = outcome.statuses();
+    for (i, answer) in expect.iter().enumerate() {
+        assert_eq!(
+            statuses[i],
+            posr_core::solver::answer_status(answer),
+            "command {i} disagrees with the flattened one-shot solve"
+        );
+    }
+}
+
+#[test]
+fn nested_frames_and_models_across_checks() {
+    let script = r#"
+      (declare-const x String)
+      (declare-const n Int)
+      (assert (str.in_re x (re.* (str.to_re "abc"))))
+      (push 1)
+      (assert (= (str.len x) n))
+      (assert (>= n 3))
+      (push 1)
+      (assert (<= n 3))
+      (check-sat)
+      (get-model)
+      (pop 2)
+      (check-sat)
+    "#;
+    let outcome = run_script(script).unwrap();
+    assert_eq!(outcome.statuses(), ["sat", "sat"]);
+    match &outcome.responses[1] {
+        CommandResponse::Model(Some(model)) => {
+            assert_eq!(model.string("x"), "abc");
+            assert_eq!(model.int("n"), 3);
+        }
+        other => panic!("expected the |x| = n = 3 model, got {other:?}"),
+    }
 }
 
 #[test]
