@@ -231,7 +231,22 @@ struct CegarRun {
 /// rounds (the shape of the `¬contains` instantiation loop), either on one
 /// persistent incremental session or from scratch each round.
 fn run_cegar(instance: &CegarInstance, incremental: bool, forced_blocks: usize) -> CegarRun {
-    let config = SolverConfig::default();
+    run_cegar_with(
+        instance,
+        incremental,
+        forced_blocks,
+        SolverConfig::default(),
+    )
+}
+
+/// [`run_cegar`] under an explicit LIA configuration (the BENCH_lia table
+/// re-runs the CEGAR families with the theory-side switches toggled).
+fn run_cegar_with(
+    instance: &CegarInstance,
+    incremental: bool,
+    forced_blocks: usize,
+    config: SolverConfig,
+) -> CegarRun {
     let start = Instant::now();
     let conflicts_before = posr_lia::global_stats().conflicts;
     let mut session = IncrementalSolver::with_config(config.clone());
@@ -375,6 +390,197 @@ fn cegar_comparison() -> (String, bool) {
     (report, all_ok)
 }
 
+/// Engine counters of one BENCH_lia run, as deltas of the process-wide
+/// cumulative stats around the solve (the runs are sequential, so the
+/// deltas are exact).
+struct LiaMetrics {
+    verdict: &'static str,
+    wall: Duration,
+    stats: posr_lia::SolverStats,
+}
+
+impl LiaMetrics {
+    /// Bound + GCD + simplex + final checks: "how often was the theory
+    /// layer invoked" — the CI-gated reduction metric.
+    fn theory_checks(&self) -> u64 {
+        self.stats.bound_checks
+            + self.stats.gcd_checks
+            + self.stats.simplex_checks
+            + self.stats.final_checks
+    }
+
+    fn json(&self) -> String {
+        let s = &self.stats;
+        format!(
+            "{{\"verdict\":\"{}\",\"wall_ms\":{:.3},\"conflicts\":{},\"decisions\":{},\"propagations\":{},\"bound_checks\":{},\"gcd_checks\":{},\"simplex_checks\":{},\"final_checks\":{},\"theory_checks\":{},\"theory_props\":{},\"simplex_pivots\":{},\"learned\":{}}}",
+            self.verdict,
+            self.wall.as_secs_f64() * 1e3,
+            s.conflicts,
+            s.decisions,
+            s.propagations,
+            s.bound_checks,
+            s.gcd_checks,
+            s.simplex_checks,
+            s.final_checks,
+            self.theory_checks(),
+            s.theory_props,
+            s.simplex_pivots,
+            s.learned_total,
+        )
+    }
+}
+
+fn stats_delta(
+    after: posr_lia::SolverStats,
+    before: posr_lia::SolverStats,
+) -> posr_lia::SolverStats {
+    posr_lia::SolverStats {
+        conflicts: after.conflicts - before.conflicts,
+        decisions: after.decisions - before.decisions,
+        propagations: after.propagations - before.propagations,
+        restarts: after.restarts - before.restarts,
+        learned_total: after.learned_total - before.learned_total,
+        learned_live: 0,
+        gc_dropped: after.gc_dropped - before.gc_dropped,
+        bound_checks: after.bound_checks - before.bound_checks,
+        gcd_checks: after.gcd_checks - before.gcd_checks,
+        simplex_checks: after.simplex_checks - before.simplex_checks,
+        final_checks: after.final_checks - before.final_checks,
+        theory_props: after.theory_props - before.theory_props,
+        simplex_pivots: after.simplex_pivots - before.simplex_pivots,
+    }
+}
+
+/// The LIA configuration of one BENCH_lia column: the full theory side
+/// (incremental tableau + theory propagation) or the PR-4 baseline with
+/// both switched off.
+fn lia_config(full: bool) -> SolverConfig {
+    SolverConfig {
+        theory_propagation: full,
+        incremental_simplex: full,
+        ..SolverConfig::default()
+    }
+}
+
+/// Runs one flagship (string-level) family under a theory configuration.
+fn run_flagship_family(formula: &StringFormula, full: bool) -> LiaMetrics {
+    let before = posr_lia::global_stats();
+    let start = Instant::now();
+    let mut options = SolverOptions {
+        deadline: Some(start + ENGINE_TIMEOUT),
+        ..SolverOptions::default()
+    };
+    options.position.lia = lia_config(full);
+    let answer = StringSolver::with_options(options).solve(formula);
+    let wall = start.elapsed();
+    LiaMetrics {
+        verdict: answer_status(&answer),
+        wall,
+        stats: stats_delta(posr_lia::global_stats(), before),
+    }
+}
+
+/// Runs one tagauto CEGAR family (connectivity cuts + two blocking
+/// rounds on a persistent session) under a theory configuration.
+fn run_tagauto_family(instance: &CegarInstance, full: bool) -> LiaMetrics {
+    let before = posr_lia::global_stats();
+    let start = Instant::now();
+    let run = run_cegar_with(instance, true, 2, lia_config(full));
+    let wall = start.elapsed();
+    LiaMetrics {
+        verdict: match run.statuses.last() {
+            Some(&s) => s,
+            None => "none",
+        },
+        wall,
+        stats: stats_delta(posr_lia::global_stats(), before),
+    }
+}
+
+/// The machine-readable LIA perf table: every gated family solved under
+/// the full theory side (incremental tableau + theory propagation) and
+/// under the baseline with both engine switches off — the PR-4 behaviour
+/// of the engine's theory hot paths (the shared branch-and-bound and
+/// structural-engine internals are not switchable) — with wall time,
+/// conflicts, theory checks, propagated theory literals and simplex
+/// pivots.  Returns the JSON document, a human-readable table, and the
+/// gate verdict:
+///
+/// * both configurations must agree on every family's verdict (and match
+///   the expected one where the family pins it) — the full theory side
+///   must never *regress* a verdict, and
+/// * at least one family must show a ≥ 2× reduction in theory checks,
+///   the headline claim of the incremental theory layer.
+fn bench_lia() -> (String, String, bool) {
+    let mut rows: Vec<(String, Option<&'static str>, LiaMetrics, LiaMetrics)> = Vec::new();
+    for (name, formula, expected) in flagship_instances() {
+        let full = run_flagship_family(&formula, true);
+        let base = run_flagship_family(&formula, false);
+        rows.push((name.to_string(), Some(expected), full, base));
+    }
+    for instance in cegar_instances() {
+        let full = run_tagauto_family(&instance, true);
+        let base = run_tagauto_family(&instance, false);
+        rows.push((format!("tagauto-{}", instance.name), None, full, base));
+    }
+
+    let mut verdicts_ok = true;
+    let mut best_ratio = 0.0f64;
+    let mut best_family = String::new();
+    let mut table = String::new();
+    let _ = writeln!(
+        table,
+        "| family | expected | verdict | wall full/base | conflicts full/base | theory checks full/base | tprops | pivots full/base |"
+    );
+    let _ = writeln!(table, "|---|---|---|---|---|---|---|---|");
+    for (name, expected, full, base) in &rows {
+        let agree = full.verdict == base.verdict && expected.is_none_or(|e| full.verdict == e);
+        verdicts_ok &= agree;
+        let ratio = base.theory_checks() as f64 / (full.theory_checks().max(1)) as f64;
+        if ratio > best_ratio {
+            best_ratio = ratio;
+            best_family = name.clone();
+        }
+        let _ = writeln!(
+            table,
+            "| {name} | {} | {}{} | {:.1?} / {:.1?} | {} / {} | {} / {} | {} | {} / {} |",
+            expected.unwrap_or("-"),
+            full.verdict,
+            if agree { "" } else { " ❌" },
+            full.wall,
+            base.wall,
+            full.stats.conflicts,
+            base.stats.conflicts,
+            full.theory_checks(),
+            base.theory_checks(),
+            full.stats.theory_props,
+            full.stats.simplex_pivots,
+            base.stats.simplex_pivots,
+        );
+    }
+    let gate_ok = verdicts_ok && best_ratio >= 2.0;
+
+    let mut json = String::from("{\n  \"schema\": \"posr-bench-lia/v1\",\n  \"families\": [\n");
+    for (i, (name, expected, full, base)) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\":\"{name}\",\"expected\":{},\"full\":{},\"baseline\":{}}}{}",
+            match expected {
+                Some(e) => format!("\"{e}\""),
+                None => "null".to_string(),
+            },
+            full.json(),
+            base.json(),
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"gate\": {{\"verdicts_agree\":{verdicts_ok},\"max_theory_check_ratio\":{best_ratio:.2},\"best_family\":\"{best_family}\",\"required_ratio\":2.0,\"ok\":{gate_ok}}}\n}}\n"
+    );
+    (json, table, gate_ok)
+}
+
 fn main() {
     println!("== encoding size: polynomial copy-tag construction vs naive order enumeration ==");
     let mut vars = VarTable::new();
@@ -466,12 +672,33 @@ fn main() {
         Err(e) => eprintln!("could not write report to {cegar_path}: {e}"),
     }
 
+    println!();
+    println!("== BENCH_lia: incremental theory layer vs PR-4 baseline ==");
+    let (bench_json, bench_table, bench_ok) = bench_lia();
+    println!("{bench_table}");
+    let bench_path =
+        std::env::var("POSR_BENCH_LIA").unwrap_or_else(|_| "target/BENCH_lia.json".to_string());
+    if let Some(parent) = std::path::Path::new(&bench_path).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(&bench_path, &bench_json) {
+        Ok(()) => println!("machine-readable report written to {bench_path}"),
+        Err(e) => eprintln!("could not write report to {bench_path}: {e}"),
+    }
+
     if !all_ok {
         eprintln!("FAIL: the CDCL engine missed an expected verdict");
         std::process::exit(1);
     }
     if !cegar_ok {
         eprintln!("FAIL: the incremental CEGAR comparison found a mismatch");
+        std::process::exit(1);
+    }
+    if !bench_ok {
+        eprintln!(
+            "FAIL: BENCH_lia gate — a family's verdict regressed under the full \
+             theory side, or no family shows the required 2x theory-check reduction"
+        );
         std::process::exit(1);
     }
 }

@@ -101,6 +101,22 @@ impl BoundEnv {
         index: &ConstraintIndex,
         budget: usize,
     ) -> BoundOutcome {
+        let mut scratch = Vec::new();
+        self.propagate_into(extra, context, index, budget, &mut scratch)
+    }
+
+    /// [`BoundEnv::propagate`] that also appends every variable whose
+    /// interval tightened to `changed_out` (possibly with duplicates) —
+    /// the CDCL(T) engine's theory propagation scans exactly those
+    /// variables' atoms for newly entailed literals.
+    pub fn propagate_into(
+        &mut self,
+        extra: &[SimplexConstraint],
+        context: &[SimplexConstraint],
+        index: &ConstraintIndex,
+        budget: usize,
+        changed_out: &mut Vec<Var>,
+    ) -> BoundOutcome {
         let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
         let mut queued = vec![false; context.len()];
         // slow-divergence guard: a variable whose bound keeps tightening
@@ -147,6 +163,7 @@ impl BoundEnv {
             if changed_vars.is_empty() && visits > 0 {
                 break;
             }
+            changed_out.extend_from_slice(&changed_vars);
             enqueue_dependents(&changed_vars, &mut queue, &mut queued);
             if queue.is_empty() {
                 break;
@@ -161,6 +178,7 @@ impl BoundEnv {
                 if self.assert_one(&context[i], &mut changed_vars).is_err() {
                     return BoundOutcome::Refuted;
                 }
+                changed_out.extend_from_slice(&changed_vars);
                 enqueue_dependents(&changed_vars, &mut queue, &mut queued);
             }
         }

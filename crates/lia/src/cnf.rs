@@ -110,6 +110,20 @@ pub(crate) fn constraint_of_meaning(
     })
 }
 
+/// Splits an atom meaning `e ≤ 0` into `(f, k)` with `e = f + k` and `f`
+/// constant-free — the key/offset pair of the engine's atom→bound registry:
+/// atoms sharing `f` differ only in the threshold `k`, so one sorted list
+/// per form answers "which atoms does the current interval of `f` entail?"
+/// with two binary searches.
+pub(crate) fn split_meaning(meaning: &LinExpr) -> (LinExpr, i128) {
+    let k = meaning.constant_part();
+    let mut form = LinExpr::zero();
+    for (v, c) in meaning.terms() {
+        form.add_term(v, c);
+    }
+    (form, k)
+}
+
 impl CnfFormula {
     /// The simplex constraint asserted by `lit` (both polarities are exact
     /// over the integers), or `None` for gate literals.

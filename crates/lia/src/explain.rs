@@ -275,9 +275,20 @@ pub fn bound_infeasible(constraints: &[SimplexConstraint]) -> bool {
     crate::bounds::BoundEnv::from_constraints(constraints).1 == crate::bounds::BoundOutcome::Refuted
 }
 
-/// `true` iff the rational simplex refutes the conjunction.
+/// `true` iff the conjunction is provably infeasible over ℤ by interval
+/// propagation or the rational simplex — the mid-strength checker of the
+/// deletion-minimisation family (between [`bound_infeasible`] and
+/// [`integer_infeasible`]).  A cheap bound-propagation pre-pass (linear,
+/// no pivoting) runs first, so the simplex only pivots when intervals
+/// alone cannot refute.  The pre-pass rounds to integers, so this checker
+/// is *integer*-sound rather than rational-exact — fine for every
+/// [`minimize_core`] use, whose soundness contract is ℤ-infeasibility
+/// (the solver's semantics); do not use it to certify that a *rational*
+/// Farkas certificate exists.  The engine's built-in conflict paths
+/// currently pick the two ends of the family; this one is part of the
+/// public minimisation toolkit (exercised by the unit tests).
 pub fn rational_infeasible(constraints: &[SimplexConstraint]) -> bool {
-    !check_feasibility(constraints).is_feasible()
+    bound_infeasible(constraints) || !check_feasibility(constraints).is_feasible()
 }
 
 /// `true` iff budgeted branch-and-bound *proves* integer infeasibility

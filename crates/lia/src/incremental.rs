@@ -15,6 +15,11 @@
 //!   conflicts derived in round *n* keep pruning the search in round *n+1*;
 //! * **VSIDS activities and saved phases** persist, so the search resumes
 //!   where the previous one left off instead of re-warming from nothing;
+//! * the **theory state** persists too: the engine's incremental simplex
+//!   ([`crate::simplex::IncrementalSimplex`]) keeps its registered atoms,
+//!   slack rows and warm basis across solves — root-level theory literals
+//!   stay asserted between calls, so a re-solve's leaf checks start from
+//!   the previous solution instead of an empty tableau;
 //! * an LBD-ranked learned-clause GC keeps unbounded sessions bounded.
 //!
 //! # Assertion stack

@@ -7,11 +7,20 @@
 //! either finds an integer model, proves that none exists, or gives up with a
 //! *resource-out* once a node or magnitude budget is exceeded — it never
 //! returns a wrong answer.
+//!
+//! The whole search runs on **one persistent
+//! [`IncrementalSimplex`](crate::simplex::IncrementalSimplex)**: the input
+//! conjunction is registered and asserted once at the root, and every
+//! branch constraint (`x ≤ ⌊β⌋` / `x ≥ ⌈β⌉` — a single-variable bound) is
+//! an O(1) assertion under a backtracking level that is popped when the
+//! DFS leaves the branch.  Each node's feasibility check warm-starts from
+//! the parent's basis, so a node typically costs a couple of pivots
+//! instead of a full tableau reconstruction.
 
 use std::collections::BTreeMap;
 
 use crate::rational::Rat;
-use crate::simplex::{check_feasibility, Rel, SimplexConstraint, SimplexResult};
+use crate::simplex::{IncrementalSimplex, Rel, SimplexConstraint};
 use crate::term::{LinExpr, Var};
 
 /// Resource limits for the branch-and-bound search.
@@ -53,31 +62,68 @@ impl IntFeasResult {
     }
 }
 
-/// A branch-and-bound node: the constraint conjunction plus the inherited
-/// interval environment (`None` at the root) and the pinned-variable count
-/// at the last divisibility check along this branch.
+/// A branch-and-bound node: its branch constraint (`None` at the root),
+/// its depth in the DFS (= the simplex level it runs under), the inherited
+/// interval environment and the pinned-variable count at the last
+/// divisibility check along its branch.
 struct Node {
-    constraints: Vec<SimplexConstraint>,
+    branch: Option<SimplexConstraint>,
+    depth: usize,
     inherited: Option<(crate::bounds::BoundEnv, usize)>,
 }
 
 /// Decides integer feasibility of a conjunction of constraints.
 pub fn solve_integer(constraints: &[SimplexConstraint], config: &IntFeasConfig) -> IntFeasResult {
+    solve_integer_with_pivots(constraints, config).0
+}
+
+/// [`solve_integer`] that also reports the number of simplex pivots the
+/// branch-and-bound performed, so the engine's cumulative pivot counter
+/// covers the integer leaves too.
+pub fn solve_integer_with_pivots(
+    constraints: &[SimplexConstraint],
+    config: &IntFeasConfig,
+) -> (IntFeasResult, u64) {
     use crate::bounds::{BoundEnv, BoundOutcome, ConstraintIndex};
+
+    // one tableau for the whole search: base constraints asserted once,
+    // branch bounds pushed/popped as the DFS moves
+    let mut simplex = IncrementalSimplex::new();
+    for c in constraints {
+        if simplex.assert_constraint(c, 0).is_err() {
+            // two base bounds clash outright: integer-infeasible a fortiori
+            return (IntFeasResult::Unsat, simplex.pivots());
+        }
+    }
+    // the DFS path's constraints (base + branch bounds), for the interval
+    // and divisibility layers which reason over explicit conjunctions
+    let mut path: Vec<SimplexConstraint> = constraints.to_vec();
+    let base = constraints.len();
 
     let mut nodes_left = config.max_nodes;
     let mut work: Vec<Node> = vec![Node {
-        constraints: constraints.to_vec(),
+        branch: None,
+        depth: 0,
         inherited: None,
     }];
     let mut saw_resource_out = false;
 
     while let Some(node) = work.pop() {
         if nodes_left == 0 {
-            return IntFeasResult::ResourceOut;
+            return (IntFeasResult::ResourceOut, simplex.pivots());
         }
         nodes_left -= 1;
-        let current = node.constraints;
+        // rewind to the node's parent, then enter the node's branch: a
+        // level pop only relaxes bounds, so the warm basis stays valid
+        simplex.pop_to_level(node.depth.saturating_sub(1));
+        path.truncate(base + node.depth.saturating_sub(1));
+        if let Some(branch) = node.branch {
+            simplex.push_level();
+            if simplex.assert_constraint(&branch, 0).is_err() {
+                continue; // the branch bound clashes with an active bound
+            }
+            path.push(branch);
+        }
 
         // cheap refutations before the simplex: interval propagation with
         // integer rounding (incremental: a child node re-propagates only
@@ -90,14 +136,14 @@ pub fn solve_integer(constraints: &[SimplexConstraint], config: &IntFeasConfig) 
         // unbounded counters).
         let (env, outcome, mut last_gcd_fixed) = match node.inherited {
             None => {
-                let (env, outcome) = BoundEnv::from_constraints(&current);
+                let (env, outcome) = BoundEnv::from_constraints(&path);
                 (env, outcome, usize::MAX) // MAX forces the root GCD check
             }
             Some((mut env, checked)) => {
-                let index = ConstraintIndex::build(&current);
-                let branch = std::slice::from_ref(current.last().expect("branch constraint"));
-                let budget = 16 * current.len().max(8);
-                let outcome = env.propagate(branch, &current, &index, budget);
+                let index = ConstraintIndex::build(&path);
+                let branch = std::slice::from_ref(path.last().expect("branch constraint"));
+                let budget = 16 * path.len().max(8);
+                let outcome = env.propagate(branch, &path, &index, budget);
                 (env, outcome, checked)
             }
         };
@@ -110,22 +156,23 @@ pub fn solve_integer(constraints: &[SimplexConstraint], config: &IntFeasConfig) 
                 .into_iter()
                 .map(|(v, k)| (v, (k, Default::default())))
                 .collect();
-            if crate::eqelim::conflict_core_fixed(&current, &fixed_map).is_some() {
+            if crate::eqelim::conflict_core_fixed(&path, &fixed_map).is_some() {
                 continue;
             }
             last_gcd_fixed = env.pinned_count();
         }
 
-        match check_feasibility(&current) {
-            SimplexResult::Infeasible => continue,
-            SimplexResult::Feasible(model) => {
+        match simplex.check() {
+            Err(_) => continue,
+            Ok(()) => {
+                let model = simplex.model();
                 match find_fractional(&model, &env) {
                     None => {
                         let int_model = model
                             .into_iter()
                             .map(|(v, r)| (v, r.to_integer().expect("integral by construction")))
                             .collect();
-                        return IntFeasResult::Sat(int_model);
+                        return (IntFeasResult::Sat(int_model), simplex.pivots());
                     }
                     Some((var, value)) => {
                         if value.abs() > Rat::from_int(config.magnitude_bound) {
@@ -137,23 +184,21 @@ pub fn solve_integer(constraints: &[SimplexConstraint], config: &IntFeasConfig) 
                         // x ≥ ceil branch (explored last-in-first-out first —
                         // counts in Parikh models are non-negative and usually small,
                         // so prefer the lower branch by pushing it last)
-                        let mut upper_branch = current.clone();
-                        upper_branch.push(SimplexConstraint {
-                            expr: LinExpr::var(var) - LinExpr::constant(ceil),
-                            rel: Rel::Ge,
-                        });
                         work.push(Node {
-                            constraints: upper_branch,
+                            branch: Some(SimplexConstraint {
+                                expr: LinExpr::var(var) - LinExpr::constant(ceil),
+                                rel: Rel::Ge,
+                            }),
+                            depth: node.depth + 1,
                             inherited: Some((env.clone(), last_gcd_fixed)),
                         });
                         // x ≤ floor branch
-                        let mut lower_branch = current;
-                        lower_branch.push(SimplexConstraint {
-                            expr: LinExpr::var(var) - LinExpr::constant(floor),
-                            rel: Rel::Le,
-                        });
                         work.push(Node {
-                            constraints: lower_branch,
+                            branch: Some(SimplexConstraint {
+                                expr: LinExpr::var(var) - LinExpr::constant(floor),
+                                rel: Rel::Le,
+                            }),
+                            depth: node.depth + 1,
                             inherited: Some((env, last_gcd_fixed)),
                         });
                     }
@@ -162,11 +207,12 @@ pub fn solve_integer(constraints: &[SimplexConstraint], config: &IntFeasConfig) 
         }
     }
 
-    if saw_resource_out {
+    let result = if saw_resource_out {
         IntFeasResult::ResourceOut
     } else {
         IntFeasResult::Unsat
-    }
+    };
+    (result, simplex.pivots())
 }
 
 /// Picks the fractional variable with the narrowest known interval:

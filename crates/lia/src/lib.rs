@@ -10,11 +10,14 @@
 //! * [`term`] — integer variables and linear expressions,
 //! * [`formula`] — quantifier-free and ∀/∃-quantified LIA formulas with
 //!   evaluation, substitution and normal forms,
-//! * [`simplex`] — a general-simplex feasibility checker over the
-//!   rationals, producing Farkas-style infeasibility cores,
-//! * [`intfeas`] — integer feasibility by branch-and-bound on top of the
-//!   simplex, pruned per node by incremental interval propagation and the
-//!   divisibility test, with sound resource limits,
+//! * [`simplex`] — the **incremental Dutertre–de Moura simplex**: a
+//!   persistent, backtrackable tableau ([`simplex::IncrementalSimplex`])
+//!   with one-time atom registration, O(1) bound assertions, warm-started
+//!   pivoting and Farkas-style infeasibility cores (one-shot and
+//!   prefix-sharing session wrappers included),
+//! * [`intfeas`] — integer feasibility by branch-and-bound on one
+//!   push/pop tableau, pruned per node by incremental interval
+//!   propagation and the divisibility test, with sound resource limits,
 //! * [`bounds`] — interval (bound) propagation with integer rounding, the
 //!   cheap propagation layer of both search engines,
 //! * [`cnf`] — clausification for the CDCL engine: structural hashing,
@@ -22,7 +25,10 @@
 //! * [`cdcl`] — the clause-learning **CDCL(T)** search engine (trail,
 //!   two-watched-literal propagation, 1UIP learning, backjumping, Luby
 //!   restarts, VSIDS), the default engine of [`solver::Solver`]; the
-//!   engine is persistent and exports cumulative [`cdcl::SolverStats`],
+//!   theory side is equally incremental — **theory propagation** with
+//!   lazy explanations and the persistent simplex asserted in lock-step
+//!   with the trail — and the engine is persistent, exporting cumulative
+//!   [`cdcl::SolverStats`],
 //! * [`incremental`] — the **incremental solving layer**: persistent
 //!   [`incremental::IncrementalSolver`] sessions with an assertion stack
 //!   (`push`/`pop` via selector-guarded frames), assumption solving, and

@@ -1,19 +1,59 @@
 //! Rational feasibility of conjunctions of linear constraints via the
-//! *general simplex* algorithm (Dutertre & de Moura style).
+//! *general simplex* algorithm of Dutertre & de Moura — in its full
+//! **incremental, backtrackable** form.
 //!
-//! The solver answers the question "does the conjunction `Σ aᵢxᵢ ⋈ c` (with
-//! `⋈ ∈ {≤, ≥, =}`) have a solution over the rationals?" and produces a
-//! rational witness when it does.  Integer feasibility is layered on top of
-//! this in [`crate::intfeas`] by branch-and-bound, and the Boolean structure
-//! of full LIA formulas is handled by [`crate::solver`].
+//! The central type is [`IncrementalSimplex`]: a tableau that lives for a
+//! whole search (or a whole incremental solving session) instead of being
+//! rebuilt per feasibility check.
 //!
-//! Strict inequalities and disequalities never reach this layer: the integer
-//! setting lets the upper layers rewrite `<`/`>` into `≤`/`≥` with a shifted
-//! constant, and `≠` is split disjunctively.
+//! * **Atoms are registered once.**  Every constraint `Σ aᵢxᵢ + k ⋈ 0` is
+//!   canonicalised to a *form* (coefficients divided by their gcd, leading
+//!   sign positive, constant dropped).  A form with a single unit term is
+//!   owned by the problem column itself; every other form gets one slack
+//!   variable with the definitional row `s = Σ aᵢxᵢ`, created the first
+//!   time the form is seen ([`IncrementalSimplex::prepare`]).  Atoms that
+//!   differ only in their constant — the overwhelmingly common case in the
+//!   CDCL(T) engine, where both polarities of a Boolean atom and all the
+//!   branch bounds of branch-and-bound share a form — share one tableau
+//!   variable.
+//! * **Assertions are O(1) trail operations.**  Asserting a constraint
+//!   ([`IncrementalSimplex::assert_prepared`]) tightens the owner
+//!   variable's lower/upper bound, records the old bound on an undo trail,
+//!   and (for a nonbasic owner) nudges the assignment inside the new
+//!   bound.  No row is touched.  An immediately contradictory pair of
+//!   bounds is reported with its two-element core without any pivoting.
+//! * **Only `check` pivots, warm-starting from the previous basis.**  The
+//!   `β` assignment and the basis survive assertions, retractions and
+//!   earlier checks, so a re-check after one new bound typically pivots
+//!   once or not at all — this is what makes the theory side of CDCL(T)
+//!   as incremental as the Boolean side.
+//! * **Backtracking** is stack-shaped: [`IncrementalSimplex::retract_to`]
+//!   unwinds the bound trail to a given assertion count (the CDCL engine
+//!   keeps assertions aligned with its theory-literal trail), and
+//!   [`IncrementalSimplex::push_level`] / [`IncrementalSimplex::pop_level`]
+//!   provide the same thing keyed by search depth (branch-and-bound).
+//!   Retraction only ever *relaxes* bounds, so the current assignment
+//!   stays consistent and nothing is recomputed.
+//!
+//! Infeasibility is reported with a **Farkas core**: the tags of an
+//! irreducible jointly-infeasible set of asserted bounds (a stuck row's
+//! violated bound plus the blocking bounds of its nonbasics).  Tags are
+//! caller-chosen `u32`s — the CDCL engine passes theory-trail indices, so
+//! cores translate directly into learned clauses.
+//!
+//! The one-shot [`check_feasibility`] / [`check_feasibility_with_core`]
+//! entry points survive as thin wrappers (register + assert + check on a
+//! fresh tableau); [`SessionSimplex`] adapts the incremental tableau to
+//! callers that present whole constraint *slices* that evolve
+//! prefix-wise, like the structural DPLL(T) walk.
+//!
+//! Strict inequalities and disequalities never reach this layer: the
+//! integer setting lets the upper layers rewrite `<`/`>` into `≤`/`≥`
+//! with a shifted constant, and `≠` is split disjunctively.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
-use crate::rational::Rat;
+use crate::rational::{gcd, Rat};
 use crate::term::{LinExpr, Var};
 
 /// Relation of a simplex constraint `expr ⋈ bound`.
@@ -29,7 +69,7 @@ pub enum Rel {
 
 /// A constraint handed to the simplex: `expr ⋈ 0` with `⋈ ∈ {≤, ≥, =}`.
 /// The constant part of `expr` is honoured (it is moved to the bound side).
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct SimplexConstraint {
     /// Linear expression (its constant part becomes part of the bound).
     pub expr: LinExpr,
@@ -56,11 +96,13 @@ impl SimplexResult {
 
 /// Checks rational feasibility of a conjunction of constraints.
 ///
-/// This is a convenience wrapper that builds a [`Simplex`] tableau, asserts
-/// all constraints and runs the check loop.
+/// One-shot convenience over [`IncrementalSimplex`]: register and assert
+/// every constraint on a fresh tableau, then run the check loop.
 pub fn check_feasibility(constraints: &[SimplexConstraint]) -> SimplexResult {
-    let mut simplex = Simplex::new(constraints);
-    simplex.check()
+    match check_feasibility_with_core(constraints) {
+        Ok(model) => SimplexResult::Feasible(model),
+        Err(_) => SimplexResult::Infeasible,
+    }
 }
 
 /// [`check_feasibility`] with a Farkas-style core on infeasibility: the
@@ -68,105 +110,391 @@ pub fn check_feasibility(constraints: &[SimplexConstraint]) -> SimplexResult {
 pub fn check_feasibility_with_core(
     constraints: &[SimplexConstraint],
 ) -> Result<BTreeMap<Var, Rat>, Vec<usize>> {
-    let mut simplex = Simplex::new(constraints);
-    simplex.check_with_core()
+    let mut simplex = IncrementalSimplex::new();
+    for (i, c) in constraints.iter().enumerate() {
+        if let Err(core) = simplex.assert_constraint(c, i as u32) {
+            return Err(core_to_indices(core));
+        }
+    }
+    match simplex.check() {
+        Ok(()) => Ok(simplex.model()),
+        Err(core) => Err(core_to_indices(core)),
+    }
 }
 
-/// The general-simplex tableau.
-pub struct Simplex {
-    /// Number of problem variables (columns `0..num_vars` correspond to the
-    /// original [`Var`]s in `var_order`).
-    num_vars: usize,
-    /// Original variables in column order.
-    var_order: Vec<Var>,
+fn core_to_indices(core: Vec<u32>) -> Vec<usize> {
+    let mut out: Vec<usize> = core.into_iter().map(|t| t as usize).collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// The tableau variable that owns a canonicalised constraint form.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Owner {
+    /// The form had no variables; `true` iff the (constant) constraint
+    /// evaluated to a satisfied comparison at preparation time is decided
+    /// per bound at assert time instead — this variant only records that
+    /// there is nothing to assert on.
+    Constant,
+    /// Internal tableau variable (problem column or slack).
+    Tableau(usize),
+}
+
+/// A constraint pre-compiled against a tableau: the owning variable plus
+/// the bound(s) it asserts, ready for O(1) assertion.  Produced by
+/// [`IncrementalSimplex::prepare`]; the CDCL engine caches one per theory
+/// literal at registration time.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PreparedBound {
+    owner: Owner,
+    /// `owner ≥ lo` to assert (already sign/scale-normalised).
+    lo: Option<Rat>,
+    /// `owner ≤ hi` to assert.
+    hi: Option<Rat>,
+    /// For `Owner::Constant`: whether the constraint holds.
+    const_sat: bool,
+}
+
+/// One undone bound change: which side of which variable, and the value
+/// (with its tag) it had before.
+struct UndoEntry {
+    var: usize,
+    upper: bool,
+    old: Option<(Rat, u32)>,
+}
+
+/// The persistent, backtrackable general-simplex tableau (see the module
+/// docs for the architecture).
+pub struct IncrementalSimplex {
+    /// Problem variable → internal tableau index.
+    var_cols: HashMap<Var, usize>,
+    /// Internal index → problem variable (`None` for slacks).
+    col_vars: Vec<Option<Var>>,
+    /// Canonical form → slack internal index.
+    forms: HashMap<LinExpr, usize>,
     /// `rows[b]` is `Some(coeffs)` iff variable `b` is basic, with
     /// `x_b = Σ coeffs[n]·x_n` over the nonbasic variables `n`.
     rows: Vec<Option<BTreeMap<usize, Rat>>>,
-    /// Lower bounds per variable.
-    lower: Vec<Option<Rat>>,
-    /// Upper bounds per variable.
-    upper: Vec<Option<Rat>>,
-    /// Current assignment per variable.
+    /// Lower bounds per variable, tagged with the asserting constraint.
+    lower: Vec<Option<(Rat, u32)>>,
+    /// Upper bounds per variable, tagged with the asserting constraint.
+    upper: Vec<Option<(Rat, u32)>>,
+    /// Current assignment per variable (kept consistent at all times:
+    /// every basic value equals its row evaluated at the nonbasics).
     beta: Vec<Rat>,
+    /// Undo trail of bound changes.
+    undo: Vec<UndoEntry>,
+    /// Per successful assertion: the undo-trail length before it.
+    assert_marks: Vec<usize>,
+    /// Per open level: the assertion count when it was pushed.
+    level_marks: Vec<usize>,
+    /// Cumulative pivot count (never reset; the engine reads deltas).
+    pivots: u64,
 }
 
-impl Simplex {
-    /// Builds a tableau for the given constraints: one slack variable per
-    /// constraint, bounds on the slack variables.
-    pub fn new(constraints: &[SimplexConstraint]) -> Simplex {
-        // collect problem variables
-        let mut var_index: BTreeMap<Var, usize> = BTreeMap::new();
-        let mut var_order: Vec<Var> = Vec::new();
-        for c in constraints {
-            for v in c.expr.variables() {
-                var_index.entry(v).or_insert_with(|| {
-                    var_order.push(v);
-                    var_order.len() - 1
-                });
+impl Default for IncrementalSimplex {
+    fn default() -> IncrementalSimplex {
+        IncrementalSimplex::new()
+    }
+}
+
+impl IncrementalSimplex {
+    /// An empty tableau.
+    pub fn new() -> IncrementalSimplex {
+        IncrementalSimplex {
+            var_cols: HashMap::new(),
+            col_vars: Vec::new(),
+            forms: HashMap::new(),
+            rows: Vec::new(),
+            lower: Vec::new(),
+            upper: Vec::new(),
+            beta: Vec::new(),
+            undo: Vec::new(),
+            assert_marks: Vec::new(),
+            level_marks: Vec::new(),
+            pivots: 0,
+        }
+    }
+
+    /// Number of currently asserted constraints.
+    pub fn num_asserted(&self) -> usize {
+        self.assert_marks.len()
+    }
+
+    /// Cumulative structural pivots performed by [`IncrementalSimplex::check`].
+    pub fn pivots(&self) -> u64 {
+        self.pivots
+    }
+
+    /// Number of tableau variables (problem columns plus slacks).
+    pub fn num_tableau_vars(&self) -> usize {
+        self.beta.len()
+    }
+
+    fn add_var(&mut self, problem: Option<Var>) -> usize {
+        let idx = self.beta.len();
+        self.col_vars.push(problem);
+        self.rows.push(None);
+        self.lower.push(None);
+        self.upper.push(None);
+        self.beta.push(Rat::ZERO);
+        idx
+    }
+
+    fn col_of(&mut self, v: Var) -> usize {
+        if let Some(&c) = self.var_cols.get(&v) {
+            return c;
+        }
+        let c = self.add_var(Some(v));
+        self.var_cols.insert(v, c);
+        c
+    }
+
+    /// The slack variable of a canonical form, creating it (and its
+    /// definitional row, expressed over the *current* nonbasics) on first
+    /// sight.  New slacks can be registered at any point of a session —
+    /// basic variables in the form are substituted by their rows, and the
+    /// slack's assignment is computed from the current one, so the tableau
+    /// invariants hold immediately.
+    fn slack_of(&mut self, form: &LinExpr) -> usize {
+        if let Some(&s) = self.forms.get(form) {
+            return s;
+        }
+        let mut row: BTreeMap<usize, Rat> = BTreeMap::new();
+        for (v, c) in form.terms() {
+            let col = self.col_of(v);
+            let coeff = Rat::from_int(c);
+            if let Some(def) = self.rows[col].clone() {
+                for (j, a) in def {
+                    let entry = row.entry(j).or_insert(Rat::ZERO);
+                    *entry += coeff * a;
+                }
+            } else {
+                let entry = row.entry(col).or_insert(Rat::ZERO);
+                *entry += coeff;
             }
         }
-        let num_vars = var_order.len();
-        let total = num_vars + constraints.len();
-        let mut rows: Vec<Option<BTreeMap<usize, Rat>>> = vec![None; total];
-        let mut lower: Vec<Option<Rat>> = vec![None; total];
-        let mut upper: Vec<Option<Rat>> = vec![None; total];
-        let beta: Vec<Rat> = vec![Rat::ZERO; total];
+        row.retain(|_, r| !r.is_zero());
+        let mut value = Rat::ZERO;
+        for (&j, &a) in &row {
+            value += a * self.beta[j];
+        }
+        let s = self.add_var(None);
+        self.rows[s] = Some(row);
+        self.beta[s] = value;
+        self.forms.insert(form.clone(), s);
+        s
+    }
 
-        for (j, c) in constraints.iter().enumerate() {
-            let slack = num_vars + j;
-            let mut coeffs: BTreeMap<usize, Rat> = BTreeMap::new();
-            for (v, coeff) in c.expr.terms() {
-                let col = var_index[&v];
-                let entry = coeffs.entry(col).or_insert(Rat::ZERO);
-                *entry += Rat::from_int(coeff);
+    /// Pre-compiles a constraint: canonicalises its form, registers the
+    /// owning tableau variable (idempotent), and normalises the bound so
+    /// assertion is a constant-time trail operation.
+    pub fn prepare(&mut self, constraint: &SimplexConstraint) -> PreparedBound {
+        let k = constraint.expr.constant_part();
+        if constraint.expr.is_constant() {
+            let const_sat = match constraint.rel {
+                Rel::Le => k <= 0,
+                Rel::Ge => k >= 0,
+                Rel::Eq => k == 0,
+            };
+            return PreparedBound {
+                owner: Owner::Constant,
+                lo: None,
+                hi: None,
+                const_sat,
+            };
+        }
+        // canonical form: coefficients divided by their gcd, first
+        // coefficient positive, constant dropped
+        let mut g: i128 = 0;
+        let mut first_sign: i128 = 0;
+        for (_, c) in constraint.expr.terms() {
+            g = gcd(g, c);
+            if first_sign == 0 {
+                first_sign = if c > 0 { 1 } else { -1 };
             }
-            coeffs.retain(|_, r| !r.is_zero());
-            rows[slack] = Some(coeffs);
-            // expr + const ⋈ 0  ⟺  slack ⋈ -const
-            let bound = Rat::from_int(-c.expr.constant_part());
-            match c.rel {
-                Rel::Le => upper[slack] = Some(bound),
-                Rel::Ge => lower[slack] = Some(bound),
-                Rel::Eq => {
-                    lower[slack] = Some(bound);
-                    upper[slack] = Some(bound);
+        }
+        let scale = g * first_sign; // expr = scale · form + k
+        let mut form = LinExpr::zero();
+        for (v, c) in constraint.expr.terms() {
+            form.add_term(v, c / scale);
+        }
+        // expr ⋈ 0  ⟺  form ⋈ −k/scale (relation flips when scale < 0)
+        let bound = Rat::from_int(-k) / Rat::from_int(scale);
+        let rel = match (constraint.rel, scale > 0) {
+            (rel, true) => rel,
+            (Rel::Le, false) => Rel::Ge,
+            (Rel::Ge, false) => Rel::Le,
+            (Rel::Eq, false) => Rel::Eq,
+        };
+        let owner = if form.num_terms() == 1 {
+            // canonical single-term forms have coefficient 1: the problem
+            // column itself owns the bound, no slack row is needed
+            let v = form.variables().next().expect("single term");
+            Owner::Tableau(self.col_of(v))
+        } else {
+            Owner::Tableau(self.slack_of(&form))
+        };
+        let (lo, hi) = match rel {
+            Rel::Le => (None, Some(bound)),
+            Rel::Ge => (Some(bound), None),
+            Rel::Eq => (Some(bound), Some(bound)),
+        };
+        PreparedBound {
+            owner,
+            lo,
+            hi,
+            const_sat: true,
+        }
+    }
+
+    /// Asserts a pre-compiled constraint under `tag`.  O(1): tightens the
+    /// owner's interval (recording the old bound for backtracking) and, for
+    /// a nonbasic owner, moves its value inside the new bound.  On an
+    /// immediate contradiction (`lo > hi`) the state is left unchanged and
+    /// the two clashing tags are returned.
+    pub fn assert_prepared(&mut self, prepared: &PreparedBound, tag: u32) -> Result<(), Vec<u32>> {
+        let mark = self.undo.len();
+        let x = match prepared.owner {
+            Owner::Constant => {
+                if prepared.const_sat {
+                    self.assert_marks.push(mark);
+                    return Ok(());
+                }
+                return Err(vec![tag]);
+            }
+            Owner::Tableau(x) => x,
+        };
+        if let Some(lo) = prepared.lo {
+            if let Some((hi, hi_tag)) = self.upper[x] {
+                if lo > hi {
+                    return Err(vec![hi_tag, tag]);
+                }
+            }
+            if self.lower[x].is_none_or(|(cur, _)| lo > cur) {
+                self.undo.push(UndoEntry {
+                    var: x,
+                    upper: false,
+                    old: self.lower[x],
+                });
+                self.lower[x] = Some((lo, tag));
+                if self.rows[x].is_none() && self.beta[x] < lo {
+                    self.update(x, lo);
                 }
             }
         }
-
-        Simplex {
-            num_vars,
-            var_order,
-            rows,
-            lower,
-            upper,
-            beta,
+        if let Some(hi) = prepared.hi {
+            if let Some((lo, lo_tag)) = self.lower[x] {
+                if hi < lo {
+                    // roll back a lower bound this same assertion recorded
+                    self.unwind_to(mark);
+                    return Err(vec![lo_tag, tag]);
+                }
+            }
+            if self.upper[x].is_none_or(|(cur, _)| hi < cur) {
+                self.undo.push(UndoEntry {
+                    var: x,
+                    upper: true,
+                    old: self.upper[x],
+                });
+                self.upper[x] = Some((hi, tag));
+                if self.rows[x].is_none() && self.beta[x] > hi {
+                    self.update(x, hi);
+                }
+            }
         }
+        self.assert_marks.push(mark);
+        Ok(())
+    }
+
+    /// [`IncrementalSimplex::prepare`] + [`IncrementalSimplex::assert_prepared`]
+    /// for callers without a preparation cache.
+    pub fn assert_constraint(
+        &mut self,
+        constraint: &SimplexConstraint,
+        tag: u32,
+    ) -> Result<(), Vec<u32>> {
+        let prepared = self.prepare(constraint);
+        self.assert_prepared(&prepared, tag)
+    }
+
+    /// Retracts assertions (most recent first) until at most `n` remain,
+    /// restoring the bounds they tightened.  Bounds only relax, so the
+    /// current assignment — and the basis — stay valid.
+    pub fn retract_to(&mut self, n: usize) {
+        while self.assert_marks.len() > n {
+            let mark = self.assert_marks.pop().expect("non-empty");
+            self.unwind_to(mark);
+        }
+        // levels opened above the surviving assertions are gone too
+        while self
+            .level_marks
+            .last()
+            .is_some_and(|&m| m > self.assert_marks.len())
+        {
+            self.level_marks.pop();
+        }
+    }
+
+    fn unwind_to(&mut self, mark: usize) {
+        while self.undo.len() > mark {
+            let entry = self.undo.pop().expect("non-empty");
+            if entry.upper {
+                self.upper[entry.var] = entry.old;
+            } else {
+                self.lower[entry.var] = entry.old;
+            }
+        }
+    }
+
+    /// Opens a backtracking level (branch-and-bound style).
+    pub fn push_level(&mut self) {
+        self.level_marks.push(self.assert_marks.len());
+    }
+
+    /// Closes the innermost level, retracting its assertions.
+    pub fn pop_level(&mut self) {
+        if let Some(n) = self.level_marks.pop() {
+            self.retract_to(n);
+        }
+    }
+
+    /// Pops levels until at most `depth` remain open.
+    pub fn pop_to_level(&mut self, depth: usize) {
+        while self.level_marks.len() > depth {
+            self.pop_level();
+        }
+    }
+
+    /// Number of open levels.
+    pub fn num_levels(&self) -> usize {
+        self.level_marks.len()
     }
 
     fn is_basic(&self, v: usize) -> bool {
         self.rows[v].is_some()
     }
 
-    /// Recomputes the value of every basic variable from the nonbasic values.
-    fn recompute_basics(&mut self) {
-        for v in 0..self.beta.len() {
-            if let Some(row) = &self.rows[v] {
-                let mut value = Rat::ZERO;
-                for (&col, &coeff) in row {
-                    value += coeff * self.beta[col];
-                }
-                self.beta[v] = value;
-            }
-        }
-    }
-
     fn violates_lower(&self, v: usize) -> bool {
-        matches!(self.lower[v], Some(l) if self.beta[v] < l)
+        matches!(self.lower[v], Some((l, _)) if self.beta[v] < l)
     }
 
     fn violates_upper(&self, v: usize) -> bool {
-        matches!(self.upper[v], Some(u) if self.beta[v] > u)
+        matches!(self.upper[v], Some((u, _)) if self.beta[v] > u)
+    }
+
+    /// Sets nonbasic `n` to `v`, propagating the delta into the basics.
+    fn update(&mut self, n: usize, v: Rat) {
+        let delta = v - self.beta[n];
+        self.beta[n] = v;
+        for other in 0..self.beta.len() {
+            if let Some(row) = &self.rows[other] {
+                if let Some(&a_on) = row.get(&n) {
+                    self.beta[other] += a_on * delta;
+                }
+            }
+        }
     }
 
     /// Pivot basic variable `b` with nonbasic variable `n` and set `b` to `v`.
@@ -186,6 +514,7 @@ impl Simplex {
             }
         }
         self.pivot(b, n, &row_b, a_bn);
+        self.pivots += 1;
     }
 
     /// Structural pivot: `b` leaves the basis, `n` enters it.
@@ -222,89 +551,136 @@ impl Simplex {
         self.rows[n] = Some(new_row_n);
     }
 
-    /// Runs the check loop (Bland's rule for termination).
-    pub fn check(&mut self) -> SimplexResult {
-        match self.check_with_core() {
-            Ok(model) => SimplexResult::Feasible(model),
-            Err(_) => SimplexResult::Infeasible,
-        }
-    }
-
-    /// Like [`Simplex::check`], but an infeasible outcome carries the
-    /// indices (into the constructor's constraint slice) of an
-    /// *irreducible infeasible subset*: when a basic variable `b` violates
-    /// a bound and no nonbasic in its row can move, `b = Σ aₙ·n` with every
-    /// nonbasic pinned at the blocking bound is a Farkas certificate — the
-    /// constraints bounding `b` and those nonbasics are jointly
-    /// infeasible.  Slack variables map 1:1 to input constraints, and
-    /// problem variables are unbounded here (bounds arrive as explicit
-    /// constraints), so the certificate mentions only slacks.  This is
-    /// what gives the CDCL(T) engine small learned clauses from rational
-    /// conflicts without any deletion-minimisation loop.
-    pub fn check_with_core(&mut self) -> Result<BTreeMap<Var, Rat>, Vec<usize>> {
-        self.recompute_basics();
+    /// Runs the check loop (Bland's rule for termination), warm-starting
+    /// from the current basis and assignment.  `Err` carries the tags of a
+    /// Farkas certificate — an irreducible jointly-infeasible subset of the
+    /// asserted bounds (the stuck row's violated bound plus the blocking
+    /// bounds of its nonbasics).
+    pub fn check(&mut self) -> Result<(), Vec<u32>> {
         loop {
             // smallest basic variable violating one of its bounds
             let violating = (0..self.beta.len())
                 .find(|&v| self.is_basic(v) && (self.violates_lower(v) || self.violates_upper(v)));
             let Some(b) = violating else {
-                return Ok(self.model());
+                return Ok(());
             };
             let row = self.rows[b].clone().expect("basic");
-            if self.violates_lower(b) {
-                let target = self.lower[b].expect("violated lower bound exists");
-                // find nonbasic n with (a_bn > 0 and beta[n] can increase) or (a_bn < 0 and beta[n] can decrease)
+            let lower_violation = self.violates_lower(b);
+            if lower_violation {
+                let target = self.lower[b].expect("violated lower bound exists").0;
+                // find nonbasic n with (a_bn > 0 and beta[n] can increase)
+                // or (a_bn < 0 and beta[n] can decrease)
                 let candidate = row.iter().find(|(&n, &a)| {
                     debug_assert!(!self.is_basic(n));
-                    (a.is_positive() && self.upper[n].is_none_or(|u| self.beta[n] < u))
-                        || (a.is_negative() && self.lower[n].is_none_or(|l| self.beta[n] > l))
+                    (a.is_positive() && self.upper[n].is_none_or(|(u, _)| self.beta[n] < u))
+                        || (a.is_negative() && self.lower[n].is_none_or(|(l, _)| self.beta[n] > l))
                 });
                 match candidate {
-                    None => return Err(self.conflict_core(b, &row)),
+                    None => return Err(self.conflict_core(b, &row, true)),
                     Some((&n, _)) => self.pivot_and_update(b, n, target),
                 }
             } else {
-                let target = self.upper[b].expect("violated upper bound exists");
+                let target = self.upper[b].expect("violated upper bound exists").0;
                 let candidate = row.iter().find(|(&n, &a)| {
-                    (a.is_negative() && self.upper[n].is_none_or(|u| self.beta[n] < u))
-                        || (a.is_positive() && self.lower[n].is_none_or(|l| self.beta[n] > l))
+                    (a.is_negative() && self.upper[n].is_none_or(|(u, _)| self.beta[n] < u))
+                        || (a.is_positive() && self.lower[n].is_none_or(|(l, _)| self.beta[n] > l))
                 });
                 match candidate {
-                    None => return Err(self.conflict_core(b, &row)),
+                    None => return Err(self.conflict_core(b, &row, false)),
                     Some((&n, _)) => self.pivot_and_update(b, n, target),
                 }
             }
         }
     }
 
-    /// The constraint indices of the Farkas certificate at a stuck row.
-    fn conflict_core(&self, b: usize, row: &BTreeMap<usize, Rat>) -> Vec<usize> {
+    /// The bound tags of the Farkas certificate at a stuck row: when basic
+    /// `b` violates a bound and no nonbasic in its row can move, every
+    /// nonbasic is pinned at its blocking bound — those bounds plus the
+    /// violated one are jointly infeasible, and the set is irreducible by
+    /// construction.
+    fn conflict_core(
+        &self,
+        b: usize,
+        row: &BTreeMap<usize, Rat>,
+        lower_violation: bool,
+    ) -> Vec<u32> {
         let mut core = Vec::with_capacity(row.len() + 1);
-        if b >= self.num_vars {
-            core.push(b - self.num_vars);
-        }
-        for &n in row.keys() {
-            if n >= self.num_vars {
-                core.push(n - self.num_vars);
-            }
+        let own = if lower_violation {
+            self.lower[b].expect("violated bound").1
+        } else {
+            self.upper[b].expect("violated bound").1
+        };
+        core.push(own);
+        for (&n, &a) in row {
+            // lower violation needs β(b) to rise: a > 0 nonbasics are
+            // blocked at their upper bound, a < 0 at their lower (and
+            // dually for an upper violation)
+            let blocking_upper = lower_violation == a.is_positive();
+            let tag = if blocking_upper {
+                self.upper[n].expect("blocking bound").1
+            } else {
+                self.lower[n].expect("blocking bound").1
+            };
+            core.push(tag);
         }
         core.sort_unstable();
         core.dedup();
         core
     }
 
-    /// Extracts the current rational assignment of the problem variables.
-    fn model(&self) -> BTreeMap<Var, Rat> {
+    /// The current rational assignment of the registered problem variables.
+    pub fn model(&self) -> BTreeMap<Var, Rat> {
         let mut out = BTreeMap::new();
-        for (col, &var) in self.var_order.iter().enumerate() {
+        for (&var, &col) in &self.var_cols {
             out.insert(var, self.beta[col]);
         }
         out
     }
+}
 
-    /// Number of problem (non-slack) variables.
-    pub fn num_problem_vars(&self) -> usize {
-        self.num_vars
+/// Adapts the incremental tableau to callers that re-check whole
+/// constraint *slices* that evolve prefix-wise (clone-and-extend DFS, like
+/// the structural DPLL(T) walk): each call retracts to the longest common
+/// prefix with the previous one and asserts only the new suffix.
+#[derive(Default)]
+pub struct SessionSimplex {
+    simplex: IncrementalSimplex,
+    asserted: Vec<SimplexConstraint>,
+}
+
+impl SessionSimplex {
+    /// An empty session.
+    pub fn new() -> SessionSimplex {
+        SessionSimplex::default()
+    }
+
+    /// Cumulative pivots of the underlying tableau.
+    pub fn pivots(&self) -> u64 {
+        self.simplex.pivots()
+    }
+
+    /// `true` iff the conjunction is rationally infeasible, reusing the
+    /// tableau state shared with the previous call's constraint prefix.
+    pub fn infeasible(&mut self, constraints: &[SimplexConstraint]) -> bool {
+        let common = self
+            .asserted
+            .iter()
+            .zip(constraints)
+            .take_while(|(a, b)| a == b)
+            .count();
+        self.simplex.retract_to(common);
+        self.asserted.truncate(common);
+        for c in &constraints[common..] {
+            if self
+                .simplex
+                .assert_constraint(c, self.asserted.len() as u32)
+                .is_err()
+            {
+                return true;
+            }
+            self.asserted.push(c.clone());
+        }
+        self.simplex.check().is_err()
     }
 }
 
@@ -445,5 +821,130 @@ mod tests {
         constraints.pop();
         constraints.push(le(LinExpr::var(vars[19]) - LinExpr::constant(10)));
         assert_eq!(check_feasibility(&constraints), SimplexResult::Infeasible);
+    }
+
+    #[test]
+    fn atoms_sharing_a_form_share_a_tableau_variable() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let y = pool.fresh("y");
+        let mut simplex = IncrementalSimplex::new();
+        // four scalings/shifts of the same form x + y: one slack variable
+        simplex.prepare(&le(LinExpr::var(x) + LinExpr::var(y) - LinExpr::constant(3)));
+        simplex.prepare(&ge(
+            LinExpr::scaled_var(x, 2) + LinExpr::scaled_var(y, 2) - LinExpr::constant(8)
+        ));
+        simplex.prepare(&le(LinExpr::zero() - LinExpr::var(x) - LinExpr::var(y)));
+        simplex.prepare(&eq(LinExpr::var(x) + LinExpr::var(y)));
+        // two problem columns + one slack
+        assert_eq!(simplex.num_tableau_vars(), 3);
+    }
+
+    #[test]
+    fn assert_retract_roundtrip_restores_feasibility() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let y = pool.fresh("y");
+        let mut simplex = IncrementalSimplex::new();
+        simplex
+            .assert_constraint(
+                &eq(LinExpr::var(x) + LinExpr::var(y) - LinExpr::constant(5)),
+                0,
+            )
+            .unwrap();
+        simplex
+            .assert_constraint(&ge(LinExpr::var(x) - LinExpr::constant(2)), 1)
+            .unwrap();
+        assert!(simplex.check().is_ok());
+        let base = simplex.num_asserted();
+        // x + y = 5 ∧ x ≥ 2 ∧ y ≥ 4 is infeasible
+        simplex
+            .assert_constraint(&ge(LinExpr::var(y) - LinExpr::constant(4)), 2)
+            .unwrap();
+        let core = simplex.check().expect_err("infeasible");
+        assert!(
+            core.contains(&2),
+            "core {core:?} must involve the new bound"
+        );
+        simplex.retract_to(base);
+        assert!(simplex.check().is_ok(), "retraction restores feasibility");
+        check_model(
+            &[
+                eq(LinExpr::var(x) + LinExpr::var(y) - LinExpr::constant(5)),
+                ge(LinExpr::var(x) - LinExpr::constant(2)),
+            ],
+            &simplex.model(),
+        );
+    }
+
+    #[test]
+    fn immediate_bound_clash_returns_both_tags() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let mut simplex = IncrementalSimplex::new();
+        simplex
+            .assert_constraint(&ge(LinExpr::var(x) - LinExpr::constant(3)), 7)
+            .unwrap();
+        let err = simplex
+            .assert_constraint(&le(LinExpr::var(x) - LinExpr::constant(2)), 9)
+            .expect_err("clashing bounds");
+        assert_eq!(err.len(), 2);
+        assert!(err.contains(&7) && err.contains(&9));
+        // the failed assertion left no trace
+        assert_eq!(simplex.num_asserted(), 1);
+        assert!(simplex.check().is_ok());
+    }
+
+    #[test]
+    fn levels_nest_and_pop_in_order() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let mut simplex = IncrementalSimplex::new();
+        simplex.assert_constraint(&ge(LinExpr::var(x)), 0).unwrap();
+        simplex.push_level();
+        simplex
+            .assert_constraint(&le(LinExpr::var(x) - LinExpr::constant(5)), 1)
+            .unwrap();
+        simplex.push_level();
+        assert!(simplex
+            .assert_constraint(&ge(LinExpr::var(x) - LinExpr::constant(9)), 2)
+            .is_err());
+        simplex.pop_level();
+        assert!(simplex.check().is_ok());
+        assert!(simplex
+            .assert_constraint(&ge(LinExpr::var(x) - LinExpr::constant(9)), 3)
+            .is_err());
+        simplex.pop_to_level(0);
+        assert!(simplex
+            .assert_constraint(&ge(LinExpr::var(x) - LinExpr::constant(9)), 4)
+            .is_ok());
+        assert!(simplex.check().is_ok());
+        assert!(simplex.model()[&x] >= Rat::from_int(9));
+    }
+
+    #[test]
+    fn session_simplex_matches_one_shot_checks() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let y = pool.fresh("y");
+        let base = vec![
+            ge(LinExpr::var(x)),
+            ge(LinExpr::var(y)),
+            le(LinExpr::var(x) + LinExpr::var(y) - LinExpr::constant(6)),
+        ];
+        let mut branch_a = base.clone();
+        branch_a.push(ge(LinExpr::var(x) - LinExpr::constant(7)));
+        let mut branch_b = base.clone();
+        branch_b.push(ge(LinExpr::var(x) - LinExpr::constant(4)));
+        let mut branch_b2 = branch_b.clone();
+        branch_b2.push(ge(LinExpr::var(y) - LinExpr::constant(3)));
+        let mut session = SessionSimplex::new();
+        for slice in [&base, &branch_a, &branch_b, &branch_b2, &base] {
+            assert_eq!(
+                session.infeasible(slice),
+                !check_feasibility(slice).is_feasible(),
+                "session disagrees with one-shot on {slice:?}"
+            );
+        }
     }
 }

@@ -25,7 +25,7 @@ use crate::cancel::{CancelToken, CANCELLED_MSG, DEADLINE_MSG};
 use crate::formula::{Atom, Cmp, Formula};
 use crate::intfeas::{solve_integer, IntFeasConfig, IntFeasResult};
 use crate::rational::OVERFLOW_MSG;
-use crate::simplex::{check_feasibility, Rel, SimplexConstraint};
+use crate::simplex::{Rel, SessionSimplex, SimplexConstraint};
 use crate::term::{LinExpr, Var};
 
 /// An integer model: a total assignment of the formula's variables
@@ -128,6 +128,20 @@ pub struct SolverConfig {
     /// fires (at restarts and between incremental solves); the threshold
     /// then grows geometrically.
     pub learnt_cap: usize,
+    /// Theory propagation in the CDCL engine: after each bound fixpoint,
+    /// literals entailed by the current intervals are enqueued (with lazy
+    /// explanations) instead of being rediscovered as conflicts.  On by
+    /// default; the off setting is kept as a differential oracle.
+    pub theory_propagation: bool,
+    /// Persistent Dutertre–de Moura tableau for the CDCL engine's leaf
+    /// feasibility checks (atoms registered once, O(1) backtrackable bound
+    /// assertions, warm-started pivoting).  On by default; off rebuilds a
+    /// tableau per leaf check — the PR-4 behaviour of *this* path, kept
+    /// as a differential oracle and as the ablation baseline.  The switch
+    /// governs only the engine's rational leaf checks: branch-and-bound
+    /// ([`crate::intfeas`]) and the structural engine's pre-branch checks
+    /// always run their own incremental tableaux.
+    pub incremental_simplex: bool,
     /// Limits of the integer feasibility backend.
     pub int_config: IntFeasConfig,
     /// Cooperative cancellation/deadline token, polled at every disjunction
@@ -153,6 +167,8 @@ impl Default for SolverConfig {
             // far above what one query learns; long incremental sessions
             // are what the GC exists for
             learnt_cap: 8_000,
+            theory_propagation: true,
+            incremental_simplex: true,
             int_config: IntFeasConfig::default(),
             cancel: CancelToken::none(),
         }
@@ -231,6 +247,7 @@ impl Solver {
             steps: 0,
             saw_resource_out: false,
             cancelled: false,
+            tableau: SessionSimplex::new(),
         };
         let mut asserted = Vec::new();
         match search.explore(&mut asserted, &mut vec![formula.clone()]) {
@@ -263,6 +280,12 @@ struct Search<'a> {
     steps: usize,
     saw_resource_out: bool,
     cancelled: bool,
+    /// Session-local incremental tableau for the pre-branch rational
+    /// feasibility checks: the DFS re-checks clone-and-extend prefixes of
+    /// the same asserted conjunction, so each check retracts to the common
+    /// prefix with the previous one and asserts only the new suffix,
+    /// warm-starting the pivoting from the shared basis.
+    tableau: SessionSimplex,
 }
 
 impl Search<'_> {
@@ -352,7 +375,7 @@ impl Search<'_> {
                         }
                         continue;
                     }
-                    if !check_feasibility(asserted).is_feasible() {
+                    if self.tableau.infeasible(asserted) {
                         return None;
                     }
                 }

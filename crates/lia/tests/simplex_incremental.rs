@@ -1,0 +1,315 @@
+//! Randomized differential testing of the incremental theory layer.
+//!
+//! Two independent oracles guard the PR's two new mechanisms:
+//!
+//! 1. the **persistent tableau** ([`IncrementalSimplex`]) is driven
+//!    through random `assert` / `push_level` / `pop_level` sequences and
+//!    compared, after every step, against a from-scratch
+//!    [`check_feasibility`] over the flattened live constraint set — the
+//!    warm basis, the undo trail and the level bookkeeping must never
+//!    change a verdict;
+//! 2. the **theory-propagation and incremental-simplex config switches**
+//!    are differential oracles by construction: all four on/off
+//!    combinations of `SolverConfig::{theory_propagation,
+//!    incremental_simplex}` must agree on random formulas, and every
+//!    `Sat` model must re-evaluate to true.
+//!
+//! Seeds are fixed xorshift states, so failures reproduce exactly.
+
+use std::collections::BTreeMap;
+
+use posr_lia::formula::{Cmp, Formula};
+use posr_lia::rational::Rat;
+use posr_lia::simplex::{
+    check_feasibility, IncrementalSimplex, Rel, SimplexConstraint, SimplexResult,
+};
+use posr_lia::solver::{Solver, SolverConfig, SolverResult};
+use posr_lia::term::{LinExpr, Var, VarPool};
+
+/// A tiny deterministic xorshift generator (same shape as
+/// `tests/differential.rs`): no external crates, reproducible failures.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn int(&mut self, lo: i128, hi: i128) -> i128 {
+        lo + self.below((hi - lo + 1) as u64) as i128
+    }
+}
+
+fn random_constraint(rng: &mut Rng, vars: &[Var]) -> SimplexConstraint {
+    let mut expr = LinExpr::constant(rng.int(-8, 8));
+    let terms = 1 + rng.below(3);
+    for _ in 0..terms {
+        let v = vars[rng.below(vars.len() as u64) as usize];
+        let coeff = loop {
+            let c = rng.int(-3, 3);
+            if c != 0 {
+                break c;
+            }
+        };
+        expr += LinExpr::scaled_var(v, coeff);
+    }
+    let rel = match rng.below(4) {
+        0 => Rel::Ge,
+        1 => Rel::Eq,
+        _ => Rel::Le,
+    };
+    SimplexConstraint { expr, rel }
+}
+
+fn rational_model_satisfies(constraints: &[SimplexConstraint], model: &BTreeMap<Var, Rat>) {
+    for c in constraints {
+        let mut value = Rat::from_int(c.expr.constant_part());
+        for (v, coeff) in c.expr.terms() {
+            value += Rat::from_int(coeff) * model.get(&v).copied().unwrap_or(Rat::ZERO);
+        }
+        let ok = match c.rel {
+            Rel::Le => value <= Rat::ZERO,
+            Rel::Ge => value >= Rat::ZERO,
+            Rel::Eq => value == Rat::ZERO,
+        };
+        assert!(ok, "warm-started model violates {c:?} (value {value})");
+    }
+}
+
+#[test]
+fn incremental_tableau_agrees_with_scratch_over_random_push_pop() {
+    let mut rng = Rng(0x1234_5678_9ABC_DEF1);
+    let mut pool = VarPool::new();
+    let vars: Vec<Var> = (0..4).map(|i| pool.fresh(&format!("v{i}"))).collect();
+
+    for round in 0..60 {
+        let mut simplex = IncrementalSimplex::new();
+        // the mirror: one Vec per open level (index 0 = root assertions)
+        let mut frames: Vec<Vec<SimplexConstraint>> = vec![Vec::new()];
+        for step in 0..60 {
+            match rng.below(10) {
+                // push a level
+                0 | 1 => {
+                    simplex.push_level();
+                    frames.push(Vec::new());
+                }
+                // pop a level (if one is open)
+                2 | 3 => {
+                    if frames.len() > 1 {
+                        simplex.pop_level();
+                        frames.pop();
+                    }
+                }
+                // assert a random constraint into the innermost frame
+                _ => {
+                    let c = random_constraint(&mut rng, &vars);
+                    let live: Vec<SimplexConstraint> = frames.iter().flatten().cloned().collect();
+                    match simplex.assert_constraint(&c, step as u32) {
+                        Ok(()) => frames.last_mut().expect("root frame").push(c),
+                        Err(_) => {
+                            // a rejected assertion must be genuinely
+                            // inconsistent with the live set
+                            let mut with = live.clone();
+                            with.push(c);
+                            assert_eq!(
+                                check_feasibility(&with),
+                                SimplexResult::Infeasible,
+                                "round {round} step {step}: assert rejected a feasible set"
+                            );
+                        }
+                    }
+                }
+            }
+            // after every operation the warm-started verdict must match a
+            // from-scratch solve of the flattened live set
+            let live: Vec<SimplexConstraint> = frames.iter().flatten().cloned().collect();
+            let scratch = check_feasibility(&live);
+            match simplex.check() {
+                Ok(()) => {
+                    assert!(
+                        scratch.is_feasible(),
+                        "round {round} step {step}: incremental feasible, scratch infeasible on {live:?}"
+                    );
+                    rational_model_satisfies(&live, &simplex.model());
+                }
+                Err(core) => {
+                    assert!(
+                        !scratch.is_feasible(),
+                        "round {round} step {step}: incremental infeasible, scratch feasible on {live:?}"
+                    );
+                    assert!(!core.is_empty(), "empty conflict core");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn incremental_conflict_cores_are_infeasible_subsets() {
+    let mut rng = Rng(0xFEED_FACE_0BAD_CAFE);
+    let mut pool = VarPool::new();
+    let vars: Vec<Var> = (0..3).map(|i| pool.fresh(&format!("c{i}"))).collect();
+
+    let mut cores_seen = 0usize;
+    for _ in 0..200 {
+        let mut simplex = IncrementalSimplex::new();
+        let mut asserted: Vec<SimplexConstraint> = Vec::new();
+        let mut core: Option<Vec<u32>> = None;
+        for i in 0..10 {
+            let c = random_constraint(&mut rng, &vars);
+            match simplex.assert_constraint(&c, i as u32) {
+                Ok(()) => asserted.push(c),
+                Err(tags) => {
+                    asserted.push(c);
+                    core = Some(tags);
+                    break;
+                }
+            }
+        }
+        if core.is_none() {
+            core = simplex.check().err();
+        }
+        let Some(core) = core else { continue };
+        cores_seen += 1;
+        // every tag indexes an asserted constraint, and the tagged subset
+        // alone is infeasible (the Farkas certificate really certifies)
+        let subset: Vec<SimplexConstraint> =
+            core.iter().map(|&t| asserted[t as usize].clone()).collect();
+        assert_eq!(
+            check_feasibility(&subset),
+            SimplexResult::Infeasible,
+            "core {core:?} of {asserted:?} is not a certificate"
+        );
+    }
+    assert!(
+        cores_seen >= 30,
+        "too few conflicts generated: {cores_seen}"
+    );
+}
+
+fn random_atom(rng: &mut Rng, vars: &[Var]) -> Formula {
+    let mut expr = LinExpr::constant(rng.int(-6, 6));
+    let terms = 1 + rng.below(3);
+    for _ in 0..terms {
+        let v = vars[rng.below(vars.len() as u64) as usize];
+        let coeff = match rng.below(8) {
+            0 => 2,
+            1 => -2,
+            2 => 3,
+            _ => *[-1i128, 1].get(rng.below(2) as usize).unwrap(),
+        };
+        expr += LinExpr::scaled_var(v, coeff);
+    }
+    let cmp = match rng.below(6) {
+        0 => Cmp::Le,
+        1 => Cmp::Lt,
+        2 => Cmp::Ge,
+        3 => Cmp::Gt,
+        4 => Cmp::Eq,
+        _ => Cmp::Ne,
+    };
+    Formula::Atom(posr_lia::formula::Atom { expr, cmp })
+}
+
+fn random_formula(rng: &mut Rng, vars: &[Var], depth: usize) -> Formula {
+    if depth == 0 || rng.below(3) == 0 {
+        return random_atom(rng, vars);
+    }
+    match rng.below(4) {
+        0 => {
+            let n = 2 + rng.below(3) as usize;
+            Formula::and(
+                (0..n)
+                    .map(|_| random_formula(rng, vars, depth - 1))
+                    .collect(),
+            )
+        }
+        1 => {
+            let n = 2 + rng.below(3) as usize;
+            Formula::or(
+                (0..n)
+                    .map(|_| random_formula(rng, vars, depth - 1))
+                    .collect(),
+            )
+        }
+        2 => Formula::not(random_formula(rng, vars, depth - 1)),
+        _ => random_atom(rng, vars),
+    }
+}
+
+/// A bounding box keeps every instance decidable well within the engines'
+/// resource limits, so verdicts are definite and comparable.
+fn boxed(vars: &[Var], formula: Formula) -> Formula {
+    let mut conjuncts = vec![formula];
+    for &v in vars {
+        conjuncts.push(Formula::ge(LinExpr::var(v), LinExpr::constant(-20)));
+        conjuncts.push(Formula::le(LinExpr::var(v), LinExpr::constant(20)));
+    }
+    Formula::and(conjuncts)
+}
+
+#[test]
+fn theory_config_matrix_agrees_on_random_formulas() {
+    let mut rng = Rng(0x0D15_EA5E_5EED_0007);
+    let mut pool = VarPool::new();
+    let vars: Vec<Var> = (0..4).map(|i| pool.fresh(&format!("m{i}"))).collect();
+
+    // all four combinations of the two theory-side switches; index 0 is
+    // the full configuration, index 3 the PR-4 baseline
+    let solvers: Vec<Solver> = [(true, true), (true, false), (false, true), (false, false)]
+        .into_iter()
+        .map(|(theory_propagation, incremental_simplex)| {
+            Solver::with_config(SolverConfig {
+                theory_propagation,
+                incremental_simplex,
+                ..SolverConfig::default()
+            })
+        })
+        .collect();
+
+    let mut sat = 0usize;
+    let mut unsat = 0usize;
+    for round in 0..250 {
+        let formula = boxed(&vars, random_formula(&mut rng, &vars, 3));
+        let results: Vec<SolverResult> = solvers.iter().map(|s| s.solve(&formula)).collect();
+        let mut verdicts = Vec::new();
+        for (i, r) in results.iter().enumerate() {
+            match r {
+                SolverResult::Sat(m) => {
+                    assert!(
+                        m.satisfies(&formula),
+                        "round {round} config {i}: model fails on {formula:?}"
+                    );
+                    verdicts.push("sat");
+                }
+                SolverResult::Unsat => verdicts.push("unsat"),
+                SolverResult::Unknown(_) => verdicts.push("unknown"),
+            }
+        }
+        let definite: Vec<&str> = verdicts
+            .iter()
+            .copied()
+            .filter(|&v| v != "unknown")
+            .collect();
+        assert!(
+            definite.windows(2).all(|w| w[0] == w[1]),
+            "round {round}: configs disagree: {verdicts:?} on {formula:?}"
+        );
+        match definite.first() {
+            Some(&"sat") => sat += 1,
+            Some(&"unsat") => unsat += 1,
+            _ => {}
+        }
+    }
+    assert!(sat >= 30, "too few sat instances: {sat}");
+    assert!(unsat >= 15, "too few unsat instances: {unsat}");
+}

@@ -132,5 +132,9 @@ fn main() {
             "  theory checks: {} bound / {} gcd / {} simplex / {} final",
             s.bound_checks, s.gcd_checks, s.simplex_checks, s.final_checks
         );
+        println!(
+            "  theory props : {} literals enqueued, {} simplex pivots",
+            s.theory_props, s.simplex_pivots
+        );
     }
 }
