@@ -1,0 +1,53 @@
+//! `posr-check` — replay and verify `posr-proof` documents.
+//!
+//! Usage: `posr-check [FILE...]`; with no files, reads a document from
+//! stdin.  Prints one summary line per input and exits non-zero if any
+//! document is rejected.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn check_one(name: &str, text: &str) -> bool {
+    match posr_check::check_document(text) {
+        Ok(s) => {
+            println!(
+                "{name}: verified ({} steps: {} roots, {} derived, {} farkas, \
+                 {} bounds, {} gcd; {} queries, {} finals)",
+                s.steps, s.roots, s.derived, s.farkas, s.bounds, s.gcd, s.queries, s.finals
+            );
+            true
+        }
+        Err(e) => {
+            eprintln!("{name}: REJECTED — {e}");
+            false
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    let mut ok = true;
+    if files.is_empty() {
+        let mut text = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+            eprintln!("stdin: {e}");
+            return ExitCode::FAILURE;
+        }
+        ok = check_one("<stdin>", &text);
+    } else {
+        for file in &files {
+            match std::fs::read_to_string(file) {
+                Ok(text) => ok &= check_one(file, &text),
+                Err(e) => {
+                    eprintln!("{file}: {e}");
+                    ok = false;
+                }
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,1210 @@
+//! An independent replayer for `posr-proof` documents.
+//!
+//! The CDCL(T) engine of `posr-lia` can log every clause it reasons with
+//! (see `posr_lia::proof`): root clauses as axioms, theory lemmas with an
+//! arithmetic certificate, learned clauses with reverse-unit-propagation
+//! (RUP) hint chains, and per-query `final` steps naming the clause that
+//! refutes each Unsat answer.  This crate re-verifies such a document from
+//! scratch, **sharing no code with the solver** — it has its own parser,
+//! its own exact rational arithmetic, its own propagation — so a bug in
+//! the solver cannot also hide in the verifier:
+//!
+//! * `derive` steps are checked *syntactically*: assume the negation of
+//!   the clause on top of the monotone root trail, process the hint
+//!   clauses in order, and require each to be satisfied (no-op), unit
+//!   (extend the assignment) or conflicting (step verified);
+//! * `lemma` steps are checked *arithmetically*, by certificate kind:
+//!   a Farkas combination is recomputed over exact rationals (checked
+//!   `i128`, overflow rejects), a bound chain is re-run by integer-rounding
+//!   interval propagation, a GCD refutation is re-derived by pinning,
+//!   substitution, complementary-pair equation recovery and unit-pivot
+//!   elimination;
+//! * `final` steps require every literal of the named clause to be
+//!   falsified by the root trail or by the negation of a current
+//!   assumption (id 0 stands for the root-level conflict that propagation
+//!   alone discovers).
+//!
+//! A document marked `incomplete` by the producer is always rejected: the
+//! solver refuses to fabricate certificates for steps it cannot justify,
+//! and this checker refuses to bless the gap.
+
+use std::collections::HashMap;
+
+/// Round cap of the interval-propagation replays (bounds and GCD lemmas);
+/// generous compared to the producer's fixpoint depth.
+const MAX_ROUNDS: usize = 256;
+
+/// Interval values beyond this magnitude are not tracked (mirrors the
+/// producer's guard, and bounds the replay arithmetic).
+const MAGNITUDE_LIMIT: i128 = 1 << 24;
+
+/// Caps of the GCD elimination replay.
+const MAX_TERMS: usize = 64;
+const MAX_PIVOTS: usize = 512;
+
+/// What a successfully replayed document contained.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckSummary {
+    /// Proof steps replayed (excluding comments and the header).
+    pub steps: usize,
+    /// Input (root) clauses.
+    pub roots: usize,
+    /// RUP-derived clauses.
+    pub derived: usize,
+    /// Theory lemmas, by certificate kind: Farkas, bounds, GCD.
+    pub farkas: usize,
+    pub bounds: usize,
+    pub gcd: usize,
+    /// `query` sections and `final` (verified-Unsat) steps.
+    pub queries: usize,
+    pub finals: usize,
+}
+
+/// Why a document was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckError {
+    /// 1-based line of the offending step (0 when the document as a whole
+    /// is at fault, e.g. a missing header).
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+// ---------------------------------------------------------------------------
+// exact arithmetic (checked i128; overflow is a verification failure)
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// An exact rational over checked `i128`: every operation returns `None`
+/// on overflow, which the caller turns into a rejection (never a wrong
+/// acceptance).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Rq {
+    num: i128,
+    /// Always positive; the fraction is kept reduced.
+    den: i128,
+}
+
+impl Rq {
+    const ZERO: Rq = Rq { num: 0, den: 1 };
+
+    fn new(num: i128, den: i128) -> Option<Rq> {
+        if den == 0 {
+            return None;
+        }
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den).max(1);
+        Some(Rq {
+            num: sign * (num / g),
+            den: (den / g).abs().max(1),
+        })
+    }
+
+    fn from_int(k: i128) -> Rq {
+        Rq { num: k, den: 1 }
+    }
+
+    fn add(self, other: Rq) -> Option<Rq> {
+        let a = self.num.checked_mul(other.den)?;
+        let b = other.num.checked_mul(self.den)?;
+        Rq::new(a.checked_add(b)?, self.den.checked_mul(other.den)?)
+    }
+
+    fn mul(self, other: Rq) -> Option<Rq> {
+        Rq::new(
+            self.num.checked_mul(other.num)?,
+            self.den.checked_mul(other.den)?,
+        )
+    }
+
+    fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    fn is_negative(self) -> bool {
+        self.num < 0
+    }
+
+    fn is_positive(self) -> bool {
+        self.num > 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// the proof vocabulary, reconstructed from the text format alone
+
+/// A Boolean literal: variable index plus polarity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct PLit {
+    var: usize,
+    pos: bool,
+}
+
+impl PLit {
+    fn negate(self) -> PLit {
+        PLit {
+            var: self.var,
+            pos: !self.pos,
+        }
+    }
+}
+
+/// A linear row `Σ cᵢ·xᵢ + k`, read as the constraint `row ≤ 0`.
+/// Terms are kept sorted by variable with no zero coefficients.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Row {
+    terms: Vec<(usize, i128)>,
+    konst: i128,
+}
+
+impl Row {
+    fn normalize(mut terms: Vec<(usize, i128)>, konst: i128) -> Row {
+        terms.sort_unstable_by_key(|&(v, _)| v);
+        let mut out: Vec<(usize, i128)> = Vec::with_capacity(terms.len());
+        for (v, c) in terms {
+            match out.last_mut() {
+                Some((lv, lc)) if *lv == v => *lc += c,
+                _ => out.push((v, c)),
+            }
+        }
+        out.retain(|&(_, c)| c != 0);
+        Row { terms: out, konst }
+    }
+
+    /// `1 − row`: the `≤ 0` form of the *negation* of `row ≤ 0` over ℤ.
+    fn negate_constraint(&self) -> Option<Row> {
+        let terms = self
+            .terms
+            .iter()
+            .map(|&(v, c)| c.checked_neg().map(|c| (v, c)))
+            .collect::<Option<Vec<_>>>()?;
+        Some(Row {
+            terms,
+            konst: 1i128.checked_sub(self.konst)?,
+        })
+    }
+
+    /// `−row` (used for complementary-pair equation detection).
+    fn negated(&self) -> Option<Row> {
+        let terms = self
+            .terms
+            .iter()
+            .map(|&(v, c)| c.checked_neg().map(|c| (v, c)))
+            .collect::<Option<Vec<_>>>()?;
+        Some(Row {
+            terms,
+            konst: self.konst.checked_neg()?,
+        })
+    }
+}
+
+/// One parsed step (line) of a document.
+#[derive(Clone, Debug)]
+enum Step {
+    Atom {
+        var: usize,
+        row: Row,
+    },
+    Root {
+        id: u64,
+        lits: Vec<PLit>,
+    },
+    Derive {
+        id: u64,
+        lits: Vec<PLit>,
+        hints: Vec<u64>,
+    },
+    Lemma {
+        id: u64,
+        cert: Cert,
+        lits: Vec<PLit>,
+    },
+    Delete {
+        id: u64,
+    },
+    Query,
+    Assume {
+        lit: PLit,
+    },
+    Final {
+        id: u64,
+    },
+    Incomplete {
+        reason: String,
+    },
+}
+
+#[derive(Clone, Debug)]
+enum Cert {
+    Farkas(Vec<Rq>),
+    Bounds,
+    Gcd,
+}
+
+// ---------------------------------------------------------------------------
+// parsing
+
+fn parse_lit(tok: &str, line: usize) -> Result<PLit, CheckError> {
+    let code: i64 = tok
+        .parse()
+        .map_err(|_| err(line, format!("bad literal `{tok}`")))?;
+    if code == 0 {
+        return Err(err(line, "literal 0 is the terminator".to_string()));
+    }
+    Ok(PLit {
+        var: (code.unsigned_abs() as usize) - 1,
+        pos: code > 0,
+    })
+}
+
+/// Literals up to the `0` terminator; returns the remaining tokens.
+fn parse_lits<'a>(
+    toks: &'a [&'a str],
+    line: usize,
+) -> Result<(Vec<PLit>, &'a [&'a str]), CheckError> {
+    let mut lits = Vec::new();
+    for (i, tok) in toks.iter().enumerate() {
+        if *tok == "0" {
+            return Ok((lits, &toks[i + 1..]));
+        }
+        lits.push(parse_lit(tok, line)?);
+    }
+    Err(err(line, "missing literal terminator 0".to_string()))
+}
+
+fn err(line: usize, message: impl Into<String>) -> CheckError {
+    CheckError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_step(text: &str, line: usize) -> Result<Step, CheckError> {
+    let toks: Vec<&str> = text.split_whitespace().collect();
+    let bad = |what: &str| err(line, format!("malformed {what} step"));
+    match toks[0] {
+        "atom" => {
+            if toks.len() < 3 {
+                return Err(bad("atom"));
+            }
+            let var: usize = toks[1].parse().map_err(|_| bad("atom"))?;
+            let konst: i128 = toks[2].parse().map_err(|_| bad("atom"))?;
+            let mut terms = Vec::new();
+            for tok in &toks[3..] {
+                let (v, c) = tok.split_once(':').ok_or_else(|| bad("atom"))?;
+                let v: usize = v.parse().map_err(|_| bad("atom"))?;
+                let c: i128 = c.parse().map_err(|_| bad("atom"))?;
+                terms.push((v, c));
+            }
+            Ok(Step::Atom {
+                var,
+                row: Row::normalize(terms, konst),
+            })
+        }
+        "root" => {
+            if toks.len() < 3 {
+                return Err(bad("root"));
+            }
+            let id: u64 = toks[1].parse().map_err(|_| bad("root"))?;
+            let (lits, rest) = parse_lits(&toks[2..], line)?;
+            if !rest.is_empty() {
+                return Err(bad("root"));
+            }
+            Ok(Step::Root { id, lits })
+        }
+        "derive" => {
+            if toks.len() < 3 {
+                return Err(bad("derive"));
+            }
+            let id: u64 = toks[1].parse().map_err(|_| bad("derive"))?;
+            let (lits, rest) = parse_lits(&toks[2..], line)?;
+            let mut hints = Vec::new();
+            let mut terminated = false;
+            for tok in rest {
+                if *tok == "0" {
+                    terminated = true;
+                    break;
+                }
+                hints.push(tok.parse().map_err(|_| bad("derive"))?);
+            }
+            if !terminated {
+                return Err(err(line, "missing hint terminator 0".to_string()));
+            }
+            Ok(Step::Derive { id, lits, hints })
+        }
+        "lemma" => {
+            if toks.len() < 4 {
+                return Err(bad("lemma"));
+            }
+            let id: u64 = toks[1].parse().map_err(|_| bad("lemma"))?;
+            let kind = toks[2];
+            let (lits, rest) = parse_lits(&toks[3..], line)?;
+            let cert = match kind {
+                "bounds" => Cert::Bounds,
+                "gcd" => Cert::Gcd,
+                "farkas" => {
+                    let mut coeffs = Vec::new();
+                    for tok in rest {
+                        let (n, d) = tok.split_once('/').ok_or_else(|| bad("lemma"))?;
+                        let n: i128 = n.parse().map_err(|_| bad("lemma"))?;
+                        let d: i128 = d.parse().map_err(|_| bad("lemma"))?;
+                        let c = Rq::new(n, d)
+                            .ok_or_else(|| err(line, "zero denominator".to_string()))?;
+                        coeffs.push(c);
+                    }
+                    return Ok(Step::Lemma {
+                        id,
+                        cert: Cert::Farkas(coeffs),
+                        lits,
+                    });
+                }
+                other => return Err(err(line, format!("unknown certificate kind `{other}`"))),
+            };
+            if !rest.is_empty() {
+                return Err(bad("lemma"));
+            }
+            Ok(Step::Lemma { id, cert, lits })
+        }
+        "delete" => {
+            if toks.len() != 2 {
+                return Err(bad("delete"));
+            }
+            Ok(Step::Delete {
+                id: toks[1].parse().map_err(|_| bad("delete"))?,
+            })
+        }
+        "query" => Ok(Step::Query),
+        "assume" => {
+            if toks.len() != 2 {
+                return Err(bad("assume"));
+            }
+            Ok(Step::Assume {
+                lit: parse_lit(toks[1], line)?,
+            })
+        }
+        "final" => {
+            if toks.len() != 2 {
+                return Err(bad("final"));
+            }
+            Ok(Step::Final {
+                id: toks[1].parse().map_err(|_| bad("final"))?,
+            })
+        }
+        "incomplete" => Ok(Step::Incomplete {
+            reason: text.trim_start_matches("incomplete").trim().to_string(),
+        }),
+        other => Err(err(line, format!("unknown step `{other}`"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// the checker state
+
+#[derive(Default)]
+struct Checker {
+    /// Meaning of theory-backed Boolean variables: `var ⟺ row ≤ 0`.
+    atoms: HashMap<usize, Row>,
+    /// Live clauses by id.
+    clauses: HashMap<u64, Vec<PLit>>,
+    /// The monotone root assignment (level-0 truths), grown by unit
+    /// propagation over the live clauses; never retracted.
+    trail: HashMap<usize, bool>,
+    /// Set when propagation finds a falsified live clause: the database
+    /// itself is unsatisfiable (what `final 0` claims).
+    root_conflict: bool,
+    /// Assumptions of the current query section.
+    assumptions: Vec<PLit>,
+    summary: CheckSummary,
+}
+
+impl Checker {
+    fn value(&self, lit: PLit) -> Option<bool> {
+        self.trail.get(&lit.var).map(|&b| b == lit.pos)
+    }
+
+    /// Unit propagation over all live clauses to fixpoint (naive re-scan:
+    /// correctness over speed — this is the *verifier*).
+    fn propagate(&mut self) {
+        loop {
+            let mut changed = false;
+            for lits in self.clauses.values() {
+                let mut unassigned = None;
+                let mut open = 0usize;
+                let mut satisfied = false;
+                for &l in lits {
+                    match self.value(l) {
+                        Some(true) => {
+                            satisfied = true;
+                            break;
+                        }
+                        Some(false) => {}
+                        None => {
+                            open += 1;
+                            unassigned = Some(l);
+                        }
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match open {
+                    0 => self.root_conflict = true,
+                    1 => {
+                        let l = unassigned.expect("counted");
+                        self.trail.insert(l.var, l.pos);
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                return;
+            }
+        }
+    }
+
+    fn add_clause(&mut self, id: u64, lits: Vec<PLit>, line: usize) -> Result<(), CheckError> {
+        if id == 0 || self.clauses.contains_key(&id) {
+            return Err(err(line, format!("clause id {id} reused or reserved")));
+        }
+        self.clauses.insert(id, lits);
+        self.propagate();
+        Ok(())
+    }
+
+    /// The RUP check of a derived clause: assuming its negation on top of
+    /// the root trail, the hint clauses in order must each be satisfied
+    /// (no-op), unit (extend) or conflicting (verified).
+    fn check_rup(&self, lits: &[PLit], hints: &[u64], line: usize) -> Result<(), CheckError> {
+        let mut local: HashMap<usize, bool> = HashMap::new();
+        let value = |local: &HashMap<usize, bool>, l: PLit| -> Option<bool> {
+            local
+                .get(&l.var)
+                .map(|&b| b == l.pos)
+                .or_else(|| self.value(l))
+        };
+        for &l in lits {
+            match value(&local, l) {
+                // a root-true literal: the clause is subsumed by the trail
+                Some(true) => return Ok(()),
+                Some(false) => {}
+                None => {
+                    local.insert(l.var, !l.pos);
+                }
+            }
+        }
+        for &h in hints {
+            let Some(cl) = self.clauses.get(&h) else {
+                return Err(err(line, format!("hint {h} is not a live clause")));
+            };
+            let mut unassigned = None;
+            let mut open = 0usize;
+            let mut satisfied = false;
+            for &l in cl {
+                match value(&local, l) {
+                    Some(true) => {
+                        satisfied = true;
+                        break;
+                    }
+                    Some(false) => {}
+                    None => {
+                        open += 1;
+                        unassigned = Some(l);
+                    }
+                }
+            }
+            if satisfied {
+                continue; // harmless no-op hint
+            }
+            match open {
+                0 => return Ok(()), // conflict: the derivation closed
+                1 => {
+                    let l = unassigned.expect("counted");
+                    local.insert(l.var, l.pos);
+                }
+                _ => {
+                    return Err(err(
+                        line,
+                        format!("hint {h} is neither satisfied, unit nor conflicting"),
+                    ))
+                }
+            }
+        }
+        if self.root_conflict {
+            // the database is already root-falsified: anything follows
+            return Ok(());
+        }
+        Err(err(line, "hint chain ended without a conflict".to_string()))
+    }
+
+    /// The `≤ 0` rows of the *negations* of a lemma's literals — the
+    /// conjunction the certificate must refute.
+    fn negation_rows(&self, lits: &[PLit], line: usize) -> Result<Vec<Row>, CheckError> {
+        lits.iter()
+            .map(|&l| {
+                let row = self.atoms.get(&l.var).ok_or_else(|| {
+                    err(line, format!("literal over non-theory variable {}", l.var))
+                })?;
+                if l.pos {
+                    // ¬l asserts row ≥ 1, i.e. 1 − row ≤ 0
+                    row.negate_constraint()
+                        .ok_or_else(|| err(line, "overflow negating constraint".to_string()))
+                } else {
+                    Ok(row.clone())
+                }
+            })
+            .collect()
+    }
+
+    fn check_lemma(&self, cert: &Cert, lits: &[PLit], line: usize) -> Result<(), CheckError> {
+        let rows = self.negation_rows(lits, line)?;
+        let ok = match cert {
+            Cert::Farkas(coeffs) => check_farkas(&rows, coeffs),
+            Cert::Bounds => bounds_refuted(&rows),
+            Cert::Gcd => gcd_refuted(&rows),
+        };
+        if ok {
+            Ok(())
+        } else {
+            let kind = match cert {
+                Cert::Farkas(_) => "farkas",
+                Cert::Bounds => "bounds",
+                Cert::Gcd => "gcd",
+            };
+            Err(err(
+                line,
+                format!("{kind} certificate does not refute the lemma"),
+            ))
+        }
+    }
+
+    fn check_final(&self, id: u64, line: usize) -> Result<(), CheckError> {
+        if id == 0 {
+            return if self.root_conflict {
+                Ok(())
+            } else {
+                Err(err(
+                    line,
+                    "final 0 without a root-level conflict".to_string(),
+                ))
+            };
+        }
+        let Some(cl) = self.clauses.get(&id) else {
+            return Err(err(line, format!("final names dead clause {id}")));
+        };
+        for &l in cl {
+            let falsified = self.value(l) == Some(false) || self.assumptions.contains(&l.negate());
+            if !falsified {
+                return Err(err(
+                    line,
+                    format!(
+                        "final clause {id} has a literal neither root-false nor \
+                         refuted by an assumption"
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn apply(&mut self, step: Step, line: usize) -> Result<(), CheckError> {
+        self.summary.steps += 1;
+        match step {
+            Step::Atom { var, row } => {
+                if let Some(old) = self.atoms.get(&var) {
+                    if *old != row {
+                        return Err(err(line, format!("atom {var} redefined")));
+                    }
+                }
+                self.atoms.insert(var, row);
+            }
+            Step::Root { id, lits } => {
+                self.summary.roots += 1;
+                self.add_clause(id, lits, line)?;
+            }
+            Step::Derive { id, lits, hints } => {
+                self.summary.derived += 1;
+                self.check_rup(&lits, &hints, line)?;
+                self.add_clause(id, lits, line)?;
+            }
+            Step::Lemma { id, cert, lits } => {
+                match cert {
+                    Cert::Farkas(_) => self.summary.farkas += 1,
+                    Cert::Bounds => self.summary.bounds += 1,
+                    Cert::Gcd => self.summary.gcd += 1,
+                }
+                self.check_lemma(&cert, &lits, line)?;
+                self.add_clause(id, lits, line)?;
+            }
+            Step::Delete { id } => {
+                if self.clauses.remove(&id).is_none() {
+                    return Err(err(line, format!("delete of dead clause {id}")));
+                }
+            }
+            Step::Query => {
+                self.summary.queries += 1;
+                self.assumptions.clear();
+            }
+            Step::Assume { lit } => self.assumptions.push(lit),
+            Step::Final { id } => {
+                self.check_final(id, line)?;
+                self.summary.finals += 1;
+            }
+            Step::Incomplete { reason } => {
+                return Err(err(
+                    line,
+                    format!("producer marked the proof incomplete: {reason}"),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// certificate arithmetic
+
+/// Verifies a Farkas certificate: `coeffs` are non-negative, one per row,
+/// and the combination `Σ λᵢ·rowᵢ` cancels every variable while leaving a
+/// positive constant — which refutes `∀i. rowᵢ ≤ 0` already over ℚ.
+fn check_farkas(rows: &[Row], coeffs: &[Rq]) -> bool {
+    if rows.len() != coeffs.len() || rows.is_empty() {
+        return false;
+    }
+    if coeffs.iter().any(|c| c.is_negative()) {
+        return false;
+    }
+    let mut combined: HashMap<usize, Rq> = HashMap::new();
+    let mut konst = Rq::ZERO;
+    for (row, &lambda) in rows.iter().zip(coeffs) {
+        for &(v, c) in &row.terms {
+            let Some(delta) = lambda.mul(Rq::from_int(c)) else {
+                return false;
+            };
+            let entry = combined.entry(v).or_insert(Rq::ZERO);
+            let Some(sum) = entry.add(delta) else {
+                return false;
+            };
+            *entry = sum;
+        }
+        let Some(delta) = lambda.mul(Rq::from_int(row.konst)) else {
+            return false;
+        };
+        let Some(sum) = konst.add(delta) else {
+            return false;
+        };
+        konst = sum;
+    }
+    combined.values().all(|c| c.is_zero()) && konst.is_positive()
+}
+
+/// Integer intervals under construction, keyed by variable.
+#[derive(Default)]
+struct Intervals {
+    lo: HashMap<usize, i128>,
+    hi: HashMap<usize, i128>,
+}
+
+impl Intervals {
+    /// Tightens and reports conflict (`lo > hi`) as `true`.
+    fn tighten_lo(&mut self, v: usize, b: i128) -> bool {
+        if b.abs() > MAGNITUDE_LIMIT {
+            return false;
+        }
+        let cur = self.lo.entry(v).or_insert(b);
+        if b > *cur {
+            *cur = b;
+        }
+        matches!(self.hi.get(&v), Some(&h) if h < *self.lo.get(&v).expect("just set"))
+    }
+
+    fn tighten_hi(&mut self, v: usize, b: i128) -> bool {
+        if b.abs() > MAGNITUDE_LIMIT {
+            return false;
+        }
+        let cur = self.hi.entry(v).or_insert(b);
+        if b < *cur {
+            *cur = b;
+        }
+        matches!(self.lo.get(&v), Some(&l) if l > *self.hi.get(&v).expect("just set"))
+    }
+
+    /// The minimum of `c·v` over the current interval of `v`.
+    fn term_min(&self, v: usize, c: i128) -> Option<i128> {
+        let b = if c > 0 {
+            self.lo.get(&v)
+        } else {
+            self.hi.get(&v)
+        };
+        b.and_then(|&b| c.checked_mul(b))
+    }
+}
+
+fn div_floor(a: i128, b: i128) -> i128 {
+    let q = a / b;
+    if a % b != 0 && ((a < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+fn div_ceil(a: i128, b: i128) -> i128 {
+    let q = a / b;
+    if a % b != 0 && ((a < 0) == (b < 0)) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+/// The outcome of one interval-propagation round.
+enum Round {
+    /// An empty interval — the rows are infeasible.
+    Conflict,
+    /// Some interval was tightened; propagation should run again.
+    Progress,
+    /// Nothing changed — a fixpoint without conflict.
+    Fixpoint,
+}
+
+/// One round of interval propagation over `rows`; `None` = arithmetic
+/// overflow (treated as "cannot verify").
+fn propagate_rows(iv: &mut Intervals, rows: &[Row]) -> Option<Round> {
+    let mut changed = false;
+    for row in rows {
+        // a constant row refutes outright when positive
+        if row.terms.is_empty() {
+            if row.konst > 0 {
+                return Some(Round::Conflict);
+            }
+            continue;
+        }
+        for &(v, c) in &row.terms {
+            // c·v ≤ −konst − Σ_{j≠v} cⱼ·xⱼ ≤ −konst − rest_min
+            let mut rest_min = row.konst;
+            let mut known = true;
+            for &(u, d) in &row.terms {
+                if u == v {
+                    continue;
+                }
+                match iv.term_min(u, d) {
+                    Some(m) => rest_min = rest_min.checked_add(m)?,
+                    None => {
+                        known = false;
+                        break;
+                    }
+                }
+            }
+            if !known {
+                continue;
+            }
+            let bound = rest_min.checked_neg()?;
+            let before = (iv.lo.get(&v).copied(), iv.hi.get(&v).copied());
+            let conflict = if c > 0 {
+                iv.tighten_hi(v, div_floor(bound, c))
+            } else {
+                iv.tighten_lo(v, div_ceil(bound, c))
+            };
+            if conflict {
+                return Some(Round::Conflict);
+            }
+            if before != (iv.lo.get(&v).copied(), iv.hi.get(&v).copied()) {
+                changed = true;
+            }
+        }
+    }
+    Some(if changed {
+        Round::Progress
+    } else {
+        Round::Fixpoint
+    })
+}
+
+/// Re-runs the bound chain: integer-rounding interval propagation of the
+/// rows to (round-capped) fixpoint; refuted ⇔ certificate verified.
+fn bounds_refuted(rows: &[Row]) -> bool {
+    let mut iv = Intervals::default();
+    for _ in 0..MAX_ROUNDS {
+        match propagate_rows(&mut iv, rows) {
+            Some(Round::Conflict) => return true,
+            Some(Round::Progress) => continue,
+            Some(Round::Fixpoint) => return false, // no conflict
+            None => return false,                  // overflow: cannot verify
+        }
+    }
+    false
+}
+
+/// Re-derives a GCD refutation: propagate intervals (a plain interval
+/// conflict also verifies), pin single-valued variables, substitute them
+/// out, recover equations from complementary `≤` pairs, eliminate
+/// unit-coefficient variables, and look for an equation whose coefficient
+/// GCD does not divide its constant.
+fn gcd_refuted(rows: &[Row]) -> bool {
+    let mut iv = Intervals::default();
+    for _ in 0..MAX_ROUNDS {
+        match propagate_rows(&mut iv, rows) {
+            Some(Round::Conflict) => return true,
+            Some(Round::Progress) => continue,
+            Some(Round::Fixpoint) => break,
+            None => return false,
+        }
+    }
+    // pin and substitute
+    let fixed: HashMap<usize, i128> = iv
+        .lo
+        .iter()
+        .filter(|(v, &l)| iv.hi.get(v) == Some(&l))
+        .map(|(&v, &l)| (v, l))
+        .collect();
+    let substituted: Option<Vec<Row>> = rows
+        .iter()
+        .map(|row| {
+            let mut konst = row.konst;
+            let mut terms = Vec::new();
+            for &(v, c) in &row.terms {
+                match fixed.get(&v) {
+                    Some(&k) => konst = konst.checked_add(c.checked_mul(k)?)?,
+                    None => terms.push((v, c)),
+                }
+            }
+            Some(Row::normalize(terms, konst))
+        })
+        .collect();
+    let Some(substituted) = substituted else {
+        return false;
+    };
+    // complementary pairs e ≤ 0, −e ≤ 0 ⇒ the equation e = 0
+    let mut equations: Vec<Row> = Vec::new();
+    for (i, row) in substituted.iter().enumerate() {
+        let Some(neg) = row.negated() else {
+            return false;
+        };
+        if substituted[i + 1..].contains(&neg)
+            && !equations.contains(row)
+            && !equations.contains(&neg)
+        {
+            equations.push(row.clone());
+        }
+    }
+    let infeasible = |eq: &Row| -> bool {
+        if eq.terms.is_empty() {
+            return eq.konst != 0;
+        }
+        let g = eq.terms.iter().fold(0i128, |g, &(_, c)| gcd(g, c));
+        g != 0 && eq.konst % g != 0
+    };
+    if equations.iter().any(infeasible) {
+        return true;
+    }
+    // unit-pivot elimination
+    let mut used = vec![false; equations.len()];
+    for _ in 0..MAX_PIVOTS {
+        let Some((pi, pv, pa)) = equations.iter().enumerate().find_map(|(i, eq)| {
+            if used[i] {
+                return None;
+            }
+            eq.terms
+                .iter()
+                .find(|&&(_, c)| c == 1 || c == -1)
+                .map(|&(v, c)| (i, v, c))
+        }) else {
+            break;
+        };
+        used[pi] = true;
+        let pivot = equations[pi].clone();
+        for (i, eq) in equations.iter_mut().enumerate() {
+            if i == pi {
+                continue;
+            }
+            let Some(&(_, c)) = eq.terms.iter().find(|&&(v, _)| v == pv) else {
+                continue;
+            };
+            // eliminate pv: eq ← eq − (c·pa)·pivot   (pa² = 1)
+            let Some(factor) = c.checked_mul(pa) else {
+                return false;
+            };
+            let mut terms = eq.terms.clone();
+            for &(v, pc) in &pivot.terms {
+                let Some(delta) = factor.checked_mul(pc) else {
+                    return false;
+                };
+                terms.push((v, -delta));
+            }
+            let Some(delta) = factor.checked_mul(pivot.konst) else {
+                return false;
+            };
+            let Some(konst) = eq.konst.checked_sub(delta) else {
+                return false;
+            };
+            let combined = Row::normalize(terms.iter().map(|&(v, c)| (v, c)).collect(), konst);
+            if combined.terms.len() > MAX_TERMS {
+                continue;
+            }
+            if infeasible(&combined) {
+                return true;
+            }
+            *eq = combined;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// the public entry points
+
+/// Replays one `posr-proof` document (multiple concatenated documents are
+/// allowed: each `p posr-proof 1` header resets the state).  Accepts iff
+/// every step verifies, no `incomplete` marker is present, and at least
+/// one `final` step sealed an Unsat answer.
+pub fn check_document(text: &str) -> Result<CheckSummary, CheckError> {
+    let mut checker: Option<Checker> = None;
+    let mut total = CheckSummary::default();
+    let mut finish = |c: Option<Checker>| -> Result<(), CheckError> {
+        if let Some(c) = c {
+            total.steps += c.summary.steps;
+            total.roots += c.summary.roots;
+            total.derived += c.summary.derived;
+            total.farkas += c.summary.farkas;
+            total.bounds += c.summary.bounds;
+            total.gcd += c.summary.gcd;
+            total.queries += c.summary.queries;
+            total.finals += c.summary.finals;
+        }
+        Ok(())
+    };
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('c') {
+            continue;
+        }
+        if trimmed.starts_with("p posr-proof") {
+            if trimmed != "p posr-proof 1" {
+                return Err(err(line, format!("unsupported format `{trimmed}`")));
+            }
+            finish(checker.take())?;
+            checker = Some(Checker::default());
+            continue;
+        }
+        let Some(c) = checker.as_mut() else {
+            return Err(err(
+                line,
+                "step before the `p posr-proof 1` header".to_string(),
+            ));
+        };
+        let step = parse_step(trimmed, line)?;
+        c.apply(step, line)?;
+    }
+    match checker {
+        None => {
+            return Err(CheckError {
+                line: 0,
+                message: "no `p posr-proof 1` document found".to_string(),
+            })
+        }
+        some => finish(some)?,
+    }
+    if total.finals == 0 {
+        return Err(CheckError {
+            line: 0,
+            message: "document contains no verified `final` (Unsat) step".to_string(),
+        });
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(body: &str) -> String {
+        format!("p posr-proof 1\n{body}")
+    }
+
+    #[test]
+    fn accepts_a_minimal_resolution_proof() {
+        // x ∧ ¬x: root units conflict at the root level
+        let text = doc("root 1 1 0\nroot 2 -1 0\nquery\nfinal 0\n");
+        let summary = check_document(&text).expect("valid");
+        assert_eq!(summary.roots, 2);
+        assert_eq!(summary.finals, 1);
+    }
+
+    #[test]
+    fn accepts_a_rup_derivation() {
+        // (a ∨ b) ∧ (¬a ∨ b) ⊢ b by RUP on both clauses
+        let text =
+            doc("root 1 1 2 0\nroot 2 -1 2 0\nderive 3 2 0 1 2 0\nroot 4 -2 0\nquery\nfinal 0\n");
+        check_document(&text).expect("valid");
+    }
+
+    #[test]
+    fn rejects_a_dropped_antecedent() {
+        let text =
+            doc("root 1 1 2 0\nroot 2 -1 2 0\nderive 3 2 0 1 0\nroot 4 -2 0\nquery\nfinal 0\n");
+        let e = check_document(&text).expect_err("hint chain is short");
+        assert!(e.message.contains("conflict") || e.message.contains("unit"));
+    }
+
+    #[test]
+    fn verifies_a_farkas_lemma() {
+        // atom 0: x ≤ 0, atom 1: x ≥ 1 (i.e. 1−x ≤ 0 asserted by ¬1).
+        // Lemma ¬0 ∨ ¬1 … wait: clause {−1, −2} in codes means ¬b0 ∨ ¬b1;
+        // its negation asserts b0 (x ≤ 0) and b1 (1−x ≤ 0): infeasible
+        // with λ = (1, 1).
+        let text = doc(concat!(
+            "atom 0 0 0:1\n",  // b0 ⟺ x ≤ 0
+            "atom 1 1 0:-1\n", // b1 ⟺ 1 − x ≤ 0  (x ≥ 1)
+            "lemma 1 farkas -1 -2 0 1/1 1/1\n",
+            "root 2 1 0\n",
+            "root 3 2 0\n",
+            "query\nfinal 0\n",
+        ));
+        let summary = check_document(&text).expect("valid");
+        assert_eq!(summary.farkas, 1);
+    }
+
+    #[test]
+    fn rejects_a_perturbed_farkas_coefficient() {
+        let text = doc(concat!(
+            "atom 0 0 0:1\n",
+            "atom 1 1 0:-1\n",
+            "lemma 1 farkas -1 -2 0 1/1 2/1\n",
+            "root 2 1 0\n",
+            "root 3 2 0\n",
+            "query\nfinal 0\n",
+        ));
+        let e = check_document(&text).expect_err("wrong multiplier");
+        assert!(e.message.contains("farkas"));
+    }
+
+    #[test]
+    fn verifies_a_bounds_lemma() {
+        // b0 ⟺ x − 5 ≤ 0, b1 ⟺ 6 − x ≤ 0: x ≤ 5 ∧ x ≥ 6 conflicts
+        let text = doc(concat!(
+            "atom 0 -5 0:1\n",
+            "atom 1 6 0:-1\n",
+            "lemma 1 bounds -1 -2 0\n",
+            "root 2 1 0\nroot 3 2 0\nquery\nfinal 0\n",
+        ));
+        let summary = check_document(&text).expect("valid");
+        assert_eq!(summary.bounds, 1);
+    }
+
+    #[test]
+    fn rejects_a_bounds_lemma_that_only_tightens() {
+        // b0 ⟺ x ≤ 0: the negated clause asserts a satisfiable bound —
+        // propagation tightens an interval but never conflicts, so the
+        // claimed refutation is a forgery and must be rejected
+        let text = doc(concat!(
+            "atom 0 0 0:1\n",
+            "lemma 1 bounds -1 0\n",
+            "root 2 1 0\nquery\nfinal 0\n",
+        ));
+        let e = check_document(&text).expect_err("no conflict to certify");
+        assert!(e.message.contains("bounds"));
+    }
+
+    #[test]
+    fn verifies_a_bounds_chain_needing_multiple_rounds() {
+        // c ≤ 2, c ≥ b+1, b ≥ a+1, a ≥ 1 in reverse dependency order:
+        // each round unlocks the next tightening, conflicting only after
+        // the chain has propagated end to end
+        let text = doc(concat!(
+            "atom 0 -2 2:1\n",
+            "atom 1 1 1:1 2:-1\n",
+            "atom 2 1 0:1 1:-1\n",
+            "atom 3 1 0:-1\n",
+            "lemma 1 bounds -1 -2 -3 -4 0\n",
+            "root 2 1 0\nroot 3 2 0\nroot 4 3 0\nroot 5 4 0\nquery\nfinal 0\n",
+        ));
+        let summary = check_document(&text).expect("valid chain");
+        assert_eq!(summary.bounds, 1);
+    }
+
+    #[test]
+    fn verifies_a_gcd_lemma() {
+        // 2x − 2y = 1 as complementary halves: b0 ⟺ 2x−2y−1 ≤ 0,
+        // b1 ⟺ 1+2y−2x ≤ 0; gcd(2,2) = 2 does not divide 1
+        let text = doc(concat!(
+            "atom 0 -1 0:2 1:-2\n",
+            "atom 1 1 0:-2 1:2\n",
+            "lemma 1 gcd -1 -2 0\n",
+            "root 2 1 0\nroot 3 2 0\nquery\nfinal 0\n",
+        ));
+        let summary = check_document(&text).expect("valid");
+        assert_eq!(summary.gcd, 1);
+    }
+
+    #[test]
+    fn rejects_a_gcd_lemma_missing_a_literal() {
+        // only one half of the equation: satisfiable, no refutation
+        let text = doc(concat!(
+            "atom 0 -1 0:2 1:-2\n",
+            "atom 1 1 0:-2 1:2\n",
+            "lemma 1 gcd -1 0\n",
+            "root 2 1 0\nroot 3 2 0\nquery\nfinal 0\n",
+        ));
+        let e = check_document(&text).expect_err("not refutable");
+        assert!(e.message.contains("gcd"));
+    }
+
+    #[test]
+    fn rejects_incomplete_documents() {
+        let text = doc("root 1 1 0\nroot 2 -1 0\nquery\nfinal 0\nincomplete something gave up\n");
+        let e = check_document(&text).expect_err("incomplete");
+        assert!(e.message.contains("incomplete"));
+    }
+
+    #[test]
+    fn rejects_final_over_an_open_database() {
+        let text = doc("root 1 1 0\nquery\nfinal 0\n");
+        check_document(&text).expect_err("no conflict");
+    }
+
+    #[test]
+    fn final_accepts_assumption_cores() {
+        // clause {−1}: the core of assuming literal 1
+        let text =
+            doc("root 1 -1 2 0\nroot 2 -2 0\nderive 3 -1 0 1 2 0\nquery\nassume 1\nfinal 3\n");
+        check_document(&text).expect("valid core");
+    }
+
+    #[test]
+    fn rejects_final_without_matching_assumption() {
+        let text = doc("root 1 -1 2 0\nroot 2 -2 0\nderive 3 -1 0 1 2 0\nquery\nfinal 3\n");
+        check_document(&text).expect_err("literal not refuted");
+    }
+
+    #[test]
+    fn division_rounds_toward_the_right_infinity() {
+        assert_eq!(div_floor(7, 2), 3);
+        assert_eq!(div_floor(-7, 2), -4);
+        assert_eq!(div_ceil(7, 2), 4);
+        assert_eq!(div_ceil(-7, 2), -3);
+        assert_eq!(div_floor(7, -2), -4);
+        assert_eq!(div_ceil(7, -2), -3);
+    }
+}

@@ -52,6 +52,12 @@ impl PositionOutcome {
     }
 }
 
+/// A shared collector of serialized `posr-proof` documents: every LIA-level
+/// Unsat discharged with proof logging on appends its certificate here.
+/// `Arc`-shared because the position procedure runs per monadic case and
+/// the caller wants all documents of one query in one place.
+pub type ProofSink = std::sync::Arc<std::sync::Mutex<Vec<String>>>;
+
 /// Resource limits of the position procedure.
 #[derive(Clone, Debug)]
 pub struct PositionOptions {
@@ -61,6 +67,10 @@ pub struct PositionOptions {
     pub max_cegar_rounds: usize,
     /// Configuration of the underlying LIA solver.
     pub lia: SolverConfig,
+    /// When set, the CEGAR loop turns on LIA proof logging (incremental
+    /// backend only) and pushes the serialized proof of every certified
+    /// Unsat into the sink — the engine behind SMT-LIB `(get-proof)`.
+    pub proof_sink: Option<ProofSink>,
     /// Drive the CEGAR loop through one persistent incremental LIA
     /// session (connectivity cuts and blocking clauses asserted as
     /// increments, learned clauses retained across rounds).  `false`
@@ -80,6 +90,7 @@ impl Default for PositionOptions {
             max_connectivity_cuts: 64,
             max_cegar_rounds: 64,
             lia: SolverConfig::default(),
+            proof_sink: None,
             incremental_cegar: true,
             deadline: None,
             cancel: CancelToken::none(),
@@ -452,6 +463,16 @@ impl CegarBackend {
             }
         }
     }
+
+    /// The serialized proof log, when the backend kept one and the engine
+    /// certified every step (incomplete logs are withheld — the replayer
+    /// rejects them by design, so there is no point handing them out).
+    fn proof(&self) -> Option<String> {
+        match self {
+            CegarBackend::Incremental(session) if session.proof_is_complete() => session.proof(),
+            _ => None,
+        }
+    }
 }
 
 /// The main solve loop: lazy connectivity cuts plus the `¬contains`
@@ -472,6 +493,11 @@ fn solve_with_cegar(
     // the LIA search must observe the same flag/deadline the position loop polls
     let mut lia_config = options.lia.clone();
     lia_config.cancel = token.clone();
+    // proofs come from the persistent session's log (the Scratch ablation
+    // backend has no proof surface; it exists for timing comparisons only)
+    if options.proof_sink.is_some() && options.incremental_cegar {
+        lia_config.proof_logging = true;
+    }
     let mut backend = if options.incremental_cegar {
         let mut session = IncrementalSolver::with_config(lia_config);
         session.assert_formula(&base_formula);
@@ -494,6 +520,9 @@ fn solve_with_cegar(
                     return PositionOutcome::Unknown(
                         "¬contains over non-flat languages: candidates exhausted".to_string(),
                     );
+                }
+                if let (Some(sink), Some(proof)) = (&options.proof_sink, backend.proof()) {
+                    sink.lock().expect("proof sink poisoned").push(proof);
                 }
                 return PositionOutcome::Unsat;
             }

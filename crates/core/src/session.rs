@@ -19,7 +19,13 @@
 //! from SMT-LIB command-stream text.
 
 use crate::ast::{StringAtom, StringFormula};
+use crate::position::ProofSink;
 use crate::solver::{Answer, SolverOptions, StringModel, StringSolver};
+
+/// The most named assertions the deletion-minimising core extractor will
+/// re-solve for; beyond it, `get-unsat-core` falls back to the full set of
+/// names (still a correct core, just not a minimised one).
+const CORE_MINIMIZE_CAP: usize = 24;
 
 /// A stack-shaped incremental session over string assertions.
 #[derive(Clone, Debug, Default)]
@@ -27,11 +33,25 @@ pub struct SolverSession {
     options: SolverOptions,
     /// All live assertions, in assertion order.
     atoms: Vec<StringAtom>,
+    /// `names[i]` is the `(! … :named n)` label of `atoms[i]`, when given.
+    /// Unnamed assertions never appear in cores but always stay asserted
+    /// during core extraction, matching SMT-LIB semantics.
+    names: Vec<Option<String>>,
     /// Stack marks: `frames[i]` is the length of `atoms` when frame `i`
     /// was opened.
     frames: Vec<usize>,
     /// The model of the most recent satisfiable check.
     last_model: Option<StringModel>,
+    /// `(set-option :produce-unsat-cores true)`.
+    produce_unsat_cores: bool,
+    /// `(set-option :produce-proofs true)`.
+    produce_proofs: bool,
+    /// The core of the most recent Unsat check (names only).
+    last_core: Option<Vec<String>>,
+    /// Serialized LIA proof documents of the most recent Unsat check:
+    /// `Some` (possibly empty) only when that check answered `Unsat` with
+    /// proof production on.
+    last_proofs: Option<Vec<String>>,
 }
 
 impl SolverSession {
@@ -49,14 +69,34 @@ impl SolverSession {
         }
     }
 
+    /// Enables `(get-unsat-core)` for subsequent checks.
+    pub fn set_produce_unsat_cores(&mut self, on: bool) {
+        self.produce_unsat_cores = on;
+    }
+
+    /// Enables `(get-proof)` for subsequent checks.
+    pub fn set_produce_proofs(&mut self, on: bool) {
+        self.produce_proofs = on;
+    }
+
     /// Conjoins an assertion at the current stack level.
     pub fn assert(&mut self, atom: StringAtom) {
         self.atoms.push(atom);
+        self.names.push(None);
+    }
+
+    /// Conjoins a named assertion (`(assert (! … :named n))`); the name is
+    /// what `(get-unsat-core)` reports.
+    pub fn assert_named(&mut self, atom: StringAtom, name: Option<String>) {
+        self.atoms.push(atom);
+        self.names.push(name);
     }
 
     /// Conjoins several assertions at the current stack level.
     pub fn assert_all<I: IntoIterator<Item = StringAtom>>(&mut self, atoms: I) {
-        self.atoms.extend(atoms);
+        for atom in atoms {
+            self.assert(atom);
+        }
     }
 
     /// Opens `n` assertion frames.
@@ -75,6 +115,7 @@ impl SolverSession {
         for _ in 0..n {
             let mark = self.frames.pop().expect("checked above");
             self.atoms.truncate(mark);
+            self.names.truncate(mark);
         }
         true
     }
@@ -92,13 +133,78 @@ impl SolverSession {
     }
 
     /// Decides the conjunction of the live assertions.  The model of a
-    /// `Sat` answer is remembered for [`SolverSession::last_model`].
+    /// `Sat` answer is remembered for [`SolverSession::last_model`]; an
+    /// `Unsat` answer additionally computes the unsat core and collects
+    /// the LIA proof documents when the respective options are on.
     pub fn check_sat(&mut self) -> Answer {
-        let answer = StringSolver::with_options(self.options.clone()).solve(&self.assertions());
-        if let Answer::Sat(model) = &answer {
-            self.last_model = Some(model.clone());
+        self.last_core = None;
+        self.last_proofs = None;
+        let mut options = self.options.clone();
+        let sink: Option<ProofSink> = self.produce_proofs.then(ProofSink::default);
+        options.position.proof_sink = sink.clone();
+        let answer = StringSolver::with_options(options).solve(&self.assertions());
+        match &answer {
+            Answer::Sat(model) => self.last_model = Some(model.clone()),
+            Answer::Unsat => {
+                if let Some(sink) = sink {
+                    self.last_proofs = Some(sink.lock().expect("proof sink poisoned").clone());
+                }
+                if self.produce_unsat_cores {
+                    self.last_core = Some(self.extract_core());
+                }
+            }
+            Answer::Unknown(_) => {}
         }
         answer
+    }
+
+    /// Deletion-based core extraction over the *named* assertions: drop
+    /// one name at a time, re-solve with the rest (plus every unnamed
+    /// assertion), and keep the drop whenever the answer stays `Unsat`.
+    /// `Unknown` answers conservatively keep the name in the core.
+    fn extract_core(&self) -> Vec<String> {
+        let solver = StringSolver::with_options(self.options.clone());
+        let named: Vec<usize> = (0..self.atoms.len())
+            .filter(|&i| self.names[i].is_some())
+            .collect();
+        let mut kept: Vec<usize> = named.clone();
+        if named.len() <= CORE_MINIMIZE_CAP {
+            for &candidate in &named {
+                let without: Vec<usize> =
+                    kept.iter().copied().filter(|&i| i != candidate).collect();
+                let formula = StringFormula {
+                    atoms: (0..self.atoms.len())
+                        .filter(|&i| self.names[i].is_none() || without.contains(&i))
+                        .map(|i| self.atoms[i].clone())
+                        .collect(),
+                };
+                if solver.solve(&formula).is_unsat() {
+                    kept = without;
+                }
+            }
+        }
+        kept.iter()
+            .map(|&i| self.names[i].clone().expect("named indices only"))
+            .collect()
+    }
+
+    /// The unsat core of the most recent `Unsat` check: the names of a
+    /// subset of the named assertions that (together with every unnamed
+    /// assertion) is still unsatisfiable.  `None` unless the previous
+    /// check answered `Unsat` with core production enabled.
+    pub fn last_unsat_core(&self) -> Option<&[String]> {
+        self.last_core.as_deref()
+    }
+
+    /// The serialized LIA proof documents of the most recent `Unsat`
+    /// check (one `posr-proof` document per monadic case refuted by the
+    /// CDCL(T) engine; `Some` but empty when every case was refuted by
+    /// the automata or syntactic layers, which do not go through LIA;
+    /// `None` unless the previous check answered `Unsat` with proof
+    /// production on).  Replayable with the independent `posr-check`
+    /// verifier.
+    pub fn last_proofs(&self) -> Option<&[String]> {
+        self.last_proofs.as_deref()
     }
 
     /// The model of the most recent satisfiable check, if any.

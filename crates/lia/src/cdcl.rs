@@ -76,8 +76,11 @@ use crate::cnf::{constraint_of_meaning, split_meaning, Clausifier, Lit};
 use crate::explain;
 use crate::formula::Formula;
 use crate::intfeas::{solve_integer_with_pivots, IntFeasResult};
+use crate::proof::{farkas_coefficients, CertKind, ProofBuilder};
 use crate::rational::Rat;
-use crate::simplex::{IncrementalSimplex, PreparedBound, SimplexConstraint};
+use crate::simplex::{
+    check_feasibility, IncrementalSimplex, PreparedBound, Rel, SimplexConstraint,
+};
 use crate::solver::{Model, SolverConfig, SolverResult};
 use crate::term::{LinExpr, Var};
 
@@ -189,16 +192,38 @@ pub fn global_stats() -> SolverStats {
 
 /// Decides a quantifier-free NNF formula with the CDCL(T) engine.
 pub fn solve_cdcl(nnf: &Formula, config: &SolverConfig) -> SolverResult {
+    solve_cdcl_with_proof(nnf, config).0
+}
+
+/// [`solve_cdcl`] variant that also returns the serialized proof document
+/// when `SolverConfig::proof_logging` is on.  The document is meaningful
+/// for `Unsat` answers (it ends in a `final` step an independent replayer
+/// can verify); for other answers it is just the log so far.
+pub fn solve_cdcl_with_proof(
+    nnf: &Formula,
+    config: &SolverConfig,
+) -> (SolverResult, Option<String>) {
     let cnf = Clausifier::clausify(nnf);
     if cnf.unsat {
-        return SolverResult::Unsat;
+        // the clausifier itself refuted the input (e.g. a false constant
+        // constraint): the proof is one empty root clause
+        let doc = config.proof_logging.then(|| {
+            let mut p = ProofBuilder::new();
+            p.root(Vec::new());
+            p.query();
+            p.finish(0);
+            p.serialize()
+        });
+        return (SolverResult::Unsat, doc);
     }
     let mut engine = Engine::empty(config.clone());
     engine.grow_theory(&cnf.theory);
     for lits in cnf.clauses {
         engine.add_root_clause(lits);
     }
-    engine.solve(&[])
+    let result = engine.solve(&[]);
+    let doc = engine.proof().map(|p| p.serialize());
+    (result, doc)
 }
 
 struct Clause {
@@ -208,6 +233,10 @@ struct Clause {
     learnt: bool,
     /// Literal-block distance at learning time (0 for original clauses).
     lbd: u32,
+    /// Stable id of this clause in the proof log (0 when logging is off).
+    /// Strengthening keeps the id: the removed literals are root-false, so
+    /// a replayer using the logged (longer) clause reaches the same units.
+    proof_id: u64,
 }
 
 /// Everything the theory layer must restore on backjump, snapshotted per
@@ -356,11 +385,21 @@ pub(crate) struct Engine {
     simplex_time: std::time::Duration,
     explain_time: std::time::Duration,
     trace: bool,
+    /// The proof log (`SolverConfig::proof_logging`); `None` = logging off.
+    proof: Option<ProofBuilder>,
+    /// Proof id to name in the `final` step of an Unsat answer: the derived
+    /// empty clause or the assumption-core clause (0 = the root-level
+    /// conflict a replayer finds by propagation alone).
+    last_final_id: u64,
+    /// After an Unsat answer: the subset of the `solve` call's assumptions
+    /// refuted by the database (empty when the database itself is unsat).
+    last_core: Option<Vec<Lit>>,
 }
 
 enum Step {
-    /// A conflicting set of currently-false literals.
-    Conflict(Vec<Lit>),
+    /// A conflicting set of currently-false literals, paired with the
+    /// proof id of the clause/lemma stating it (0 when logging is off).
+    Conflict(Vec<Lit>, u64),
     Ok,
 }
 
@@ -368,6 +407,7 @@ impl Engine {
     /// An engine over an empty clause database.
     pub(crate) fn empty(config: SolverConfig) -> Engine {
         let max_learnts = config.learnt_cap.max(1);
+        let proof = config.proof_logging.then(ProofBuilder::new);
         Engine {
             config,
             clauses: Vec::new(),
@@ -411,6 +451,37 @@ impl Engine {
             simplex_time: std::time::Duration::ZERO,
             explain_time: std::time::Duration::ZERO,
             trace: std::env::var_os("POSR_CDCL_STATS").is_some(),
+            proof,
+            last_final_id: 0,
+            last_core: None,
+        }
+    }
+
+    /// The proof log, when `SolverConfig::proof_logging` is on.
+    pub(crate) fn proof(&self) -> Option<&ProofBuilder> {
+        self.proof.as_ref()
+    }
+
+    /// The unsat core of the last `solve` call: the subset of its
+    /// assumptions refuted by the database (empty when the database is
+    /// unsatisfiable regardless of assumptions).  `None` unless the last
+    /// call answered `Unsat`.
+    pub(crate) fn last_core(&self) -> Option<&[Lit]> {
+        self.last_core.as_deref()
+    }
+
+    /// Logs a theory lemma; returns its proof id (0 when logging is off).
+    fn log_lemma(&mut self, lits: &[Lit], kind: CertKind) -> u64 {
+        match &mut self.proof {
+            Some(p) => p.lemma(lits.to_vec(), kind),
+            None => 0,
+        }
+    }
+
+    /// Marks the proof incomplete (no-op when logging is off).
+    fn proof_incomplete(&mut self, reason: &str) {
+        if let Some(p) = &mut self.proof {
+            p.mark_incomplete(reason);
         }
     }
 
@@ -446,6 +517,11 @@ impl Engine {
                     self.atom_table.register(var, meaning);
                 }
             }
+            if let Some(p) = &mut self.proof {
+                if let Some(meaning) = meaning {
+                    p.atom(var, meaning);
+                }
+            }
             self.lit_constraint.push(pos);
             self.lit_constraint.push(neg);
             self.watches.push(Vec::new());
@@ -477,6 +553,13 @@ impl Engine {
                 return; // l ∨ ¬l: tautology
             }
         }
+        // every non-tautological input clause is logged as stated, before
+        // the root-trail simplifications: the proof's axioms must match
+        // the clauses the caller asserted, not their strengthened forms
+        let pid = match &mut self.proof {
+            Some(p) => p.root(lits.clone()),
+            None => 0,
+        };
         // at level 0 every assignment is permanent, so satisfied clauses
         // are dropped and false literals removed (both sound)
         if lits.iter().any(|&l| self.value(l) == 1) {
@@ -484,10 +567,14 @@ impl Engine {
         }
         lits.retain(|&l| self.value(l) == 0);
         match lits.len() {
-            0 => self.root_unsat = true,
+            0 => {
+                self.root_unsat = true;
+                self.last_final_id = 0;
+            }
             1 => {
                 if !self.enqueue_root(lits[0]) {
                     self.root_unsat = true;
+                    self.last_final_id = 0;
                 }
             }
             _ => {
@@ -495,6 +582,7 @@ impl Engine {
                     lits,
                     learnt: false,
                     lbd: 0,
+                    proof_id: pid,
                 });
             }
         }
@@ -644,9 +732,10 @@ impl Engine {
                 // no replacement: unit or conflict
                 if self.value(first) == -1 {
                     let conflict = self.clauses[ci].lits.clone();
+                    let pid = self.clauses[ci].proof_id;
                     self.watches[np.code()] = ws;
                     self.qhead = self.trail.len();
-                    return Step::Conflict(conflict);
+                    return Step::Conflict(conflict, pid);
                 }
                 self.stats.propagations += 1;
                 self.enqueue(first, ws[i]);
@@ -688,8 +777,13 @@ impl Engine {
         self.bound_time += t0.elapsed();
         if outcome == BoundOutcome::Refuted {
             let t0 = std::time::Instant::now();
-            let core = explain::bound_conflict_core(&self.theory_stack)
-                .unwrap_or_else(|| (0..self.theory_stack.len()).collect());
+            let core = match explain::bound_conflict_core(&self.theory_stack) {
+                Some(core) => core,
+                None => {
+                    self.proof_incomplete("bound conflict without a tracked core");
+                    (0..self.theory_stack.len()).collect()
+                }
+            };
             let core = if core.len() <= MINIMIZE_CAP {
                 // the *checker* need not track provenance — it only has to
                 // prove subsets infeasible — so the cheap untracked
@@ -704,7 +798,9 @@ impl Engine {
                 core
             };
             self.explain_time += t0.elapsed();
-            return Step::Conflict(self.core_to_conflict(&core));
+            let conflict = self.core_to_conflict(&core);
+            let pid = self.log_lemma(&conflict, CertKind::Bounds);
+            return Step::Conflict(conflict, pid);
         }
         let pinned = self.cur_env.pinned_count();
         let run_gcd =
@@ -791,6 +887,13 @@ impl Engine {
             self.stats.theory_props += 1;
             self.tprop_mark[lit.var()] = self.theory_stack.len();
             self.enqueue(lit, TPROP_REASON);
+            // a level-0 theory propagation extends the *root* trail, which
+            // a replayer cannot reproduce from clauses alone — materialise
+            // its explanation eagerly as a bound lemma
+            if self.proof.is_some() && self.decision_level() == 0 {
+                let lemma = self.explain_tprop(lit);
+                self.log_lemma(&lemma, CertKind::Bounds);
+            }
         }
     }
 
@@ -820,6 +923,7 @@ impl Engine {
                 }
             }
             None => {
+                self.proof_incomplete("theory propagation without a reproducible core");
                 for i in 0..mark {
                     lits.push(self.theory_lits[i].negate());
                 }
@@ -854,33 +958,26 @@ impl Engine {
         let fixed_tracked = explain::fixed_reasons(&self.theory_stack);
         // the minimisation checker only has to *prove* subsets infeasible,
         // so it runs the untracked propagation (no provenance bookkeeping)
-        let infeasible_with_fixed = |cs: &[SimplexConstraint]| {
-            let (env, outcome) = BoundEnv::from_constraints(cs);
-            if outcome == BoundOutcome::Refuted {
-                return true;
-            }
-            let fixed: crate::eqelim::FixedVars = env
-                .fixed()
-                .into_iter()
-                .map(|(v, k)| (v, (k, Default::default())))
-                .collect();
-            crate::eqelim::conflict_core_fixed(cs, &fixed).is_some()
-        };
         let core = match crate::eqelim::conflict_core_fixed(&self.theory_stack, &fixed_tracked) {
             Some(core) if core.len() <= MINIMIZE_CAP => explain::minimize_core_budgeted(
                 &self.theory_stack,
                 core,
-                &infeasible_with_fixed,
+                &gcd_refutes,
                 MINIMIZE_BUDGET,
             ),
             Some(core) => core,
             // the tracked propagator pins at least the variables the
             // incremental environment pinned, so this is unreachable; fall
             // back to the full stack
-            None => (0..self.theory_stack.len()).collect(),
+            None => {
+                self.proof_incomplete("gcd conflict without a reproducible core");
+                (0..self.theory_stack.len()).collect()
+            }
         };
         self.explain_time += t0.elapsed();
-        Step::Conflict(self.core_to_conflict(&core))
+        let conflict = self.core_to_conflict(&core);
+        let pid = self.log_lemma(&conflict, CertKind::Gcd);
+        Step::Conflict(conflict, pid)
     }
 
     /// Simplex check of the asserted conjunction (run at the leaves); a
@@ -912,11 +1009,11 @@ impl Engine {
                 self.simplex_checked = self.theory_stack.len();
                 Step::Ok
             }
-            Err(core) => Step::Conflict(
-                core.iter()
-                    .map(|&i| self.theory_lits[i as usize].negate())
-                    .collect(),
-            ),
+            Err(core) => {
+                let core: Vec<usize> = core.iter().map(|&i| i as usize).collect();
+                let (conflict, pid) = self.certified_conflict(core);
+                Step::Conflict(conflict, pid)
+            }
         }
     }
 
@@ -967,6 +1064,57 @@ impl Engine {
         core.iter().map(|&i| self.theory_lits[i].negate()).collect()
     }
 
+    /// The conflict clause of a leaf theory core, certified when proof
+    /// logging is on: the core is logged as a theory lemma whose
+    /// certificate kind the independent checker replays — an interval
+    /// refutation, a GCD/elimination refutation, or (after deletion-
+    /// minimising to an irreducible rational core) an exact Farkas
+    /// combination recovered by Gaussian elimination.  With logging off
+    /// this is exactly [`Engine::core_to_conflict`].
+    fn certified_conflict(&mut self, mut core: Vec<usize>) -> (Vec<Lit>, u64) {
+        if self.proof.is_none() {
+            return (self.core_to_conflict(&core), 0);
+        }
+        let cs: Vec<SimplexConstraint> =
+            core.iter().map(|&i| self.theory_stack[i].clone()).collect();
+        let kind = if explain::bound_infeasible(&cs) {
+            CertKind::Bounds
+        } else if gcd_refutes(&cs) {
+            CertKind::Gcd
+        } else if !check_feasibility(&cs).is_feasible() {
+            // an irreducible rationally-infeasible subsystem has Farkas
+            // multipliers that are unique up to scale, so minimise first
+            // and recover them without a tableau
+            let t0 = std::time::Instant::now();
+            if core.len() <= MINIMIZE_CAP {
+                core = explain::minimize_core(&self.theory_stack, core, &|cs| {
+                    !check_feasibility(cs).is_feasible()
+                });
+            }
+            self.explain_time += t0.elapsed();
+            let rows: Vec<crate::term::LinExpr> = core
+                .iter()
+                .map(|&i| le_row(&self.theory_stack[i]))
+                .collect();
+            match farkas_coefficients(&rows) {
+                Some(lambda) => CertKind::Farkas(lambda),
+                None => {
+                    self.proof_incomplete("rational conflict without a Farkas certificate");
+                    CertKind::Bounds
+                }
+            }
+        } else {
+            // integer-infeasible but rationally feasible and not
+            // GCD-refutable: the branch-and-bound refutation has no
+            // replayable certificate (yet)
+            self.proof_incomplete("integer conflict without a replayable certificate");
+            CertKind::Bounds
+        };
+        let conflict = self.core_to_conflict(&core);
+        let pid = self.log_lemma(&conflict, kind);
+        (conflict, pid)
+    }
+
     /// Full assignment: the exact integer check.
     fn final_check(&mut self) -> FinalOutcome {
         self.stats.final_checks += 1;
@@ -984,7 +1132,8 @@ impl Engine {
                 } else {
                     core
                 };
-                FinalOutcome::Conflict(self.core_to_conflict(&core))
+                let (conflict, pid) = self.certified_conflict(core);
+                FinalOutcome::Conflict(conflict, pid)
             }
             IntFeasResult::ResourceOut => FinalOutcome::ResourceOut,
         }
@@ -1003,15 +1152,21 @@ impl Engine {
 
     /// 1UIP conflict analysis.  `conflict` is a set of literals all false
     /// under the current assignment, at least one at the current level.
-    /// Returns the learned clause (asserting literal first) and the
-    /// backjump level.
-    fn analyze(&mut self, conflict: Vec<Lit>) -> (Vec<Lit>, u32) {
+    /// Returns the learned clause (asserting literal first), the backjump
+    /// level, and — with proof logging on — the RUP hint chain: the proof
+    /// ids of the resolved reasons in *forward trail order* followed by
+    /// the conflict clause's id.  In that order each hint clause is unit
+    /// (or conflicting) under the negated learned clause plus the root
+    /// trail, so an independent replayer validates the clause by
+    /// propagation alone.
+    fn analyze(&mut self, conflict: Vec<Lit>, conflict_id: u64) -> (Vec<Lit>, u32, Vec<u64>) {
         let current = self.decision_level();
         let mut learnt: Vec<Lit> = vec![Lit::positive(0)]; // placeholder for the UIP
         let mut counter = 0usize;
         let mut reason_lits: Vec<Lit> = conflict;
         let mut skip: Option<Lit> = None;
         let mut index = self.trail.len();
+        let mut hint_steps: Vec<(usize, u64)> = Vec::new();
         loop {
             for &q in &reason_lits {
                 if Some(q) == skip {
@@ -1047,8 +1202,16 @@ impl Engine {
             reason_lits = if r == TPROP_REASON {
                 // lazy theory explanation, materialised only now that the
                 // propagated literal is actually resolved on
-                self.explain_tprop(p)
+                let lemma = self.explain_tprop(p);
+                if self.proof.is_some() {
+                    let id = self.log_lemma(&lemma, CertKind::Bounds);
+                    hint_steps.push((index, id));
+                }
+                lemma
             } else {
+                if self.proof.is_some() {
+                    hint_steps.push((index, self.clauses[r as usize].proof_id));
+                }
                 self.clauses[r as usize].lits.clone()
             };
             skip = Some(p);
@@ -1066,7 +1229,15 @@ impl Engine {
         for &l in &learnt {
             self.seen[l.var()] = false;
         }
-        (learnt, backjump)
+        let hints = if self.proof.is_some() {
+            hint_steps.sort_unstable_by_key(|&(i, _)| i);
+            let mut hints: Vec<u64> = hint_steps.into_iter().map(|(_, id)| id).collect();
+            hints.push(conflict_id);
+            hints
+        } else {
+            Vec::new()
+        };
+        (learnt, backjump, hints)
     }
 
     /// Literal-block distance of a learned clause: the number of distinct
@@ -1080,7 +1251,7 @@ impl Engine {
 
     /// Learns from a conflict: analyse, backjump, assert.  `false` when the
     /// conflict is at the root level (search exhausted).
-    fn resolve_conflict(&mut self, conflict: Vec<Lit>) -> bool {
+    fn resolve_conflict(&mut self, conflict: Vec<Lit>, conflict_id: u64) -> bool {
         self.stats.conflicts += 1;
         // theory conflicts may live entirely below the current level:
         // backtrack to the newest involved level first
@@ -1091,10 +1262,20 @@ impl Engine {
             .unwrap_or(0);
         self.cancel_until(max_level);
         if self.decision_level() == 0 {
+            // the conflict clause is false on the root trail, so the empty
+            // clause follows by propagation alone: one hint suffices
+            if let Some(p) = &mut self.proof {
+                let id = p.derived(Vec::new(), vec![conflict_id]);
+                self.last_final_id = id;
+            }
             return false;
         }
-        let (learnt, backjump) = self.analyze(conflict);
+        let (learnt, backjump, hints) = self.analyze(conflict, conflict_id);
         self.cancel_until(backjump);
+        let pid = match &mut self.proof {
+            Some(p) => p.derived(learnt.clone(), hints),
+            None => 0,
+        };
         let asserting = learnt[0];
         let reason = if learnt.len() >= 2 {
             self.stats.learned_total += 1;
@@ -1103,6 +1284,7 @@ impl Engine {
                 lits: learnt,
                 learnt: true,
                 lbd,
+                proof_id: pid,
             })
         } else {
             NO_REASON
@@ -1110,6 +1292,66 @@ impl Engine {
         self.enqueue(asserting, reason);
         self.var_inc /= 0.95;
         true
+    }
+
+    /// Final conflict analysis at a failed assumption (MiniSat's
+    /// `analyzeFinal`): `failed` is the pending assumption the current
+    /// trail falsifies.  Walks the implication graph back from `¬failed`
+    /// to the subset of *assumptions* it depends on — the unsat core —
+    /// and, with proof logging on, derives the clause of negated core
+    /// assumptions with the same forward-trail-order hint chain as
+    /// [`Engine::analyze`] (here the falsifying reasons close the chain,
+    /// so no separate conflict clause is appended).
+    fn analyze_final(&mut self, failed: Lit) {
+        let mut clause = vec![failed.negate()];
+        let mut core = vec![failed];
+        let mut hint_steps: Vec<(usize, u64)> = Vec::new();
+        if self.level[failed.var()] > 0 {
+            self.seen[failed.var()] = true;
+            let start = self.trail_lim[0];
+            for i in (start..self.trail.len()).rev() {
+                let l = self.trail[i];
+                let v = l.var();
+                if !self.seen[v] {
+                    continue;
+                }
+                self.seen[v] = false;
+                let r = self.reason[v];
+                if r == NO_REASON {
+                    // above root level every reasonless literal is an
+                    // assumption pseudo-decision (search decisions only
+                    // happen once all assumptions are enqueued)
+                    clause.push(l.negate());
+                    core.push(l);
+                    continue;
+                }
+                let reason_lits = if r == TPROP_REASON {
+                    let lemma = self.explain_tprop(l);
+                    if self.proof.is_some() {
+                        let id = self.log_lemma(&lemma, CertKind::Bounds);
+                        hint_steps.push((i, id));
+                    }
+                    lemma
+                } else {
+                    if self.proof.is_some() {
+                        hint_steps.push((i, self.clauses[r as usize].proof_id));
+                    }
+                    self.clauses[r as usize].lits.clone()
+                };
+                for q in reason_lits {
+                    if q.var() != v && self.level[q.var()] > 0 {
+                        self.seen[q.var()] = true;
+                    }
+                }
+            }
+        }
+        self.last_core = Some(core);
+        if let Some(p) = &mut self.proof {
+            hint_steps.sort_unstable_by_key(|&(i, _)| i);
+            let hints: Vec<u64> = hint_steps.into_iter().map(|(_, id)| id).collect();
+            let id = p.derived(clause, hints);
+            self.last_final_id = id;
+        }
     }
 
     /// LBD-ranked learned-clause garbage collection, run at decision level
@@ -1147,17 +1389,31 @@ impl Engine {
         }
         for (i, mut clause) in old.into_iter().enumerate() {
             if drop_mask[i] {
+                if let Some(p) = &mut self.proof {
+                    p.delete(clause.proof_id);
+                }
                 continue;
             }
             if clause.lits.iter().any(|&l| self.value(l) == 1) {
-                continue; // satisfied at the root: permanently true
+                // satisfied at the root: permanently true, and never again
+                // an antecedent of a learned clause
+                if let Some(p) = &mut self.proof {
+                    p.delete(clause.proof_id);
+                }
+                continue;
             }
+            // strengthening keeps the proof id: the removed literals are
+            // root-false, so replaying the logged clause is equivalent
             clause.lits.retain(|&l| self.value(l) == 0);
             match clause.lits.len() {
-                0 => self.root_unsat = true,
+                0 => {
+                    self.root_unsat = true;
+                    self.last_final_id = 0;
+                }
                 1 => {
                     if !self.enqueue_root(clause.lits[0]) {
                         self.root_unsat = true;
+                        self.last_final_id = 0;
                     }
                 }
                 _ => {
@@ -1218,6 +1474,13 @@ impl Engine {
     pub(crate) fn solve(&mut self, assumptions: &[Lit]) -> SolverResult {
         self.saw_resource_out = false;
         self.cancelled = false;
+        self.last_core = None;
+        if let Some(p) = &mut self.proof {
+            p.query();
+            for &a in assumptions {
+                p.assume(a);
+            }
+        }
         if !self.root_unsat {
             // between-solve GC: long incremental sessions accumulate
             // learned clauses even when no single search restarts
@@ -1229,7 +1492,9 @@ impl Engine {
         }
         if self.root_unsat {
             self.flush_global();
-            return self.unsat_result();
+            let result = self.unsat_result();
+            self.finish_query(&result);
+            return result;
         }
         self.assumptions = assumptions.to_vec();
         self.solve_base_conflicts = self.stats.conflicts;
@@ -1237,7 +1502,25 @@ impl Engine {
         self.cancel_until(0);
         self.assumptions.clear();
         self.flush_global();
+        self.finish_query(&result);
         result
+    }
+
+    /// Closes out a query in the proof log: an `Unsat` answer is sealed
+    /// with a `final` step naming the clause that refutes the query (and
+    /// gets an unsat core, empty unless assumptions were refuted); any
+    /// other answer clears the stale core.
+    fn finish_query(&mut self, result: &SolverResult) {
+        if matches!(result, SolverResult::Unsat) {
+            if self.last_core.is_none() {
+                self.last_core = Some(Vec::new());
+            }
+            if let Some(p) = &mut self.proof {
+                p.finish(self.last_final_id);
+            }
+        } else {
+            self.last_core = None;
+        }
     }
 
     fn search(&mut self) -> SolverResult {
@@ -1256,12 +1539,12 @@ impl Engine {
                 return SolverResult::Unknown("resource limit reached".to_string());
             }
             let step = match self.propagate() {
-                Step::Conflict(c) => Step::Conflict(c),
+                Step::Conflict(c, id) => Step::Conflict(c, id),
                 Step::Ok => self.theory_check(),
             };
             match step {
-                Step::Conflict(conflict) => {
-                    if !self.resolve_conflict(conflict) {
+                Step::Conflict(conflict, conflict_id) => {
+                    if !self.resolve_conflict(conflict, conflict_id) {
                         self.root_unsat = true;
                         return self.unsat_result();
                     }
@@ -1278,7 +1561,10 @@ impl Engine {
                     if (self.decision_level() as usize) < self.assumptions.len() {
                         let lit = self.assumptions[self.decision_level() as usize];
                         match self.value(lit) {
-                            -1 => return self.unsat_result(),
+                            -1 => {
+                                self.analyze_final(lit);
+                                return self.unsat_result();
+                            }
                             1 => {
                                 // already implied: push an empty level so
                                 // the remaining assumptions keep their slots
@@ -1294,8 +1580,8 @@ impl Engine {
                     if self.trail.len() == self.assign.len() || self.original_clauses_satisfied() {
                         // full assignment (or all original clauses already
                         // satisfied): exact checks
-                        if let Step::Conflict(c) = self.simplex_check() {
-                            if !self.resolve_conflict(c) {
+                        if let Step::Conflict(c, id) = self.simplex_check() {
+                            if !self.resolve_conflict(c, id) {
                                 self.root_unsat = true;
                                 return self.unsat_result();
                             }
@@ -1303,8 +1589,8 @@ impl Engine {
                         }
                         match self.final_check() {
                             FinalOutcome::Model(model) => return SolverResult::Sat(model),
-                            FinalOutcome::Conflict(c) => {
-                                if !self.resolve_conflict(c) {
+                            FinalOutcome::Conflict(c, id) => {
+                                if !self.resolve_conflict(c, id) {
                                     self.root_unsat = true;
                                     return self.unsat_result();
                                 }
@@ -1326,7 +1612,8 @@ impl Engine {
                                     return self.undecided_unknown();
                                 }
                                 self.tainted = true;
-                                if !self.resolve_conflict(blocking) {
+                                self.proof_incomplete("resource-out blocking clause");
+                                if !self.resolve_conflict(blocking, 0) {
                                     return self.undecided_unknown();
                                 }
                             }
@@ -1406,8 +1693,35 @@ impl Engine {
 
 enum FinalOutcome {
     Model(Model),
-    Conflict(Vec<Lit>),
+    Conflict(Vec<Lit>, u64),
     ResourceOut,
+}
+
+/// `true` when the GCD/elimination refutation applies to `cs` after
+/// substituting its interval-pinned variables — the argument the checker
+/// replays for `Gcd` lemmas (which also accepts a plain interval
+/// refutation, the first arm here).
+fn gcd_refutes(cs: &[SimplexConstraint]) -> bool {
+    let (env, outcome) = BoundEnv::from_constraints(cs);
+    if outcome == BoundOutcome::Refuted {
+        return true;
+    }
+    let fixed: crate::eqelim::FixedVars = env
+        .fixed()
+        .into_iter()
+        .map(|(v, k)| (v, (k, Default::default())))
+        .collect();
+    crate::eqelim::conflict_core_fixed(cs, &fixed).is_some()
+}
+
+/// The `lhs ≤ 0` row of an asserted constraint — the orientation the
+/// Farkas recovery and the independent checker agree on.  `Eq` never
+/// reaches the theory stack (the clausifier splits it into ≤-halves).
+fn le_row(c: &SimplexConstraint) -> crate::term::LinExpr {
+    match c.rel {
+        Rel::Ge => -c.expr.clone(),
+        Rel::Le | Rel::Eq => c.expr.clone(),
+    }
 }
 
 /// The Luby restart sequence `1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 …` (0-based).

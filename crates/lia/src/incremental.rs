@@ -205,6 +205,38 @@ impl IncrementalSolver {
         self.engine.stats()
     }
 
+    /// The unsat core of the last `Unsat` answer: the subset of the
+    /// *caller's* assumption literals the refutation depends on (frame
+    /// selectors are filtered out — a core that is empty even though
+    /// assumptions were passed means the live assertions alone are
+    /// unsatisfiable).  `None` unless the last solve answered `Unsat`.
+    pub fn last_unsat_core(&self) -> Option<Vec<Lit>> {
+        let core = self.engine.last_core()?;
+        let selectors: std::collections::HashSet<BoolVar> = self.frames.iter().copied().collect();
+        Some(
+            core.iter()
+                .copied()
+                .filter(|l| !selectors.contains(&l.var()))
+                .collect(),
+        )
+    }
+
+    /// The proof log serialized in the `posr-proof` text format, when the
+    /// session was created with `SolverConfig::proof_logging` on.  The
+    /// document covers every query of the session; each `Unsat` answer is
+    /// sealed with a `final` step `posr-check` can replay.
+    pub fn proof(&self) -> Option<String> {
+        self.engine.proof().map(|p| p.serialize())
+    }
+
+    /// `false` when the engine took a step it cannot certify (bounded
+    /// explanation fall-backs, resource-out blocking clauses): the dumped
+    /// proof would be rejected by the checker.  `true` when logging is on
+    /// and every step so far is replayable.
+    pub fn proof_is_complete(&self) -> bool {
+        self.engine.proof().is_some_and(|p| p.is_complete())
+    }
+
     /// Pulls the clauses produced by the clausifier since the last sync
     /// into the engine: gate definitions unguarded, assertion clauses
     /// guarded by the current frame's selector.

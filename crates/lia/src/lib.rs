@@ -94,6 +94,7 @@ pub mod explain;
 pub mod formula;
 pub mod incremental;
 pub mod intfeas;
+pub mod proof;
 pub mod rational;
 pub mod simplex;
 pub mod solver;
@@ -104,6 +105,7 @@ pub use cdcl::{global_stats, SolverStats};
 pub use cnf::{Lit, LitOrConst};
 pub use formula::{Atom, Cmp, Formula};
 pub use incremental::IncrementalSolver;
+pub use proof::{CertKind, ProofBuilder, ProofStep};
 pub use rational::Rat;
 pub use solver::{Model, SearchEngine, Solver, SolverConfig, SolverResult};
 pub use term::{LinExpr, Var, VarPool};

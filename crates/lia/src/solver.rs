@@ -142,6 +142,14 @@ pub struct SolverConfig {
     /// ([`crate::intfeas`]) and the structural engine's pre-branch checks
     /// always run their own incremental tableaux.
     pub incremental_simplex: bool,
+    /// Record a replayable proof of every Unsat answer into a
+    /// [`crate::proof::ProofBuilder`]: root clauses, theory lemmas with
+    /// arithmetic certificates, and the RUP hint chain of every learned
+    /// clause.  Off by default — logging costs memory proportional to the
+    /// search and makes conflict explanations slightly more eager (leaf
+    /// cores are minimised so Farkas certificates exist).  The log is
+    /// retrieved through [`crate::incremental::IncrementalSolver::proof`].
+    pub proof_logging: bool,
     /// Limits of the integer feasibility backend.
     pub int_config: IntFeasConfig,
     /// Cooperative cancellation/deadline token, polled at every disjunction
@@ -169,6 +177,7 @@ impl Default for SolverConfig {
             learnt_cap: 8_000,
             theory_propagation: true,
             incremental_simplex: true,
+            proof_logging: false,
             int_config: IntFeasConfig::default(),
             cancel: CancelToken::none(),
         }

@@ -222,8 +222,14 @@ pub enum Command {
         /// Its sort.
         sort: Sort,
     },
-    /// `(assert …)`, already converted into the atom conjunction.
-    Assert(Vec<StringAtom>),
+    /// `(assert …)`, already converted into the atom conjunction; the
+    /// name comes from an `(! … :named n)` annotation, when present.
+    Assert {
+        /// The conjunction the assertion flattens into.
+        atoms: Vec<StringAtom>,
+        /// The `:named` label reported by `(get-unsat-core)`.
+        name: Option<String>,
+    },
     /// `(push n)`.
     Push(usize),
     /// `(pop n)`.
@@ -232,6 +238,10 @@ pub enum Command {
     CheckSat,
     /// `(get-model)`.
     GetModel,
+    /// `(get-unsat-core)`.
+    GetUnsatCore,
+    /// `(get-proof)`.
+    GetProof,
     /// `(exit)`.
     Exit,
 }
@@ -246,6 +256,11 @@ pub struct ParsedCommands {
     pub strategy_hint: Option<String>,
     /// The expected verdict from `(set-info :status …)`, when declared.
     pub expected_status: Option<String>,
+    /// `(set-option :produce-unsat-cores true)` anywhere in the script
+    /// (this subset applies it to the whole run rather than positionally).
+    pub produce_unsat_cores: bool,
+    /// `(set-option :produce-proofs true)` anywhere in the script.
+    pub produce_proofs: bool,
 }
 
 /// Parses a script into its command stream, supporting `(push n)`,
@@ -280,6 +295,8 @@ pub fn parse_commands(input: &str) -> Result<ParsedCommands, ParseError> {
             "set-logic" => {}
             "exit" => script.commands.push(Command::Exit),
             "get-model" => script.commands.push(Command::GetModel),
+            "get-unsat-core" => script.commands.push(Command::GetUnsatCore),
+            "get-proof" => script.commands.push(Command::GetProof),
             "check-sat" => script.commands.push(Command::CheckSat),
             "push" | "pop" => {
                 let n = match items.get(1) {
@@ -323,6 +340,10 @@ pub fn parse_commands(input: &str) -> Result<ParsedCommands, ParseError> {
                     match (key.as_str(), value) {
                         (":posr-strategy", Some(v)) => script.strategy_hint = Some(v),
                         (":status", Some(v)) => script.expected_status = Some(v),
+                        (":produce-unsat-cores", Some(v)) => {
+                            script.produce_unsat_cores = v == "true";
+                        }
+                        (":produce-proofs", Some(v)) => script.produce_proofs = v == "true",
                         _ => {}
                     }
                 }
@@ -367,8 +388,32 @@ pub fn parse_commands(input: &str) -> Result<ParsedCommands, ParseError> {
                         message: "malformed assert".into(),
                     });
                 }
-                let atoms = convert_bool(&items[1], &sorts, false)?;
-                script.commands.push(Command::Assert(atoms));
+                // unwrap an `(! expr :named n)` annotation wrapper
+                let (body, name) = match &items[1] {
+                    Sexp::List(inner) if matches!(inner.first(), Some(Sexp::Atom(h)) if h == "!") =>
+                    {
+                        let mut name = None;
+                        let mut i = 2;
+                        while i + 1 < inner.len() {
+                            if let (Sexp::Atom(key), Sexp::Atom(v)) = (&inner[i], &inner[i + 1]) {
+                                if key == ":named" {
+                                    name = Some(v.clone());
+                                }
+                            }
+                            i += 2;
+                        }
+                        let Some(body) = inner.get(1) else {
+                            return Err(ParseError {
+                                position: 0,
+                                message: "empty (! …) annotation".into(),
+                            });
+                        };
+                        (body, name)
+                    }
+                    other => (other, None),
+                };
+                let atoms = convert_bool(body, &sorts, false)?;
+                script.commands.push(Command::Assert { atoms, name });
             }
             other => {
                 return Err(ParseError {
@@ -400,9 +445,9 @@ pub fn parse_script(input: &str) -> Result<ParsedScript, ParseError> {
                 Sort::String => script.string_vars.push(name),
                 Sort::Int => script.int_vars.push(name),
             },
-            Command::Assert(atoms) => script.formula.atoms.extend(atoms),
+            Command::Assert { atoms, .. } => script.formula.atoms.extend(atoms),
             Command::CheckSat => script.check_sat = true,
-            Command::GetModel | Command::Exit => {}
+            Command::GetModel | Command::GetUnsatCore | Command::GetProof | Command::Exit => {}
             Command::Push(_) | Command::Pop(_) => {
                 return Err(ParseError {
                     position: 0,
@@ -423,6 +468,14 @@ pub enum CommandResponse {
     /// The model printed by `(get-model)` (`None` when no satisfiable
     /// check preceded it).
     Model(Option<StringModel>),
+    /// The named-assertion core printed by `(get-unsat-core)` (`None`
+    /// when the previous check did not answer `unsat` with
+    /// `:produce-unsat-cores` on).
+    UnsatCore(Option<Vec<String>>),
+    /// The `posr-proof` documents printed by `(get-proof)` (`None` when
+    /// the previous check did not answer `unsat` with `:produce-proofs`
+    /// on; empty when the refutation never reached the LIA engine).
+    Proof(Option<Vec<String>>),
 }
 
 /// Everything a script run produced, in command order.
@@ -441,7 +494,7 @@ impl ScriptOutcome {
             .iter()
             .filter_map(|r| match r {
                 CommandResponse::CheckSat(a) => Some(a),
-                CommandResponse::Model(_) => None,
+                _ => None,
             })
             .collect()
     }
@@ -477,6 +530,29 @@ impl ScriptOutcome {
                     }
                     let _ = writeln!(out, ")");
                 }
+                CommandResponse::UnsatCore(None) => {
+                    let _ = writeln!(out, "(error \"no unsat core available\")");
+                }
+                CommandResponse::UnsatCore(Some(core)) => {
+                    let _ = writeln!(out, "({})", core.join(" "));
+                }
+                CommandResponse::Proof(None) => {
+                    let _ = writeln!(out, "(error \"no proof available\")");
+                }
+                CommandResponse::Proof(Some(docs)) => {
+                    for doc in docs {
+                        let _ = write!(out, "{doc}");
+                        if !doc.ends_with('\n') {
+                            let _ = writeln!(out);
+                        }
+                    }
+                    if docs.is_empty() {
+                        let _ = writeln!(
+                            out,
+                            "c unsat established without the LIA engine; no proof document"
+                        );
+                    }
+                }
             }
         }
         out
@@ -504,6 +580,8 @@ pub fn run_script_with_options(
 ) -> Result<ScriptOutcome, ParseError> {
     let parsed = parse_commands(input)?;
     let mut session = SolverSession::with_options(options);
+    session.set_produce_unsat_cores(parsed.produce_unsat_cores);
+    session.set_produce_proofs(parsed.produce_proofs);
     let mut outcome = ScriptOutcome {
         responses: Vec::new(),
         expected_status: parsed.expected_status,
@@ -511,7 +589,13 @@ pub fn run_script_with_options(
     for command in parsed.commands {
         match command {
             Command::Declare { .. } => {}
-            Command::Assert(atoms) => session.assert_all(atoms),
+            Command::Assert { atoms, name } => {
+                // a name on a multi-atom assertion labels the whole
+                // conjunction: every conjunct carries the same name
+                for atom in atoms {
+                    session.assert_named(atom, name.clone());
+                }
+            }
             Command::Push(n) => session.push(n),
             Command::Pop(n) => {
                 if !session.pop(n) {
@@ -532,6 +616,25 @@ pub fn run_script_with_options(
                 outcome
                     .responses
                     .push(CommandResponse::Model(session.last_model().cloned()));
+            }
+            Command::GetUnsatCore => {
+                let core = session.last_unsat_core().map(|names| {
+                    // one name per assertion, even when a conjunction
+                    // flattened into several atoms sharing it
+                    let mut seen = Vec::new();
+                    for name in names {
+                        if !seen.contains(name) {
+                            seen.push(name.clone());
+                        }
+                    }
+                    seen
+                });
+                outcome.responses.push(CommandResponse::UnsatCore(core));
+            }
+            Command::GetProof => {
+                outcome.responses.push(CommandResponse::Proof(
+                    session.last_proofs().map(<[String]>::to_vec),
+                ));
             }
             Command::Exit => break,
         }
@@ -952,11 +1055,13 @@ mod tests {
             .iter()
             .map(|c| match c {
                 Command::Declare { .. } => "declare",
-                Command::Assert(_) => "assert",
+                Command::Assert { .. } => "assert",
                 Command::Push(_) => "push",
                 Command::Pop(_) => "pop",
                 Command::CheckSat => "check",
                 Command::GetModel => "model",
+                Command::GetUnsatCore => "core",
+                Command::GetProof => "proof",
                 Command::Exit => "exit",
             })
             .collect();

@@ -1,0 +1,194 @@
+//! The trusting-answers surface: `(set-option :produce-unsat-cores true)`,
+//! `(! … :named n)`, `(get-unsat-core)` and `(get-proof)` driven from
+//! SMT-LIB script text, with `(get-proof)` output replayed through the
+//! independent `posr-check` verifier.
+
+use posr_smtfmt::{run_script, CommandResponse};
+
+fn core_of(responses: &[CommandResponse]) -> &Vec<String> {
+    responses
+        .iter()
+        .find_map(|r| match r {
+            CommandResponse::UnsatCore(Some(core)) => Some(core),
+            _ => None,
+        })
+        .expect("a (get-unsat-core) response")
+}
+
+#[test]
+fn get_unsat_core_names_a_refutable_subset() {
+    // a1/a2 conflict (x must be "ab" and must not be "ab"); a3 is an
+    // unrelated constraint on y that a minimised core leaves out
+    let outcome = run_script(
+        r#"
+          (set-option :produce-unsat-cores true)
+          (declare-const x String)
+          (declare-const y String)
+          (assert (! (str.in_re x (str.to_re "ab")) :named a1))
+          (assert (! (not (= x "ab")) :named a2))
+          (assert (! (str.in_re y (re.* (str.to_re "cd"))) :named a3))
+          (check-sat)
+          (get-unsat-core)
+        "#,
+    )
+    .unwrap();
+    assert_eq!(outcome.statuses(), ["unsat"]);
+    let core = core_of(&outcome.responses);
+    assert!(core.contains(&"a1".to_string()) && core.contains(&"a2".to_string()));
+    assert!(
+        !core.contains(&"a3".to_string()),
+        "a3 is irrelevant: {core:?}"
+    );
+    assert!(outcome.render().contains("a1 a2"));
+
+    // acceptance check: the reported core, re-solved alone, is still unsat
+    let replay = run_script(
+        r#"
+          (declare-const x String)
+          (assert (str.in_re x (str.to_re "ab")))
+          (assert (not (= x "ab")))
+          (check-sat)
+        "#,
+    )
+    .unwrap();
+    assert_eq!(replay.statuses(), ["unsat"]);
+}
+
+#[test]
+fn get_unsat_core_before_any_unsat_reports_error() {
+    let outcome = run_script(
+        r#"
+          (set-option :produce-unsat-cores true)
+          (declare-const x String)
+          (assert (! (str.in_re x (str.to_re "ab")) :named a1))
+          (check-sat)
+          (get-unsat-core)
+        "#,
+    )
+    .unwrap();
+    assert_eq!(outcome.statuses(), ["sat"]);
+    assert!(matches!(
+        outcome.responses[1],
+        CommandResponse::UnsatCore(None)
+    ));
+    assert!(outcome.render().contains("no unsat core available"));
+}
+
+#[test]
+fn core_production_off_reports_error() {
+    let outcome = run_script(
+        r#"
+          (declare-const x String)
+          (assert (! (str.in_re x (str.to_re "ab")) :named a1))
+          (assert (! (not (= x "ab")) :named a2))
+          (check-sat)
+          (get-unsat-core)
+        "#,
+    )
+    .unwrap();
+    assert_eq!(outcome.statuses(), ["unsat"]);
+    assert!(matches!(
+        outcome.responses[1],
+        CommandResponse::UnsatCore(None)
+    ));
+}
+
+#[test]
+fn get_proof_documents_replay_through_posr_check() {
+    // the paper's flagship unsat family: two (ab)* words of equal length
+    // are necessarily equal — refuting it drives the CDCL(T) engine
+    // through its divisibility reasoning, so a real proof document with
+    // theory lemmas comes back
+    let outcome = run_script(
+        r#"
+          (set-option :produce-proofs true)
+          (declare-const x String)
+          (declare-const y String)
+          (assert (str.in_re x (re.* (str.to_re "ab"))))
+          (assert (str.in_re y (re.* (str.to_re "ab"))))
+          (assert (not (= x y)))
+          (assert (= (str.len x) (str.len y)))
+          (check-sat)
+          (get-proof)
+        "#,
+    )
+    .unwrap();
+    assert_eq!(outcome.statuses(), ["unsat"]);
+    let docs = outcome
+        .responses
+        .iter()
+        .find_map(|r| match r {
+            CommandResponse::Proof(Some(docs)) => Some(docs),
+            _ => None,
+        })
+        .expect("a (get-proof) response");
+    assert!(!docs.is_empty(), "the flagship refutation goes through LIA");
+    for doc in docs {
+        let summary = posr_check::check_document(doc)
+            .unwrap_or_else(|e| panic!("proof rejected: {e}\n---\n{doc}"));
+        assert!(summary.finals >= 1);
+    }
+    // the render embeds the document(s) verbatim
+    assert!(outcome.render().contains("p posr-proof 1"));
+}
+
+#[test]
+fn get_proof_without_production_reports_error() {
+    let outcome = run_script(
+        r#"
+          (declare-const x String)
+          (assert (str.in_re x (str.to_re "ab")))
+          (assert (not (= x "ab")))
+          (check-sat)
+          (get-proof)
+        "#,
+    )
+    .unwrap();
+    assert_eq!(outcome.statuses(), ["unsat"]);
+    assert!(matches!(outcome.responses[1], CommandResponse::Proof(None)));
+    assert!(outcome.render().contains("no proof available"));
+}
+
+#[test]
+fn proofless_unsat_is_reported_as_such() {
+    // refuted by the automata layer (empty intersection), never reaching
+    // LIA: (get-proof) answers with zero documents, and the render says so
+    let outcome = run_script(
+        r#"
+          (set-option :produce-proofs true)
+          (declare-const x String)
+          (assert (str.in_re x (str.to_re "ab")))
+          (assert (str.in_re x (str.to_re "cd")))
+          (check-sat)
+          (get-proof)
+        "#,
+    )
+    .unwrap();
+    assert_eq!(outcome.statuses(), ["unsat"]);
+    match &outcome.responses[1] {
+        CommandResponse::Proof(Some(docs)) => assert!(docs.is_empty()),
+        other => panic!("expected an empty proof response, got {other:?}"),
+    }
+    assert!(outcome.render().contains("without the LIA engine"));
+}
+
+#[test]
+fn named_assertions_survive_push_pop() {
+    let outcome = run_script(
+        r#"
+          (set-option :produce-unsat-cores true)
+          (declare-const x String)
+          (assert (! (str.in_re x (str.to_re "ab")) :named base))
+          (push 1)
+          (assert (! (not (= x "ab")) :named inc))
+          (check-sat)
+          (get-unsat-core)
+          (pop 1)
+          (check-sat)
+        "#,
+    )
+    .unwrap();
+    assert_eq!(outcome.statuses(), ["unsat", "sat"]);
+    let core = core_of(&outcome.responses);
+    assert!(core.contains(&"base".to_string()) && core.contains(&"inc".to_string()));
+}

@@ -145,6 +145,12 @@ pub struct CutSolveReport {
     /// Learned clauses alive in the session when the *last* solver call
     /// started — the lemmas carried into post-cut re-solves.
     pub learned_carried: u64,
+    /// On `Unsat`: the (0-based, round-ordered) indices of the
+    /// connectivity cuts that actually participated in the refutation,
+    /// from the engine's assumption core over the selector-guarded cuts.
+    /// Empty means the encoding was unsatisfiable before any cut — the
+    /// cuts only ever narrowed the search.
+    pub cut_core: Option<Vec<usize>>,
     /// Cumulative session counters.
     pub stats: SolverStats,
 }
@@ -160,6 +166,15 @@ impl SystemEncoding {
     /// A disconnected model that yields no cut, or `max_rounds` rounds
     /// without convergence, produce an `Unknown` verdict rather than a
     /// panic.
+    /// Cuts are installed behind selector literals and activated as
+    /// assumptions rather than asserted outright, so an `Unsat` verdict
+    /// comes with the engine's assumption core: exactly which cuts the
+    /// refutation used ([`CutSolveReport::cut_core`]).  Since cuts only
+    /// exclude spurious disconnected flows, `Unsat` under them is `Unsat`
+    /// of the encoding itself.  When the round limit falls after a cut
+    /// was just installed, one final solve runs so a refutation the last
+    /// cut completed is reported as the certified `Unsat` it is instead
+    /// of `Unknown`.
     pub fn solve_with_cuts(
         &self,
         extra: &Formula,
@@ -169,56 +184,115 @@ impl SystemEncoding {
         let mut session = IncrementalSolver::with_config(config.clone());
         session.assert_formula(&self.formula);
         session.assert_formula(extra);
+        let mut cut_lits: Vec<posr_lia::Lit> = Vec::new();
         let mut rounds = 0usize;
-        let mut learned_carried = 0u64;
-        loop {
-            if rounds >= max_rounds {
-                return CutSolveReport {
-                    result: SolverResult::Unknown(
-                        "connectivity-cut loop did not converge".to_string(),
-                    ),
-                    assignment: None,
-                    rounds,
-                    learned_carried,
-                    stats: session.stats(),
-                };
+        let mut learned_carried;
+        let report = |result: SolverResult,
+                      assignment: Option<BTreeMap<StrVar, Vec<Symbol>>>,
+                      cut_core: Option<Vec<usize>>,
+                      rounds: usize,
+                      learned_carried: u64,
+                      session: &IncrementalSolver| {
+            CutSolveReport {
+                result,
+                assignment,
+                rounds,
+                learned_carried,
+                cut_core,
+                stats: session.stats(),
             }
+        };
+        loop {
             learned_carried = session.stats().learned_live;
             rounds += 1;
-            match session.solve() {
+            let final_round = rounds >= max_rounds;
+            match session.solve_under_assumptions(&cut_lits) {
                 SolverResult::Sat(model) => match self.extract_assignment(&model) {
                     Some(assignment) => {
-                        return CutSolveReport {
-                            result: SolverResult::Sat(model),
-                            assignment: Some(assignment),
+                        return report(
+                            SolverResult::Sat(model),
+                            Some(assignment),
+                            None,
                             rounds,
                             learned_carried,
-                            stats: session.stats(),
-                        }
+                            &session,
+                        )
+                    }
+                    None if final_round => {
+                        return report(
+                            SolverResult::Unknown(
+                                "connectivity-cut loop did not converge".to_string(),
+                            ),
+                            None,
+                            None,
+                            rounds,
+                            learned_carried,
+                            &session,
+                        )
                     }
                     None => match self.connectivity_cut(&model) {
-                        Some(cut) => session.assert_formula(&cut),
+                        Some(cut) => match session.literal(&cut) {
+                            posr_lia::LitOrConst::Lit(l) => cut_lits.push(l),
+                            // a trivially-true cut cannot block anything
+                            posr_lia::LitOrConst::True => {
+                                return report(
+                                    SolverResult::Unknown(
+                                        "connectivity cut simplified to true".to_string(),
+                                    ),
+                                    None,
+                                    None,
+                                    rounds,
+                                    learned_carried,
+                                    &session,
+                                )
+                            }
+                            // a cut that simplifies to false refutes the
+                            // flow outright (cuts are sound)
+                            posr_lia::LitOrConst::False => {
+                                return report(
+                                    SolverResult::Unsat,
+                                    None,
+                                    Some(vec![cut_lits.len()]),
+                                    rounds,
+                                    learned_carried,
+                                    &session,
+                                )
+                            }
+                        },
                         None => {
-                            return CutSolveReport {
-                                result: SolverResult::Unknown(
+                            return report(
+                                SolverResult::Unknown(
                                     "model extraction failed on a connected model".to_string(),
                                 ),
-                                assignment: None,
+                                None,
+                                None,
                                 rounds,
                                 learned_carried,
-                                stats: session.stats(),
-                            }
+                                &session,
+                            )
                         }
                     },
                 },
-                other => {
-                    return CutSolveReport {
-                        result: other,
-                        assignment: None,
+                SolverResult::Unsat => {
+                    let cut_core = session.last_unsat_core().map(|core| {
+                        cut_lits
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, l)| core.contains(l))
+                            .map(|(i, _)| i)
+                            .collect()
+                    });
+                    return report(
+                        SolverResult::Unsat,
+                        None,
+                        cut_core,
                         rounds,
                         learned_carried,
-                        stats: session.stats(),
-                    }
+                        &session,
+                    );
+                }
+                other => {
+                    return report(other, None, None, rounds, learned_carried, &session);
                 }
             }
         }
@@ -989,6 +1063,32 @@ mod tests {
         );
         let (result, _) = solve_encoding(&encoding, &Formula::True);
         assert!(result.is_unsat(), "abc ≠ abc with fixed words is unsat");
+    }
+
+    #[test]
+    fn unsat_reports_a_cut_core_and_sat_does_not() {
+        let (vars, automata, ids) = setup(&[("x", "abc"), ("y", "abc")]);
+        let encoder = SystemEncoder::new(&automata, &vars);
+        let mut pool = VarPool::new();
+        let encoding = encoder.encode(
+            &[PositionConstraint::diseq(vec![ids[0]], vec![ids[1]])],
+            &mut pool,
+        );
+        let report = encoding.solve_with_cuts(&Formula::True, &SolverConfig::default(), 32);
+        assert!(report.result.is_unsat());
+        // this refutation needs no connectivity cuts, and the core says so
+        assert_eq!(report.cut_core.as_deref(), Some(&[][..]));
+
+        let (vars, automata, ids) = setup(&[("x", "(ab)*"), ("y", "(ac)*")]);
+        let encoder = SystemEncoder::new(&automata, &vars);
+        let mut pool = VarPool::new();
+        let encoding = encoder.encode(
+            &[PositionConstraint::diseq(vec![ids[0]], vec![ids[1]])],
+            &mut pool,
+        );
+        let report = encoding.solve_with_cuts(&Formula::True, &SolverConfig::default(), 32);
+        assert!(matches!(report.result, SolverResult::Sat(_)));
+        assert_eq!(report.cut_core, None);
     }
 
     #[test]
