@@ -18,7 +18,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, LazyLock, Mutex, OnceLock};
 
 use crate::nfa::Nfa;
 use crate::regex::{ParseRegexError, Regex};
@@ -26,8 +26,30 @@ use crate::regex::{ParseRegexError, Regex};
 static COMPILED: OnceLock<Mutex<HashMap<String, Arc<Nfa>>>> = OnceLock::new();
 static PREPARED: OnceLock<Mutex<HashMap<String, Arc<Nfa>>>> = OnceLock::new();
 static PREPARED_BY_CONTENT: OnceLock<Mutex<HashMap<String, Arc<Nfa>>>> = OnceLock::new();
+// Process-wide cumulative counters: a *documented process-wide view* only.
+// Attributing lookups to one batch/solve among concurrent ones goes through
+// the obs counters below and a `posr_obs::CounterScope` on the caller side.
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Scope-attributable mirrors of [`HITS`]/[`MISSES`] (see
+/// `posr_obs::counters`): always incremented in lock-step with the atomics
+/// so per-batch [`posr_obs::CounterScope`]s see exactly the lookups their
+/// own worker threads performed.
+pub static OBS_HITS: LazyLock<posr_obs::Counter> =
+    LazyLock::new(|| posr_obs::counter("automata.cache.hits"));
+pub static OBS_MISSES: LazyLock<posr_obs::Counter> =
+    LazyLock::new(|| posr_obs::counter("automata.cache.misses"));
+
+fn count_hit() {
+    HITS.fetch_add(1, Ordering::Relaxed);
+    OBS_HITS.incr();
+}
+
+fn count_miss() {
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    OBS_MISSES.incr();
+}
 
 /// A snapshot of the cache counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -39,13 +61,34 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Hit ratio in `[0, 1]` (0 when the cache was never consulted).
-    pub fn hit_ratio(&self) -> f64 {
-        let total = self.hits + self.misses;
+    /// Total lookups in this snapshot.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit ratio in `[0, 1]`, or `None` when the snapshot holds no lookups
+    /// — callers used to get `0.0` here and report an idle cache as a 0%
+    /// hit rate, which is a different (and alarming) claim.  Render `None`
+    /// as "n/a".
+    pub fn hit_ratio(&self) -> Option<f64> {
+        let total = self.lookups();
         if total == 0 {
-            0.0
+            None
         } else {
-            self.hits as f64 / total as f64
+            Some(self.hits as f64 / total as f64)
+        }
+    }
+
+    /// The lookups this snapshot saw after `earlier` was taken.
+    /// Saturating, so a concurrent [`reset_stats`] yields zeros instead of
+    /// wrapped garbage.  Note the result is still a *process-wide* delta:
+    /// concurrent solvers' lookups are included.  For exact per-batch
+    /// attribution use a `posr_obs::CounterScope` over
+    /// [`OBS_HITS`]/[`OBS_MISSES`].
+    pub fn since(&self, earlier: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
         }
     }
 }
@@ -57,13 +100,13 @@ fn lookup(
 ) -> Result<Arc<Nfa>, ParseRegexError> {
     let map = store.get_or_init(|| Mutex::new(HashMap::new()));
     if let Some(hit) = map.lock().expect("automaton cache poisoned").get(pattern) {
-        HITS.fetch_add(1, Ordering::Relaxed);
+        count_hit();
         return Ok(Arc::clone(hit));
     }
     // build outside the lock: concurrent workers may race and compile the
     // same pattern twice, but nobody blocks behind a slow compilation and
     // both racers insert identical (deterministic) automata
-    MISSES.fetch_add(1, Ordering::Relaxed);
+    count_miss();
     let built = Arc::new(build()?);
     let mut guard = map.lock().expect("automaton cache poisoned");
     Ok(Arc::clone(
@@ -113,11 +156,11 @@ pub fn prepared_for(nfa: &Nfa) -> Arc<Nfa> {
     let key = nfa.cache_key();
     let map = PREPARED_BY_CONTENT.get_or_init(|| Mutex::new(HashMap::new()));
     if let Some(hit) = map.lock().expect("automaton cache poisoned").get(&key) {
-        HITS.fetch_add(1, Ordering::Relaxed);
+        count_hit();
         return Arc::clone(hit);
     }
     // build outside the lock (see `lookup` for the rationale)
-    MISSES.fetch_add(1, Ordering::Relaxed);
+    count_miss();
     let built = Arc::new(nfa.remove_epsilon().trim());
     let mut guard = map.lock().expect("automaton cache poisoned");
     if guard.len() >= MAX_ENTRIES && !guard.contains_key(&key) {
@@ -135,8 +178,10 @@ pub fn stats() -> CacheStats {
     }
 }
 
-/// Resets the counters (the entries stay); used by the batch driver to
-/// report per-batch reuse.
+/// Resets the process-wide counters (the entries stay).  Prefer
+/// [`CacheStats::since`] deltas or a `posr_obs::CounterScope` over a reset:
+/// resetting yanks the baseline out from under every other concurrent
+/// reader (the obs counters are deliberately *not* reset).
 pub fn reset_stats() {
     HITS.store(0, Ordering::Relaxed);
     MISSES.store(0, Ordering::Relaxed);
@@ -202,11 +247,30 @@ mod tests {
     fn stats_move_on_misses_and_hits() {
         let before = stats();
         let _ = compile_cached("stats-test-pattern-x");
-        let mid = stats();
-        assert!(mid.misses > before.misses);
+        let mid = stats().since(before);
+        assert!(mid.misses >= 1);
         let _ = compile_cached("stats-test-pattern-x");
-        let after = stats();
-        assert!(after.hits > mid.hits);
-        assert!(after.hit_ratio() > 0.0);
+        let after = stats().since(before);
+        assert!(after.hits >= 1);
+        assert!(after.hit_ratio().expect("lookups happened") > 0.0);
+        assert_eq!(CacheStats::default().hit_ratio(), None);
+    }
+
+    #[test]
+    fn scoped_counters_attribute_lookups_to_the_attaching_thread() {
+        let scope = posr_obs::CounterScope::new();
+        {
+            let _attached = scope.attach();
+            let _ = compile_cached("scope-attrib-pattern");
+            let _ = compile_cached("scope-attrib-pattern");
+        }
+        // at least one miss (first build) and one hit (second lookup)
+        // landed in the scope, regardless of what other tests do globally
+        assert!(scope.get(*OBS_MISSES) >= 1);
+        assert!(scope.get(*OBS_HITS) >= 1);
+        // nothing recorded after detach
+        let (h, m) = (scope.get(*OBS_HITS), scope.get(*OBS_MISSES));
+        let _ = compile_cached("scope-attrib-pattern");
+        assert_eq!((scope.get(*OBS_HITS), scope.get(*OBS_MISSES)), (h, m));
     }
 }

@@ -430,6 +430,89 @@ impl LiaMetrics {
     }
 }
 
+/// Coarse per-phase self-time columns of one solve, folded from the
+/// `posr-obs` spans it recorded: string-level decomposition, the LIA
+/// encoding, CDCL search (self time, theory calls excluded), the simplex
+/// theory solver, and proof-sink serialization.
+struct PhaseBreakdown {
+    decomposition_ms: f64,
+    encoding_ms: f64,
+    cdcl_ms: f64,
+    simplex_ms: f64,
+    proof_ms: f64,
+}
+
+impl PhaseBreakdown {
+    fn from_tracks(tracks: &[posr_obs::TrackSnapshot]) -> PhaseBreakdown {
+        let phases = posr_obs::phase_totals(tracks);
+        let ms = |names: &[&str]| posr_obs::self_time_of(&phases, names) as f64 / 1e3;
+        PhaseBreakdown {
+            decomposition_ms: ms(&["normalize", "decompose"]),
+            encoding_ms: ms(&["encode"]),
+            cdcl_ms: ms(&["cdcl.solve"]),
+            simplex_ms: ms(&["simplex.check", "simplex.pivot-session"]),
+            proof_ms: ms(&["proof.sink"]),
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"decomposition_ms\":{:.3},\"encoding_ms\":{:.3},\"cdcl_ms\":{:.3},\"simplex_ms\":{:.3},\"proof_ms\":{:.3}}}",
+            self.decomposition_ms, self.encoding_ms, self.cdcl_ms, self.simplex_ms, self.proof_ms,
+        )
+    }
+}
+
+/// The tracing overhead guard: best-of-N flagship-set wall time with span
+/// recording enabled vs disabled, interleaved to share thermal/cache
+/// conditions.  Minimums, not medians — scheduler noise only ever *adds*
+/// time, so the minimum is the least contaminated estimate of each
+/// configuration's true cost.  The enabled minimum must stay within
+/// `OVERHEAD_LIMIT` (plus a small absolute allowance — the flagship
+/// solves are millisecond-scale, where a pure ratio would gate on noise).
+struct OverheadGuard {
+    off_ms: f64,
+    on_ms: f64,
+    ratio: f64,
+    ok: bool,
+}
+
+/// Maximum tolerated enabled/disabled wall ratio.
+const OVERHEAD_LIMIT: f64 = 1.03;
+
+/// Absolute slack added to the ratio gate, seconds.
+const OVERHEAD_SLACK: f64 = 0.010;
+
+fn tracing_overhead() -> OverheadGuard {
+    fn flagship_wall() -> f64 {
+        let mut total = Duration::ZERO;
+        for (_, formula, _) in flagship_instances() {
+            let (_, elapsed) = solve_with_engine(&formula, SearchEngine::Cdcl);
+            total += elapsed;
+        }
+        total.as_secs_f64()
+    }
+    let was_enabled = posr_obs::enabled();
+    let mut off = f64::INFINITY;
+    let mut on = f64::INFINITY;
+    for _ in 0..5 {
+        posr_obs::set_enabled(false);
+        off = off.min(flagship_wall());
+        posr_obs::set_enabled(true);
+        on = on.min(flagship_wall());
+        // guard runs are measurement-only; drop their events
+        let _ = posr_obs::drain_tracks();
+    }
+    posr_obs::set_enabled(was_enabled);
+    let ratio = on / off.max(f64::EPSILON);
+    OverheadGuard {
+        off_ms: off * 1e3,
+        on_ms: on * 1e3,
+        ratio,
+        ok: on <= off * OVERHEAD_LIMIT + OVERHEAD_SLACK,
+    }
+}
+
 fn stats_delta(
     after: posr_lia::SolverStats,
     before: posr_lia::SolverStats,
@@ -511,18 +594,47 @@ fn run_tagauto_family(instance: &CegarInstance, full: bool) -> LiaMetrics {
 ///   must never *regress* a verdict, and
 /// * at least one family must show a ≥ 2× reduction in theory checks,
 ///   the headline claim of the incremental theory layer.
-fn bench_lia() -> (String, String, bool) {
-    let mut rows: Vec<(String, Option<&'static str>, LiaMetrics, LiaMetrics)> = Vec::new();
+///
+/// Every row additionally carries the per-phase self-time columns of its
+/// full-configuration run (decomposition / encoding / CDCL / simplex /
+/// proof), folded from the `posr-obs` spans; recording is force-enabled
+/// for the duration and the drained snapshots go to `tracks_out` so the
+/// caller can still export one whole-run trace.  The document closes with
+/// the [`tracing_overhead`] guard.
+fn bench_lia(tracks_out: &mut Vec<posr_obs::TrackSnapshot>) -> (String, String, bool, bool) {
+    let obs_was_enabled = posr_obs::enabled();
+    posr_obs::set_enabled(true);
+    let mut captured = |run: &mut dyn FnMut() -> LiaMetrics| -> (LiaMetrics, PhaseBreakdown) {
+        let metrics = run();
+        let tracks = posr_obs::drain_tracks();
+        let phases = PhaseBreakdown::from_tracks(&tracks);
+        tracks_out.extend(tracks);
+        (metrics, phases)
+    };
+    let mut rows: Vec<(
+        String,
+        Option<&'static str>,
+        LiaMetrics,
+        LiaMetrics,
+        PhaseBreakdown,
+    )> = Vec::new();
     for (name, formula, expected) in flagship_instances() {
-        let full = run_flagship_family(&formula, true);
-        let base = run_flagship_family(&formula, false);
-        rows.push((name.to_string(), Some(expected), full, base));
+        let (full, phases) = captured(&mut || run_flagship_family(&formula, true));
+        let (base, _) = captured(&mut || run_flagship_family(&formula, false));
+        rows.push((name.to_string(), Some(expected), full, base, phases));
     }
     for instance in cegar_instances() {
-        let full = run_tagauto_family(&instance, true);
-        let base = run_tagauto_family(&instance, false);
-        rows.push((format!("tagauto-{}", instance.name), None, full, base));
+        let (full, phases) = captured(&mut || run_tagauto_family(&instance, true));
+        let (base, _) = captured(&mut || run_tagauto_family(&instance, false));
+        rows.push((
+            format!("tagauto-{}", instance.name),
+            None,
+            full,
+            base,
+            phases,
+        ));
     }
+    posr_obs::set_enabled(obs_was_enabled);
 
     let mut verdicts_ok = true;
     let mut best_ratio = 0.0f64;
@@ -530,10 +642,10 @@ fn bench_lia() -> (String, String, bool) {
     let mut table = String::new();
     let _ = writeln!(
         table,
-        "| family | expected | verdict | wall full/base | conflicts full/base | theory checks full/base | tprops | pivots full/base |"
+        "| family | expected | verdict | wall full/base | conflicts full/base | theory checks full/base | tprops | pivots full/base | decomp/enc/cdcl/simplex/proof ms |"
     );
-    let _ = writeln!(table, "|---|---|---|---|---|---|---|---|");
-    for (name, expected, full, base) in &rows {
+    let _ = writeln!(table, "|---|---|---|---|---|---|---|---|---|");
+    for (name, expected, full, base, phases) in &rows {
         let agree = full.verdict == base.verdict && expected.is_none_or(|e| full.verdict == e);
         verdicts_ok &= agree;
         let ratio = base.theory_checks() as f64 / (full.theory_checks().max(1)) as f64;
@@ -543,7 +655,7 @@ fn bench_lia() -> (String, String, bool) {
         }
         let _ = writeln!(
             table,
-            "| {name} | {} | {}{} | {:.1?} / {:.1?} | {} / {} | {} / {} | {} | {} / {} |",
+            "| {name} | {} | {}{} | {:.1?} / {:.1?} | {} / {} | {} / {} | {} | {} / {} | {:.1}/{:.1}/{:.1}/{:.1}/{:.1} |",
             expected.unwrap_or("-"),
             full.verdict,
             if agree { "" } else { " ❌" },
@@ -556,32 +668,60 @@ fn bench_lia() -> (String, String, bool) {
             full.stats.theory_props,
             full.stats.simplex_pivots,
             base.stats.simplex_pivots,
+            phases.decomposition_ms,
+            phases.encoding_ms,
+            phases.cdcl_ms,
+            phases.simplex_ms,
+            phases.proof_ms,
         );
     }
     let gate_ok = verdicts_ok && best_ratio >= 2.0;
 
-    let mut json = String::from("{\n  \"schema\": \"posr-bench-lia/v1\",\n  \"families\": [\n");
-    for (i, (name, expected, full, base)) in rows.iter().enumerate() {
+    println!("measuring tracing overhead (flagship set, 5 interleaved reps)…");
+    let overhead = tracing_overhead();
+    println!(
+        "tracing overhead: disabled {:.2}ms, enabled {:.2}ms, ratio {:.3} (limit {OVERHEAD_LIMIT}) — {}",
+        overhead.off_ms,
+        overhead.on_ms,
+        overhead.ratio,
+        if overhead.ok { "ok" } else { "EXCEEDED" },
+    );
+
+    let mut json = String::from("{\n  \"schema\": \"posr-bench-lia/v2\",\n  \"families\": [\n");
+    for (i, (name, expected, full, base, phases)) in rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"name\":\"{name}\",\"expected\":{},\"full\":{},\"baseline\":{}}}{}",
+            "    {{\"name\":\"{name}\",\"expected\":{},\"full\":{},\"baseline\":{},\"phases\":{}}}{}",
             match expected {
                 Some(e) => format!("\"{e}\""),
                 None => "null".to_string(),
             },
             full.json(),
             base.json(),
+            phases.json(),
             if i + 1 < rows.len() { "," } else { "" },
         );
     }
+    let _ = writeln!(
+        json,
+        "  ],\n  \"gate\": {{\"verdicts_agree\":{verdicts_ok},\"max_theory_check_ratio\":{best_ratio:.2},\"best_family\":\"{best_family}\",\"required_ratio\":2.0,\"ok\":{gate_ok}}},"
+    );
     let _ = write!(
         json,
-        "  ],\n  \"gate\": {{\"verdicts_agree\":{verdicts_ok},\"max_theory_check_ratio\":{best_ratio:.2},\"best_family\":\"{best_family}\",\"required_ratio\":2.0,\"ok\":{gate_ok}}}\n}}\n"
+        "  \"tracing_overhead\": {{\"disabled_ms\":{:.3},\"enabled_ms\":{:.3},\"ratio\":{:.4},\"limit\":{OVERHEAD_LIMIT},\"ok\":{}}}\n}}\n",
+        overhead.off_ms, overhead.on_ms, overhead.ratio, overhead.ok,
     );
-    (json, table, gate_ok)
+    (json, table, gate_ok, overhead.ok)
 }
 
 fn main() {
+    // POSR_TRACE=chrome:PATH / POSR_TRACE_FOLDED=PATH turn the whole run
+    // into a trace: sections drain their spans into `all_tracks`, and the
+    // accumulated snapshots are flushed to the requested files at the end.
+    let env_tracing = posr_obs::init_from_env();
+    posr_obs::set_thread_track("ablation");
+    let mut all_tracks: Vec<posr_obs::TrackSnapshot> = Vec::new();
+
     println!("== encoding size: polynomial copy-tag construction vs naive order enumeration ==");
     let mut vars = VarTable::new();
     let names = ["x", "y", "z"];
@@ -674,7 +814,8 @@ fn main() {
 
     println!();
     println!("== BENCH_lia: incremental theory layer vs PR-4 baseline ==");
-    let (bench_json, bench_table, bench_ok) = bench_lia();
+    all_tracks.extend(posr_obs::drain_tracks());
+    let (bench_json, bench_table, bench_ok, overhead_ok) = bench_lia(&mut all_tracks);
     println!("{bench_table}");
     let bench_path =
         std::env::var("POSR_BENCH_LIA").unwrap_or_else(|_| "target/BENCH_lia.json".to_string());
@@ -684,6 +825,27 @@ fn main() {
     match std::fs::write(&bench_path, &bench_json) {
         Ok(()) => println!("machine-readable report written to {bench_path}"),
         Err(e) => eprintln!("could not write report to {bench_path}: {e}"),
+    }
+
+    if env_tracing {
+        // race the portfolio over the flagship set so the exported trace
+        // has one timeline track per lane (plus the bench sections above);
+        // parallelism is pinned so single-core CI still runs the threaded
+        // race rather than the sequential fallback
+        println!();
+        println!("== traced portfolio race over the flagship set ==");
+        let portfolio = posr_portfolio::PortfolioSolver::new().with_parallelism(2);
+        for (name, formula, expected) in flagship_instances() {
+            let _section = posr_obs::span("ablation", format!("race:{name}"));
+            let answer = portfolio.solve(&formula);
+            println!("{name}: {} (expected {expected})", answer_status(&answer));
+        }
+        all_tracks.extend(posr_obs::drain_tracks());
+        match posr_obs::flush_env_trace_tracks(&all_tracks) {
+            Ok(Some(path)) => println!("chrome trace written to {path}"),
+            Ok(None) => {}
+            Err(e) => eprintln!("could not write trace: {e}"),
+        }
     }
 
     if !all_ok {
@@ -698,6 +860,14 @@ fn main() {
         eprintln!(
             "FAIL: BENCH_lia gate — a family's verdict regressed under the full \
              theory side, or no family shows the required 2x theory-check reduction"
+        );
+        std::process::exit(1);
+    }
+    if !overhead_ok {
+        eprintln!(
+            "FAIL: tracing overhead gate — the flagship set with span recording \
+             enabled ran more than {OVERHEAD_LIMIT}x (+{OVERHEAD_SLACK}s slack) \
+             the disabled wall time"
         );
         std::process::exit(1);
     }

@@ -58,6 +58,13 @@ impl PositionOutcome {
 /// the caller wants all documents of one query in one place.
 pub type ProofSink = std::sync::Arc<std::sync::Mutex<Vec<String>>>;
 
+/// Proof documents pushed into [`ProofSink`]s (obs counter, always live).
+pub static OBS_PROOF_DOCS: std::sync::LazyLock<posr_obs::Counter> =
+    std::sync::LazyLock::new(|| posr_obs::counter("proof.sink.docs"));
+/// Serialized proof bytes pushed into [`ProofSink`]s.
+pub static OBS_PROOF_BYTES: std::sync::LazyLock<posr_obs::Counter> =
+    std::sync::LazyLock::new(|| posr_obs::counter("proof.sink.bytes"));
+
 /// Resource limits of the position procedure.
 #[derive(Clone, Debug)]
 pub struct PositionOptions {
@@ -262,7 +269,10 @@ pub fn solve_position(problem: &PositionProblem<'_>, options: &PositionOptions) 
     }
 
     let encoder = SystemEncoder::new(&automata, &vars);
-    let encoding = encoder.encode(&system_constraints, &mut pool);
+    let encoding = {
+        let _span = posr_obs::span("core", "encode");
+        encoder.encode(&system_constraints, &mut pool)
+    };
 
     // translate a LenTerm into LIA over tag counters and integer variables
     let translate = |t: &LenTerm, pool: &mut VarPool, int_vars: &mut BTreeMap<String, Var>| {
@@ -512,7 +522,10 @@ fn solve_with_cegar(
         if token.is_cancelled() {
             return PositionOutcome::Unknown(token.unknown_reason());
         }
-        match backend.solve() {
+        let round_span = posr_obs::span("core", "cegar.round");
+        let solved = backend.solve();
+        drop(round_span);
+        match solved {
             SolverResult::Unsat => {
                 // blocking clauses for non-flat ¬contains are over-approximate,
                 // so exhausting them does not prove unsatisfiability
@@ -522,6 +535,9 @@ fn solve_with_cegar(
                     );
                 }
                 if let (Some(sink), Some(proof)) = (&options.proof_sink, backend.proof()) {
+                    let _span = posr_obs::span("core", "proof.sink");
+                    OBS_PROOF_DOCS.incr();
+                    OBS_PROOF_BYTES.add(proof.len() as u64);
                     sink.lock().expect("proof sink poisoned").push(proof);
                 }
                 return PositionOutcome::Unsat;
@@ -538,6 +554,7 @@ fn solve_with_cegar(
                     }
                     match encoding.connectivity_cut(&model) {
                         Some(cut) => {
+                            posr_obs::instant("core", "cegar.connectivity-cut");
                             backend.refine(cut);
                             continue;
                         }
@@ -566,6 +583,7 @@ fn solve_with_cegar(
                             "¬contains instantiation limit exceeded".to_string(),
                         );
                     }
+                    posr_obs::instant("core", "cegar.block-candidate");
                     backend.refine(blocking_clause(encoding, &model));
                     continue;
                 }

@@ -28,7 +28,7 @@ use crate::solver::{Answer, SolverOptions, StringModel, StringSolver};
 const CORE_MINIMIZE_CAP: usize = 24;
 
 /// A stack-shaped incremental session over string assertions.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct SolverSession {
     options: SolverOptions,
     /// All live assertions, in assertion order.
@@ -52,6 +52,40 @@ pub struct SolverSession {
     /// `Some` (possibly empty) only when that check answered `Unsat` with
     /// proof production on.
     last_proofs: Option<Vec<String>>,
+    /// Process-wide LIA counters at session creation; [`statistics`]
+    /// reports the movement since this snapshot.  Exact for the session
+    /// only while no other solver runs in the process concurrently.
+    ///
+    /// [`statistics`]: SolverSession::statistics
+    stats_base: posr_lia::SolverStats,
+    /// Observability scope attached for the duration of every
+    /// `check-sat`; collects the cache/proof counters this session's
+    /// checks caused, exactly, even under concurrency.
+    scope: posr_obs::CounterScope,
+    /// `check-sat` commands answered so far.
+    checks: u64,
+    /// Wall time spent inside `check-sat` (including core extraction).
+    check_time: std::time::Duration,
+}
+
+impl Default for SolverSession {
+    fn default() -> SolverSession {
+        SolverSession {
+            options: SolverOptions::default(),
+            atoms: Vec::new(),
+            names: Vec::new(),
+            frames: Vec::new(),
+            last_model: None,
+            produce_unsat_cores: false,
+            produce_proofs: false,
+            last_core: None,
+            last_proofs: None,
+            stats_base: posr_lia::global_stats(),
+            scope: posr_obs::CounterScope::new(),
+            checks: 0,
+            check_time: std::time::Duration::ZERO,
+        }
+    }
 }
 
 impl SolverSession {
@@ -137,6 +171,9 @@ impl SolverSession {
     /// `Unsat` answer additionally computes the unsat core and collects
     /// the LIA proof documents when the respective options are on.
     pub fn check_sat(&mut self) -> Answer {
+        let _attached = self.scope.attach();
+        let started = std::time::Instant::now();
+        self.checks += 1;
         self.last_core = None;
         self.last_proofs = None;
         let mut options = self.options.clone();
@@ -155,7 +192,60 @@ impl SolverSession {
             }
             Answer::Unknown(_) => {}
         }
+        self.check_time += started.elapsed();
         answer
+    }
+
+    /// The session's statistics as ordered key/value pairs, the payload
+    /// behind SMT-LIB `(get-info :all-statistics)`: check count and wall
+    /// time, the LIA search counters moved since session creation, and
+    /// the automata-cache / proof-sink activity this session's checks
+    /// caused (scope-exact even under concurrent solves elsewhere in the
+    /// process).
+    pub fn statistics(&self) -> Vec<(String, String)> {
+        let lia = posr_lia::global_stats().since(&self.stats_base);
+        let hits = self.scope.get(*posr_automata::cache::OBS_HITS);
+        let misses = self.scope.get(*posr_automata::cache::OBS_MISSES);
+        let hit_ratio = match hits + misses {
+            0 => "n/a".to_string(),
+            lookups => format!("{:.3}", hits as f64 / lookups as f64),
+        };
+        let mut stats: Vec<(String, String)> = vec![
+            ("checks".into(), self.checks.to_string()),
+            (
+                "check-time-ms".into(),
+                format!("{:.3}", self.check_time.as_secs_f64() * 1e3),
+            ),
+            ("conflicts".into(), lia.conflicts.to_string()),
+            ("decisions".into(), lia.decisions.to_string()),
+            ("propagations".into(), lia.propagations.to_string()),
+            ("restarts".into(), lia.restarts.to_string()),
+            ("learned-clauses".into(), lia.learned_total.to_string()),
+            ("gc-dropped-clauses".into(), lia.gc_dropped.to_string()),
+            ("theory-propagations".into(), lia.theory_props.to_string()),
+            ("simplex-checks".into(), lia.simplex_checks.to_string()),
+            ("simplex-pivots".into(), lia.simplex_pivots.to_string()),
+            ("final-checks".into(), lia.final_checks.to_string()),
+            ("automata-cache-hits".into(), hits.to_string()),
+            ("automata-cache-misses".into(), misses.to_string()),
+            ("automata-cache-hit-ratio".into(), hit_ratio),
+        ];
+        let proof_docs = self.scope.get(*crate::position::OBS_PROOF_DOCS);
+        if proof_docs > 0 {
+            stats.push(("proof-documents".into(), proof_docs.to_string()));
+            stats.push((
+                "proof-bytes".into(),
+                self.scope
+                    .get(*crate::position::OBS_PROOF_BYTES)
+                    .to_string(),
+            ));
+        }
+        stats
+    }
+
+    /// Wall time spent inside `check-sat` so far.
+    pub fn check_time(&self) -> std::time::Duration {
+        self.check_time
     }
 
     /// Deletion-based core extraction over the *named* assertions: drop

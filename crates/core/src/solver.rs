@@ -153,23 +153,31 @@ impl StringSolver {
         position_options.deadline = token.deadline();
         position_options.cancel = token.clone();
 
-        let nf = match normal::normalize(formula) {
-            Ok(nf) => nf,
-            Err(e) => return Answer::Unknown(e.to_string()),
+        let _solve_span = posr_obs::span("core", "solve");
+        let nf = {
+            let _span = posr_obs::span("core", "normalize");
+            match normal::normalize(formula) {
+                Ok(nf) => nf,
+                Err(e) => return Answer::Unknown(e.to_string()),
+            }
         };
-        let cases = match monadic::decompose(&nf, self.options.max_monadic_cases) {
-            Ok(cases) => cases,
-            Err(e) => return Answer::Unknown(e.to_string()),
+        let cases = {
+            let _span = posr_obs::span("core", "decompose");
+            match monadic::decompose(&nf, self.options.max_monadic_cases) {
+                Ok(cases) => cases,
+                Err(e) => return Answer::Unknown(e.to_string()),
+            }
         };
         if cases.is_empty() {
             return Answer::Unsat;
         }
 
         let mut saw_unknown: Option<String> = None;
-        for case in &cases {
+        for (case_index, case) in cases.iter().enumerate() {
             if token.is_cancelled() {
                 return Answer::Unknown(token.unknown_reason());
             }
+            let _span = posr_obs::span("core", format!("case:{case_index}"));
             match self.solve_case(formula, &nf.positions, &nf.lengths, case, &position_options) {
                 Answer::Sat(model) => return Answer::Sat(model),
                 Answer::Unsat => {}

@@ -155,6 +155,30 @@ pub struct SolverStats {
     pub simplex_pivots: u64,
 }
 
+impl SolverStats {
+    /// The counter movement since `earlier` (field-wise saturating
+    /// subtraction; `learned_live` is a gauge, not a counter, and is kept
+    /// as-is).  This is how consumers of [`global_stats`] report "what my
+    /// section did" without resetting the process-wide totals.
+    pub fn since(&self, earlier: &SolverStats) -> SolverStats {
+        SolverStats {
+            conflicts: self.conflicts.saturating_sub(earlier.conflicts),
+            decisions: self.decisions.saturating_sub(earlier.decisions),
+            propagations: self.propagations.saturating_sub(earlier.propagations),
+            restarts: self.restarts.saturating_sub(earlier.restarts),
+            learned_total: self.learned_total.saturating_sub(earlier.learned_total),
+            learned_live: self.learned_live,
+            gc_dropped: self.gc_dropped.saturating_sub(earlier.gc_dropped),
+            bound_checks: self.bound_checks.saturating_sub(earlier.bound_checks),
+            gcd_checks: self.gcd_checks.saturating_sub(earlier.gcd_checks),
+            simplex_checks: self.simplex_checks.saturating_sub(earlier.simplex_checks),
+            final_checks: self.final_checks.saturating_sub(earlier.final_checks),
+            theory_props: self.theory_props.saturating_sub(earlier.theory_props),
+            simplex_pivots: self.simplex_pivots.saturating_sub(earlier.simplex_pivots),
+        }
+    }
+}
+
 /// Process-wide accumulation of every engine's counters, flushed at the end
 /// of each [`Engine::solve`]; `examples/portfolio.rs --stats` reads it.
 static GLOBAL_CONFLICTS: AtomicU64 = AtomicU64::new(0);
@@ -997,6 +1021,7 @@ impl Engine {
             return Step::Ok;
         }
         self.stats.simplex_checks += 1;
+        let _span = posr_obs::span("simplex", "simplex.check");
         let t0 = std::time::Instant::now();
         let outcome = if self.config.incremental_simplex {
             self.incremental_simplex_check()
@@ -1362,6 +1387,7 @@ impl Engine {
     /// Watches are rebuilt from scratch.
     fn reduce_db(&mut self) {
         debug_assert_eq!(self.decision_level(), 0);
+        posr_obs::instant("cdcl", "cdcl.gc");
         // root-level literals never participate in conflict analysis, so
         // their reason clauses are not needed and no clause is locked
         for r in &mut self.reason {
@@ -1498,7 +1524,10 @@ impl Engine {
         }
         self.assumptions = assumptions.to_vec();
         self.solve_base_conflicts = self.stats.conflicts;
-        let result = self.search();
+        let result = {
+            let _span = posr_obs::span("cdcl", "cdcl.solve");
+            self.search()
+        };
         self.cancel_until(0);
         self.assumptions.clear();
         self.flush_global();
@@ -1621,6 +1650,7 @@ impl Engine {
                     } else {
                         if self.stats.conflicts - conflicts_at_restart >= restart_limit {
                             self.stats.restarts += 1;
+                            posr_obs::instant("cdcl", "cdcl.restart");
                             conflicts_at_restart = self.stats.conflicts;
                             restart_limit = RESTART_BASE * luby(self.stats.restarts);
                             self.cancel_until(0);

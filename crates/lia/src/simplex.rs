@@ -56,6 +56,11 @@ use std::collections::{BTreeMap, HashMap};
 use crate::rational::{gcd, Rat};
 use crate::term::{LinExpr, Var};
 
+/// Pivots performed across every tableau in the process (obs counter; the
+/// per-engine number lives in `SolverStats::simplex_pivots`).
+static OBS_PIVOTS: std::sync::LazyLock<posr_obs::Counter> =
+    std::sync::LazyLock::new(|| posr_obs::counter("simplex.pivots"));
+
 /// Relation of a simplex constraint `expr ⋈ bound`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Rel {
@@ -557,6 +562,14 @@ impl IncrementalSimplex {
     /// asserted bounds (the stuck row's violated bound plus the blocking
     /// bounds of its nonbasics).
     pub fn check(&mut self) -> Result<(), Vec<u32>> {
+        let _span = posr_obs::span("simplex", "simplex.pivot-session");
+        let pivots_before = self.pivots;
+        let result = self.check_loop();
+        OBS_PIVOTS.add(self.pivots - pivots_before);
+        result
+    }
+
+    fn check_loop(&mut self) -> Result<(), Vec<u32>> {
         loop {
             // smallest basic variable violating one of its bounds
             let violating = (0..self.beta.len())

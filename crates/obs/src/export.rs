@@ -1,0 +1,193 @@
+//! Export surfaces: Chrome trace-event JSON and folded-stack profiles.
+//!
+//! JSON is hand-rolled (the workspace is zero-dependency); the format is
+//! the Chrome trace-event "JSON object format" — an object with a
+//! `traceEvents` array of `ph:"M"/"X"/"i"/"C"` events — which Perfetto and
+//! `chrome://tracing` both load.  The folded output is one
+//! `track;outer;inner <self_us>` line per unique span path, the input
+//! format of Brendan Gregg's `flamegraph.pl`.
+
+use std::collections::HashMap;
+
+use crate::counters::counters_snapshot;
+use crate::ring::{Event, EventKind, TrackSnapshot};
+
+/// Escapes `s` for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes `tracks` (plus the current process-wide counter totals) as
+/// Chrome trace-event JSON.  One `tid` per track, named via `ph:"M"`
+/// thread-name metadata so Perfetto shows `lane:<strategy>` /
+/// `worker:<n>` rows.
+pub fn chrome_trace_json(tracks: &[TrackSnapshot]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |out: &mut String, ev: String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('\n');
+        out.push_str(&ev);
+    };
+    let mut end_ts = 0u64;
+    for track in tracks {
+        push(
+            &mut out,
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+                track.tid,
+                json_escape(&track.track)
+            ),
+        );
+        for ev in &track.events {
+            end_ts = end_ts.max(ev.ts_us + ev.dur_us);
+            let body = match ev.kind {
+                EventKind::Complete => format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{}}}",
+                    json_escape(&ev.name),
+                    json_escape(ev.cat),
+                    track.tid,
+                    ev.ts_us,
+                    ev.dur_us
+                ),
+                EventKind::Instant => format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"pid\":1,\"tid\":{},\"ts\":{},\"s\":\"t\"}}",
+                    json_escape(&ev.name),
+                    json_escape(ev.cat),
+                    track.tid,
+                    ev.ts_us
+                ),
+            };
+            push(&mut out, body);
+        }
+        if track.dropped > 0 {
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\":\"obs.ring_dropped:{}\",\"cat\":\"obs\",\"ph\":\"i\",\"pid\":1,\"tid\":{},\"ts\":{},\"s\":\"t\"}}",
+                    track.dropped, track.tid, end_ts
+                ),
+            );
+        }
+    }
+    for (name, value) in counters_snapshot() {
+        push(
+            &mut out,
+            format!(
+                "{{\"name\":\"{}\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":{},\"args\":{{\"value\":{}}}}}",
+                json_escape(name),
+                end_ts,
+                value
+            ),
+        );
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// One reconstructed span occurrence: its path from the track root and its
+/// self time (duration minus direct children).
+pub(crate) struct PathSelf {
+    pub path: Vec<String>,
+    pub self_us: u64,
+    pub dur_us: u64,
+}
+
+/// Rebuilds span nesting from flat complete events by interval
+/// containment.  Events are recorded at span *close* (drop order), so the
+/// buffer holds children before parents; sorting by start ascending with
+/// longer durations first restores tree order.  Instants are skipped.
+pub(crate) fn reconstruct(events: &[Event]) -> Vec<PathSelf> {
+    let mut spans: Vec<&Event> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Complete)
+        .collect();
+    spans.sort_by(|a, b| {
+        a.ts_us
+            .cmp(&b.ts_us)
+            .then(b.dur_us.cmp(&a.dur_us))
+            .then(a.name.cmp(&b.name))
+    });
+
+    struct Frame {
+        end_us: u64,
+        path: Vec<String>,
+        dur_us: u64,
+        children_us: u64,
+    }
+    let mut out = Vec::with_capacity(spans.len());
+    let mut stack: Vec<Frame> = Vec::new();
+    let close = |f: Frame, out: &mut Vec<PathSelf>| {
+        out.push(PathSelf {
+            self_us: f.dur_us.saturating_sub(f.children_us),
+            dur_us: f.dur_us,
+            path: f.path,
+        });
+    };
+    for ev in spans {
+        while stack.last().is_some_and(|top| ev.ts_us >= top.end_us) {
+            let f = stack.pop().expect("checked non-empty");
+            close(f, &mut out);
+        }
+        if let Some(top) = stack.last_mut() {
+            top.children_us += ev.dur_us;
+        }
+        let mut path = stack.last().map(|f| f.path.clone()).unwrap_or_default();
+        path.push(ev.name.to_string());
+        stack.push(Frame {
+            end_us: ev.ts_us + ev.dur_us,
+            path,
+            dur_us: ev.dur_us,
+            children_us: 0,
+        });
+    }
+    while let Some(f) = stack.pop() {
+        close(f, &mut out);
+    }
+    out
+}
+
+/// Folded-stack self-time profile over every track: one
+/// `track;outer;…;inner <self_us>` line per unique path, sorted, summed
+/// over occurrences.  Pipe into `flamegraph.pl` for an SVG.
+pub fn folded_stacks(tracks: &[TrackSnapshot]) -> String {
+    let mut totals: HashMap<String, u64> = HashMap::new();
+    for track in tracks {
+        for occ in reconstruct(&track.events) {
+            if occ.self_us == 0 {
+                continue;
+            }
+            let mut key = track.track.replace([';', ' '], "_");
+            for part in &occ.path {
+                key.push(';');
+                key.push_str(&part.replace([';', ' '], "_"));
+            }
+            *totals.entry(key).or_insert(0) += occ.self_us;
+        }
+    }
+    let mut lines: Vec<String> = totals
+        .into_iter()
+        .map(|(path, us)| format!("{path} {us}"))
+        .collect();
+    lines.sort_unstable();
+    let mut out = lines.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out
+}

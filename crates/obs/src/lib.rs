@@ -1,0 +1,212 @@
+//! Tracing, metrics, and profiling substrate for the posr solver stack.
+//!
+//! Every layer of the pipeline — portfolio lanes, the CEGAR loops, the
+//! CDCL(T) search, the incremental simplex, the automata library — records
+//! into this crate so a slow solve can explain *where* the time went.  The
+//! design goals, in order:
+//!
+//! 1. **Near-zero cost when off.**  Recording is gated on one process-wide
+//!    flag read with a relaxed atomic load ([`enabled`]); a disabled span is
+//!    a branch and a `None`.  Tracing is off unless a binary opts in
+//!    ([`set_enabled`]) or the `POSR_TRACE` environment variable is set
+//!    ([`init_from_env`]).
+//! 2. **No contention when on.**  Each thread records into its own bounded
+//!    ring buffer ([`ring`]); the only shared state is a registry of
+//!    per-thread buffers touched once per thread.
+//! 3. **Bounded memory.**  Ring buffers cap at [`ring::MAX_EVENTS`] events
+//!    per track and drop the oldest on overflow (counting the drops), so a
+//!    week-long solve cannot OOM the recorder.
+//! 4. **Counters are always on.**  Unlike spans, [`counters`] are plain
+//!    relaxed atomics that batch drivers rely on for *accounting* (cache
+//!    hit attribution, proof-sink volume) — they work with tracing
+//!    disabled, and a [`counters::CounterScope`] attributes increments to
+//!    one batch even when several batches share the process.
+//!
+//! Export surfaces: [`export::chrome_trace_json`] (Chrome trace-event JSON,
+//! loadable in Perfetto / `chrome://tracing`, one track per registered
+//! thread), [`export::folded_stacks`] (flamegraph.pl-compatible self-time
+//! lines), and [`report::phase_totals`] (a per-phase self-time table that
+//! the bench binaries serialize into `BENCH_lia.json`).
+
+use std::borrow::Cow;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+pub mod counters;
+pub mod export;
+pub mod report;
+pub mod ring;
+
+pub use counters::{
+    attached_scopes, counter, counter_value, counters_snapshot, Counter, CounterScope,
+};
+pub use export::{chrome_trace_json, folded_stacks};
+pub use report::{phase_totals, self_time_of, PhaseStat, SolveReport};
+pub use ring::{drain_tracks, set_thread_track, snapshot_tracks, Event, EventKind, TrackSnapshot};
+
+/// Process-wide recording switch; off by default.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The monotonic epoch every timestamp is relative to: the first call into
+/// the crate.  Fixing an epoch keeps timestamps small, positive, and
+/// comparable across threads.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// `true` when span/instant recording is on.  A relaxed load — this is the
+/// *only* cost instrumentation pays on the disabled path.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns span/instant recording on or off.  Counters are unaffected (they
+/// are always live).  Events already recorded stay buffered.
+pub fn set_enabled(on: bool) {
+    if on {
+        // pin the epoch before the first event so timestamps are sane
+        let _ = EPOCH.get_or_init(Instant::now);
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Microseconds since the process-local trace epoch.
+#[inline]
+pub fn now_us() -> u64 {
+    let epoch = EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_micros() as u64
+}
+
+/// Opens a timed span; the event is recorded when the guard drops (which
+/// includes panic unwinding, so a trace survives a crashed lane).  When
+/// recording is disabled this is a branch and an empty guard.
+///
+/// `cat` groups related spans (one per subsystem: `"core"`, `"cdcl"`,
+/// `"simplex"`, `"automata"`, …); `name` is the span label shown on the
+/// timeline.  Prefer `&'static str` names on hot paths — an owned `String`
+/// is fine for low-frequency spans (per-lane, per-solve).
+#[inline]
+pub fn span(cat: &'static str, name: impl Into<Cow<'static, str>>) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard(None);
+    }
+    SpanGuard(Some(OpenSpan {
+        cat,
+        name: name.into(),
+        start_us: now_us(),
+    }))
+}
+
+/// Records a zero-duration instant event (restart, GC pass, lane win, …).
+#[inline]
+pub fn instant(cat: &'static str, name: impl Into<Cow<'static, str>>) {
+    if !enabled() {
+        return;
+    }
+    ring::record(Event {
+        kind: EventKind::Instant,
+        cat,
+        name: name.into(),
+        ts_us: now_us(),
+        dur_us: 0,
+    });
+}
+
+struct OpenSpan {
+    cat: &'static str,
+    name: Cow<'static, str>,
+    start_us: u64,
+}
+
+/// RAII guard for an open span; records a complete event on drop.
+pub struct SpanGuard(Option<OpenSpan>);
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(open) = self.0.take() {
+            let end = now_us();
+            ring::record(Event {
+                kind: EventKind::Complete,
+                cat: open.cat,
+                name: open.name,
+                ts_us: open.start_us,
+                dur_us: end.saturating_sub(open.start_us),
+            });
+        }
+    }
+}
+
+/// Clears every recorded event (buffers stay registered, counters are
+/// untouched).  Bench binaries call this between measured sections.
+pub fn reset_events() {
+    ring::clear_all();
+}
+
+/// Where `POSR_TRACE` asked the exports to go.
+#[derive(Clone, Debug, Default)]
+struct EnvTargets {
+    chrome: Option<String>,
+    folded: Option<String>,
+}
+
+static ENV_TARGETS: OnceLock<EnvTargets> = OnceLock::new();
+
+/// Enables recording if the environment asks for it and remembers the
+/// output paths for [`flush_env_trace`].  Recognised:
+///
+/// * `POSR_TRACE=chrome:PATH` — write a Chrome trace-event JSON to `PATH`;
+/// * `POSR_TRACE=1` — record, no file (a binary drains the events itself);
+/// * `POSR_TRACE_FOLDED=PATH` — additionally write a folded-stack profile.
+///
+/// Returns `true` when recording was enabled.  Idempotent: the environment
+/// is read once per process.
+pub fn init_from_env() -> bool {
+    let targets = ENV_TARGETS.get_or_init(|| {
+        let mut t = EnvTargets::default();
+        if let Ok(spec) = std::env::var("POSR_TRACE") {
+            let spec = spec.trim();
+            if let Some(path) = spec.strip_prefix("chrome:") {
+                t.chrome = Some(path.to_string());
+            } else if !spec.is_empty() && spec != "0" {
+                t.chrome = None;
+            } else {
+                return EnvTargets::default();
+            }
+            set_enabled(true);
+        }
+        if let Ok(path) = std::env::var("POSR_TRACE_FOLDED") {
+            if !path.trim().is_empty() {
+                t.folded = Some(path.trim().to_string());
+                set_enabled(true);
+            }
+        }
+        t
+    });
+    let _ = targets;
+    enabled()
+}
+
+/// Writes the buffered events to the files `POSR_TRACE` /
+/// `POSR_TRACE_FOLDED` named (without draining them), returning the chrome
+/// trace path when one was written.  A no-op when the environment asked
+/// for nothing.
+pub fn flush_env_trace() -> std::io::Result<Option<String>> {
+    flush_env_trace_tracks(&snapshot_tracks())
+}
+
+/// [`flush_env_trace`] over an explicit track set: binaries that drain
+/// buffers mid-run (the bench harness measures sections by draining)
+/// accumulate the drained snapshots and flush them all at the end.
+pub fn flush_env_trace_tracks(tracks: &[TrackSnapshot]) -> std::io::Result<Option<String>> {
+    let Some(targets) = ENV_TARGETS.get() else {
+        return Ok(None);
+    };
+    if let Some(path) = &targets.folded {
+        std::fs::write(path, folded_stacks(tracks))?;
+    }
+    if let Some(path) = &targets.chrome {
+        std::fs::write(path, chrome_trace_json(tracks))?;
+        return Ok(Some(path.clone()));
+    }
+    Ok(None)
+}

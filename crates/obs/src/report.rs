@@ -1,0 +1,133 @@
+//! Structured per-solve reports: phase self-time aggregation over the
+//! recorded spans plus a counter snapshot, serialized in the same
+//! hand-rolled JSON style as `crates/bench/src/report.rs`.
+
+use std::collections::HashMap;
+
+use crate::counters::counters_snapshot;
+use crate::export::{json_escape, reconstruct};
+use crate::ring::TrackSnapshot;
+
+/// Aggregated timing of one span path across every occurrence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Span path from the track root, joined with `/`
+    /// (e.g. `solve/case/cdcl.solve`).
+    pub path: String,
+    /// Leaf span name (last path component).
+    pub name: String,
+    /// Number of occurrences.
+    pub count: u64,
+    /// Total wall time, µs (includes children).
+    pub total_us: u64,
+    /// Self time, µs (children subtracted).
+    pub self_us: u64,
+}
+
+/// Aggregates every recorded span by its nesting path, across tracks.
+/// Sorted by descending self time — the profile's "where did the time go"
+/// answer.
+pub fn phase_totals(tracks: &[TrackSnapshot]) -> Vec<PhaseStat> {
+    let mut by_path: HashMap<String, PhaseStat> = HashMap::new();
+    for track in tracks {
+        for occ in reconstruct(&track.events) {
+            let path = occ.path.join("/");
+            let name = occ.path.last().cloned().unwrap_or_default();
+            let entry = by_path.entry(path.clone()).or_insert(PhaseStat {
+                path,
+                name,
+                count: 0,
+                total_us: 0,
+                self_us: 0,
+            });
+            entry.count += 1;
+            entry.total_us += occ.dur_us;
+            entry.self_us += occ.self_us;
+        }
+    }
+    let mut out: Vec<PhaseStat> = by_path.into_values().collect();
+    out.sort_by(|a, b| b.self_us.cmp(&a.self_us).then(a.path.cmp(&b.path)));
+    out
+}
+
+/// Sums the self time of every span whose *leaf name* is in `names`; the
+/// bench binaries use this to fold span names into the coarse phase
+/// columns (decomposition / encoding / cdcl / simplex / proof).
+pub fn self_time_of(phases: &[PhaseStat], names: &[&str]) -> u64 {
+    phases
+        .iter()
+        .filter(|p| names.contains(&p.name.as_str()))
+        .map(|p| p.self_us)
+        .sum()
+}
+
+/// A per-solve (or per-section) structured report: the phase tree plus
+/// every process counter.
+#[derive(Clone, Debug, Default)]
+pub struct SolveReport {
+    /// Free-form label (instance or section name).
+    pub label: String,
+    pub phases: Vec<PhaseStat>,
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+impl SolveReport {
+    /// Builds a report from track snapshots and the current counters.
+    pub fn from_tracks(label: impl Into<String>, tracks: &[TrackSnapshot]) -> SolveReport {
+        SolveReport {
+            label: label.into(),
+            phases: phase_totals(tracks),
+            counters: counters_snapshot(),
+        }
+    }
+
+    /// One JSON object, schema `posr-obs-report/v1`.
+    pub fn json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"posr-obs-report/v1\",\n");
+        out.push_str(&format!(
+            "  \"label\": \"{}\",\n  \"phases\": [\n",
+            json_escape(&self.label)
+        ));
+        for (i, p) in self.phases.iter().enumerate() {
+            let sep = if i + 1 == self.phases.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"path\": \"{}\", \"count\": {}, \"total_us\": {}, \"self_us\": {}}}{}\n",
+                json_escape(&p.path),
+                p.count,
+                p.total_us,
+                p.self_us,
+                sep
+            ));
+        }
+        out.push_str("  ],\n  \"counters\": {");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            let sep = if i + 1 == self.counters.len() {
+                ""
+            } else {
+                ","
+            };
+            out.push_str(&format!("\"{}\": {}{}", json_escape(name), value, sep));
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// A fixed-width table for `--stats`-style terminal output.
+    pub fn table(&self) -> String {
+        let mut out = format!(
+            "{:<40} {:>8} {:>12} {:>12}\n",
+            "phase", "count", "total ms", "self ms"
+        );
+        for p in &self.phases {
+            out.push_str(&format!(
+                "{:<40} {:>8} {:>12.2} {:>12.2}\n",
+                p.path,
+                p.count,
+                p.total_us as f64 / 1000.0,
+                p.self_us as f64 / 1000.0,
+            ));
+        }
+        out
+    }
+}

@@ -1,0 +1,231 @@
+//! Exporter round-trip tests: span nesting survives the flat ring buffer,
+//! and the Chrome trace stays valid JSON even when spans close during
+//! panic unwinding.
+//!
+//! The recorder is process-global, so every test that records serializes
+//! on one lock and drains the buffers before and after itself.
+
+use std::sync::Mutex;
+
+use posr_obs as obs;
+
+static RECORDER: Mutex<()> = Mutex::new(());
+
+fn with_recorder<R>(f: impl FnOnce() -> R) -> R {
+    let _guard = RECORDER.lock().unwrap_or_else(|e| e.into_inner());
+    obs::set_enabled(true);
+    obs::drain_tracks();
+    let out = f();
+    obs::set_enabled(false);
+    obs::drain_tracks();
+    out
+}
+
+/// A minimal JSON syntax checker — enough to reject the malformed output
+/// a broken escaper or a dangling comma would produce.
+fn check_json(s: &str) -> Result<(), String> {
+    let bytes: Vec<char> = s.chars().collect();
+    let mut i = 0usize;
+    fn skip_ws(b: &[char], i: &mut usize) {
+        while *i < b.len() && b[*i].is_whitespace() {
+            *i += 1;
+        }
+    }
+    fn value(b: &[char], i: &mut usize) -> Result<(), String> {
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some('{') => {
+                *i += 1;
+                skip_ws(b, i);
+                if b.get(*i) == Some(&'}') {
+                    *i += 1;
+                    return Ok(());
+                }
+                loop {
+                    skip_ws(b, i);
+                    string(b, i)?;
+                    skip_ws(b, i);
+                    if b.get(*i) != Some(&':') {
+                        return Err(format!("expected ':' at {i:?}"));
+                    }
+                    *i += 1;
+                    value(b, i)?;
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(',') => *i += 1,
+                        Some('}') => {
+                            *i += 1;
+                            return Ok(());
+                        }
+                        other => return Err(format!("expected ',' or '}}', got {other:?}")),
+                    }
+                }
+            }
+            Some('[') => {
+                *i += 1;
+                skip_ws(b, i);
+                if b.get(*i) == Some(&']') {
+                    *i += 1;
+                    return Ok(());
+                }
+                loop {
+                    value(b, i)?;
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(',') => *i += 1,
+                        Some(']') => {
+                            *i += 1;
+                            return Ok(());
+                        }
+                        other => return Err(format!("expected ',' or ']', got {other:?}")),
+                    }
+                }
+            }
+            Some('"') => string(b, i),
+            Some(c) if c.is_ascii_digit() || *c == '-' => {
+                while b
+                    .get(*i)
+                    .is_some_and(|c| c.is_ascii_digit() || "+-.eE".contains(*c))
+                {
+                    *i += 1;
+                }
+                Ok(())
+            }
+            Some('t') | Some('f') | Some('n') => {
+                while b.get(*i).is_some_and(|c| c.is_ascii_alphabetic()) {
+                    *i += 1;
+                }
+                Ok(())
+            }
+            other => Err(format!("unexpected {other:?}")),
+        }
+    }
+    fn string(b: &[char], i: &mut usize) -> Result<(), String> {
+        if b.get(*i) != Some(&'"') {
+            return Err(format!("expected string at {i}"));
+        }
+        *i += 1;
+        while let Some(&c) = b.get(*i) {
+            match c {
+                '"' => {
+                    *i += 1;
+                    return Ok(());
+                }
+                '\\' => *i += 2,
+                c if (c as u32) < 0x20 => return Err("raw control char in string".to_string()),
+                _ => *i += 1,
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+    value(&bytes, &mut i)?;
+    skip_ws(&bytes, &mut i);
+    if i != bytes.len() {
+        return Err(format!("trailing garbage at {i}"));
+    }
+    Ok(())
+}
+
+#[test]
+fn span_nesting_round_trips_through_the_exporters() {
+    let tracks = with_recorder(|| {
+        obs::set_thread_track("test:nesting");
+        {
+            let _outer = obs::span("test", "outer");
+            std::thread::sleep(std::time::Duration::from_millis(4));
+            {
+                let _inner = obs::span("test", "inner");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        obs::drain_tracks()
+    });
+    let track = tracks
+        .iter()
+        .find(|t| t.track == "test:nesting")
+        .expect("the recording track is registered");
+    // the buffer holds close-ordered flat events: inner first, then outer
+    assert_eq!(track.events.len(), 2);
+    assert_eq!(track.events[0].name, "inner");
+    assert_eq!(track.events[1].name, "outer");
+
+    // phase reconstruction re-nests them and attributes self time
+    let phases = obs::phase_totals(std::slice::from_ref(track));
+    let outer = phases.iter().find(|p| p.path == "outer").expect("outer");
+    let inner = phases
+        .iter()
+        .find(|p| p.path == "outer/inner")
+        .expect("inner nests under outer");
+    assert_eq!(outer.count, 1);
+    assert_eq!(inner.count, 1);
+    assert!(outer.total_us >= inner.total_us);
+    assert!(
+        outer.self_us <= outer.total_us - inner.total_us,
+        "outer self time excludes the inner span"
+    );
+
+    // the folded profile spells the same paths
+    let folded = obs::folded_stacks(&tracks);
+    assert!(folded.contains("test:nesting;outer "));
+    assert!(folded.contains("test:nesting;outer;inner "));
+
+    // and the chrome trace is valid JSON containing both spans and the
+    // track name metadata
+    let json = obs::chrome_trace_json(&tracks);
+    check_json(&json).expect("chrome trace is valid JSON");
+    assert!(json.contains("\"thread_name\""));
+    assert!(json.contains("\"test:nesting\""));
+    assert!(json.contains("\"ph\":\"X\""));
+}
+
+#[test]
+fn panic_unwound_spans_still_export_valid_json() {
+    let tracks = with_recorder(|| {
+        let caught = std::panic::catch_unwind(|| {
+            let _span = obs::span("test", "doomed \"span\"\nwith\tescapes\\");
+            panic!("lane crashed");
+        });
+        assert!(caught.is_err());
+        obs::drain_tracks()
+    });
+    let all: Vec<&obs::Event> = tracks.iter().flat_map(|t| &t.events).collect();
+    assert!(
+        all.iter().any(|e| e.name.starts_with("doomed")),
+        "the unwound span was recorded by its Drop"
+    );
+    let json = obs::chrome_trace_json(&tracks);
+    check_json(&json).expect("escaped names keep the trace valid");
+}
+
+#[test]
+fn instants_and_counters_appear_in_the_trace() {
+    let tracks = with_recorder(|| {
+        obs::set_thread_track("test:instants");
+        obs::instant("test", "restart");
+        obs::counter("test.trace.counter").add(3);
+        obs::drain_tracks()
+    });
+    let json = obs::chrome_trace_json(&tracks);
+    check_json(&json).expect("valid JSON");
+    assert!(json.contains("\"ph\":\"i\""));
+    assert!(json.contains("\"test.trace.counter\""));
+}
+
+#[test]
+fn disabled_recording_is_empty() {
+    let tracks = with_recorder(|| {
+        obs::set_enabled(false);
+        {
+            let _s = obs::span("test", "invisible");
+        }
+        obs::instant("test", "also invisible");
+        obs::drain_tracks()
+    });
+    assert!(
+        tracks
+            .iter()
+            .all(|t| !t.events.iter().any(|e| e.name.contains("invisible"))),
+        "disabled spans record nothing"
+    );
+}

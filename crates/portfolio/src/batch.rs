@@ -104,9 +104,13 @@ pub struct BatchStats {
     /// Sum of the individual race times — `solve_time / wall_time` is the
     /// parallel speedup the worker pool achieved.
     pub solve_time: Duration,
-    /// Automaton-cache hits during the batch.
+    /// Automaton-cache hits made by *this batch's* workers, counted via a
+    /// per-batch `posr_obs::CounterScope` — exact even when several batches
+    /// (or unrelated solves) share the process.  The process-wide
+    /// cumulative view stays available as `posr_automata::cache::stats()`.
     pub cache_hits: u64,
-    /// Automaton-cache misses during the batch.
+    /// Automaton-cache misses made by this batch's workers (same scoping
+    /// as [`BatchStats::cache_hits`]).
     pub cache_misses: u64,
     /// Wins per strategy name.
     pub wins: std::collections::BTreeMap<&'static str, usize>,
@@ -140,22 +144,31 @@ pub fn solve_batch(
     options: &BatchOptions,
 ) -> BatchReport {
     let start = Instant::now();
-    let cache_before = posr_automata_cache_stats();
+    // per-batch counter scope: each worker attaches, so the cache numbers
+    // below count exactly this batch's lookups (global deltas were corrupted
+    // by concurrent batches in the same process)
+    let counters = posr_obs::CounterScope::new();
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<BatchOutcome>>> = items.iter().map(|_| Mutex::new(None)).collect();
 
     let workers = options.effective_workers(items.len());
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(index) else { break };
-                let result =
-                    portfolio.solve_with(&item.formula, options.timeout, item.hint.as_deref());
-                *slots[index].lock().expect("batch slot poisoned") = Some(BatchOutcome {
-                    name: item.name.clone(),
-                    result,
-                });
+        for worker in 0..workers {
+            let (counters, next, slots) = (&counters, &next, &slots);
+            scope.spawn(move || {
+                let _attached = counters.attach();
+                posr_obs::set_thread_track(format!("worker:{worker}"));
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(index) else { break };
+                    let _span = posr_obs::span("batch", item.name.clone());
+                    let result =
+                        portfolio.solve_with(&item.formula, options.timeout, item.hint.as_deref());
+                    *slots[index].lock().expect("batch slot poisoned") = Some(BatchOutcome {
+                        name: item.name.clone(),
+                        result,
+                    });
+                }
             });
         }
     });
@@ -169,12 +182,11 @@ pub fn solve_batch(
         })
         .collect();
 
-    let cache_after = posr_automata_cache_stats();
     let mut stats = BatchStats {
         total: outcomes.len(),
         wall_time: start.elapsed(),
-        cache_hits: cache_after.0.saturating_sub(cache_before.0),
-        cache_misses: cache_after.1.saturating_sub(cache_before.1),
+        cache_hits: counters.get(*posr_automata::cache::OBS_HITS),
+        cache_misses: counters.get(*posr_automata::cache::OBS_MISSES),
         ..BatchStats::default()
     };
     for outcome in &outcomes {
@@ -189,11 +201,6 @@ pub fn solve_batch(
         }
     }
     BatchReport { outcomes, stats }
-}
-
-fn posr_automata_cache_stats() -> (u64, u64) {
-    let s = posr_automata::cache::stats();
-    (s.hits, s.misses)
 }
 
 /// Parses named SMT-LIB sources and solves them as one batch, carrying each

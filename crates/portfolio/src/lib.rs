@@ -381,17 +381,28 @@ impl PortfolioSolver {
         let mut winner: Option<&'static str> = None;
         let mut accepted: Option<Answer> = None;
         let mut fallback: Option<Answer> = None;
+        let mut first_seen = false;
         let mut reports: Vec<Option<StrategyReport>> = vec![None; racers.len()];
 
+        // counter scopes are thread-local: capture the caller's (e.g. the
+        // batch driver's per-batch scope) and re-attach inside every lane
+        let inherited = posr_obs::attached_scopes();
         std::thread::scope(|scope| {
             let (tx, rx) = mpsc::channel::<(usize, Answer, Duration)>();
             for (index, strategy) in racers.iter().enumerate() {
                 let tx = tx.clone();
                 let token = tokens[index].clone();
                 let strategy = Arc::clone(strategy);
+                let inherited = &inherited;
                 scope.spawn(move || {
+                    let _attached: Vec<_> = inherited.iter().map(|s| s.attach()).collect();
+                    posr_obs::set_thread_track(format!("lane:{}", strategy.name()));
+                    posr_obs::instant("portfolio", "lane.spawn");
                     let begin = Instant::now();
-                    let answer = strategy.solve(formula, &token);
+                    let answer = {
+                        let _span = posr_obs::span("portfolio", "lane.solve");
+                        strategy.solve(formula, &token)
+                    };
                     // receiver may be gone if the race was already decided
                     let _ = tx.send((index, answer, begin.elapsed()));
                 });
@@ -401,6 +412,10 @@ impl PortfolioSolver {
             for (index, answer, elapsed) in rx.iter() {
                 let name = racers[index].name();
                 let decisive = accepted.is_none() && answer_is_decisive(&answer, formula);
+                if !first_seen {
+                    first_seen = true;
+                    posr_obs::instant("portfolio", format!("lane.first-answer:{name}"));
+                }
                 // `Unknown` after the token fired (flag or deadline) means the
                 // strategy was abandoned, not that it genuinely gave up
                 let cancelled = answer.is_unknown() && tokens[index].is_cancelled();
@@ -419,9 +434,14 @@ impl PortfolioSolver {
                 if decisive {
                     winner = Some(name);
                     accepted = Some(answer);
+                    posr_obs::instant("portfolio", format!("lane.win:{name}"));
                     for (j, token) in tokens.iter().enumerate() {
                         if j != index {
                             token.cancel();
+                            posr_obs::instant(
+                                "portfolio",
+                                format!("lane.cancel:{}", racers[j].name()),
+                            );
                         }
                     }
                     // keep draining: the scope joins every thread anyway, and
@@ -506,7 +526,10 @@ impl PortfolioSolver {
                 }
                 let token = CancelToken::with_deadline(slice_end);
                 let begin = Instant::now();
-                let answer = strategy.solve(formula, &token);
+                let answer = {
+                    let _span = posr_obs::span("portfolio", format!("slice:{}", strategy.name()));
+                    strategy.solve(formula, &token)
+                };
                 let elapsed = begin.elapsed();
                 progressed = true;
                 let decisive = answer_is_decisive(&answer, formula);

@@ -242,6 +242,8 @@ pub enum Command {
     GetUnsatCore,
     /// `(get-proof)`.
     GetProof,
+    /// `(get-info :keyword)`; the payload is the keyword, colon included.
+    GetInfo(String),
     /// `(exit)`.
     Exit,
 }
@@ -261,6 +263,9 @@ pub struct ParsedCommands {
     pub produce_unsat_cores: bool,
     /// `(set-option :produce-proofs true)` anywhere in the script.
     pub produce_proofs: bool,
+    /// `(set-option :verbosity n)`: at `1` or higher, every `(check-sat)`
+    /// is followed by an informational response with its wall time.
+    pub verbosity: u32,
 }
 
 /// Parses a script into its command stream, supporting `(push n)`,
@@ -297,6 +302,15 @@ pub fn parse_commands(input: &str) -> Result<ParsedCommands, ParseError> {
             "get-model" => script.commands.push(Command::GetModel),
             "get-unsat-core" => script.commands.push(Command::GetUnsatCore),
             "get-proof" => script.commands.push(Command::GetProof),
+            "get-info" => {
+                let Some(Sexp::Atom(key)) = items.get(1) else {
+                    return Err(ParseError {
+                        position: 0,
+                        message: format!("malformed get-info: {items:?}"),
+                    });
+                };
+                script.commands.push(Command::GetInfo(key.clone()));
+            }
             "check-sat" => script.commands.push(Command::CheckSat),
             "push" | "pop" => {
                 let n = match items.get(1) {
@@ -344,6 +358,12 @@ pub fn parse_commands(input: &str) -> Result<ParsedCommands, ParseError> {
                             script.produce_unsat_cores = v == "true";
                         }
                         (":produce-proofs", Some(v)) => script.produce_proofs = v == "true",
+                        (":verbosity", Some(v)) => {
+                            script.verbosity = v.parse().map_err(|_| ParseError {
+                                position: 0,
+                                message: format!("malformed verbosity level: {v}"),
+                            })?;
+                        }
                         _ => {}
                     }
                 }
@@ -447,7 +467,11 @@ pub fn parse_script(input: &str) -> Result<ParsedScript, ParseError> {
             },
             Command::Assert { atoms, .. } => script.formula.atoms.extend(atoms),
             Command::CheckSat => script.check_sat = true,
-            Command::GetModel | Command::GetUnsatCore | Command::GetProof | Command::Exit => {}
+            Command::GetModel
+            | Command::GetUnsatCore
+            | Command::GetProof
+            | Command::GetInfo(_)
+            | Command::Exit => {}
             Command::Push(_) | Command::Pop(_) => {
                 return Err(ParseError {
                     position: 0,
@@ -476,6 +500,10 @@ pub enum CommandResponse {
     /// the previous check did not answer `unsat` with `:produce-proofs`
     /// on; empty when the refutation never reached the LIA engine).
     Proof(Option<Vec<String>>),
+    /// An informational attr-value response: the answer to `(get-info …)`
+    /// or, under `(set-option :verbosity 1)`, the per-check timing line.
+    /// Rendered verbatim.
+    Info(String),
 }
 
 /// Everything a script run produced, in command order.
@@ -553,6 +581,9 @@ impl ScriptOutcome {
                         );
                     }
                 }
+                CommandResponse::Info(text) => {
+                    let _ = writeln!(out, "{text}");
+                }
             }
         }
         out
@@ -586,6 +617,7 @@ pub fn run_script_with_options(
         responses: Vec::new(),
         expected_status: parsed.expected_status,
     };
+    let mut checks = 0u64;
     for command in parsed.commands {
         match command {
             Command::Declare { .. } => {}
@@ -609,8 +641,20 @@ pub fn run_script_with_options(
                 }
             }
             Command::CheckSat => {
+                let before = session.check_time();
                 let answer = session.check_sat();
-                outcome.responses.push(CommandResponse::CheckSat(answer));
+                outcome
+                    .responses
+                    .push(CommandResponse::CheckSat(answer.clone()));
+                if parsed.verbosity >= 1 {
+                    checks += 1;
+                    let elapsed = session.check_time().saturating_sub(before);
+                    outcome.responses.push(CommandResponse::Info(format!(
+                        "(:check {checks} :status {} :time-ms {:.3})",
+                        answer_status(&answer),
+                        elapsed.as_secs_f64() * 1e3,
+                    )));
+                }
             }
             Command::GetModel => {
                 outcome
@@ -635,6 +679,26 @@ pub fn run_script_with_options(
                 outcome.responses.push(CommandResponse::Proof(
                     session.last_proofs().map(<[String]>::to_vec),
                 ));
+            }
+            Command::GetInfo(key) => {
+                let text = match key.as_str() {
+                    ":all-statistics" => {
+                        let stats = session.statistics();
+                        let mut text = String::from("(");
+                        for (i, (key, value)) in stats.iter().enumerate() {
+                            if i > 0 {
+                                text.push_str("\n ");
+                            }
+                            let _ = write!(text, ":{key} {value}");
+                        }
+                        text.push(')');
+                        text
+                    }
+                    ":name" => "(:name \"posr\")".to_string(),
+                    ":error-behavior" => "(:error-behavior continued-execution)".to_string(),
+                    _ => "unsupported".to_string(),
+                };
+                outcome.responses.push(CommandResponse::Info(text));
             }
             Command::Exit => break,
         }
@@ -1062,6 +1126,7 @@ mod tests {
                 Command::GetModel => "model",
                 Command::GetUnsatCore => "core",
                 Command::GetProof => "proof",
+                Command::GetInfo(_) => "info",
                 Command::Exit => "exit",
             })
             .collect();
@@ -1129,5 +1194,84 @@ mod tests {
         let outcome = run_script("(get-model)").unwrap();
         assert!(matches!(outcome.responses[0], CommandResponse::Model(None)));
         assert!(outcome.render().contains("no model available"));
+    }
+
+    #[test]
+    fn get_info_all_statistics_reports_the_session_counters() {
+        let script = r#"
+          (declare-const x String)
+          (declare-const y String)
+          (assert (str.in_re x (re.* (str.to_re "ab"))))
+          (assert (str.in_re y (re.* (str.to_re "ab"))))
+          (assert (= (str.len x) (str.len y)))
+          (assert (not (= x y)))
+          (check-sat)
+          (get-info :all-statistics)
+        "#;
+        let outcome = run_script(script).unwrap();
+        assert_eq!(outcome.statuses(), vec!["unsat"]);
+        let Some(CommandResponse::Info(stats)) = outcome.responses.last() else {
+            panic!("expected an Info response, got {:?}", outcome.responses);
+        };
+        // structure, not exact numbers: counters are process-wide and other
+        // tests run concurrently in the same process
+        assert!(stats.starts_with('(') && stats.ends_with(')'), "{stats}");
+        for key in [
+            ":checks 1",
+            ":check-time-ms",
+            ":conflicts",
+            ":decisions",
+            ":simplex-pivots",
+            ":automata-cache-hits",
+            ":automata-cache-misses",
+            ":automata-cache-hit-ratio",
+        ] {
+            assert!(stats.contains(key), "missing {key} in {stats}");
+        }
+        assert!(outcome.render().contains(":checks 1"));
+    }
+
+    #[test]
+    fn get_info_of_an_unknown_key_is_unsupported() {
+        let outcome = run_script("(get-info :reason-unknown)").unwrap();
+        let Some(CommandResponse::Info(text)) = outcome.responses.last() else {
+            panic!("expected an Info response");
+        };
+        assert_eq!(text, "unsupported");
+        assert!(parse_commands("(get-info)").is_err(), "missing keyword");
+    }
+
+    #[test]
+    fn verbosity_adds_per_check_timing_lines() {
+        let script = r#"
+          (set-option :verbosity 1)
+          (declare-const x String)
+          (assert (str.in_re x (str.to_re "ab")))
+          (check-sat)
+          (push 1)
+          (assert (not (= x x)))
+          (check-sat)
+        "#;
+        let outcome = run_script(script).unwrap();
+        assert_eq!(outcome.statuses(), vec!["sat", "unsat"]);
+        let infos: Vec<&String> = outcome
+            .responses
+            .iter()
+            .filter_map(|r| match r {
+                CommandResponse::Info(text) => Some(text),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(infos.len(), 2, "one timing line per check: {infos:?}");
+        assert!(
+            infos[0].contains(":check 1 :status sat :time-ms"),
+            "{infos:?}"
+        );
+        assert!(
+            infos[1].contains(":check 2 :status unsat :time-ms"),
+            "{infos:?}"
+        );
+        // checks() must keep seeing through the interleaved Info responses
+        assert_eq!(outcome.checks().len(), 2);
     }
 }

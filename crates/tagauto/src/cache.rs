@@ -50,12 +50,19 @@ mod tests {
 
     #[test]
     fn repeated_builds_hit_the_shared_cache() {
+        // a CounterScope sees exactly this thread's lookups, so the
+        // assertion is independent of the global counter state other
+        // tests in the process leave behind
         let mut vars = VarTable::new();
         let _ = prepared_automata(&[("x", "(abc)*tagauto-cache")], &mut vars).unwrap();
-        let before = cache::stats();
-        let mut vars2 = VarTable::new();
-        let _ = prepared_automata(&[("x", "(abc)*tagauto-cache")], &mut vars2).unwrap();
-        assert!(cache::stats().hits > before.hits);
+        let scope = posr_obs::CounterScope::new();
+        {
+            let _attached = scope.attach();
+            let mut vars2 = VarTable::new();
+            let _ = prepared_automata(&[("x", "(abc)*tagauto-cache")], &mut vars2).unwrap();
+        }
+        assert_eq!(scope.get(*cache::OBS_HITS), 1);
+        assert_eq!(scope.get(*cache::OBS_MISSES), 0);
     }
 
     #[test]

@@ -7,8 +7,13 @@
 //!
 //! `--stats` prints the process-wide cumulative CDCL(T) engine counters
 //! (conflicts, decisions, propagations, restarts, learned clauses, GC) at
-//! the end — every engine across both drivers flushes into them.
+//! the end — every engine across both drivers flushes into them — plus
+//! the unified `posr-obs` report: per-lane solve time, the phase
+//! self-time table, and the automaton-cache hit ratio.  `POSR_TRACE` /
+//! `POSR_TRACE_FOLDED` additionally export the run as a Chrome trace /
+//! folded-stack profile.
 
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 use posr_bench::{suite, suite_names};
@@ -27,6 +32,13 @@ fn main() {
     let count = get("--count", 25) as usize;
     let timeout = Duration::from_millis(get("--timeout-ms", 5000));
     let show_stats = args.iter().any(|a| a == "--stats");
+
+    posr_obs::init_from_env();
+    if show_stats {
+        // the unified report is built from recorded spans
+        posr_obs::set_enabled(true);
+    }
+    posr_obs::set_thread_track("portfolio-example");
 
     // the four benchmark families of the paper's evaluation, `count` each
     let mut items = Vec::new();
@@ -136,5 +148,53 @@ fn main() {
             "  theory props : {} literals enqueued, {} simplex pivots",
             s.theory_props, s.simplex_pivots
         );
+
+        let tracks = posr_obs::snapshot_tracks();
+        // per-lane busy time: threaded lanes record `lane.solve` on their
+        // own `lane:*` track; the single-core sequential fallback records
+        // `slice:*` spans on the worker's track instead
+        let mut lane_busy: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        for track in &tracks {
+            for phase in posr_obs::phase_totals(std::slice::from_ref(track)) {
+                let lane = if phase.name == "lane.solve" {
+                    track.track.strip_prefix("lane:")
+                } else {
+                    phase.name.strip_prefix("slice:")
+                };
+                if let Some(lane) = lane {
+                    let entry = lane_busy.entry(lane.to_string()).or_default();
+                    entry.0 += phase.count;
+                    entry.1 += phase.total_us;
+                }
+            }
+        }
+        println!("\n== lanes (posr-obs) ==");
+        for (lane, (solves, busy_us)) in &lane_busy {
+            println!(
+                "  {lane:<20} {solves:>5} solves, {:>10.2} ms busy",
+                *busy_us as f64 / 1e3
+            );
+        }
+        let cache = posr_automata::cache::stats();
+        match cache.hit_ratio() {
+            Some(ratio) => println!(
+                "  automaton cache (process-wide): {:.0}% of {} lookups hit",
+                ratio * 100.0,
+                cache.lookups()
+            ),
+            None => println!("  automaton cache (process-wide): no lookups"),
+        }
+
+        println!("\n== phase self-time (posr-obs) ==");
+        let report = posr_obs::SolveReport::from_tracks("portfolio-batch", &tracks);
+        for line in report.table().lines().take(16) {
+            println!("  {line}");
+        }
+    }
+
+    match posr_obs::flush_env_trace() {
+        Ok(Some(path)) => println!("\nchrome trace written to {path}"),
+        Ok(None) => {}
+        Err(e) => eprintln!("could not write trace: {e}"),
     }
 }

@@ -2,9 +2,13 @@
 //! command line or from a built-in example.
 //!
 //! Run with `cargo run --release --example smt_file -- [path.smt2]`.
+//!
+//! Scripts run as a command stream: `(push)`/`(pop)`, multiple
+//! `(check-sat)`, `(get-model)`, `(get-unsat-core)`, `(get-proof)`,
+//! `(get-info :all-statistics)` and `(set-option :verbosity 1)` all work,
+//! and responses print the way an SMT-LIB solver would print them.
 
-use posr_core::solver::{answer_status, StringSolver};
-use posr_smtfmt::parse_script;
+use posr_smtfmt::run_script;
 
 const BUILT_IN: &str = r#"
 (set-logic QF_S)
@@ -15,6 +19,7 @@ const BUILT_IN: &str = r#"
 (assert (not (= x y)))
 (assert (= (str.len x) (str.len y)))
 (check-sat)
+(get-model)
 "#;
 
 fn main() {
@@ -25,27 +30,11 @@ fn main() {
         }),
         None => BUILT_IN.to_string(),
     };
-    let script = match parse_script(&source) {
-        Ok(script) => script,
+    match run_script(&source) {
+        Ok(outcome) => print!("{}", outcome.render()),
         Err(e) => {
             eprintln!("parse error: {e}");
             std::process::exit(1);
-        }
-    };
-    println!(
-        "parsed {} assertions over {} string and {} integer variables",
-        script.formula.atoms.len(),
-        script.string_vars.len(),
-        script.int_vars.len()
-    );
-    let answer = StringSolver::new().solve(&script.formula);
-    println!("{}", answer_status(&answer));
-    if let Some(model) = answer.model() {
-        for var in &script.string_vars {
-            println!("  {var} = {:?}", model.string(var));
-        }
-        for var in &script.int_vars {
-            println!("  {var} = {}", model.int(var));
         }
     }
 }
