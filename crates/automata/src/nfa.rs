@@ -431,7 +431,7 @@ impl Nfa {
         if !self.has_epsilon() {
             return self.clone();
         }
-        let _span = posr_obs::span("automata", "automata.remove_epsilon");
+        let _span = posr_obs::span!("automata", "automata.remove_epsilon");
         let mut out = Nfa::new();
         out.add_states(self.num_states);
         // ε-closures per state

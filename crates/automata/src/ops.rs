@@ -111,7 +111,7 @@ pub fn intersection(a: &Nfa, b: &Nfa) -> Nfa {
         !a.has_epsilon() && !b.has_epsilon(),
         "intersection requires ε-free automata"
     );
-    let _span = posr_obs::span("automata", "automata.product");
+    let _span = posr_obs::span!("automata", "automata.product");
     let mut out = Nfa::new();
     let mut map: BTreeMap<(StateId, StateId), StateId> = BTreeMap::new();
     let mut queue: VecDeque<(StateId, StateId)> = VecDeque::new();
@@ -153,7 +153,7 @@ pub fn intersection(a: &Nfa, b: &Nfa) -> Nfa {
 /// alphabet symbol), represented as an [`Nfa`] whose transition relation
 /// happens to be deterministic.
 pub fn determinize(a: &Nfa, alphabet: &[Symbol]) -> Nfa {
-    let _span = posr_obs::span("automata", "automata.determinize");
+    let _span = posr_obs::span!("automata", "automata.determinize");
     let a = a.remove_epsilon();
     let mut out = Nfa::new();
     let mut map: BTreeMap<BTreeSet<StateId>, StateId> = BTreeMap::new();

@@ -19,7 +19,7 @@ use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 use posr_automata::Regex;
-use posr_core::ast::{StringFormula, StringTerm};
+use posr_core::ast::{LenCmp, LenTerm, StringFormula, StringTerm};
 use posr_core::solver::{answer_status, SolverOptions, StringSolver};
 use posr_lia::formula::Formula;
 use posr_lia::incremental::IncrementalSolver;
@@ -86,6 +86,50 @@ fn flagship_instances() -> Vec<(&'static str, StringFormula, &'static str)> {
                     StringTerm::concat(vec![StringTerm::var("y"), StringTerm::var("x")]),
                 ),
             "unsat",
+        ),
+    ]
+}
+
+/// Big-instance families for the BENCH_lia table only: product automata
+/// with hundreds of states, sized to stress the tableau rather than the
+/// search.  `(a^{n-1}b)*` compiles to an `n`-state cycle, so a diseq +
+/// equal-length constraint over two such variables drives the tag
+/// encoding through a product on the order of `n²` states — the regime
+/// where the occurrence-indexed sparse rows pay off over dense scans.
+/// Kept out of [`flagship_instances`] so the engine comparison and the
+/// tracing-overhead guard stay fast.
+fn big_instances() -> Vec<(&'static str, StringFormula, &'static str)> {
+    // an n-state cycle: exactly one word per accepted length (multiples
+    // of n)
+    let cycle = |n: usize| format!("({}b)*", "a".repeat(n - 1));
+    vec![
+        (
+            // equal lengths must be common multiples of 16 and 20, and
+            // the only one below 80 (= lcm) is 0 — where both words are
+            // empty and the disequality fails.  Unsat by length
+            // arithmetic over the 16×20-state product's flow rows (a
+            // same-cycle unsat twin without the cap is correct too, but
+            // needs word combinatorics over the whole product and blows
+            // past any CI budget)
+            "product-cycle-320-unsat",
+            StringFormula::new()
+                .in_re("x", &cycle(16))
+                .in_re("y", &cycle(20))
+                .diseq(StringTerm::var("x"), StringTerm::var("y"))
+                .len_eq("x", "y")
+                .length(LenTerm::len("x"), LenCmp::Lt, LenTerm::constant(80)),
+            "unsat",
+        ),
+        (
+            // co-prime-ish cycles (20, 24) meet at length lcm = 120 where
+            // the two words differ, so the 20×24-state product is sat
+            "product-cycle-480-sat",
+            StringFormula::new()
+                .in_re("x", &cycle(20))
+                .in_re("y", &cycle(24))
+                .diseq(StringTerm::var("x"), StringTerm::var("y"))
+                .len_eq("x", "y"),
+            "sat",
         ),
     ]
 }
@@ -397,6 +441,10 @@ struct LiaMetrics {
     verdict: &'static str,
     wall: Duration,
     stats: posr_lia::SolverStats,
+    /// Rows a dense tableau scan would have visited over the same run —
+    /// the counterfactual baseline of `stats.row_touches`, taken as a
+    /// delta of the process-wide `obs` counter the simplex maintains.
+    dense_row_touches: u64,
 }
 
 impl LiaMetrics {
@@ -409,10 +457,17 @@ impl LiaMetrics {
             + self.stats.final_checks
     }
 
+    /// Dense-counterfactual rows per row actually touched: since both
+    /// counters cover the same pivot sequence, this is exactly the
+    /// row-touches-per-pivot reduction of the occurrence-indexed layout.
+    fn row_touch_ratio(&self) -> f64 {
+        self.dense_row_touches as f64 / self.stats.row_touches.max(1) as f64
+    }
+
     fn json(&self) -> String {
         let s = &self.stats;
         format!(
-            "{{\"verdict\":\"{}\",\"wall_ms\":{:.3},\"conflicts\":{},\"decisions\":{},\"propagations\":{},\"bound_checks\":{},\"gcd_checks\":{},\"simplex_checks\":{},\"final_checks\":{},\"theory_checks\":{},\"theory_props\":{},\"simplex_pivots\":{},\"learned\":{}}}",
+            "{{\"verdict\":\"{}\",\"wall_ms\":{:.3},\"conflicts\":{},\"decisions\":{},\"propagations\":{},\"bound_checks\":{},\"gcd_checks\":{},\"simplex_checks\":{},\"final_checks\":{},\"theory_checks\":{},\"theory_props\":{},\"tprop_entailed\":{},\"simplex_pivots\":{},\"row_touches\":{},\"dense_row_touches\":{},\"learned\":{}}}",
             self.verdict,
             self.wall.as_secs_f64() * 1e3,
             s.conflicts,
@@ -424,7 +479,10 @@ impl LiaMetrics {
             s.final_checks,
             self.theory_checks(),
             s.theory_props,
+            s.tprop_entailed,
             s.simplex_pivots,
+            s.row_touches,
+            self.dense_row_touches,
             s.learned_total,
         )
     }
@@ -517,37 +575,31 @@ fn stats_delta(
     after: posr_lia::SolverStats,
     before: posr_lia::SolverStats,
 ) -> posr_lia::SolverStats {
-    posr_lia::SolverStats {
-        conflicts: after.conflicts - before.conflicts,
-        decisions: after.decisions - before.decisions,
-        propagations: after.propagations - before.propagations,
-        restarts: after.restarts - before.restarts,
-        learned_total: after.learned_total - before.learned_total,
-        learned_live: 0,
-        gc_dropped: after.gc_dropped - before.gc_dropped,
-        bound_checks: after.bound_checks - before.bound_checks,
-        gcd_checks: after.gcd_checks - before.gcd_checks,
-        simplex_checks: after.simplex_checks - before.simplex_checks,
-        final_checks: after.final_checks - before.final_checks,
-        theory_props: after.theory_props - before.theory_props,
-        simplex_pivots: after.simplex_pivots - before.simplex_pivots,
-    }
+    after.since(&before)
 }
 
 /// The LIA configuration of one BENCH_lia column: the full theory side
-/// (incremental tableau + theory propagation) or the PR-4 baseline with
-/// both switched off.
+/// (incremental tableau + theory propagation + assignment-guided scans)
+/// or the PR-4 baseline with all three switched off.
 fn lia_config(full: bool) -> SolverConfig {
     SolverConfig {
         theory_propagation: full,
         incremental_simplex: full,
+        guided_propagation: full,
         ..SolverConfig::default()
     }
+}
+
+/// The dense-counterfactual row-touch counter; runs are sequential, so
+/// deltas of the process-wide value attribute exactly like `global_stats`.
+fn dense_row_touches_now() -> u64 {
+    posr_obs::counter_value(posr_lia::simplex::obs_dense_row_touch_counter())
 }
 
 /// Runs one flagship (string-level) family under a theory configuration.
 fn run_flagship_family(formula: &StringFormula, full: bool) -> LiaMetrics {
     let before = posr_lia::global_stats();
+    let dense_before = dense_row_touches_now();
     let start = Instant::now();
     let mut options = SolverOptions {
         deadline: Some(start + ENGINE_TIMEOUT),
@@ -560,6 +612,7 @@ fn run_flagship_family(formula: &StringFormula, full: bool) -> LiaMetrics {
         verdict: answer_status(&answer),
         wall,
         stats: stats_delta(posr_lia::global_stats(), before),
+        dense_row_touches: dense_row_touches_now() - dense_before,
     }
 }
 
@@ -567,6 +620,7 @@ fn run_flagship_family(formula: &StringFormula, full: bool) -> LiaMetrics {
 /// rounds on a persistent session) under a theory configuration.
 fn run_tagauto_family(instance: &CegarInstance, full: bool) -> LiaMetrics {
     let before = posr_lia::global_stats();
+    let dense_before = dense_row_touches_now();
     let start = Instant::now();
     let run = run_cegar_with(instance, true, 2, lia_config(full));
     let wall = start.elapsed();
@@ -577,23 +631,33 @@ fn run_tagauto_family(instance: &CegarInstance, full: bool) -> LiaMetrics {
         },
         wall,
         stats: stats_delta(posr_lia::global_stats(), before),
+        dense_row_touches: dense_row_touches_now() - dense_before,
     }
 }
 
+/// Required dense/sparse row-touch ratio on at least one big family —
+/// the measured row-touches-per-pivot reduction of the sparse layout.
+const ROW_TOUCH_RATIO_REQUIRED: f64 = 2.0;
+
 /// The machine-readable LIA perf table: every gated family solved under
-/// the full theory side (incremental tableau + theory propagation) and
-/// under the baseline with both engine switches off — the PR-4 behaviour
-/// of the engine's theory hot paths (the shared branch-and-bound and
-/// structural-engine internals are not switchable) — with wall time,
-/// conflicts, theory checks, propagated theory literals and simplex
-/// pivots.  Returns the JSON document, a human-readable table, and the
-/// gate verdict:
+/// the full theory side (incremental tableau + theory propagation +
+/// assignment-guided scans) and under the baseline with all three engine
+/// switches off — the PR-4 behaviour of the engine's theory hot paths
+/// (the shared branch-and-bound and structural-engine internals are not
+/// switchable) — with wall time, conflicts, theory checks, propagated
+/// theory literals, simplex pivots, and row touches.  Returns the JSON
+/// document, a human-readable table, and the gate verdict:
 ///
 /// * both configurations must agree on every family's verdict (and match
 ///   the expected one where the family pins it) — the full theory side
-///   must never *regress* a verdict, and
+///   must never *regress* a verdict,
 /// * at least one family must show a ≥ 2× reduction in theory checks,
-///   the headline claim of the incremental theory layer.
+///   the headline claim of the incremental theory layer, and
+/// * at least one *big* family (the [`big_instances`] product automata
+///   with hundreds of states) must show a ≥
+///   [`ROW_TOUCH_RATIO_REQUIRED`]× reduction in row touches per pivot
+///   against the dense counterfactual the simplex tracks alongside its
+///   actual visits — the headline claim of the sparse tableau layout.
 ///
 /// Every row additionally carries the per-phase self-time columns of its
 /// full-configuration run (decomposition / encoding / CDCL / simplex /
@@ -611,41 +675,73 @@ fn bench_lia(tracks_out: &mut Vec<posr_obs::TrackSnapshot>) -> (String, String, 
         tracks_out.extend(tracks);
         (metrics, phases)
     };
-    let mut rows: Vec<(
-        String,
-        Option<&'static str>,
-        LiaMetrics,
-        LiaMetrics,
-        PhaseBreakdown,
-    )> = Vec::new();
+    struct BenchRow {
+        name: String,
+        expected: Option<&'static str>,
+        big: bool,
+        full: LiaMetrics,
+        base: LiaMetrics,
+        phases: PhaseBreakdown,
+    }
+    let mut rows: Vec<BenchRow> = Vec::new();
     for (name, formula, expected) in flagship_instances() {
         let (full, phases) = captured(&mut || run_flagship_family(&formula, true));
         let (base, _) = captured(&mut || run_flagship_family(&formula, false));
-        rows.push((name.to_string(), Some(expected), full, base, phases));
+        rows.push(BenchRow {
+            name: name.to_string(),
+            expected: Some(expected),
+            big: false,
+            full,
+            base,
+            phases,
+        });
+    }
+    for (name, formula, expected) in big_instances() {
+        let (full, phases) = captured(&mut || run_flagship_family(&formula, true));
+        let (base, _) = captured(&mut || run_flagship_family(&formula, false));
+        rows.push(BenchRow {
+            name: name.to_string(),
+            expected: Some(expected),
+            big: true,
+            full,
+            base,
+            phases,
+        });
     }
     for instance in cegar_instances() {
         let (full, phases) = captured(&mut || run_tagauto_family(&instance, true));
         let (base, _) = captured(&mut || run_tagauto_family(&instance, false));
-        rows.push((
-            format!("tagauto-{}", instance.name),
-            None,
+        rows.push(BenchRow {
+            name: format!("tagauto-{}", instance.name),
+            expected: None,
+            big: false,
             full,
             base,
             phases,
-        ));
+        });
     }
     posr_obs::set_enabled(obs_was_enabled);
 
     let mut verdicts_ok = true;
     let mut best_ratio = 0.0f64;
     let mut best_family = String::new();
+    let mut best_touch_ratio = 0.0f64;
+    let mut touch_family = String::new();
     let mut table = String::new();
     let _ = writeln!(
         table,
-        "| family | expected | verdict | wall full/base | conflicts full/base | theory checks full/base | tprops | pivots full/base | decomp/enc/cdcl/simplex/proof ms |"
+        "| family | expected | verdict | wall full/base | conflicts full/base | theory checks full/base | tprops (guided) | pivots full/base | row touches sparse/dense | decomp/enc/cdcl/simplex/proof ms |"
     );
-    let _ = writeln!(table, "|---|---|---|---|---|---|---|---|---|");
-    for (name, expected, full, base, phases) in &rows {
+    let _ = writeln!(table, "|---|---|---|---|---|---|---|---|---|---|");
+    for row in &rows {
+        let BenchRow {
+            name,
+            expected,
+            big,
+            full,
+            base,
+            phases,
+        } = row;
         let agree = full.verdict == base.verdict && expected.is_none_or(|e| full.verdict == e);
         verdicts_ok &= agree;
         let ratio = base.theory_checks() as f64 / (full.theory_checks().max(1)) as f64;
@@ -653,9 +749,13 @@ fn bench_lia(tracks_out: &mut Vec<posr_obs::TrackSnapshot>) -> (String, String, 
             best_ratio = ratio;
             best_family = name.clone();
         }
+        if *big && full.row_touch_ratio() > best_touch_ratio {
+            best_touch_ratio = full.row_touch_ratio();
+            touch_family = name.clone();
+        }
         let _ = writeln!(
             table,
-            "| {name} | {} | {}{} | {:.1?} / {:.1?} | {} / {} | {} / {} | {} | {} / {} | {:.1}/{:.1}/{:.1}/{:.1}/{:.1} |",
+            "| {name} | {} | {}{} | {:.1?} / {:.1?} | {} / {} | {} / {} | {} ({}) | {} / {} | {} / {} | {:.1}/{:.1}/{:.1}/{:.1}/{:.1} |",
             expected.unwrap_or("-"),
             full.verdict,
             if agree { "" } else { " ❌" },
@@ -666,8 +766,11 @@ fn bench_lia(tracks_out: &mut Vec<posr_obs::TrackSnapshot>) -> (String, String, 
             full.theory_checks(),
             base.theory_checks(),
             full.stats.theory_props,
+            full.stats.tprop_entailed,
             full.stats.simplex_pivots,
             base.stats.simplex_pivots,
+            full.stats.row_touches,
+            full.dense_row_touches,
             phases.decomposition_ms,
             phases.encoding_ms,
             phases.cdcl_ms,
@@ -675,7 +778,7 @@ fn bench_lia(tracks_out: &mut Vec<posr_obs::TrackSnapshot>) -> (String, String, 
             phases.proof_ms,
         );
     }
-    let gate_ok = verdicts_ok && best_ratio >= 2.0;
+    let gate_ok = verdicts_ok && best_ratio >= 2.0 && best_touch_ratio >= ROW_TOUCH_RATIO_REQUIRED;
 
     println!("measuring tracing overhead (flagship set, 5 interleaved reps)…");
     let overhead = tracing_overhead();
@@ -687,24 +790,26 @@ fn bench_lia(tracks_out: &mut Vec<posr_obs::TrackSnapshot>) -> (String, String, 
         if overhead.ok { "ok" } else { "EXCEEDED" },
     );
 
-    let mut json = String::from("{\n  \"schema\": \"posr-bench-lia/v2\",\n  \"families\": [\n");
-    for (i, (name, expected, full, base, phases)) in rows.iter().enumerate() {
+    let mut json = String::from("{\n  \"schema\": \"posr-bench-lia/v3\",\n  \"families\": [\n");
+    for (i, row) in rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"name\":\"{name}\",\"expected\":{},\"full\":{},\"baseline\":{},\"phases\":{}}}{}",
-            match expected {
+            "    {{\"name\":\"{}\",\"expected\":{},\"big\":{},\"full\":{},\"baseline\":{},\"phases\":{}}}{}",
+            row.name,
+            match row.expected {
                 Some(e) => format!("\"{e}\""),
                 None => "null".to_string(),
             },
-            full.json(),
-            base.json(),
-            phases.json(),
+            row.big,
+            row.full.json(),
+            row.base.json(),
+            row.phases.json(),
             if i + 1 < rows.len() { "," } else { "" },
         );
     }
     let _ = writeln!(
         json,
-        "  ],\n  \"gate\": {{\"verdicts_agree\":{verdicts_ok},\"max_theory_check_ratio\":{best_ratio:.2},\"best_family\":\"{best_family}\",\"required_ratio\":2.0,\"ok\":{gate_ok}}},"
+        "  ],\n  \"gate\": {{\"verdicts_agree\":{verdicts_ok},\"max_theory_check_ratio\":{best_ratio:.2},\"best_family\":\"{best_family}\",\"required_ratio\":2.0,\"max_row_touch_ratio\":{best_touch_ratio:.2},\"row_touch_family\":\"{touch_family}\",\"required_row_touch_ratio\":{ROW_TOUCH_RATIO_REQUIRED},\"ok\":{gate_ok}}},"
     );
     let _ = write!(
         json,

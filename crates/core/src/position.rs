@@ -270,7 +270,7 @@ pub fn solve_position(problem: &PositionProblem<'_>, options: &PositionOptions) 
 
     let encoder = SystemEncoder::new(&automata, &vars);
     let encoding = {
-        let _span = posr_obs::span("core", "encode");
+        let _span = posr_obs::span!("core", "encode");
         encoder.encode(&system_constraints, &mut pool)
     };
 
@@ -522,7 +522,7 @@ fn solve_with_cegar(
         if token.is_cancelled() {
             return PositionOutcome::Unknown(token.unknown_reason());
         }
-        let round_span = posr_obs::span("core", "cegar.round");
+        let round_span = posr_obs::span!("core", "cegar.round");
         let solved = backend.solve();
         drop(round_span);
         match solved {
@@ -535,7 +535,7 @@ fn solve_with_cegar(
                     );
                 }
                 if let (Some(sink), Some(proof)) = (&options.proof_sink, backend.proof()) {
-                    let _span = posr_obs::span("core", "proof.sink");
+                    let _span = posr_obs::span!("core", "proof.sink");
                     OBS_PROOF_DOCS.incr();
                     OBS_PROOF_BYTES.add(proof.len() as u64);
                     sink.lock().expect("proof sink poisoned").push(proof);

@@ -153,16 +153,16 @@ impl StringSolver {
         position_options.deadline = token.deadline();
         position_options.cancel = token.clone();
 
-        let _solve_span = posr_obs::span("core", "solve");
+        let _solve_span = posr_obs::span!("core", "solve");
         let nf = {
-            let _span = posr_obs::span("core", "normalize");
+            let _span = posr_obs::span!("core", "normalize");
             match normal::normalize(formula) {
                 Ok(nf) => nf,
                 Err(e) => return Answer::Unknown(e.to_string()),
             }
         };
         let cases = {
-            let _span = posr_obs::span("core", "decompose");
+            let _span = posr_obs::span!("core", "decompose");
             match monadic::decompose(&nf, self.options.max_monadic_cases) {
                 Ok(cases) => cases,
                 Err(e) => return Answer::Unknown(e.to_string()),

@@ -117,6 +117,25 @@ const GCD_PERIOD: u64 = 8;
 /// cost next to nothing to keep and propagate eagerly).
 const GC_EXEMPT_LEN: usize = 2;
 
+/// The assignment-guided scan skips tableau rows longer than this: the
+/// implied-bound sum is linear in the row, and a row this wide almost
+/// never has every nonbasic bounded on the needed side anyway.
+const GUIDED_ROW_CAP: usize = 128;
+
+/// Pivot budget of the *eager* simplex check behind guided propagation: a
+/// warm-started re-check normally needs zero or a handful of pivots, and
+/// that is the only case worth paying for early — when the budget runs out
+/// the check is abandoned (resumably) and the leaf check finishes the work.
+const GUIDED_PIVOT_BUDGET: u64 = 16;
+
+/// Pivots between cancellation polls in a *leaf* simplex check.  On
+/// product tableaux with hundreds of rows a single check can run for
+/// seconds — far past the search loop's per-iteration deadline poll — so
+/// the unbounded check is sliced into resumable budget windows.  Large
+/// enough that the slicing is free on normal instances (warm-started
+/// checks rarely reach double digits).
+const LEAF_CANCEL_SLICE: u64 = 4096;
+
 /// Cumulative counters of a CDCL(T) engine (one search or a whole
 /// incremental session — the counters never reset between
 /// [`Engine::solve`] calls).
@@ -151,8 +170,18 @@ pub struct SolverStats {
     /// feasibility checks *and* the branch-and-bound of the integer
     /// leaves (the incremental tableaux warm-start, so this is the
     /// direct measure of what the persistent bases save over per-check
-    /// reconstruction).
+    /// reconstruction).  Derived from the `obs` pivot counter through a
+    /// [`posr_obs::CounterScope`] attached for the engine's lifetime, so
+    /// this and `simplex.pivots` cannot drift.
     pub simplex_pivots: u64,
+    /// Tableau rows actually visited by pivot/update loops (the
+    /// occurrence-indexed cost); the dense layout would have scanned the
+    /// whole row set each time.  Derived from the `obs` row-touch counter
+    /// like `simplex_pivots`.
+    pub row_touches: u64,
+    /// The subset of `theory_props` enqueued by the assignment-guided
+    /// tableau scan (multi-variable atoms the interval scan cannot see).
+    pub tprop_entailed: u64,
 }
 
 impl SolverStats {
@@ -175,6 +204,8 @@ impl SolverStats {
             final_checks: self.final_checks.saturating_sub(earlier.final_checks),
             theory_props: self.theory_props.saturating_sub(earlier.theory_props),
             simplex_pivots: self.simplex_pivots.saturating_sub(earlier.simplex_pivots),
+            row_touches: self.row_touches.saturating_sub(earlier.row_touches),
+            tprop_entailed: self.tprop_entailed.saturating_sub(earlier.tprop_entailed),
         }
     }
 }
@@ -193,6 +224,8 @@ static GLOBAL_SIMPLEX_CHECKS: AtomicU64 = AtomicU64::new(0);
 static GLOBAL_FINAL_CHECKS: AtomicU64 = AtomicU64::new(0);
 static GLOBAL_THEORY_PROPS: AtomicU64 = AtomicU64::new(0);
 static GLOBAL_SIMPLEX_PIVOTS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_ROW_TOUCHES: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_TPROP_ENTAILED: AtomicU64 = AtomicU64::new(0);
 
 /// A snapshot of the process-wide cumulative CDCL counters (all engines,
 /// all threads, since process start).
@@ -211,6 +244,8 @@ pub fn global_stats() -> SolverStats {
         final_checks: GLOBAL_FINAL_CHECKS.load(Ordering::Relaxed),
         theory_props: GLOBAL_THEORY_PROPS.load(Ordering::Relaxed),
         simplex_pivots: GLOBAL_SIMPLEX_PIVOTS.load(Ordering::Relaxed),
+        row_touches: GLOBAL_ROW_TOUCHES.load(Ordering::Relaxed),
+        tprop_entailed: GLOBAL_TPROP_ENTAILED.load(Ordering::Relaxed),
     }
 }
 
@@ -324,6 +359,19 @@ impl AtomTable {
     }
 }
 
+/// The registered atoms constraining one tableau column, keyed for the
+/// assignment-guided scan: `upper` holds `(hi, lit)` pairs — asserting
+/// `lit` bounds the owner above by `hi` — sorted ascending by `hi`;
+/// `lower` holds `(lo, lit)` pairs sorted ascending by `lo`.  The feasible
+/// assignment β prunes both lists to the candidate run before any row sum
+/// is computed (β ≤ implied-upper and implied-lower ≤ β always hold after
+/// a consistent check, so atoms β already violates cannot be entailed).
+#[derive(Default)]
+struct GuidedAtoms {
+    upper: Vec<(Rat, Lit)>,
+    lower: Vec<(Rat, Lit)>,
+}
+
 pub(crate) struct Engine {
     config: SolverConfig,
     clauses: Vec<Clause>,
@@ -366,6 +414,24 @@ pub(crate) struct Engine {
     /// variable was theory-propagated — the prefix its lazy explanation is
     /// drawn from.  Only meaningful while `reason[var] == TPROP_REASON`.
     tprop_mark: Vec<usize>,
+    /// Per Boolean variable: the theory-stack tags of the asserted bounds
+    /// whose tableau row entailed an assignment-*guided* propagation, or
+    /// `None` when the literal came from the interval scan.  Only
+    /// meaningful while `reason[var] == TPROP_REASON`.
+    tprop_guided: Vec<Option<Vec<u32>>>,
+    /// Multi-variable atoms indexed by owning slack column, for the
+    /// assignment-guided scan after each consistent eager simplex check
+    /// (single-variable owners are already covered by the interval scan).
+    guided: BTreeMap<usize, GuidedAtoms>,
+    /// Registered columns whose implied bounds may have moved since the
+    /// last guided scan (owners of newly asserted bounds plus the basics
+    /// whose rows contain them); the scan visits only these unless the
+    /// check pivoted (pivots restructure rows arbitrarily).
+    guided_dirty: Vec<usize>,
+    /// Collects the `obs` pivot/row-touch increments made on this engine's
+    /// solving thread; `SolverStats::simplex_pivots` and `row_touches` are
+    /// *derived* from it, so the two accountings cannot drift.
+    pivot_scope: posr_obs::CounterScope,
     /// Prefix length of `theory_stack` known bound- and GCD-consistent.
     theory_checked: usize,
     /// Interval environment of `theory_stack[..theory_checked]`, updated
@@ -451,6 +517,10 @@ impl Engine {
             simplex: IncrementalSimplex::new(),
             atom_table: AtomTable::default(),
             tprop_mark: Vec::new(),
+            tprop_guided: Vec::new(),
+            guided: BTreeMap::new(),
+            guided_dirty: Vec::new(),
+            pivot_scope: posr_obs::CounterScope::new(),
             theory_checked: 0,
             cur_env: BoundEnv::new(),
             gcd_fixed_count: 0,
@@ -528,10 +598,14 @@ impl Engine {
             // its switch so the oracle/baseline configurations measure
             // the genuine PR-4 path, not registration they never use
             if self.config.incremental_simplex {
-                self.lit_prepared
-                    .push(pos.as_ref().map(|c| self.simplex.prepare(c)));
-                self.lit_prepared
-                    .push(neg.as_ref().map(|c| self.simplex.prepare(c)));
+                let pos_prep = pos.as_ref().map(|c| self.simplex.prepare(c));
+                let neg_prep = neg.as_ref().map(|c| self.simplex.prepare(c));
+                if self.config.theory_propagation {
+                    self.register_guided(Lit::positive(var), pos_prep.as_ref());
+                    self.register_guided(Lit::negative(var), neg_prep.as_ref());
+                }
+                self.lit_prepared.push(pos_prep);
+                self.lit_prepared.push(neg_prep);
             } else {
                 self.lit_prepared.push(None);
                 self.lit_prepared.push(None);
@@ -557,7 +631,30 @@ impl Engine {
             self.phase.push(true);
             self.seen.push(false);
             self.tprop_mark.push(0);
+            self.tprop_guided.push(None);
             self.heap.grow(var, &self.activity);
+        }
+    }
+
+    /// Indexes a prepared atom for the assignment-guided scan when its
+    /// owner is a slack column (a multi-variable form): the interval scan
+    /// already entails everything a single-variable owner can, so the
+    /// guided pass contributes exactly the row-entailed atoms the interval
+    /// scan cannot see.
+    fn register_guided(&mut self, lit: Lit, prepared: Option<&PreparedBound>) {
+        let Some(p) = prepared else { return };
+        let Some(col) = p.tableau_owner() else { return };
+        if !self.simplex.is_slack(col) {
+            return;
+        }
+        let g = self.guided.entry(col).or_default();
+        if let Some(hi) = p.hi() {
+            let at = g.upper.partition_point(|(v, _)| *v < hi);
+            g.upper.insert(at, (hi, lit));
+        }
+        if let Some(lo) = p.lo() {
+            let at = g.lower.partition_point(|(v, _)| *v <= lo);
+            g.lower.insert(at, (lo, lit));
         }
     }
 
@@ -613,9 +710,17 @@ impl Engine {
     }
 
     /// Cumulative counters (never reset across `solve` calls).
+    /// `simplex_pivots` and `row_touches` are derived from the engine's
+    /// counter scope — the tableaux count in one place ([`IncrementalSimplex`]
+    /// flushes into the `obs` counters) and this is the only other reader,
+    /// so the two views cannot drift.
     pub(crate) fn stats(&self) -> SolverStats {
         let mut stats = self.stats;
         stats.learned_live = self.clauses.iter().filter(|c| c.learnt).count() as u64;
+        stats.simplex_pivots = self.pivot_scope.get(crate::simplex::obs_pivot_counter());
+        stats.row_touches = self
+            .pivot_scope
+            .get(crate::simplex::obs_row_touch_counter());
         stats
     }
 
@@ -846,6 +951,197 @@ impl Engine {
         }
     }
 
+    /// Assignment-guided theory propagation at the propagation fixpoint
+    /// *before a decision* (not at every intermediate theory check — the
+    /// eager simplex runs once per decision point, when its verdict can
+    /// still preempt the decision): runs the persistent simplex and, when
+    /// feasible, scans the registered multi-variable atoms against the
+    /// bounds the tableau rows imply — enqueueing the entailed ones
+    /// through the [`TPROP_REASON`] path.  The check itself is the
+    /// warm-start case the persistent tableau makes cheap (a handful of
+    /// bound assertions, usually zero pivots), and a conflict it finds
+    /// here is one the leaf would otherwise rediscover a subtree later.
+    fn guided_step(&mut self) -> Step {
+        if !self.config.guided_propagation
+            || !self.config.incremental_simplex
+            || !self.config.theory_propagation
+            || self.guided.is_empty()
+            || self.theory_stack.len() <= self.simplex_checked
+        {
+            return Step::Ok;
+        }
+        // the bounds asserted since the last sync are what can move an
+        // implied bound: their owner columns, plus the basics whose rows
+        // contain them — collected before the sync consumes the range
+        for i in self.simplex.num_asserted()..self.theory_stack.len() {
+            let Some(p) = self.lit_prepared[self.theory_lits[i].code()].as_ref() else {
+                continue;
+            };
+            let Some(c) = p.tableau_owner() else { continue };
+            if self.guided.contains_key(&c) {
+                self.guided_dirty.push(c);
+            }
+            for &b in self.simplex.rows_containing(c) {
+                let b = b as usize;
+                if self.guided.contains_key(&b) {
+                    self.guided_dirty.push(b);
+                }
+            }
+        }
+        let pivots_before = self.simplex.pivots();
+        match self.simplex_check_budgeted(GUIDED_PIVOT_BUDGET) {
+            Some(Step::Ok) => {
+                // pivots rewrite rows wholesale; fall back to a full scan
+                let scan_all = self.simplex.pivots() != pivots_before;
+                self.simplex_guided_propagate(scan_all);
+                Step::Ok
+            }
+            Some(conflict) => conflict,
+            None => {
+                // budget ran out: the tableau needs real pivot work, which
+                // the leaf check will finish — drop the propagation attempt
+                // (it is an optimisation, never required for soundness)
+                self.guided_dirty.clear();
+                Step::Ok
+            }
+        }
+    }
+
+    /// [`Engine::simplex_check`] with a pivot budget (see
+    /// [`IncrementalSimplex::check_budgeted`]): `None` means the budget ran
+    /// out — the new bounds are synced into the tableau but `simplex_checked`
+    /// is *not* advanced, so the next unbudgeted check resumes the pivot
+    /// sequence and delivers the verdict.
+    fn simplex_check_budgeted(&mut self, max_pivots: u64) -> Option<Step> {
+        if self.theory_stack.len() <= self.simplex_checked {
+            return Some(Step::Ok);
+        }
+        if !self.config.incremental_simplex {
+            return Some(self.simplex_check());
+        }
+        self.stats.simplex_checks += 1;
+        let _span = posr_obs::span!("simplex", "simplex.check");
+        let t0 = std::time::Instant::now();
+        let mut outcome = Some(Ok(()));
+        for i in self.simplex.num_asserted()..self.theory_stack.len() {
+            let prepared = self.lit_prepared[self.theory_lits[i].code()]
+                .clone()
+                .expect("theory literals are registered at grow_theory");
+            if let Err(core) = self.simplex.assert_prepared(&prepared, i as u32) {
+                outcome = Some(Err(core));
+                break;
+            }
+        }
+        if let Some(Ok(())) = outcome {
+            outcome = self.simplex.check_budgeted(max_pivots);
+        }
+        self.simplex_time += t0.elapsed();
+        match outcome {
+            Some(Ok(())) => {
+                self.simplex_checked = self.theory_stack.len();
+                Some(Step::Ok)
+            }
+            Some(Err(core)) => {
+                let core: Vec<usize> = core.iter().map(|&i| i as usize).collect();
+                let (conflict, pid) = self.certified_conflict(core);
+                Some(Step::Conflict(conflict, pid))
+            }
+            None => None,
+        }
+    }
+
+    /// The guided scan proper: for every registered slack column, the
+    /// feasible assignment β prunes the atom lists to the candidates β
+    /// does not already refute (β always lies inside the implied interval,
+    /// so an atom β violates cannot be entailed), and only then is the
+    /// implied row bound computed and compared.  Entailed atoms are
+    /// enqueued with [`TPROP_REASON`] and their entailing bound tags — the
+    /// premises of the lazy explanation — recorded in `tprop_guided`.
+    fn simplex_guided_propagate(&mut self, scan_all: bool) {
+        let cols: Vec<usize> = if scan_all {
+            self.guided.keys().copied().collect()
+        } else {
+            let mut dirty = std::mem::take(&mut self.guided_dirty);
+            dirty.sort_unstable();
+            dirty.dedup();
+            dirty
+        };
+        self.guided_dirty.clear();
+        let mut entailed: Vec<(Lit, Vec<u32>)> = Vec::new();
+        let mut tags: Vec<u32> = Vec::new();
+        for col in cols {
+            let Some(atoms) = self.guided.get(&col) else {
+                continue;
+            };
+            let beta = self.simplex.beta_of(col);
+            let upper_run = &atoms.upper[atoms.upper.partition_point(|(hi, _)| *hi < beta)..];
+            if upper_run.iter().any(|&(_, l)| self.assign[l.var()] == 0) {
+                tags.clear();
+                if let Some(implied) =
+                    self.simplex
+                        .implied_bound(col, true, GUIDED_ROW_CAP, &mut tags)
+                {
+                    for &(hi, lit) in upper_run {
+                        if implied <= hi && self.assign[lit.var()] == 0 {
+                            entailed.push((lit, tags.clone()));
+                        }
+                    }
+                }
+            }
+            let lower_run = &atoms.lower[..atoms.lower.partition_point(|(lo, _)| *lo <= beta)];
+            if lower_run.iter().any(|&(_, l)| self.assign[l.var()] == 0) {
+                tags.clear();
+                if let Some(implied) =
+                    self.simplex
+                        .implied_bound(col, false, GUIDED_ROW_CAP, &mut tags)
+                {
+                    for &(lo, lit) in lower_run {
+                        if implied >= lo && self.assign[lit.var()] == 0 {
+                            entailed.push((lit, tags.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        for (lit, tags) in entailed {
+            if self.assign[lit.var()] != 0 {
+                continue;
+            }
+            if self.proof.is_some() && !self.guided_certifiable(lit, &tags) {
+                // a lemma the checker could not replay would poison the
+                // proof; forgo the propagation instead (rare: the Farkas
+                // recovery only fails on non-irreducible premise sets)
+                continue;
+            }
+            self.stats.theory_props += 1;
+            self.stats.tprop_entailed += 1;
+            self.tprop_mark[lit.var()] = self.theory_stack.len();
+            self.tprop_guided[lit.var()] = Some(tags);
+            self.enqueue(lit, TPROP_REASON);
+            // mirror the interval path: a root-level propagation must be
+            // materialised eagerly for the replayer
+            if self.proof.is_some() && self.decision_level() == 0 {
+                let (lemma, kind) = self.explain_tprop(lit);
+                self.log_lemma(&lemma, kind);
+            }
+        }
+    }
+
+    /// `true` when the guided entailment of `lit` from the premise tags has
+    /// a recoverable Farkas certificate (the rows of the premises plus the
+    /// negated literal's constraint combine to a positive contradiction).
+    fn guided_certifiable(&self, lit: Lit, tags: &[u32]) -> bool {
+        let Some(neg) = self.lit_constraint[lit.negate().code()].as_ref() else {
+            return false;
+        };
+        let mut idx: Vec<usize> = tags.iter().map(|&t| t as usize).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        let mut rows = vec![le_row(neg)];
+        rows.extend(idx.iter().map(|&i| le_row(&self.theory_stack[i])));
+        farkas_coefficients(&rows).is_some()
+    }
+
     /// Theory propagation: scans the atoms of every form one of `changed`
     /// variables occurs in, and enqueues the literals the current
     /// intervals entail — with a [`TPROP_REASON`] marker instead of a
@@ -910,27 +1206,68 @@ impl Engine {
             }
             self.stats.theory_props += 1;
             self.tprop_mark[lit.var()] = self.theory_stack.len();
+            self.tprop_guided[lit.var()] = None;
             self.enqueue(lit, TPROP_REASON);
             // a level-0 theory propagation extends the *root* trail, which
             // a replayer cannot reproduce from clauses alone — materialise
             // its explanation eagerly as a bound lemma
             if self.proof.is_some() && self.decision_level() == 0 {
-                let lemma = self.explain_tprop(lit);
-                self.log_lemma(&lemma, CertKind::Bounds);
+                let (lemma, kind) = self.explain_tprop(lit);
+                self.log_lemma(&lemma, kind);
             }
         }
     }
 
-    /// Materialises the lazy explanation of a theory-propagated literal:
-    /// the negated literal's constraint is jointly bound-infeasible with
-    /// the theory-stack prefix recorded at propagation time, so the
-    /// tracked propagator's conflict core over that set — minus the
-    /// negated constraint itself — is a set of asserted literals implying
-    /// `lit`.  Falls back to the whole prefix when the from-scratch pass
-    /// cannot reproduce the incremental fixpoint (round-capped): sound,
-    /// just less sharp.
-    fn explain_tprop(&mut self, lit: Lit) -> Vec<Lit> {
+    /// Materialises the lazy explanation of a theory-propagated literal,
+    /// returning the lemma clause and the certificate kind a replayer
+    /// verifies it under.
+    ///
+    /// A *guided* propagation recorded its premises (the bound tags of one
+    /// tableau row) at enqueue time; the lemma is `lit ∨ ¬premises` and
+    /// the certificate is the Farkas combination of the premise rows with
+    /// the negated literal — interval propagation cannot replay a
+    /// multi-variable row entailment.
+    ///
+    /// An *interval* propagation re-derives its core: the negated
+    /// literal's constraint is jointly bound-infeasible with the
+    /// theory-stack prefix recorded at propagation time, so the tracked
+    /// propagator's conflict core over that set — minus the negated
+    /// constraint itself — is a set of asserted literals implying `lit`.
+    /// Falls back to the whole prefix when the from-scratch pass cannot
+    /// reproduce the incremental fixpoint (round-capped): sound, just
+    /// less sharp.
+    fn explain_tprop(&mut self, lit: Lit) -> (Vec<Lit>, CertKind) {
         let t0 = std::time::Instant::now();
+        if let Some(tags) = self.tprop_guided[lit.var()].clone() {
+            let mut idx: Vec<usize> = tags.iter().map(|&t| t as usize).collect();
+            idx.sort_unstable();
+            idx.dedup();
+            idx.retain(|&i| i < self.theory_stack.len());
+            let mut lits = vec![lit];
+            for &i in &idx {
+                lits.push(self.theory_lits[i].negate());
+            }
+            let kind = if self.proof.is_some() {
+                // same row order as the clause: entry j is the constraint
+                // of the negation of clause literal j
+                let neg = self.lit_constraint[lit.negate().code()]
+                    .as_ref()
+                    .expect("theory-propagated literals carry a constraint");
+                let mut rows = vec![le_row(neg)];
+                rows.extend(idx.iter().map(|&i| le_row(&self.theory_stack[i])));
+                match farkas_coefficients(&rows) {
+                    Some(lambda) => CertKind::Farkas(lambda),
+                    None => {
+                        self.proof_incomplete("guided propagation without a Farkas certificate");
+                        CertKind::Bounds
+                    }
+                }
+            } else {
+                CertKind::Bounds
+            };
+            self.explain_time += t0.elapsed();
+            return (lits, kind);
+        }
         let mark = self.tprop_mark[lit.var()].min(self.theory_stack.len());
         let neg = self.lit_constraint[lit.negate().code()]
             .clone()
@@ -954,7 +1291,7 @@ impl Engine {
             }
         }
         self.explain_time += t0.elapsed();
-        lits
+        (lits, CertKind::Bounds)
     }
 
     /// Divisibility check over the asserted equality subsystem with the
@@ -1021,7 +1358,7 @@ impl Engine {
             return Step::Ok;
         }
         self.stats.simplex_checks += 1;
-        let _span = posr_obs::span("simplex", "simplex.check");
+        let _span = posr_obs::span!("simplex", "simplex.check");
         let t0 = std::time::Instant::now();
         let outcome = if self.config.incremental_simplex {
             self.incremental_simplex_check()
@@ -1030,14 +1367,21 @@ impl Engine {
         };
         self.simplex_time += t0.elapsed();
         match outcome {
-            Ok(()) => {
+            Some(Ok(())) => {
                 self.simplex_checked = self.theory_stack.len();
                 Step::Ok
             }
-            Err(core) => {
+            Some(Err(core)) => {
                 let core: Vec<usize> = core.iter().map(|&i| i as usize).collect();
                 let (conflict, pid) = self.certified_conflict(core);
                 Step::Conflict(conflict, pid)
+            }
+            None => {
+                // cancelled mid-check: `simplex_checked` stays behind the
+                // stack so nothing counts as verified, and the caller must
+                // consult `self.cancelled` before trusting the `Ok`
+                self.cancelled = true;
+                Step::Ok
             }
         }
     }
@@ -1045,42 +1389,52 @@ impl Engine {
     /// Sync-and-check on the persistent tableau.  Assertion tags are
     /// theory-stack indices, so both the O(1) clash cores of the sync and
     /// the Farkas cores of the pivot loop index asserted literals.
-    fn incremental_simplex_check(&mut self) -> Result<(), Vec<u32>> {
-        let pivots_before = self.simplex.pivots();
-        let mut result = Ok(());
+    ///
+    /// The pivot loop runs in [`LEAF_CANCEL_SLICE`]-sized budget slices
+    /// with a cancellation poll between them — on big tableaux a single
+    /// check can pivot for seconds, far past the search loop's per-
+    /// iteration poll.  `None` means cancelled: the tableau is left
+    /// consistent mid-repair (a budget-exhausted check always is) and the
+    /// remaining violations stay queued for whoever checks next.
+    fn incremental_simplex_check(&mut self) -> Option<Result<(), Vec<u32>>> {
         for i in self.simplex.num_asserted()..self.theory_stack.len() {
             let prepared = self.lit_prepared[self.theory_lits[i].code()]
                 .clone()
                 .expect("theory literals are registered at grow_theory");
             if let Err(core) = self.simplex.assert_prepared(&prepared, i as u32) {
-                result = Err(core);
-                break;
+                return Some(Err(core));
             }
         }
-        if result.is_ok() {
-            result = self.simplex.check();
+        loop {
+            if let Some(result) = self.simplex.check_budgeted(LEAF_CANCEL_SLICE) {
+                return Some(result);
+            }
+            if self.config.cancel.can_fire() && self.config.cancel.is_cancelled() {
+                return None;
+            }
         }
-        self.stats.simplex_pivots += self.simplex.pivots() - pivots_before;
-        result
     }
 
     /// The PR-4 baseline: a fresh tableau per check (kept as a
     /// differential oracle; also what the ablation's incremental-vs-scratch
-    /// pivot comparison runs against).
-    fn scratch_simplex_check(&mut self) -> Result<(), Vec<u32>> {
+    /// pivot comparison runs against).  Sliced against cancellation like
+    /// [`Engine::incremental_simplex_check`]; the abandoned tableau is
+    /// simply dropped.
+    fn scratch_simplex_check(&mut self) -> Option<Result<(), Vec<u32>>> {
         let mut simplex = IncrementalSimplex::new();
-        let mut result = Ok(());
         for (i, c) in self.theory_stack.iter().enumerate() {
             if let Err(core) = simplex.assert_constraint(c, i as u32) {
-                result = Err(core);
-                break;
+                return Some(Err(core));
             }
         }
-        if result.is_ok() {
-            result = simplex.check();
+        loop {
+            if let Some(result) = simplex.check_budgeted(LEAF_CANCEL_SLICE) {
+                return Some(result);
+            }
+            if self.config.cancel.can_fire() && self.config.cancel.is_cancelled() {
+                return None;
+            }
         }
-        self.stats.simplex_pivots += simplex.pivots();
-        result
     }
 
     /// The conflicting-clause form of a theory core: negations of the
@@ -1140,12 +1494,15 @@ impl Engine {
         (conflict, pid)
     }
 
-    /// Full assignment: the exact integer check.
+    /// Full assignment: the exact integer check.  The branch-and-bound
+    /// inherits the engine's cancel token so a deadline cuts it off
+    /// mid-search (surfacing as a `ResourceOut` the caller converts into
+    /// a clean cancellation rather than a tainting blocking clause).
     fn final_check(&mut self) -> FinalOutcome {
         self.stats.final_checks += 1;
-        let (result, pivots) =
-            solve_integer_with_pivots(&self.theory_stack, &self.config.int_config);
-        self.stats.simplex_pivots += pivots;
+        let mut int_config = self.config.int_config.clone();
+        int_config.cancel = self.config.cancel.clone();
+        let (result, _pivots) = solve_integer_with_pivots(&self.theory_stack, &int_config);
         match result {
             IntFeasResult::Sat(values) => FinalOutcome::Model(Model::from_values(values)),
             IntFeasResult::Unsat => {
@@ -1227,9 +1584,9 @@ impl Engine {
             reason_lits = if r == TPROP_REASON {
                 // lazy theory explanation, materialised only now that the
                 // propagated literal is actually resolved on
-                let lemma = self.explain_tprop(p);
+                let (lemma, kind) = self.explain_tprop(p);
                 if self.proof.is_some() {
-                    let id = self.log_lemma(&lemma, CertKind::Bounds);
+                    let id = self.log_lemma(&lemma, kind);
                     hint_steps.push((index, id));
                 }
                 lemma
@@ -1351,9 +1708,9 @@ impl Engine {
                     continue;
                 }
                 let reason_lits = if r == TPROP_REASON {
-                    let lemma = self.explain_tprop(l);
+                    let (lemma, kind) = self.explain_tprop(l);
                     if self.proof.is_some() {
-                        let id = self.log_lemma(&lemma, CertKind::Bounds);
+                        let id = self.log_lemma(&lemma, kind);
                         hint_steps.push((i, id));
                     }
                     lemma
@@ -1525,7 +1882,12 @@ impl Engine {
         self.assumptions = assumptions.to_vec();
         self.solve_base_conflicts = self.stats.conflicts;
         let result = {
-            let _span = posr_obs::span("cdcl", "cdcl.solve");
+            let _span = posr_obs::span!("cdcl", "cdcl.solve");
+            // every tableau this call touches (the persistent one, the
+            // scratch oracle, branch-and-bound, the one-shot certifiers)
+            // flushes its pivot/row-touch counts into the obs counters;
+            // the attached scope is what `stats()` derives them from
+            let _pivots = self.pivot_scope.attach();
             self.search()
         };
         self.cancel_until(0);
@@ -1616,6 +1978,11 @@ impl Engine {
                             }
                             continue;
                         }
+                        if self.cancelled {
+                            // the check was cut off mid-repair; its Ok is
+                            // not a feasibility verdict
+                            return self.undecided_unknown();
+                        }
                         match self.final_check() {
                             FinalOutcome::Model(model) => return SolverResult::Sat(model),
                             FinalOutcome::Conflict(c, id) => {
@@ -1625,6 +1992,16 @@ impl Engine {
                                 }
                             }
                             FinalOutcome::ResourceOut => {
+                                if self.config.cancel.can_fire()
+                                    && self.config.cancel.is_cancelled()
+                                {
+                                    // a cancellation, not a real budget
+                                    // exhaustion: bail cleanly instead of
+                                    // tainting the database with a
+                                    // blocking clause
+                                    self.cancelled = true;
+                                    return self.undecided_unknown();
+                                }
                                 self.saw_resource_out = true;
                                 // block this branch by refuting its
                                 // decisions — a search heuristic, not an
@@ -1648,6 +2025,24 @@ impl Engine {
                             }
                         }
                     } else {
+                        // stable partial assignment, about to decide: let
+                        // the eager simplex veto or narrow the decision
+                        match self.guided_step() {
+                            Step::Conflict(c, id) => {
+                                if !self.resolve_conflict(c, id) {
+                                    self.root_unsat = true;
+                                    return self.unsat_result();
+                                }
+                                continue;
+                            }
+                            Step::Ok => {
+                                if self.qhead < self.trail.len() {
+                                    // guided propagation enqueued literals;
+                                    // propagate them instead of deciding
+                                    continue;
+                                }
+                            }
+                        }
                         if self.stats.conflicts - conflicts_at_restart >= restart_limit {
                             self.stats.restarts += 1;
                             posr_obs::instant("cdcl", "cdcl.restart");
@@ -1676,7 +2071,8 @@ impl Engine {
     }
 
     fn trace_line(&self) {
-        let s = &self.stats;
+        let s = self.stats();
+        let s = &s;
         if (s.decisions + s.conflicts).is_multiple_of(256) && s.decisions + s.conflicts > 0 {
             eprintln!(
                 "cdcl: decisions {} conflicts {} restarts {} trail {}/{} theory {} checks b{}/g{}/s{}/f{} tprops {} pivots {} time b{:?}/g{:?}/s{:?}/e{:?}",
@@ -1717,6 +2113,8 @@ impl Engine {
         GLOBAL_FINAL_CHECKS.fetch_add(now.final_checks - f.final_checks, Ordering::Relaxed);
         GLOBAL_THEORY_PROPS.fetch_add(now.theory_props - f.theory_props, Ordering::Relaxed);
         GLOBAL_SIMPLEX_PIVOTS.fetch_add(now.simplex_pivots - f.simplex_pivots, Ordering::Relaxed);
+        GLOBAL_ROW_TOUCHES.fetch_add(now.row_touches - f.row_touches, Ordering::Relaxed);
+        GLOBAL_TPROP_ENTAILED.fetch_add(now.tprop_entailed - f.tprop_entailed, Ordering::Relaxed);
         self.flushed = now;
     }
 }

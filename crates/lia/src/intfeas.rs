@@ -19,13 +19,25 @@
 
 use std::collections::BTreeMap;
 
+use crate::cancel::CancelToken;
 use crate::rational::Rat;
 use crate::simplex::{IncrementalSimplex, Rel, SimplexConstraint};
 use crate::term::{LinExpr, Var};
 
+/// Pivots between cancellation polls inside one node's feasibility
+/// check: a single warm-started check is usually a handful of pivots, but
+/// on product tableaux with hundreds of rows it can run for seconds.
+const CANCEL_SLICE: u64 = 4096;
+
 /// Resource limits for the branch-and-bound search.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct IntFeasConfig {
+    /// Cooperative cancellation: polled once per node and between pivot
+    /// slices of each node's simplex check.  A fired token surfaces as
+    /// [`IntFeasResult::ResourceOut`] — the caller distinguishes a real
+    /// budget exhaustion from a cancellation by asking the token.  The
+    /// default token never fires.
+    pub cancel: CancelToken,
     /// Maximum number of branch-and-bound nodes explored before giving up.
     pub max_nodes: usize,
     /// Absolute bound on branching values; branches that would push a
@@ -38,6 +50,7 @@ pub struct IntFeasConfig {
 impl Default for IntFeasConfig {
     fn default() -> IntFeasConfig {
         IntFeasConfig {
+            cancel: CancelToken::default(),
             max_nodes: 50_000,
             magnitude_bound: 10_000_000,
         }
@@ -112,6 +125,9 @@ pub fn solve_integer_with_pivots(
         if nodes_left == 0 {
             return (IntFeasResult::ResourceOut, simplex.pivots());
         }
+        if config.cancel.can_fire() && config.cancel.is_cancelled() {
+            return (IntFeasResult::ResourceOut, simplex.pivots());
+        }
         nodes_left -= 1;
         // rewind to the node's parent, then enter the node's branch: a
         // level pop only relaxes bounds, so the warm basis stays valid
@@ -162,7 +178,17 @@ pub fn solve_integer_with_pivots(
             last_gcd_fixed = env.pinned_count();
         }
 
-        match simplex.check() {
+        let check = loop {
+            match simplex.check_budgeted(CANCEL_SLICE) {
+                Some(result) => break result,
+                None => {
+                    if config.cancel.can_fire() && config.cancel.is_cancelled() {
+                        return (IntFeasResult::ResourceOut, simplex.pivots());
+                    }
+                }
+            }
+        };
+        match check {
             Err(_) => continue,
             Ok(()) => {
                 let model = simplex.model();
@@ -367,6 +393,7 @@ mod tests {
         let config = IntFeasConfig {
             max_nodes: 5,
             magnitude_bound: 1_000_000,
+            ..IntFeasConfig::default()
         };
         assert_eq!(solve_integer(&constraints, &config), IntFeasResult::Unsat);
     }
@@ -386,6 +413,7 @@ mod tests {
         let config = IntFeasConfig {
             max_nodes: 0,
             magnitude_bound: 1_000_000,
+            ..IntFeasConfig::default()
         };
         assert_eq!(
             solve_integer(&constraints, &config),
@@ -406,6 +434,7 @@ mod tests {
         let config = IntFeasConfig {
             max_nodes: 1000,
             magnitude_bound: 100,
+            ..IntFeasConfig::default()
         };
         // the relaxation is already integral here, so this particular system is SAT;
         // perturb it so that branching is required at a huge value

@@ -186,6 +186,24 @@ impl fmt::Display for Rat {
 impl Add for Rat {
     type Output = Rat;
     fn add(self, rhs: Rat) -> Rat {
+        // fast paths for the shapes the simplex row updates produce: the
+        // coefficients of automata-derived rows are integers almost
+        // everywhere, and equal denominators appear whenever a row is
+        // scaled once and then accumulated
+        if self.den == rhs.den {
+            let num = checked(self.num.checked_add(rhs.num));
+            if self.den == 1 {
+                // integers stay integers: no gcd, no renormalisation
+                return Rat { num, den: 1 };
+            }
+            // shared denominator: only the numerator sum can introduce a
+            // common factor, and it divides the (already reduced) den
+            let g = gcd(num, self.den);
+            return Rat {
+                num: num / g,
+                den: self.den / g,
+            };
+        }
         let num = checked(
             checked(self.num.checked_mul(rhs.den))
                 .checked_add(checked(rhs.num.checked_mul(self.den))),
@@ -205,9 +223,43 @@ impl Sub for Rat {
 impl Mul for Rat {
     type Output = Rat;
     fn mul(self, rhs: Rat) -> Rat {
-        let num = checked(self.num.checked_mul(rhs.num));
-        let den = checked(self.den.checked_mul(rhs.den));
-        Rat::new(num, den)
+        // ±1 are by far the most common row coefficients (every automaton
+        // transition contributes a unit entry); neither needs arithmetic
+        if rhs.den == 1 {
+            match rhs.num {
+                1 => return self,
+                -1 => return -self,
+                _ => {}
+            }
+        }
+        if self.den == 1 {
+            match self.num {
+                1 => return rhs,
+                -1 => return -rhs,
+                _ => {}
+            }
+        }
+        // cross-gcd reduction: divide each numerator by its gcd with the
+        // *other* denominator before multiplying.  The products are then
+        // already in lowest terms (both fractions are reduced), skipping
+        // the final gcd — and intermediate magnitudes shrink, so products
+        // whose reduced result fits in `i128` no longer overflow spuriously
+        let ga = gcd(self.num, rhs.den);
+        let gb = gcd(rhs.num, self.den);
+        let (an, bd) = if ga > 1 {
+            (self.num / ga, rhs.den / ga)
+        } else {
+            (self.num, rhs.den)
+        };
+        let (bn, ad) = if gb > 1 {
+            (rhs.num / gb, self.den / gb)
+        } else {
+            (rhs.num, self.den)
+        };
+        Rat {
+            num: checked(an.checked_mul(bn)),
+            den: checked(ad.checked_mul(bd)),
+        }
     }
 }
 
@@ -249,6 +301,16 @@ impl PartialOrd for Rat {
 
 impl Ord for Rat {
     fn cmp(&self, other: &Rat) -> Ordering {
+        // equal denominators (integers in particular) compare directly —
+        // the common case in bound checks, where bounds are integral
+        if self.den == other.den {
+            return self.num.cmp(&other.num);
+        }
+        // differing signs need no arithmetic either (dens are positive)
+        let (s, o) = (self.num.signum(), other.num.signum());
+        if s != o {
+            return s.cmp(&o);
+        }
         let lhs = checked(self.num.checked_mul(other.den));
         let rhs = checked(other.num.checked_mul(self.den));
         lhs.cmp(&rhs)
@@ -320,5 +382,91 @@ mod tests {
     fn display() {
         assert_eq!(Rat::new(3, 6).to_string(), "1/2");
         assert_eq!(Rat::from_int(-4).to_string(), "-4");
+    }
+
+    /// The reference implementations the fast paths must agree with:
+    /// textbook cross-multiplication with the final gcd normalisation.
+    fn slow_add(a: Rat, b: Rat) -> Rat {
+        Rat::new(a.num * b.den + b.num * a.den, a.den * b.den)
+    }
+
+    fn slow_mul(a: Rat, b: Rat) -> Rat {
+        Rat::new(a.num * b.num, a.den * b.den)
+    }
+
+    #[test]
+    fn fast_paths_agree_with_reference() {
+        // a small splat of values covering every fast-path shape: shared
+        // denominators, integers, ±1 factors, zero, mixed signs
+        let mut vals = Vec::new();
+        for num in -6i128..=6 {
+            for den in 1i128..=4 {
+                vals.push(Rat::new(num, den));
+            }
+        }
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(a + b, slow_add(a, b), "add {a} {b}");
+                assert_eq!(a - b, slow_add(a, -b), "sub {a} {b}");
+                assert_eq!(a * b, slow_mul(a, b), "mul {a} {b}");
+                let expected = (a.num * b.den).cmp(&(b.num * a.den));
+                assert_eq!(a.cmp(&b), expected, "cmp {a} {b}");
+                if !b.is_zero() {
+                    assert_eq!(a / b, slow_mul(a, b.recip()), "div {a} {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn integer_add_at_the_overflow_boundary() {
+        // the integer fast path must be exact right up to the edge...
+        let almost = Rat::from_int(i128::MAX - 1);
+        assert_eq!(almost + Rat::ONE, Rat::from_int(i128::MAX));
+        assert_eq!(
+            Rat::from_int(i128::MIN + 1) - Rat::ONE,
+            Rat::from_int(i128::MIN)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "posr-lia rational overflow")]
+    fn integer_add_past_the_boundary_panics() {
+        // ...and panic with the recognised marker one past it, so the
+        // solver converts it to a resource-out rather than a wrong answer
+        let _ = Rat::from_int(i128::MAX) + Rat::ONE;
+    }
+
+    #[test]
+    fn cross_reduction_survives_products_the_naive_multiply_cannot() {
+        // (MAX-1)/2 * 2/(MAX-1) = 1: the naive num*num product overflows,
+        // the cross-gcd reduction cancels before multiplying
+        let big = i128::MAX - 1;
+        let a = Rat::new(big, 2);
+        let b = Rat::new(2, big);
+        assert_eq!(a * b, Rat::ONE);
+        // a genuinely too-large product must still panic with the marker
+        let r = std::panic::catch_unwind(|| Rat::from_int(big) * Rat::from_int(big));
+        let msg = *r.unwrap_err().downcast::<String>().expect("panic message");
+        assert!(msg.contains(OVERFLOW_MSG), "got {msg}");
+    }
+
+    #[test]
+    fn shared_denominator_add_renormalises() {
+        // 1/6 + 1/6 = 1/3: the shared-den fast path must still reduce
+        assert_eq!(Rat::new(1, 6) + Rat::new(1, 6), Rat::new(1, 3));
+        assert_eq!(Rat::new(1, 4) + Rat::new(-1, 4), Rat::ZERO);
+        assert_eq!(Rat::new(3, 4) + Rat::new(3, 4), Rat::new(3, 2));
+    }
+
+    #[test]
+    fn comparison_without_multiplication_is_exact_at_the_boundary() {
+        // sign and equal-den fast paths keep cmp total where the cross
+        // multiplication would overflow
+        let huge = Rat::from_int(i128::MAX);
+        let tiny = Rat::from_int(i128::MIN);
+        assert!(tiny < huge);
+        assert!(huge > Rat::ZERO);
+        assert!(Rat::from_int(i128::MAX - 1) < huge);
     }
 }

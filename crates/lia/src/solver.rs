@@ -142,6 +142,16 @@ pub struct SolverConfig {
     /// ([`crate::intfeas`]) and the structural engine's pre-branch checks
     /// always run their own incremental tableaux.
     pub incremental_simplex: bool,
+    /// Assignment-guided theory propagation in the CDCL engine: at the
+    /// propagation fixpoint before each decision, a pivot-budgeted check of
+    /// the persistent tableau runs eagerly and, when feasible, the bounds
+    /// its rows imply are scanned for entailed multi-variable atoms (the
+    /// ones the interval fixpoint cannot see), which are enqueued through
+    /// the lazy-explanation path.  On by default; requires
+    /// `incremental_simplex` and `theory_propagation`.  Off is the
+    /// ablation baseline isolating the tableau-layout win from the
+    /// propagation win.
+    pub guided_propagation: bool,
     /// Record a replayable proof of every Unsat answer into a
     /// [`crate::proof::ProofBuilder`]: root clauses, theory lemmas with
     /// arithmetic certificates, and the RUP hint chain of every learned
@@ -177,6 +187,7 @@ impl Default for SolverConfig {
             learnt_cap: 8_000,
             theory_propagation: true,
             incremental_simplex: true,
+            guided_propagation: true,
             proof_logging: false,
             int_config: IntFeasConfig::default(),
             cancel: CancelToken::none(),

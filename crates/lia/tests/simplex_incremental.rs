@@ -8,10 +8,10 @@
 //!    [`check_feasibility`] over the flattened live constraint set — the
 //!    warm basis, the undo trail and the level bookkeeping must never
 //!    change a verdict;
-//! 2. the **theory-propagation and incremental-simplex config switches**
-//!    are differential oracles by construction: all four on/off
-//!    combinations of `SolverConfig::{theory_propagation,
-//!    incremental_simplex}` must agree on random formulas, and every
+//! 2. the **theory-side config switches** are differential oracles by
+//!    construction: every on/off combination of
+//!    `SolverConfig::{theory_propagation, incremental_simplex,
+//!    guided_propagation}` must agree on random formulas, and every
 //!    `Sat` model must re-evaluate to true.
 //!
 //! Seeds are fixed xorshift states, so failures reproduce exactly.
@@ -25,6 +25,7 @@ use posr_lia::simplex::{
 };
 use posr_lia::solver::{Solver, SolverConfig, SolverResult};
 use posr_lia::term::{LinExpr, Var, VarPool};
+use posr_lia::IncrementalSolver;
 
 /// A tiny deterministic xorshift generator (same shape as
 /// `tests/differential.rs`): no external crates, reproducible failures.
@@ -263,18 +264,23 @@ fn theory_config_matrix_agrees_on_random_formulas() {
     let mut pool = VarPool::new();
     let vars: Vec<Var> = (0..4).map(|i| pool.fresh(&format!("m{i}"))).collect();
 
-    // all four combinations of the two theory-side switches; index 0 is
-    // the full configuration, index 3 the PR-4 baseline
-    let solvers: Vec<Solver> = [(true, true), (true, false), (false, true), (false, false)]
-        .into_iter()
-        .map(|(theory_propagation, incremental_simplex)| {
-            Solver::with_config(SolverConfig {
-                theory_propagation,
-                incremental_simplex,
-                ..SolverConfig::default()
-            })
-        })
-        .collect();
+    // every combination of the three theory-side switches; index 0 is
+    // the full configuration, the all-off row the PR-4 baseline (guided
+    // propagation is inert unless the other two are on, but the inert
+    // rows are kept — they must be *exactly* inert)
+    let mut solvers: Vec<Solver> = Vec::new();
+    for theory_propagation in [true, false] {
+        for incremental_simplex in [true, false] {
+            for guided_propagation in [true, false] {
+                solvers.push(Solver::with_config(SolverConfig {
+                    theory_propagation,
+                    incremental_simplex,
+                    guided_propagation,
+                    ..SolverConfig::default()
+                }));
+            }
+        }
+    }
 
     let mut sat = 0usize;
     let mut unsat = 0usize;
@@ -312,4 +318,52 @@ fn theory_config_matrix_agrees_on_random_formulas() {
     }
     assert!(sat >= 30, "too few sat instances: {sat}");
     assert!(unsat >= 15, "too few unsat instances: {unsat}");
+}
+
+/// The pivot-accounting contract of the satellite fix: the engine's
+/// `SolverStats::simplex_pivots` / `row_touches` are *derived* from the
+/// obs counters through the engine's own [`posr_obs::CounterScope`] — so
+/// an independent scope attached around the whole session must see
+/// exactly the same totals.  Any second counting site (the drift the old
+/// manual accounting allowed) would break this equality.
+#[test]
+fn engine_pivot_stats_agree_with_an_external_counter_scope() {
+    let mut rng = Rng(0x5CA1_AB1E_0BB0_0042);
+    let mut pool = VarPool::new();
+    let vars: Vec<Var> = (0..4).map(|i| pool.fresh(&format!("p{i}"))).collect();
+
+    let scope = posr_obs::CounterScope::new();
+    let mut session = IncrementalSolver::new();
+    {
+        let _attached = scope.attach();
+        for round in 0..60 {
+            match rng.below(5) {
+                0 => session.push(),
+                1 => {
+                    session.pop();
+                }
+                _ => {
+                    let formula = boxed(&vars, random_formula(&mut rng, &vars, 2));
+                    session.assert_formula(&formula);
+                }
+            }
+            if round % 3 == 0 {
+                let _ = session.solve();
+            }
+        }
+        let _ = session.solve();
+    }
+
+    let stats = session.stats();
+    assert!(stats.simplex_pivots > 0, "the session must actually pivot");
+    assert_eq!(
+        stats.simplex_pivots,
+        scope.get(posr_lia::simplex::obs_pivot_counter()),
+        "engine stats and the obs pivot counter drifted"
+    );
+    assert_eq!(
+        stats.row_touches,
+        scope.get(posr_lia::simplex::obs_row_touch_counter()),
+        "engine stats and the obs row-touch counter drifted"
+    );
 }

@@ -180,6 +180,37 @@ fn span_nesting_round_trips_through_the_exporters() {
 }
 
 #[test]
+fn static_span_sites_record_like_dynamic_spans() {
+    let tracks = with_recorder(|| {
+        obs::set_thread_track("test:static-site");
+        {
+            let _outer = obs::span!("test", "site-outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            let _inner = obs::span!("test", "site-inner");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        // a disabled site is a no-op guard
+        obs::set_enabled(false);
+        {
+            let _off = obs::span!("test", "site-invisible");
+        }
+        obs::set_enabled(true);
+        obs::drain_tracks()
+    });
+    let track = tracks
+        .iter()
+        .find(|t| t.track == "test:static-site")
+        .expect("the recording track is registered");
+    assert_eq!(track.events.len(), 2);
+    assert_eq!(track.events[0].name, "site-inner");
+    assert_eq!(track.events[1].name, "site-outer");
+    assert!(track.events.iter().all(|e| e.cat == "test"));
+    // the borrowed names flow through phase reconstruction unchanged
+    let phases = obs::phase_totals(std::slice::from_ref(track));
+    assert!(phases.iter().any(|p| p.path == "site-outer/site-inner"));
+}
+
+#[test]
 fn panic_unwound_spans_still_export_valid_json() {
     let tracks = with_recorder(|| {
         let caught = std::panic::catch_unwind(|| {

@@ -400,7 +400,7 @@ impl PortfolioSolver {
                     posr_obs::instant("portfolio", "lane.spawn");
                     let begin = Instant::now();
                     let answer = {
-                        let _span = posr_obs::span("portfolio", "lane.solve");
+                        let _span = posr_obs::span!("portfolio", "lane.solve");
                         strategy.solve(formula, &token)
                     };
                     // receiver may be gone if the race was already decided
