@@ -310,13 +310,23 @@ fn run_cegar_with(
         wall: Duration::ZERO,
     };
     let mut blocks_left = forced_blocks;
+    // flow arrows from each refinement to the round it triggers: started
+    // where the cut/block is created, ended inside the next round's span,
+    // so Perfetto draws the cause→effect arrow across the CEGAR loop
+    let mut pending_flows: Vec<u64> = Vec::new();
     for _ in 0..32 {
         run.learned_carried.push(session.stats().learned_live);
         run.rounds += 1;
-        let result = if incremental {
-            session.solve()
-        } else {
-            scratch.solve(&scratch_formula)
+        let result = {
+            let _round = posr_obs::span("bench", format!("cegar.round:{}", instance.name));
+            for flow in pending_flows.drain(..) {
+                posr_obs::flow_end("bench", "cegar.refine", flow);
+            }
+            if incremental {
+                session.solve()
+            } else {
+                scratch.solve(&scratch_formula)
+            }
         };
         match result {
             SolverResult::Sat(model) => {
@@ -346,6 +356,9 @@ fn run_cegar_with(
                         None => break,
                     },
                 };
+                let flow = posr_obs::flow_id();
+                posr_obs::flow_start("bench", "cegar.refine", flow);
+                pending_flows.push(flow);
                 if incremental {
                     session.assert_formula(&refinement);
                 } else {
@@ -550,6 +563,15 @@ fn tracing_overhead() -> OverheadGuard {
         }
         total.as_secs_f64()
     }
+    // measure with the whole flight recorder live, as a production
+    // POSR_BLACKBOX_DIR run would have it: histograms and progress gauges
+    // record unconditionally inside the solves, and a watchdog stays armed
+    // (sleeping on its condvar; the deadline is far beyond the guard's
+    // runtime, so it never fires and never writes a dump)
+    let blackbox_dir =
+        std::env::var("POSR_BLACKBOX_DIR").unwrap_or_else(|_| "target/blackbox".to_string());
+    let _watchdog =
+        posr_obs::Watchdog::arm_in("overhead-guard", Duration::from_secs(3600), blackbox_dir);
     let was_enabled = posr_obs::enabled();
     let mut off = f64::INFINITY;
     let mut on = f64::INFINITY;
@@ -639,6 +661,44 @@ fn run_tagauto_family(instance: &CegarInstance, full: bool) -> LiaMetrics {
 /// the measured row-touches-per-pivot reduction of the sparse layout.
 const ROW_TOUCH_RATIO_REQUIRED: f64 = 2.0;
 
+/// Full-configuration runs per family: the first is the measured one, the
+/// rest only feed the wall-time percentiles.
+const WALL_SAMPLES: usize = 5;
+
+/// `(p50, p99)` of the sampled walls, in milliseconds.  With `n` samples
+/// the percentile is the `ceil(p/100·n)`-th smallest — the same convention
+/// as [`posr_obs::HistogramSnapshot::percentile`], exact here because the
+/// raw samples are kept.
+fn wall_percentiles(walls: &mut [Duration]) -> (f64, f64) {
+    walls.sort_unstable();
+    let pick = |p: f64| {
+        let rank = ((p / 100.0) * walls.len() as f64).ceil().max(1.0) as usize;
+        walls[rank.min(walls.len()) - 1].as_secs_f64() * 1e3
+    };
+    (pick(50.0), pick(99.0))
+}
+
+/// Flow ids that have both a start (`ph:"s"`) and an end (`ph:"f"`) event
+/// in `tracks` — the arrows Perfetto will actually draw.
+fn matched_flow_pairs(tracks: &[posr_obs::TrackSnapshot]) -> usize {
+    let mut starts = std::collections::BTreeSet::new();
+    let mut ends = std::collections::BTreeSet::new();
+    for track in tracks {
+        for ev in &track.events {
+            match ev.kind {
+                posr_obs::EventKind::FlowStart => {
+                    starts.insert(ev.flow_id);
+                }
+                posr_obs::EventKind::FlowEnd => {
+                    ends.insert(ev.flow_id);
+                }
+                _ => {}
+            }
+        }
+    }
+    starts.intersection(&ends).count()
+}
+
 /// The machine-readable LIA perf table: every gated family solved under
 /// the full theory side (incremental tableau + theory propagation +
 /// assignment-guided scans) and under the baseline with all three engine
@@ -668,56 +728,92 @@ const ROW_TOUCH_RATIO_REQUIRED: f64 = 2.0;
 fn bench_lia(tracks_out: &mut Vec<posr_obs::TrackSnapshot>) -> (String, String, bool, bool) {
     let obs_was_enabled = posr_obs::enabled();
     posr_obs::set_enabled(true);
-    let mut captured = |run: &mut dyn FnMut() -> LiaMetrics| -> (LiaMetrics, PhaseBreakdown) {
-        let metrics = run();
-        let tracks = posr_obs::drain_tracks();
-        let phases = PhaseBreakdown::from_tracks(&tracks);
-        tracks_out.extend(tracks);
-        (metrics, phases)
+    let mut captured =
+        |run: &mut dyn FnMut() -> LiaMetrics| -> (LiaMetrics, PhaseBreakdown, usize) {
+            let metrics = run();
+            let tracks = posr_obs::drain_tracks();
+            let phases = PhaseBreakdown::from_tracks(&tracks);
+            let flow_pairs = matched_flow_pairs(&tracks);
+            tracks_out.extend(tracks);
+            (metrics, phases, flow_pairs)
+        };
+    // extra full-configuration runs feeding only the percentile columns;
+    // their events are measurement noise and get dropped
+    let resample = |run: &mut dyn FnMut() -> LiaMetrics, first: Duration| -> (f64, f64) {
+        let mut walls = vec![first];
+        for _ in 1..WALL_SAMPLES {
+            walls.push(run().wall);
+        }
+        let _ = posr_obs::drain_tracks();
+        wall_percentiles(&mut walls)
     };
     struct BenchRow {
         name: String,
         expected: Option<&'static str>,
         big: bool,
+        /// `true` for the tagauto CEGAR-loop families, whose runs must
+        /// leave matched refinement flow arrows in the trace.
+        cegar: bool,
         full: LiaMetrics,
         base: LiaMetrics,
         phases: PhaseBreakdown,
+        wall_p50_ms: f64,
+        wall_p99_ms: f64,
+        flow_pairs: usize,
     }
     let mut rows: Vec<BenchRow> = Vec::new();
     for (name, formula, expected) in flagship_instances() {
-        let (full, phases) = captured(&mut || run_flagship_family(&formula, true));
-        let (base, _) = captured(&mut || run_flagship_family(&formula, false));
+        let (full, phases, flow_pairs) = captured(&mut || run_flagship_family(&formula, true));
+        let (wall_p50_ms, wall_p99_ms) =
+            resample(&mut || run_flagship_family(&formula, true), full.wall);
+        let (base, _, _) = captured(&mut || run_flagship_family(&formula, false));
         rows.push(BenchRow {
             name: name.to_string(),
             expected: Some(expected),
             big: false,
+            cegar: false,
             full,
             base,
             phases,
+            wall_p50_ms,
+            wall_p99_ms,
+            flow_pairs,
         });
     }
     for (name, formula, expected) in big_instances() {
-        let (full, phases) = captured(&mut || run_flagship_family(&formula, true));
-        let (base, _) = captured(&mut || run_flagship_family(&formula, false));
+        let (full, phases, flow_pairs) = captured(&mut || run_flagship_family(&formula, true));
+        let (wall_p50_ms, wall_p99_ms) =
+            resample(&mut || run_flagship_family(&formula, true), full.wall);
+        let (base, _, _) = captured(&mut || run_flagship_family(&formula, false));
         rows.push(BenchRow {
             name: name.to_string(),
             expected: Some(expected),
             big: true,
+            cegar: false,
             full,
             base,
             phases,
+            wall_p50_ms,
+            wall_p99_ms,
+            flow_pairs,
         });
     }
     for instance in cegar_instances() {
-        let (full, phases) = captured(&mut || run_tagauto_family(&instance, true));
-        let (base, _) = captured(&mut || run_tagauto_family(&instance, false));
+        let (full, phases, flow_pairs) = captured(&mut || run_tagauto_family(&instance, true));
+        let (wall_p50_ms, wall_p99_ms) =
+            resample(&mut || run_tagauto_family(&instance, true), full.wall);
+        let (base, _, _) = captured(&mut || run_tagauto_family(&instance, false));
         rows.push(BenchRow {
             name: format!("tagauto-{}", instance.name),
             expected: None,
             big: false,
+            cegar: true,
             full,
             base,
             phases,
+            wall_p50_ms,
+            wall_p99_ms,
+            flow_pairs,
         });
     }
     posr_obs::set_enabled(obs_was_enabled);
@@ -730,9 +826,9 @@ fn bench_lia(tracks_out: &mut Vec<posr_obs::TrackSnapshot>) -> (String, String, 
     let mut table = String::new();
     let _ = writeln!(
         table,
-        "| family | expected | verdict | wall full/base | conflicts full/base | theory checks full/base | tprops (guided) | pivots full/base | row touches sparse/dense | decomp/enc/cdcl/simplex/proof ms |"
+        "| family | expected | verdict | wall full/base | wall p50/p99 ms | conflicts full/base | theory checks full/base | tprops (guided) | pivots full/base | row touches sparse/dense | flows | decomp/enc/cdcl/simplex/proof ms |"
     );
-    let _ = writeln!(table, "|---|---|---|---|---|---|---|---|---|---|");
+    let _ = writeln!(table, "|---|---|---|---|---|---|---|---|---|---|---|---|");
     for row in &rows {
         let BenchRow {
             name,
@@ -741,6 +837,10 @@ fn bench_lia(tracks_out: &mut Vec<posr_obs::TrackSnapshot>) -> (String, String, 
             full,
             base,
             phases,
+            wall_p50_ms,
+            wall_p99_ms,
+            flow_pairs,
+            ..
         } = row;
         let agree = full.verdict == base.verdict && expected.is_none_or(|e| full.verdict == e);
         verdicts_ok &= agree;
@@ -755,12 +855,14 @@ fn bench_lia(tracks_out: &mut Vec<posr_obs::TrackSnapshot>) -> (String, String, 
         }
         let _ = writeln!(
             table,
-            "| {name} | {} | {}{} | {:.1?} / {:.1?} | {} / {} | {} / {} | {} ({}) | {} / {} | {} / {} | {:.1}/{:.1}/{:.1}/{:.1}/{:.1} |",
+            "| {name} | {} | {}{} | {:.1?} / {:.1?} | {:.1} / {:.1} | {} / {} | {} / {} | {} ({}) | {} / {} | {} / {} | {} | {:.1}/{:.1}/{:.1}/{:.1}/{:.1} |",
             expected.unwrap_or("-"),
             full.verdict,
             if agree { "" } else { " ❌" },
             full.wall,
             base.wall,
+            wall_p50_ms,
+            wall_p99_ms,
             full.stats.conflicts,
             base.stats.conflicts,
             full.theory_checks(),
@@ -771,6 +873,7 @@ fn bench_lia(tracks_out: &mut Vec<posr_obs::TrackSnapshot>) -> (String, String, 
             base.stats.simplex_pivots,
             full.stats.row_touches,
             full.dense_row_touches,
+            flow_pairs,
             phases.decomposition_ms,
             phases.encoding_ms,
             phases.cdcl_ms,
@@ -778,7 +881,14 @@ fn bench_lia(tracks_out: &mut Vec<posr_obs::TrackSnapshot>) -> (String, String, 
             phases.proof_ms,
         );
     }
-    let gate_ok = verdicts_ok && best_ratio >= 2.0 && best_touch_ratio >= ROW_TOUCH_RATIO_REQUIRED;
+    // every CEGAR-loop family must have left at least one matched
+    // refinement flow arrow (start + end with the same id) in its trace
+    let flow_ok = rows
+        .iter()
+        .filter(|row| row.cegar)
+        .all(|row| row.flow_pairs >= 1);
+    let gate_ok =
+        verdicts_ok && best_ratio >= 2.0 && best_touch_ratio >= ROW_TOUCH_RATIO_REQUIRED && flow_ok;
 
     println!("measuring tracing overhead (flagship set, 5 interleaved reps)…");
     let overhead = tracing_overhead();
@@ -790,17 +900,21 @@ fn bench_lia(tracks_out: &mut Vec<posr_obs::TrackSnapshot>) -> (String, String, 
         if overhead.ok { "ok" } else { "EXCEEDED" },
     );
 
-    let mut json = String::from("{\n  \"schema\": \"posr-bench-lia/v3\",\n  \"families\": [\n");
+    let mut json = String::from("{\n  \"schema\": \"posr-bench-lia/v4\",\n  \"families\": [\n");
     for (i, row) in rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"name\":\"{}\",\"expected\":{},\"big\":{},\"full\":{},\"baseline\":{},\"phases\":{}}}{}",
+            "    {{\"name\":\"{}\",\"expected\":{},\"big\":{},\"cegar\":{},\"wall_p50_ms\":{:.3},\"wall_p99_ms\":{:.3},\"flow_pairs\":{},\"full\":{},\"baseline\":{},\"phases\":{}}}{}",
             row.name,
             match row.expected {
                 Some(e) => format!("\"{e}\""),
                 None => "null".to_string(),
             },
             row.big,
+            row.cegar,
+            row.wall_p50_ms,
+            row.wall_p99_ms,
+            row.flow_pairs,
             row.full.json(),
             row.base.json(),
             row.phases.json(),
@@ -809,7 +923,7 @@ fn bench_lia(tracks_out: &mut Vec<posr_obs::TrackSnapshot>) -> (String, String, 
     }
     let _ = writeln!(
         json,
-        "  ],\n  \"gate\": {{\"verdicts_agree\":{verdicts_ok},\"max_theory_check_ratio\":{best_ratio:.2},\"best_family\":\"{best_family}\",\"required_ratio\":2.0,\"max_row_touch_ratio\":{best_touch_ratio:.2},\"row_touch_family\":\"{touch_family}\",\"required_row_touch_ratio\":{ROW_TOUCH_RATIO_REQUIRED},\"ok\":{gate_ok}}},"
+        "  ],\n  \"gate\": {{\"verdicts_agree\":{verdicts_ok},\"max_theory_check_ratio\":{best_ratio:.2},\"best_family\":\"{best_family}\",\"required_ratio\":2.0,\"max_row_touch_ratio\":{best_touch_ratio:.2},\"row_touch_family\":\"{touch_family}\",\"required_row_touch_ratio\":{ROW_TOUCH_RATIO_REQUIRED},\"cegar_flow_pairs_ok\":{flow_ok},\"ok\":{gate_ok}}},"
     );
     let _ = write!(
         json,
@@ -964,7 +1078,8 @@ fn main() {
     if !bench_ok {
         eprintln!(
             "FAIL: BENCH_lia gate — a family's verdict regressed under the full \
-             theory side, or no family shows the required 2x theory-check reduction"
+             theory side, no family shows the required 2x theory-check reduction, \
+             or a CEGAR family's trace carries no matched refinement flow arrows"
         );
         std::process::exit(1);
     }

@@ -1,0 +1,63 @@
+//! Renders flight-recorder artefacts on the terminal.
+//!
+//! ```text
+//! obs-report DUMP.json            # black-box dump → phase/percentile tables
+//! obs-report SOLVE.log            # POSR_SOLVE_LOG stream → event timeline
+//! obs-report --diff OLD.json NEW.json   # two BENCH_lia.json documents
+//! ```
+//!
+//! The file kind is sniffed from its content (dump, JSONL log, bench
+//! report), so plain `obs-report FILE` does the right thing for any
+//! artefact the solver writes.
+
+use posr_bench::json::{parse, Json};
+use posr_bench::obsreport::{diff_bench, render_blackbox, render_solve_log};
+
+const USAGE: &str = "usage: obs-report FILE | obs-report --diff OLD.json NEW.json";
+
+fn read(path: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("obs-report: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn render_file(path: &str) -> Result<String, String> {
+    let text = read(path);
+    // a whole-file JSON document is a dump or a bench report; anything
+    // else is treated as a JSONL solve log
+    match parse(&text) {
+        Ok(doc) => match doc.get("schema").and_then(Json::as_str) {
+            Some("posr-blackbox/v1") => render_blackbox(&text),
+            Some(schema) if schema.starts_with("posr-bench-lia/") => {
+                // a bench report diffed against itself renders its own rows
+                diff_bench(&text, &text)
+            }
+            Some(schema) => Err(format!("unrecognised schema {schema:?}")),
+            None => Err("JSON document has no \"schema\" field".to_string()),
+        },
+        Err(_) => render_solve_log(&text),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.as_slice() {
+        [flag, old, new] if flag == "--diff" => diff_bench(&read(old), &read(new)),
+        [path] if path != "--diff" && !path.starts_with("--") => render_file(path),
+        _ => {
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    match result {
+        Ok(rendered) => print!("{rendered}"),
+        Err(e) => {
+            eprintln!("obs-report: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -12,6 +12,8 @@
 //! scatter (Fig. 6) and cactus (Fig. 7) plots.
 
 pub mod gen;
+pub mod json;
+pub mod obsreport;
 pub mod report;
 pub mod runner;
 

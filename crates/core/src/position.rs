@@ -59,6 +59,37 @@ impl PositionOutcome {
 pub type ProofSink = std::sync::Arc<std::sync::Mutex<Vec<String>>>;
 
 /// Proof documents pushed into [`ProofSink`]s (obs counter, always live).
+/// Distribution of CEGAR round durations (one backend solve each), µs.
+static HIST_CEGAR_ROUND: std::sync::LazyLock<posr_obs::Histogram> =
+    std::sync::LazyLock::new(|| posr_obs::histogram("cegar.round_us"));
+
+/// The stall watchdog's "where is the CEGAR loop" probe: refinements so
+/// far (connectivity cuts plus blocked candidates) in the current solve.
+static PROGRESS_CEGAR_ROUND: std::sync::LazyLock<posr_obs::Gauge> =
+    std::sync::LazyLock::new(|| posr_obs::gauge("cegar.round"));
+
+/// Default soft deadline of the per-solve stall watchdog when the solve
+/// has no explicit deadline; override with `POSR_WATCHDOG_MS`.
+const WATCHDOG_DEFAULT_MS: u64 = 30_000;
+
+/// Arms the per-solve stall watchdog (a no-op unless `POSR_BLACKBOX_DIR`
+/// is set): soft deadline = the solve's own deadline when present, else
+/// `POSR_WATCHDOG_MS` (default 30 s).  A solve past its soft deadline —
+/// or one killed by cancellation, via [`posr_obs::Watchdog::fire_now`] —
+/// leaves a black-box dump behind.
+fn arm_watchdog(options: &PositionOptions) -> posr_obs::Watchdog {
+    let soft = match options.deadline {
+        Some(deadline) => deadline.saturating_duration_since(Instant::now()),
+        None => std::time::Duration::from_millis(
+            std::env::var("POSR_WATCHDOG_MS")
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(WATCHDOG_DEFAULT_MS),
+        ),
+    };
+    posr_obs::Watchdog::arm("position-solve", soft)
+}
+
 pub static OBS_PROOF_DOCS: std::sync::LazyLock<posr_obs::Counter> =
     std::sync::LazyLock::new(|| posr_obs::counter("proof.sink.docs"));
 /// Serialized proof bytes pushed into [`ProofSink`]s.
@@ -518,12 +549,25 @@ fn solve_with_cegar(
     let mut cuts = 0usize;
     let mut rounds = 0usize;
     let flat = contains_goals.is_empty() || notcontains::all_flat(contains_goals, vars, automata);
+    let watchdog = arm_watchdog(options);
+    // flow ids opened at a refinement site (connectivity cut / blocked
+    // candidate), closed inside the round they trigger — the Perfetto
+    // arrow from "this cut" to "that re-solve"
+    let mut pending_refine: Vec<u64> = Vec::new();
     loop {
         if token.is_cancelled() {
-            return PositionOutcome::Unknown(token.unknown_reason());
+            let reason = token.unknown_reason();
+            watchdog.fire_now(&reason);
+            return PositionOutcome::Unknown(reason);
         }
+        PROGRESS_CEGAR_ROUND.set((cuts + rounds) as u64);
         let round_span = posr_obs::span!("core", "cegar.round");
+        for id in pending_refine.drain(..) {
+            posr_obs::flow_end("core", "cegar.refine", id);
+        }
+        let round_start = Instant::now();
         let solved = backend.solve();
+        HIST_CEGAR_ROUND.record_duration(round_start.elapsed());
         drop(round_span);
         match solved {
             SolverResult::Unsat => {
@@ -540,9 +584,35 @@ fn solve_with_cegar(
                     OBS_PROOF_BYTES.add(proof.len() as u64);
                     sink.lock().expect("proof sink poisoned").push(proof);
                 }
+                if posr_obs::solve_log_enabled() {
+                    posr_obs::solve_log(
+                        "cegar.verdict",
+                        &[
+                            ("verdict", "unsat".into()),
+                            ("rounds", rounds.into()),
+                            ("cuts", cuts.into()),
+                        ],
+                    );
+                }
                 return PositionOutcome::Unsat;
             }
-            SolverResult::Unknown(reason) => return PositionOutcome::Unknown(reason),
+            SolverResult::Unknown(reason) => {
+                if token.is_cancelled() {
+                    watchdog.fire_now(&reason);
+                }
+                if posr_obs::solve_log_enabled() {
+                    posr_obs::solve_log(
+                        "cegar.verdict",
+                        &[
+                            ("verdict", "unknown".into()),
+                            ("reason", reason.as_str().into()),
+                            ("rounds", rounds.into()),
+                            ("cuts", cuts.into()),
+                        ],
+                    );
+                }
+                return PositionOutcome::Unknown(reason);
+            }
             SolverResult::Sat(model) => {
                 let Some(assignment) = encoding.extract_assignment(&model) else {
                     // phantom flow: add a connectivity cut and retry
@@ -555,6 +625,15 @@ fn solve_with_cegar(
                     match encoding.connectivity_cut(&model) {
                         Some(cut) => {
                             posr_obs::instant("core", "cegar.connectivity-cut");
+                            let flow = posr_obs::flow_id();
+                            posr_obs::flow_start("core", "cegar.refine", flow);
+                            pending_refine.push(flow);
+                            if posr_obs::solve_log_enabled() {
+                                posr_obs::solve_log(
+                                    "cegar.refine",
+                                    &[("kind", "connectivity-cut".into()), ("cuts", cuts.into())],
+                                );
+                            }
                             backend.refine(cut);
                             continue;
                         }
@@ -584,6 +663,15 @@ fn solve_with_cegar(
                         );
                     }
                     posr_obs::instant("core", "cegar.block-candidate");
+                    let flow = posr_obs::flow_id();
+                    posr_obs::flow_start("core", "cegar.refine", flow);
+                    pending_refine.push(flow);
+                    if posr_obs::solve_log_enabled() {
+                        posr_obs::solve_log(
+                            "cegar.refine",
+                            &[("kind", "block-candidate".into()), ("round", rounds.into())],
+                        );
+                    }
                     backend.refine(blocking_clause(encoding, &model));
                     continue;
                 }
@@ -591,6 +679,16 @@ fn solve_with_cegar(
                     .iter()
                     .map(|(name, &v)| (name.clone(), model.value(v) as i64))
                     .collect();
+                if posr_obs::solve_log_enabled() {
+                    posr_obs::solve_log(
+                        "cegar.verdict",
+                        &[
+                            ("verdict", "sat".into()),
+                            ("rounds", rounds.into()),
+                            ("cuts", cuts.into()),
+                        ],
+                    );
+                }
                 return PositionOutcome::Sat(strings, ints);
             }
         }

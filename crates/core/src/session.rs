@@ -240,6 +240,15 @@ impl SolverSession {
                     .to_string(),
             ));
         }
+        // distribution metrics: one p50/p99/max row per histogram this
+        // session's checks recorded into (scope-exact, like the counters)
+        for hist in self.scope.histogram_totals() {
+            let key = hist.name.replace(['.', '_'], "-");
+            stats.push((format!("{key}-count"), hist.count.to_string()));
+            stats.push((format!("{key}-p50"), hist.p50().to_string()));
+            stats.push((format!("{key}-p99"), hist.p99().to_string()));
+            stats.push((format!("{key}-max"), hist.max.to_string()));
+        }
         stats
     }
 

@@ -154,8 +154,36 @@ impl StringSolver {
         position_options.cancel = token.clone();
 
         let _solve_span = posr_obs::span!("core", "solve");
+        if posr_obs::solve_log_enabled() {
+            posr_obs::solve_log("solve.start", &[]);
+        }
+        let answer = self.solve_phases(formula, &token, &position_options);
+        if posr_obs::solve_log_enabled() {
+            let verdict = match &answer {
+                Answer::Sat(_) => "sat",
+                Answer::Unsat => "unsat",
+                Answer::Unknown(_) => "unknown",
+            };
+            let mut fields = vec![("verdict", posr_obs::LogValue::from(verdict))];
+            if let Answer::Unknown(reason) = &answer {
+                fields.push(("reason", reason.as_str().into()));
+            }
+            posr_obs::solve_log("solve.verdict", &fields);
+        }
+        answer
+    }
+
+    fn solve_phases(
+        &self,
+        formula: &StringFormula,
+        token: &posr_lia::cancel::CancelToken,
+        position_options: &PositionOptions,
+    ) -> Answer {
         let nf = {
             let _span = posr_obs::span!("core", "normalize");
+            if posr_obs::solve_log_enabled() {
+                posr_obs::solve_log("phase.normalize", &[]);
+            }
             match normal::normalize(formula) {
                 Ok(nf) => nf,
                 Err(e) => return Answer::Unknown(e.to_string()),
@@ -163,6 +191,9 @@ impl StringSolver {
         };
         let cases = {
             let _span = posr_obs::span!("core", "decompose");
+            if posr_obs::solve_log_enabled() {
+                posr_obs::solve_log("phase.decompose", &[]);
+            }
             match monadic::decompose(&nf, self.options.max_monadic_cases) {
                 Ok(cases) => cases,
                 Err(e) => return Answer::Unknown(e.to_string()),
@@ -178,7 +209,10 @@ impl StringSolver {
                 return Answer::Unknown(token.unknown_reason());
             }
             let _span = posr_obs::span("core", format!("case:{case_index}"));
-            match self.solve_case(formula, &nf.positions, &nf.lengths, case, &position_options) {
+            if posr_obs::solve_log_enabled() {
+                posr_obs::solve_log("phase.case", &[("case", case_index.into())]);
+            }
+            match self.solve_case(formula, &nf.positions, &nf.lengths, case, position_options) {
                 Answer::Sat(model) => return Answer::Sat(model),
                 Answer::Unsat => {}
                 Answer::Unknown(reason) => saw_unknown = Some(reason),

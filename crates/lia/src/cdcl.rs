@@ -69,6 +69,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::LazyLock;
 
 use crate::bounds::{BoundEnv, BoundOutcome, ConstraintIndex};
 use crate::cancel::{CANCELLED_MSG, DEADLINE_MSG};
@@ -119,14 +120,55 @@ const GC_EXEMPT_LEN: usize = 2;
 
 /// The assignment-guided scan skips tableau rows longer than this: the
 /// implied-bound sum is linear in the row, and a row this wide almost
-/// never has every nonbasic bounded on the needed side anyway.
+/// never has every nonbasic bounded on the needed side anyway.  This is
+/// the *starting* cap — the engine adapts it between
+/// [`GUIDED_ROW_CAP_MIN`] and [`GUIDED_ROW_CAP_MAX`] by observed payoff.
 const GUIDED_ROW_CAP: usize = 128;
+const GUIDED_ROW_CAP_MIN: usize = 32;
+const GUIDED_ROW_CAP_MAX: usize = 512;
 
 /// Pivot budget of the *eager* simplex check behind guided propagation: a
 /// warm-started re-check normally needs zero or a handful of pivots, and
 /// that is the only case worth paying for early — when the budget runs out
 /// the check is abandoned (resumably) and the leaf check finishes the work.
+/// Also a starting value, adapted between [`GUIDED_PIVOT_BUDGET_MIN`] and
+/// [`GUIDED_PIVOT_BUDGET_MAX`].
 const GUIDED_PIVOT_BUDGET: u64 = 16;
+const GUIDED_PIVOT_BUDGET_MIN: u64 = 4;
+const GUIDED_PIVOT_BUDGET_MAX: u64 = 64;
+
+/// Consecutive payoff observations (budget exhaustions, or scans that
+/// entailed a literal) before the guided budgets move one step.
+const GUIDED_ADAPT_STREAK: u32 = 3;
+
+/// Times the guided budgets were doubled after a productive streak.
+static OBS_GUIDED_RAISED: LazyLock<posr_obs::Counter> =
+    LazyLock::new(|| posr_obs::counter("cdcl.guided_budget_raised"));
+
+/// Times the guided budgets were halved after repeated exhaustion.
+static OBS_GUIDED_LOWERED: LazyLock<posr_obs::Counter> =
+    LazyLock::new(|| posr_obs::counter("cdcl.guided_budget_lowered"));
+
+/// Distribution of pivots per simplex `check()` (leaf and guided).
+static HIST_CHECK_PIVOTS: LazyLock<posr_obs::Histogram> =
+    LazyLock::new(|| posr_obs::histogram("simplex.check_pivots"));
+
+/// Distribution of learned-clause LBD scores.
+static HIST_LBD: LazyLock<posr_obs::Histogram> = LazyLock::new(|| posr_obs::histogram("cdcl.lbd"));
+
+// The stall watchdog's progress probe: store-latest gauges the search
+// loop publishes with relaxed stores so the (separate) watchdog thread
+// can report where a wedged solve got to without taking any lock the
+// solver holds.  In a portfolio the lanes share these — latest writer
+// wins, which is what a "current progress" probe means.
+static PROGRESS_CONFLICTS: LazyLock<posr_obs::Gauge> =
+    LazyLock::new(|| posr_obs::gauge("cdcl.conflicts"));
+static PROGRESS_DECISIONS: LazyLock<posr_obs::Gauge> =
+    LazyLock::new(|| posr_obs::gauge("cdcl.decisions"));
+static PROGRESS_TRAIL: LazyLock<posr_obs::Gauge> =
+    LazyLock::new(|| posr_obs::gauge("cdcl.trail_depth"));
+static PROGRESS_PIVOTS: LazyLock<posr_obs::Gauge> =
+    LazyLock::new(|| posr_obs::gauge("simplex.pivots"));
 
 /// Pivots between cancellation polls in a *leaf* simplex check.  On
 /// product tableaux with hundreds of rows a single check can run for
@@ -428,6 +470,18 @@ pub(crate) struct Engine {
     /// whose rows contain them); the scan visits only these unless the
     /// check pivoted (pivots restructure rows arbitrarily).
     guided_dirty: Vec<usize>,
+    /// Adaptive pivot budget of the eager guided check: starts at
+    /// [`GUIDED_PIVOT_BUDGET`], doubled after [`GUIDED_ADAPT_STREAK`]
+    /// consecutive productive scans, halved after as many consecutive
+    /// budget exhaustions.
+    guided_pivot_budget: u64,
+    /// Adaptive row cap of the guided implied-bound scan; moves in
+    /// lock-step with `guided_pivot_budget`.
+    guided_row_cap: usize,
+    /// Consecutive guided checks whose pivot budget ran out.
+    guided_exhausted_streak: u32,
+    /// Consecutive guided scans that entailed at least one literal.
+    guided_productive_streak: u32,
     /// Collects the `obs` pivot/row-touch increments made on this engine's
     /// solving thread; `SolverStats::simplex_pivots` and `row_touches` are
     /// *derived* from it, so the two accountings cannot drift.
@@ -520,6 +574,10 @@ impl Engine {
             tprop_guided: Vec::new(),
             guided: BTreeMap::new(),
             guided_dirty: Vec::new(),
+            guided_pivot_budget: GUIDED_PIVOT_BUDGET,
+            guided_row_cap: GUIDED_ROW_CAP,
+            guided_exhausted_streak: 0,
+            guided_productive_streak: 0,
             pivot_scope: posr_obs::CounterScope::new(),
             theory_checked: 0,
             cur_env: BoundEnv::new(),
@@ -989,19 +1047,50 @@ impl Engine {
             }
         }
         let pivots_before = self.simplex.pivots();
-        match self.simplex_check_budgeted(GUIDED_PIVOT_BUDGET) {
+        match self.simplex_check_budgeted(self.guided_pivot_budget) {
             Some(Step::Ok) => {
                 // pivots rewrite rows wholesale; fall back to a full scan
                 let scan_all = self.simplex.pivots() != pivots_before;
+                let entailed_before = self.stats.tprop_entailed;
                 self.simplex_guided_propagate(scan_all);
+                self.guided_exhausted_streak = 0;
+                if self.stats.tprop_entailed > entailed_before {
+                    // the eager check is earning its keep: after a streak
+                    // of productive scans, spend more on it
+                    self.guided_productive_streak += 1;
+                    if self.guided_productive_streak >= GUIDED_ADAPT_STREAK
+                        && self.guided_pivot_budget < GUIDED_PIVOT_BUDGET_MAX
+                    {
+                        self.guided_productive_streak = 0;
+                        self.guided_pivot_budget =
+                            (self.guided_pivot_budget * 2).min(GUIDED_PIVOT_BUDGET_MAX);
+                        self.guided_row_cap = (self.guided_row_cap * 2).min(GUIDED_ROW_CAP_MAX);
+                        OBS_GUIDED_RAISED.incr();
+                    }
+                } else {
+                    self.guided_productive_streak = 0;
+                }
                 Step::Ok
             }
             Some(conflict) => conflict,
             None => {
                 // budget ran out: the tableau needs real pivot work, which
                 // the leaf check will finish — drop the propagation attempt
-                // (it is an optimisation, never required for soundness)
+                // (it is an optimisation, never required for soundness).
+                // Repeated exhaustion means warm starts are not warm here;
+                // back the budget off so the wasted eager pivots shrink.
                 self.guided_dirty.clear();
+                self.guided_productive_streak = 0;
+                self.guided_exhausted_streak += 1;
+                if self.guided_exhausted_streak >= GUIDED_ADAPT_STREAK
+                    && self.guided_pivot_budget > GUIDED_PIVOT_BUDGET_MIN
+                {
+                    self.guided_exhausted_streak = 0;
+                    self.guided_pivot_budget =
+                        (self.guided_pivot_budget / 2).max(GUIDED_PIVOT_BUDGET_MIN);
+                    self.guided_row_cap = (self.guided_row_cap / 2).max(GUIDED_ROW_CAP_MIN);
+                    OBS_GUIDED_LOWERED.incr();
+                }
                 Step::Ok
             }
         }
@@ -1022,6 +1111,7 @@ impl Engine {
         self.stats.simplex_checks += 1;
         let _span = posr_obs::span!("simplex", "simplex.check");
         let t0 = std::time::Instant::now();
+        let pivots_before = self.simplex.pivots();
         let mut outcome = Some(Ok(()));
         for i in self.simplex.num_asserted()..self.theory_stack.len() {
             let prepared = self.lit_prepared[self.theory_lits[i].code()]
@@ -1036,6 +1126,7 @@ impl Engine {
             outcome = self.simplex.check_budgeted(max_pivots);
         }
         self.simplex_time += t0.elapsed();
+        HIST_CHECK_PIVOTS.record(self.simplex.pivots().saturating_sub(pivots_before));
         match outcome {
             Some(Ok(())) => {
                 self.simplex_checked = self.theory_stack.len();
@@ -1079,7 +1170,7 @@ impl Engine {
                 tags.clear();
                 if let Some(implied) =
                     self.simplex
-                        .implied_bound(col, true, GUIDED_ROW_CAP, &mut tags)
+                        .implied_bound(col, true, self.guided_row_cap, &mut tags)
                 {
                     for &(hi, lit) in upper_run {
                         if implied <= hi && self.assign[lit.var()] == 0 {
@@ -1093,7 +1184,7 @@ impl Engine {
                 tags.clear();
                 if let Some(implied) =
                     self.simplex
-                        .implied_bound(col, false, GUIDED_ROW_CAP, &mut tags)
+                        .implied_bound(col, false, self.guided_row_cap, &mut tags)
                 {
                     for &(lo, lit) in lower_run {
                         if implied >= lo && self.assign[lit.var()] == 0 {
@@ -1360,12 +1451,20 @@ impl Engine {
         self.stats.simplex_checks += 1;
         let _span = posr_obs::span!("simplex", "simplex.check");
         let t0 = std::time::Instant::now();
+        // the scope sees every tableau this thread pivots (persistent or
+        // scratch), so its delta is the per-check pivot count either way
+        let pivots_before = self.pivot_scope.get(crate::simplex::obs_pivot_counter());
         let outcome = if self.config.incremental_simplex {
             self.incremental_simplex_check()
         } else {
             self.scratch_simplex_check()
         };
         self.simplex_time += t0.elapsed();
+        HIST_CHECK_PIVOTS.record(
+            self.pivot_scope
+                .get(crate::simplex::obs_pivot_counter())
+                .saturating_sub(pivots_before),
+        );
         match outcome {
             Some(Ok(())) => {
                 self.simplex_checked = self.theory_stack.len();
@@ -1409,6 +1508,9 @@ impl Engine {
             if let Some(result) = self.simplex.check_budgeted(LEAF_CANCEL_SLICE) {
                 return Some(result);
             }
+            // a single check can pivot for seconds: keep the watchdog's
+            // pivot gauge moving between search-loop iterations
+            PROGRESS_PIVOTS.set(crate::simplex::obs_pivot_counter().value());
             if self.config.cancel.can_fire() && self.config.cancel.is_cancelled() {
                 return None;
             }
@@ -1431,6 +1533,7 @@ impl Engine {
             if let Some(result) = simplex.check_budgeted(LEAF_CANCEL_SLICE) {
                 return Some(result);
             }
+            PROGRESS_PIVOTS.set(crate::simplex::obs_pivot_counter().value());
             if self.config.cancel.can_fire() && self.config.cancel.is_cancelled() {
                 return None;
             }
@@ -1662,6 +1765,7 @@ impl Engine {
         let reason = if learnt.len() >= 2 {
             self.stats.learned_total += 1;
             let lbd = self.lbd_of(&learnt);
+            HIST_LBD.record(lbd as u64);
             self.attach(Clause {
                 lits: learnt,
                 learnt: true,
@@ -1914,10 +2018,22 @@ impl Engine {
         }
     }
 
+    /// Publishes the stall watchdog's progress gauges (relaxed stores; a
+    /// black-box dump reports the latest values).  Called once per search
+    /// iteration — decision/conflict cadence, far off the propagation hot
+    /// path.
+    fn publish_progress(&self) {
+        PROGRESS_CONFLICTS.set(self.stats.conflicts);
+        PROGRESS_DECISIONS.set(self.stats.decisions);
+        PROGRESS_TRAIL.set(self.trail.len() as u64);
+        PROGRESS_PIVOTS.set(crate::simplex::obs_pivot_counter().value());
+    }
+
     fn search(&mut self) -> SolverResult {
         let mut restart_limit = RESTART_BASE * luby(self.stats.restarts);
         let mut conflicts_at_restart = self.stats.conflicts;
         loop {
+            self.publish_progress();
             if self.config.cancel.can_fire() && self.config.cancel.is_cancelled() {
                 self.cancelled = true;
                 return self.undecided_unknown();

@@ -103,6 +103,40 @@ pub fn counters_snapshot() -> Vec<(&'static str, u64)> {
 
 struct ScopeInner {
     totals: Mutex<HashMap<usize, u64>>,
+    /// Per-histogram-slot distributions recorded while attached (see
+    /// [`crate::histogram`]).
+    hists: Mutex<HashMap<usize, ScopeHist>>,
+}
+
+struct ScopeHist {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+/// Feeds one histogram sample to every scope attached to the calling
+/// thread; called by [`crate::histogram::Histogram::record`].
+pub(crate) fn record_scoped_hist(slot: usize, value: u64, bucket: usize) {
+    ATTACHED.with(|scopes| {
+        let scopes = scopes.borrow();
+        if scopes.is_empty() {
+            return;
+        }
+        for scope in scopes.iter() {
+            let mut hists = scope.hists.lock().expect("obs scope poisoned");
+            let h = hists.entry(slot).or_insert_with(|| ScopeHist {
+                buckets: vec![0; crate::histogram::HIST_BUCKETS],
+                count: 0,
+                sum: 0,
+                max: 0,
+            });
+            h.buckets[bucket] += 1;
+            h.count += 1;
+            h.sum += value;
+            h.max = h.max.max(value);
+        }
+    });
 }
 
 /// Collects counter increments made by attached threads.  Create one per
@@ -132,6 +166,7 @@ impl CounterScope {
         CounterScope {
             inner: Arc::new(ScopeInner {
                 totals: Mutex::new(HashMap::new()),
+                hists: Mutex::new(HashMap::new()),
             }),
         }
     }
@@ -154,6 +189,32 @@ impl CounterScope {
             .get(&c.0)
             .copied()
             .unwrap_or(0)
+    }
+
+    /// The distribution recorded for histogram `h` while threads were
+    /// attached, or `None` when no sample arrived.
+    pub fn histogram(&self, h: crate::histogram::Histogram) -> Option<crate::HistogramSnapshot> {
+        self.histogram_totals()
+            .into_iter()
+            .find(|s| s.name == crate::histogram::histogram_name(h))
+    }
+
+    /// Every histogram this scope saw, with names resolved, sorted by
+    /// name.
+    pub fn histogram_totals(&self) -> Vec<crate::HistogramSnapshot> {
+        let hists = self.inner.hists.lock().expect("obs scope poisoned");
+        let mut out: Vec<crate::HistogramSnapshot> = hists
+            .iter()
+            .map(|(&slot, h)| crate::HistogramSnapshot {
+                name: crate::histogram::slot_name(slot),
+                buckets: h.buckets.clone(),
+                count: h.count,
+                sum: h.sum,
+                max: h.max,
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
     }
 
     /// Every counter this scope saw, with names resolved.

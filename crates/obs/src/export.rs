@@ -72,6 +72,24 @@ pub fn chrome_trace_json(tracks: &[TrackSnapshot]) -> String {
                     track.tid,
                     ev.ts_us
                 ),
+                EventKind::FlowStart => format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"s\",\"id\":{},\"pid\":1,\"tid\":{},\"ts\":{}}}",
+                    json_escape(&ev.name),
+                    json_escape(ev.cat),
+                    ev.flow_id,
+                    track.tid,
+                    ev.ts_us
+                ),
+                // "bp":"e" binds the arrow to the enclosing slice, the
+                // rendering Perfetto expects for flow terminators
+                EventKind::FlowEnd => format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{},\"pid\":1,\"tid\":{},\"ts\":{}}}",
+                    json_escape(&ev.name),
+                    json_escape(ev.cat),
+                    ev.flow_id,
+                    track.tid,
+                    ev.ts_us
+                ),
             };
             push(&mut out, body);
         }
@@ -79,8 +97,8 @@ pub fn chrome_trace_json(tracks: &[TrackSnapshot]) -> String {
             push(
                 &mut out,
                 format!(
-                    "{{\"name\":\"obs.ring_dropped:{}\",\"cat\":\"obs\",\"ph\":\"i\",\"pid\":1,\"tid\":{},\"ts\":{},\"s\":\"t\"}}",
-                    track.dropped, track.tid, end_ts
+                    "{{\"name\":\"obs.ring_dropped\",\"cat\":\"obs\",\"ph\":\"i\",\"pid\":1,\"tid\":{},\"ts\":{},\"s\":\"t\",\"args\":{{\"dropped\":{},\"warning\":\"ring buffer overflowed; the oldest events on this track were lost\"}}}}",
+                    track.tid, end_ts, track.dropped
                 ),
             );
         }

@@ -1,0 +1,287 @@
+//! Always-on log-bucketed histograms — the distribution half of the
+//! metrics layer.
+//!
+//! Counters answer "how many"; histograms answer "how were they spread".
+//! The serving roadmap needs percentiles (p99 latency under load cannot be
+//! read off a sum), so this module records samples into power-of-two
+//! buckets with the same design constraints as [`crate::counters`]:
+//!
+//! * **always on** — recording is a handful of relaxed atomic adds, cheap
+//!   enough to leave enabled in production solves;
+//! * **interned names** — [`histogram`] interns a `&'static str` once and
+//!   returns a copyable handle;
+//! * **scope attribution** — a [`crate::CounterScope`] attached to a
+//!   thread collects that thread's samples too, so one batch's latency
+//!   distribution is exact even when batches share the process.
+//!
+//! Bucketing: bucket 0 holds the value `0`; bucket `b ≥ 1` holds
+//! `[2^(b-1), 2^b − 1]`.  A percentile query returns the *upper bound* of
+//! the bucket containing the requested rank, clamped to the exact observed
+//! maximum — so reported percentiles never under-state and are at most 2×
+//! the true sample.  That error model is pinned by the oracle tests in
+//! `tests/trace.rs`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::counters;
+use crate::export::json_escape;
+
+/// Number of buckets: one for zero plus one per bit position of `u64`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// Upper bound on distinct histogram names per process; interning past it
+/// panics (dynamically generated names are always a bug).
+const MAX_HISTOGRAMS: usize = 64;
+
+struct HistSlot {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const EMPTY_SLOT: HistSlot = HistSlot {
+    buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+    count: AtomicU64::new(0),
+    sum: AtomicU64::new(0),
+    max: AtomicU64::new(0),
+};
+
+static SLOTS: [HistSlot; MAX_HISTOGRAMS] = [EMPTY_SLOT; MAX_HISTOGRAMS];
+static NAMES: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+
+fn names() -> &'static Mutex<Vec<&'static str>> {
+    NAMES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// The interned name of histogram slot `slot` (for scope snapshots).
+pub(crate) fn slot_name(slot: usize) -> String {
+    names()
+        .lock()
+        .expect("obs histogram names poisoned")
+        .get(slot)
+        .copied()
+        .unwrap_or("?")
+        .to_string()
+}
+
+/// The interned name of `h`.
+pub(crate) fn histogram_name(h: Histogram) -> String {
+    slot_name(h.0)
+}
+
+/// The bucket index a value lands in.
+#[inline]
+pub(crate) fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// The largest value bucket `b` can hold.
+#[inline]
+pub fn bucket_upper(b: usize) -> u64 {
+    match b {
+        0 => 0,
+        1..=63 => (1u64 << b) - 1,
+        _ => u64::MAX,
+    }
+}
+
+/// A handle to one named histogram; cheap to copy.  Intern once (e.g. in a
+/// `LazyLock`) and reuse — interning takes the registry lock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Histogram(usize);
+
+/// Interns `name`, returning the existing histogram if the name is known.
+pub fn histogram(name: &'static str) -> Histogram {
+    let mut names = names().lock().expect("obs histogram names poisoned");
+    if let Some(slot) = names.iter().position(|&n| n == name) {
+        return Histogram(slot);
+    }
+    assert!(
+        names.len() < MAX_HISTOGRAMS,
+        "too many distinct obs histograms (cap {MAX_HISTOGRAMS}); histogram names must be static"
+    );
+    names.push(name);
+    Histogram(names.len() - 1)
+}
+
+impl Histogram {
+    /// Records one sample into the process-wide histogram and into every
+    /// scope attached to the calling thread.
+    #[inline]
+    pub fn record(self, value: u64) {
+        let slot = &SLOTS[self.0];
+        let bucket = bucket_of(value);
+        slot.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        slot.count.fetch_add(1, Ordering::Relaxed);
+        slot.sum.fetch_add(value, Ordering::Relaxed);
+        slot.max.fetch_max(value, Ordering::Relaxed);
+        counters::record_scoped_hist(self.0, value, bucket);
+    }
+
+    /// Records a duration in microseconds.
+    #[inline]
+    pub fn record_duration(self, d: std::time::Duration) {
+        self.record(d.as_micros() as u64);
+    }
+
+    /// Total number of recorded samples (process-wide).
+    pub fn count(self) -> u64 {
+        SLOTS[self.0].count.load(Ordering::Relaxed)
+    }
+
+    /// A copy of the process-wide distribution.
+    pub fn snapshot(self) -> HistogramSnapshot {
+        let names = names().lock().expect("obs histogram names poisoned");
+        let name = names.get(self.0).copied().unwrap_or("?");
+        drop(names);
+        let slot = &SLOTS[self.0];
+        HistogramSnapshot {
+            name: name.to_string(),
+            buckets: slot
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: slot.count.load(Ordering::Relaxed),
+            sum: slot.sum.load(Ordering::Relaxed),
+            max: slot.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Every interned histogram's process-wide distribution, in interning
+/// order, skipping empty ones.
+pub fn histograms_snapshot() -> Vec<HistogramSnapshot> {
+    let names = names().lock().expect("obs histogram names poisoned");
+    names
+        .iter()
+        .enumerate()
+        .map(|(slot, &name)| {
+            let s = &SLOTS[slot];
+            HistogramSnapshot {
+                name: name.to_string(),
+                buckets: s
+                    .buckets
+                    .iter()
+                    .map(|b| b.load(Ordering::Relaxed))
+                    .collect(),
+                count: s.count.load(Ordering::Relaxed),
+                sum: s.sum.load(Ordering::Relaxed),
+                max: s.max.load(Ordering::Relaxed),
+            }
+        })
+        .filter(|snap| snap.count > 0)
+        .collect()
+}
+
+/// An owned copy of one histogram's distribution: mergeable, queryable,
+/// serializable.  Also the unit a [`crate::CounterScope`] hands back for
+/// per-batch attribution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub name: String,
+    /// `HIST_BUCKETS` occupancy counts.
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: u64,
+    /// Exact largest recorded sample (not bucket-quantized).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty distribution named `name`.
+    pub fn empty(name: impl Into<String>) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: name.into(),
+            buckets: vec![0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// The `p`-th percentile (0 < p ≤ 100): the upper bound of the bucket
+    /// holding the `ceil(p/100 · count)`-th smallest sample, clamped to
+    /// the exact observed maximum.  Returns 0 on an empty distribution.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    pub fn p90(&self) -> u64 {
+        self.percentile(90.0)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Folds `other` into `self` (bucket-wise sum; exact max of maxes).
+    /// Merging snapshots from different scopes of the same histogram gives
+    /// the distribution of the union of their samples.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, &b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// One JSON object with the summary stats and the non-empty buckets
+    /// (as `[bucket_upper, count]` pairs, keeping dumps small).
+    pub fn json(&self) -> String {
+        let mut out = format!(
+            "{{\"name\":\"{}\",\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+            json_escape(&self.name),
+            self.count,
+            self.sum,
+            self.max,
+            self.p50(),
+            self.p90(),
+            self.p99(),
+        );
+        let mut first = true;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("[{},{}]", bucket_upper(b), n));
+        }
+        out.push_str("]}");
+        out
+    }
+}

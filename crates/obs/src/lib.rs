@@ -29,21 +29,27 @@
 //! the bench binaries serialize into `BENCH_lia.json`).
 
 use std::borrow::Cow;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
 pub mod counters;
 pub mod export;
+pub mod histogram;
 pub mod report;
 pub mod ring;
+pub mod solvelog;
+pub mod watchdog;
 
 pub use counters::{
     attached_scopes, counter, counter_value, counters_snapshot, Counter, CounterScope,
 };
 pub use export::{chrome_trace_json, folded_stacks};
+pub use histogram::{histogram, histograms_snapshot, Histogram, HistogramSnapshot};
 pub use report::{phase_totals, self_time_of, PhaseStat, SolveReport};
 pub use ring::{drain_tracks, set_thread_track, snapshot_tracks, Event, EventKind, TrackSnapshot};
+pub use solvelog::{solve_log, solve_log_enabled, LogValue};
+pub use watchdog::{blackbox_json, gauge, progress_snapshot, Gauge, Watchdog};
 
 /// Process-wide recording switch; off by default.
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -109,6 +115,52 @@ pub fn instant(cat: &'static str, name: impl Into<Cow<'static, str>>) {
         name: name.into(),
         ts_us: now_us(),
         dur_us: 0,
+        flow_id: 0,
+    });
+}
+
+/// Allocator for process-unique flow ids; never returns 0 (the "no flow"
+/// sentinel on [`Event`]).
+static NEXT_FLOW_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A fresh process-unique flow id.  Allocate one per causal hand-off
+/// (batch submit → worker pickup, connectivity cut → refinement round),
+/// record a [`flow_start`] at the source and a [`flow_end`] with the same
+/// id at the sink, and Perfetto draws the arrow.
+#[inline]
+pub fn flow_id() -> u64 {
+    NEXT_FLOW_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Records the source end of flow `id` (`ph:"s"` in the Chrome export).
+#[inline]
+pub fn flow_start(cat: &'static str, name: impl Into<Cow<'static, str>>, id: u64) {
+    if !enabled() {
+        return;
+    }
+    ring::record(Event {
+        kind: EventKind::FlowStart,
+        cat,
+        name: name.into(),
+        ts_us: now_us(),
+        dur_us: 0,
+        flow_id: id,
+    });
+}
+
+/// Records the sink end of flow `id` (`ph:"f"`), usually on another track.
+#[inline]
+pub fn flow_end(cat: &'static str, name: impl Into<Cow<'static, str>>, id: u64) {
+    if !enabled() {
+        return;
+    }
+    ring::record(Event {
+        kind: EventKind::FlowEnd,
+        cat,
+        name: name.into(),
+        ts_us: now_us(),
+        dur_us: 0,
+        flow_id: id,
     });
 }
 
@@ -153,6 +205,7 @@ impl Drop for StaticSpanGuard {
                 name: Cow::Borrowed(site.name),
                 ts_us: start_us,
                 dur_us: end.saturating_sub(start_us),
+                flow_id: 0,
             });
         }
     }
@@ -194,6 +247,7 @@ impl Drop for SpanGuard {
                 name: open.name,
                 ts_us: open.start_us,
                 dur_us: end.saturating_sub(open.start_us),
+                flow_id: 0,
             });
         }
     }

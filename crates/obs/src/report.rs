@@ -6,6 +6,7 @@ use std::collections::HashMap;
 
 use crate::counters::counters_snapshot;
 use crate::export::{json_escape, reconstruct};
+use crate::histogram::{histograms_snapshot, HistogramSnapshot};
 use crate::ring::TrackSnapshot;
 
 /// Aggregated timing of one span path across every occurrence.
@@ -69,6 +70,11 @@ pub struct SolveReport {
     pub label: String,
     pub phases: Vec<PhaseStat>,
     pub counters: Vec<(&'static str, u64)>,
+    /// Every non-empty process histogram (latency/size distributions).
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Events lost to the ring cap across every track — non-zero means
+    /// the phase table under-counts early activity.
+    pub dropped_events: u64,
 }
 
 impl SolveReport {
@@ -78,16 +84,20 @@ impl SolveReport {
             label: label.into(),
             phases: phase_totals(tracks),
             counters: counters_snapshot(),
+            histograms: histograms_snapshot(),
+            dropped_events: tracks.iter().map(|t| t.dropped).sum(),
         }
     }
 
-    /// One JSON object, schema `posr-obs-report/v1`.
+    /// One JSON object, schema `posr-obs-report/v2` (v2 added
+    /// `histograms` and `dropped_events`).
     pub fn json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"posr-obs-report/v1\",\n");
+        out.push_str("  \"schema\": \"posr-obs-report/v2\",\n");
         out.push_str(&format!(
-            "  \"label\": \"{}\",\n  \"phases\": [\n",
-            json_escape(&self.label)
+            "  \"label\": \"{}\",\n  \"dropped_events\": {},\n  \"phases\": [\n",
+            json_escape(&self.label),
+            self.dropped_events
         ));
         for (i, p) in self.phases.iter().enumerate() {
             let sep = if i + 1 == self.phases.len() { "" } else { "," };
@@ -99,6 +109,15 @@ impl SolveReport {
                 p.self_us,
                 sep
             ));
+        }
+        out.push_str("  ],\n  \"histograms\": [\n");
+        for (i, h) in self.histograms.iter().enumerate() {
+            let sep = if i + 1 == self.histograms.len() {
+                ""
+            } else {
+                ","
+            };
+            out.push_str(&format!("    {}{}\n", h.json(), sep));
         }
         out.push_str("  ],\n  \"counters\": {");
         for (i, (name, value)) in self.counters.iter().enumerate() {
@@ -113,7 +132,8 @@ impl SolveReport {
         out
     }
 
-    /// A fixed-width table for `--stats`-style terminal output.
+    /// A fixed-width table for `--stats`-style terminal output: the phase
+    /// self-time tree, then a percentile line per histogram.
     pub fn table(&self) -> String {
         let mut out = format!(
             "{:<40} {:>8} {:>12} {:>12}\n",
@@ -126,6 +146,29 @@ impl SolveReport {
                 p.count,
                 p.total_us as f64 / 1000.0,
                 p.self_us as f64 / 1000.0,
+            ));
+        }
+        if !self.histograms.is_empty() {
+            out.push_str(&format!(
+                "\n{:<40} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+                "histogram", "count", "p50", "p90", "p99", "max"
+            ));
+            for h in &self.histograms {
+                out.push_str(&format!(
+                    "{:<40} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+                    h.name,
+                    h.count,
+                    h.p50(),
+                    h.p90(),
+                    h.p99(),
+                    h.max,
+                ));
+            }
+        }
+        if self.dropped_events > 0 {
+            out.push_str(&format!(
+                "\nwarning: {} events dropped by the ring cap; early phases under-counted\n",
+                self.dropped_events
             ));
         }
         out

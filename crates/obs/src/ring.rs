@@ -23,6 +23,12 @@ pub enum EventKind {
     Complete,
     /// A point-in-time marker (`ph:"i"`).
     Instant,
+    /// The source end of a flow arrow (`ph:"s"`); pairs with a
+    /// [`EventKind::FlowEnd`] carrying the same `flow_id`, possibly on
+    /// another track — Perfetto draws the arrow between them.
+    FlowStart,
+    /// The sink end of a flow arrow (`ph:"f"`).
+    FlowEnd,
 }
 
 /// One recorded event, timestamps in µs since the trace epoch.
@@ -33,6 +39,9 @@ pub struct Event {
     pub name: Cow<'static, str>,
     pub ts_us: u64,
     pub dur_us: u64,
+    /// Process-unique flow id pairing a [`EventKind::FlowStart`] with its
+    /// [`EventKind::FlowEnd`]; 0 for non-flow events.
+    pub flow_id: u64,
 }
 
 struct TrackBuf {

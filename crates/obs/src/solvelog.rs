@@ -1,0 +1,112 @@
+//! Structured per-solve logs: an append-only JSONL event stream.
+//!
+//! With `POSR_SOLVE_LOG=PATH` set, every solve appends one JSON object per
+//! line — phase transitions, verdicts, CEGAR refinements — so a batch
+//! run's history survives the process and `posr-bench obs-report` (or any
+//! JSONL tool) can reconstruct what happened when.  Unset, the first call
+//! resolves to a no-op and each subsequent call costs one load.
+//!
+//! Lines look like:
+//!
+//! ```json
+//! {"ts_us":12345,"event":"cegar.round","label":"product-cycle-320","round":3}
+//! {"ts_us":99887,"event":"solve.verdict","label":"product-cycle-320","verdict":"unsat"}
+//! ```
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::sync::{Mutex, OnceLock};
+
+use crate::export::json_escape;
+
+static SINK: OnceLock<Option<Mutex<File>>> = OnceLock::new();
+
+fn sink() -> Option<&'static Mutex<File>> {
+    SINK.get_or_init(|| {
+        let path = std::env::var("POSR_SOLVE_LOG").ok()?;
+        let path = path.trim();
+        if path.is_empty() {
+            return None;
+        }
+        OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .ok()
+            .map(Mutex::new)
+    })
+    .as_ref()
+}
+
+/// A field value in a solve-log line.
+#[derive(Clone, Debug)]
+pub enum LogValue {
+    U64(u64),
+    F64(f64),
+    Str(String),
+}
+
+impl From<u64> for LogValue {
+    fn from(v: u64) -> LogValue {
+        LogValue::U64(v)
+    }
+}
+
+impl From<usize> for LogValue {
+    fn from(v: usize) -> LogValue {
+        LogValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for LogValue {
+    fn from(v: f64) -> LogValue {
+        LogValue::F64(v)
+    }
+}
+
+impl From<&str> for LogValue {
+    fn from(v: &str) -> LogValue {
+        LogValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for LogValue {
+    fn from(v: String) -> LogValue {
+        LogValue::Str(v)
+    }
+}
+
+/// `true` when `POSR_SOLVE_LOG` is active — call sites that need to
+/// *build* field values (format a label, stringify a verdict) check this
+/// first so the idle path allocates nothing.
+#[inline]
+pub fn solve_log_enabled() -> bool {
+    sink().is_some()
+}
+
+/// Appends one event line (timestamped with [`crate::now_us`]) to the
+/// solve log.  A no-op without `POSR_SOLVE_LOG`.  Writes are line-atomic:
+/// the whole line is formatted first and written under the sink lock, so
+/// concurrent lanes cannot interleave fields.
+pub fn solve_log(event: &str, fields: &[(&str, LogValue)]) {
+    let Some(file) = sink() else {
+        return;
+    };
+    let mut line = format!(
+        "{{\"ts_us\":{},\"event\":\"{}\"",
+        crate::now_us(),
+        json_escape(event)
+    );
+    for (key, value) in fields {
+        line.push_str(&format!(",\"{}\":", json_escape(key)));
+        match value {
+            LogValue::U64(v) => line.push_str(&v.to_string()),
+            LogValue::F64(v) if v.is_finite() => line.push_str(&format!("{v}")),
+            LogValue::F64(_) => line.push_str("null"),
+            LogValue::Str(s) => line.push_str(&format!("\"{}\"", json_escape(s))),
+        }
+    }
+    line.push_str("}\n");
+    let mut file = file.lock().expect("obs solve log poisoned");
+    let _ = file.write_all(line.as_bytes());
+}

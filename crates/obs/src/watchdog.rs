@@ -1,0 +1,333 @@
+//! Stall watchdog and black-box dumps: post-hoc diagnosis for solves that
+//! time out or wedge.
+//!
+//! A [`Watchdog`] is armed per solve with a *soft* deadline.  If the solve
+//! finishes first, the guard drops and nothing happens.  If the deadline
+//! passes — or the solver reports a cancellation via [`Watchdog::fire_now`]
+//! — the watchdog writes a **black-box dump**: one self-contained JSON file
+//! holding the trace tail, the counter and histogram snapshots, the phase
+//! table, and the latest [`Gauge`] progress values, so "why was this solve
+//! slow" can be answered after the process is gone.  Dumps land in the
+//! directory named by `POSR_BLACKBOX_DIR`; with that variable unset,
+//! [`Watchdog::arm`] is a no-op and costs nothing.
+//!
+//! [`Gauge`]s are the probe side: store-latest relaxed atomics (conflicts,
+//! decisions, trail depth, pivots, current CEGAR round) that hot solver
+//! loops publish into and the watchdog thread reads without taking any
+//! lock the solver might hold — a wedged solver cannot wedge its own
+//! flight recorder.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+use crate::counters::counters_snapshot;
+use crate::export::json_escape;
+use crate::histogram::histograms_snapshot;
+use crate::report::phase_totals;
+use crate::ring::{snapshot_tracks, EventKind};
+
+/// Upper bound on distinct gauge names per process.
+const MAX_GAUGES: usize = 64;
+
+static GAUGE_SLOTS: [AtomicU64; MAX_GAUGES] = [const { AtomicU64::new(0) }; MAX_GAUGES];
+static GAUGE_NAMES: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+
+fn gauge_names() -> &'static Mutex<Vec<&'static str>> {
+    GAUGE_NAMES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// A store-latest progress gauge; cheap to copy.  Unlike a
+/// [`crate::Counter`] (a monotone sum) a gauge holds the *most recent*
+/// published value — trail depth goes down as well as up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Gauge(usize);
+
+/// Interns `name`, returning the existing gauge if the name is known.
+pub fn gauge(name: &'static str) -> Gauge {
+    let mut names = gauge_names().lock().expect("obs gauge names poisoned");
+    if let Some(slot) = names.iter().position(|&n| n == name) {
+        return Gauge(slot);
+    }
+    assert!(
+        names.len() < MAX_GAUGES,
+        "too many distinct obs gauges (cap {MAX_GAUGES}); gauge names must be static"
+    );
+    names.push(name);
+    Gauge(names.len() - 1)
+}
+
+impl Gauge {
+    /// Publishes the latest value (a relaxed store).
+    #[inline]
+    pub fn set(self, v: u64) {
+        GAUGE_SLOTS[self.0].store(v, Ordering::Relaxed);
+    }
+
+    /// The most recently published value.
+    pub fn value(self) -> u64 {
+        GAUGE_SLOTS[self.0].load(Ordering::Relaxed)
+    }
+}
+
+/// Every interned gauge with its latest value, in interning order.
+pub fn progress_snapshot() -> Vec<(&'static str, u64)> {
+    let names = gauge_names().lock().expect("obs gauge names poisoned");
+    names
+        .iter()
+        .enumerate()
+        .map(|(slot, &name)| (name, GAUGE_SLOTS[slot].load(Ordering::Relaxed)))
+        .collect()
+}
+
+/// How many trailing events per track a dump keeps.
+const DUMP_TAIL: usize = 256;
+
+/// Distinguishes dump files from the same process.
+static NEXT_DUMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+struct WatchdogInner {
+    label: String,
+    dir: PathBuf,
+    soft_ms: u64,
+    fired: AtomicBool,
+    /// `(disarmed, condvar)`: the watchdog thread waits here so a normal
+    /// solve completion wakes it immediately instead of leaking a sleeper.
+    state: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl WatchdogInner {
+    /// Writes the black-box dump exactly once per watchdog, no matter how
+    /// many of {deadline expiry, explicit fire, races between them} occur.
+    /// Returns the dump path on the firing call.
+    fn fire(&self, reason: &str) -> Option<PathBuf> {
+        if self
+            .fired
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return None;
+        }
+        let seq = NEXT_DUMP_SEQ.fetch_add(1, Ordering::Relaxed);
+        let slug: String = self
+            .label
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        let path = self
+            .dir
+            .join(format!("{}-{}-{}.json", slug, std::process::id(), seq));
+        let body = blackbox_json(&self.label, reason, self.soft_ms);
+        if std::fs::create_dir_all(&self.dir).is_err() || std::fs::write(&path, body).is_err() {
+            eprintln!(
+                "posr-obs: failed to write black-box dump to {}",
+                path.display()
+            );
+            return None;
+        }
+        Some(path)
+    }
+}
+
+/// Renders the self-contained black-box dump, schema `posr-blackbox/v1`:
+/// progress gauges, counters, histograms, the aggregated phase table, and
+/// the tail of every track's ring buffer.
+pub fn blackbox_json(label: &str, reason: &str, soft_ms: u64) -> String {
+    let tracks = snapshot_tracks();
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"posr-blackbox/v1\",\n");
+    out.push_str(&format!("  \"label\": \"{}\",\n", json_escape(label)));
+    out.push_str(&format!("  \"reason\": \"{}\",\n", json_escape(reason)));
+    out.push_str(&format!("  \"ts_us\": {},\n", crate::now_us()));
+    out.push_str(&format!("  \"soft_deadline_ms\": {},\n", soft_ms));
+
+    out.push_str("  \"progress\": {");
+    let progress = progress_snapshot();
+    for (i, (name, v)) in progress.iter().enumerate() {
+        let sep = if i + 1 == progress.len() { "" } else { "," };
+        out.push_str(&format!("\"{}\": {}{}", json_escape(name), v, sep));
+    }
+    out.push_str("},\n");
+
+    out.push_str("  \"counters\": {");
+    let counters = counters_snapshot();
+    for (i, (name, v)) in counters.iter().enumerate() {
+        let sep = if i + 1 == counters.len() { "" } else { "," };
+        out.push_str(&format!("\"{}\": {}{}", json_escape(name), v, sep));
+    }
+    out.push_str("},\n");
+
+    out.push_str("  \"histograms\": [\n");
+    let hists = histograms_snapshot();
+    for (i, h) in hists.iter().enumerate() {
+        let sep = if i + 1 == hists.len() { "" } else { "," };
+        out.push_str(&format!("    {}{}\n", h.json(), sep));
+    }
+    out.push_str("  ],\n");
+
+    out.push_str("  \"phases\": [\n");
+    let phases = phase_totals(&tracks);
+    for (i, p) in phases.iter().enumerate() {
+        let sep = if i + 1 == phases.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"path\": \"{}\", \"count\": {}, \"total_us\": {}, \"self_us\": {}}}{}\n",
+            json_escape(&p.path),
+            p.count,
+            p.total_us,
+            p.self_us,
+            sep
+        ));
+    }
+    out.push_str("  ],\n");
+
+    out.push_str("  \"trace_tail\": [\n");
+    for (ti, track) in tracks.iter().enumerate() {
+        let tsep = if ti + 1 == tracks.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"track\": \"{}\", \"tid\": {}, \"dropped\": {}, \"events\": [",
+            json_escape(&track.track),
+            track.tid,
+            track.dropped
+        ));
+        let tail_from = track.events.len().saturating_sub(DUMP_TAIL);
+        for (ei, ev) in track.events[tail_from..].iter().enumerate() {
+            if ei > 0 {
+                out.push(',');
+            }
+            let ph = match ev.kind {
+                EventKind::Complete => "X",
+                EventKind::Instant => "i",
+                EventKind::FlowStart => "s",
+                EventKind::FlowEnd => "f",
+            };
+            out.push_str(&format!(
+                "{{\"ph\":\"{}\",\"cat\":\"{}\",\"name\":\"{}\",\"ts_us\":{},\"dur_us\":{}}}",
+                ph,
+                json_escape(ev.cat),
+                json_escape(&ev.name),
+                ev.ts_us,
+                ev.dur_us
+            ));
+        }
+        out.push_str(&format!("]}}{}\n", tsep));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Per-solve stall watchdog; see the module docs.  Obtain one with
+/// [`Watchdog::arm`] (environment-gated) or [`Watchdog::arm_in`]
+/// (explicit dump directory), keep it alive for the duration of the
+/// solve, and let it drop on completion.
+pub struct Watchdog {
+    inner: Option<Arc<WatchdogInner>>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    /// Arms a watchdog when `POSR_BLACKBOX_DIR` names a dump directory;
+    /// otherwise returns an unarmed no-op watchdog.
+    pub fn arm(label: &str, soft: Duration) -> Watchdog {
+        match std::env::var("POSR_BLACKBOX_DIR") {
+            Ok(dir) if !dir.trim().is_empty() => Watchdog::arm_in(label, soft, dir.trim()),
+            _ => Watchdog::unarmed(),
+        }
+    }
+
+    /// A watchdog that never fires and never dumps; what [`Watchdog::arm`]
+    /// returns outside a `POSR_BLACKBOX_DIR` environment.
+    pub fn unarmed() -> Watchdog {
+        Watchdog {
+            inner: None,
+            thread: None,
+        }
+    }
+
+    /// Arms a watchdog that dumps into `dir` if `soft` elapses before the
+    /// watchdog is dropped.
+    pub fn arm_in(label: &str, soft: Duration, dir: impl Into<PathBuf>) -> Watchdog {
+        let inner = Arc::new(WatchdogInner {
+            label: label.to_string(),
+            dir: dir.into(),
+            soft_ms: soft.as_millis() as u64,
+            fired: AtomicBool::new(false),
+            state: Mutex::new(false),
+            cv: Condvar::new(),
+        });
+        let thread_inner = Arc::clone(&inner);
+        let thread = std::thread::Builder::new()
+            .name("posr-watchdog".to_string())
+            .spawn(move || {
+                let mut disarmed = thread_inner
+                    .state
+                    .lock()
+                    .expect("obs watchdog state poisoned");
+                let mut remaining = soft;
+                // wait in a loop: a spurious wakeup must not count as
+                // either expiry or disarm
+                let start = std::time::Instant::now();
+                while !*disarmed {
+                    let (guard, timeout) = thread_inner
+                        .cv
+                        .wait_timeout(disarmed, remaining)
+                        .expect("obs watchdog state poisoned");
+                    disarmed = guard;
+                    if *disarmed {
+                        return;
+                    }
+                    if timeout.timed_out() || start.elapsed() >= soft {
+                        drop(disarmed);
+                        thread_inner.fire("stall");
+                        return;
+                    }
+                    remaining = soft.saturating_sub(start.elapsed());
+                }
+            })
+            .expect("failed to spawn watchdog thread");
+        Watchdog {
+            inner: Some(inner),
+            thread: Some(thread),
+        }
+    }
+
+    /// `true` when this watchdog can produce a dump.
+    pub fn armed(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Dumps immediately with `reason` (e.g. `"deadline"`, `"cancelled"`)
+    /// without waiting for the soft deadline.  At most one dump is ever
+    /// written per watchdog; returns its path on the call that wrote it.
+    pub fn fire_now(&self, reason: &str) -> Option<PathBuf> {
+        self.inner.as_ref().and_then(|inner| inner.fire(reason))
+    }
+
+    /// `true` once a dump has been written (by expiry or [`fire_now`]).
+    ///
+    /// [`fire_now`]: Watchdog::fire_now
+    pub fn fired(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|inner| inner.fired.load(Ordering::SeqCst))
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        if let Some(inner) = &self.inner {
+            *inner.state.lock().expect("obs watchdog state poisoned") = true;
+            inner.cv.notify_all();
+        }
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}

@@ -260,3 +260,187 @@ fn disabled_recording_is_empty() {
         "disabled spans record nothing"
     );
 }
+
+#[test]
+fn flow_events_export_valid_json_and_pair_up() {
+    let tracks = with_recorder(|| {
+        obs::set_thread_track("test:flows");
+        let a = obs::flow_id();
+        let b = obs::flow_id();
+        assert_ne!(a, b, "flow ids are process-unique");
+        obs::flow_start("test", "flow.a", a);
+        obs::flow_start("test", "flow.b", b);
+        {
+            let _round = obs::span("test", "consumer");
+            obs::flow_end("test", "flow.a", a);
+            obs::flow_end("test", "flow.b", b);
+        }
+        // an unmatched start must not corrupt the export
+        obs::flow_start("test", "flow.dangling", obs::flow_id());
+        obs::drain_tracks()
+    });
+
+    let mut starts = std::collections::BTreeSet::new();
+    let mut ends = std::collections::BTreeSet::new();
+    for track in &tracks {
+        for ev in &track.events {
+            match ev.kind {
+                obs::EventKind::FlowStart => {
+                    assert_ne!(ev.flow_id, 0, "flow events carry their id");
+                    starts.insert(ev.flow_id);
+                }
+                obs::EventKind::FlowEnd => {
+                    ends.insert(ev.flow_id);
+                }
+                _ => assert_eq!(ev.flow_id, 0, "non-flow events carry no id"),
+            }
+        }
+    }
+    assert_eq!(starts.len(), 3);
+    assert_eq!(ends.len(), 2);
+    assert_eq!(starts.intersection(&ends).count(), 2, "a and b pair up");
+
+    let json = obs::chrome_trace_json(&tracks);
+    check_json(&json).expect("flow events keep the trace valid JSON");
+    assert!(json.contains("\"ph\":\"s\""), "flow starts exported");
+    assert!(json.contains("\"ph\":\"f\""), "flow ends exported");
+    assert!(
+        json.contains("\"bp\":\"e\""),
+        "flow ends bind to their enclosing slice"
+    );
+}
+
+#[test]
+fn histogram_percentiles_match_a_sorted_vector_oracle() {
+    // the documented convention, computed from first principles: the
+    // p-th percentile is the upper bucket bound of the ceil(p/100·n)-th
+    // smallest sample, clamped to the exact max
+    fn oracle(samples: &[u64], p: f64) -> u64 {
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).max(1);
+        let s = sorted[rank - 1];
+        let bucket = if s == 0 {
+            0
+        } else {
+            64 - s.leading_zeros() as usize
+        };
+        let upper = match bucket {
+            0 => 0,
+            1..=63 => (1u64 << bucket) - 1,
+            _ => u64::MAX,
+        };
+        upper.min(*sorted.last().unwrap())
+    }
+
+    // a scoped snapshot isolates this test from every other recording in
+    // the process (the global slots are shared)
+    let scope = obs::CounterScope::new();
+    let hist = obs::histogram("test.oracle_hist");
+    let samples: Vec<u64> = vec![0, 1, 1, 3, 7, 9, 120, 121, 1000, 65_535, 70_000];
+    {
+        let _attached = scope.attach();
+        for &s in &samples {
+            hist.record(s);
+        }
+    }
+    // recorded outside the scope: must not show up in its snapshot
+    hist.record(u64::MAX);
+
+    let snap = scope.histogram(hist).expect("scope saw the samples");
+    assert_eq!(snap.count, samples.len() as u64);
+    assert_eq!(snap.sum, samples.iter().sum::<u64>());
+    assert_eq!(snap.max, 70_000, "the out-of-scope sample is excluded");
+    for p in [1.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+        assert_eq!(
+            snap.percentile(p),
+            oracle(&samples, p),
+            "p{p} disagrees with the oracle"
+        );
+    }
+    assert_eq!(snap.p50(), snap.percentile(50.0));
+    assert_eq!(snap.p99(), snap.percentile(99.0));
+
+    // merging two snapshots behaves like recording the union
+    let scope2 = obs::CounterScope::new();
+    let more: Vec<u64> = vec![2, 500, 1_000_000];
+    {
+        let _attached = scope2.attach();
+        for &s in &more {
+            hist.record(s);
+        }
+    }
+    let mut merged = snap.clone();
+    merged.merge(&scope2.histogram(hist).expect("scope2 saw the samples"));
+    let union: Vec<u64> = samples.iter().chain(more.iter()).copied().collect();
+    assert_eq!(merged.count, union.len() as u64);
+    assert_eq!(merged.max, 1_000_000);
+    for p in [10.0, 50.0, 99.0] {
+        assert_eq!(merged.percentile(p), oracle(&union, p));
+    }
+
+    // the JSON rendering of a snapshot is well-formed
+    check_json(&snap.json()).expect("histogram JSON is valid");
+}
+
+#[test]
+fn watchdog_fires_exactly_once_and_dumps_valid_json() {
+    let dir = std::env::temp_dir().join(format!("posr-obs-watchdog-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // expiry path: a stalled "solve" outlives the soft deadline
+    {
+        obs::gauge("test.watchdog_probe").set(42);
+        let dog =
+            obs::Watchdog::arm_in("stalled solve", std::time::Duration::from_millis(30), &dir);
+        assert!(dog.armed());
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while !dog.fired() && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(dog.fired(), "the soft deadline fired the watchdog");
+        // a later explicit fire is swallowed: one dump per watchdog
+        assert_eq!(dog.fire_now("cancelled"), None);
+    }
+    let dumps: Vec<_> = std::fs::read_dir(&dir)
+        .expect("dump directory exists")
+        .map(|e| e.expect("readable entry").path())
+        .collect();
+    assert_eq!(dumps.len(), 1, "exactly one dump for the stalled solve");
+    let body = std::fs::read_to_string(&dumps[0]).expect("dump is readable");
+    check_json(&body).expect("the black-box dump is valid JSON");
+    assert!(body.contains("\"schema\": \"posr-blackbox/v1\""));
+    assert!(body.contains("\"reason\": \"stall\""));
+    assert!(body.contains("test.watchdog_probe"));
+
+    // explicit-fire path: fire_now dumps once and reports the path once
+    {
+        let dog = obs::Watchdog::arm_in(
+            "cancelled solve",
+            std::time::Duration::from_secs(3600),
+            &dir,
+        );
+        let path = dog
+            .fire_now("cancelled")
+            .expect("first fire returns the path");
+        assert!(path.exists());
+        assert_eq!(dog.fire_now("cancelled"), None, "second fire is a no-op");
+        let body = std::fs::read_to_string(&path).expect("dump is readable");
+        check_json(&body).expect("valid JSON");
+        assert!(body.contains("\"reason\": \"cancelled\""));
+    }
+    assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 2);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unarmed_watchdog_is_a_no_op() {
+    // no POSR_BLACKBOX_DIR manipulation here (env vars race across test
+    // threads); `unarmed()` is exactly what arm() returns with the
+    // variable unset
+    let dog = obs::Watchdog::unarmed();
+    assert!(!dog.armed());
+    assert_eq!(dog.fire_now("anything"), None);
+    assert!(!dog.fired());
+}

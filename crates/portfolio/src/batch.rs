@@ -18,6 +18,11 @@ use posr_smtfmt::{parse_script, ParseError};
 
 use crate::{PortfolioResult, PortfolioSolver};
 
+/// Distribution of per-item wall times (one full race each), µs.  Scoped:
+/// a batch's own percentiles come out of its `CounterScope`.
+static HIST_ITEM_WALL: std::sync::LazyLock<posr_obs::Histogram> =
+    std::sync::LazyLock::new(|| posr_obs::histogram("batch.item_wall_us"));
+
 /// One problem of a batch.
 #[derive(Clone, Debug)]
 pub struct BatchItem {
@@ -114,6 +119,10 @@ pub struct BatchStats {
     pub cache_misses: u64,
     /// Wins per strategy name.
     pub wins: std::collections::BTreeMap<&'static str, usize>,
+    /// Distribution of per-item wall times for *this batch's* items
+    /// (same per-batch scoping as the cache counters); `None` when the
+    /// batch was empty.  `item_wall_us.p99()` is the batch's tail latency.
+    pub item_wall_us: Option<posr_obs::HistogramSnapshot>,
 }
 
 impl BatchStats {
@@ -151,10 +160,25 @@ pub fn solve_batch(
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<BatchOutcome>>> = items.iter().map(|_| Mutex::new(None)).collect();
 
+    // one flow per item, started at submit on this thread and ended by
+    // the worker that picks the item up — in Perfetto the queue-wait of
+    // every item is the arrow from the submit span to its worker span
+    let flows: Vec<u64> = {
+        let _span = posr_obs::span!("batch", "batch.submit");
+        items
+            .iter()
+            .map(|item| {
+                let flow = posr_obs::flow_id();
+                posr_obs::flow_start("batch", format!("batch.item:{}", item.name), flow);
+                flow
+            })
+            .collect()
+    };
+
     let workers = options.effective_workers(items.len());
     std::thread::scope(|scope| {
         for worker in 0..workers {
-            let (counters, next, slots) = (&counters, &next, &slots);
+            let (counters, next, slots, flows) = (&counters, &next, &slots, &flows);
             scope.spawn(move || {
                 let _attached = counters.attach();
                 posr_obs::set_thread_track(format!("worker:{worker}"));
@@ -162,8 +186,11 @@ pub fn solve_batch(
                     let index = next.fetch_add(1, Ordering::Relaxed);
                     let Some(item) = items.get(index) else { break };
                     let _span = posr_obs::span("batch", item.name.clone());
+                    posr_obs::flow_end("batch", format!("batch.item:{}", item.name), flows[index]);
+                    let item_start = Instant::now();
                     let result =
                         portfolio.solve_with(&item.formula, options.timeout, item.hint.as_deref());
+                    HIST_ITEM_WALL.record_duration(item_start.elapsed());
                     *slots[index].lock().expect("batch slot poisoned") = Some(BatchOutcome {
                         name: item.name.clone(),
                         result,
@@ -187,6 +214,7 @@ pub fn solve_batch(
         wall_time: start.elapsed(),
         cache_hits: counters.get(*posr_automata::cache::OBS_HITS),
         cache_misses: counters.get(*posr_automata::cache::OBS_MISSES),
+        item_wall_us: counters.histogram(*HIST_ITEM_WALL),
         ..BatchStats::default()
     };
     for outcome in &outcomes {

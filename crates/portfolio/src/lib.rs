@@ -64,6 +64,12 @@ pub use batch::{
     solve_batch, solve_scripts, BatchItem, BatchOptions, BatchOutcome, BatchReport, BatchStats,
 };
 
+/// Distribution of lane solve times (one strategy run each), µs — the
+/// race's per-lane latency profile, p99-queryable via
+/// [`posr_obs::HistogramSnapshot`].
+static HIST_LANE_WALL: std::sync::LazyLock<posr_obs::Histogram> =
+    std::sync::LazyLock::new(|| posr_obs::histogram("portfolio.lane_wall_us"));
+
 /// One engine in the portfolio.
 ///
 /// Implementations must poll `cancel` at their branch points: the portfolio
@@ -403,6 +409,7 @@ impl PortfolioSolver {
                         let _span = posr_obs::span!("portfolio", "lane.solve");
                         strategy.solve(formula, &token)
                     };
+                    HIST_LANE_WALL.record_duration(begin.elapsed());
                     // receiver may be gone if the race was already decided
                     let _ = tx.send((index, answer, begin.elapsed()));
                 });

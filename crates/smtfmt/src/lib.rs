@@ -1225,6 +1225,13 @@ mod tests {
             ":automata-cache-hits",
             ":automata-cache-misses",
             ":automata-cache-hit-ratio",
+            // the flight recorder's latency histograms surface as
+            // percentile rows; this unsat solve runs the CDCL engine, so
+            // the session scope saw simplex check() pivot samples
+            ":simplex-check-pivots-count",
+            ":simplex-check-pivots-p50",
+            ":simplex-check-pivots-p99",
+            ":simplex-check-pivots-max",
         ] {
             assert!(stats.contains(key), "missing {key} in {stats}");
         }

@@ -185,6 +185,33 @@ fn main() {
             None => println!("  automaton cache (process-wide): no lookups"),
         }
 
+        // flight-recorder percentiles: the batch's own item-wall
+        // distribution (scoped to this batch) plus every process-wide
+        // latency histogram the stack recorded (lane walls, CEGAR rounds,
+        // simplex pivot counts, clause LBDs)
+        println!("\n== latency percentiles (posr-obs) ==");
+        if let Some(hist) = &report.stats.item_wall_us {
+            println!(
+                "  batch item wall      : p50 {:>8.2} ms, p90 {:>8.2} ms, p99 {:>8.2} ms, max {:>8.2} ms ({} items)",
+                hist.p50() as f64 / 1e3,
+                hist.p90() as f64 / 1e3,
+                hist.p99() as f64 / 1e3,
+                hist.max as f64 / 1e3,
+                hist.count,
+            );
+        }
+        for hist in posr_obs::histograms_snapshot() {
+            println!(
+                "  {:<20} : p50 {:>8} p90 {:>8} p99 {:>8} max {:>8} ({} samples)",
+                hist.name,
+                hist.p50(),
+                hist.p90(),
+                hist.p99(),
+                hist.max,
+                hist.count,
+            );
+        }
+
         println!("\n== phase self-time (posr-obs) ==");
         let report = posr_obs::SolveReport::from_tracks("portfolio-batch", &tracks);
         for line in report.table().lines().take(16) {
