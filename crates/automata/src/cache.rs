@@ -41,6 +41,40 @@ pub static OBS_HITS: LazyLock<posr_obs::Counter> =
 pub static OBS_MISSES: LazyLock<posr_obs::Counter> =
     LazyLock::new(|| posr_obs::counter("automata.cache.misses"));
 
+/// Times a poisoned cache mutex was recovered (cleared and released): a
+/// thread panicked while holding the lock — a crashed portfolio lane, an
+/// injected fault — and instead of propagating the poison to every later
+/// solve in the process, the cache healed itself.
+pub static OBS_POISON_RECOVERED: LazyLock<posr_obs::Counter> =
+    LazyLock::new(|| posr_obs::counter("cache.poison_recovered"));
+
+/// Locks `m`, recovering from poison: a panic while the lock was held
+/// marks the mutex poisoned forever, and the old `.expect(…)` here turned
+/// every later lookup — on every thread, for the rest of the process —
+/// into a panic.  Recovery clears the poison bit and conservatively drops
+/// the entries (the dying writer may have left a partial insert); the
+/// cache refills on the following misses.
+fn lock_recover(
+    m: &Mutex<HashMap<String, Arc<Nfa>>>,
+) -> std::sync::MutexGuard<'_, HashMap<String, Arc<Nfa>>> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            OBS_POISON_RECOVERED.incr();
+            m.clear_poison();
+            let mut guard = poisoned.into_inner();
+            guard.clear();
+            guard
+        }
+    }
+}
+
+/// Approximate heap footprint of a cached automaton, charged against the
+/// memory budget of whichever solve inserts it.
+fn nfa_bytes(nfa: &Nfa) -> u64 {
+    64 + 48 * nfa.size() as u64
+}
+
 fn count_hit() {
     HITS.fetch_add(1, Ordering::Relaxed);
     OBS_HITS.incr();
@@ -99,7 +133,11 @@ fn lookup(
     build: impl FnOnce() -> Result<Nfa, ParseRegexError>,
 ) -> Result<Arc<Nfa>, ParseRegexError> {
     let map = store.get_or_init(|| Mutex::new(HashMap::new()));
-    if let Some(hit) = map.lock().expect("automaton cache poisoned").get(pattern) {
+    posr_obs::fault::fire(
+        "automata.cache.lookup",
+        &[posr_obs::FaultKind::Panic, posr_obs::FaultKind::Delay],
+    );
+    if let Some(hit) = lock_recover(map).get(pattern) {
         count_hit();
         return Ok(Arc::clone(hit));
     }
@@ -108,7 +146,10 @@ fn lookup(
     // both racers insert identical (deterministic) automata
     count_miss();
     let built = Arc::new(build()?);
-    let mut guard = map.lock().expect("automaton cache poisoned");
+    let mut guard = lock_recover(map);
+    if !guard.contains_key(pattern) {
+        posr_obs::budget::charge_mem(nfa_bytes(&built));
+    }
     Ok(Arc::clone(
         guard.entry(pattern.to_string()).or_insert(built),
     ))
@@ -155,16 +196,23 @@ pub fn prepared_for(nfa: &Nfa) -> Arc<Nfa> {
 
     let key = nfa.cache_key();
     let map = PREPARED_BY_CONTENT.get_or_init(|| Mutex::new(HashMap::new()));
-    if let Some(hit) = map.lock().expect("automaton cache poisoned").get(&key) {
+    posr_obs::fault::fire(
+        "automata.cache.lookup",
+        &[posr_obs::FaultKind::Panic, posr_obs::FaultKind::Delay],
+    );
+    if let Some(hit) = lock_recover(map).get(&key) {
         count_hit();
         return Arc::clone(hit);
     }
     // build outside the lock (see `lookup` for the rationale)
     count_miss();
     let built = Arc::new(nfa.remove_epsilon().trim());
-    let mut guard = map.lock().expect("automaton cache poisoned");
+    let mut guard = lock_recover(map);
     if guard.len() >= MAX_ENTRIES && !guard.contains_key(&key) {
         return built;
+    }
+    if !guard.contains_key(&key) {
+        posr_obs::budget::charge_mem(nfa_bytes(&built));
     }
     Arc::clone(guard.entry(key).or_insert(built))
 }
@@ -192,7 +240,7 @@ pub fn reset_stats() {
 pub fn clear() {
     for store in [&COMPILED, &PREPARED, &PREPARED_BY_CONTENT] {
         if let Some(map) = store.get() {
-            map.lock().expect("automaton cache poisoned").clear();
+            lock_recover(map).clear();
         }
     }
     reset_stats();
@@ -254,6 +302,32 @@ mod tests {
         assert!(after.hits >= 1);
         assert!(after.hit_ratio().expect("lookups happened") > 0.0);
         assert_eq!(CacheStats::default().hit_ratio(), None);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_and_cache_keeps_serving() {
+        // prime the cache, then kill a thread while it holds the lock —
+        // exactly what a crashed portfolio lane does mid-lookup
+        let _ = compile_cached("(xy)+poison-test").unwrap();
+        let join = std::thread::spawn(|| {
+            let map = COMPILED.get().expect("cache primed above");
+            let _guard = lock_recover(map);
+            panic!("simulated lane crash while holding the cache lock");
+        })
+        .join();
+        assert!(join.is_err(), "the poisoning thread must have panicked");
+
+        // the next lookup recovers the lock (clearing the map once) …
+        let recoveries_before = OBS_POISON_RECOVERED.value();
+        let a = compile_cached("(xy)+poison-test").unwrap();
+        assert!(a.accepts_str("xyxypoison-test"));
+        assert!(OBS_POISON_RECOVERED.value() > recoveries_before);
+
+        // … and later solves hit the cache again as if nothing happened
+        let hits_before = stats().hits;
+        let b = compile_cached("(xy)+poison-test").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(stats().hits > hits_before);
     }
 
     #[test]

@@ -555,6 +555,16 @@ fn solve_with_cegar(
     // arrow from "this cut" to "that re-solve"
     let mut pending_refine: Vec<u64> = Vec::new();
     loop {
+        if let Some(posr_obs::FaultKind::Cancel) = posr_obs::fault::fire(
+            "core.cegar",
+            &[
+                posr_obs::FaultKind::Panic,
+                posr_obs::FaultKind::Delay,
+                posr_obs::FaultKind::Cancel,
+            ],
+        ) {
+            token.cancel();
+        }
         if token.is_cancelled() {
             let reason = token.unknown_reason();
             watchdog.fire_now(&reason);
@@ -582,6 +592,7 @@ fn solve_with_cegar(
                     let _span = posr_obs::span!("core", "proof.sink");
                     OBS_PROOF_DOCS.incr();
                     OBS_PROOF_BYTES.add(proof.len() as u64);
+                    posr_obs::budget::charge_mem(proof.len() as u64);
                     sink.lock().expect("proof sink poisoned").push(proof);
                 }
                 if posr_obs::solve_log_enabled() {

@@ -144,11 +144,23 @@ impl StringSolver {
     pub fn solve(&self, formula: &StringFormula) -> Answer {
         // fold the query-level deadline and cancellation flag into one token
         // and hand the same token to the position procedure
-        let token = self
+        let mut token = self
             .options
             .cancel
             .merged_with_deadline(self.options.deadline)
             .merged_with_deadline(self.options.position.deadline);
+        // a POSR_MEM_BUDGET in the environment applies to every solve that
+        // was not already handed a budget by its caller
+        if token.budget().is_none() {
+            if let Some(limit) = posr_obs::budget::mem_budget_from_env() {
+                token = token.with_budget(std::sync::Arc::new(
+                    posr_obs::Budget::unlimited().with_mem_limit(limit),
+                ));
+            }
+        }
+        // attach the budget so allocation charges from this thread (clause
+        // DB, tableau, proof sink, automaton cache) land on this solve
+        let _budget_scope = token.budget().map(posr_obs::budget::attach);
         let mut position_options = self.options.position.clone();
         position_options.deadline = token.deadline();
         position_options.cancel = token.clone();
@@ -157,7 +169,15 @@ impl StringSolver {
         if posr_obs::solve_log_enabled() {
             posr_obs::solve_log("solve.start", &[]);
         }
-        let answer = self.solve_phases(formula, &token, &position_options);
+        // the arithmetic substrate signals unrecoverable overflow by panic;
+        // after the BigInt slow lane has given up, degrade to Unknown here
+        // rather than aborting the caller
+        let answer = match posr_lia::catch_overflow(|| {
+            self.solve_phases(formula, &token, &position_options)
+        }) {
+            Ok(answer) => answer,
+            Err(reason) => Answer::Unknown(reason),
+        };
         if posr_obs::solve_log_enabled() {
             let verdict = match &answer {
                 Answer::Sat(_) => "sat",

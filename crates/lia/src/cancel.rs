@@ -13,6 +13,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use posr_obs::Budget;
+
 /// The `Unknown` reason reported by every layer when a token fires through
 /// its flag (as opposed to its deadline).
 pub const CANCELLED_MSG: &str = "cancelled";
@@ -20,14 +22,18 @@ pub const CANCELLED_MSG: &str = "cancelled";
 /// The `Unknown` reason reported when a token fires through its deadline.
 pub const DEADLINE_MSG: &str = "deadline exceeded";
 
-/// A cloneable cancellation/deadline token.
+/// A cloneable cancellation/deadline/budget token.
 ///
 /// Clones share the underlying flag: cancelling any clone cancels them all.
-/// The default token ([`CancelToken::none`]) can never fire.
+/// A token may also carry a shared [`Budget`] (memory + conflict axes);
+/// an exceeded axis fires the token exactly like a raised flag, so every
+/// existing poll point degrades to the same clean `Unknown`.  The default
+/// token ([`CancelToken::none`]) can never fire.
 #[derive(Clone, Debug, Default)]
 pub struct CancelToken {
     flag: Option<Arc<AtomicBool>>,
     deadline: Option<Instant>,
+    budget: Option<Arc<Budget>>,
 }
 
 impl CancelToken {
@@ -41,6 +47,7 @@ impl CancelToken {
         CancelToken {
             flag: Some(Arc::new(AtomicBool::new(false))),
             deadline: None,
+            budget: None,
         }
     }
 
@@ -49,7 +56,23 @@ impl CancelToken {
         CancelToken {
             flag: Some(Arc::new(AtomicBool::new(false))),
             deadline: Some(deadline),
+            budget: None,
         }
+    }
+
+    /// This token with `budget` attached: the token fires once any budget
+    /// axis is exceeded.  Clones (and [`merged_with_deadline`] results)
+    /// share the budget.
+    ///
+    /// [`merged_with_deadline`]: CancelToken::merged_with_deadline
+    pub fn with_budget(mut self, budget: Arc<Budget>) -> CancelToken {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// The attached budget, if any.
+    pub fn budget(&self) -> Option<&Arc<Budget>> {
+        self.budget.as_ref()
     }
 
     /// The wall-clock deadline, if any.
@@ -68,6 +91,7 @@ impl CancelToken {
         CancelToken {
             flag: self.flag.clone(),
             deadline,
+            budget: self.budget.clone(),
         }
     }
 
@@ -86,9 +110,18 @@ impl CancelToken {
             .is_some_and(|f| f.load(Ordering::Relaxed))
     }
 
-    /// `true` once the flag is set or the deadline has passed.
+    /// The budget axis currently exceeded, if any.
+    pub fn budget_exceeded(&self) -> Option<&'static str> {
+        self.budget.as_ref().and_then(|b| b.exceeded_axis())
+    }
+
+    /// `true` once the flag is set, the deadline has passed, or a budget
+    /// axis is exceeded.
     pub fn is_cancelled(&self) -> bool {
         if self.flag_raised() {
+            return true;
+        }
+        if self.budget_exceeded().is_some() {
             return true;
         }
         self.deadline.is_some_and(|d| Instant::now() >= d)
@@ -97,16 +130,20 @@ impl CancelToken {
     /// `true` if polling this token could ever return `true` (used to skip
     /// `Instant::now` syscalls on the fast path).
     pub fn can_fire(&self) -> bool {
-        self.flag.is_some() || self.deadline.is_some()
+        self.flag.is_some()
+            || self.deadline.is_some()
+            || self.budget.as_ref().is_some_and(|b| b.can_fire())
     }
 
     /// The `Unknown` reason matching the way the token fired.
     pub fn unknown_reason(&self) -> String {
         if self.flag_raised() {
-            CANCELLED_MSG.to_string()
-        } else {
-            DEADLINE_MSG.to_string()
+            return CANCELLED_MSG.to_string();
         }
+        if let Some(axis) = self.budget_exceeded() {
+            return axis.to_string();
+        }
+        DEADLINE_MSG.to_string()
     }
 }
 
@@ -152,6 +189,33 @@ mod tests {
         let merged = base.merged_with_deadline(Some(late));
         base.cancel();
         assert!(merged.is_cancelled());
+    }
+
+    #[test]
+    fn budget_axes_fire_the_token() {
+        let budget = Arc::new(Budget::unlimited().with_mem_limit(100));
+        let token = CancelToken::new().with_budget(Arc::clone(&budget));
+        assert!(token.can_fire());
+        assert!(!token.is_cancelled());
+        budget.charge_mem(101);
+        assert!(token.is_cancelled());
+        assert_eq!(token.unknown_reason(), posr_obs::MEM_BUDGET_MSG);
+        // clones and deadline merges share the budget
+        let merged = token.merged_with_deadline(None);
+        assert!(merged.is_cancelled());
+        // the flag takes precedence in the reported reason
+        token.cancel();
+        assert_eq!(token.unknown_reason(), CANCELLED_MSG);
+    }
+
+    #[test]
+    fn conflict_budget_reports_its_axis() {
+        let budget = Arc::new(Budget::unlimited().with_conflict_limit(5));
+        let token = CancelToken::none().with_budget(Arc::clone(&budget));
+        assert!(token.can_fire());
+        budget.charge_conflicts(6);
+        assert!(token.is_cancelled());
+        assert_eq!(token.unknown_reason(), posr_obs::CONFLICT_BUDGET_MSG);
     }
 
     #[test]

@@ -72,7 +72,6 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::LazyLock;
 
 use crate::bounds::{BoundEnv, BoundOutcome, ConstraintIndex};
-use crate::cancel::{CANCELLED_MSG, DEADLINE_MSG};
 use crate::cnf::{constraint_of_meaning, split_meaning, Clausifier, Lit};
 use crate::explain;
 use crate::formula::Formula;
@@ -87,6 +86,12 @@ use crate::term::{LinExpr, Var};
 
 /// Reason index of decisions and unassigned variables.
 const NO_REASON: u32 = u32::MAX;
+
+/// Approximate heap footprint of a clause of `len` literals, for the
+/// memory-budget accounting (header + literal vector).
+fn clause_bytes(len: usize) -> u64 {
+    48 + 8 * len as u64
+}
 
 /// Reason index of theory-propagated literals: the explanation (a bound
 /// core entailing the literal) is materialised *lazily*, only when the
@@ -1738,6 +1743,9 @@ impl Engine {
     /// conflict is at the root level (search exhausted).
     fn resolve_conflict(&mut self, conflict: Vec<Lit>, conflict_id: u64) -> bool {
         self.stats.conflicts += 1;
+        if let Some(b) = self.config.cancel.budget() {
+            b.charge_conflicts(1);
+        }
         // theory conflicts may live entirely below the current level:
         // backtrack to the newest involved level first
         let max_level = conflict
@@ -1766,6 +1774,9 @@ impl Engine {
             self.stats.learned_total += 1;
             let lbd = self.lbd_of(&learnt);
             HIST_LBD.record(lbd as u64);
+            // approximate clause-DB growth against the memory budget
+            // (credited back when the GC drops the clause)
+            posr_obs::budget::charge_mem(clause_bytes(learnt.len()));
             self.attach(Clause {
                 lits: learnt,
                 learnt: true,
@@ -1879,6 +1890,7 @@ impl Engine {
                 if let Some(p) = &mut self.proof {
                     p.delete(clause.proof_id);
                 }
+                posr_obs::budget::uncharge_mem(clause_bytes(clause.lits.len()));
                 continue;
             }
             if clause.lits.iter().any(|&l| self.value(l) == 1) {
@@ -1929,12 +1941,8 @@ impl Engine {
 
     fn undecided_unknown(&self) -> SolverResult {
         if self.cancelled {
-            let reason = if self.config.cancel.flag_raised() {
-                CANCELLED_MSG
-            } else {
-                DEADLINE_MSG
-            };
-            SolverResult::Unknown(reason.to_string())
+            // names the axis that fired: flag, budget axis, or deadline
+            SolverResult::Unknown(self.config.cancel.unknown_reason())
         } else {
             SolverResult::Unknown("resource limit reached".to_string())
         }
@@ -1992,6 +2000,9 @@ impl Engine {
             // flushes its pivot/row-touch counts into the obs counters;
             // the attached scope is what `stats()` derives them from
             let _pivots = self.pivot_scope.attach();
+            // layers below with no token in sight (proof sinks, caches)
+            // charge the solve's budget through the thread attachment
+            let _budget = self.config.cancel.budget().map(posr_obs::budget::attach);
             self.search()
         };
         self.cancel_until(0);
@@ -2034,6 +2045,23 @@ impl Engine {
         let mut conflicts_at_restart = self.stats.conflicts;
         loop {
             self.publish_progress();
+            // chaos-test injection point: the search loop absorbs every
+            // fault kind (panics unwind to the entry-point catch, a forced
+            // cancel fires the token below, an overflow takes the marker
+            // path the slow lane and catch both know)
+            match posr_obs::fault::fire(
+                "cdcl.search",
+                &[
+                    posr_obs::FaultKind::Panic,
+                    posr_obs::FaultKind::Delay,
+                    posr_obs::FaultKind::Cancel,
+                    posr_obs::FaultKind::Overflow,
+                ],
+            ) {
+                Some(posr_obs::FaultKind::Cancel) => self.config.cancel.cancel(),
+                Some(posr_obs::FaultKind::Overflow) => crate::rational::overflow_panic(),
+                _ => {}
+            }
             if self.config.cancel.can_fire() && self.config.cancel.is_cancelled() {
                 self.cancelled = true;
                 return self.undecided_unknown();

@@ -85,6 +85,7 @@
 //! }
 //! ```
 
+pub mod bigint;
 pub mod bounds;
 pub mod cancel;
 pub mod cdcl;
@@ -106,6 +107,6 @@ pub use cnf::{Lit, LitOrConst};
 pub use formula::{Atom, Cmp, Formula};
 pub use incremental::IncrementalSolver;
 pub use proof::{CertKind, ProofBuilder, ProofStep};
-pub use rational::Rat;
+pub use rational::{catch_overflow, Rat, OVERFLOW_MSG, OVERFLOW_UNKNOWN};
 pub use solver::{Model, SearchEngine, Solver, SolverConfig, SolverResult};
 pub use term::{LinExpr, Var, VarPool};

@@ -1,21 +1,66 @@
-//! Exact rational arithmetic over `i128`.
+//! Exact rational arithmetic over `i128`, with a big-integer slow lane.
 //!
-//! The simplex feasibility checker works over the rationals.  The offline
-//! dependency set available to this repository contains no big-integer crate,
-//! so rationals are represented with `i128` numerator/denominator; every
-//! arithmetic operation checks for overflow and panics with a recognisable
-//! message on overflow.  The top-level solver catches this panic and reports
-//! a *resource-out* instead of an incorrect answer (see
-//! `posr_lia::solver::Solver::solve`).  On every workload shipped in this
-//! repository the coefficients stay far below the overflow threshold.
+//! The simplex feasibility checker works over the rationals.  `Rat` stays
+//! a `Copy` pair of `i128`s — the tableau hot paths depend on that — and
+//! every operation first tries machine arithmetic.  On overflow the
+//! operation falls back to a *slow lane* over the vendored
+//! [`crate::bigint::BigInt`]: the exact intermediate is computed with
+//! arbitrary precision, reduced by the gcd, and converted back to `i128`.
+//! Deep product-automaton coefficients thus overflow only when the
+//! *reduced result* genuinely needs more than 127 bits; comparisons never
+//! overflow at all (they finish exactly in the slow lane).  A result that
+//! truly cannot be represented panics with a recognisable message; the
+//! solve entry points catch it and report a *resource-out* instead of an
+//! incorrect answer (see `posr_lia::solver::Solver::solve`).
 
 use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+use std::sync::LazyLock;
+
+use crate::bigint::BigInt;
 
 /// Message used by arithmetic overflow panics; the solver recognises it when
 /// converting panics to resource-limit results.
 pub const OVERFLOW_MSG: &str = "posr-lia rational overflow";
+
+/// Raises the overflow marker panic the solve entry points translate into
+/// a clean `Unknown`.  Public so the fault-injection harness can simulate
+/// an overflow on any path that is documented to absorb one.
+pub fn overflow_panic() -> ! {
+    panic!("{OVERFLOW_MSG}")
+}
+
+/// The `Unknown` reason every entry point reports for a caught overflow.
+pub const OVERFLOW_UNKNOWN: &str = "arithmetic overflow in theory solver";
+
+/// Runs `f`, translating an [`OVERFLOW_MSG`] panic into
+/// `Err(`[`OVERFLOW_UNKNOWN`]`)` and re-raising every other panic (those
+/// indicate bugs, not resource limits).  The shared building block behind
+/// the "overflow degrades to a clean `Unknown`" guarantee of every public
+/// solve entry point.
+pub fn catch_overflow<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(v) => Ok(v),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("panic");
+            if msg.contains(OVERFLOW_MSG) {
+                Err(OVERFLOW_UNKNOWN.to_string())
+            } else {
+                std::panic::panic_any(msg.to_string())
+            }
+        }
+    }
+}
+
+/// Operations that had to take the big-integer slow lane (each one was a
+/// spurious resource-out before the lane existed).
+static OBS_SLOW_LANE: LazyLock<posr_obs::Counter> =
+    LazyLock::new(|| posr_obs::counter("lia.rat.slow_lane"));
 
 /// An exact rational number `num / den` with `den > 0` and `gcd(num, den) = 1`.
 ///
@@ -33,9 +78,7 @@ pub struct Rat {
     den: i128,
 }
 
-pub(crate) fn gcd(mut a: i128, mut b: i128) -> i128 {
-    a = a.abs();
-    b = b.abs();
+fn ugcd(mut a: u128, mut b: u128) -> u128 {
     while b != 0 {
         let t = a % b;
         a = b;
@@ -44,9 +87,41 @@ pub(crate) fn gcd(mut a: i128, mut b: i128) -> i128 {
     a
 }
 
+pub(crate) fn gcd(a: i128, b: i128) -> i128 {
+    ugcd(a.unsigned_abs(), b.unsigned_abs()) as i128
+}
+
 #[inline]
 fn checked(v: Option<i128>) -> i128 {
-    v.unwrap_or_else(|| panic!("{OVERFLOW_MSG}"))
+    v.unwrap_or_else(|| overflow_panic())
+}
+
+fn big(v: i128) -> BigInt {
+    BigInt::from_i128(v)
+}
+
+/// Slow-lane landing: reduces the exact `num / den` (`den` nonzero) and
+/// converts back to machine words.  Panics with [`OVERFLOW_MSG`] only when
+/// the reduced value needs more than an `i128` — the one case the solver
+/// genuinely cannot represent.
+#[cold]
+fn reduce_fit(num: BigInt, den: BigInt) -> Rat {
+    OBS_SLOW_LANE.incr();
+    let (num, den) = if den.cmp_big(&BigInt::zero()) == Ordering::Less {
+        (num.neg(), den.neg())
+    } else {
+        (num, den)
+    };
+    if num.is_zero() {
+        return Rat::ZERO;
+    }
+    let g = num.gcd(&den);
+    let (num, _) = num.divrem(&g);
+    let (den, _) = den.divrem(&g);
+    match (num.to_i128(), den.to_i128()) {
+        (Some(num), Some(den)) => Rat { num, den },
+        _ => overflow_panic(),
+    }
 }
 
 impl Rat {
@@ -61,17 +136,27 @@ impl Rat {
     /// Panics if `den == 0`.
     pub fn new(num: i128, den: i128) -> Rat {
         assert!(den != 0, "rational with zero denominator");
-        let sign = if den < 0 { -1 } else { 1 };
-        let num = checked(num.checked_mul(sign));
-        let den = checked(den.checked_mul(sign));
-        let g = gcd(num, den);
-        if g == 0 {
-            Rat { num: 0, den: 1 }
-        } else {
-            Rat {
-                num: num / g,
-                den: den / g,
-            }
+        if num == 0 {
+            return Rat::ZERO;
+        }
+        // reduce over unsigned magnitudes and reattach the sign at the
+        // end, so `i128::MIN` inputs normalise instead of overflowing on
+        // the up-front sign flip
+        let neg = (num < 0) != (den < 0);
+        let g = ugcd(num.unsigned_abs(), den.unsigned_abs());
+        let n = num.unsigned_abs() / g;
+        let d = den.unsigned_abs() / g;
+        let max_n = if neg { 1u128 << 127 } else { i128::MAX as u128 };
+        if n > max_n || d > i128::MAX as u128 {
+            overflow_panic();
+        }
+        Rat {
+            num: if neg {
+                (n as i128).wrapping_neg()
+            } else {
+                n as i128
+            },
+            den: d as i128,
         }
     }
 
@@ -140,7 +225,7 @@ impl Rat {
     /// Absolute value.
     pub fn abs(self) -> Rat {
         Rat {
-            num: self.num.abs(),
+            num: checked(self.num.checked_abs()),
             den: self.den,
         }
     }
@@ -191,7 +276,11 @@ impl Add for Rat {
         // everywhere, and equal denominators appear whenever a row is
         // scaled once and then accumulated
         if self.den == rhs.den {
-            let num = checked(self.num.checked_add(rhs.num));
+            let Some(num) = self.num.checked_add(rhs.num) else {
+                // numerator sum needs 128 bits: finish exactly in the
+                // slow lane (the shared den may still divide it back down)
+                return reduce_fit(big(self.num).add(&big(rhs.num)), big(self.den));
+            };
             if self.den == 1 {
                 // integers stay integers: no gcd, no renormalisation
                 return Rat { num, den: 1 };
@@ -204,12 +293,22 @@ impl Add for Rat {
                 den: self.den / g,
             };
         }
-        let num = checked(
-            checked(self.num.checked_mul(rhs.den))
-                .checked_add(checked(rhs.num.checked_mul(self.den))),
-        );
-        let den = checked(self.den.checked_mul(rhs.den));
-        Rat::new(num, den)
+        let exact = (|| {
+            let l = self.num.checked_mul(rhs.den)?;
+            let r = rhs.num.checked_mul(self.den)?;
+            Some((l.checked_add(r)?, self.den.checked_mul(rhs.den)?))
+        })();
+        match exact {
+            Some((num, den)) => Rat::new(num, den),
+            // a cross product overflowed: the exact sum often still
+            // reduces into range (automata-derived dens share factors)
+            None => reduce_fit(
+                big(self.num)
+                    .mul(&big(rhs.den))
+                    .add(&big(rhs.num).mul(&big(self.den))),
+                big(self.den).mul(&big(rhs.den)),
+            ),
+        }
     }
 }
 
@@ -256,6 +355,9 @@ impl Mul for Rat {
         } else {
             (rhs.num, self.den)
         };
+        // the cross-reduced factors are pairwise coprime, so the products
+        // are already in lowest terms: an overflow here is a value that
+        // genuinely needs more than an `i128` — no slow lane can save it
         Rat {
             num: checked(an.checked_mul(bn)),
             den: checked(ad.checked_mul(bd)),
@@ -274,8 +376,9 @@ impl Div for Rat {
 impl Neg for Rat {
     type Output = Rat;
     fn neg(self) -> Rat {
+        // `-i128::MIN` does not exist; +2^127/den is unrepresentable
         Rat {
-            num: -self.num,
+            num: checked(self.num.checked_neg()),
             den: self.den,
         }
     }
@@ -311,9 +414,20 @@ impl Ord for Rat {
         if s != o {
             return s.cmp(&o);
         }
-        let lhs = checked(self.num.checked_mul(other.den));
-        let rhs = checked(other.num.checked_mul(self.den));
-        lhs.cmp(&rhs)
+        match (
+            self.num.checked_mul(other.den),
+            other.num.checked_mul(self.den),
+        ) {
+            (Some(lhs), Some(rhs)) => lhs.cmp(&rhs),
+            // deep coefficients: compare exactly — `cmp` is total and
+            // never raises the overflow marker
+            _ => {
+                OBS_SLOW_LANE.incr();
+                big(self.num)
+                    .mul(&big(other.den))
+                    .cmp_big(&big(other.num).mul(&big(self.den)))
+            }
+        }
     }
 }
 
@@ -457,6 +571,51 @@ mod tests {
         assert_eq!(Rat::new(1, 6) + Rat::new(1, 6), Rat::new(1, 3));
         assert_eq!(Rat::new(1, 4) + Rat::new(-1, 4), Rat::ZERO);
         assert_eq!(Rat::new(3, 4) + Rat::new(3, 4), Rat::new(3, 2));
+    }
+
+    #[test]
+    fn slow_lane_rescues_shared_den_sums() {
+        // the numerator sum needs 128 bits, but the shared denominator
+        // divides it back into range: 2·(2^126+1)/4 = (2^126+1)/2
+        let k = (1i128 << 126) + 1;
+        let a = Rat::new(k, 4);
+        assert_eq!(a + a, Rat::new(k, 2));
+        // and the mirrored negative case
+        let b = Rat::new(-k, 4);
+        assert_eq!(b + b, Rat::new(-k, 2));
+    }
+
+    #[test]
+    fn slow_lane_rescues_cross_multiplied_sums() {
+        // dens 2^100 and 2^101 make every cross product overflow an i128,
+        // yet the exact sum reduces to 3/2^101
+        let a = Rat::new(1, 1i128 << 100);
+        let b = Rat::new(1, 1i128 << 101);
+        assert_eq!(a + b, Rat::new(3, 1i128 << 101));
+        assert_eq!(b - a, Rat::new(-1, 1i128 << 101));
+    }
+
+    #[test]
+    fn comparison_never_overflows() {
+        // cross products here are ~2^216: the old checked multiply
+        // panicked, the slow lane compares exactly
+        let a = Rat::new((1i128 << 126) + 1, 1i128 << 90);
+        let b = Rat::new((1i128 << 126) - 1, (1i128 << 90) - 1);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn new_normalises_i128_min() {
+        // i128::MIN magnitudes reduce instead of overflowing on the sign
+        // flip (gcd is a power of two here)
+        assert_eq!(Rat::new(i128::MIN, 2), Rat::from_int(i128::MIN / 2));
+        assert_eq!(Rat::new(i128::MIN, -2), Rat::from_int(-(i128::MIN / 2)));
+        assert_eq!(
+            Rat::new(1, 1) + Rat::new(i128::MIN, 1),
+            Rat::from_int(i128::MIN + 1)
+        );
     }
 
     #[test]

@@ -422,6 +422,8 @@ impl IncrementalSimplex {
         self.upper.push(None);
         self.beta.push(Rat::ZERO);
         self.suspect_flag.push(false);
+        // approximate per-column tableau growth for the memory budget
+        posr_obs::budget::charge_mem(160);
         idx
     }
 
@@ -926,6 +928,19 @@ impl IncrementalSimplex {
     /// needs real pivot work, which the leaf check then finishes.
     pub fn check_budgeted(&mut self, max_pivots: u64) -> Option<Result<(), Vec<u32>>> {
         let _span = posr_obs::span!("simplex", "simplex.pivot-session");
+        // chaos-test injection point: a leaf check may panic (unwinds to
+        // the entry-point catch), stall, or simulate a coefficient
+        // overflow exactly where the real ones happen
+        if let Some(posr_obs::FaultKind::Overflow) = posr_obs::fault::fire(
+            "simplex.check",
+            &[
+                posr_obs::FaultKind::Panic,
+                posr_obs::FaultKind::Delay,
+                posr_obs::FaultKind::Overflow,
+            ],
+        ) {
+            crate::rational::overflow_panic();
+        }
         let result = self.check_loop(max_pivots);
         self.flush_obs();
         result

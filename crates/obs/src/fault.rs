@@ -1,0 +1,289 @@
+//! Deterministic, seed-driven fault injection for chaos testing.
+//!
+//! Solver layers declare named *injection points* — `fire("cdcl.search",
+//! &[...])` at the top of the search loop, `fire("automata.cache.lookup",
+//! &[...])` inside the cache, and so on — each listing the fault kinds the
+//! surrounding code can absorb.  With injection disabled (the default, and
+//! the only production configuration) a point costs one relaxed atomic
+//! load.  Enabled, every call hashes the configured seed with a global
+//! call sequence number and fires with the configured probability,
+//! choosing one of the point's supported kinds:
+//!
+//! * [`FaultKind::Panic`] — `fire` itself panics with a recognizable
+//!   marker message ([`INJECTED_PANIC_MSG`]); the harness asserts the
+//!   surrounding isolation (lane `catch_unwind`, batch workers) converts
+//!   it into a clean outcome instead of a process abort.
+//! * [`FaultKind::Delay`] — `fire` sleeps a few hash-derived milliseconds
+//!   before returning, exercising timeout/deadline paths.
+//! * [`FaultKind::Cancel`] — returned to the caller, which fires its own
+//!   cancellation token (the fault layer has no token to fire).
+//! * [`FaultKind::Overflow`] — returned to the caller, which raises its
+//!   domain-specific overflow marker (e.g. `posr-lia`'s `OVERFLOW_MSG`
+//!   panic) so the arbitrary-precision slow lane and the entry-point
+//!   translation to `Unknown` get exercised.
+//!
+//! Configuration comes from `POSR_FAULT=seed:N,rate:P` (rate a
+//! probability in `[0,1]`) via [`init_from_env`], or programmatically via
+//! [`configure`] / [`set_allowed`] for tests that need a specific kind on
+//! a specific path.  Injections are counted per kind
+//! (`fault.injected.panic`, …) so a chaos summary can report how much
+//! chaos actually happened.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::LazyLock;
+use std::time::Duration;
+
+use crate::counters::{counter, Counter};
+
+/// Marker prefix of every injected panic; isolation layers surface it in
+/// crash reports, and the chaos harness greps for it to distinguish an
+/// injected crash from a genuine bug.
+pub const INJECTED_PANIC_MSG: &str = "posr-fault injected panic";
+
+/// The kinds of fault an injection point can produce.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic on the calling thread (raised by [`fire`] itself).
+    Panic,
+    /// Sleep a few milliseconds (performed by [`fire`] itself).
+    Delay,
+    /// Caller should fire its cancellation token.
+    Cancel,
+    /// Caller should raise its arithmetic-overflow marker.
+    Overflow,
+}
+
+fn kind_bit(kind: FaultKind) -> u8 {
+    match kind {
+        FaultKind::Panic => 1,
+        FaultKind::Delay => 2,
+        FaultKind::Cancel => 4,
+        FaultKind::Overflow => 8,
+    }
+}
+
+/// Process-wide fast gate; off by default.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Seed mixed into every firing decision.
+static SEED: AtomicU64 = AtomicU64::new(0);
+/// Firing probability in parts per million.
+static RATE_PPM: AtomicU64 = AtomicU64::new(0);
+/// Bitmask of globally allowed kinds (tests restrict this to steer a
+/// specific fault through a specific path).
+static ALLOWED: AtomicU8 = AtomicU8::new(0xF);
+/// Global call sequence: the n-th `fire` call of the process decides from
+/// `hash(seed, site, n)`, so a fixed seed replays the same fault schedule
+/// on a deterministic (single-threaded) run.
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+static INJECTED: LazyLock<Counter> = LazyLock::new(|| counter("fault.injected"));
+static INJECTED_PANIC: LazyLock<Counter> = LazyLock::new(|| counter("fault.injected.panic"));
+static INJECTED_DELAY: LazyLock<Counter> = LazyLock::new(|| counter("fault.injected.delay"));
+static INJECTED_CANCEL: LazyLock<Counter> = LazyLock::new(|| counter("fault.injected.cancel"));
+static INJECTED_OVERFLOW: LazyLock<Counter> = LazyLock::new(|| counter("fault.injected.overflow"));
+
+/// `true` when injection is armed.  One relaxed load — the only cost an
+/// injection point pays in production.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Arms injection with `seed` and firing probability `rate` (clamped to
+/// `[0, 1]`).  All kinds are allowed until [`set_allowed`] narrows them.
+pub fn configure(seed: u64, rate: f64) {
+    SEED.store(seed, Ordering::Relaxed);
+    let ppm = (rate.clamp(0.0, 1.0) * 1_000_000.0) as u64;
+    RATE_PPM.store(ppm, Ordering::Relaxed);
+    ALLOWED.store(0xF, Ordering::Relaxed);
+    ENABLED.store(ppm > 0, Ordering::Relaxed);
+}
+
+/// Toggles the fast gate without touching seed/rate — the chaos harness
+/// disables injection for its reference solve and re-enables it for the
+/// injected one.
+pub fn set_injection_enabled(on: bool) {
+    ENABLED.store(
+        on && RATE_PPM.load(Ordering::Relaxed) > 0,
+        Ordering::Relaxed,
+    );
+}
+
+/// Restricts firing to `kinds` (tests forcing, say, only `Overflow`
+/// through every entry point).  An empty slice allows everything again.
+pub fn set_allowed(kinds: &[FaultKind]) {
+    let mask = if kinds.is_empty() {
+        0xF
+    } else {
+        kinds.iter().fold(0u8, |m, &k| m | kind_bit(k))
+    };
+    ALLOWED.store(mask, Ordering::Relaxed);
+}
+
+/// Arms injection from `POSR_FAULT=seed:N,rate:P` when set; returns
+/// `true` if injection is now enabled.  Unparseable specs are ignored
+/// (chaos must never break a production run).
+pub fn init_from_env() -> bool {
+    if let Ok(spec) = std::env::var("POSR_FAULT") {
+        let mut seed = 0u64;
+        let mut rate = 0.0f64;
+        for part in spec.split(',') {
+            let part = part.trim();
+            if let Some(v) = part.strip_prefix("seed:") {
+                seed = v.trim().parse().unwrap_or(0);
+            } else if let Some(v) = part.strip_prefix("rate:") {
+                rate = v.trim().parse().unwrap_or(0.0);
+            }
+        }
+        if rate > 0.0 {
+            configure(seed, rate);
+        }
+    }
+    enabled()
+}
+
+/// splitmix64: the standard 64-bit finalizer-style mixer.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn site_hash(site: &str) -> u64 {
+    // FNV-1a
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in site.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// An injection point.  `kinds` lists what the surrounding code can
+/// absorb; the point fires with the configured probability and picks one
+/// allowed kind from the list.  `Panic` and `Delay` are performed here;
+/// `Cancel` and `Overflow` are returned for the caller to act on.
+/// Returns `None` when nothing fired (always, when injection is off).
+#[inline]
+pub fn fire(site: &'static str, kinds: &[FaultKind]) -> Option<FaultKind> {
+    if !enabled() {
+        return None;
+    }
+    fire_slow(site, kinds)
+}
+
+#[cold]
+fn fire_slow(site: &'static str, kinds: &[FaultKind]) -> Option<FaultKind> {
+    let allowed = ALLOWED.load(Ordering::Relaxed);
+    let candidates: Vec<FaultKind> = kinds
+        .iter()
+        .copied()
+        .filter(|&k| allowed & kind_bit(k) != 0)
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let h =
+        mix(SEED.load(Ordering::Relaxed) ^ site_hash(site) ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    if h % 1_000_000 >= RATE_PPM.load(Ordering::Relaxed) {
+        return None;
+    }
+    let kind = candidates[((h >> 32) as usize) % candidates.len()];
+    INJECTED.incr();
+    match kind {
+        FaultKind::Panic => {
+            INJECTED_PANIC.incr();
+            panic!("{INJECTED_PANIC_MSG} at {site}");
+        }
+        FaultKind::Delay => {
+            INJECTED_DELAY.incr();
+            std::thread::sleep(Duration::from_millis(1 + (h >> 40) % 9));
+        }
+        FaultKind::Cancel => INJECTED_CANCEL.incr(),
+        FaultKind::Overflow => INJECTED_OVERFLOW.incr(),
+    }
+    Some(kind)
+}
+
+/// Total faults injected so far (all kinds).
+pub fn injected_total() -> u64 {
+    INJECTED.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Injection state is process-global and other test modules must never
+    // see it armed, so every test here restores the disabled state before
+    // returning (the tests in this module serialize on a lock).
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    const ALL_KINDS: [FaultKind; 4] = [
+        FaultKind::Panic,
+        FaultKind::Delay,
+        FaultKind::Cancel,
+        FaultKind::Overflow,
+    ];
+
+    fn disarm() {
+        configure(0, 0.0);
+    }
+
+    #[test]
+    fn disabled_points_never_fire() {
+        let _l = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        disarm();
+        for _ in 0..100 {
+            assert_eq!(fire("test.never", &ALL_KINDS), None);
+        }
+    }
+
+    #[test]
+    fn rate_one_always_fires_an_allowed_kind() {
+        let _l = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        configure(42, 1.0);
+        set_allowed(&[FaultKind::Overflow]);
+        for _ in 0..50 {
+            assert_eq!(
+                fire("test.always", &[FaultKind::Panic, FaultKind::Overflow]),
+                Some(FaultKind::Overflow)
+            );
+        }
+        // a site that cannot absorb the allowed kind stays silent
+        assert_eq!(fire("test.always", &[FaultKind::Panic]), None);
+        disarm();
+    }
+
+    #[test]
+    fn injected_panic_carries_the_marker() {
+        let _l = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        configure(7, 1.0);
+        set_allowed(&[FaultKind::Panic]);
+        let caught = std::panic::catch_unwind(|| {
+            fire("test.panic", &[FaultKind::Panic]);
+        });
+        disarm();
+        let err = caught.expect_err("rate 1.0 must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains(INJECTED_PANIC_MSG), "got: {msg}");
+    }
+
+    #[test]
+    fn env_spec_parses() {
+        let _l = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // init_from_env reads the real environment; exercise the parse via
+        // configure + the documented spec shape instead of mutating env
+        configure(9, 0.5);
+        assert!(enabled());
+        assert_eq!(RATE_PPM.load(Ordering::Relaxed), 500_000);
+        set_injection_enabled(false);
+        assert!(!enabled());
+        set_injection_enabled(true);
+        assert!(enabled());
+        disarm();
+        assert!(!enabled());
+    }
+}

@@ -33,18 +33,22 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
+pub mod budget;
 pub mod counters;
 pub mod export;
+pub mod fault;
 pub mod histogram;
 pub mod report;
 pub mod ring;
 pub mod solvelog;
 pub mod watchdog;
 
+pub use budget::{Budget, BudgetAttachGuard, CONFLICT_BUDGET_MSG, MEM_BUDGET_MSG};
 pub use counters::{
     attached_scopes, counter, counter_value, counters_snapshot, Counter, CounterScope,
 };
 pub use export::{chrome_trace_json, folded_stacks};
+pub use fault::{FaultKind, INJECTED_PANIC_MSG};
 pub use histogram::{histogram, histograms_snapshot, Histogram, HistogramSnapshot};
 pub use report::{phase_totals, self_time_of, PhaseStat, SolveReport};
 pub use ring::{drain_tracks, set_thread_track, snapshot_tracks, Event, EventKind, TrackSnapshot};
@@ -274,10 +278,12 @@ static ENV_TARGETS: OnceLock<EnvTargets> = OnceLock::new();
 /// * `POSR_TRACE=chrome:PATH` — write a Chrome trace-event JSON to `PATH`;
 /// * `POSR_TRACE=1` — record, no file (a binary drains the events itself);
 /// * `POSR_TRACE_FOLDED=PATH` — additionally write a folded-stack profile.
+/// * `POSR_FAULT=seed:N,rate:P` — arm fault injection ([`fault::init_from_env`]).
 ///
 /// Returns `true` when recording was enabled.  Idempotent: the environment
 /// is read once per process.
 pub fn init_from_env() -> bool {
+    fault::init_from_env();
     let targets = ENV_TARGETS.get_or_init(|| {
         let mut t = EnvTargets::default();
         if let Ok(spec) = std::env::var("POSR_TRACE") {

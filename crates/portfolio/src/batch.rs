@@ -16,7 +16,17 @@ use posr_core::ast::StringFormula;
 use posr_core::solver::{answer_status, Answer};
 use posr_smtfmt::{parse_script, ParseError};
 
-use crate::{PortfolioResult, PortfolioSolver};
+use crate::{run_isolated, PortfolioResult, PortfolioSolver, StrategyOutcome, StrategyReport};
+
+/// First backoff delay of the retry pass; doubles per retried item (capped),
+/// so a burst of crashed items does not immediately re-hammer a struggling
+/// host.
+const RETRY_BACKOFF: Duration = Duration::from_millis(25);
+
+/// The lane the retry pass pins: the structural-engine oracle, the most
+/// conservative full pipeline in the portfolio (plus the production lane
+/// the hint always keeps, see [`PortfolioSolver::solve_with`]).
+const RETRY_HINT: &str = "tag-pos";
 
 /// Distribution of per-item wall times (one full race each), µs.  Scoped:
 /// a batch's own percentiles come out of its `CounterScope`.
@@ -117,6 +127,13 @@ pub struct BatchStats {
     /// Automaton-cache misses made by this batch's workers (same scoping
     /// as [`BatchStats::cache_hits`]).
     pub cache_misses: u64,
+    /// Items whose final result records at least one crashed lane or a
+    /// crashed worker (the crash was absorbed; the item still has an
+    /// outcome).
+    pub crashed: usize,
+    /// Items re-run once on the structural-oracle lane after a crash or a
+    /// resource-out, with exponential backoff between retries.
+    pub retried: usize,
     /// Wins per strategy name.
     pub wins: std::collections::BTreeMap<&'static str, usize>,
     /// Distribution of per-item wall times for *this batch's* items
@@ -188,10 +205,17 @@ pub fn solve_batch(
                     let _span = posr_obs::span("batch", item.name.clone());
                     posr_obs::flow_end("batch", format!("batch.item:{}", item.name), flows[index]);
                     let item_start = Instant::now();
-                    let result =
-                        portfolio.solve_with(&item.formula, options.timeout, item.hint.as_deref());
+                    let result = solve_item_isolated(
+                        portfolio,
+                        item,
+                        options.timeout,
+                        item.hint.as_deref(),
+                        item_start,
+                    );
                     HIST_ITEM_WALL.record_duration(item_start.elapsed());
-                    *slots[index].lock().expect("batch slot poisoned") = Some(BatchOutcome {
+                    *slots[index]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(BatchOutcome {
                         name: item.name.clone(),
                         result,
                     });
@@ -200,14 +224,49 @@ pub fn solve_batch(
         }
     });
 
-    let outcomes: Vec<BatchOutcome> = slots
+    let mut outcomes: Vec<BatchOutcome> = slots
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("batch slot poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .expect("worker filled slot")
         })
         .collect();
+
+    // retry pass: an item whose race saw a crash (and still ended undecided)
+    // or ran out of a resource axis gets exactly one more chance, pinned to
+    // the structural-oracle lane, with exponential backoff between retries
+    let mut retried = 0usize;
+    for outcome in outcomes.iter_mut() {
+        if !wants_retry(&outcome.result) {
+            continue;
+        }
+        retried += 1;
+        std::thread::sleep(RETRY_BACKOFF.saturating_mul(1 << (retried - 1).min(6)));
+        posr_obs::instant("batch", format!("batch.retry:{}", outcome.name));
+        let formula = items
+            .iter()
+            .find(|i| i.name == outcome.name)
+            .map(|i| &i.formula);
+        let Some(formula) = formula else { continue };
+        let retry_start = Instant::now();
+        let retry = run_isolated(&outcome.name, || {
+            portfolio.solve_with(formula, options.timeout, Some(RETRY_HINT))
+        });
+        if let Ok(result) = retry {
+            if matches!(result.answer, Answer::Sat(_) | Answer::Unsat) {
+                // keep the original (crash-annotated) reports visible by
+                // appending, not replacing, the retry's
+                let mut merged = outcome.result.reports.clone();
+                merged.extend(result.reports.clone());
+                outcome.result = PortfolioResult {
+                    reports: merged,
+                    elapsed: outcome.result.elapsed + retry_start.elapsed(),
+                    ..result
+                };
+            }
+        }
+    }
 
     let mut stats = BatchStats {
         total: outcomes.len(),
@@ -217,11 +276,15 @@ pub fn solve_batch(
         item_wall_us: counters.histogram(*HIST_ITEM_WALL),
         ..BatchStats::default()
     };
+    stats.retried = retried;
     for outcome in &outcomes {
         match &outcome.result.answer {
             Answer::Sat(_) => stats.sat += 1,
             Answer::Unsat => stats.unsat += 1,
             Answer::Unknown(_) => stats.unknown += 1,
+        }
+        if crashed_somewhere(&outcome.result) {
+            stats.crashed += 1;
         }
         stats.solve_time += outcome.result.elapsed;
         if let Some(winner) = outcome.result.winner {
@@ -229,6 +292,72 @@ pub fn solve_batch(
         }
     }
     BatchReport { outcomes, stats }
+}
+
+/// One item's full race under the worker isolation boundary: a panic that
+/// escapes the per-lane boundary (or is injected at the worker itself)
+/// yields an `Unknown` outcome with a crash record instead of tearing down
+/// the whole pool (`std::thread::scope` re-raises worker panics on join).
+fn solve_item_isolated(
+    portfolio: &PortfolioSolver,
+    item: &BatchItem,
+    timeout: Option<Duration>,
+    hint: Option<&str>,
+    begin: Instant,
+) -> PortfolioResult {
+    let solved = run_isolated(&item.name, || {
+        posr_obs::fault::fire(
+            "portfolio.batch_worker",
+            &[posr_obs::FaultKind::Panic, posr_obs::FaultKind::Delay],
+        );
+        portfolio.solve_with(&item.formula, timeout, hint)
+    });
+    match solved {
+        Ok(result) => result,
+        Err(crash) => PortfolioResult {
+            answer: Answer::Unknown(format!("batch worker crashed: {}", crash.message)),
+            winner: None,
+            elapsed: begin.elapsed(),
+            reports: vec![StrategyReport {
+                name: "batch-worker",
+                elapsed: begin.elapsed(),
+                outcome: StrategyOutcome::Crashed {
+                    message: crash.message,
+                    backtrace_hash: crash.backtrace_hash,
+                },
+            }],
+        },
+    }
+}
+
+fn crashed_somewhere(result: &PortfolioResult) -> bool {
+    result
+        .reports
+        .iter()
+        .any(|r| matches!(r.outcome, StrategyOutcome::Crashed { .. }))
+}
+
+/// Resource-outs worth a second try: the per-item deadline or a budget axis.
+fn resource_out(answer: &Answer) -> bool {
+    match answer {
+        Answer::Unknown(reason) => {
+            reason.contains(posr_lia::cancel::DEADLINE_MSG)
+                || reason.contains(posr_obs::MEM_BUDGET_MSG)
+                || reason.contains(posr_obs::CONFLICT_BUDGET_MSG)
+        }
+        _ => false,
+    }
+}
+
+/// An item is retried when it ended *undecided* and either a crash was
+/// absorbed along the way or a resource axis (deadline, memory, conflicts)
+/// ran out.  Decided items never retry — a crash that lost the race to a
+/// validated answer needs no second opinion.
+fn wants_retry(result: &PortfolioResult) -> bool {
+    if matches!(result.answer, Answer::Sat(_) | Answer::Unsat) {
+        return false;
+    }
+    crashed_somewhere(result) || resource_out(&result.answer)
 }
 
 /// Parses named SMT-LIB sources and solves them as one batch, carrying each
@@ -307,6 +436,60 @@ mod tests {
         assert_eq!(report.stats.sat, 1);
         // the hint restricted the race to enumeration + tag-pos
         assert_eq!(report.outcomes[0].result.reports.len(), 2);
+    }
+
+    #[test]
+    fn crashed_lane_is_visible_in_the_report_and_decided_items_skip_retry() {
+        use crate::{Strategy, TagPosStrategy};
+        use posr_lia::cancel::CancelToken;
+        use std::sync::Arc;
+
+        struct PanickingStrategy;
+        impl Strategy for PanickingStrategy {
+            fn name(&self) -> &'static str {
+                "panicky"
+            }
+            fn solve(&self, _f: &StringFormula, _c: &CancelToken) -> Answer {
+                panic!("worker lane blew up");
+            }
+        }
+
+        let unsat = StringFormula::new()
+            .in_re("x", "abc")
+            .diseq(StringTerm::var("x"), StringTerm::lit("abc"));
+        let portfolio = crate::PortfolioSolver::with_strategies(vec![
+            Arc::new(PanickingStrategy),
+            Arc::new(TagPosStrategy::default()),
+        ])
+        .with_parallelism(2);
+        let report = solve_batch(
+            &[BatchItem::new("crashy", unsat.clone())],
+            &portfolio,
+            &BatchOptions::default(),
+        );
+        // the surviving lane decided the item, so no retry happened …
+        assert_eq!(report.stats.unsat, 1);
+        assert_eq!(report.stats.retried, 0);
+        // … but the crash is counted and visible in the outcome's reports
+        assert_eq!(report.stats.crashed, 1);
+        assert!(report.outcomes[0]
+            .result
+            .reports
+            .iter()
+            .any(|r| matches!(r.outcome, crate::StrategyOutcome::Crashed { .. })));
+
+        // with no surviving lane the item stays undecided and is retried
+        // exactly once
+        let all_crash = crate::PortfolioSolver::with_strategies(vec![Arc::new(PanickingStrategy)])
+            .with_parallelism(2);
+        let report = solve_batch(
+            &[BatchItem::new("hopeless", unsat)],
+            &all_crash,
+            &BatchOptions::default(),
+        );
+        assert_eq!(report.stats.unknown, 1);
+        assert_eq!(report.stats.crashed, 1);
+        assert_eq!(report.stats.retried, 1);
     }
 
     #[test]

@@ -70,6 +70,107 @@ pub use batch::{
 static HIST_LANE_WALL: std::sync::LazyLock<posr_obs::Histogram> =
     std::sync::LazyLock::new(|| posr_obs::histogram("portfolio.lane_wall_us"));
 
+/// Lanes (and batch workers) that panicked and were absorbed by the
+/// isolation boundary instead of aborting the race.  Lands in the black-box
+/// dump via the watchdog's counter snapshot.
+static OBS_LANE_CRASHES: std::sync::LazyLock<posr_obs::Counter> =
+    std::sync::LazyLock::new(|| posr_obs::counter("portfolio.lane_crashes"));
+/// Backtrace hash of the most recent absorbed crash — enough to tell "the
+/// same crash keeps happening" from "different crash sites" in a dump.
+static OBS_LAST_CRASH_HASH: std::sync::LazyLock<posr_obs::Gauge> =
+    std::sync::LazyLock::new(|| posr_obs::gauge("portfolio.last_crash_hash"));
+
+thread_local! {
+    /// Backtrace hash captured by the panic hook at the actual panic site
+    /// (a backtrace taken at the `catch_unwind` would show the catcher).
+    static LAST_BACKTRACE_HASH: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+static CRASH_HOOK: std::sync::Once = std::sync::Once::new();
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Installs (once, process-wide) a panic hook that records a backtrace hash
+/// for the isolation boundary below, and silences the default stderr report
+/// for *expected* panics — injected faults and the arithmetic overflow that
+/// the slow lane already turned into control flow — so a chaos run doesn't
+/// drown the terminal.  Genuine panics still print through the previous
+/// hook.
+fn install_crash_hook() {
+    CRASH_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let bt = std::backtrace::Backtrace::force_capture();
+            LAST_BACKTRACE_HASH.with(|c| c.set(fnv1a(format!("{bt}").as_bytes())));
+            let msg = panic_info_message(info);
+            let expected =
+                msg.contains(posr_obs::INJECTED_PANIC_MSG) || msg.contains(posr_lia::OVERFLOW_MSG);
+            if !expected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn panic_info_message(info: &std::panic::PanicHookInfo<'_>) -> String {
+    if let Some(s) = info.payload().downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = info.payload().downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        String::new()
+    }
+}
+
+fn panic_payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A panic absorbed at a lane/worker isolation boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LaneCrash {
+    /// The panic message.
+    pub message: String,
+    /// FNV-1a hash of the backtrace captured at the panic site (0 if the
+    /// hook never saw the panic).
+    pub backtrace_hash: u64,
+}
+
+/// Runs one lane (or batch-worker) body under `catch_unwind`: a panic
+/// becomes a [`LaneCrash`] record — counted, hashed, dumped — and the
+/// caller's race or batch goes on without the crashed participant.
+pub(crate) fn run_isolated<T>(name: &str, body: impl FnOnce() -> T) -> Result<T, LaneCrash> {
+    install_crash_hook();
+    LAST_BACKTRACE_HASH.with(|c| c.set(0));
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)) {
+        Ok(answer) => Ok(answer),
+        Err(payload) => {
+            let message = panic_payload_message(payload.as_ref());
+            let backtrace_hash = LAST_BACKTRACE_HASH.with(|c| c.get());
+            OBS_LANE_CRASHES.incr();
+            OBS_LAST_CRASH_HASH.set(backtrace_hash);
+            posr_obs::instant("portfolio", format!("lane.crash:{name}"));
+            Err(LaneCrash {
+                message,
+                backtrace_hash,
+            })
+        }
+    }
+}
+
 /// One engine in the portfolio.
 ///
 /// Implementations must poll `cancel` at their branch points: the portfolio
@@ -209,6 +310,14 @@ pub enum StrategyOutcome {
     Finished(String),
     /// Abandoned: returned `Unknown` because its cancellation token fired.
     Cancelled,
+    /// Panicked; the crash was absorbed at the isolation boundary and the
+    /// race went on without this lane.
+    Crashed {
+        /// The panic message.
+        message: String,
+        /// FNV-1a hash of the backtrace captured at the panic site.
+        backtrace_hash: u64,
+    },
 }
 
 /// Per-strategy telemetry of one race.
@@ -394,7 +503,7 @@ impl PortfolioSolver {
         // batch driver's per-batch scope) and re-attach inside every lane
         let inherited = posr_obs::attached_scopes();
         std::thread::scope(|scope| {
-            let (tx, rx) = mpsc::channel::<(usize, Answer, Duration)>();
+            let (tx, rx) = mpsc::channel::<(usize, Result<Answer, LaneCrash>, Duration)>();
             for (index, strategy) in racers.iter().enumerate() {
                 let tx = tx.clone();
                 let token = tokens[index].clone();
@@ -405,19 +514,40 @@ impl PortfolioSolver {
                     posr_obs::set_thread_track(format!("lane:{}", strategy.name()));
                     posr_obs::instant("portfolio", "lane.spawn");
                     let begin = Instant::now();
-                    let answer = {
+                    // `catch_unwind` at the lane boundary: a panicking
+                    // strategy loses the race instead of poisoning the scope
+                    // (`std::thread::scope` re-raises panics on join)
+                    let lane = run_isolated(strategy.name(), || {
+                        posr_obs::fault::fire(
+                            "portfolio.lane",
+                            &[posr_obs::FaultKind::Panic, posr_obs::FaultKind::Delay],
+                        );
                         let _span = posr_obs::span!("portfolio", "lane.solve");
                         strategy.solve(formula, &token)
-                    };
+                    });
                     HIST_LANE_WALL.record_duration(begin.elapsed());
                     // receiver may be gone if the race was already decided
-                    let _ = tx.send((index, answer, begin.elapsed()));
+                    let _ = tx.send((index, lane, begin.elapsed()));
                 });
             }
             drop(tx);
 
-            for (index, answer, elapsed) in rx.iter() {
+            for (index, lane, elapsed) in rx.iter() {
                 let name = racers[index].name();
+                let answer = match lane {
+                    Ok(answer) => answer,
+                    Err(crash) => {
+                        reports[index] = Some(StrategyReport {
+                            name,
+                            elapsed,
+                            outcome: StrategyOutcome::Crashed {
+                                message: crash.message,
+                                backtrace_hash: crash.backtrace_hash,
+                            },
+                        });
+                        continue;
+                    }
+                };
                 let decisive = accepted.is_none() && answer_is_decisive(&answer, formula);
                 if !first_seen {
                     first_seen = true;
@@ -533,12 +663,33 @@ impl PortfolioSolver {
                 }
                 let token = CancelToken::with_deadline(slice_end);
                 let begin = Instant::now();
-                let answer = {
+                let lane = run_isolated(strategy.name(), || {
+                    posr_obs::fault::fire(
+                        "portfolio.lane",
+                        &[posr_obs::FaultKind::Panic, posr_obs::FaultKind::Delay],
+                    );
                     let _span = posr_obs::span("portfolio", format!("slice:{}", strategy.name()));
                     strategy.solve(formula, &token)
-                };
+                });
                 let elapsed = begin.elapsed();
                 progressed = true;
+                let answer = match lane {
+                    Ok(answer) => answer,
+                    Err(crash) => {
+                        // a crashed lane leaves the rotation; the schedule
+                        // keeps rotating over the survivors
+                        reports[index] = StrategyReport {
+                            name: strategy.name(),
+                            elapsed,
+                            outcome: StrategyOutcome::Crashed {
+                                message: crash.message,
+                                backtrace_hash: crash.backtrace_hash,
+                            },
+                        };
+                        active[index] = false;
+                        continue;
+                    }
+                };
                 let decisive = answer_is_decisive(&answer, formula);
                 let expired = answer.is_unknown() && token.is_cancelled();
                 reports[index] = StrategyReport {
@@ -761,6 +912,58 @@ mod tests {
         // unknown hints fall back to the full portfolio
         let full = portfolio.solve_with(&sat_formula(), None, Some("no-such-strategy"));
         assert_eq!(full.reports.len(), 5);
+    }
+
+    /// A strategy that panics unconditionally — the stand-in for an
+    /// injected lane crash (the fault injector panics at exactly this kind
+    /// of point, nondeterministically; this pins the deterministic worst
+    /// case where a whole lane dies).
+    struct PanickingStrategy;
+
+    impl Strategy for PanickingStrategy {
+        fn name(&self) -> &'static str {
+            "panicky"
+        }
+
+        fn solve(&self, _formula: &StringFormula, _cancel: &CancelToken) -> Answer {
+            panic!("lane blew up mid-solve");
+        }
+    }
+
+    #[test]
+    fn crashed_lane_loses_but_the_race_still_answers() {
+        let crashes_before = OBS_LANE_CRASHES.value();
+        let portfolio = PortfolioSolver::with_strategies(vec![
+            Arc::new(PanickingStrategy),
+            Arc::new(TagPosStrategy::default()),
+        ])
+        .with_parallelism(2);
+        let result = portfolio.solve_with(&unsat_formula(), None, None);
+        // the surviving lane's validated answer is returned …
+        assert!(result.answer.is_unsat(), "got {:?}", result.answer);
+        assert_eq!(result.winner, Some("tag-pos"));
+        // … and the crash is visible, not swallowed
+        let crashed = result.reports.iter().find(|r| r.name == "panicky").unwrap();
+        match &crashed.outcome {
+            StrategyOutcome::Crashed { message, .. } => {
+                assert!(message.contains("lane blew up"), "message: {message}");
+            }
+            other => panic!("expected a crash record, got {other:?}"),
+        }
+        assert!(OBS_LANE_CRASHES.value() > crashes_before);
+
+        // same isolation policy on the single-core schedule
+        let sequential = PortfolioSolver::with_strategies(vec![
+            Arc::new(PanickingStrategy),
+            Arc::new(TagPosStrategy::default()),
+        ])
+        .with_parallelism(1);
+        let result = sequential.solve_with(&unsat_formula(), None, None);
+        assert!(result.answer.is_unsat(), "got {:?}", result.answer);
+        assert!(result
+            .reports
+            .iter()
+            .any(|r| matches!(r.outcome, StrategyOutcome::Crashed { .. })));
     }
 
     #[test]

@@ -181,6 +181,27 @@ impl SystemEncoding {
         config: &SolverConfig,
         max_rounds: usize,
     ) -> CutSolveReport {
+        // cut extraction and assignment decoding run outside the engine's
+        // own overflow guard, so contain the overflow panic here too
+        match posr_lia::catch_overflow(|| self.solve_with_cuts_inner(extra, config, max_rounds)) {
+            Ok(report) => report,
+            Err(reason) => CutSolveReport {
+                result: SolverResult::Unknown(reason),
+                assignment: None,
+                rounds: 0,
+                learned_carried: 0,
+                cut_core: None,
+                stats: SolverStats::default(),
+            },
+        }
+    }
+
+    fn solve_with_cuts_inner(
+        &self,
+        extra: &Formula,
+        config: &SolverConfig,
+        max_rounds: usize,
+    ) -> CutSolveReport {
         let mut session = IncrementalSolver::with_config(config.clone());
         session.assert_formula(&self.formula);
         session.assert_formula(extra);

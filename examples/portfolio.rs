@@ -9,7 +9,9 @@
 //! (conflicts, decisions, propagations, restarts, learned clauses, GC) at
 //! the end — every engine across both drivers flushes into them — plus
 //! the unified `posr-obs` report: per-lane solve time, the phase
-//! self-time table, and the automaton-cache hit ratio.  `POSR_TRACE` /
+//! self-time table, the automaton-cache hit ratio, and the robustness
+//! counters (absorbed lane crashes, cache poison recoveries, injected
+//! faults, big-rational slow-lane trips).  `POSR_TRACE` /
 //! `POSR_TRACE_FOLDED` additionally export the run as a Chrome trace /
 //! folded-stack profile.
 
@@ -128,6 +130,10 @@ fn main() {
         100.0 * report.stats.cache_hits as f64
             / (report.stats.cache_hits + report.stats.cache_misses).max(1) as f64
     );
+    println!(
+        "  crashed lanes: {} absorbed, {} items retried",
+        report.stats.crashed, report.stats.retried
+    );
 
     if show_stats {
         let s = posr_lia::global_stats();
@@ -175,6 +181,16 @@ fn main() {
                 *busy_us as f64 / 1e3
             );
         }
+        println!("\n== robustness (posr-obs) ==");
+        for name in [
+            "portfolio.lane_crashes",
+            "cache.poison_recovered",
+            "fault.injected",
+            "lia.rat.slow_lane",
+        ] {
+            println!("  {name:<24} : {}", posr_obs::counter(name).value());
+        }
+
         let cache = posr_automata::cache::stats();
         match cache.hit_ratio() {
             Some(ratio) => println!(
